@@ -1,0 +1,73 @@
+"""Figure 10b: incident count per month before vs after the severity filter.
+
+The paper collected nine months of incidents: filtering at severity 10
+cuts the count by ~two orders of magnitude down to under one per day while
+keeping every real failure.  We compress each "month" into a simulated
+busy hour (incident *ratios*, not absolute counts, are the reproducible
+shape).
+"""
+
+import dataclasses
+
+from repro.analysis.experiments import run_campaign
+from repro.core.config import PRODUCTION_CONFIG
+from repro.simulation.noise import NoiseProfile
+from repro.topology.builder import TopologySpec
+
+N_MONTHS = 9
+THRESHOLD = PRODUCTION_CONFIG.severity.alert_threshold
+
+#: months are dominated by loud-but-harmless events (maintenance waves,
+#: probe errors) -- the population the severity filter exists to remove
+MONTH_NOISE = dataclasses.replace(
+    NoiseProfile.noisy(), maintenance_waves_per_hour=8.0
+)
+
+
+def test_fig10b_severity_filter(benchmark, emit):
+    def run_months():
+        rows = []
+        for month in range(N_MONTHS):
+            result = run_campaign(
+                1800.0,
+                n_random_failures=2 + month % 3,
+                spec=TopologySpec.benchmark(),
+                noise=MONTH_NOISE,
+                n_customers=50,
+                seed=400 + month,
+                severe_fraction=0.3,
+            )
+            all_incidents = result.reports
+            severe = [r for r in all_incidents if r.score >= THRESHOLD]
+            missed = 0
+            for truth in result.injector.truths_in_window(0, 1e9):
+                hit = any(
+                    truth.scope.contains(r.incident.root)
+                    or r.incident.root.contains(truth.scope)
+                    for r in severe
+                )
+                if not hit:
+                    missed += 1
+            rows.append((month + 4, len(all_incidents), len(severe), missed))
+        return rows
+
+    rows = benchmark.pedantic(run_months, rounds=1, iterations=1)
+    lines = [f"Figure 10b: incidents before/after severity filter (>= {THRESHOLD})"]
+    lines.append(f"{'month':>6}{'all':>7}{'severe':>8}{'missed failures':>17}")
+    total_all = total_severe = total_missed = 0
+    for month, n_all, n_severe, missed in rows:
+        lines.append(f"{month:>6}{n_all:>7}{n_severe:>8}{missed:>17}")
+        total_all += n_all
+        total_severe += n_severe
+        total_missed += missed
+    reduction = total_all / total_severe if total_severe else float("inf")
+    lines.append(f"total: {total_all} -> {total_severe} ({reduction:.1f}x fewer)")
+    emit("fig10b_incident_filter", "\n".join(lines))
+
+    # paper shape: the filter removes a large share of incidents at zero FN.
+    # (The paper sees ~2 orders of magnitude because production months are
+    # dominated by harmless events at O(10^5)-device scale; our compressed
+    # synthetic months are far more failure-dense, so the *ratio* is
+    # smaller -- see EXPERIMENTS.md.)
+    assert total_severe <= total_all * 0.7
+    assert total_missed == 0, "severity filtering must keep zero FN"

@@ -1,0 +1,86 @@
+"""Figure 10c: mitigation time before vs after deploying SkyNet.
+
+The paper (§6.4): median mitigation time dropped from 736 s to 147 s and
+the maximum from 14028 s to 1920 s -- both >80% reductions.  A set of
+severe failures is replayed through the operator model under both
+workflows (raw-flood triage vs distilled incident reports, see
+repro.operators.mitigation for the model and its calibration).
+"""
+
+from repro.analysis.experiments import run_campaign
+from repro.analysis.metrics import percentile
+from repro.operators.mitigation import OperatorModel
+from repro.simulation import scenarios as sc
+from repro.topology.builder import TopologySpec, build_topology
+
+PAPER_MEDIAN = (736.0, 147.0)
+PAPER_MAX = (14028.0, 1920.0)
+
+
+def _severe_set(seed):
+    """A set of distinct severe failures, one campaign each."""
+    runs = []
+    builders = [
+        lambda topo: [sc.internet_entrance_cable_cut(topo, start=60.0)],
+        lambda topo: sc.multi_site_ddos(topo, start=60.0, n_sites=2),
+        lambda topo: [sc.delayed_root_cause(topo, start=60.0)],
+        lambda topo: [sc.reflector_failure(topo, start=60.0)],
+        lambda topo: sc.ranking_pair(topo, start=60.0),
+    ]
+    for i, build in enumerate(builders):
+        topo = build_topology(TopologySpec())
+        runs.append(
+            run_campaign(
+                900.0,
+                scenarios=build(topo),
+                topology=topo,
+                n_customers=40,
+                seed=seed + i,
+            )
+        )
+    return runs
+
+
+def test_fig10c_mitigation_time(benchmark, emit):
+    model = OperatorModel()
+
+    def measure():
+        before, after = [], []
+        for result in _severe_set(500):
+            raw_count = len(result.raw_alerts)
+            for report in result.reports:
+                incident = report.incident
+                truth = result.injector.matching_truth(
+                    incident.root, incident.start_time, incident.end_time,
+                    impacting_only=True,
+                )
+                if truth is None:
+                    continue
+                before.append(
+                    model.mitigation_time_raw(
+                        raw_count, len(incident.devices_involved())
+                    )
+                )
+                after.append(model.mitigation_time_skynet(incident))
+        return before, after
+
+    before, after = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert before and after
+
+    med_b, med_a = percentile(before, 50), percentile(after, 50)
+    max_b, max_a = max(before), max(after)
+    lines = ["Figure 10c: mitigation time before vs after SkyNet (seconds)"]
+    lines.append(f"{'':<12}{'before':>10}{'after':>10}{'reduction':>11}")
+    lines.append(f"{'median':<12}{med_b:>10.0f}{med_a:>10.0f}"
+                 f"{(1 - med_a / med_b) * 100:>10.0f}%")
+    lines.append(f"{'max':<12}{max_b:>10.0f}{max_a:>10.0f}"
+                 f"{(1 - max_a / max_b) * 100:>10.0f}%")
+    lines.append(
+        f"(paper: median {PAPER_MEDIAN[0]:.0f} -> {PAPER_MEDIAN[1]:.0f}, "
+        f"max {PAPER_MAX[0]:.0f} -> {PAPER_MAX[1]:.0f})"
+    )
+    emit("fig10c_mitigation_time", "\n".join(lines))
+
+    # paper shape: >80%-class reduction at the median, large cut at the max
+    assert med_a < med_b * 0.35
+    assert max_a < max_b * 0.5

@@ -1,0 +1,37 @@
+"""Figure 1: the proportion of network failure root causes.
+
+Regenerates the pie-chart slices by sampling the failure generator's
+category distribution; the numbers must track the paper's observed shares
+(hardware 42.6%, link 18.5%, modification 16.7%, ...).
+"""
+
+import random
+from collections import Counter
+
+from repro.simulation.failures import (
+    FIGURE1_PROPORTIONS,
+    FailureCategory,
+    sample_category,
+)
+
+N_SAMPLES = 5000
+
+
+def test_fig1_root_cause_proportions(benchmark, emit):
+    rng = random.Random(1)
+
+    def draw():
+        return Counter(sample_category(rng) for _ in range(N_SAMPLES))
+
+    counts = benchmark.pedantic(draw, rounds=1, iterations=1)
+    total_weight = sum(FIGURE1_PROPORTIONS.values())
+    lines = ["Figure 1: root-cause proportions (paper vs sampled)"]
+    lines.append(f"{'category':<28}{'paper %':>9}{'sampled %':>11}")
+    for category in sorted(
+        FailureCategory, key=lambda c: -FIGURE1_PROPORTIONS[c]
+    ):
+        paper = FIGURE1_PROPORTIONS[category] / total_weight * 100
+        sampled = counts[category] / N_SAMPLES * 100
+        lines.append(f"{category.value:<28}{paper:>8.1f}%{sampled:>10.1f}%")
+        assert abs(paper - sampled) < 3.0, f"{category} drifted from Figure 1"
+    emit("fig1_root_causes", "\n".join(lines))

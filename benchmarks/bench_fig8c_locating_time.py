@@ -1,0 +1,64 @@
+"""Figure 8c: the time cost of locating vs alert count.
+
+The paper: locating failures takes <10 s even in the worst case, with a
+positive correlation between alert volume and locating time.  The bench
+feeds the locator growing synthetic alert batches and wall-clocks a full
+feed+sweep cycle.
+"""
+
+import time
+
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.core.locator import Locator
+from repro.topology.builder import TopologySpec, build_topology
+
+BATCH_SIZES = [500, 2000, 8000, 20000]
+
+
+def _make_alerts(topo, n):
+    """n alerts spread across devices with a handful of types."""
+    devices = sorted(topo.devices)
+    types = ["link_down", "port_down", "rx_errors", "traffic_congestion",
+             "high_cpu"]
+    alerts = []
+    for i in range(n):
+        device = topo.device(devices[i % len(devices)])
+        alerts.append(
+            StructuredAlert(
+                type_key=AlertTypeKey("snmp", types[i % len(types)]),
+                level=AlertLevel.ROOT_CAUSE if i % 3 else AlertLevel.FAILURE,
+                location=device.location,
+                first_seen=float(i % 200),
+                last_seen=float(i % 200),
+                device=device.name,
+            )
+        )
+    return alerts
+
+
+def test_fig8c_locating_time(benchmark, emit):
+    topo = build_topology(TopologySpec.benchmark())
+
+    def sweep():
+        rows = []
+        for n in BATCH_SIZES:
+            alerts = _make_alerts(topo, n)
+            locator = Locator(topo)
+            t0 = time.perf_counter()
+            for alert in alerts:
+                locator.feed(alert)
+            locator.sweep(300.0)
+            elapsed = time.perf_counter() - t0
+            rows.append((n, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Figure 8c: locating time vs alert count"]
+    lines.append(f"{'alerts':>8}{'time (s)':>10}")
+    for n, elapsed in rows:
+        lines.append(f"{n:>8}{elapsed:>10.3f}")
+    emit("fig8c_locating_time", "\n".join(lines))
+
+    # paper shape: worst case well under 10 s, positively correlated
+    assert all(elapsed < 10.0 for _, elapsed in rows)
+    assert rows[-1][1] > rows[0][1]

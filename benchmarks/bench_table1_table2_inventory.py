@@ -1,0 +1,53 @@
+"""Tables 1 and 2: monitoring tool inventory and SkyNet's data sources.
+
+Table 1 lists prior single-source tools; Table 2 the twelve sources SkyNet
+ingests.  The bench regenerates Table 2 from the live registry (every entry
+must have a working monitor class) and prints Table 1's catalogue.
+"""
+
+from repro.monitors.registry import DATA_SOURCES, MONITOR_CLASSES, build_monitors
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+
+#: Table 1 of the paper: prior tools, production status, data source.
+TABLE1 = [
+    ("RD-Probe", True, "Ping"),
+    ("Pingmesh", True, "Ping"),
+    ("NetNORAD", True, "Ping"),
+    ("deTector", False, "Ping"),
+    ("Dynamic mining", True, "Syslog"),
+    ("007", True, "traceroute"),
+    ("Roy et al.", True, "INT"),
+    ("Netbouncer", True, "INT"),
+    ("PTPMesh", False, "PTP"),
+    ("Shin et al.", False, "SNMP"),
+    ("Redfish-Nagios", True, "Out-of-band"),
+]
+
+
+def test_table1_prior_tools(benchmark, emit):
+    rows = benchmark.pedantic(lambda: list(TABLE1), rounds=1, iterations=1)
+    lines = ["Table 1: existing tools and their (single) data sources"]
+    lines.append(f"{'tool':<18}{'in production':<15}{'data source'}")
+    for tool, production, source in rows:
+        lines.append(f"{tool:<18}{str(production):<15}{source}")
+    emit("table1_prior_tools", "\n".join(lines))
+    assert len({source for _, _, source in rows}) >= 5
+
+
+def test_table2_skynet_data_sources(benchmark, emit):
+    topo = build_topology(TopologySpec.tiny())
+    state = NetworkState(topo)
+
+    monitors = benchmark.pedantic(
+        lambda: build_monitors(state), rounds=1, iterations=1
+    )
+    lines = ["Table 2: network monitoring tools used by SkyNet"]
+    lines.append(f"{'data source':<22}{'period':>8}  description")
+    by_name = {m.name: m for m in monitors}
+    for name, description in DATA_SOURCES.items():
+        monitor = by_name[name]
+        lines.append(f"{name:<22}{monitor.period_s:>6.0f}s  {description}")
+    emit("table2_data_sources", "\n".join(lines))
+    assert len(monitors) == 12
+    assert set(MONITOR_CLASSES) == set(DATA_SOURCES)

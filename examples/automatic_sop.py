@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Automatic SOP for a known failure, and the visualization for an unknown one.
+
+Part 1 -- Figure 2a / §5.1 case 1: a single lossy device whose redundancy
+peers are silent matches the isolation rule; the SOP executes against the
+simulator and the fault's customer impact ends without human action.
+
+Part 2 -- §7.1: a misbehaving route reflector triggers an incident; the
+alert-voting graph makes the uncommon device stand out for the operator.
+
+    python examples/automatic_sop.py
+"""
+
+from repro.core import SkyNet
+from repro.monitors import AlertStream, build_monitors
+from repro.rules import RuleContext, RuleEngine, SOPExecutor, default_rule_library
+from repro.simulation import FailureInjector, NetworkState, scenarios
+from repro.topology import TopologySpec, build_topology, generate_traffic
+from repro.viz import VotingGraph
+
+
+def known_failure_sop() -> None:
+    print("=" * 60)
+    print("part 1: automatic SOP for a known failure (Figure 2a)")
+    print("=" * 60)
+    topology = build_topology(TopologySpec())
+    traffic = generate_traffic(topology, n_customers=40)
+    state = NetworkState(topology, traffic)
+    injector = FailureInjector(state)
+    scenario = scenarios.known_device_failure(topology, start=30.0)
+    injector.inject(scenario)
+
+    raw = AlertStream(state, build_monitors(state)).collect(420.0)
+    skynet = SkyNet(topology, state=state)
+    reports = skynet.process(raw)
+    incident = reports[0].incident
+    print(f"incident detected at {incident.root}")
+
+    engine = RuleEngine(default_rule_library())
+    match = engine.match(RuleContext(incident, topology, state, now=state.now))
+    if match is None:
+        print("no rule matched -- escalate to a human (unknown failure)")
+        return
+    print(f"matched rule: {match.rule.name}")
+    print(match.plan.render())
+    record = SOPExecutor(state).execute(match.plan)
+    print(f"executed automatically; mitigated conditions: "
+          f"{record.mitigated_condition_ids}")
+
+
+def reflector_visualization() -> None:
+    print()
+    print("=" * 60)
+    print("part 2: alert voting for an unknown failure (§7.1)")
+    print("=" * 60)
+    topology = build_topology(TopologySpec())
+    traffic = generate_traffic(topology, n_customers=40)
+    state = NetworkState(topology, traffic)
+    injector = FailureInjector(state)
+    scenario = scenarios.reflector_failure(topology, start=30.0)
+    injector.inject(scenario)
+
+    raw = AlertStream(state, build_monitors(state)).collect(600.0)
+    skynet = SkyNet(topology, state=state)
+    reports = skynet.process(raw)
+    incident = reports[0].incident
+    print(f"incident at {incident.root}; voting table:")
+    graph = VotingGraph.from_incident(incident, topology)
+    print(graph.render_table())
+    print(f"\ntop suspect: {graph.top_device()} "
+          f"(actual root cause: {scenario.truth.root_cause_targets[0]})")
+
+
+if __name__ == "__main__":
+    known_failure_sop()
+    reflector_visualization()

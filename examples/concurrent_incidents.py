@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Concurrent incidents: multi-scene DDoS detection plus severity ranking.
+
+Combines two §5.1 case studies:
+
+* five clusters in different regions are DDoSed simultaneously -- SkyNet
+  must produce five *separate* incidents, not one blob;
+* a wide-but-mild link failure runs concurrently with a small failure that
+  hits critical customers -- the evaluator must rank the small one first.
+
+    python examples/concurrent_incidents.py
+"""
+
+from repro.core import SkyNet
+from repro.monitors import AlertStream, build_monitors
+from repro.simulation import FailureInjector, NetworkState, scenarios
+from repro.topology import TopologySpec, build_topology, generate_traffic
+
+
+def multi_scene() -> None:
+    print("=" * 60)
+    print("scene 1: simultaneous DDoS on five locations")
+    print("=" * 60)
+    topology = build_topology(TopologySpec.benchmark())
+    traffic = generate_traffic(topology, n_customers=60)
+    state = NetworkState(topology, traffic)
+    injector = FailureInjector(state)
+    attacks = scenarios.multi_site_ddos(topology, start=30.0, n_sites=5)
+    injector.inject_all(attacks)
+
+    raw = AlertStream(state, build_monitors(state)).collect(480.0)
+    skynet = SkyNet(topology, state=state)
+    reports = skynet.process(raw)
+    print(f"{len(raw)} raw alerts -> {len(reports)} incidents")
+    for report in reports:
+        print(f"  {report.incident.incident_id}: {report.incident.location} "
+              f"(score {report.score:.1f})")
+    victims = {str(a.truth.scope) for a in attacks}
+    covered = {
+        str(v) for v in victims
+        if any(report.incident.covers(a.truth.scope)
+               or a.truth.scope.contains(report.incident.root)
+               for report in reports
+               for a in attacks if str(a.truth.scope) == v)
+    }
+    print(f"attacked locations covered: {len(covered)}/5\n")
+
+
+def scene_ranking() -> None:
+    print("=" * 60)
+    print("scene 2: severity ranking of concurrent failures")
+    print("=" * 60)
+    topology = build_topology(TopologySpec())
+    traffic = generate_traffic(topology, n_customers=40)
+    state = NetworkState(topology, traffic)
+    injector = FailureInjector(state)
+    big, small = scenarios.ranking_pair(topology, start=30.0)
+    injector.inject(big)
+    injector.inject(small)
+    print(f"big-but-mild failure at   {big.truth.scope}")
+    print(f"small-but-critical one at {small.truth.scope}")
+
+    raw = AlertStream(state, build_monitors(state)).collect(600.0)
+    skynet = SkyNet(topology, state=state)
+    reports = skynet.process(raw)
+    print(f"\nranked incident queue ({len(raw)} raw alerts):")
+    for rank, report in enumerate(reports, start=1):
+        incident = report.incident
+        print(
+            f"  #{rank} {incident.location}  score={report.score:.1f}  "
+            f"alerts={incident.total_alert_count()}"
+        )
+    print("\noperators work the queue top-down: the critical scene is not"
+          "\nburied under the noisier one (§5.1 'Scene ranking')")
+
+
+if __name__ == "__main__":
+    multi_scene()
+    scene_ranking()

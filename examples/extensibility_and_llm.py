@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The paper's §9 future work, running: new data sources and LLM handoff.
+
+Part 1 -- §5.2 extensibility: the user-side telemetry and SRTE label-probe
+tools (future work in the paper) plug into SkyNet by registering their
+alert-type levels -- nothing else changes.
+
+Part 2 -- §9 LLM integration: SkyNet extracts time/location and truncates
+an incident's flood into a bounded context package ready for a diagnosis
+model, root-cause alerts first.
+
+    python examples/extensibility_and_llm.py
+"""
+
+from repro.core import IncidentContextExporter, SkyNet
+from repro.monitors import AlertStream, build_monitors
+from repro.simulation import FailureInjector, NetworkState, scenarios
+from repro.topology import TopologySpec, build_topology, generate_traffic
+
+
+def main() -> None:
+    topology = build_topology(TopologySpec())
+    traffic = generate_traffic(topology, n_customers=40)
+    state = NetworkState(topology, traffic)
+    injector = FailureInjector(state)
+    injector.inject(scenarios.internet_entrance_cable_cut(topology, start=30.0))
+    injector.inject(scenarios.known_device_failure(topology, start=45.0))
+
+    # fourteen data sources: the paper's twelve plus the §9 future tools
+    monitors = build_monitors(state, future_sources=True)
+    print(f"running {len(monitors)} data sources "
+          f"(incl. user_telemetry, srte_probe)")
+    raw = AlertStream(state, monitors).collect(600.0)
+
+    skynet = SkyNet(topology, state=state)
+    reports = skynet.process(raw)
+    new_source_types = sorted(
+        {
+            str(r.type_key)
+            for report in reports
+            for r in report.incident.records()
+            if r.type_key.tool in ("user_telemetry", "srte_probe")
+        }
+    )
+    print(f"{len(raw)} raw alerts -> {len(reports)} incidents")
+    print(f"alert types contributed by the new sources: {new_source_types}\n")
+
+    exporter = IncidentContextExporter(topology, max_tokens=600)
+    package = exporter.export(reports[0].incident)
+    print(f"LLM context package (~{package.approx_tokens} tokens, "
+          f"sections: {', '.join(package.sections_included)}"
+          f"{', truncated' if package.truncated else ''}):\n")
+    print(package.text)
+
+
+if __name__ == "__main__":
+    main()

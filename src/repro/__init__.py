@@ -1,0 +1,58 @@
+"""repro: a reproduction of SkyNet (SIGCOMM 2025).
+
+SkyNet analyses alert floods from severe network failures in large cloud
+infrastructures: it normalises alerts from twelve monitoring data sources,
+groups them into incidents over a hierarchical location tree, scores
+incident severity from traffic and customer impact, and zooms in on the
+failure location.
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.topology` -- synthetic hierarchical cloud network substrate;
+* :mod:`repro.simulation` -- failure injection and observable network state;
+* :mod:`repro.monitors` -- the twelve monitoring tools of Table 2;
+* :mod:`repro.syslogproc` -- FT-tree syslog template classification;
+* :mod:`repro.core` -- SkyNet itself: preprocessor, locator, evaluator;
+* :mod:`repro.rules` -- heuristic rules and automatic SOPs;
+* :mod:`repro.baselines` -- single-source / window-grouping / rules-only;
+* :mod:`repro.operators` -- the mitigation-time operator model;
+* :mod:`repro.viz` -- alert voting and tree/matrix rendering;
+* :mod:`repro.analysis` -- campaign harness and accuracy metrics.
+
+Quickstart::
+
+    from repro.analysis import run_campaign
+
+    result = run_campaign(duration_s=900, n_random_failures=3)
+    for report in result.reports:
+        print(report.render())
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    analysis,
+    baselines,
+    core,
+    monitors,
+    operators,
+    rules,
+    simulation,
+    syslogproc,
+    topology,
+    viz,
+)
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "baselines",
+    "core",
+    "monitors",
+    "operators",
+    "rules",
+    "simulation",
+    "syslogproc",
+    "topology",
+    "viz",
+]

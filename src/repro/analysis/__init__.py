@@ -1,0 +1,14 @@
+"""Experiment harness and accuracy metrics for the evaluation benches."""
+
+from .experiments import CampaignResult, replay, run_campaign
+from .metrics import MATCH_SLACK_S, AccuracyReport, percentile, score_incidents
+
+__all__ = [
+    "AccuracyReport",
+    "CampaignResult",
+    "MATCH_SLACK_S",
+    "percentile",
+    "replay",
+    "run_campaign",
+    "score_incidents",
+]

@@ -1,0 +1,117 @@
+"""Campaign harness: one call from scenario list to scored SkyNet output.
+
+Every benchmark and integration test runs the same loop -- build fabric,
+inject failures and noise, stream the twelve monitors, run SkyNet, score
+against ground truth -- so it lives here once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Sequence
+
+from ..core.config import SkyNetConfig
+from ..core.incident import Incident
+from ..core.pipeline import IncidentReport, SkyNet
+from ..monitors.base import RawAlert
+from ..monitors.registry import build_monitors
+from ..monitors.stream import AlertStream
+from ..simulation.failures import FailureScenario, sample_campaign
+from ..simulation.injector import FailureInjector
+from ..simulation.noise import BackgroundNoise, NoiseProfile
+from ..simulation.state import NetworkState
+from ..topology.builder import TopologySpec, build_topology
+from ..topology.network import Topology
+from ..topology.traffic import TrafficModel, generate_traffic
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Everything one simulated campaign produced."""
+
+    topology: Topology
+    traffic: TrafficModel
+    state: NetworkState
+    injector: FailureInjector
+    skynet: SkyNet
+    raw_alerts: List[RawAlert]
+    reports: List[IncidentReport]
+
+    @property
+    def incidents(self) -> List[Incident]:
+        return [r.incident for r in self.reports]
+
+
+def run_campaign(
+    duration_s: float,
+    scenarios: Optional[Sequence[FailureScenario]] = None,
+    n_random_failures: int = 0,
+    spec: Optional[TopologySpec] = None,
+    topology: Optional[Topology] = None,
+    traffic: Optional[TrafficModel] = None,
+    noise: Optional[NoiseProfile] = NoiseProfile(),
+    config: Optional[SkyNetConfig] = None,
+    sources: Optional[Sequence[str]] = None,
+    n_customers: int = 40,
+    severe_fraction: float = 0.15,
+    seed: int = 42,
+) -> CampaignResult:
+    """Run one end-to-end campaign.
+
+    ``scenarios`` are injected as given; ``n_random_failures`` additional
+    failures are sampled from the Figure 1 distribution across the horizon.
+    ``sources=None`` runs all twelve monitors (pass a subset for the
+    coverage-ablation experiments).
+    """
+    rng = random.Random(seed)
+    topo = topology if topology is not None else build_topology(
+        spec or TopologySpec()
+    )
+    tm = traffic if traffic is not None else generate_traffic(
+        topo, n_customers=n_customers, seed=seed + 1
+    )
+    state = NetworkState(topo, tm)
+    injector = FailureInjector(state)
+    for scenario in scenarios or ():
+        injector.inject(scenario)
+    if n_random_failures:
+        injector.inject_all(
+            sample_campaign(
+                topo, rng, n_random_failures, duration_s,
+                severe_fraction=severe_fraction,
+            )
+        )
+    if noise is not None:
+        injector.inject_noise(
+            BackgroundNoise(topo, noise, seed=seed + 2).generate(duration_s)
+        )
+    monitors = build_monitors(state, include=sources, seed=seed + 3)
+    stream = AlertStream(state, monitors)
+    raw_alerts = stream.collect(duration_s)
+    skynet = SkyNet(topo, config=config, state=state, traffic=tm)
+    reports = skynet.process(raw_alerts)
+    return CampaignResult(
+        topology=topo,
+        traffic=tm,
+        state=state,
+        injector=injector,
+        skynet=skynet,
+        raw_alerts=raw_alerts,
+        reports=reports,
+    )
+
+
+def replay(
+    result: CampaignResult, config: SkyNetConfig
+) -> List[IncidentReport]:
+    """Re-run SkyNet over an already-collected alert stream with a different
+    configuration -- how the threshold-sweep experiments (Figure 9) avoid
+    re-simulating the network per parameter point."""
+    skynet = SkyNet(
+        result.topology,
+        config=config,
+        state=result.state,
+        traffic=result.traffic,
+    )
+    return skynet.process(result.raw_alerts)

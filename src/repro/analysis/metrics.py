@@ -1,0 +1,122 @@
+"""Accuracy metrics: scoring detected incidents against injected ground
+truth (Figures 8a and 9).
+
+Conventions, matching the paper's operator review:
+
+* a **true positive** is an incident overlapping a real failure in both
+  time and location (either containment direction -- SkyNet may group
+  wider than the failure or zoom narrower);
+* a **false positive** is an incident corresponding to *no* injected
+  scenario at all, i.e. built purely from background noise;
+* a **false negative** is a customer-impacting failure no incident covers.
+
+Ratios are reported the way Figure 9's y-axis reads: FP as a fraction of
+detected incidents, FN as a fraction of impacting failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..core.incident import Incident, IncidentStatus
+from ..simulation.failures import GroundTruth
+from ..simulation.injector import FailureInjector
+
+#: grace period around a failure window when matching incidents to it
+#: (covers polling periods and delayed SNMP delivery)
+MATCH_SLACK_S = 180.0
+
+
+@dataclasses.dataclass
+class AccuracyReport:
+    """Confusion-style summary of one detection run."""
+
+    true_positive_incidents: List[Incident]
+    false_positive_incidents: List[Incident]
+    detected_truths: List[GroundTruth]
+    missed_truths: List[GroundTruth]
+
+    @property
+    def incident_count(self) -> int:
+        return len(self.true_positive_incidents) + len(self.false_positive_incidents)
+
+    @property
+    def false_positive_ratio(self) -> float:
+        if self.incident_count == 0:
+            return 0.0
+        return len(self.false_positive_incidents) / self.incident_count
+
+    @property
+    def false_negative_ratio(self) -> float:
+        total = len(self.detected_truths) + len(self.missed_truths)
+        if total == 0:
+            return 0.0
+        return len(self.missed_truths) / total
+
+    def summary(self) -> str:
+        return (
+            f"incidents={self.incident_count} "
+            f"FP={len(self.false_positive_incidents)} "
+            f"({self.false_positive_ratio:.1%}) "
+            f"FN={len(self.missed_truths)} ({self.false_negative_ratio:.1%})"
+        )
+
+
+def _matches(incident: Incident, truth: GroundTruth) -> bool:
+    if not truth.overlaps_window(
+        incident.start_time - MATCH_SLACK_S, incident.end_time + MATCH_SLACK_S
+    ):
+        return False
+    location = incident.root
+    return truth.scope.contains(location) or location.contains(truth.scope)
+
+
+def score_incidents(
+    incidents: Sequence[Incident],
+    injector: FailureInjector,
+    impacting_only: bool = True,
+) -> AccuracyReport:
+    """Match incidents to the injector's ground-truth ledger."""
+    considered = [
+        i for i in incidents if i.status is not IncidentStatus.SUPERSEDED
+    ]
+    truths = [
+        t
+        for t in injector.ground_truths
+        if not impacting_only or t.customer_impacting
+    ]
+    all_truths = injector.ground_truths
+    tp: List[Incident] = []
+    fp: List[Incident] = []
+    for incident in considered:
+        # any scenario (impacting or not) legitimises an incident
+        if any(_matches(incident, t) for t in all_truths):
+            tp.append(incident)
+        else:
+            fp.append(incident)
+    detected = [t for t in truths if any(_matches(i, t) for i in considered)]
+    missed = [t for t in truths if t not in detected]
+    return AccuracyReport(
+        true_positive_incidents=tp,
+        false_positive_incidents=fp,
+        detected_truths=detected,
+        missed_truths=missed,
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Simple inclusive percentile (q in [0, 100]) without numpy."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= q <= 100:
+        raise ValueError("q out of range")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lower = int(pos)
+    frac = pos - lower
+    if lower + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[lower] * (1 - frac) + ordered[lower + 1] * frac

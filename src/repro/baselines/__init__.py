@@ -1,0 +1,14 @@
+"""Baselines SkyNet is compared against (DESIGN.md §3)."""
+
+from .heuristic_only import HeuristicOnlySystem, HeuristicOutcome
+from .single_source import SingleSourceDetector, coverage_by_tool
+from .window_grouping import AlertGroup, WindowGroupingDetector
+
+__all__ = [
+    "AlertGroup",
+    "HeuristicOnlySystem",
+    "HeuristicOutcome",
+    "SingleSourceDetector",
+    "WindowGroupingDetector",
+    "coverage_by_tool",
+]

@@ -1,0 +1,90 @@
+"""The pre-SkyNet production system: heuristic rules over raw alerts (§7.2).
+
+Per-device alert buckets are matched against the rule library; known
+failures get their SOP executed automatically, everything else is left to
+a human staring at the raw flood.  This is the "before SkyNet" arm of the
+Figure 10c mitigation-time comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..core.alert import StructuredAlert
+from ..core.incident import Incident
+from ..core.preprocessor import Preprocessor
+from ..monitors.base import RawAlert
+from ..rules.engine import RuleContext, RuleEngine, RuleMatch
+from ..rules.library import default_rule_library
+from ..simulation.state import NetworkState
+from ..topology.hierarchy import LocationPath
+from ..topology.network import Topology
+
+
+@dataclasses.dataclass
+class HeuristicOutcome:
+    """What the rule system did about one alerting device."""
+
+    location: LocationPath
+    matched: Optional[RuleMatch]
+    alerts: List[StructuredAlert]
+
+    @property
+    def handled(self) -> bool:
+        return self.matched is not None
+
+
+class HeuristicOnlySystem:
+    """Rules-without-SkyNet: per-device buckets, first matching rule wins."""
+
+    def __init__(self, topology: Topology, state: Optional[NetworkState] = None,
+                 engine: Optional[RuleEngine] = None):
+        self._topo = topology
+        self._state = state
+        self._engine = engine or RuleEngine(default_rule_library())
+        # reuse the preprocessor purely for classification/location; the
+        # legacy system had per-tool parsers doing the same normalisation
+        self._preprocessor = Preprocessor(topology)
+
+    @property
+    def engine(self) -> RuleEngine:
+        return self._engine
+
+    def run(self, raw_alerts: Sequence[RawAlert], now: float
+            ) -> List[HeuristicOutcome]:
+        """Bucket alerts per device location and try the rules on each."""
+        structured = self._preprocessor.process(raw_alerts)
+        buckets: Dict[LocationPath, List[StructuredAlert]] = {}
+        for alert in structured:
+            key = alert.location if alert.location.is_device else alert.location
+            buckets.setdefault(key, []).append(alert)
+        outcomes = []
+        for location, alerts in sorted(buckets.items(), key=lambda kv: str(kv[0])):
+            incident = _pseudo_incident(location, alerts)
+            ctx = RuleContext(
+                incident=incident, topology=self._topo, state=self._state, now=now
+            )
+            outcomes.append(
+                HeuristicOutcome(
+                    location=location,
+                    matched=self._engine.match(ctx),
+                    alerts=alerts,
+                )
+            )
+        return outcomes
+
+    def unhandled(self, outcomes: Sequence[HeuristicOutcome]) -> List[HeuristicOutcome]:
+        """The buckets no rule matched: unknown failures left to humans."""
+        return [o for o in outcomes if not o.handled]
+
+
+def _pseudo_incident(location: LocationPath, alerts: Sequence[StructuredAlert]
+                     ) -> Incident:
+    """Wrap a per-location alert bucket in an Incident so rules can inspect
+    it with the same predicates they use inside SkyNet."""
+    incident = Incident(root=location, created_at=min(a.first_seen for a in alerts),
+                        seed_nodes={})
+    for alert in alerts:
+        incident.add(alert)
+    return incident

@@ -1,0 +1,63 @@
+"""SkyNet core: preprocessor, locator, evaluator, zoom-in, pipeline (§4)."""
+
+from .alert import AlertLevel, AlertTypeKey, StructuredAlert
+from .alert_tree import AlertTree, TreeRecord, record_from
+from .alert_types import (
+    ALERT_TYPE_LEVELS,
+    CONDITIONAL_TYPES,
+    SPORADIC_TYPES,
+    level_of,
+    registered_types,
+    type_key,
+)
+from .config import (
+    PRODUCTION_CONFIG,
+    IncidentThresholds,
+    SeverityParams,
+    SkyNetConfig,
+)
+from .evaluator import Evaluator
+from .llm_export import ContextPackage, IncidentContextExporter
+from .incident import (
+    Incident,
+    IncidentStatus,
+    SeverityBreakdown,
+)
+from .locator import Locator, SweepResult
+from .pipeline import IncidentReport, SkyNet
+from .preprocessor import PreprocessStats, Preprocessor
+from .zoom_in import LocationZoomIn, PingWindow, ReachabilityMatrix
+
+__all__ = [
+    "ALERT_TYPE_LEVELS",
+    "AlertLevel",
+    "AlertTree",
+    "AlertTypeKey",
+    "CONDITIONAL_TYPES",
+    "ContextPackage",
+    "Evaluator",
+    "IncidentContextExporter",
+    "Incident",
+    "IncidentReport",
+    "IncidentStatus",
+    "IncidentThresholds",
+    "Locator",
+    "LocationZoomIn",
+    "PRODUCTION_CONFIG",
+    "PingWindow",
+    "PreprocessStats",
+    "Preprocessor",
+    "ReachabilityMatrix",
+    "SPORADIC_TYPES",
+    "SeverityBreakdown",
+    "SeverityParams",
+    "SkyNet",
+    "SkyNetConfig",
+    "StructuredAlert",
+    "SweepResult",
+    "TreeRecord",
+    "level_of",
+    "record_from",
+    "registered_types",
+    "type_key",
+]

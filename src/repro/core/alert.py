@@ -1,0 +1,94 @@
+"""Structured alerts: SkyNet's uniform input format (§4.1).
+
+A structured alert is "characterized by timestamp, location, and type".
+Types additionally carry one of the paper's three importance levels
+(§4.2) -- *failure*, *abnormal*, *root cause* -- plus an *info* level for
+benign chatter the preprocessor filters out entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Tuple
+
+from ..topology.hierarchy import LocationPath
+
+
+class AlertLevel(enum.Enum):
+    """Importance levels of §4.2 (plus INFO for filtered benign alerts)."""
+
+    INFO = "info"  # benign; dropped by the preprocessor
+    FAILURE = "failure"  # network behaviour definitively abnormal
+    ABNORMAL = "abnormal"  # irregular but possibly expected behaviour
+    ROOT_CAUSE = "root_cause"  # failure of a network entity
+
+    @property
+    def counts_for_incidents(self) -> bool:
+        return self is not AlertLevel.INFO
+
+
+@dataclasses.dataclass(frozen=True)
+class AlertTypeKey:
+    """Identity of an alert type: the producing tool plus its type name."""
+
+    tool: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.tool}/{self.name}"
+
+
+@dataclasses.dataclass
+class StructuredAlert:
+    """One preprocessed alert: type + level + location + time span.
+
+    ``first_seen``/``last_seen`` implement §4.1's duration attribute
+    ("SkyNet uses the start time of packet loss detected by ping as the
+    alert timestamp, with subsequent alerts contributing to a 'duration'
+    attribute"); ``count`` is how many raw alerts were consolidated in.
+    """
+
+    type_key: AlertTypeKey
+    level: AlertLevel
+    location: LocationPath
+    first_seen: float
+    last_seen: float
+    count: int = 1
+    message: str = ""
+    metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
+    device: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.last_seen < self.first_seen:
+            raise ValueError("last_seen before first_seen")
+        if self.count < 1:
+            raise ValueError("count must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        return self.last_seen - self.first_seen
+
+    def metric(self, name: str, default: float = 0.0) -> float:
+        return float(self.metrics.get(name, default))
+
+    def merged_with(self, timestamp: float, metrics: Optional[Dict[str, float]] = None
+                    ) -> "StructuredAlert":
+        """A copy extended by one more raw occurrence at ``timestamp``."""
+        new_metrics = dict(self.metrics)
+        for key, value in (metrics or {}).items():
+            # keep the worst observation (max) for rate-like metrics
+            new_metrics[key] = max(new_metrics.get(key, value), value)
+        return dataclasses.replace(
+            self,
+            last_seen=max(self.last_seen, timestamp),
+            count=self.count + 1,
+            metrics=new_metrics,
+        )
+
+    def render(self) -> str:
+        """Human-readable one-liner, Figure 6 style."""
+        return (
+            f"[{self.type_key}] [{self.level.value}] {self.location} "
+            f"({self.first_seen:.0f}s - {self.last_seen:.0f}s, x{self.count})"
+        )

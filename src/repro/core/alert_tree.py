@@ -1,0 +1,130 @@
+"""The hierarchical alert tree ("main tree") of §4.2 / Figure 5c.
+
+Nodes are location paths; each node holds the alert types currently alive
+there.  Alerts expire ``node_timeout_s`` after their last occurrence
+(Algorithm 3 line 2), a threshold sized so delayed SNMP counters from
+CPU-starved devices still join their incident.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..topology.hierarchy import LocationPath
+from .alert import AlertLevel, AlertTypeKey, StructuredAlert
+
+
+@dataclasses.dataclass
+class TreeRecord:
+    """One alert type alive at one tree node."""
+
+    type_key: AlertTypeKey
+    level: AlertLevel
+    location: LocationPath
+    first_seen: float
+    last_seen: float
+    count: int
+    device: Optional[str] = None
+    worst_metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def absorb(self, alert: StructuredAlert) -> None:
+        """Fold a new emission of the same (type, location) into the record."""
+        self.first_seen = min(self.first_seen, alert.first_seen)
+        self.last_seen = max(self.last_seen, alert.last_seen)
+        self.count += alert.count
+        for key, value in alert.metrics.items():
+            self.worst_metrics[key] = max(self.worst_metrics.get(key, value), value)
+
+    def expired(self, now: float, timeout_s: float) -> bool:
+        return now > self.last_seen + timeout_s
+
+    def clone(self) -> "TreeRecord":
+        return dataclasses.replace(self, worst_metrics=dict(self.worst_metrics))
+
+
+def record_from(alert: StructuredAlert) -> TreeRecord:
+    return TreeRecord(
+        type_key=alert.type_key,
+        level=alert.level,
+        location=alert.location,
+        first_seen=alert.first_seen,
+        last_seen=alert.last_seen,
+        count=alert.count,
+        device=alert.device,
+        worst_metrics=dict(alert.metrics),
+    )
+
+
+class AlertTree:
+    """Location-indexed alert storage with expiry (the "main tree").
+
+    ``nodes`` maps each alerting location to its live records by type;
+    structural bookkeeping is implicit in the location paths, so subtree
+    queries are containment scans over the (small) set of alerting nodes.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[LocationPath, Dict[AlertTypeKey, TreeRecord]] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, location: LocationPath) -> bool:
+        return location in self._nodes
+
+    def insert(self, alert: StructuredAlert) -> TreeRecord:
+        """Algorithm 1's node insertion: create-or-update the record for the
+        alert's (location, type)."""
+        node = self._nodes.setdefault(alert.location, {})
+        record = node.get(alert.type_key)
+        if record is None:
+            record = record_from(alert)
+            node[alert.type_key] = record
+        else:
+            record.absorb(alert)
+        return record
+
+    def expire(self, now: float, timeout_s: float) -> int:
+        """Algorithm 3 lines 1-3: drop stale records and empty nodes."""
+        removed = 0
+        for location in list(self._nodes):
+            node = self._nodes[location]
+            for key in list(node):
+                if node[key].expired(now, timeout_s):
+                    del node[key]
+                    removed += 1
+            if not node:
+                del self._nodes[location]
+        return removed
+
+    # -- queries ---------------------------------------------------------------
+
+    def locations(self) -> List[LocationPath]:
+        return list(self._nodes)
+
+    def records_at(self, location: LocationPath) -> List[TreeRecord]:
+        return list(self._nodes.get(location, {}).values())
+
+    def records_under(self, root: LocationPath) -> Iterator[TreeRecord]:
+        """All live records in the subtree of ``root`` (root included)."""
+        for location, node in self._nodes.items():
+            if root.contains(location):
+                yield from node.values()
+
+    def locations_under(self, root: LocationPath) -> List[LocationPath]:
+        return [loc for loc in self._nodes if root.contains(loc)]
+
+    def total_records(self) -> int:
+        return sum(len(node) for node in self._nodes.values())
+
+    def snapshot_under(
+        self, root: LocationPath
+    ) -> Dict[LocationPath, List[TreeRecord]]:
+        """Deep-copied subtree, used when an incident tree is replicated
+        from the main tree (§4.2)."""
+        out: Dict[LocationPath, List[TreeRecord]] = {}
+        for location, node in self._nodes.items():
+            if root.contains(location):
+                out[location] = [r.clone() for r in node.values()]
+        return out

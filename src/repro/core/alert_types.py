@@ -1,0 +1,144 @@
+"""The alert-type registry: every (tool, type) SkyNet knows, with its level.
+
+Levels follow §4.2's definitions and Figure 6's concrete assignments:
+
+* **failure** -- behaviour is definitively broken: packet loss, bit flips,
+  high transmission latency;
+* **abnormal** -- irregular but possibly benign: jitter, latency bumps,
+  traffic swings, unreachability of a management plane;
+* **root cause** -- a network *entity* failed: device/NIC faults, link
+  outages, CRC errors, risky routes, congestion on a named link;
+* **info** -- operational chatter, filtered before the locator.
+
+"For tools with limited alert content, such as Ping ... alert types are
+manually defined" -- this module is that manual definition.  Syslog types
+are produced by ``repro.syslogproc`` templates and looked up here too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .alert import AlertLevel, AlertTypeKey
+
+_F = AlertLevel.FAILURE
+_A = AlertLevel.ABNORMAL
+_R = AlertLevel.ROOT_CAUSE
+_I = AlertLevel.INFO
+
+#: (tool, type name) -> level.
+ALERT_TYPE_LEVELS: Dict[Tuple[str, str], AlertLevel] = {
+    # Ping -- manually defined types (§4.1); all loss/latency is failure-level
+    ("ping", "end_to_end_icmp_loss"): _F,
+    ("ping", "end_to_end_tcp_loss"): _F,
+    ("ping", "end_to_end_source_loss"): _F,
+    ("ping", "high_latency"): _F,
+    # Traceroute: only hop-attributed loss is actionable; an unattributed
+    # path alert is the tool's §2.1 blind spot (asymmetric paths, SRTE
+    # tunnels) and would otherwise glue unrelated scenes together
+    ("traceroute", "hop_loss"): _F,
+    ("traceroute", "path_loss"): _I,
+    # Out-of-band (Figure 6 lists "Inaccessable" under abnormal alerts)
+    ("out_of_band", "inaccessible"): _A,
+    ("out_of_band", "high_cpu"): _A,
+    ("out_of_band", "high_mem"): _A,
+    # Traffic statistics (sFlow/NetFlow)
+    ("traffic_statistics", "packet_loss"): _F,
+    ("traffic_statistics", "flow_rate_drop"): _A,
+    ("traffic_statistics", "flow_rate_surge"): _A,
+    # Internet telemetry
+    ("internet_telemetry", "internet_unreachable"): _F,
+    ("internet_telemetry", "internet_packet_loss"): _F,
+    # Syslog (classified via FT-tree templates; Figure 6 assignments)
+    ("syslog", "traffic_blackhole"): _A,
+    ("syslog", "link_flapping"): _A,
+    ("syslog", "port_flapping"): _A,
+    ("syslog", "bgp_peer_down"): _A,
+    ("syslog", "bgp_link_jitter"): _R,
+    ("syslog", "hardware_error"): _R,
+    ("syslog", "out_of_memory"): _R,
+    ("syslog", "software_error"): _R,
+    ("syslog", "port_down"): _R,
+    ("syslog", "link_down"): _R,
+    ("syslog", "crc_errors"): _R,
+    ("syslog", "link_up"): _I,
+    ("syslog", "login"): _I,
+    ("syslog", "config_session"): _I,
+    ("syslog", "ssh_session"): _I,
+    ("syslog", "unclassified"): _I,
+    # SNMP & GRPC (Figure 6: congestion and link down are root-cause)
+    ("snmp", "traffic_congestion"): _R,
+    ("snmp", "link_down"): _R,
+    ("snmp", "port_down"): _R,
+    ("snmp", "rx_errors"): _R,
+    ("snmp", "traffic_drop"): _A,
+    ("snmp", "traffic_surge"): _A,
+    ("snmp", "high_cpu"): _A,
+    ("snmp", "high_mem"): _A,
+    ("snmp", "snmp_timeout"): _A,
+    # In-band telemetry (measured loss at a device = failure behaviour)
+    ("in_band_telemetry", "rate_mismatch"): _F,
+    # PTP (desynchronised clock is an entity fault)
+    ("ptp", "clock_unsync"): _R,
+    # Route monitoring ("risky routing paths" are root-cause alerts, §4.2)
+    ("route_monitoring", "default_route_loss"): _R,
+    ("route_monitoring", "route_leak"): _R,
+    ("route_monitoring", "route_hijack"): _R,
+    # Modification events
+    ("modification_events", "modification_failed"): _R,
+    ("modification_events", "modification_event"): _I,
+    # Patrol inspection
+    ("patrol_inspection", "patrol_anomaly"): _R,
+    # §9 future-work sources (registering levels here is the only step a
+    # new data source needs -- §5.2)
+    ("user_telemetry", "user_unreachable"): _F,
+    ("user_telemetry", "user_packet_loss"): _F,
+    ("srte_probe", "label_path_broken"): _R,
+    ("srte_probe", "label_path_loss"): _R,
+}
+
+#: Alert types prone to sporadic one-off occurrences; the preprocessor
+#: requires persistence before believing them (§4.1: "sporadic packet loss
+#: is ignored, while persistent packet loss is recorded").
+SPORADIC_TYPES: frozenset = frozenset(
+    {
+        ("ping", "end_to_end_icmp_loss"),
+        ("ping", "end_to_end_tcp_loss"),
+        ("ping", "end_to_end_source_loss"),
+        ("ping", "high_latency"),
+        ("internet_telemetry", "internet_packet_loss"),
+        ("in_band_telemetry", "rate_mismatch"),
+        ("traceroute", "hop_loss"),
+        ("traffic_statistics", "packet_loss"),
+        ("user_telemetry", "user_packet_loss"),
+    }
+)
+
+#: Abnormal rate-swing types that only matter alongside other evidence
+#: (§4.1 cross-source consolidation).
+CONDITIONAL_TYPES: frozenset = frozenset(
+    {
+        ("snmp", "traffic_drop"),
+        ("snmp", "traffic_surge"),
+        ("traffic_statistics", "flow_rate_drop"),
+        ("traffic_statistics", "flow_rate_surge"),
+    }
+)
+
+
+def level_of(tool: str, type_name: str) -> AlertLevel:
+    """Level of a (tool, type); unknown types default to ABNORMAL so a new
+    data source degrades gracefully instead of being dropped (§5.2
+    extensibility)."""
+    return ALERT_TYPE_LEVELS.get((tool, type_name), AlertLevel.ABNORMAL)
+
+
+def type_key(tool: str, type_name: str) -> AlertTypeKey:
+    return AlertTypeKey(tool=tool, name=type_name)
+
+
+def registered_types(tool: Optional[str] = None) -> List[Tuple[str, str]]:
+    keys = sorted(ALERT_TYPE_LEVELS)
+    if tool is None:
+        return keys
+    return [k for k in keys if k[0] == tool]

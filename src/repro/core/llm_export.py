@@ -1,0 +1,138 @@
+"""Incident context export for LLM-assisted diagnosis: §9, implemented.
+
+"the time and location data extracted from incidents identified by SkyNet
+can serve as valuable inputs for LLMs.  In theory, SkyNet truncates the
+monitoring results to maintain compliance with the LLM input length
+constraints without sacrificing valuable information."
+
+The exporter turns one incident into a bounded-size plain-text context
+package: scope and window first, then the alert summary by level
+(root-cause alerts in full -- they name the fix), the top voted suspects,
+and only then sample raw messages, dropped first when the budget bites.
+SkyNet does the flood-to-context truncation; whatever model consumes the
+package is out of scope here (§2.3: LLMs remain assistive, not
+authoritative).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..topology.network import Topology
+from ..viz.voting import VotingGraph
+from .alert import AlertLevel
+from .incident import Incident, LEVEL_ORDER
+
+#: crude budget accounting: ~4 characters per token, the usual heuristic
+CHARS_PER_TOKEN = 4
+
+
+@dataclasses.dataclass
+class ContextPackage:
+    """A rendered, budget-compliant diagnosis context."""
+
+    text: str
+    sections_included: List[str]
+    truncated: bool
+
+    @property
+    def approx_tokens(self) -> int:
+        return len(self.text) // CHARS_PER_TOKEN
+
+
+class IncidentContextExporter:
+    """Builds LLM-ready context from an incident, most valuable data first."""
+
+    def __init__(self, topology: Topology, max_tokens: int = 2000):
+        if max_tokens < 50:
+            raise ValueError("budget too small to carry even the header")
+        self._topo = topology
+        self.max_tokens = max_tokens
+
+    def export(self, incident: Incident) -> ContextPackage:
+        """Render the incident, dropping the least valuable sections to fit."""
+        sections = [
+            ("header", self._header(incident)),
+            ("root_causes", self._root_causes(incident)),
+            ("suspects", self._suspects(incident)),
+            ("alert_summary", self._alert_summary(incident)),
+            ("sample_messages", self._samples(incident)),
+        ]
+        budget = self.max_tokens * CHARS_PER_TOKEN
+        included: List[str] = []
+        parts: List[str] = []
+        used = 0
+        truncated = False
+        for name, text in sections:
+            if not text:
+                continue
+            if used + len(text) + 1 > budget:
+                truncated = True
+                continue  # keep trying later (smaller) sections
+            parts.append(text)
+            included.append(name)
+            used += len(text) + 1
+        return ContextPackage(
+            text="\n".join(parts), sections_included=included, truncated=truncated
+        )
+
+    # -- sections, in descending diagnostic value ------------------------------
+
+    def _header(self, incident: Incident) -> str:
+        severity = (
+            f"severity {incident.severity.capped_score:.1f}"
+            if incident.severity
+            else "severity unknown"
+        )
+        return (
+            f"NETWORK INCIDENT {incident.incident_id}\n"
+            f"location: {incident.location}\n"
+            f"window: {incident.start_time:.0f}s - {incident.end_time:.0f}s "
+            f"({severity})\n"
+            f"task: identify the root cause and propose a mitigation."
+        )
+
+    def _root_causes(self, incident: Incident) -> str:
+        records = [
+            r for r in incident.records() if r.level is AlertLevel.ROOT_CAUSE
+        ]
+        if not records:
+            return "root-cause alerts: none collected (gray failure?)"
+        lines = ["root-cause alerts (full):"]
+        for record in sorted(records, key=lambda r: r.first_seen):
+            lines.append(
+                f"- [{record.type_key}] x{record.count} at {record.location} "
+                f"(first {record.first_seen:.0f}s)"
+            )
+        return "\n".join(lines)
+
+    def _suspects(self, incident: Incident) -> str:
+        graph = VotingGraph.from_incident(incident, self._topo)
+        top = graph.top_devices(5)
+        if not top:
+            return ""
+        lines = ["top voted suspect devices:"]
+        lines += [f"- {name} ({votes} votes)" for name, votes in top if votes]
+        return "\n".join(lines) if len(lines) > 1 else ""
+
+    def _alert_summary(self, incident: Incident) -> str:
+        by_level = incident.alert_counts_by_level()
+        lines = ["alert summary by level:"]
+        for level in LEVEL_ORDER:
+            entries = by_level.get(level)
+            if not entries:
+                continue
+            rendered = ", ".join(f"{key} x{count}" for key, count in entries)
+            lines.append(f"- {level.value}: {rendered}")
+        return "\n".join(lines)
+
+    def _samples(self, incident: Incident, per_level: int = 3) -> str:
+        lines = ["sample raw messages:"]
+        for level in LEVEL_ORDER:
+            picked = [
+                r for r in incident.records() if r.level is level
+            ][:per_level]
+            for record in picked:
+                lines.append(f"- {record.type_key}: seen x{record.count}")
+        return "\n".join(lines) if len(lines) > 1 else ""

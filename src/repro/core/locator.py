@@ -1,0 +1,217 @@
+"""The locator (§4.2): incident discovery over the hierarchical alert tree.
+
+Implements the paper's Algorithms 1-3:
+
+* **Algorithm 1** (:meth:`Locator.feed`): every structured alert is added
+  to the main tree, and to any open incident whose scope contains it.
+* **Algorithm 2** (:meth:`Locator.sweep`): candidate alert groups are
+  formed from the live main-tree nodes, restricted by topological
+  connectivity ("the algorithm only considers alerts within the area
+  connected to the root node"); a group crossing the ``A/B+C/D``
+  thresholds spawns an incident tree replicated from the main tree, and
+  narrower incidents inside the new scope are superseded.
+* **Algorithm 3** (also in :meth:`sweep`): main-tree records expire after
+  the 5-minute node timeout; incident trees close after 15 idle minutes.
+
+Counting semantics (§4.2): duplicate alert *types* inside one group count
+once ("we consolidate alarms of the same type from different devices into
+a single alert"), unless ``config.count_by_type`` is off -- that is the
+Figure 9 "type+location" ablation, which explodes false positives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..topology.hierarchy import LocationPath, lowest_common_ancestor
+from ..topology.network import Topology
+from .alert import AlertLevel, StructuredAlert
+from .alert_tree import AlertTree, TreeRecord
+from .config import SkyNetConfig
+from .incident import Incident, IncidentStatus
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """What one locator sweep changed."""
+
+    opened: List[Incident]
+    closed: List[Incident]
+    expired_records: int
+
+
+class Locator:
+    """Streaming incident discovery (main tree + incident trees)."""
+
+    def __init__(self, topology: Topology, config: Optional[SkyNetConfig] = None):
+        self._topo = topology
+        self._config = config or SkyNetConfig()
+        self.main_tree = AlertTree()
+        self._open: List[Incident] = []
+        self._finished: List[Incident] = []
+
+    @property
+    def config(self) -> SkyNetConfig:
+        return self._config
+
+    @property
+    def open_incidents(self) -> List[Incident]:
+        return list(self._open)
+
+    @property
+    def finished_incidents(self) -> List[Incident]:
+        return list(self._finished)
+
+    def all_incidents(self) -> List[Incident]:
+        return self._finished + self._open
+
+    # -- Algorithm 1: alert insertion ------------------------------------------------
+
+    def feed(self, alert: StructuredAlert) -> None:
+        """Insert one structured alert into the main and incident trees."""
+        for incident in self._open:
+            if incident.covers(alert.location):
+                incident.add(alert)
+        self.main_tree.insert(alert)
+
+    # -- Algorithms 2 + 3: sweep --------------------------------------------------------
+
+    def sweep(self, now: float) -> SweepResult:
+        """Expire stale state, then try to generate new incident trees."""
+        expired = self.main_tree.expire(now, self._config.node_timeout_s)
+        closed = self._close_idle(now)
+        opened = self._generate(now)
+        return SweepResult(opened=opened, closed=closed, expired_records=expired)
+
+    def _close_idle(self, now: float) -> List[Incident]:
+        closed = []
+        still_open = []
+        for incident in self._open:
+            if now > incident.update_time + self._config.incident_timeout_s:
+                incident.close(now)
+                self._finished.append(incident)
+                closed.append(incident)
+            else:
+                still_open.append(incident)
+        self._open = still_open
+        return closed
+
+    def _generate(self, now: float) -> List[Incident]:
+        opened: List[Incident] = []
+        components = self._connected_components()
+        # widest groups first so a broad incident supersedes narrow ones
+        components.sort(key=lambda comp: len(_lca(comp).segments))
+        for component in components:
+            root = _lca(component)
+            if self._inside_open_incident(root):
+                continue  # an incident tree for this area already exists
+            failure_types, other_types = self._count_types(component)
+            if not self._config.thresholds.triggered(failure_types, other_types):
+                continue
+            incident = Incident(
+                root=root,
+                created_at=now,
+                seed_nodes=self.main_tree.snapshot_under(root),
+            )
+            # Algorithm 2 lines 7-9: swallow narrower incidents in scope
+            for old in list(self._open):
+                if root.contains(old.root):
+                    incident.absorb_incident(old)
+                    old.close(now, IncidentStatus.SUPERSEDED)
+                    self._open.remove(old)
+                    self._finished.append(old)
+            self._open.append(incident)
+            opened.append(incident)
+        return opened
+
+    def _inside_open_incident(self, root: LocationPath) -> bool:
+        return any(inc.covers(root) for inc in self._open)
+
+    # -- connectivity grouping ------------------------------------------------------------
+
+    def _connected_components(self) -> List[List[LocationPath]]:
+        """Partition alerting locations into topology-connected groups.
+
+        Rules (see DESIGN.md):
+        * two alerting *devices* join when within ``connectivity_max_hops``
+          of each other in the device graph;
+        * two structural locations join on containment;
+        * a device joins a structural location when it sits inside it, or
+          when the structural location sits inside the device's parent
+          (an aggregation device glues the area it serves).  The downward
+          glue only applies to devices attached at logic-site level or
+          deeper: a backbone router's alert must not claim every alert in
+          its region, or concurrent scenes would merge into one blob.
+        """
+        locations = self.main_tree.locations()
+        if not locations:
+            return []
+        parent: Dict[LocationPath, LocationPath] = {loc: loc for loc in locations}
+
+        def find(x: LocationPath) -> LocationPath:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: LocationPath, b: LocationPath) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        device_locs = [loc for loc in locations if loc.is_device]
+        struct_locs = [loc for loc in locations if not loc.is_device]
+
+        by_name = {loc.name: loc for loc in device_locs}
+        for group in self._topo.connected_device_components(
+            list(by_name), max_hops=self._config.connectivity_max_hops
+        ):
+            members = [by_name[n] for n in group if n in by_name]
+            for other in members[1:]:
+                union(members[0], other)
+
+        for i, a in enumerate(struct_locs):
+            for b in struct_locs[i + 1 :]:
+                if a.contains(b) or b.contains(a):
+                    union(a, b)
+
+        from ..topology.hierarchy import Level
+
+        for dev in device_locs:
+            dev_parent = dev.parent
+            glues_down = dev_parent.level.value >= Level.LOGIC_SITE.value
+            for struct in struct_locs:
+                if struct.contains(dev) or (
+                    glues_down and dev_parent.contains(struct)
+                ):
+                    union(dev, struct)
+
+        groups: Dict[LocationPath, List[LocationPath]] = {}
+        for loc in locations:
+            groups.setdefault(find(loc), []).append(loc)
+        return list(groups.values())
+
+    # -- counting ------------------------------------------------------------------
+
+    def _count_types(self, component: Sequence[LocationPath]) -> Tuple[int, int]:
+        """Distinct (or per-location, in the ablation) type counts by level."""
+        failure_keys: Set = set()
+        other_keys: Set = set()
+        for location in component:
+            for record in self.main_tree.records_at(location):
+                if self._config.count_by_type:
+                    key = record.type_key
+                else:
+                    key = (record.type_key, location)
+                if record.level is AlertLevel.FAILURE:
+                    failure_keys.add(key)
+                else:
+                    other_keys.add(key)
+        return len(failure_keys), len(other_keys)
+
+
+def _lca(component: Sequence[LocationPath]) -> LocationPath:
+    if len(component) == 1:
+        return component[0]
+    return lowest_common_ancestor(list(component))

@@ -1,0 +1,158 @@
+"""SkyNet: the end-to-end pipeline facade (Figure 5a).
+
+Wires preprocessor -> locator -> evaluator (+ zoom-in) into a single
+streaming object.  Feed it raw alerts in delivery order; it sweeps the
+trees on the configured cadence using *alert time* (the core never reads a
+wall clock) and produces ranked, severity-scored incident reports.
+
+Typical use::
+
+    skynet = SkyNet(topology, state=state)
+    reports = skynet.process(alert_stream.run(3600))
+    for report in reports:
+        print(report.incident.render())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional
+
+from ..monitors.base import RawAlert
+from ..simulation.state import NetworkState
+from ..syslogproc import TemplateClassifier
+from ..topology.network import Topology
+from ..topology.traffic import TrafficModel
+from .alert import StructuredAlert
+from .config import PRODUCTION_CONFIG, SkyNetConfig
+from .evaluator import Evaluator
+from .incident import Incident, SeverityBreakdown
+from .locator import Locator
+from .preprocessor import PreprocessStats, Preprocessor
+from .zoom_in import LocationZoomIn
+
+
+@dataclasses.dataclass
+class IncidentReport:
+    """One incident as presented to operators: scored and localised."""
+
+    incident: Incident
+
+    @property
+    def severity(self) -> Optional[SeverityBreakdown]:
+        return self.incident.severity
+
+    @property
+    def score(self) -> float:
+        return self.incident.severity.score if self.incident.severity else 0.0
+
+    @property
+    def urgent(self) -> bool:
+        return self.incident.severity is not None and self.incident.severity.exceeds(
+            PRODUCTION_CONFIG.severity.alert_threshold
+        )
+
+    def render(self) -> str:
+        return self.incident.render()
+
+
+class SkyNet:
+    """The complete analysis system of Figure 5a."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[SkyNetConfig] = None,
+        state: Optional[NetworkState] = None,
+        traffic: Optional[TrafficModel] = None,
+        classifier: Optional[TemplateClassifier] = None,
+    ):
+        self._topo = topology
+        self._config = config or PRODUCTION_CONFIG
+        self.preprocessor = Preprocessor(topology, self._config, classifier)
+        self.locator = Locator(topology, self._config)
+        self.evaluator = Evaluator(topology, self._config, state=state, traffic=traffic)
+        self.zoom = LocationZoomIn(topology)
+        self._last_sweep = float("-inf")
+        self._now = float("-inf")
+
+    @property
+    def config(self) -> SkyNetConfig:
+        return self._config
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def preprocess_stats(self) -> PreprocessStats:
+        return self.preprocessor.stats
+
+    # -- streaming API ------------------------------------------------------------
+
+    def feed(self, raw: RawAlert) -> List[StructuredAlert]:
+        """Feed one raw alert; sweeps are driven by alert delivery time."""
+        self._now = max(self._now, raw.delivered_at)
+        self.zoom.observe(raw)
+        emitted = self.preprocessor.feed(raw)
+        for alert in emitted:
+            self.locator.feed(alert)
+        if self._now - self._last_sweep >= self._config.sweep_interval_s:
+            self.sweep(self._now)
+        return emitted
+
+    def sweep(self, now: float) -> None:
+        """Run one locator sweep and refresh open-incident assessments."""
+        self._last_sweep = now
+        self._now = max(self._now, now)
+        result = self.locator.sweep(now)
+        for incident in result.opened:
+            self.zoom.refine(incident, now)
+            self.evaluator.evaluate(incident, now)
+        for incident in result.closed:
+            self.zoom.refine(incident, now)
+            self.evaluator.evaluate(incident, now)
+        # keep open-incident scores fresh for live ranking
+        for incident in self.locator.open_incidents:
+            self.evaluator.evaluate(incident, now)
+
+    def finish(self, now: Optional[float] = None) -> None:
+        """Close out a run: generate from whatever is live, then advance far
+        enough to expire the trees and close every incident."""
+        now = self._now if now is None else now
+        if now > float("-inf"):
+            self.sweep(now)
+            horizon = now + max(
+                self._config.node_timeout_s, self._config.incident_timeout_s
+            ) + self._config.sweep_interval_s
+            self.sweep(horizon)
+
+    def process(
+        self, raw_alerts: Iterable[RawAlert], finish: bool = True
+    ) -> List[IncidentReport]:
+        """Batch mode: run a whole alert stream and return ranked reports."""
+        for raw in raw_alerts:
+            self.feed(raw)
+        if finish:
+            self.finish()
+        return self.reports()
+
+    # -- results -----------------------------------------------------------------
+
+    def incidents(self, include_superseded: bool = False) -> List[Incident]:
+        from .incident import IncidentStatus
+
+        items = self.locator.all_incidents()
+        if not include_superseded:
+            items = [i for i in items if i.status is not IncidentStatus.SUPERSEDED]
+        return items
+
+    def reports(self) -> List[IncidentReport]:
+        """All incidents, most severe first."""
+        incidents = self.incidents()
+        ranked = self.evaluator.rank(incidents, self._now)
+        return [IncidentReport(incident=i) for i in ranked]
+
+    def urgent_reports(self) -> List[IncidentReport]:
+        """Incidents above the severity threshold -- what operators see."""
+        return [r for r in self.reports() if r.urgent]

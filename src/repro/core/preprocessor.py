@@ -1,0 +1,277 @@
+"""The preprocessor (§4.1): raw tool output -> filtered structured alerts.
+
+Responsibilities, in order:
+
+1. **Classify** -- map each raw alert to a known (tool, type); syslog lines
+   go through the FT-tree template classifier.
+2. **Filter** -- drop INFO-level chatter outright.
+3. **Locate** -- normalise location: device alerts use the device's path in
+   the hierarchy; endpoint-pair alerts (Ping) are *split into two alerts*,
+   one per endpoint's cluster ("An alert related to a link is split into
+   two alerts corresponding to the devices it connects").
+4. **Consolidate** three ways:
+   a. *identical alerts*: same (type, location) within the merge window
+      update one aggregate instead of multiplying;
+   b. *single data source*: sporadic-prone types need ``k`` occurrences
+      before being believed; traffic surges on adjacent devices collapse
+      into the originating one;
+   c. *diverse data sources*: rate-drop/surge alerts only pass when a
+      failure or root-cause alert corroborates them nearby -- alone, "a
+      sudden decrease in port traffic is typically expected".
+
+Ongoing aggregates re-emit a refreshed snapshot at most every
+``refresh_interval_s`` so long-lived faults keep their locator nodes alive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..monitors.base import RawAlert
+from ..syslogproc import TemplateClassifier, bootstrap_corpus
+from ..topology.hierarchy import Level, LocationPath
+from ..topology.network import INTERNET, Topology
+from .alert import AlertLevel, AlertTypeKey, StructuredAlert
+from .alert_types import CONDITIONAL_TYPES, SPORADIC_TYPES, level_of
+from .config import SkyNetConfig
+
+
+@dataclasses.dataclass
+class PreprocessStats:
+    """Bookkeeping for the Figure 8b volume-reduction experiment."""
+
+    raw_in: int = 0
+    filtered_info: int = 0
+    unlocatable: int = 0
+    suppressed_sporadic: int = 0
+    suppressed_related: int = 0
+    suppressed_unconfirmed: int = 0
+    merged: int = 0
+    emitted: int = 0
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.raw_in / self.emitted if self.emitted else float("inf")
+
+
+@dataclasses.dataclass
+class _Aggregate:
+    alert: StructuredAlert
+    last_emit: float
+    pending_since: float  # persistence accounting for sporadic types
+    pending_count: int
+    unreported: int  # raw occurrences not yet carried by an emission
+
+
+class Preprocessor:
+    """Streaming raw-alert normaliser and reducer."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[SkyNetConfig] = None,
+        classifier: Optional[TemplateClassifier] = None,
+    ):
+        self._topo = topology
+        self._config = config or SkyNetConfig()
+        self._classifier = classifier or TemplateClassifier().fit(bootstrap_corpus())
+        self._aggregates: Dict[Tuple[AlertTypeKey, LocationPath], _Aggregate] = {}
+        #: corroborating evidence per site-scope: last time a failure or
+        #: root-cause alert was seen there (cross-source consolidation)
+        self._corroboration: Dict[LocationPath, float] = {}
+        self.stats = PreprocessStats()
+
+    @property
+    def config(self) -> SkyNetConfig:
+        return self._config
+
+    @property
+    def classifier(self) -> TemplateClassifier:
+        return self._classifier
+
+    # -- public API -------------------------------------------------------------
+
+    def feed(self, raw: RawAlert) -> List[StructuredAlert]:
+        """Process one raw alert; returns zero or more structured emissions."""
+        self.stats.raw_in += 1
+        tool = raw.tool
+        type_name = (
+            self._classifier.classify(raw.message) if tool == "syslog" else raw.raw_type
+        )
+        level = level_of(tool, type_name)
+        if not level.counts_for_incidents:
+            self.stats.filtered_info += 1
+            return []
+        key = AlertTypeKey(tool=tool, name=type_name)
+        locations = self._locate(raw)
+        if not locations:
+            self.stats.unlocatable += 1
+            return []
+        out: List[StructuredAlert] = []
+        for location in locations:
+            out.extend(self._consolidate(raw, key, level, location))
+        return out
+
+    def process(self, raws: Iterable[RawAlert]) -> List[StructuredAlert]:
+        """Batch convenience wrapper around :meth:`feed`."""
+        out: List[StructuredAlert] = []
+        for raw in raws:
+            out.extend(self.feed(raw))
+        return out
+
+    # -- location normalisation ------------------------------------------------------
+
+    def _locate(self, raw: RawAlert) -> List[LocationPath]:
+        if raw.device is not None and self._topo.has_device(raw.device):
+            return [self._topo.device(raw.device).location]
+        if raw.location_hint is not None:
+            # an explicit hint outranks endpoint splitting (e.g. traceroute
+            # path alerts that deliberately blame neither endpoint)
+            return [raw.location_hint]
+        if raw.endpoints is not None:
+            locations = []
+            for end in raw.endpoints:
+                if end == INTERNET:
+                    continue
+                server = self._topo.servers.get(end)
+                if server is not None:
+                    locations.append(server.cluster)
+            return locations
+        if raw.location_hint is not None:
+            return [raw.location_hint]
+        return []
+
+    # -- consolidation -------------------------------------------------------------
+
+    def _consolidate(
+        self,
+        raw: RawAlert,
+        key: AlertTypeKey,
+        level: AlertLevel,
+        location: LocationPath,
+    ) -> List[StructuredAlert]:
+        now = raw.delivered_at
+        cfg = self._config
+        self._note_corroboration(level, location, now)
+
+        # cross-source rule: rate swings need nearby independent evidence
+        if (key.tool, key.name) in CONDITIONAL_TYPES and not self._corroborated(
+            location, now
+        ):
+            self.stats.suppressed_unconfirmed += 1
+            return []
+
+        # single-source rule: adjacent surge alerts fold into the first
+        if key.name.endswith("surge") and raw.device is not None:
+            if self._adjacent_aggregate_exists(key, raw.device, now):
+                self.stats.suppressed_related += 1
+                return []
+
+        agg_key = (key, location)
+        agg = self._aggregates.get(agg_key)
+        if agg is not None and now - agg.alert.last_seen > cfg.merge_window_s:
+            del self._aggregates[agg_key]
+            agg = None
+
+        if agg is None:
+            alert = StructuredAlert(
+                type_key=key,
+                level=level,
+                location=location,
+                first_seen=raw.timestamp,
+                last_seen=raw.timestamp,
+                message=raw.message,
+                metrics=dict(raw.metrics),
+                device=raw.device,
+            )
+            sporadic = (key.tool, key.name) in SPORADIC_TYPES
+            agg = _Aggregate(
+                alert=alert,
+                last_emit=float("-inf"),
+                pending_since=now,
+                pending_count=1,
+                unreported=1,
+            )
+            self._aggregates[agg_key] = agg
+            if sporadic and cfg.persistence_occurrences > 1:
+                self.stats.suppressed_sporadic += 1
+                return []
+            return [self._emit(agg, now)]
+
+        # an existing aggregate absorbs this occurrence
+        gap = now - agg.alert.last_seen
+        agg.alert = agg.alert.merged_with(raw.timestamp, raw.metrics)
+        agg.pending_count += 1
+        agg.unreported += 1
+        self.stats.merged += 1
+
+        sporadic = (key.tool, key.name) in SPORADIC_TYPES
+        if sporadic and agg.last_emit == float("-inf"):
+            # persistence check: enough occurrences, over a long enough
+            # span, without the trail having gone cold in between
+            if gap > cfg.correlation_window_s:
+                agg.pending_since = now
+                agg.pending_count = 1
+                self.stats.suppressed_sporadic += 1
+                return []
+            if (
+                agg.pending_count < cfg.persistence_occurrences
+                or now - agg.pending_since < cfg.persistence_min_span_s
+            ):
+                self.stats.suppressed_sporadic += 1
+                return []
+
+        if now - agg.last_emit >= cfg.refresh_interval_s:
+            return [self._emit(agg, now)]
+        return []
+
+    def _emit(self, agg: _Aggregate, now: float) -> StructuredAlert:
+        """Snapshot an aggregate, carrying only the not-yet-reported raw
+        occurrences so downstream counts stay exact across refreshes."""
+        agg.last_emit = now
+        snapshot = dataclasses.replace(agg.alert, count=max(1, agg.unreported))
+        agg.unreported = 0
+        self.stats.emitted += 1
+        return snapshot
+
+    # -- cross/related-source helpers -----------------------------------------------
+
+    def _scope_of(self, location: LocationPath) -> LocationPath:
+        """Corroboration scope: the enclosing site (or the location itself
+        when it is higher than site level)."""
+        if location.structural_level.value >= Level.SITE.value:
+            return location.truncate(Level.SITE)
+        return location if not location.is_device else location.parent
+
+    def _note_corroboration(
+        self, level: AlertLevel, location: LocationPath, now: float
+    ) -> None:
+        if level in (AlertLevel.FAILURE, AlertLevel.ROOT_CAUSE):
+            scope = self._scope_of(location)
+            self._corroboration[scope] = max(
+                self._corroboration.get(scope, float("-inf")), now
+            )
+
+    def _corroborated(self, location: LocationPath, now: float) -> bool:
+        scope = self._scope_of(location)
+        window = self._config.correlation_window_s
+        for candidate in list(scope.ancestors(include_self=True)):
+            seen = self._corroboration.get(candidate)
+            if seen is not None and now - seen <= window:
+                return True
+        return False
+
+    def _adjacent_aggregate_exists(
+        self, key: AlertTypeKey, device: str, now: float
+    ) -> bool:
+        window = self._config.correlation_window_s
+        for neighbour in self._topo.neighbors(device):
+            if not self._topo.has_device(neighbour):
+                continue
+            agg = self._aggregates.get(
+                (key, self._topo.device(neighbour).location)
+            )
+            if agg is not None and now - agg.alert.last_seen <= window:
+                return True
+        return False

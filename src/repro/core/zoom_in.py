@@ -1,0 +1,205 @@
+"""Location zoom-in (§4.3): refining an incident to its precise location.
+
+Three triggers, tried in order:
+
+1. **Reachability matrix** -- end-to-end ping results are arranged as a
+   loss matrix between locations (Figure 7); a location whose row *and*
+   column are dark is the focal point.
+2. **sFlow traceback** -- sampled-loss alerts name devices; when they all
+   trace back to one node inside the incident tree, that node is the spot.
+3. **INT rate comparison** -- test-flow in/out mismatches name the exact
+   device.
+
+When nothing refines, "emergency procedures revert to the general location
+of the incident".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..monitors.base import RawAlert
+from ..topology.hierarchy import Level, LocationPath, lowest_common_ancestor
+from ..topology.network import Topology
+from .incident import Incident
+
+#: A matrix cell above this loss is a "dark" cell.
+DARK_CELL_LOSS = 0.05
+#: Row+column mean loss above this marks a focal location.
+FOCAL_MEAN_LOSS = 0.04
+
+
+@dataclasses.dataclass
+class ReachabilityMatrix:
+    """Pairwise loss between sibling locations (Figure 7)."""
+
+    locations: List[LocationPath]
+    loss: Dict[Tuple[LocationPath, LocationPath], float]
+
+    def cell(self, a: LocationPath, b: LocationPath) -> float:
+        return self.loss.get((a, b), self.loss.get((b, a), 0.0))
+
+    def row_col_mean(self, loc: LocationPath) -> float:
+        others = [o for o in self.locations if o != loc]
+        if not others:
+            return 0.0
+        return sum(self.cell(loc, o) for o in others) / len(others)
+
+    def focal_point(self) -> Optional[LocationPath]:
+        """The location whose row and column are dark while the rest of the
+        matrix stays light; ``None`` when no single hot spot stands out."""
+        if len(self.locations) < 2:
+            return None
+        means = {loc: self.row_col_mean(loc) for loc in self.locations}
+        hot = max(means, key=lambda loc: means[loc])
+        if means[hot] < FOCAL_MEAN_LOSS:
+            return None
+        # the rest of the matrix (cells not touching `hot`) must be light
+        background = [
+            self.cell(a, b)
+            for i, a in enumerate(self.locations)
+            for b in self.locations[i + 1 :]
+            if hot not in (a, b)
+        ]
+        if background and max(background) > DARK_CELL_LOSS:
+            return None
+        return hot
+
+    def render(self) -> str:
+        """ASCII rendering of the matrix (percent loss)."""
+        names = [loc.name for loc in self.locations]
+        width = max((len(n) for n in names), default=4) + 1
+        head = " " * width + "".join(f"{n:>{width}}" for n in names)
+        rows = [head]
+        for a in self.locations:
+            cells = "".join(
+                f"{self.cell(a, b) * 100:>{width}.1f}" for b in self.locations
+            )
+            rows.append(f"{a.name:>{width}}" + cells)
+        return "\n".join(rows)
+
+
+class PingWindow:
+    """Sliding window over recent end-to-end probe results.
+
+    Feeds the reachability matrix from the same telemetry the Ping and
+    Internet monitors emit, remembering the latest loss per cluster pair.
+    """
+
+    def __init__(self, topology: Topology, window_s: float = 300.0):
+        self._topo = topology
+        self.window_s = window_s
+        self._latest: Dict[Tuple[LocationPath, LocationPath], Tuple[float, float]] = {}
+
+    def observe(self, raw: RawAlert) -> None:
+        """Feed one raw alert; non-probe alerts are ignored."""
+        if raw.tool not in ("ping", "traceroute") or raw.endpoints is None:
+            return
+        clusters = []
+        for end in raw.endpoints:
+            server = self._topo.servers.get(end)
+            if server is not None:
+                clusters.append(server.cluster)
+        if len(clusters) != 2:
+            return
+        a, b = sorted(clusters, key=str)
+        loss = raw.metric("loss_rate", 0.0)
+        self._latest[(a, b)] = (raw.timestamp, loss)
+
+    def matrix(
+        self, now: float, scope: Optional[LocationPath] = None,
+        level: Level = Level.CLUSTER,
+    ) -> ReachabilityMatrix:
+        """Build the matrix at ``level`` granularity from fresh samples."""
+        cells: Dict[Tuple[LocationPath, LocationPath], List[float]] = {}
+        locations = set()
+        for (a, b), (ts, loss) in self._latest.items():
+            if now - ts > self.window_s:
+                continue
+            if scope is not None and not (scope.contains(a) or scope.contains(b)):
+                continue
+            ka = a.truncate(level) if a.depth >= level.value else a
+            kb = b.truncate(level) if b.depth >= level.value else b
+            if ka == kb:
+                continue
+            locations.update((ka, kb))
+            cells.setdefault(tuple(sorted((ka, kb), key=str)), []).append(loss)
+        loss = {pair: sum(v) / len(v) for pair, v in cells.items()}
+        return ReachabilityMatrix(sorted(locations, key=str), loss)
+
+
+class LocationZoomIn:
+    """Applies the three §4.3 zoom-in triggers to an incident."""
+
+    def __init__(self, topology: Topology, ping_window: Optional[PingWindow] = None):
+        self._topo = topology
+        self.ping_window = ping_window or PingWindow(topology)
+
+    def observe(self, raw: RawAlert) -> None:
+        self.ping_window.observe(raw)
+
+    def refine(self, incident: Incident, now: float) -> Optional[LocationPath]:
+        """Most precise location the telemetry supports; sets
+        ``incident.refined_location`` when something sticks."""
+        refined = (
+            self._matrix_focal(incident, now)
+            or self._sflow_traceback(incident)
+            or self._int_device(incident)
+        )
+        if refined is not None and incident.root.contains(refined):
+            incident.refined_location = refined
+            return refined
+        return None
+
+    # -- triggers -----------------------------------------------------------------
+
+    def _matrix_focal(self, incident: Incident, now: float) -> Optional[LocationPath]:
+        root_level = incident.root.structural_level
+        if root_level.value >= Level.CLUSTER.value:
+            return None  # already precise
+        child_level = Level(root_level.value + 1)
+        matrix = self.ping_window.matrix(now, scope=None, level=child_level)
+        focal = matrix.focal_point()
+        if focal is not None and incident.root.contains(focal):
+            return focal
+        return None
+
+    def _sflow_traceback(self, incident: Incident) -> Optional[LocationPath]:
+        devices = [
+            r.device
+            for r in incident.records()
+            if r.device
+            and r.type_key.tool == "traffic_statistics"
+            and r.type_key.name == "packet_loss"
+        ]
+        return self._device_lca(devices, incident)
+
+    def _int_device(self, incident: Incident) -> Optional[LocationPath]:
+        devices = [
+            r.device
+            for r in incident.records()
+            if r.device
+            and r.type_key.tool == "in_band_telemetry"
+            and r.type_key.name == "rate_mismatch"
+        ]
+        return self._device_lca(devices, incident)
+
+    def _device_lca(
+        self, devices: Sequence[str], incident: Incident
+    ) -> Optional[LocationPath]:
+        paths = [
+            self._topo.device(d).location
+            for d in dict.fromkeys(devices)
+            if self._topo.has_device(d)
+        ]
+        paths = [p for p in paths if incident.root.contains(p)]
+        if not paths:
+            return None
+        if len(paths) == 1:
+            return paths[0]
+        lca = lowest_common_ancestor(paths)
+        # only a refinement if strictly inside the incident scope
+        if incident.root.contains(lca) and lca != incident.root:
+            return lca
+        return None

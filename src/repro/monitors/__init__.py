@@ -1,0 +1,44 @@
+"""The twelve monitoring data sources of Table 2, simulated.
+
+Each monitor observes :class:`~repro.simulation.state.NetworkState` with
+realistic tool semantics -- polling frequency, location evidence, delivery
+delay, and coverage blind spots (see each module's docstring).
+"""
+
+from .base import Monitor, RawAlert
+from .internet import InternetTelemetryMonitor
+from .int_telemetry import IntTelemetryMonitor
+from .modification import ModificationMonitor
+from .oob import OutOfBandMonitor
+from .patrol import PatrolInspectionMonitor
+from .ping import PingMonitor
+from .ptp import PtpMonitor
+from .registry import COVERAGE_ORDER, DATA_SOURCES, MONITOR_CLASSES, build_monitors
+from .route import RouteMonitor
+from .sflow import SflowMonitor
+from .snmp import SnmpMonitor
+from .stream import AlertStream
+from .syslog import SyslogMonitor
+from .traceroute import TracerouteMonitor
+
+__all__ = [
+    "AlertStream",
+    "COVERAGE_ORDER",
+    "DATA_SOURCES",
+    "InternetTelemetryMonitor",
+    "IntTelemetryMonitor",
+    "MONITOR_CLASSES",
+    "ModificationMonitor",
+    "Monitor",
+    "OutOfBandMonitor",
+    "PatrolInspectionMonitor",
+    "PingMonitor",
+    "PtpMonitor",
+    "RawAlert",
+    "RouteMonitor",
+    "SflowMonitor",
+    "SnmpMonitor",
+    "SyslogMonitor",
+    "TracerouteMonitor",
+    "build_monitors",
+]

@@ -1,0 +1,120 @@
+"""Monitor framework: raw alerts and the polling base class.
+
+Every data source in Table 2 is a :class:`Monitor` subclass that *observes*
+the simulated :class:`~repro.simulation.state.NetworkState` on its own
+period and emits :class:`RawAlert` records -- the heterogeneous, per-tool
+formats SkyNet's preprocessor then has to normalise (§4.1).
+
+Raw alerts intentionally differ across tools, as in production:
+
+* Syslog and SNMP alerts carry an evident source ``device``;
+* path-type alerts (Ping, INT) carry ``endpoints`` and at best a coarse
+  ``location_hint``;
+* frequencies vary from one datapoint per 2 s (Ping) to every 15 min
+  (patrol inspection);
+* delivery can lag observation (``delivered_at``), up to ~2 min for SNMP on
+  CPU-starved devices (§4.2's rationale for the 5-minute node timeout).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import random
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..simulation.clock import PeriodicSchedule
+from ..simulation.state import NetworkState
+from ..topology.hierarchy import LocationPath
+
+
+@dataclasses.dataclass(frozen=True)
+class RawAlert:
+    """One alert exactly as a monitoring tool reported it."""
+
+    tool: str  # data-source name, e.g. "ping"
+    raw_type: str  # tool-level category, e.g. "end_to_end_icmp_loss"
+    timestamp: float  # when the underlying observation was made
+    message: str = ""  # free-form payload (full log line for syslog)
+    device: Optional[str] = None  # source device, when evident
+    endpoints: Optional[Tuple[str, str]] = None  # for path-type alerts
+    location_hint: Optional[LocationPath] = None  # coarse location, if any
+    metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
+    delivered_at: float = -1.0  # when the collector received it
+
+    def __post_init__(self) -> None:
+        if self.delivered_at < 0:
+            object.__setattr__(self, "delivered_at", self.timestamp)
+        if self.delivered_at < self.timestamp:
+            raise ValueError("an alert cannot be delivered before it is observed")
+
+    def metric(self, name: str, default: float = 0.0) -> float:
+        return float(self.metrics.get(name, default))
+
+
+class Monitor(abc.ABC):
+    """Base class for all monitoring tools.
+
+    Subclasses implement :meth:`observe`, called once per elapsed period.
+    ``collect`` catches up on every firing the simulation step covered so
+    coarse ticks never silently skip a polling round.
+    """
+
+    #: Data-source name; must match ``registry.DATA_SOURCES`` keys.
+    name: str = "monitor"
+    #: Seconds between polling rounds.
+    period_s: float = 30.0
+
+    def __init__(self, state: NetworkState, seed: int = 0):
+        self._state = state
+        self._rng = random.Random(
+            zlib.crc32(self.name.encode("utf-8")) ^ (seed * 2654435761 % 2**32)
+        )
+        # spread tools across the tick so they do not all fire at once
+        offset = (zlib.crc32(self.name.encode("utf-8")) % 1000) / 1000.0
+        self._schedule = PeriodicSchedule(self.period_s, offset=offset)
+
+    @property
+    def state(self) -> NetworkState:
+        return self._state
+
+    @property
+    def topology(self):
+        return self._state.topology
+
+    def collect(self, now: float) -> List[RawAlert]:
+        """All alerts produced by polling rounds due at or before ``now``."""
+        alerts: List[RawAlert] = []
+        for t in self._schedule.due(now):
+            alerts.extend(self.observe(t))
+        return alerts
+
+    @abc.abstractmethod
+    def observe(self, t: float) -> List[RawAlert]:
+        """Run one polling round at simulated time ``t``."""
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _alert(
+        self,
+        raw_type: str,
+        t: float,
+        message: str = "",
+        device: Optional[str] = None,
+        endpoints: Optional[Tuple[str, str]] = None,
+        location_hint: Optional[LocationPath] = None,
+        delay_s: float = 0.0,
+        **metrics: float,
+    ) -> RawAlert:
+        return RawAlert(
+            tool=self.name,
+            raw_type=raw_type,
+            timestamp=t,
+            message=message or raw_type.replace("_", " "),
+            device=device,
+            endpoints=endpoints,
+            location_hint=location_hint,
+            metrics=metrics,
+            delivered_at=t + max(0.0, delay_s),
+        )

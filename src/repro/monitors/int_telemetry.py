@@ -1,0 +1,66 @@
+"""In-band network telemetry: test packets with designated DSCP values whose
+per-device input/output rates are compared (§4.3, Table 2).
+
+INT pinpoints loss at the exact device -- including *silent* loss that never
+reaches syslog -- but "is not universally supported across all devices"
+(§2.1): only modern cluster switches and site aggregation routers speak it
+here, so faults in the WAN core are invisible to this tool.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..simulation.state import NetworkState
+from ..topology.network import DeviceRole
+from .base import Monitor, RawAlert
+from .ping import PingMonitor
+
+#: Device roles with INT support (modern gear only).
+SUPPORTED_ROLES = frozenset({DeviceRole.CLUSTER_SWITCH, DeviceRole.SITE_AGGREGATION})
+#: In/out rate mismatch fraction that raises an alert.
+MISMATCH_THRESHOLD = 0.005
+#: keep every Nth mesh pair as a test-flow path
+SAMPLE_STRIDE = 2
+
+
+class IntTelemetryMonitor(Monitor):
+    """Test-flow rate comparison across INT-capable devices."""
+
+    name = "in_band_telemetry"
+    period_s = 15.0
+
+    def __init__(self, state: NetworkState, seed: int = 0):
+        super().__init__(state, seed)
+        self._pairs = PingMonitor(state, seed).probe_pairs[::SAMPLE_STRIDE]
+        self._supported: Set[str] = {
+            d.name
+            for d in self.topology.devices.values()
+            if d.role in SUPPORTED_ROLES
+        }
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        reported: Set[str] = set()
+        for src, dst in self._pairs:
+            route, _ = self._state.pair_loss(src, dst)
+            if not route.reachable:
+                continue
+            for device in route.devices:
+                if device in reported or device not in self._supported:
+                    continue
+                mismatch = self._state.device_loss_rate(device)
+                if mismatch >= MISMATCH_THRESHOLD:
+                    reported.add(device)
+                    alerts.append(
+                        self._alert(
+                            "rate_mismatch",
+                            t,
+                            message=f"test flow in/out mismatch {mismatch:.1%} "
+                                    f"at {device}",
+                            device=device,
+                            endpoints=(src, dst),
+                            mismatch=mismatch,
+                        )
+                    )
+        return alerts

@@ -1,0 +1,61 @@
+"""Internet telemetry: probing public addresses from data-center servers
+(Table 2: "a monitoring system that ping Internet addresses from DC
+servers").
+
+One representative server per cluster probes out through the logic site's
+Internet entrance every 10 s.  This is the tool that sees the §2.2
+entrance-cable scenario end to end -- loss of Internet reachability or
+heavy loss on the egress path -- regardless of which device is at fault.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..simulation.state import NetworkState
+from ..topology.hierarchy import Level
+from .base import Monitor, RawAlert
+
+LOSS_ALERT_THRESHOLD = 0.01
+
+
+class InternetTelemetryMonitor(Monitor):
+    """Per-cluster probing of Internet reachability."""
+
+    name = "internet_telemetry"
+    period_s = 10.0
+
+    def __init__(self, state: NetworkState, seed: int = 0):
+        super().__init__(state, seed)
+        self._probes = []
+        for loc in self.topology.locations():
+            if loc.level is Level.CLUSTER:
+                servers = self.topology.servers_in(loc)
+                if servers:
+                    self._probes.append((loc, servers[0].name))
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        for cluster, server in self._probes:
+            route, loss = self._state.internet_loss(server)
+            if loss >= 0.999:
+                alerts.append(
+                    self._alert(
+                        "internet_unreachable",
+                        t,
+                        message=f"internet unreachable from {server}",
+                        location_hint=cluster,
+                        loss_rate=1.0,
+                    )
+                )
+            elif loss >= LOSS_ALERT_THRESHOLD:
+                alerts.append(
+                    self._alert(
+                        "internet_packet_loss",
+                        t,
+                        message=f"internet loss {loss:.1%} from {server}",
+                        location_hint=cluster,
+                        loss_rate=loss,
+                    )
+                )
+        return alerts

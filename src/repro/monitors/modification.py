@@ -1,0 +1,56 @@
+"""Modification events: outcomes of network changes, automatic or manual
+(Table 2: "Failure of network modification triggered automatically or
+manually").
+
+Successful scheduled changes are reported too -- they are part of the
+benign chatter the preprocessor must not let drown real failures (§1:
+"alerts triggered by ... scheduled updates occurring concurrently").
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..simulation.conditions import ConditionKind
+from .base import Monitor, RawAlert
+
+
+class ModificationMonitor(Monitor):
+    """Change-management event feed, checked every 10 s."""
+
+    name = "modification_events"
+    period_s = 10.0
+
+    def __init__(self, state, seed: int = 0):
+        super().__init__(state, seed)
+        self._reported: Set[str] = set()
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        for cond in self._state.active_conditions():
+            if cond.condition_id in self._reported:
+                continue
+            if cond.kind is ConditionKind.MODIFICATION_FAILED:
+                self._reported.add(cond.condition_id)
+                device = str(cond.target)
+                alerts.append(
+                    self._alert(
+                        "modification_failed",
+                        t,
+                        message=f"network modification on {device} failed "
+                                f"verification, rollback prepared",
+                        device=device,
+                    )
+                )
+            elif cond.kind is ConditionKind.MODIFICATION_OK:
+                self._reported.add(cond.condition_id)
+                device = str(cond.target)
+                alerts.append(
+                    self._alert(
+                        "modification_event",
+                        t,
+                        message=f"scheduled modification executing on {device}",
+                        device=device,
+                    )
+                )
+        return alerts

@@ -1,0 +1,73 @@
+"""Out-of-band monitoring: device liveness, CPU and RAM via the management
+plane (Redfish/IPMI-style, Table 2).
+
+Coverage profile (§2.1): "addresses predominantly infrastructure related
+issues, focusing on device liveness, CPU utilization, temperature, etc." --
+it sees a dead device instantly but is blind to forwarding-plane faults on
+a live one.  A faulty probe (``PROBE_ERROR`` condition) spams false
+"inaccessible" alerts, the §4.2 false-alarm example.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..simulation.conditions import ConditionKind
+from .base import Monitor, RawAlert
+
+
+class OutOfBandMonitor(Monitor):
+    """Management-plane device health polling."""
+
+    name = "out_of_band"
+    period_s = 30.0
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        seen_down = set()
+        for cond in self._state.active_conditions():
+            device = cond.target if isinstance(cond.target, str) else None
+            if device is None or not self.topology.has_device(device):
+                continue
+            if cond.kind is ConditionKind.DEVICE_DOWN and device not in seen_down:
+                seen_down.add(device)
+                alerts.append(
+                    self._alert(
+                        "inaccessible",
+                        t,
+                        message=f"device {device} is inaccessible",
+                        device=device,
+                    )
+                )
+            elif cond.kind is ConditionKind.PROBE_ERROR:
+                # faulty probe: a burst of identical false down alerts
+                for _ in range(3):
+                    alerts.append(
+                        self._alert(
+                            "inaccessible",
+                            t,
+                            message=f"device {device} is inaccessible",
+                            device=device,
+                        )
+                    )
+            elif cond.kind is ConditionKind.DEVICE_HIGH_CPU:
+                alerts.append(
+                    self._alert(
+                        "high_cpu",
+                        t,
+                        message=f"cpu {cond.param('utilization', 0.95):.0%} on {device}",
+                        device=device,
+                        utilization=cond.param("utilization", 0.95),
+                    )
+                )
+            elif cond.kind is ConditionKind.DEVICE_HIGH_MEM:
+                alerts.append(
+                    self._alert(
+                        "high_mem",
+                        t,
+                        message=f"memory {cond.param('utilization', 0.93):.0%} on {device}",
+                        device=device,
+                        utilization=cond.param("utilization", 0.93),
+                    )
+                )
+        return alerts

@@ -1,0 +1,55 @@
+"""Patrol inspection: periodically running predefined commands on devices
+and parsing the output (Table 2).
+
+Broad but slow -- a 15-minute sweep that can surface faults other tools
+miss (notably configuration errors sitting silently in ``show`` output),
+at the cost of detection latency far above the minute-level SLA.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..simulation.conditions import ConditionKind
+from .base import Monitor, RawAlert
+
+#: Faults whose traces appear in command output during a patrol sweep.
+PATROL_VISIBLE = frozenset(
+    {
+        ConditionKind.DEVICE_HARDWARE_ERROR,
+        ConditionKind.DEVICE_SOFTWARE_ERROR,
+        ConditionKind.CONFIG_ERROR,
+        ConditionKind.DEVICE_HIGH_CPU,
+        ConditionKind.DEVICE_HIGH_MEM,
+        ConditionKind.ROUTE_LOSS,
+    }
+)
+
+
+class PatrolInspectionMonitor(Monitor):
+    """Command-output sweep across all devices, every 15 minutes."""
+
+    name = "patrol_inspection"
+    period_s = 900.0
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        seen = set()
+        for cond in self._state.active_conditions():
+            if cond.kind not in PATROL_VISIBLE:
+                continue
+            device = str(cond.target)
+            key = (device, cond.kind)
+            if key in seen or not self.topology.has_device(device):
+                continue
+            seen.add(key)
+            alerts.append(
+                self._alert(
+                    "patrol_anomaly",
+                    t,
+                    message=f"patrol command output anomaly on {device}: "
+                            f"{cond.kind.value}",
+                    device=device,
+                )
+            )
+        return alerts

@@ -1,0 +1,138 @@
+"""Ping statistics: end-to-end probing between server pairs (Pingmesh-style).
+
+Probes a hierarchical mesh -- every cluster pair inside each logic site plus
+a representative mesh across logic sites -- every 2 seconds (§4.1: "Ping
+outputs one data point every 2 seconds").  Emits packet-loss alerts in three
+flavours (ICMP / TCP / source-routed, as in Figure 6) and high-latency
+alerts when queueing delay climbs.
+
+Coverage profile (§2.1): sees anything that hurts end-to-end reachability
+or latency, but cannot name the culprit device and misses partial-redundancy
+link breaks that do not yet cause loss.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Tuple
+
+from ..simulation.state import NetworkState
+from ..topology.hierarchy import Level, LocationPath
+from .base import Monitor, RawAlert
+
+#: Loss below this is considered probe noise and not alerted on.
+LOSS_ALERT_THRESHOLD = 0.01
+#: Round-trip latency above this raises a high-latency alert.
+LATENCY_ALERT_MS = 8.0
+#: A cluster is a loss suspect when at least this fraction of its probe
+#: pairs are lossy in one round.
+SUSPECT_FRACTION = 0.5
+
+_FLAVOURS = ("end_to_end_icmp", "end_to_end_tcp", "end_to_end_source")
+
+
+class PingMonitor(Monitor):
+    """End-to-end reachability/latency probing over a fixed pair mesh."""
+
+    name = "ping"
+    period_s = 2.0
+
+    def __init__(self, state: NetworkState, seed: int = 0):
+        super().__init__(state, seed)
+        self._pairs = self._build_mesh()
+        self._pair_count: dict = {}
+        for src, dst in self._pairs:
+            for server in (src, dst):
+                cluster = self.topology.servers[server].cluster
+                self._pair_count[cluster] = self._pair_count.get(cluster, 0) + 1
+
+    @property
+    def probe_pairs(self) -> List[Tuple[str, str]]:
+        return list(self._pairs)
+
+    def _build_mesh(self) -> List[Tuple[str, str]]:
+        """Cluster-pair mesh: full within each logic site, representative across.
+
+        The probing server for each side of a pair is hash-picked among the
+        cluster's servers so the mesh spreads across every cluster switch --
+        a fault on any one switch degrades some probe paths (pingmesh
+        deliberately diversifies endpoints the same way).
+        """
+        topo = self.topology
+        clusters_by_ls = {}
+        for loc in topo.locations():
+            if loc.level is Level.CLUSTER and topo.servers_in(loc):
+                clusters_by_ls.setdefault(loc.truncate(Level.LOGIC_SITE), []).append(loc)
+        pairs: List[Tuple[str, str]] = []
+
+        def representative(cluster: LocationPath, peer: LocationPath) -> str:
+            servers = topo.servers_in(cluster)
+            pick = zlib.crc32(f"{cluster}~{peer}".encode()) % len(servers)
+            return servers[pick].name
+
+        for clusters in clusters_by_ls.values():
+            clusters.sort(key=str)
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    a, b = clusters[i], clusters[j]
+                    pairs.append((representative(a, b), representative(b, a)))
+        reps = [clusters[0] for clusters in clusters_by_ls.values() if clusters]
+        reps.sort(key=str)
+        for i in range(len(reps)):
+            for j in range(i + 1, len(reps)):
+                a, b = reps[i], reps[j]
+                pairs.append((representative(a, b), representative(b, a)))
+        return pairs
+
+    def observe(self, t: float) -> List[RawAlert]:
+        """One probing round, with pingmesh-style loss attribution.
+
+        The tool first measures every pair, then blames each lossy pair on
+        the side(s) whose pairs are *mostly* lossy this round -- the basic
+        tomography step production ping analyses perform (§4.1: "the ping
+        tool reports packet loss alerts for the affected link").  A cluster
+        with one lossy pair toward a dying peer is a bystander, not a
+        suspect; when neither side stands out, both are reported.
+        """
+        alerts: List[RawAlert] = []
+        lossy: List = []
+        lossy_count: dict = {}
+        for src, dst in self._pairs:
+            route, loss = self._state.pair_loss(src, dst)
+            if loss >= LOSS_ALERT_THRESHOLD:
+                ca = self.topology.servers[src].cluster
+                cb = self.topology.servers[dst].cluster
+                lossy.append((src, dst, loss, ca, cb))
+                lossy_count[ca] = lossy_count.get(ca, 0) + 1
+                lossy_count[cb] = lossy_count.get(cb, 0) + 1
+                continue  # an unreachable pair has no meaningful latency
+            latency = self._state.route_latency_ms(route)
+            if latency > LATENCY_ALERT_MS:
+                alerts.append(
+                    self._alert(
+                        "high_latency",
+                        t,
+                        message=f"rtt {latency:.1f} ms from {src} to {dst}",
+                        endpoints=(src, dst),
+                        latency_ms=latency,
+                    )
+                )
+        for src, dst, loss, ca, cb in lossy:
+            suspects = [
+                c
+                for c in (ca, cb)
+                if lossy_count[c] >= self._pair_count[c] * SUSPECT_FRACTION
+            ]
+            flavour = _FLAVOURS[zlib.crc32(f"{src}|{dst}".encode()) % len(_FLAVOURS)]
+            for blamed in suspects or [ca, cb]:
+                alerts.append(
+                    self._alert(
+                        f"{flavour}_loss",
+                        t,
+                        message=f"packet loss {loss:.1%} from {src} to {dst}",
+                        endpoints=(src, dst),
+                        location_hint=blamed,
+                        loss_rate=loss,
+                    )
+                )
+        return alerts

@@ -1,0 +1,36 @@
+"""PTP monitoring: device system clocks drifting out of synchronisation
+(Table 2: "System time of network devices out of Synchronization")."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..simulation.conditions import ConditionKind
+from .base import Monitor, RawAlert
+
+#: Clock offset worth alerting on, in microseconds.
+DRIFT_ALERT_US = 50.0
+
+
+class PtpMonitor(Monitor):
+    """Clock-synchronisation checking, every 60 s."""
+
+    name = "ptp"
+    period_s = 60.0
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        for cond in self._state.active_conditions(ConditionKind.DEVICE_CLOCK_DRIFT):
+            drift = cond.param("drift_us", 80.0)
+            if drift >= DRIFT_ALERT_US:
+                device = str(cond.target)
+                alerts.append(
+                    self._alert(
+                        "clock_unsync",
+                        t,
+                        message=f"system time of {device} off by {drift:.0f} us",
+                        device=device,
+                        drift_us=drift,
+                    )
+                )
+        return alerts

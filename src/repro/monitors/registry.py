@@ -1,0 +1,121 @@
+"""Data-source registry: Table 2's inventory and standard monitor set."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..simulation.state import NetworkState
+from .base import Monitor
+from .internet import InternetTelemetryMonitor
+from .int_telemetry import IntTelemetryMonitor
+from .modification import ModificationMonitor
+from .oob import OutOfBandMonitor
+from .patrol import PatrolInspectionMonitor
+from .ping import PingMonitor
+from .ptp import PtpMonitor
+from .route import RouteMonitor
+from .sflow import SflowMonitor
+from .snmp import SnmpMonitor
+from .syslog import SyslogMonitor
+from .traceroute import TracerouteMonitor
+
+#: Table 2: network monitoring tools used by SkyNet.
+DATA_SOURCES: Dict[str, str] = {
+    "ping": "Periodically records latency and reachability between pairs of servers",
+    "traceroute": "Periodically records latency of each hop between pairs of servers",
+    "out_of_band": "Periodically collects device liveness, CPU and RAM usage out-of-band",
+    "traffic_statistics": "Data from traffic monitoring systems sFlow and NetFlow",
+    "internet_telemetry": "Pings Internet addresses from DC servers",
+    "syslog": "Errors detected by network devices",
+    "snmp": "Interface status and counters, RX errors, CPU and RAM usage (SNMP & GRPC)",
+    "in_band_telemetry": "Test packets comparing per-device input/output rates",
+    "ptp": "System time of network devices out of synchronisation",
+    "route_monitoring": "Loss of default/aggregate route, route hijack and leaking",
+    "modification_events": "Failures of automatic or manual network modifications",
+    "patrol_inspection": "Runs predefined commands on devices and collects results",
+}
+
+MONITOR_CLASSES: Dict[str, Type[Monitor]] = {
+    "ping": PingMonitor,
+    "traceroute": TracerouteMonitor,
+    "out_of_band": OutOfBandMonitor,
+    "traffic_statistics": SflowMonitor,
+    "internet_telemetry": InternetTelemetryMonitor,
+    "syslog": SyslogMonitor,
+    "snmp": SnmpMonitor,
+    "in_band_telemetry": IntTelemetryMonitor,
+    "ptp": PtpMonitor,
+    "route_monitoring": RouteMonitor,
+    "modification_events": ModificationMonitor,
+    "patrol_inspection": PatrolInspectionMonitor,
+}
+
+#: Ascending failure-detection coverage, as measured by the Figure 3 bench.
+#: The Figure 8a ablation removes sources in this order (low coverage first).
+COVERAGE_ORDER: List[str] = [
+    "ptp",
+    "route_monitoring",
+    "modification_events",
+    "in_band_telemetry",
+    "out_of_band",
+    "traceroute",
+    "syslog",
+    "patrol_inspection",
+    "ping",
+    "internet_telemetry",
+    "snmp",
+    "traffic_statistics",
+]
+
+
+#: §9 future-work data sources, implemented but not part of the paper's
+#: evaluated twelve.  Registering new levels in ``core.alert_types`` is all
+#: SkyNet needs to ingest them (§5.2 extensibility).
+FUTURE_SOURCES: Dict[str, str] = {
+    "user_telemetry": "Telemetry packets from users' clients toward the DC",
+    "srte_probe": "Label-based periodic link reachability verification (SRTE)",
+}
+
+
+def _future_classes() -> Dict[str, Type[Monitor]]:
+    from .srte_probe import SrteProbeMonitor
+    from .user_telemetry import UserTelemetryMonitor
+
+    return {
+        "user_telemetry": UserTelemetryMonitor,
+        "srte_probe": SrteProbeMonitor,
+    }
+
+
+def build_monitors(
+    state: NetworkState,
+    include: Optional[Sequence[str]] = None,
+    exclude: Sequence[str] = (),
+    seed: int = 0,
+    future_sources: bool = False,
+) -> List[Monitor]:
+    """Instantiate monitoring tools over ``state``.
+
+    ``include=None`` builds all twelve; pass a name list to restrict (the
+    coverage/ablation experiments), or ``exclude`` to drop a few.
+    ``future_sources=True`` additionally builds the §9 future-work tools
+    (user-side telemetry, SRTE label probing).
+    """
+    classes: Dict[str, Type[Monitor]] = dict(MONITOR_CLASSES)
+    if future_sources or (
+        include is not None and any(n in FUTURE_SOURCES for n in include)
+    ):
+        classes.update(_future_classes())
+    names = (
+        list(MONITOR_CLASSES) + (list(FUTURE_SOURCES) if future_sources else [])
+        if include is None
+        else list(include)
+    )
+    unknown = [n for n in names if n not in classes]
+    if unknown:
+        raise KeyError(f"unknown data sources: {unknown}")
+    return [
+        classes[name](state, seed=seed)
+        for name in names
+        if name not in set(exclude)
+    ]

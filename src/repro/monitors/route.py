@@ -1,0 +1,54 @@
+"""Route monitoring: loss of default/aggregate routes, hijacks and leaks
+(Table 2).
+
+Coverage profile (§2.1): "limited to the control plane and cannot diagnose
+data plane issues" -- it is, however, the *only* tool that names a routing
+root cause directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..simulation.conditions import ConditionKind
+from .base import Monitor, RawAlert
+
+_ROUTE_TYPES = {
+    ConditionKind.ROUTE_LOSS: "default_route_loss",
+    ConditionKind.ROUTE_LEAK: "route_leak",
+    ConditionKind.ROUTE_HIJACK: "route_hijack",
+}
+#: While a routing fault persists the monitor re-reports it this often.
+REEMIT_PERIOD_S = 60.0
+
+
+class RouteMonitor(Monitor):
+    """Control-plane watching, every 10 s."""
+
+    name = "route_monitoring"
+    period_s = 10.0
+
+    def __init__(self, state, seed: int = 0):
+        super().__init__(state, seed)
+        self._last_emit: Dict[str, float] = {}
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        for cond in self._state.active_conditions():
+            raw_type = _ROUTE_TYPES.get(cond.kind)
+            if raw_type is None:
+                continue
+            last = self._last_emit.get(cond.condition_id)
+            if last is not None and t - last < REEMIT_PERIOD_S:
+                continue
+            self._last_emit[cond.condition_id] = t
+            device = str(cond.target)
+            alerts.append(
+                self._alert(
+                    raw_type,
+                    t,
+                    message=f"{raw_type.replace('_', ' ')} observed at {device}",
+                    device=device,
+                )
+            )
+        return alerts

@@ -1,0 +1,98 @@
+"""Traffic statistics from sFlow/NetFlow sampling (Table 2).
+
+sFlow samples packets inside the fabric, so unlike Ping it can attribute
+loss to specific devices: "the sFlow detects packet loss, with all affected
+devices tracing back to a node within the incident tree" (§4.3).  It also
+reports the loss *ratio* (normalised by traffic volume, §4.3 bullet 1) and
+flags abnormal rate swings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..simulation.state import NetworkState
+from ..topology.network import INTERNET
+from .base import Monitor, RawAlert
+
+#: Device-level sampled loss ratio worth alerting on.
+LOSS_RATIO_THRESHOLD = 0.01
+#: Rate-change fraction that counts as an abnormal swing.
+SWING_FRACTION = 0.5
+MIN_BASELINE_GBPS = 0.5
+
+
+class SflowMonitor(Monitor):
+    """Sampled flow statistics, aggregated every 60 s."""
+
+    name = "traffic_statistics"
+    period_s = 60.0
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        state = self._state
+        topo = self.topology
+        # device-attributed loss from sampled flows
+        seen = set()
+        for cond in state.active_conditions():
+            device = cond.target if isinstance(cond.target, str) else None
+            if device is None or device in seen or not topo.has_device(device):
+                continue
+            loss = state.device_loss_rate(device)
+            if loss >= LOSS_RATIO_THRESHOLD and self._carries_traffic(device):
+                seen.add(device)
+                alerts.append(
+                    self._alert(
+                        "packet_loss",
+                        t,
+                        message=f"sampled loss ratio {loss:.1%} at {device}",
+                        device=device,
+                        loss_ratio=loss,
+                    )
+                )
+        # congestion loss attributed to both endpoints of the congested set
+        for set_id, cs in topo.circuit_sets.items():
+            loss = state.congestion_loss(set_id)
+            if loss < LOSS_RATIO_THRESHOLD:
+                continue
+            for end in cs.endpoints:
+                if end != INTERNET and end not in seen:
+                    seen.add(end)
+                    alerts.append(
+                        self._alert(
+                            "packet_loss",
+                            t,
+                            message=f"sampled loss ratio {loss:.1%} at {end} "
+                                    f"(congested link toward {cs.other_end(end)})",
+                            device=end,
+                            loss_ratio=loss,
+                        )
+                    )
+        # abnormal rate swings vs baseline
+        for set_id, cs in topo.circuit_sets.items():
+            baseline = state.baseline_load_gbps(set_id)
+            if baseline < MIN_BASELINE_GBPS:
+                continue
+            rate = state.delivered_rate_gbps(set_id)
+            device = cs.device_a if cs.device_a != INTERNET else cs.device_b
+            if abs(rate - baseline) > baseline * SWING_FRACTION:
+                direction = "drop" if rate < baseline else "surge"
+                alerts.append(
+                    self._alert(
+                        f"flow_rate_{direction}",
+                        t,
+                        message=f"flow rate {rate:.1f} Gbps vs baseline "
+                                f"{baseline:.1f} Gbps toward {cs.other_end(device)}",
+                        device=device,
+                        rate_gbps=rate,
+                        baseline_gbps=baseline,
+                    )
+                )
+        return alerts
+
+    def _carries_traffic(self, device: str) -> bool:
+        """sFlow only sees devices its sampled flows actually cross."""
+        for cs in self.topology.circuit_sets_of(device):
+            if self._state.baseline_load_gbps(cs.set_id) > 0:
+                return True
+        return False

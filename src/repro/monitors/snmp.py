@@ -1,0 +1,149 @@
+"""SNMP & GRPC counter polling: interface status, traffic rates, RX errors,
+CPU/RAM (Table 2).
+
+Coverage profile (§2.1): "collects only information available within the
+SNMP protocol constraints" -- interface state and counters, but nothing
+about end-to-end behaviour.  On CPU-starved legacy devices, delivery lags
+observation by up to ~2 minutes (§4.2), the very delay that sized SkyNet's
+5-minute node timeout.  A fifth of devices are "old" here (deterministic by
+name hash).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List
+
+from ..simulation.conditions import ConditionKind
+from ..simulation.state import NetworkState
+from ..topology.network import INTERNET
+from .base import Monitor, RawAlert
+
+#: Circuit-set utilisation above this raises a congestion alert.
+CONGESTION_THRESHOLD = 0.9
+#: A delivered rate below this fraction of baseline is a sharp traffic drop.
+TRAFFIC_DROP_FRACTION = 0.5
+#: Rate above this multiple of baseline is a traffic surge.
+TRAFFIC_SURGE_FACTOR = 2.0
+#: Ignore rate anomalies on sets carrying less than this at baseline.
+MIN_BASELINE_GBPS = 0.5
+#: Fraction of devices that are CPU-starved legacy gear with delayed delivery.
+OLD_DEVICE_FRACTION = 0.2
+#: Maximum delivery delay on old devices (paper: "approximately 2 minutes").
+MAX_OLD_DEVICE_DELAY_S = 120.0
+
+
+def is_old_device(name: str) -> bool:
+    return (zlib.crc32(name.encode()) % 100) < OLD_DEVICE_FRACTION * 100
+
+
+def device_delay(name: str) -> float:
+    """Deterministic delivery delay for a device's counters."""
+    if not is_old_device(name):
+        return 0.0
+    return 30.0 + (zlib.crc32(name.encode()) % int(MAX_OLD_DEVICE_DELAY_S - 30))
+
+
+class SnmpMonitor(Monitor):
+    """Interface/counter polling over every device, every 30 s."""
+
+    name = "snmp"
+    period_s = 30.0
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        alerts.extend(self._interface_alerts(t))
+        alerts.extend(self._rate_alerts(t))
+        alerts.extend(self._device_counter_alerts(t))
+        return alerts
+
+    # -- interface state ---------------------------------------------------------
+
+    def _interface_alerts(self, t: float) -> List[RawAlert]:
+        alerts = []
+        topo = self.topology
+        for cond in self._state.active_conditions():
+            if cond.kind is ConditionKind.CIRCUIT_BREAK:
+                cs = topo.circuit_sets.get(str(cond.target))
+                if cs is None:
+                    continue
+                broken = int(cond.param("broken_circuits", len(cs.circuits)))
+                for end in cs.endpoints:
+                    if end == INTERNET:
+                        continue
+                    if broken >= len(cs.circuits):
+                        alerts.append(self._counter(end, t, "link_down",
+                            f"ifOperStatus down for all links toward {cs.other_end(end)}"))
+                    else:
+                        alerts.append(self._counter(end, t, "port_down",
+                            f"{broken} ports down toward {cs.other_end(end)}",
+                            ports_down=float(broken)))
+            elif cond.kind is ConditionKind.LINK_CRC_ERRORS:
+                cs = topo.circuit_sets.get(str(cond.target))
+                if cs is None:
+                    continue
+                for end in cs.endpoints:
+                    if end != INTERNET:
+                        alerts.append(self._counter(end, t, "rx_errors",
+                            f"input errors increasing toward {cs.other_end(end)}",
+                            error_rate=cond.param("corruption_rate", 0.02)))
+            elif cond.kind is ConditionKind.DEVICE_DOWN:
+                device = str(cond.target)
+                if self.topology.has_device(device):
+                    alerts.append(self._counter(device, t, "snmp_timeout",
+                        "SNMP agent not responding", delay_override=0.0))
+        return alerts
+
+    # -- traffic rates -------------------------------------------------------------
+
+    def _rate_alerts(self, t: float) -> List[RawAlert]:
+        """Congestion / sharp drop / surge against the all-healthy baseline."""
+        alerts = []
+        state = self._state
+        topo = self.topology
+        for set_id, cs in topo.circuit_sets.items():
+            baseline = state.baseline_load_gbps(set_id)
+            if baseline < MIN_BASELINE_GBPS:
+                continue
+            device = cs.device_a if cs.device_a != INTERNET else cs.device_b
+            rate = state.delivered_rate_gbps(set_id)
+            utilization = state.utilization(set_id)
+            if utilization > CONGESTION_THRESHOLD:
+                alerts.append(self._counter(device, t, "traffic_congestion",
+                    f"utilisation {min(utilization, 9.99):.0%} toward {cs.other_end(device)}",
+                    utilization=min(utilization, 10.0)))
+            if rate < baseline * TRAFFIC_DROP_FRACTION:
+                alerts.append(self._counter(device, t, "traffic_drop",
+                    f"rate {rate:.1f} Gbps vs baseline {baseline:.1f} Gbps "
+                    f"toward {cs.other_end(device)}",
+                    rate_gbps=rate, baseline_gbps=baseline))
+            elif rate > baseline * TRAFFIC_SURGE_FACTOR:
+                alerts.append(self._counter(device, t, "traffic_surge",
+                    f"rate {rate:.1f} Gbps vs baseline {baseline:.1f} Gbps "
+                    f"toward {cs.other_end(device)}",
+                    rate_gbps=rate, baseline_gbps=baseline))
+        return alerts
+
+    # -- device counters --------------------------------------------------------------
+
+    def _device_counter_alerts(self, t: float) -> List[RawAlert]:
+        alerts = []
+        for cond in self._state.active_conditions():
+            device = str(cond.target)
+            if not isinstance(cond.target, str) or not self.topology.has_device(device):
+                continue
+            if cond.kind is ConditionKind.DEVICE_HIGH_CPU:
+                alerts.append(self._counter(device, t, "high_cpu",
+                    f"cpu {cond.param('utilization', 0.95):.0%}",
+                    utilization=cond.param("utilization", 0.95)))
+            elif cond.kind is ConditionKind.DEVICE_HIGH_MEM:
+                alerts.append(self._counter(device, t, "high_mem",
+                    f"memory {cond.param('utilization', 0.93):.0%}",
+                    utilization=cond.param("utilization", 0.93)))
+        return alerts
+
+    def _counter(self, device: str, t: float, raw_type: str, message: str,
+                 delay_override: float = -1.0, **metrics: float) -> RawAlert:
+        delay = device_delay(device) if delay_override < 0 else delay_override
+        return self._alert(raw_type, t, message=f"{device}: {message}",
+                           device=device, delay_s=delay, **metrics)

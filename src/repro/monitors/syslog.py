@@ -1,0 +1,207 @@
+"""Syslog collection: vendor-style log lines from network devices.
+
+This is the highest-volume, least-structured source (production: ~10M
+entries / 15 min, §2.3).  Lines are templated vendor messages with variable
+fields (interfaces, IPs, counters); SkyNet classifies them into alert types
+with FT-tree templates (§4.1), so realistic token structure matters here.
+
+Coverage profile (§2.1): "Syslog cannot address routing errors that do not
+trigger runtime errors on a device" -- CONFIG_ERROR, ROUTE_* and
+DEVICE_SILENT_LOSS conditions produce **no** syslog.  A dead device cannot
+log either: its *neighbours* report the fallout (interface down, BGP peer
+loss), which is exactly how real floods look.
+
+The §7.3 delayed-root-cause behaviour is honoured: a condition with a
+``syslog_delay_s`` param only becomes log-visible that many seconds after
+it starts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..simulation.conditions import Condition, ConditionKind
+from ..simulation.state import NetworkState
+from .base import Monitor, RawAlert
+
+
+def interface_name(device: str, peer: str) -> str:
+    """Deterministic pseudo interface for the device's side of a link."""
+    h = zlib.crc32(f"{device}>{peer}".encode())
+    return f"TenGigE0/{h % 4}/0/{h % 48}"
+
+
+def pseudo_ip(device: str) -> str:
+    h = zlib.crc32(device.encode())
+    return f"10.{(h >> 16) & 255}.{(h >> 8) & 255}.{h & 255}"
+
+
+#: Conditions syslog can see at all, with (template key, re-emit period s).
+#: ``None`` period means the line is logged once per condition.
+_VISIBLE: Dict[ConditionKind, Tuple[str, Optional[float]]] = {
+    ConditionKind.DEVICE_HARDWARE_ERROR: ("hardware_error", 60.0),
+    ConditionKind.DEVICE_SOFTWARE_ERROR: ("software_error", 30.0),
+    ConditionKind.DEVICE_HIGH_MEM: ("out_of_memory", 60.0),
+    ConditionKind.DEVICE_UNBALANCED_HASH: ("bgp_link_jitter", 15.0),
+    ConditionKind.LINK_CRC_ERRORS: ("crc_errors", 15.0),
+    ConditionKind.LINK_FLAPPING: ("link_flapping", 5.0),
+}
+
+
+class SyslogMonitor(Monitor):
+    """Collects device logs every 5 seconds."""
+
+    name = "syslog"
+    period_s = 5.0
+    #: benign chatter lines per device per poll (corpus realism / FT-tree food)
+    chatter_rate = 0.01
+
+    def __init__(self, state: NetworkState, seed: int = 0):
+        super().__init__(state, seed)
+        self._burst_logged: Set[str] = set()  # condition ids already burst-logged
+        self._last_emit: Dict[Tuple[str, str], float] = {}
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        topo = self.topology
+        for cond in self._state.active_conditions():
+            if t < cond.start + cond.param("syslog_delay_s", 0.0):
+                continue
+            if cond.kind is ConditionKind.DEVICE_DOWN:
+                alerts.extend(self._neighbour_fallout(cond, t))
+            elif cond.kind is ConditionKind.CIRCUIT_BREAK:
+                alerts.extend(self._circuit_break_logs(cond, t))
+            elif cond.kind in _VISIBLE:
+                alerts.extend(self._condition_logs(cond, t))
+        alerts.extend(self._chatter(t))
+        return alerts
+
+    # -- per-kind log production -------------------------------------------------
+
+    def _neighbour_fallout(self, cond: Condition, t: float) -> List[RawAlert]:
+        """Neighbours of a dead device log interface and BGP-peer loss."""
+        if cond.condition_id in self._burst_logged:
+            return []
+        self._burst_logged.add(cond.condition_id)
+        dead = cond.target
+        alerts = []
+        for nbr in self.topology.neighbors(str(dead)):
+            iface = interface_name(nbr, str(dead))
+            alerts.append(self._log(nbr, t,
+                f"%LINEPROTO-5-UPDOWN: Line protocol on Interface {iface}, "
+                f"changed state to down"))
+            alerts.append(self._log(nbr, t,
+                f"%LINK-3-UPDOWN: Interface {iface}, changed state to down"))
+            alerts.append(self._log(nbr, t,
+                f"%BGP-5-ADJCHANGE: neighbor {pseudo_ip(str(dead))} Down - "
+                f"holdtimer expired"))
+        return alerts
+
+    def _circuit_break_logs(self, cond: Condition, t: float) -> List[RawAlert]:
+        """Both endpoints log a port-down line per broken circuit, once."""
+        if cond.condition_id in self._burst_logged:
+            return []
+        self._burst_logged.add(cond.condition_id)
+        topo = self.topology
+        cs = topo.circuit_sets.get(str(cond.target))
+        if cs is None:
+            return []
+        broken = int(cond.param("broken_circuits", len(cs.circuits)))
+        alerts = []
+        from ..topology.network import INTERNET
+
+        for end in cs.endpoints:
+            if end == INTERNET:
+                continue
+            peer = cs.other_end(end)
+            for i in range(min(broken, len(cs.circuits))):
+                iface = interface_name(end, f"{peer}#{i}")
+                alerts.append(self._log(end, t,
+                    f"%LINK-3-UPDOWN: Interface {iface}, changed state to down"))
+                alerts.append(self._log(end, t,
+                    f"%PORT-5-IF_DOWN_LINK_FAILURE: Interface {iface} is down "
+                    f"(Link failure)"))
+            if broken >= len(cs.circuits):
+                alerts.append(self._log(end, t,
+                    f"%BGP-5-ADJCHANGE: neighbor {pseudo_ip(str(peer))} Down - "
+                    f"interface flap"))
+        return alerts
+
+    def _condition_logs(self, cond: Condition, t: float) -> List[RawAlert]:
+        key, period = _VISIBLE[cond.kind]
+        last = self._last_emit.get((cond.condition_id, key))
+        if last is not None and (period is None or t - last < period):
+            return []
+        self._last_emit[(cond.condition_id, key)] = t
+        target = str(cond.target)
+        topo = self.topology
+        if cond.kind in (ConditionKind.LINK_CRC_ERRORS, ConditionKind.LINK_FLAPPING):
+            cs = topo.circuit_sets.get(target)
+            if cs is None:
+                return []
+            from ..topology.network import INTERNET
+
+            ends = [e for e in cs.endpoints if e != INTERNET]
+            alerts = []
+            for end in ends:
+                iface = interface_name(end, cs.other_end(end))
+                if cond.kind is ConditionKind.LINK_CRC_ERRORS:
+                    count = int(1000 * cond.param("corruption_rate", 0.02)) + 17
+                    alerts.append(self._log(end, t,
+                        f"%PKT_INFRA-3-CRC_ERROR: {count} CRC errors detected "
+                        f"on interface {iface}"))
+                else:
+                    alerts.append(self._log(end, t,
+                        f"%LINK-3-UPDOWN: Interface {iface}, changed state to down"))
+                    alerts.append(self._log(end, t,
+                        f"%LINK-3-UPDOWN: Interface {iface}, changed state to up"))
+            return alerts
+        if cond.kind is ConditionKind.DEVICE_HARDWARE_ERROR:
+            slot = zlib.crc32(target.encode()) % 8
+            return [self._log(target, t,
+                f"%PLATFORM-2-HARDWARE_FAULT: ASIC {slot} parity error detected, "
+                f"packets may be dropped")]
+        if cond.kind is ConditionKind.DEVICE_SOFTWARE_ERROR:
+            return [
+                self._log(target, t,
+                    "%OS-2-PROCESS_CRASH: Process bgpd exited unexpectedly, "
+                    "restart scheduled"),
+                self._log(target, t,
+                    f"%BGP-5-ADJCHANGE: neighbor {pseudo_ip(target + 'peer')} Down - "
+                    f"peer closed the session"),
+            ]
+        if cond.kind is ConditionKind.DEVICE_HIGH_MEM:
+            return [self._log(target, t,
+                f"%SYS-2-MALLOCFAIL: Memory allocation of {4096 + zlib.crc32(target.encode()) % 8192} "
+                f"bytes failed, out of memory")]
+        if cond.kind is ConditionKind.DEVICE_UNBALANCED_HASH:
+            session = zlib.crc32(target.encode()) % 64
+            return [self._log(target, t,
+                f"%BGP-4-SESSION_JITTER: BGP link jitter detected on session "
+                f"eBGP-{session}")]
+        return []
+
+    def _chatter(self, t: float) -> List[RawAlert]:
+        """Low-rate benign lines: logins, config sessions, SNMP writes."""
+        devices = sorted(self.topology.devices)
+        mean = len(devices) * self.chatter_rate
+        count = 0
+        # cheap Poisson-ish draw
+        while self._rng.random() < mean - count and count < 10:
+            count += 1
+        templates = (
+            "%SEC_LOGIN-6-LOGIN_SUCCESS: Login Success [user: ops{}] at vty0",
+            "%SYS-5-CONFIG_I: Configured from console by ops{} on vty1",
+            "%SSH-6-SESSION: SSH session from 172.16.{}.{} established",
+        )
+        alerts = []
+        for _ in range(count):
+            device = self._rng.choice(devices)
+            tpl = self._rng.choice(templates)
+            line = tpl.format(self._rng.randint(1, 99), self._rng.randint(1, 250))
+            alerts.append(self._log(device, t, line))
+        return alerts
+
+    def _log(self, device: str, t: float, line: str) -> RawAlert:
+        return self._alert("log", t, message=line, device=device)

@@ -1,0 +1,83 @@
+"""Traceroute statistics: per-hop latency/loss on sampled paths.
+
+Walks a sampled subset of the ping mesh every 30 s and, when a path loses
+packets, attributes the loss to the first faulty hop it can see.
+
+Coverage profile (§2.1): "loses effectiveness in networks with asymmetric
+paths or when tunnels such as SRTE are employed" -- modelled as hop
+attribution only working on paths contained within one logic site; wider
+paths (which production carries in SRTE tunnels) yield only an
+unattributed path alert.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..simulation.state import NetworkState
+from ..topology.hierarchy import Level
+from .base import Monitor, RawAlert
+from .ping import LOSS_ALERT_THRESHOLD
+from .ping import PingMonitor
+
+
+class TracerouteMonitor(Monitor):
+    """Hop-by-hop probing over a thinned ping mesh."""
+
+    name = "traceroute"
+    period_s = 30.0
+    #: keep every Nth ping pair to bound probe load
+    sample_stride = 3
+
+    def __init__(self, state: NetworkState, seed: int = 0):
+        super().__init__(state, seed)
+        mesh = PingMonitor(state, seed).probe_pairs
+        self._pairs = mesh[:: self.sample_stride]
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        topo = self.topology
+        for src, dst in self._pairs:
+            route, loss = self._state.pair_loss(src, dst)
+            if loss < LOSS_ALERT_THRESHOLD:
+                continue
+            src_ls = topo.servers[src].cluster.truncate(Level.LOGIC_SITE)
+            dst_ls = topo.servers[dst].cluster.truncate(Level.LOGIC_SITE)
+            culprit = None
+            if route.reachable and src_ls == dst_ls:
+                # single-site path: hop attribution works
+                for dev in route.devices:
+                    if self._state.device_loss_rate(dev) > 0 or not self._state.device_up(dev):
+                        culprit = dev
+                        break
+                if culprit is None:
+                    for i, set_id in enumerate(route.circuit_sets):
+                        if self._state.circuit_set_loss_rate(set_id) > 0:
+                            culprit = route.devices[min(i, len(route.devices) - 1)]
+                            break
+            if culprit is not None:
+                alerts.append(
+                    self._alert(
+                        "hop_loss",
+                        t,
+                        message=f"loss at hop {culprit} on {src}->{dst}",
+                        device=culprit,
+                        endpoints=(src, dst),
+                        loss_rate=loss,
+                    )
+                )
+            else:
+                # unattributed (tunnelled/asymmetric) path: the alert is
+                # about the path as a whole, so it carries the endpoints'
+                # common ancestor rather than implicating either end
+                alerts.append(
+                    self._alert(
+                        "path_loss",
+                        t,
+                        message=f"lossy path {src}->{dst} (unattributed)",
+                        endpoints=(src, dst),
+                        location_hint=src_ls.common_ancestor(dst_ls),
+                        loss_rate=loss,
+                    )
+                )
+        return alerts

@@ -1,0 +1,71 @@
+"""User-side telemetry: §9 future work, implemented.
+
+"we are currently integrating additional network monitoring data sources,
+such as user-side telemetry, which transmits telemetry packets from users'
+clients to the data center."
+
+Synthetic user clients sit on the Internet and probe *into* each logic
+site's entrance -- the mirror image of ``internet_telemetry``.  Because it
+measures the inbound direction, it is the first tool to see entrance
+trouble that only affects traffic coming *toward* the data center.
+
+The alerts use the standard raw format, so once the type levels are
+registered SkyNet ingests them without code changes (§5.2: "the alerts
+raised by these tools can be simply injected into SkyNet").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..simulation.state import NetworkState
+from ..topology.hierarchy import Level
+from .base import Monitor, RawAlert
+
+LOSS_ALERT_THRESHOLD = 0.01
+
+
+class UserTelemetryMonitor(Monitor):
+    """Inbound probing from simulated user clients, every 15 s."""
+
+    name = "user_telemetry"
+    period_s = 15.0
+
+    def __init__(self, state: NetworkState, seed: int = 0):
+        super().__init__(state, seed)
+        # one synthetic client population per logic site entrance, probing
+        # a representative server behind it
+        self._targets = []
+        for loc in self.topology.locations():
+            if loc.level is Level.CLUSTER:
+                servers = self.topology.servers_in(loc)
+                if servers:
+                    logic_site = loc.truncate(Level.LOGIC_SITE)
+                    self._targets.append((logic_site, loc, servers[0].name))
+
+    def observe(self, t: float) -> List[RawAlert]:
+        alerts: List[RawAlert] = []
+        for logic_site, cluster, server in self._targets:
+            # inbound path == reverse of the outbound entrance route
+            route, loss = self._state.internet_loss(server)
+            if loss >= 0.999:
+                alerts.append(
+                    self._alert(
+                        "user_unreachable",
+                        t,
+                        message=f"user clients cannot reach {server}",
+                        location_hint=cluster,
+                        loss_rate=1.0,
+                    )
+                )
+            elif loss >= LOSS_ALERT_THRESHOLD:
+                alerts.append(
+                    self._alert(
+                        "user_packet_loss",
+                        t,
+                        message=f"user-side loss {loss:.1%} toward {server}",
+                        location_hint=cluster,
+                        loss_rate=loss,
+                    )
+                )
+        return alerts

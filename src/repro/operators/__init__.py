@@ -1,0 +1,5 @@
+"""Operator mitigation-time model (the Figure 10c substitute, DESIGN.md §2)."""
+
+from .mitigation import OperatorModel, OperatorParams
+
+__all__ = ["OperatorModel", "OperatorParams"]

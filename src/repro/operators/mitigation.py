@@ -1,0 +1,126 @@
+"""Operator model: how long failure mitigation takes (Figure 10c).
+
+The paper's headline claim -- >80% lower median and maximum mitigation
+time -- is about *human* work: before SkyNet, on-call operators sifted a
+raw flood, inspected devices one by one, and sometimes chased the wrong
+hypothesis (§2.2: devices were isolated first, cables suspected next,
+congestion found last).  With SkyNet they read ~10 distilled messages with
+the root-cause alerts called out (§2.4).
+
+Production mitigation logs are proprietary, so this is a parametrised
+cognitive model whose inputs are exactly what each workflow presents:
+
+* **without SkyNet** -- the raw alert count (triage scales with it, capped
+  by attention), the candidate devices mentioned (each inspected in turn
+  until the root cause is hit), plus a wrong-hypothesis penalty when the
+  flood hides the root-cause alert;
+* **with SkyNet** -- the incident report's message count, whether a
+  root-cause alert is present, and how precise the (zoomed-in) location is.
+
+Defaults are calibrated so median/max land near the paper's 736s -> 147s /
+14028s -> 1920s (§6.4); the *shape* (>80% drop at both ends) is robust to
+the constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..core.alert import AlertLevel
+from ..core.incident import Incident
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatorParams:
+    """Tunable constants of the cognitive model."""
+
+    raw_read_s: float = 0.35  # scanning one raw alert line
+    raw_attention_cap: int = 1500  # alerts an operator will actually scan
+    message_read_s: float = 4.0  # one distilled incident message
+    device_inspect_s: float = 110.0  # log in, run show commands, read logs
+    max_inspected_devices: int = 40
+    rootcause_confirm_s: float = 45.0  # verify an explicitly named root cause
+    fix_s: float = 60.0  # execute the mitigation itself
+    wrong_hypothesis_s: float = 900.0  # a mis-diagnosis round trip (§2.2)
+    flood_threshold: int = 2000  # raw alerts beyond this guarantee confusion
+
+
+class OperatorModel:
+    """Deterministic mitigation-time estimates for both workflows."""
+
+    def __init__(self, params: Optional[OperatorParams] = None):
+        self.params = params or OperatorParams()
+
+    # -- without SkyNet ------------------------------------------------------------
+
+    def mitigation_time_raw(
+        self,
+        n_raw_alerts: int,
+        candidate_devices: int,
+        rootcause_alert_buried: bool = True,
+    ) -> float:
+        """Manual workflow over the raw flood.
+
+        ``candidate_devices`` is how many devices the alerts implicate; the
+        operator inspects them sequentially and on average finds the culprit
+        halfway through.  When the flood buries the root-cause alert, one
+        wrong-hypothesis round trip is paid too (the §2.2 story).
+        """
+        p = self.params
+        triage = p.raw_read_s * min(max(n_raw_alerts, 0), p.raw_attention_cap)
+        inspected = min(max(candidate_devices, 1), p.max_inspected_devices)
+        diagnose = p.device_inspect_s * max(1.0, inspected / 2.0)
+        penalty = 0.0
+        if rootcause_alert_buried and n_raw_alerts > p.flood_threshold:
+            penalty = p.wrong_hypothesis_s
+        return triage + diagnose + penalty + p.fix_s
+
+    # -- with SkyNet ------------------------------------------------------------------
+
+    def mitigation_time_skynet(self, incident: Incident) -> float:
+        """Workflow over one distilled incident report."""
+        p = self.params
+        messages = max(1, incident.distinct_type_count())
+        triage = p.message_read_s * messages
+        has_root_cause = any(
+            r.level is AlertLevel.ROOT_CAUSE for r in incident.records()
+        )
+        if has_root_cause:
+            diagnose = p.rootcause_confirm_s
+        else:
+            # no named root cause: inspect the (zoomed-in) scope's devices
+            scope_devices = max(1, len(incident.devices_involved()))
+            diagnose = p.device_inspect_s * min(
+                scope_devices, p.max_inspected_devices
+            ) / 2.0
+        return triage + diagnose + p.fix_s
+
+    # -- concurrent incidents -------------------------------------------------------------
+
+    def queue_delay(
+        self, incidents: Sequence[Incident], target: Incident,
+        ranked: bool = True,
+    ) -> float:
+        """Time spent on other incidents before reaching ``target``.
+
+        With severity ranking the operator works most-severe-first; without
+        it, most-alerts-first -- the paper's "scene ranking" failure mode
+        where the bigger-but-milder incident got handled first (§4.3).
+        """
+        if ranked:
+            order = sorted(
+                incidents,
+                key=lambda i: i.severity.score if i.severity else 0.0,
+                reverse=True,
+            )
+        else:
+            order = sorted(
+                incidents, key=lambda i: i.total_alert_count(), reverse=True
+            )
+        delay = 0.0
+        for incident in order:
+            if incident is target:
+                return delay
+            delay += self.mitigation_time_skynet(incident)
+        return delay

@@ -1,0 +1,26 @@
+"""Heuristic rules and automatic SOPs (§7.2, Figure 5a)."""
+
+from .engine import HeuristicRule, Predicate, RuleContext, RuleEngine, RuleMatch
+from .library import SAFE_GROUP_UTILIZATION, default_rule_library
+from .sop import (
+    ActionKind,
+    ExecutionRecord,
+    SOPAction,
+    SOPExecutor,
+    SOPPlan,
+)
+
+__all__ = [
+    "ActionKind",
+    "ExecutionRecord",
+    "HeuristicRule",
+    "Predicate",
+    "RuleContext",
+    "RuleEngine",
+    "RuleMatch",
+    "SAFE_GROUP_UTILIZATION",
+    "SOPAction",
+    "SOPExecutor",
+    "SOPPlan",
+    "default_rule_library",
+]

@@ -1,0 +1,78 @@
+"""Heuristic rule engine (§7.2): the pre-SkyNet diagnosis system.
+
+Operators hand-wrote ~1000 rules of the form "if a device in a group loses
+packets, and its peers are silent, and group traffic is low, then isolate
+it".  Rules match *known* failure patterns; anything unprecedented falls
+through ("no heuristic rule could effectively address it") -- which is why
+SkyNet exists.  SkyNet still runs matched rules automatically as SOPs for
+known failures (Figure 5a "Automatic SOP", §5.1 first case study).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+from ..core.incident import Incident
+from ..simulation.state import NetworkState
+from ..topology.network import Topology
+from .sop import SOPPlan
+
+
+@dataclasses.dataclass
+class RuleContext:
+    """Everything a rule predicate may inspect."""
+
+    incident: Incident
+    topology: Topology
+    state: Optional[NetworkState] = None
+    now: float = 0.0
+
+
+#: A predicate over the rule context; all of a rule's predicates must hold.
+Predicate = Callable[[RuleContext], bool]
+#: Builds the mitigation plan once a rule matches.
+PlanBuilder = Callable[[RuleContext], SOPPlan]
+
+
+@dataclasses.dataclass
+class HeuristicRule:
+    """One manually-formulated diagnosis rule."""
+
+    name: str
+    description: str
+    predicates: Sequence[Predicate]
+    plan_builder: PlanBuilder
+
+    def matches(self, ctx: RuleContext) -> bool:
+        return all(pred(ctx) for pred in self.predicates)
+
+
+@dataclasses.dataclass
+class RuleMatch:
+    rule: HeuristicRule
+    plan: SOPPlan
+
+
+class RuleEngine:
+    """Evaluates the rule library against incidents, first match wins."""
+
+    def __init__(self, rules: Sequence[HeuristicRule]):
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate rule names")
+        self._rules = list(rules)
+
+    @property
+    def rules(self) -> List[HeuristicRule]:
+        return list(self._rules)
+
+    def match(self, ctx: RuleContext) -> Optional[RuleMatch]:
+        """First matching rule's plan, or ``None`` (an *unknown* failure)."""
+        for rule in self._rules:
+            if rule.matches(ctx):
+                return RuleMatch(rule=rule, plan=rule.plan_builder(ctx))
+        return None
+
+    def is_known_failure(self, ctx: RuleContext) -> bool:
+        return self.match(ctx) is not None

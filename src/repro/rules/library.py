@@ -1,0 +1,194 @@
+"""A representative slice of the production rule corpus (§7.2).
+
+Production accumulated nearly 1,000 hand-written rules; these few capture
+the archetypes the paper describes.  Crucially, none of them matches a
+severe/unprecedented failure -- that fall-through is the behaviour the
+whole paper is about.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+from ..core.alert import AlertLevel
+from ..core.incident import Incident
+from .engine import HeuristicRule, RuleContext
+from .sop import ActionKind, SOPAction, SOPPlan
+
+#: Group utilisation must be below this for isolation to be safe
+#: ("the traffic remains manageable", §2).
+SAFE_GROUP_UTILIZATION = 0.5
+
+#: Alert type names that are direct packet-loss evidence at a device.
+_LOSS_TYPES = frozenset({"packet_loss", "rate_mismatch", "hop_loss"})
+_CIRCUIT_TYPES = frozenset({"port_down", "link_down"})
+
+
+def _primary_device(incident: Incident) -> Optional[str]:
+    """The device carrying the most alert records in the incident."""
+    counts: Counter = Counter(
+        r.device for r in incident.records() if r.device is not None
+    )
+    if not counts:
+        return None
+    return counts.most_common(1)[0][0]
+
+
+def _has_device_loss_evidence(ctx: RuleContext) -> bool:
+    device = _primary_device(ctx.incident)
+    if device is None:
+        return False
+    return any(
+        r.device == device and r.type_key.name in _LOSS_TYPES
+        for r in ctx.incident.records()
+    )
+
+
+def _group_peers_silent(ctx: RuleContext) -> bool:
+    """No failure/root-cause evidence from the device's redundancy peers."""
+    device = _primary_device(ctx.incident)
+    if device is None or not ctx.topology.has_device(device):
+        return False
+    group = ctx.topology.device(device).group
+    peers = {
+        d.name for d in ctx.topology.devices_in_group(group) if d.name != device
+    }
+    if not peers:
+        return False
+    for record in ctx.incident.records():
+        if record.device in peers and record.level in (
+            AlertLevel.FAILURE,
+            AlertLevel.ROOT_CAUSE,
+        ):
+            return False
+    return True
+
+
+def _group_traffic_manageable(ctx: RuleContext) -> bool:
+    """Peers can absorb the device's traffic: group utilisation is low."""
+    device = _primary_device(ctx.incident)
+    if device is None or ctx.state is None:
+        return device is not None  # without state, assume manageable
+    sets = ctx.topology.circuit_sets_of(device)
+    if not sets:
+        return False
+    offered = sum(ctx.state.offered_load_gbps(cs.set_id) for cs in sets)
+    capacity = sum(cs.total_capacity_gbps for cs in sets)
+    return capacity > 0 and offered / capacity < SAFE_GROUP_UTILIZATION
+
+
+def _single_location(ctx: RuleContext) -> bool:
+    """All alerts inside one cluster/site -- not a wide-area event."""
+    from ..topology.hierarchy import Level
+
+    return ctx.incident.root.structural_level.value >= Level.SITE.value
+
+
+def _isolation_plan(ctx: RuleContext) -> SOPPlan:
+    device = _primary_device(ctx.incident) or "<unknown>"
+    return SOPPlan(
+        name="isolate-lossy-device",
+        actions=(
+            SOPAction(ActionKind.ISOLATE_DEVICE, device,
+                      note="peers silent, traffic manageable"),
+            SOPAction(ActionKind.OPEN_REPAIR_TICKET, device),
+        ),
+        rollback=(
+            SOPAction(ActionKind.ISOLATE_DEVICE, device, note="un-isolate"),
+        ),
+    )
+
+
+def _only_circuit_evidence(ctx: RuleContext) -> bool:
+    """Port/link-down records only, nothing failure-level: redundancy held."""
+    has_circuit = False
+    for record in ctx.incident.records():
+        if record.level is AlertLevel.FAILURE:
+            return False
+        if record.type_key.name in _CIRCUIT_TYPES:
+            has_circuit = True
+    return has_circuit
+
+
+def _no_full_breaks(ctx: RuleContext) -> bool:
+    if ctx.state is None:
+        return True
+    root = ctx.incident.root
+    sets = (
+        ctx.topology.circuit_sets_of(root.name)
+        if root.is_device
+        else ctx.topology.circuit_sets_under(root)
+    )
+    return all(ctx.state.circuit_set_break_ratio(cs.set_id) < 1.0 for cs in sets)
+
+
+def _ticket_plan(ctx: RuleContext) -> SOPPlan:
+    target = _primary_device(ctx.incident) or str(ctx.incident.root)
+    return SOPPlan(
+        name="redundant-circuit-repair",
+        actions=(SOPAction(ActionKind.OPEN_REPAIR_TICKET, target,
+                           note="redundancy holding; schedule splice"),),
+    )
+
+
+def _has_flapping(ctx: RuleContext) -> bool:
+    return any(
+        r.type_key.name in ("link_flapping", "crc_errors")
+        for r in ctx.incident.records()
+    )
+
+
+def _no_failure_alerts(ctx: RuleContext) -> bool:
+    return all(r.level is not AlertLevel.FAILURE for r in ctx.incident.records())
+
+
+def _interface_plan(ctx: RuleContext) -> SOPPlan:
+    device = _primary_device(ctx.incident) or str(ctx.incident.root)
+    return SOPPlan(
+        name="disable-unstable-interface",
+        actions=(
+            SOPAction(ActionKind.DISABLE_INTERFACE, device,
+                      note="flapping/CRC-errored interface shut"),
+            SOPAction(ActionKind.OPEN_REPAIR_TICKET, device),
+        ),
+        rollback=(SOPAction(ActionKind.DISABLE_INTERFACE, device, note="no shut"),),
+    )
+
+
+def default_rule_library() -> List[HeuristicRule]:
+    """The representative rule set, most specific first."""
+    return [
+        HeuristicRule(
+            name="device-packet-loss-isolation",
+            description=(
+                "A device in a redundancy group loses packets, its peers are "
+                "silent, and group traffic is manageable: isolate it (§7.2)."
+            ),
+            predicates=(
+                _single_location,
+                _has_device_loss_evidence,
+                _group_peers_silent,
+                _group_traffic_manageable,
+            ),
+            plan_builder=_isolation_plan,
+        ),
+        HeuristicRule(
+            name="flapping-interface-disable",
+            description=(
+                "A flapping or CRC-erroring interface with no customer-facing "
+                "loss: administratively shut it and cut a ticket."
+            ),
+            predicates=(_single_location, _has_flapping, _no_failure_alerts),
+            plan_builder=_interface_plan,
+        ),
+        HeuristicRule(
+            name="redundant-circuit-repair",
+            description=(
+                "Circuits broke but redundancy held (no failure alerts, no "
+                "fully-broken set): open a repair ticket only."
+            ),
+            predicates=(_single_location, _only_circuit_evidence, _no_full_breaks),
+            plan_builder=_ticket_plan,
+        ),
+    ]

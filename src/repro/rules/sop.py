@@ -1,0 +1,121 @@
+"""Standard Operating Procedures: the automatic mitigations rules trigger.
+
+A plan is a sequence of reversible actions plus the rollback the paper
+insists on ("a rollback plan is prepared, enabling network operators to
+manually revert actions to prevent incorrect mitigation", §7.2).  Executing
+an action against the simulator *ends the matching conditions* -- the fault
+is still physically there (a ticket is cut for repair) but its service
+impact stops, which is what mitigation means operationally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Sequence
+
+from ..simulation.conditions import Condition
+from ..simulation.state import NetworkState
+
+
+class ActionKind(enum.Enum):
+    ISOLATE_DEVICE = "isolate_device"  # drain traffic off a device
+    DISABLE_INTERFACE = "disable_interface"  # shut a flapping/corrupting link
+    BLOCK_TRAFFIC = "block_traffic"  # ACL drop (DDoS response)
+    OPEN_REPAIR_TICKET = "open_repair_ticket"  # human follow-up, no net change
+    REDUCE_BANDWIDTH = "reduce_bandwidth"  # §2.2-style service de-prioritisation
+
+
+@dataclasses.dataclass(frozen=True)
+class SOPAction:
+    kind: ActionKind
+    target: str  # device name, circuit-set id, or location string
+    note: str = ""
+
+    def render(self) -> str:
+        return f"{self.kind.value}({self.target})" + (f"  # {self.note}" if self.note else "")
+
+
+@dataclasses.dataclass
+class SOPPlan:
+    """Ordered mitigation actions with their rollback."""
+
+    name: str
+    actions: Sequence[SOPAction]
+    rollback: Sequence[SOPAction] = ()
+
+    def render(self) -> str:
+        lines = [f"SOP {self.name}:"]
+        lines += [f"  - {a.render()}" for a in self.actions]
+        if self.rollback:
+            lines.append("  rollback:")
+            lines += [f"  - {a.render()}" for a in self.rollback]
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class ExecutionRecord:
+    plan: SOPPlan
+    executed_at: float
+    mitigated_condition_ids: List[str]
+    rolled_back: bool = False
+
+
+class SOPExecutor:
+    """Applies plans to the simulated network and keeps an audit trail."""
+
+    #: action kinds that stop a fault's service impact when targeted at it
+    _MITIGATING = frozenset(
+        {
+            ActionKind.ISOLATE_DEVICE,
+            ActionKind.DISABLE_INTERFACE,
+            ActionKind.BLOCK_TRAFFIC,
+            ActionKind.REDUCE_BANDWIDTH,
+        }
+    )
+
+    def __init__(self, state: NetworkState):
+        self._state = state
+        self._history: List[ExecutionRecord] = []
+
+    @property
+    def history(self) -> List[ExecutionRecord]:
+        return list(self._history)
+
+    def execute(self, plan: SOPPlan, now: Optional[float] = None) -> ExecutionRecord:
+        """Run a plan: every mitigating action ends the active conditions on
+        its target (device name, circuit-set id, or location string)."""
+        now = self._state.now if now is None else now
+        mitigated: List[str] = []
+        for action in plan.actions:
+            if action.kind not in self._MITIGATING:
+                continue
+            for cond in self._conditions_on_target(action.target):
+                self._state.end_condition(cond.condition_id, at=now)
+                mitigated.append(cond.condition_id)
+        record = ExecutionRecord(
+            plan=plan, executed_at=now, mitigated_condition_ids=mitigated
+        )
+        self._history.append(record)
+        return record
+
+    def _conditions_on_target(self, target: str) -> List[Condition]:
+        # device and circuit-set ids share one namespace in the index
+        conds = {
+            c.condition_id: c for c in self._state.conditions_on_device(target)
+        }
+        for cond in self._state.conditions_on_circuit_set(target):
+            conds[cond.condition_id] = cond
+        # location targets (DDoS victims) are stringified paths
+        for cond in self._state.active_conditions():
+            if not isinstance(cond.target, str) and str(cond.target) == target:
+                conds[cond.condition_id] = cond
+        return list(conds.values())
+
+    def rollback(self, record: ExecutionRecord) -> None:
+        """Mark a plan rolled back (the audit trail the paper requires).
+
+        Re-activating ended conditions is intentionally not supported: in
+        production a rollback restores configuration, not the fault.
+        """
+        record.rolled_back = True

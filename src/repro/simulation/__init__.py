@@ -1,0 +1,52 @@
+"""Failure-injection simulator: the substrate the monitoring tools observe.
+
+See DESIGN.md §2 for why this substitutes for the paper's production
+network and alert corpus.
+"""
+
+from .clock import PeriodicSchedule, SimClock
+from .conditions import (
+    CIRCUIT_SET_KINDS,
+    DEVICE_KINDS,
+    LOCATION_KINDS,
+    TOPOLOGY_AFFECTING_KINDS,
+    Condition,
+    ConditionKind,
+)
+from .failures import (
+    FIGURE1_PROPORTIONS,
+    FailureCategory,
+    FailureScenario,
+    GroundTruth,
+    sample_campaign,
+    sample_category,
+    sample_failure,
+)
+from .injector import FailureInjector
+from .noise import BackgroundNoise, NoiseProfile
+from .state import DEFAULT_LOSS_RATES, NetworkState
+from . import scenarios
+
+__all__ = [
+    "BackgroundNoise",
+    "CIRCUIT_SET_KINDS",
+    "Condition",
+    "ConditionKind",
+    "DEFAULT_LOSS_RATES",
+    "DEVICE_KINDS",
+    "FIGURE1_PROPORTIONS",
+    "FailureCategory",
+    "FailureInjector",
+    "FailureScenario",
+    "GroundTruth",
+    "LOCATION_KINDS",
+    "NetworkState",
+    "NoiseProfile",
+    "PeriodicSchedule",
+    "SimClock",
+    "TOPOLOGY_AFFECTING_KINDS",
+    "sample_campaign",
+    "sample_category",
+    "sample_failure",
+    "scenarios",
+]

@@ -1,0 +1,69 @@
+"""Simulated time.
+
+SkyNet's core never reads the wall clock -- every component takes explicit
+timestamps (simulated seconds) so that runs are deterministic and
+property-testable.  :class:`SimClock` is the single source of "now" for a
+simulation, and :class:`PeriodicSchedule` tells a monitor when its next
+polling round is due.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonically advancing simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time at or after now."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f})"
+
+
+class PeriodicSchedule:
+    """Fires at ``offset, offset + period, offset + 2*period, ...``.
+
+    Monitors poll at wildly different frequencies (Ping every 2 s, patrol
+    inspection every 15 min -- §4.1), so each owns one of these.  ``due``
+    returns every firing time that has elapsed, which keeps monitors correct
+    even when the simulation advances in coarse steps.
+    """
+
+    def __init__(self, period: float, offset: float = 0.0):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self.period = float(period)
+        self._next = float(offset)
+
+    def due(self, now: float) -> list:
+        """All firing instants with ``t <= now`` not yet consumed."""
+        fired = []
+        while self._next <= now:
+            fired.append(self._next)
+            self._next += self.period
+        return fired
+
+    def peek_next(self) -> float:
+        return self._next

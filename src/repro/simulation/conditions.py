@@ -1,0 +1,158 @@
+"""Failure conditions: the atomic faults a simulation injects.
+
+A *condition* is one concrete fault active over a time window -- "device X
+is down", "3 of 8 circuits in set Y are broken", "cluster Z is under a
+40 Gb/s DDoS".  Failure *scenarios* (``repro.simulation.failures``) bundle
+several conditions plus ground truth; :class:`~repro.simulation.state.
+NetworkState` turns the active conditions into observable network behaviour
+(reachability, loss, counters, logs) that the monitoring tools read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Dict, Optional, Tuple, Union
+
+from ..topology.hierarchy import LocationPath
+
+
+class ConditionKind(enum.Enum):
+    """Every kind of atomic fault the simulator understands.
+
+    The mapping from the paper's root-cause taxonomy (Figure 1) to these
+    kinds lives in ``repro.simulation.failures``.
+    """
+
+    # device-scoped
+    DEVICE_DOWN = "device_down"  # total failure: unreachable, drops traffic
+    DEVICE_HARDWARE_ERROR = "device_hardware_error"  # chip fault: loss + syslog
+    DEVICE_SOFTWARE_ERROR = "device_software_error"  # crash: syslog + BGP churn
+    DEVICE_SILENT_LOSS = "device_silent_loss"  # drops with *no* syslog trace
+    DEVICE_HIGH_CPU = "device_high_cpu"
+    DEVICE_HIGH_MEM = "device_high_mem"
+    DEVICE_CLOCK_DRIFT = "device_clock_drift"  # PTP desynchronisation
+    DEVICE_UNBALANCED_HASH = "device_unbalanced_hash"  # §7.3 case: skewed ECMP
+
+    # link / circuit-set scoped
+    CIRCUIT_BREAK = "circuit_break"  # some circuits of a set are cut
+    LINK_FLAPPING = "link_flapping"  # interface bouncing: bursty loss + logs
+    LINK_CRC_ERRORS = "link_crc_errors"  # bit flips / RX errors on a set
+
+    # control plane
+    ROUTE_LEAK = "route_leak"
+    ROUTE_HIJACK = "route_hijack"
+    ROUTE_LOSS = "route_loss"  # loss of default/aggregate route -> blackhole
+
+    # operations
+    CONFIG_ERROR = "config_error"  # misconfiguration blackholing traffic
+    MODIFICATION_FAILED = "modification_failed"
+    MODIFICATION_OK = "modification_ok"  # benign scheduled change (noise)
+    PROBE_ERROR = "probe_error"  # faulty OOB probe spamming false down alerts
+
+    # traffic
+    DDOS_ATTACK = "ddos_attack"  # extra inbound load aimed at a cluster
+
+
+#: Kinds whose target is a device name.
+DEVICE_KINDS = frozenset(
+    {
+        ConditionKind.DEVICE_DOWN,
+        ConditionKind.DEVICE_HARDWARE_ERROR,
+        ConditionKind.DEVICE_SOFTWARE_ERROR,
+        ConditionKind.DEVICE_SILENT_LOSS,
+        ConditionKind.DEVICE_HIGH_CPU,
+        ConditionKind.DEVICE_HIGH_MEM,
+        ConditionKind.DEVICE_CLOCK_DRIFT,
+        ConditionKind.DEVICE_UNBALANCED_HASH,
+        ConditionKind.ROUTE_LEAK,
+        ConditionKind.ROUTE_HIJACK,
+        ConditionKind.ROUTE_LOSS,
+        ConditionKind.CONFIG_ERROR,
+        ConditionKind.MODIFICATION_FAILED,
+        ConditionKind.MODIFICATION_OK,
+        ConditionKind.PROBE_ERROR,
+    }
+)
+
+#: Kinds whose target is a circuit-set id.
+CIRCUIT_SET_KINDS = frozenset(
+    {
+        ConditionKind.CIRCUIT_BREAK,
+        ConditionKind.LINK_FLAPPING,
+        ConditionKind.LINK_CRC_ERRORS,
+    }
+)
+
+#: Kinds whose target is a location (a subtree of the hierarchy).
+LOCATION_KINDS = frozenset({ConditionKind.DDOS_ATTACK})
+
+#: Kinds that change how traffic is routed (trigger placement recompute and
+#: the routing-convergence grace window).
+TOPOLOGY_AFFECTING_KINDS = frozenset(
+    {
+        ConditionKind.DEVICE_DOWN,
+        ConditionKind.CIRCUIT_BREAK,
+        ConditionKind.CONFIG_ERROR,
+        ConditionKind.ROUTE_LOSS,
+    }
+)
+
+_condition_counter = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Condition:
+    """One atomic fault, active on ``[start, end)`` (``end=None`` = open).
+
+    ``params`` carry kind-specific knobs:
+
+    * ``loss_rate`` -- packet loss probability at the faulty element;
+    * ``broken_circuits`` -- how many member circuits a CIRCUIT_BREAK cuts;
+    * ``attack_gbps`` -- DDoS volume;
+    * ``drift_us`` -- PTP clock offset;
+    * ``utilization`` -- CPU/MEM level for the HIGH_* kinds.
+    """
+
+    kind: ConditionKind
+    target: Union[str, LocationPath]
+    start: float
+    end: Optional[float] = None
+    params: Dict[str, float] = dataclasses.field(default_factory=dict)
+    condition_id: str = dataclasses.field(
+        default_factory=lambda: f"cond-{next(_condition_counter):06d}"
+    )
+
+    def __post_init__(self) -> None:
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"{self.condition_id}: end {self.end} must be after start {self.start}"
+            )
+        if self.kind in LOCATION_KINDS and not isinstance(self.target, LocationPath):
+            raise TypeError(f"{self.kind} targets a LocationPath")
+        if self.kind not in LOCATION_KINDS and not isinstance(self.target, str):
+            raise TypeError(f"{self.kind} targets a device/circuit-set name")
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t and (self.end is None or t < self.end)
+
+    def age_at(self, t: float) -> float:
+        """Seconds since the condition began (negative before start)."""
+        return t - self.start
+
+    @property
+    def affects_routing(self) -> bool:
+        return self.kind in TOPOLOGY_AFFECTING_KINDS
+
+    def param(self, name: str, default: float = 0.0) -> float:
+        return float(self.params.get(name, default))
+
+    def shifted(self, dt: float) -> "Condition":
+        """A copy moved ``dt`` seconds later (scenario re-scheduling)."""
+        return dataclasses.replace(
+            self,
+            start=self.start + dt,
+            end=None if self.end is None else self.end + dt,
+            condition_id=f"cond-{next(_condition_counter):06d}",
+        )

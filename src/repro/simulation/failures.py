@@ -1,0 +1,518 @@
+"""Failure taxonomy (paper Figure 1) and random failure scenario sampling.
+
+A :class:`FailureScenario` bundles the atomic conditions one root cause
+produces plus the ground truth SkyNet should recover (where, when, what,
+how severe).  Ground truth drives the accuracy metrics in Figures 8a and 9:
+a detected incident is a true positive when it overlaps a scenario in both
+location and time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..topology.hierarchy import Level, LocationPath
+from ..topology.network import DeviceRole, Topology
+from .conditions import Condition, ConditionKind
+
+
+class FailureCategory(enum.Enum):
+    """Root-cause categories with Figure 1's observed shares."""
+
+    DEVICE_HARDWARE = "device_hardware_error"
+    LINK = "link_error"
+    MODIFICATION = "network_modification_error"
+    DEVICE_SOFTWARE = "device_software_error"
+    INFRASTRUCTURE = "infrastructure_error"
+    ROUTE = "route_error"
+    SECURITY = "security_error"
+    CONFIGURATION = "configuration_error"
+
+
+#: Figure 1 proportions (the paper's slices sum to ~102% from rounding;
+#: normalised on use).
+FIGURE1_PROPORTIONS: Dict[FailureCategory, float] = {
+    FailureCategory.DEVICE_HARDWARE: 42.6,
+    FailureCategory.LINK: 18.5,
+    FailureCategory.MODIFICATION: 16.7,
+    FailureCategory.DEVICE_SOFTWARE: 9.3,
+    FailureCategory.INFRASTRUCTURE: 9.3,
+    FailureCategory.ROUTE: 1.9,
+    FailureCategory.SECURITY: 1.9,
+    FailureCategory.CONFIGURATION: 1.9,
+}
+
+_scenario_counter = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class GroundTruth:
+    """What actually happened -- the oracle SkyNet is scored against."""
+
+    scope: LocationPath  # smallest location containing the whole failure
+    category: FailureCategory
+    start: float
+    end: float
+    severe: bool  # extensive-impact failure (§2.2) vs a minor glitch
+    customer_impacting: bool  # causes sustained loss customers can feel
+    root_cause_targets: Sequence[str]  # device names / circuit-set ids
+
+    def overlaps_window(self, start: float, end: float) -> bool:
+        return self.start < end and start < self.end
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureScenario:
+    """A named failure: its conditions plus ground truth."""
+
+    name: str
+    conditions: Sequence[Condition]
+    truth: GroundTruth
+
+    def shifted(self, dt: float) -> "FailureScenario":
+        return FailureScenario(
+            name=self.name,
+            conditions=[c.shifted(dt) for c in self.conditions],
+            truth=dataclasses.replace(
+                self.truth, start=self.truth.start + dt, end=self.truth.end + dt
+            ),
+        )
+
+
+def _name(category: FailureCategory) -> str:
+    return f"{category.value}-{next(_scenario_counter):05d}"
+
+
+def _pick_device(topo: Topology, rng: random.Random, roles: Sequence[DeviceRole]):
+    candidates = sorted(
+        (d for d in topo.devices.values() if d.role in roles), key=lambda d: d.name
+    )
+    if not candidates:
+        raise ValueError(f"topology has no devices with roles {roles}")
+    return rng.choice(candidates)
+
+def _pick_circuit_set(topo: Topology, rng: random.Random, internal_only: bool = True):
+    from ..topology.network import INTERNET
+
+    candidates = sorted(
+        (
+            cs
+            for cs in topo.circuit_sets.values()
+            if not internal_only or INTERNET not in cs.endpoints
+        ),
+        key=lambda cs: cs.set_id,
+    )
+    return rng.choice(candidates)
+
+
+def _scope_of_device(topo: Topology, device_name: str) -> LocationPath:
+    return topo.device(device_name).parent_location
+
+
+def _scope_of_circuit_set(topo: Topology, set_id: str) -> LocationPath:
+    from ..topology.network import INTERNET
+
+    cs = topo.circuit_set(set_id)
+    ends = [e for e in cs.endpoints if e != INTERNET]
+    locs = [topo.device(e).location for e in ends]
+    if len(locs) == 1:
+        return locs[0].parent
+    return locs[0].common_ancestor(locs[1])
+
+
+# -- per-category scenario builders -------------------------------------------
+
+
+def device_hardware_failure(
+    topo: Topology,
+    rng: random.Random,
+    start: float,
+    severe: bool,
+) -> FailureScenario:
+    """Forwarding-chip fault; severe variant takes an aggregation router down."""
+    if severe:
+        device = _pick_device(
+            topo, rng, (DeviceRole.LOGIC_SITE_ROUTER, DeviceRole.CITY_ROUTER)
+        )
+        duration = rng.uniform(1200, 2400)
+        conditions = [
+            Condition(
+                ConditionKind.DEVICE_HARDWARE_ERROR,
+                device.name,
+                start,
+                start + duration,
+                {"loss_rate": rng.uniform(0.3, 0.6)},
+            ),
+            Condition(
+                ConditionKind.DEVICE_DOWN,
+                device.name,
+                start + rng.uniform(60, 180),
+                start + duration,
+            ),
+        ]
+    else:
+        device = _pick_device(topo, rng, (DeviceRole.CLUSTER_SWITCH,))
+        duration = rng.uniform(300, 900)
+        conditions = [
+            Condition(
+                ConditionKind.DEVICE_HARDWARE_ERROR,
+                device.name,
+                start,
+                start + duration,
+                {"loss_rate": rng.uniform(0.05, 0.2)},
+            )
+        ]
+    return FailureScenario(
+        name=_name(FailureCategory.DEVICE_HARDWARE),
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=_scope_of_device(topo, device.name),
+            category=FailureCategory.DEVICE_HARDWARE,
+            start=start,
+            end=start + duration,
+            severe=severe,
+            customer_impacting=True,
+            root_cause_targets=(device.name,),
+        ),
+    )
+
+
+def link_failure(
+    topo: Topology, rng: random.Random, start: float, severe: bool
+) -> FailureScenario:
+    """Circuit cuts; severe variant breaks most circuits of several sets at
+    one location (the §2.2 Internet-entrance pattern lives in scenarios.py)."""
+    duration = rng.uniform(1200, 3600) if severe else rng.uniform(300, 900)
+    if severe:
+        # a dug-up cable bundle: every circuit of several co-routed sets cut
+        anchor = _pick_device(
+            topo, rng, (DeviceRole.SITE_AGGREGATION, DeviceRole.LOGIC_SITE_ROUTER)
+        )
+        sets = topo.circuit_sets_of(anchor.name)[:3]
+        conditions = [
+            Condition(
+                ConditionKind.CIRCUIT_BREAK,
+                cs.set_id,
+                start + i * rng.uniform(0.5, 5.0),
+                start + duration,
+                {"broken_circuits": len(cs.circuits)},
+            )
+            for i, cs in enumerate(sets)
+        ]
+        targets = tuple(cs.set_id for cs in sets)
+        scope = _scope_of_device(topo, anchor.name)
+        impacting = True
+    else:
+        cs = _pick_circuit_set(topo, rng)
+        conditions = [
+            Condition(
+                ConditionKind.CIRCUIT_BREAK,
+                cs.set_id,
+                start,
+                start + duration,
+                {"broken_circuits": 1},
+            )
+        ]
+        targets = (cs.set_id,)
+        scope = _scope_of_circuit_set(topo, cs.set_id)
+        # one broken circuit in a redundant set: bandwidth dip, no loss
+        impacting = False
+    return FailureScenario(
+        name=_name(FailureCategory.LINK),
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=scope,
+            category=FailureCategory.LINK,
+            start=start,
+            end=start + duration,
+            severe=severe,
+            customer_impacting=impacting,
+            root_cause_targets=targets,
+        ),
+    )
+
+
+def modification_failure(
+    topo: Topology, rng: random.Random, start: float, severe: bool
+) -> FailureScenario:
+    """A network change gone wrong: failed-modification event + blackhole."""
+    roles = (
+        (DeviceRole.LOGIC_SITE_ROUTER, DeviceRole.CITY_ROUTER)
+        if severe
+        else (DeviceRole.SITE_AGGREGATION, DeviceRole.CLUSTER_SWITCH)
+    )
+    device = _pick_device(topo, rng, roles)
+    duration = rng.uniform(900, 1800) if severe else rng.uniform(240, 600)
+    conditions = [
+        Condition(ConditionKind.MODIFICATION_FAILED, device.name, start, start + 60),
+        Condition(
+            ConditionKind.CONFIG_ERROR,
+            device.name,
+            start + rng.uniform(5, 30),
+            start + duration,
+            {"loss_rate": rng.uniform(0.4, 0.9) if severe else rng.uniform(0.1, 0.3)},
+        ),
+    ]
+    return FailureScenario(
+        name=_name(FailureCategory.MODIFICATION),
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=_scope_of_device(topo, device.name),
+            category=FailureCategory.MODIFICATION,
+            start=start,
+            end=start + duration,
+            severe=severe,
+            customer_impacting=True,
+            root_cause_targets=(device.name,),
+        ),
+    )
+
+
+def device_software_failure(
+    topo: Topology, rng: random.Random, start: float, severe: bool
+) -> FailureScenario:
+    """Process crash / OOM: syslog software errors, BGP churn, light loss."""
+    roles = (
+        (DeviceRole.LOGIC_SITE_ROUTER, DeviceRole.INTERNET_GATEWAY)
+        if severe
+        else (DeviceRole.CLUSTER_SWITCH, DeviceRole.SITE_AGGREGATION)
+    )
+    device = _pick_device(topo, rng, roles)
+    duration = rng.uniform(900, 2400) if severe else rng.uniform(300, 900)
+    conditions = [
+        Condition(
+            ConditionKind.DEVICE_SOFTWARE_ERROR,
+            device.name,
+            start,
+            start + duration,
+            {"loss_rate": 0.25 if severe else 0.04},
+        ),
+        Condition(
+            ConditionKind.DEVICE_HIGH_MEM,
+            device.name,
+            start,
+            start + duration,
+            {"utilization": rng.uniform(0.92, 0.99)},
+        ),
+    ]
+    return FailureScenario(
+        name=_name(FailureCategory.DEVICE_SOFTWARE),
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=_scope_of_device(topo, device.name),
+            category=FailureCategory.DEVICE_SOFTWARE,
+            start=start,
+            end=start + duration,
+            severe=severe,
+            customer_impacting=severe,
+            root_cause_targets=(device.name,),
+        ),
+    )
+
+
+def infrastructure_failure(
+    topo: Topology, rng: random.Random, start: float, severe: bool
+) -> FailureScenario:
+    """Power/cooling fault taking whole devices off the air (OOB flags them)."""
+    device = _pick_device(
+        topo,
+        rng,
+        (DeviceRole.CLUSTER_SWITCH, DeviceRole.SITE_AGGREGATION),
+    )
+    peers = (
+        [d for d in topo.devices_at(device.parent_location) if d.role is device.role]
+        if severe
+        else [device]
+    )
+    duration = rng.uniform(1800, 3600) if severe else rng.uniform(300, 1200)
+    conditions = [
+        Condition(ConditionKind.DEVICE_DOWN, peer.name, start, start + duration)
+        for peer in peers
+    ]
+    return FailureScenario(
+        name=_name(FailureCategory.INFRASTRUCTURE),
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=device.parent_location,
+            category=FailureCategory.INFRASTRUCTURE,
+            start=start,
+            end=start + duration,
+            severe=severe,
+            customer_impacting=severe,
+            root_cause_targets=tuple(p.name for p in peers),
+        ),
+    )
+
+
+def route_failure(
+    topo: Topology, rng: random.Random, start: float, severe: bool
+) -> FailureScenario:
+    """Control-plane fault: lost default route (severe) or a route leak."""
+    device = _pick_device(
+        topo, rng, (DeviceRole.INTERNET_GATEWAY, DeviceRole.LOGIC_SITE_ROUTER)
+    )
+    duration = rng.uniform(600, 1800) if severe else rng.uniform(300, 600)
+    if severe:
+        conditions = [
+            Condition(
+                ConditionKind.ROUTE_LOSS,
+                device.name,
+                start,
+                start + duration,
+                {"loss_rate": 1.0},
+            )
+        ]
+    else:
+        conditions = [
+            Condition(ConditionKind.ROUTE_LEAK, device.name, start, start + duration)
+        ]
+    return FailureScenario(
+        name=_name(FailureCategory.ROUTE),
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=_scope_of_device(topo, device.name),
+            category=FailureCategory.ROUTE,
+            start=start,
+            end=start + duration,
+            severe=severe,
+            customer_impacting=severe,
+            root_cause_targets=(device.name,),
+        ),
+    )
+
+
+def security_failure(
+    topo: Topology, rng: random.Random, start: float, severe: bool
+) -> FailureScenario:
+    """DDoS attack congesting the path into a victim cluster."""
+    clusters = sorted(
+        (loc for loc in topo.locations() if loc.level is Level.CLUSTER),
+        key=str,
+    )
+    victim = rng.choice(clusters)
+    duration = rng.uniform(900, 2400) if severe else rng.uniform(300, 600)
+    attack = rng.uniform(300, 800) if severe else rng.uniform(50, 120)
+    conditions = [
+        Condition(
+            ConditionKind.DDOS_ATTACK,
+            victim,
+            start,
+            start + duration,
+            {"attack_gbps": attack},
+        )
+    ]
+    return FailureScenario(
+        name=_name(FailureCategory.SECURITY),
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=victim,
+            category=FailureCategory.SECURITY,
+            start=start,
+            end=start + duration,
+            severe=severe,
+            customer_impacting=severe,
+            root_cause_targets=(str(victim),),
+        ),
+    )
+
+
+def configuration_failure(
+    topo: Topology, rng: random.Random, start: float, severe: bool
+) -> FailureScenario:
+    """Standalone misconfiguration (no modification event trail)."""
+    device = _pick_device(
+        topo,
+        rng,
+        (DeviceRole.SITE_AGGREGATION,) if severe else (DeviceRole.CLUSTER_SWITCH,),
+    )
+    duration = rng.uniform(900, 1800) if severe else rng.uniform(300, 900)
+    conditions = [
+        Condition(
+            ConditionKind.CONFIG_ERROR,
+            device.name,
+            start,
+            start + duration,
+            {"loss_rate": rng.uniform(0.5, 0.9) if severe else rng.uniform(0.05, 0.2)},
+        )
+    ]
+    return FailureScenario(
+        name=_name(FailureCategory.CONFIGURATION),
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=_scope_of_device(topo, device.name),
+            category=FailureCategory.CONFIGURATION,
+            start=start,
+            end=start + duration,
+            severe=severe,
+            customer_impacting=True,
+            root_cause_targets=(device.name,),
+        ),
+    )
+
+
+_BUILDERS = {
+    FailureCategory.DEVICE_HARDWARE: device_hardware_failure,
+    FailureCategory.LINK: link_failure,
+    FailureCategory.MODIFICATION: modification_failure,
+    FailureCategory.DEVICE_SOFTWARE: device_software_failure,
+    FailureCategory.INFRASTRUCTURE: infrastructure_failure,
+    FailureCategory.ROUTE: route_failure,
+    FailureCategory.SECURITY: security_failure,
+    FailureCategory.CONFIGURATION: configuration_failure,
+}
+
+
+def sample_category(rng: random.Random) -> FailureCategory:
+    """Draw a root-cause category from the Figure 1 distribution."""
+    cats = list(FIGURE1_PROPORTIONS)
+    weights = [FIGURE1_PROPORTIONS[c] for c in cats]
+    return rng.choices(cats, weights=weights, k=1)[0]
+
+
+def sample_failure(
+    topo: Topology,
+    rng: random.Random,
+    start: float = 0.0,
+    category: Optional[FailureCategory] = None,
+    severe: Optional[bool] = None,
+) -> FailureScenario:
+    """Sample one failure scenario.
+
+    ``severe=None`` draws severity with the paper's skew: severe failures are
+    rare ("only a few times globally each year", §1), so ~15% of draws.
+    """
+    if category is None:
+        category = sample_category(rng)
+    if severe is None:
+        severe = rng.random() < 0.15
+    return _BUILDERS[category](topo, rng, start, severe)
+
+
+def sample_campaign(
+    topo: Topology,
+    rng: random.Random,
+    n_failures: int,
+    horizon_s: float,
+    severe_fraction: float = 0.15,
+) -> List[FailureScenario]:
+    """A batch of failures spread uniformly over ``[0, horizon_s)``."""
+    if n_failures < 0:
+        raise ValueError("n_failures must be non-negative")
+    scenarios = []
+    # leave room before the horizon so every failure is observable for at
+    # least a few polling rounds of the slowest tools
+    latest_start = max(horizon_s * 0.5, horizon_s - 900.0)
+    for _ in range(n_failures):
+        scenarios.append(
+            sample_failure(
+                topo,
+                rng,
+                start=rng.uniform(0.0, latest_start) if latest_start else 0.0,
+                severe=rng.random() < severe_fraction,
+            )
+        )
+    return sorted(scenarios, key=lambda s: s.truth.start)

@@ -1,0 +1,83 @@
+"""Failure injection: loads scenarios and noise into a network state and
+keeps the ground-truth ledger the accuracy experiments score against."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..topology.hierarchy import LocationPath
+from .conditions import Condition
+from .failures import FailureScenario, GroundTruth
+from .state import NetworkState
+
+
+class FailureInjector:
+    """Applies failure scenarios and noise conditions to a network state."""
+
+    def __init__(self, state: NetworkState):
+        self._state = state
+        self._scenarios: List[FailureScenario] = []
+        self._noise: List[Condition] = []
+
+    @property
+    def state(self) -> NetworkState:
+        return self._state
+
+    @property
+    def scenarios(self) -> List[FailureScenario]:
+        return list(self._scenarios)
+
+    @property
+    def ground_truths(self) -> List[GroundTruth]:
+        return [s.truth for s in self._scenarios]
+
+    @property
+    def noise_conditions(self) -> List[Condition]:
+        return list(self._noise)
+
+    def inject(self, scenario: FailureScenario) -> None:
+        self._scenarios.append(scenario)
+        self._state.add_conditions(scenario.conditions)
+
+    def inject_all(self, scenarios: Iterable[FailureScenario]) -> None:
+        for scenario in scenarios:
+            self.inject(scenario)
+
+    def inject_noise(self, conditions: Sequence[Condition]) -> None:
+        self._noise.extend(conditions)
+        self._state.add_conditions(conditions)
+
+    # -- scoring helpers ---------------------------------------------------------
+
+    def matching_truth(
+        self,
+        location: LocationPath,
+        start: float,
+        end: float,
+        impacting_only: bool = False,
+    ) -> Optional[GroundTruth]:
+        """The ground truth (if any) an incident at ``location`` over
+        ``[start, end]`` corresponds to.
+
+        A match requires time overlap and location agreement in either
+        direction: the incident scope may be an ancestor of the failure
+        scope (SkyNet grouped wide) or a descendant (it zoomed in).
+        """
+        for truth in self.ground_truths:
+            if impacting_only and not truth.customer_impacting:
+                continue
+            if not truth.overlaps_window(start, end):
+                continue
+            if truth.scope.contains(location) or location.contains(truth.scope):
+                return truth
+        return None
+
+    def truths_in_window(
+        self, start: float, end: float, impacting_only: bool = True
+    ) -> List[GroundTruth]:
+        return [
+            t
+            for t in self.ground_truths
+            if t.overlaps_window(start, end)
+            and (not impacting_only or t.customer_impacting)
+        ]

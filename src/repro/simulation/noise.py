@@ -1,0 +1,220 @@
+"""Background noise: the harmless chatter real networks never stop producing.
+
+§2.2: "unrelated glitches continued to produce alerts, further complicating
+the task"; §4.2: faulty probes spam identical device-down alerts.  Noise
+conditions carry no ground truth -- any incident SkyNet builds purely out of
+them counts as a false positive in the accuracy experiments (Figures 8a, 9).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List
+
+from ..topology.network import Topology
+from .conditions import Condition, ConditionKind
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseProfile:
+    """Mean event rates, per hour across the whole network."""
+
+    cpu_blips_per_hour: float = 6.0
+    mem_blips_per_hour: float = 3.0
+    benign_modifications_per_hour: float = 4.0
+    probe_errors_per_hour: float = 1.0
+    sporadic_loss_per_hour: float = 5.0
+    clock_drifts_per_hour: float = 1.0
+    flap_blips_per_hour: float = 2.0
+    #: correlated waves: one random event (faulty OOB probe, maintenance
+    #: sweep) hitting several devices of one site at once -- the §4.2
+    #: false-alarm generator that per-(type,location) counting trips over
+    probe_error_waves_per_hour: float = 0.7
+    cpu_waves_per_hour: float = 0.5
+    devices_per_wave: int = 6
+    #: planned-maintenance waves: one circuit out of several sets at a
+    #: site plus some flapping; redundancy holds, nothing is broken, but
+    #: the port-down burst is loud
+    maintenance_waves_per_hour: float = 0.0
+
+    @classmethod
+    def quiet(cls) -> "NoiseProfile":
+        return cls(
+            cpu_blips_per_hour=1.0,
+            mem_blips_per_hour=0.5,
+            benign_modifications_per_hour=1.0,
+            probe_errors_per_hour=0.2,
+            sporadic_loss_per_hour=1.0,
+            clock_drifts_per_hour=0.2,
+            flap_blips_per_hour=0.5,
+        )
+
+    @classmethod
+    def noisy(cls) -> "NoiseProfile":
+        return cls(
+            cpu_blips_per_hour=20.0,
+            mem_blips_per_hour=10.0,
+            benign_modifications_per_hour=12.0,
+            probe_errors_per_hour=4.0,
+            sporadic_loss_per_hour=15.0,
+            clock_drifts_per_hour=3.0,
+            flap_blips_per_hour=8.0,
+        )
+
+
+class BackgroundNoise:
+    """Samples harmless glitch conditions over a time horizon."""
+
+    def __init__(self, topology: Topology, profile: NoiseProfile = NoiseProfile(),
+                 seed: int = 23):
+        self._topo = topology
+        self._profile = profile
+        self._rng = random.Random(seed)
+        self._device_names = sorted(topology.devices)
+        self._set_ids = sorted(topology.circuit_sets)
+
+    def generate(self, horizon_s: float, start: float = 0.0) -> List[Condition]:
+        """All noise conditions in ``[start, start + horizon_s)``."""
+        if horizon_s < 0:
+            raise ValueError("horizon must be non-negative")
+        out: List[Condition] = []
+        hours = horizon_s / 3600.0
+        p = self._profile
+        out += self._device_events(
+            ConditionKind.DEVICE_HIGH_CPU, p.cpu_blips_per_hour * hours,
+            start, horizon_s, (60, 240), {"utilization": 0.95},
+        )
+        out += self._device_events(
+            ConditionKind.DEVICE_HIGH_MEM, p.mem_blips_per_hour * hours,
+            start, horizon_s, (60, 240), {"utilization": 0.93},
+        )
+        out += self._device_events(
+            ConditionKind.MODIFICATION_OK, p.benign_modifications_per_hour * hours,
+            start, horizon_s, (30, 90), {},
+        )
+        out += self._device_events(
+            ConditionKind.PROBE_ERROR, p.probe_errors_per_hour * hours,
+            start, horizon_s, (60, 300), {},
+        )
+        out += self._device_events(
+            ConditionKind.DEVICE_SILENT_LOSS, p.sporadic_loss_per_hour * hours,
+            start, horizon_s, (10, 45), {"loss_rate": 0.01},
+        )
+        out += self._device_events(
+            ConditionKind.DEVICE_CLOCK_DRIFT, p.clock_drifts_per_hour * hours,
+            start, horizon_s, (120, 600), {"drift_us": 80.0},
+        )
+        n_flaps = self._count(p.flap_blips_per_hour * hours)
+        for _ in range(n_flaps):
+            set_id = self._rng.choice(self._set_ids)
+            t0 = start + self._rng.uniform(0, horizon_s)
+            out.append(
+                Condition(
+                    ConditionKind.LINK_FLAPPING,
+                    set_id,
+                    t0,
+                    t0 + self._rng.uniform(15, 60),
+                    {"loss_rate": 0.005},
+                )
+            )
+        out += self._waves(
+            ConditionKind.PROBE_ERROR, p.probe_error_waves_per_hour * hours,
+            start, horizon_s, {},
+        )
+        out += self._waves(
+            ConditionKind.DEVICE_HIGH_CPU, p.cpu_waves_per_hour * hours,
+            start, horizon_s, {"utilization": 0.96},
+        )
+        out += self._maintenance_waves(
+            p.maintenance_waves_per_hour * hours, start, horizon_s
+        )
+        return sorted(out, key=lambda c: c.start)
+
+    def _maintenance_waves(self, mean, start, horizon_s):
+        from ..topology.hierarchy import Level
+        from ..topology.network import DeviceRole
+
+        sites = [
+            loc for loc in self._topo.locations() if loc.level is Level.SITE
+        ]
+        out = []
+        for _ in range(self._count(mean)):
+            site = self._rng.choice(sites)
+            sets = [
+                cs
+                for d in self._topo.devices_at(site)
+                if d.role is DeviceRole.SITE_AGGREGATION
+                for cs in self._topo.circuit_sets_of(d.name)
+            ][:6]
+            t0 = start + self._rng.uniform(0, horizon_s)
+            duration = self._rng.uniform(300, 600)
+            for i, cs in enumerate(sets):
+                out.append(
+                    Condition(
+                        ConditionKind.CIRCUIT_BREAK, cs.set_id,
+                        t0 + i * 2.0, t0 + duration,
+                        {"broken_circuits": 1},
+                    )
+                )
+            if sets:
+                out.append(
+                    Condition(
+                        ConditionKind.LINK_FLAPPING, sets[0].set_id,
+                        t0, t0 + duration / 2, {"loss_rate": 0.005},
+                    )
+                )
+        return out
+
+    def _waves(self, kind, mean, start, horizon_s, params):
+        """Correlated multi-device events within one site."""
+        from ..topology.hierarchy import Level
+
+        sites = [
+            loc for loc in self._topo.locations() if loc.level is Level.SITE
+        ]
+        out = []
+        for _ in range(self._count(mean)):
+            site = self._rng.choice(sites)
+            devices = [d.name for d in self._topo.devices_under(site)]
+            self._rng.shuffle(devices)
+            t0 = start + self._rng.uniform(0, horizon_s)
+            duration = self._rng.uniform(90, 240)
+            for device in devices[: self._profile.devices_per_wave]:
+                out.append(
+                    Condition(kind, device, t0 + self._rng.uniform(0, 5),
+                              t0 + duration, dict(params))
+                )
+        return out
+
+    # -- internals ------------------------------------------------------------
+
+    def _count(self, mean: float) -> int:
+        """Poisson draw via inversion (stdlib-only, deterministic w/ seed)."""
+        if mean <= 0:
+            return 0
+        import math
+
+        l = math.exp(-mean)
+        k, p = 0, 1.0
+        while True:
+            p *= self._rng.random()
+            if p <= l:
+                return k
+            k += 1
+
+    def _device_events(self, kind, mean, start, horizon_s, dur_range, params):
+        out = []
+        for _ in range(self._count(mean)):
+            device = self._rng.choice(self._device_names)
+            t0 = start + self._rng.uniform(0, horizon_s)
+            out.append(
+                Condition(
+                    kind,
+                    device,
+                    t0,
+                    t0 + self._rng.uniform(*dur_range),
+                    dict(params),
+                )
+            )
+        return out

@@ -1,0 +1,557 @@
+"""Canned failure scenarios reproducing the paper's named incidents.
+
+Each function returns one or more :class:`~repro.simulation.failures.
+FailureScenario` objects wired to a concrete topology:
+
+* :func:`internet_entrance_cable_cut` -- §2.2: half the cables at a data
+  center's Internet entry point fail at once; survivors congest, >10k alerts.
+* :func:`known_device_failure` -- Figure 2a: one device losing packets with
+  its interface down; the automatic-SOP case.
+* :func:`multi_site_ddos` -- §5.1 "Multiple scene detection": simultaneous
+  DDoS on five unrelated locations.
+* :func:`ranking_pair` -- §5.1 "Scene ranking": a geographically larger but
+  less important failure next to a small one hitting critical customers.
+* :func:`reflector_failure` -- §7.1: a route reflector misbehaving at
+  logic-site level.
+* :func:`delayed_root_cause` -- §7.3: BGP jitter floods first, the hardware
+  error syslog (the true root cause) arrives minutes later.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..topology.hierarchy import Level, LocationPath
+from ..topology.network import INTERNET, DeviceRole, Topology
+from .conditions import Condition, ConditionKind
+from .failures import FailureCategory, FailureScenario, GroundTruth
+
+
+def _logic_sites(topo: Topology) -> List[LocationPath]:
+    return sorted(
+        (loc for loc in topo.locations() if loc.level is Level.LOGIC_SITE), key=str
+    )
+
+
+def _clusters(topo: Topology) -> List[LocationPath]:
+    return sorted(
+        (loc for loc in topo.locations() if loc.level is Level.CLUSTER), key=str
+    )
+
+
+def internet_entrance_cable_cut(
+    topo: Topology,
+    start: float = 0.0,
+    logic_site: Optional[LocationPath] = None,
+    duration: float = 3600.0,
+) -> FailureScenario:
+    """§2.2: simultaneous cut of about half the Internet-entrance cables.
+
+    One gateway loses its entire circuit set; the others lose half their
+    circuits.  Surviving capacity is insufficient, so congestion -- not the
+    cables themselves -- causes the persistent packet loss, exactly the trap
+    the paper's operators fell into.
+    """
+    logic_site = logic_site or _logic_sites(topo)[0]
+    gateways = [
+        d
+        for d in topo.devices_at(logic_site)
+        if d.role is DeviceRole.INTERNET_GATEWAY
+    ]
+    if not gateways:
+        raise ValueError(f"{logic_site} has no Internet gateways")
+    conditions: List[Condition] = []
+    targets: List[str] = []
+    for i, gw in enumerate(gateways):
+        entry_sets = [
+            cs for cs in topo.circuit_sets_of(gw.name) if INTERNET in cs.endpoints
+        ]
+        for cs in entry_sets:
+            broken = len(cs.circuits) if i == 0 else max(1, len(cs.circuits) // 2)
+            conditions.append(
+                Condition(
+                    ConditionKind.CIRCUIT_BREAK,
+                    cs.set_id,
+                    start + i * 2.0,
+                    start + duration,
+                    {"broken_circuits": broken},
+                )
+            )
+            targets.append(cs.set_id)
+    return FailureScenario(
+        name="internet-entrance-cable-cut",
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=logic_site,
+            category=FailureCategory.LINK,
+            start=start,
+            end=start + duration,
+            severe=True,
+            customer_impacting=True,
+            root_cause_targets=tuple(targets),
+        ),
+    )
+
+
+def known_device_failure(
+    topo: Topology,
+    start: float = 0.0,
+    device_name: Optional[str] = None,
+    duration: float = 600.0,
+) -> FailureScenario:
+    """Figure 2a: one cluster switch drops packets and downs an interface.
+
+    Its redundancy-group peers stay silent, so the heuristic SOP matches and
+    isolates the device automatically (§5.1 first case study).
+    """
+    if device_name is None:
+        device_name = sorted(
+            d.name
+            for d in topo.devices.values()
+            if d.role is DeviceRole.CLUSTER_SWITCH
+        )[0]
+    device = topo.device(device_name)
+    uplinks = topo.circuit_sets_of(device_name)
+    conditions = [
+        Condition(
+            ConditionKind.DEVICE_HARDWARE_ERROR,
+            device_name,
+            start,
+            start + duration,
+            {"loss_rate": 0.4},
+        ),
+    ]
+    if uplinks:
+        conditions.append(
+            Condition(
+                ConditionKind.CIRCUIT_BREAK,
+                uplinks[0].set_id,
+                start + 1.0,
+                start + duration,
+                {"broken_circuits": len(uplinks[0].circuits)},
+            )
+        )
+    return FailureScenario(
+        name="known-device-failure",
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=device.parent_location,
+            category=FailureCategory.DEVICE_HARDWARE,
+            start=start,
+            end=start + duration,
+            severe=False,
+            customer_impacting=True,
+            root_cause_targets=(device_name,),
+        ),
+    )
+
+
+def multi_site_ddos(
+    topo: Topology,
+    start: float = 0.0,
+    n_sites: int = 5,
+    duration: float = 1800.0,
+    attack_gbps: float = 500.0,
+) -> List[FailureScenario]:
+    """§5.1: DDoS hitting ``n_sites`` unrelated clusters at once.
+
+    SkyNet must produce *separate* incidents, one per location, instead of
+    one blob -- the clusters are chosen maximally far apart.
+    """
+    clusters = _clusters(topo)
+    if len(clusters) < n_sites:
+        raise ValueError(
+            f"topology has {len(clusters)} clusters, need {n_sites} for the attack"
+        )
+    step = max(1, len(clusters) // n_sites)
+    victims = [clusters[i * step] for i in range(n_sites)]
+    scenarios = []
+    for idx, victim in enumerate(victims):
+        scenarios.append(
+            FailureScenario(
+                name=f"ddos-{idx + 1}",
+                conditions=[
+                    Condition(
+                        ConditionKind.DDOS_ATTACK,
+                        victim,
+                        start + idx * 3.0,
+                        start + duration,
+                        {"attack_gbps": attack_gbps},
+                    )
+                ],
+                truth=GroundTruth(
+                    scope=victim,
+                    category=FailureCategory.SECURITY,
+                    start=start,
+                    end=start + duration,
+                    severe=True,
+                    customer_impacting=True,
+                    root_cause_targets=(str(victim),),
+                ),
+            )
+        )
+    return scenarios
+
+
+def ranking_pair(
+    topo: Topology, start: float = 0.0, duration: float = 1800.0
+) -> List[FailureScenario]:
+    """§5.1 "Scene ranking": two concurrent failures.
+
+    The *big* one covers a larger area and floods more alerts -- partial
+    circuit breaks plus flapping across a whole site -- but redundancy
+    holds, so its loss is mild.  The *urgent* one: a single cluster switch
+    blackholing 90% of its traffic in another site; benches pin critical
+    customers there so the evaluator must rank it first despite its far
+    smaller alert count.
+    """
+    sites = sorted(
+        (loc for loc in topo.locations() if loc.level is Level.SITE), key=str
+    )
+    clusters = _clusters(topo)
+    big_site = sites[0]
+    small_cluster = next(
+        (c for c in reversed(clusters) if not big_site.contains(c)), clusters[-1]
+    )
+    big_sets = [
+        cs
+        for d in topo.devices_at(big_site)
+        if d.role is DeviceRole.SITE_AGGREGATION
+        for cs in topo.circuit_sets_of(d.name)
+    ]
+    big_conditions: List[Condition] = []
+    for i, cs in enumerate(big_sets):
+        big_conditions.append(
+            Condition(
+                ConditionKind.CIRCUIT_BREAK,
+                cs.set_id,
+                start + i * 1.0,
+                start + duration,
+                {"broken_circuits": 1},
+            )
+        )
+        if i % 2 == 0:
+            big_conditions.append(
+                Condition(
+                    ConditionKind.LINK_FLAPPING,
+                    cs.set_id,
+                    start + i * 1.0,
+                    start + duration,
+                    {"loss_rate": 0.02},
+                )
+            )
+    big = FailureScenario(
+        name="ranking-big-but-mild",
+        conditions=big_conditions,
+        truth=GroundTruth(
+            scope=big_site,
+            category=FailureCategory.LINK,
+            start=start,
+            end=start + duration,
+            severe=True,
+            customer_impacting=True,
+            root_cause_targets=tuple(cs.set_id for cs in big_sets),
+        ),
+    )
+    small_switch = sorted(
+        d.name
+        for d in topo.devices_under(small_cluster)
+        if d.role is DeviceRole.CLUSTER_SWITCH
+    )[0]
+    small = FailureScenario(
+        name="ranking-small-but-critical",
+        conditions=[
+            Condition(
+                ConditionKind.CONFIG_ERROR,
+                small_switch,
+                start + 5.0,
+                start + duration,
+                {"loss_rate": 0.9},
+            )
+        ],
+        truth=GroundTruth(
+            scope=small_cluster,
+            category=FailureCategory.CONFIGURATION,
+            start=start + 5.0,
+            end=start + duration,
+            severe=True,
+            customer_impacting=True,
+            root_cause_targets=(small_switch,),
+        ),
+    )
+    return [big, small]
+
+
+def reflector_failure(
+    topo: Topology, start: float = 0.0, duration: float = 1200.0
+) -> FailureScenario:
+    """§7.1: a logic-site route reflector misbehaves; the voting view should
+    make the uncommon device stand out.  Adds the reflector on demand."""
+    logic_site = _logic_sites(topo)[0]
+    name = f"{logic_site.name}-RR-G1"
+    if not topo.has_device(name):
+        from ..topology.network import Device
+
+        topo.add_device(
+            Device(
+                name=name,
+                role=DeviceRole.REFLECTOR,
+                location=logic_site.child(name, is_device=True),
+                group=f"{logic_site}|RR",
+            )
+        )
+        isrs = [
+            d
+            for d in topo.devices_at(logic_site)
+            if d.role is DeviceRole.LOGIC_SITE_ROUTER
+        ]
+        from ..topology.network import Circuit, CircuitSet
+
+        for isr in isrs:
+            set_id = f"cs[{name}--{isr.name}]"
+            topo.add_circuit_set(
+                CircuitSet(
+                    set_id=set_id,
+                    device_a=name,
+                    device_b=isr.name,
+                    circuits=[Circuit(f"{set_id}/c1")],
+                )
+            )
+    conditions = [
+        Condition(
+            ConditionKind.DEVICE_SOFTWARE_ERROR,
+            name,
+            start,
+            start + duration,
+            {"loss_rate": 0.0},
+        ),
+        Condition(
+            ConditionKind.ROUTE_LEAK,
+            name,
+            start + 2.0,
+            start + duration,
+            {"loss_rate": 0.3},
+        ),
+    ]
+    # the leaked routes blackhole a slice of the traffic transiting the
+    # logic-site routers -- the forwarding fallout other tools observe
+    isr_names = [
+        d.name
+        for d in topo.devices_at(logic_site)
+        if d.role is DeviceRole.LOGIC_SITE_ROUTER
+    ]
+    for isr in isr_names:
+        conditions.append(
+            Condition(
+                ConditionKind.DEVICE_SILENT_LOSS,
+                isr,
+                start + 5.0,
+                start + duration,
+                {"loss_rate": 0.12},
+            )
+        )
+    return FailureScenario(
+        name="reflector-failure",
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=logic_site,
+            category=FailureCategory.ROUTE,
+            start=start,
+            end=start + duration,
+            severe=True,
+            customer_impacting=True,
+            root_cause_targets=(name,),
+        ),
+    )
+
+
+def partial_route_blackhole(
+    topo: Topology, start: float = 0.0, duration: float = 900.0,
+    victim_index: int = -1,
+) -> FailureScenario:
+    """A thin-evidence severe failure: an aggregate route partially lost.
+
+    A gateway silently blackholes ~a third of Internet-bound traffic.  The
+    observable evidence is deliberately sparse -- one failure type
+    (internet packet loss) plus two root-cause types (route monitoring and
+    patrol) -- so only thresholds at least as permissive as the production
+    ``2/1+2/5`` catch it.  This is the Figure 9 sensitivity probe.
+    """
+    gateways = sorted(
+        d.name
+        for d in topo.devices.values()
+        if d.role is DeviceRole.INTERNET_GATEWAY
+    )
+    victim = gateways[victim_index % len(gateways)]
+    conditions = [
+        Condition(
+            ConditionKind.ROUTE_LOSS,
+            victim,
+            start,
+            start + duration,
+            {"loss_rate": 0.35},
+        )
+    ]
+    return FailureScenario(
+        name="partial-route-blackhole",
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=topo.device(victim).parent_location,
+            category=FailureCategory.ROUTE,
+            start=start,
+            end=start + duration,
+            severe=True,
+            customer_impacting=True,
+            root_cause_targets=(victim,),
+        ),
+    )
+
+
+def silent_backbone_loss(
+    topo: Topology, start: float = 0.0, duration: float = 900.0,
+    victim_index: int = -1,
+) -> FailureScenario:
+    """A gray failure only end-to-end probing can see: a logic-site router
+    silently drops a tenth of its traffic.
+
+    No syslog, no SNMP anomaly, no OOB, and the core does not speak INT --
+    the evidence is *failure-level types only* (ping flavours and sampled
+    sFlow loss).  This probes Figure 9's ``A`` clause: disabling the
+    failure-only threshold (``0/1+2/5``) misses exactly this failure.
+    """
+    routers = sorted(
+        d.name
+        for d in topo.devices.values()
+        if d.role is DeviceRole.LOGIC_SITE_ROUTER
+    )
+    victim = routers[victim_index % len(routers)]
+    conditions = [
+        Condition(
+            ConditionKind.DEVICE_SILENT_LOSS,
+            victim,
+            start,
+            start + duration,
+            {"loss_rate": 0.10},
+        )
+    ]
+    return FailureScenario(
+        name="silent-backbone-loss",
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=topo.device(victim).parent_location,
+            category=FailureCategory.DEVICE_HARDWARE,
+            start=start,
+            end=start + duration,
+            severe=True,
+            customer_impacting=True,
+            root_cause_targets=(victim,),
+        ),
+    )
+
+
+def maintenance_break_wave(
+    topo: Topology,
+    start: float = 0.0,
+    duration: float = 600.0,
+    site_index: int = 0,
+) -> FailureScenario:
+    """A harmless high-visibility event: planned maintenance takes one
+    circuit out of several sets at a site, with a little flapping.
+
+    Redundancy holds, customers feel nothing -- but the port-down burst
+    forms an incident.  These populate the paper's "hundreds of network
+    events occur monthly, though only a few truly constitute harmful
+    network failures" mass that the severity filter (Figure 10b) removes.
+    """
+    sites = sorted(
+        (loc for loc in topo.locations() if loc.level is Level.SITE), key=str
+    )
+    site = sites[site_index % len(sites)]
+    sets = [
+        cs
+        for d in topo.devices_at(site)
+        if d.role is DeviceRole.SITE_AGGREGATION
+        for cs in topo.circuit_sets_of(d.name)
+    ][:6]
+    conditions: List[Condition] = []
+    for i, cs in enumerate(sets):
+        conditions.append(
+            Condition(
+                ConditionKind.CIRCUIT_BREAK,
+                cs.set_id,
+                start + i * 2.0,
+                start + duration,
+                {"broken_circuits": 1},
+            )
+        )
+    if sets:
+        conditions.append(
+            Condition(
+                ConditionKind.LINK_FLAPPING,
+                sets[0].set_id,
+                start,
+                start + duration / 2,
+                {"loss_rate": 0.005},
+            )
+        )
+    return FailureScenario(
+        name=f"maintenance-wave-{site_index}",
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=site,
+            category=FailureCategory.LINK,
+            start=start,
+            end=start + duration,
+            severe=False,
+            customer_impacting=False,
+            root_cause_targets=tuple(cs.set_id for cs in sets),
+        ),
+    )
+
+
+def delayed_root_cause(
+    topo: Topology, start: float = 0.0, duration: float = 1500.0
+) -> FailureScenario:
+    """§7.3: effects precede causes in the alert stream.
+
+    An unbalanced hash plus a hardware error jointly break the network; the
+    first alerts are BGP jitter and packet drops, while the hardware-error
+    syslog (the actual root cause) only lands minutes later.
+    """
+    device = sorted(
+        d.name
+        for d in topo.devices.values()
+        if d.role is DeviceRole.LOGIC_SITE_ROUTER
+    )[0]
+    conditions = [
+        Condition(
+            ConditionKind.DEVICE_UNBALANCED_HASH,
+            device,
+            start,
+            start + duration,
+            {"loss_rate": 0.12},
+        ),
+        # the hardware fault is present from the start but its syslog record
+        # is only collected after `syslog_delay_s` (monitors honour this)
+        Condition(
+            ConditionKind.DEVICE_HARDWARE_ERROR,
+            device,
+            start,
+            start + duration,
+            {"loss_rate": 0.3, "syslog_delay_s": 300.0},
+        ),
+    ]
+    return FailureScenario(
+        name="delayed-root-cause",
+        conditions=conditions,
+        truth=GroundTruth(
+            scope=topo.device(device).parent_location,
+            category=FailureCategory.DEVICE_HARDWARE,
+            start=start,
+            end=start + duration,
+            severe=True,
+            customer_impacting=True,
+            root_cause_targets=(device,),
+        ),
+    )

@@ -1,0 +1,25 @@
+"""Syslog template processing: tokenisation, FT-tree, classification (§4.1)."""
+
+from .classify import (
+    LABEL_RULES,
+    UNCLASSIFIED,
+    TemplateClassifier,
+    bootstrap_corpus,
+    label_template,
+)
+from .fttree import FtTree, Template
+from .tokenize import VARIABLE_PATTERNS, constant_words, is_variable, tokenize
+
+__all__ = [
+    "FtTree",
+    "LABEL_RULES",
+    "Template",
+    "TemplateClassifier",
+    "UNCLASSIFIED",
+    "VARIABLE_PATTERNS",
+    "bootstrap_corpus",
+    "constant_words",
+    "is_variable",
+    "label_template",
+    "tokenize",
+]

@@ -1,0 +1,148 @@
+"""FT-tree template extraction (Zhang et al. [56], used by §4.1).
+
+An FT-tree (Frequent-Template tree) turns a corpus of log lines into a
+small set of templates:
+
+1. count corpus-wide frequencies of the constant (non-variable) words;
+2. for each message, order its distinct constant words by descending
+   frequency -- frequent words sit near the root, rare (more variable-ish)
+   words near the leaves;
+3. insert that ordered word sequence as a root-to-leaf path;
+4. prune: a node that accumulates more than ``max_children`` children is
+   treated as preceding a *variable* position, and its subtree is collapsed.
+
+Matching walks the same ordering, so a new line with unseen variable values
+lands on the template of its constant skeleton.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .tokenize import constant_words
+
+Template = Tuple[str, ...]
+
+
+class _Node:
+    __slots__ = ("word", "children", "terminal", "collapsed", "count")
+
+    def __init__(self, word: str = ""):
+        self.word = word
+        self.children: Dict[str, _Node] = {}
+        self.terminal = False
+        self.collapsed = False  # fan-out exceeded: variable position
+        self.count = 0
+
+
+class FtTree:
+    """Learns templates from a corpus and matches new lines onto them."""
+
+    def __init__(self, max_children: int = 24, min_word_count: int = 1):
+        if max_children < 1:
+            raise ValueError("max_children must be >= 1")
+        if min_word_count < 1:
+            raise ValueError("min_word_count must be >= 1")
+        self.max_children = max_children
+        self.min_word_count = min_word_count
+        self._freq: Counter = Counter()
+        self._root = _Node()
+        self._fitted = False
+
+    # -- construction --------------------------------------------------------
+
+    def fit(self, lines: Iterable[str]) -> "FtTree":
+        """Build the tree from a corpus; replaces any previous fit."""
+        corpus = [constant_words(line) for line in lines]
+        self._freq = Counter(w for words in corpus for w in set(words))
+        self._root = _Node()
+        for words in corpus:
+            self._insert(self._ordered(words))
+        self._prune(self._root)
+        self._fitted = True
+        return self
+
+    def extend(self, lines: Iterable[str]) -> "FtTree":
+        """Fold additional lines into an already-fitted tree.
+
+        Frequencies learned at fit time keep the ordering stable, so new
+        lines slot in without re-shuffling existing templates.
+        """
+        if not self._fitted:
+            return self.fit(lines)
+        for line in lines:
+            words = constant_words(line)
+            self._freq.update(set(words))
+            self._insert(self._ordered(words))
+        self._prune(self._root)
+        return self
+
+    def _ordered(self, words: Sequence[str]) -> List[str]:
+        """Distinct words by (frequency desc, word) -- the FT-tree path order."""
+        distinct = sorted(set(words), key=lambda w: (-self._freq[w], w))
+        return [w for w in distinct if self._freq[w] >= self.min_word_count]
+
+    def _insert(self, path: Sequence[str]) -> None:
+        node = self._root
+        node.count += 1
+        for word in path:
+            if node.collapsed:
+                break
+            child = node.children.get(word)
+            if child is None:
+                child = _Node(word)
+                node.children[word] = child
+            node = child
+            node.count += 1
+        node.terminal = True
+
+    def _prune(self, node: _Node) -> None:
+        if len(node.children) > self.max_children:
+            # too many alternatives at this position: it is a variable slot
+            node.children.clear()
+            node.collapsed = True
+            node.terminal = True
+            return
+        for child in node.children.values():
+            self._prune(child)
+
+    # -- queries ----------------------------------------------------------------
+
+    def match(self, line: str) -> Optional[Template]:
+        """Deepest learned template the line's constant skeleton reaches.
+
+        Returns ``None`` for a line sharing no learned prefix (fully novel).
+        """
+        if not self._fitted:
+            raise RuntimeError("FtTree.match called before fit")
+        node = self._root
+        matched: List[str] = []
+        for word in self._ordered(constant_words(line)):
+            child = node.children.get(word)
+            if child is None:
+                break
+            node = child
+            matched.append(word)
+        if not matched:
+            return None
+        return tuple(matched)
+
+    def templates(self) -> List[Template]:
+        """All learned templates (terminal root-to-node paths)."""
+        out: List[Template] = []
+
+        def walk(node: _Node, path: Tuple[str, ...]) -> None:
+            if node.terminal and path:
+                out.append(path)
+            for word in sorted(node.children):
+                walk(node.children[word], path + (word,))
+
+        walk(self._root, ())
+        return out
+
+    def template_count(self) -> int:
+        return len(self.templates())
+
+    def word_frequency(self, word: str) -> int:
+        return self._freq[word]

@@ -1,0 +1,50 @@
+"""Syslog tokenisation and variable stripping (§4.1).
+
+"initially, it gathers command-line outputs from all devices and breaks
+them down into individual words.  Variable words, such as addresses,
+interfaces, and numbers, are then removed using predefined regular
+expressions.  The remaining words create templates for alert
+classification."
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+#: Predefined regular expressions matching variable words.  Order matters:
+#: the first match wins, and broader numeric patterns come last.
+VARIABLE_PATTERNS: Tuple[re.Pattern, ...] = (
+    re.compile(r"^\d{1,3}(\.\d{1,3}){3}(/\d+)?$"),  # IPv4, optional prefix
+    re.compile(r"^[0-9a-fA-F:]+::[0-9a-fA-F:]*$"),  # IPv6-ish
+    re.compile(r"^(Ten|Forty|Hundred)?Gig[A-Za-z]*\d+(/\d+)*$"),  # interfaces
+    re.compile(r"^(Eth|Et|Po|Vlan|Lo|Tunnel)\d+(/\d+)*$", re.IGNORECASE),
+    re.compile(r"^e?BGP-\d+$"),  # session handles
+    re.compile(r"^vty\d+$"),
+    re.compile(r"^ops\d+\]?$"),  # usernames in our corpus
+    re.compile(r"^0x[0-9a-fA-F]+$"),  # hex literals
+    re.compile(r"^\d+(\.\d+)?%?$"),  # plain numbers / percentages
+    re.compile(r"^[A-Z]{2}\d{2}[-A-Za-z0-9]*$"),  # device names (RG01-...)
+)
+
+_SPLIT = re.compile(r"[ \t,]+")
+
+
+def tokenize(line: str) -> List[str]:
+    """Split a log line into words, keeping punctuation that carries meaning
+    (the ``%FACILITY-SEV-MNEMONIC:`` head is a single, highly-selective word).
+    """
+    return [w for w in _SPLIT.split(line.strip()) if w]
+
+
+def is_variable(word: str) -> bool:
+    """True when the word matches one of the predefined variable patterns."""
+    stripped = word.strip("()[],:;")
+    if not stripped:
+        return True
+    return any(p.match(stripped) for p in VARIABLE_PATTERNS)
+
+
+def constant_words(line: str) -> List[str]:
+    """The template-forming words of a line: tokens minus variables."""
+    return [w for w in tokenize(line) if not is_variable(w)]

@@ -1,0 +1,61 @@
+"""Network topology substrate: hierarchy, devices, circuit sets, routing, traffic.
+
+Synthetic stand-in for the paper's production network (see DESIGN.md §2).
+"""
+
+from .hierarchy import Level, LocationPath, lowest_common_ancestor
+from .network import (
+    INTERNET,
+    Circuit,
+    CircuitSet,
+    Device,
+    DeviceRole,
+    Server,
+    Topology,
+)
+from .builder import TopologySpec, build_topology
+from .routing import (
+    ALL_HEALTHY,
+    HealthView,
+    HierarchicalRouter,
+    RoutePath,
+)
+from .traffic import (
+    IMPORTANCE_CRITICAL,
+    IMPORTANCE_PREMIUM,
+    IMPORTANCE_STANDARD,
+    IMPORTANT_CUSTOMER_THRESHOLD,
+    Customer,
+    Flow,
+    FlowPlacement,
+    TrafficModel,
+    generate_traffic,
+)
+
+__all__ = [
+    "ALL_HEALTHY",
+    "Circuit",
+    "CircuitSet",
+    "Customer",
+    "Device",
+    "DeviceRole",
+    "Flow",
+    "FlowPlacement",
+    "HealthView",
+    "HierarchicalRouter",
+    "IMPORTANCE_CRITICAL",
+    "IMPORTANCE_PREMIUM",
+    "IMPORTANCE_STANDARD",
+    "IMPORTANT_CUSTOMER_THRESHOLD",
+    "INTERNET",
+    "Level",
+    "LocationPath",
+    "RoutePath",
+    "Server",
+    "Topology",
+    "TopologySpec",
+    "TrafficModel",
+    "build_topology",
+    "generate_traffic",
+    "lowest_common_ancestor",
+]

@@ -1,0 +1,300 @@
+"""Synthetic hierarchical cloud topology generator.
+
+The paper evaluates SkyNet on Alibaba Cloud's production network
+(89 data centers, O(10^5) devices).  That topology is proprietary, so this
+module builds a structurally equivalent synthetic one: a strict
+Region → City → Logic site → Site → Cluster hierarchy with redundant device
+pairs at every aggregation level, redundant circuit sets between adjacent
+levels, Internet entrances per logic site, and servers as probe endpoints.
+
+Everything SkyNet's algorithms consume -- the location hierarchy, device
+adjacency, circuit-set redundancy, customer traffic placement -- is present;
+only the scale knob differs from production.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from typing import List, Optional
+
+from .hierarchy import LocationPath
+from .network import (
+    INTERNET,
+    Circuit,
+    CircuitSet,
+    Device,
+    DeviceRole,
+    Server,
+    Topology,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologySpec:
+    """Size and redundancy knobs for the synthetic topology.
+
+    Defaults give a small-but-complete fabric (hundreds of devices) suitable
+    for tests; :meth:`benchmark` scales to thousands for the evaluation
+    benches.  Redundancy (``*_redundancy`` device pairs, ``circuits_per_set``
+    parallel circuits) is what makes partial failures degrade bandwidth
+    without killing reachability (§4.3 circuit sets).
+    """
+
+    regions: int = 2
+    cities_per_region: int = 1
+    logic_sites_per_city: int = 2
+    sites_per_logic_site: int = 2
+    clusters_per_site: int = 2
+    switches_per_cluster: int = 2
+    servers_per_cluster: int = 4
+    backbone_redundancy: int = 2
+    router_redundancy: int = 2
+    circuits_per_set: int = 4
+    circuit_capacity_gbps: float = 100.0
+    internet_gateways_per_logic_site: int = 2
+    internet_circuits_per_gateway: int = 8
+    #: Entrance circuits are thin and run hot (realistic for paid transit);
+    #: this is what lets the §2.2 cable-cut scenario congest the survivors.
+    internet_circuit_capacity_gbps: float = 5.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        counts = {
+            "regions": self.regions,
+            "cities_per_region": self.cities_per_region,
+            "logic_sites_per_city": self.logic_sites_per_city,
+            "sites_per_logic_site": self.sites_per_logic_site,
+            "clusters_per_site": self.clusters_per_site,
+            "switches_per_cluster": self.switches_per_cluster,
+            "backbone_redundancy": self.backbone_redundancy,
+            "router_redundancy": self.router_redundancy,
+            "circuits_per_set": self.circuits_per_set,
+        }
+        for field, value in counts.items():
+            if value < 1:
+                raise ValueError(f"{field} must be >= 1, got {value}")
+        if self.servers_per_cluster < 0:
+            raise ValueError("servers_per_cluster must be >= 0")
+
+    @classmethod
+    def tiny(cls) -> "TopologySpec":
+        """Smallest interesting fabric -- fast unit tests."""
+        return cls(
+            regions=1,
+            cities_per_region=1,
+            logic_sites_per_city=1,
+            sites_per_logic_site=2,
+            clusters_per_site=2,
+            switches_per_cluster=2,
+            servers_per_cluster=2,
+            circuits_per_set=2,
+            internet_gateways_per_logic_site=1,
+        )
+
+    @classmethod
+    def benchmark(cls) -> "TopologySpec":
+        """Larger fabric for the evaluation benchmarks (thousands of devices)."""
+        return cls(
+            regions=3,
+            cities_per_region=2,
+            logic_sites_per_city=2,
+            sites_per_logic_site=3,
+            clusters_per_site=4,
+            switches_per_cluster=4,
+            servers_per_cluster=6,
+            circuits_per_set=4,
+        )
+
+
+def build_topology(spec: Optional[TopologySpec] = None) -> Topology:
+    """Construct a :class:`Topology` according to ``spec``.
+
+    Naming follows the paper's Figure 11 conventions loosely
+    (``NA61-MASTER-CSR-G1`` style): the site short-code prefixes the role.
+    Deterministic for a given spec (the seed only matters for optional
+    jitter-free placement, kept for forward compatibility).
+    """
+    spec = spec or TopologySpec()
+    rng = random.Random(spec.seed)  # reserved for future placement jitter
+    del rng
+    topo = Topology()
+
+    for r in range(spec.regions):
+        region = LocationPath.root().child(f"RG{r + 1:02d}")
+        topo.add_location(region)
+        _add_device_pairs(
+            topo,
+            region,
+            DeviceRole.REGION_BACKBONE,
+            count=spec.backbone_redundancy,
+            prefix=f"{region.name}-DCBR",
+        )
+        for c in range(spec.cities_per_region):
+            city = region.child(f"{region.name}-CT{c + 1:02d}")
+            topo.add_location(city)
+            bsrs = _add_device_pairs(
+                topo,
+                city,
+                DeviceRole.CITY_ROUTER,
+                count=spec.router_redundancy,
+                prefix=f"{city.name}-BSR",
+            )
+            _cross_connect(topo, bsrs, _device_names_at(topo, region), spec)
+            for ls in range(spec.logic_sites_per_city):
+                logic_site = city.child(f"{city.name}-LS{ls + 1:02d}")
+                topo.add_location(logic_site)
+                isrs = _add_device_pairs(
+                    topo,
+                    logic_site,
+                    DeviceRole.LOGIC_SITE_ROUTER,
+                    count=spec.router_redundancy,
+                    prefix=f"{logic_site.name}-ISR",
+                )
+                _cross_connect(topo, isrs, bsrs, spec)
+                _add_internet_entrance(topo, logic_site, isrs, spec)
+                for s in range(spec.sites_per_logic_site):
+                    site = logic_site.child(f"{logic_site.name}-ST{s + 1:02d}")
+                    topo.add_location(site)
+                    csrs = _add_device_pairs(
+                        topo,
+                        site,
+                        DeviceRole.SITE_AGGREGATION,
+                        count=spec.router_redundancy,
+                        prefix=f"{site.name}-CSR",
+                    )
+                    _cross_connect(topo, csrs, isrs, spec)
+                    for cl in range(spec.clusters_per_site):
+                        cluster = site.child(f"{site.name}-CL{cl + 1:02d}")
+                        topo.add_location(cluster)
+                        switches = _add_device_pairs(
+                            topo,
+                            cluster,
+                            DeviceRole.CLUSTER_SWITCH,
+                            count=spec.switches_per_cluster,
+                            prefix=f"{cluster.name}-CSW",
+                        )
+                        _cross_connect(topo, switches, csrs, spec)
+                        for sv in range(spec.servers_per_cluster):
+                            switch = switches[sv % len(switches)]
+                            topo.add_server(
+                                Server(
+                                    name=f"{cluster.name}-SRV{sv + 1:02d}",
+                                    cluster=cluster,
+                                    attached_switch=switch,
+                                )
+                            )
+
+    _connect_backbone(topo, spec)
+    return topo
+
+
+# -- internal helpers --------------------------------------------------------
+
+
+def _add_device_pairs(
+    topo: Topology,
+    location: LocationPath,
+    role: DeviceRole,
+    count: int,
+    prefix: str,
+) -> List[str]:
+    """Add ``count`` redundant devices of ``role`` at ``location``."""
+    names = []
+    group = f"{location}|{role.value}"
+    for i in range(count):
+        name = f"{prefix}-G{i + 1}"
+        topo.add_device(
+            Device(
+                name=name,
+                role=role,
+                location=location.child(name, is_device=True),
+                group=group,
+            )
+        )
+        names.append(name)
+    return names
+
+
+def _device_names_at(topo: Topology, location: LocationPath) -> List[str]:
+    return [d.name for d in topo.devices_at(location)]
+
+
+def _new_circuits(
+    spec: TopologySpec,
+    set_id: str,
+    count: Optional[int] = None,
+    capacity: Optional[float] = None,
+) -> List[Circuit]:
+    n = count if count is not None else spec.circuits_per_set
+    cap = capacity if capacity is not None else spec.circuit_capacity_gbps
+    return [
+        Circuit(circuit_id=f"{set_id}/c{i + 1}", capacity_gbps=cap)
+        for i in range(n)
+    ]
+
+
+def _connect(
+    topo: Topology,
+    a: str,
+    b: str,
+    spec: TopologySpec,
+    circuits: Optional[int] = None,
+    capacity: Optional[float] = None,
+) -> None:
+    set_id = f"cs[{a}--{b}]"
+    topo.add_circuit_set(
+        CircuitSet(
+            set_id=set_id,
+            device_a=a,
+            device_b=b,
+            circuits=_new_circuits(spec, set_id, circuits, capacity),
+        )
+    )
+
+
+def _cross_connect(topo: Topology, lower: List[str], upper: List[str], spec: TopologySpec) -> None:
+    """Full bipartite connection between a level and its parent level."""
+    for a in lower:
+        for b in upper:
+            _connect(topo, a, b, spec)
+
+
+def _add_internet_entrance(
+    topo: Topology, logic_site: LocationPath, isrs: List[str], spec: TopologySpec
+) -> None:
+    """Internet gateways per logic site, each with a fat circuit set to the
+    Internet pseudo-device (the §2.2 severe-failure scenario cuts these)."""
+    gateways = _add_device_pairs(
+        topo,
+        logic_site,
+        DeviceRole.INTERNET_GATEWAY,
+        count=spec.internet_gateways_per_logic_site,
+        prefix=f"{logic_site.name}-IGW",
+    )
+    _cross_connect(topo, gateways, isrs, spec)
+    for gw in gateways:
+        _connect(
+            topo,
+            gw,
+            INTERNET,
+            spec,
+            circuits=spec.internet_circuits_per_gateway,
+            capacity=spec.internet_circuit_capacity_gbps,
+        )
+
+
+def _connect_backbone(topo: Topology, spec: TopologySpec) -> None:
+    """WAN: connect region backbones pairwise across regions (index-matched)."""
+    by_region: dict = {}
+    for dev in topo.devices.values():
+        if dev.role is DeviceRole.REGION_BACKBONE:
+            by_region.setdefault(dev.parent_location, []).append(dev.name)
+    for devs in by_region.values():
+        devs.sort()
+    for (loc_a, devs_a), (loc_b, devs_b) in itertools.combinations(
+        sorted(by_region.items(), key=lambda kv: str(kv[0])), 2
+    ):
+        for i in range(min(len(devs_a), len(devs_b))):
+            _connect(topo, devs_a[i], devs_b[i], spec)

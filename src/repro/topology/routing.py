@@ -1,0 +1,323 @@
+"""Hierarchy-aware routing over the synthetic topology.
+
+Traffic between two servers climbs the location hierarchy to the lowest
+common aggregation level and descends again, failing over among the
+redundant devices and circuit sets at each level.  This is the substrate
+behaviour the paper's monitoring tools observe: when a device or circuit
+fails, flows shift to redundancy peers (possibly congesting them) or, when
+no alternative survives, become unreachable -- which is what Ping, sFlow and
+friends then alert on.
+
+Routing consults a :class:`HealthView` so the same topology can be routed
+under many simulated failure states without mutation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import List, Optional, Sequence
+
+from .hierarchy import Level, LocationPath
+from .network import INTERNET, CircuitSet, DeviceRole, Server, Topology
+
+#: Transit device role expected at each aggregation level.
+TRANSIT_ROLES = {
+    Level.SITE: DeviceRole.SITE_AGGREGATION,
+    Level.LOGIC_SITE: DeviceRole.LOGIC_SITE_ROUTER,
+    Level.CITY: DeviceRole.CITY_ROUTER,
+    Level.REGION: DeviceRole.REGION_BACKBONE,
+}
+
+
+class HealthView:
+    """What the router may ask about current network health.
+
+    The default instance answers "everything is fine"; the simulator's
+    :class:`repro.simulation.state.NetworkState` subclasses this to reflect
+    injected failures.
+    """
+
+    def device_up(self, device_name: str) -> bool:
+        return True
+
+    def circuit_set_usable(self, set_id: str) -> bool:
+        """True when at least one member circuit is up."""
+        return True
+
+
+ALL_HEALTHY = HealthView()
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutePath:
+    """A resolved route: alternating devices and the circuit sets hopped.
+
+    ``circuit_sets[i]`` connects ``devices[i]`` to ``devices[i + 1]``; for a
+    route to the Internet the final circuit set leads off-net, so
+    ``len(circuit_sets)`` is then ``len(devices)`` instead of
+    ``len(devices) - 1``.
+    """
+
+    src: str
+    dst: str
+    devices: Sequence[str]
+    circuit_sets: Sequence[str]
+    reachable: bool
+    failure_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reachable:
+            expected = len(self.devices) - (0 if self.dst == INTERNET else 1)
+            if len(self.circuit_sets) != max(expected, 0):
+                raise ValueError(
+                    f"route {self.src}->{self.dst}: {len(self.devices)} devices "
+                    f"with {len(self.circuit_sets)} circuit sets is inconsistent"
+                )
+
+    def traverses_device(self, device_name: str) -> bool:
+        return device_name in self.devices
+
+    def traverses_circuit_set(self, set_id: str) -> bool:
+        return set_id in self.circuit_sets
+
+
+def _unreachable(src: str, dst: str, reason: str) -> RoutePath:
+    return RoutePath(src=src, dst=dst, devices=(), circuit_sets=(), reachable=False,
+                     failure_reason=reason)
+
+
+class HierarchicalRouter:
+    """Routes flows through the hierarchy with health-aware failover."""
+
+    def __init__(self, topology: Topology):
+        self._topo = topology
+        # circuit-set lookup by endpoint pair
+        self._cs_by_pair = {}
+        for cs in topology.circuit_sets.values():
+            self._cs_by_pair.setdefault(frozenset((cs.device_a, cs.device_b)), []).append(cs)
+
+    # -- public API ----------------------------------------------------------
+
+    def route_servers(
+        self, src: Server, dst: Server, health: HealthView = ALL_HEALTHY
+    ) -> RoutePath:
+        """Route between two servers, failing over across redundant gear."""
+        if src.name == dst.name:
+            raise ValueError("source and destination servers are identical")
+        pref = _preference(src.name, dst.name)
+
+        if src.attached_switch == dst.attached_switch:
+            if not health.device_up(src.attached_switch):
+                return _unreachable(src.name, dst.name, "shared switch down")
+            return RoutePath(src.name, dst.name, (src.attached_switch,), (), True)
+
+        common = src.cluster.common_ancestor(dst.cluster)
+        if common.is_root:
+            return self._route_cross_region(src, dst, health, pref)
+        meet_level = Level(min(common.level.value, Level.SITE.value))
+        meet_location = common.truncate(meet_level)
+
+        up_a = self._climb(src, meet_level, health, pref)
+        up_b = self._climb(dst, meet_level, health, pref)
+        if up_a is None or up_b is None:
+            return _unreachable(src.name, dst.name, "no healthy uplink chain")
+        return self._join_at_meeting_point(src, dst, up_a, up_b, meet_location,
+                                           meet_level, health, pref)
+
+    def route_to_internet(self, src: Server, health: HealthView = ALL_HEALTHY) -> RoutePath:
+        """Route from a server out of its logic site's Internet entrance."""
+        pref = _preference(src.name, INTERNET)
+        logic_site = src.cluster.truncate(Level.LOGIC_SITE)
+        up = self._climb(src, Level.LOGIC_SITE, health, pref)
+        if up is None:
+            return _unreachable(src.name, INTERNET, "no healthy uplink chain")
+        devices, sets = up
+        gateways = [
+            d.name
+            for d in self._topo.devices_at(logic_site)
+            if d.role is DeviceRole.INTERNET_GATEWAY
+        ]
+        last = devices[-1]
+        for gw in _ordered(gateways, pref):
+            if not health.device_up(gw):
+                continue
+            hop = self._usable_set_between(last, gw, health)
+            exit_set = self._usable_set_between(gw, INTERNET, health)
+            if hop is not None and exit_set is not None:
+                return RoutePath(
+                    src.name,
+                    INTERNET,
+                    tuple(devices) + (gw,),
+                    tuple(sets) + (hop.set_id, exit_set.set_id),
+                    True,
+                )
+        return _unreachable(src.name, INTERNET, "internet entrance down")
+
+    def route_clusters(
+        self,
+        cluster_a: LocationPath,
+        cluster_b: LocationPath,
+        health: HealthView = ALL_HEALTHY,
+    ) -> Optional[RoutePath]:
+        """Route between representative servers of two clusters.
+
+        Returns ``None`` when either cluster has no servers (nothing probes
+        from there); used by the reachability matrix (§4.3, Figure 7).
+        """
+        servers_a = self._topo.servers_in(cluster_a)
+        servers_b = self._topo.servers_in(cluster_b)
+        if not servers_a or not servers_b:
+            return None
+        return self.route_servers(servers_a[0], servers_b[0], health)
+
+    # -- internals -------------------------------------------------------------
+
+    def _climb(
+        self, server: Server, target_level: Level, health: HealthView, pref: int
+    ):
+        """Pick healthy devices from the server's switch up to ``target_level``.
+
+        Returns ``(devices, circuit_set_ids)`` ending with the device chosen
+        at ``target_level``, or ``None`` when some level has no healthy way up.
+        """
+        if not health.device_up(server.attached_switch):
+            return None
+        devices: List[str] = [server.attached_switch]
+        sets: List[str] = []
+        for level_value in range(Level.SITE.value, target_level.value - 1, -1):
+            level = Level(level_value)
+            location = server.cluster.truncate(level)
+            role = TRANSIT_ROLES[level]
+            candidates = [
+                d.name for d in self._topo.devices_at(location) if d.role is role
+            ]
+            chosen = None
+            for cand in _ordered(candidates, pref):
+                if not health.device_up(cand):
+                    continue
+                hop = self._usable_set_between(devices[-1], cand, health)
+                if hop is not None:
+                    chosen = (cand, hop.set_id)
+                    break
+            if chosen is None:
+                return None
+            devices.append(chosen[0])
+            sets.append(chosen[1])
+        return devices, sets
+
+    def _join_at_meeting_point(
+        self,
+        src: Server,
+        dst: Server,
+        up_a,
+        up_b,
+        meet_location: LocationPath,
+        meet_level: Level,
+        health: HealthView,
+        pref: int,
+    ) -> RoutePath:
+        devices_a, sets_a = up_a
+        devices_b, sets_b = up_b
+        # The climbs both end at a device at the meeting location.  If they
+        # already agree, splice directly; otherwise hop between the two
+        # meeting-level peers is impossible (peers at one level connect only
+        # via their parents), so force both sides onto a shared device.
+        if devices_a[-1] == devices_b[-1]:
+            devices = devices_a + list(reversed(devices_b[:-1]))
+            sets = sets_a + list(reversed(sets_b))
+            return RoutePath(src.name, dst.name, tuple(devices), tuple(sets), True)
+        role = TRANSIT_ROLES[meet_level]
+        shared = [
+            d.name for d in self._topo.devices_at(meet_location) if d.role is role
+        ]
+        for cand in _ordered(shared, pref):
+            if not health.device_up(cand):
+                continue
+            hop_a = self._reanchor(devices_a, sets_a, cand, health)
+            hop_b = self._reanchor(devices_b, sets_b, cand, health)
+            if hop_a is not None and hop_b is not None:
+                da, sa = hop_a
+                db, sb = hop_b
+                devices = da + list(reversed(db[:-1]))
+                sets = sa + list(reversed(sb))
+                return RoutePath(src.name, dst.name, tuple(devices), tuple(sets), True)
+        return _unreachable(src.name, dst.name, "no healthy meeting device")
+
+    def _reanchor(self, devices: List[str], sets: List[str], meeting: str, health: HealthView):
+        """Swap the final climbed device for ``meeting`` if a healthy circuit
+        set connects the previous hop to it."""
+        if devices[-1] == meeting:
+            return devices, sets
+        below = devices[-2] if len(devices) >= 2 else None
+        if below is None:
+            return None
+        hop = self._usable_set_between(below, meeting, health)
+        if hop is None:
+            return None
+        return devices[:-1] + [meeting], sets[:-1] + [hop.set_id]
+
+    def _route_cross_region(
+        self, src: Server, dst: Server, health: HealthView, pref: int
+    ) -> RoutePath:
+        up_a = self._climb(src, Level.REGION, health, pref)
+        up_b = self._climb(dst, Level.REGION, health, pref)
+        if up_a is None or up_b is None:
+            return _unreachable(src.name, dst.name, "no healthy uplink chain")
+        devices_a, sets_a = up_a
+        devices_b, sets_b = up_b
+        region_a = src.cluster.truncate(Level.REGION)
+        region_b = dst.cluster.truncate(Level.REGION)
+        backbones_a = [
+            d.name
+            for d in self._topo.devices_at(region_a)
+            if d.role is DeviceRole.REGION_BACKBONE
+        ]
+        backbones_b = [
+            d.name
+            for d in self._topo.devices_at(region_b)
+            if d.role is DeviceRole.REGION_BACKBONE
+        ]
+        for ba in _ordered(backbones_a, pref):
+            if not health.device_up(ba):
+                continue
+            side_a = self._reanchor(devices_a, sets_a, ba, health)
+            if side_a is None:
+                continue
+            for bb in _ordered(backbones_b, pref):
+                if not health.device_up(bb):
+                    continue
+                wan = self._usable_set_between(ba, bb, health)
+                if wan is None:
+                    continue
+                side_b = self._reanchor(devices_b, sets_b, bb, health)
+                if side_b is None:
+                    continue
+                da, sa = side_a
+                db, sb = side_b
+                devices = da + list(reversed(db))
+                sets = sa + [wan.set_id] + list(reversed(sb))
+                return RoutePath(src.name, dst.name, tuple(devices), tuple(sets), True)
+        return _unreachable(src.name, dst.name, "no healthy WAN path")
+
+    def _usable_set_between(
+        self, a: str, b: str, health: HealthView
+    ) -> Optional[CircuitSet]:
+        for cs in self._cs_by_pair.get(frozenset((a, b)), ()):
+            if health.circuit_set_usable(cs.set_id):
+                return cs
+        return None
+
+
+def _preference(src: str, dst: str) -> int:
+    """Stable per-flow preference used to spread flows across redundant gear."""
+    return zlib.crc32(f"{src}->{dst}".encode("utf-8"))
+
+
+def _ordered(candidates: Sequence[str], pref: int) -> List[str]:
+    """Rotate ``candidates`` by the flow preference -- deterministic spread."""
+    if not candidates:
+        return []
+    ordered = sorted(candidates)
+    offset = pref % len(ordered)
+    return ordered[offset:] + ordered[:offset]

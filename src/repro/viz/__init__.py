@@ -1,0 +1,11 @@
+"""Visualization helpers (§7.1): alert voting, tree and matrix rendering."""
+
+from .render import render_alert_tree, render_incident_tree, render_matrix_heatmap
+from .voting import VotingGraph
+
+__all__ = [
+    "VotingGraph",
+    "render_alert_tree",
+    "render_incident_tree",
+    "render_matrix_heatmap",
+]

@@ -1,0 +1,73 @@
+"""Text renderings: alert trees (Figure 5c) and reachability matrices
+(Figure 7) for terminal-friendly inspection."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.alert import AlertLevel
+from ..core.alert_tree import AlertTree
+from ..core.incident import Incident
+from ..core.zoom_in import DARK_CELL_LOSS, ReachabilityMatrix
+from ..topology.hierarchy import LocationPath
+
+_LEVEL_TAGS = {
+    AlertLevel.FAILURE: "failure",
+    AlertLevel.ABNORMAL: "abnormal",
+    AlertLevel.ROOT_CAUSE: "root_cause",
+}
+
+
+def render_alert_tree(tree: AlertTree) -> str:
+    """Figure 5c-style indented rendering of the main tree."""
+    locations = sorted(tree.locations(), key=lambda l: (l.segments, l.is_device))
+    if not locations:
+        return "<empty tree>"
+    lines: List[str] = []
+    for location in locations:
+        depth = location.depth
+        counts: Dict[AlertLevel, int] = {}
+        for record in tree.records_at(location):
+            counts[record.level] = counts.get(record.level, 0) + 1
+        summary = ", ".join(
+            f"{_LEVEL_TAGS[lvl]}: {counts[lvl]}"
+            for lvl in (AlertLevel.FAILURE, AlertLevel.ABNORMAL, AlertLevel.ROOT_CAUSE)
+            if lvl in counts
+        )
+        lines.append(f"{'  ' * depth}{location.name}  [{summary}]")
+    return "\n".join(lines)
+
+
+def render_incident_tree(incident: Incident) -> str:
+    """The replicated incident subtree with per-node type lists."""
+    lines = [f"{incident.incident_id} @ {incident.root}"]
+    for location, records in sorted(
+        incident.nodes().items(), key=lambda kv: str(kv[0])
+    ):
+        lines.append(f"  {location}")
+        for record in sorted(records, key=lambda r: str(r.type_key)):
+            lines.append(
+                f"    {record.type_key} [{record.level.value}] x{record.count}"
+            )
+    return "\n".join(lines)
+
+
+def render_matrix_heatmap(matrix: ReachabilityMatrix) -> str:
+    """Coarse heat rendering: '.' light, '+' warm, '#' dark (Figure 7)."""
+    lines = []
+    names = [loc.name for loc in matrix.locations]
+    width = max((len(n) for n in names), default=4) + 1
+    lines.append(" " * width + "".join(f"{n[-width + 1:]:>{width}}" for n in names))
+    for a in matrix.locations:
+        cells = []
+        for b in matrix.locations:
+            loss = 0.0 if a == b else matrix.cell(a, b)
+            if loss >= DARK_CELL_LOSS:
+                mark = "#"
+            elif loss > 0:
+                mark = "+"
+            else:
+                mark = "."
+            cells.append(f"{mark:>{width}}")
+        lines.append(f"{a.name[-width + 1:]:>{width}}" + "".join(cells))
+    return "\n".join(lines)

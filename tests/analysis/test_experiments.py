@@ -1,0 +1,52 @@
+"""Tests for the campaign harness."""
+
+import pytest
+
+from repro.analysis.experiments import replay, run_campaign
+from repro.analysis.metrics import score_incidents
+from repro.core.config import SkyNetConfig
+from repro.simulation import scenarios as sc
+from repro.topology.builder import TopologySpec, build_topology
+
+
+def test_campaign_produces_all_artifacts():
+    result = run_campaign(300.0, n_random_failures=2, spec=TopologySpec.tiny(),
+                          seed=3)
+    assert result.raw_alerts
+    assert len(result.injector.ground_truths) == 2
+    assert result.skynet.preprocess_stats.raw_in == len(result.raw_alerts)
+
+
+def test_campaign_with_explicit_scenarios():
+    topo = build_topology(TopologySpec())
+    scenario = sc.known_device_failure(topo, start=30.0)
+    result = run_campaign(300.0, scenarios=[scenario], topology=topo, seed=4)
+    assert result.injector.ground_truths == [scenario.truth]
+    report = score_incidents(result.incidents, result.injector)
+    assert report.false_negative_ratio == 0.0
+
+
+def test_campaign_deterministic():
+    a = run_campaign(240.0, n_random_failures=2, spec=TopologySpec.tiny(), seed=9)
+    b = run_campaign(240.0, n_random_failures=2, spec=TopologySpec.tiny(), seed=9)
+    assert len(a.raw_alerts) == len(b.raw_alerts)
+    assert [i.root for i in a.incidents] == [i.root for i in b.incidents]
+
+
+def test_campaign_source_subset():
+    result = run_campaign(
+        240.0, n_random_failures=1, spec=TopologySpec.tiny(),
+        sources=["ping", "syslog"], seed=5,
+    )
+    assert {a.tool for a in result.raw_alerts} <= {"ping", "syslog"}
+
+
+def test_replay_with_other_config():
+    result = run_campaign(300.0, n_random_failures=2, spec=TopologySpec.tiny(),
+                          seed=6)
+    loose = SkyNetConfig().replace(
+        thresholds=SkyNetConfig().thresholds.__class__(0, 0, 0, 1)
+    )
+    reports = replay(result, loose)
+    # a 1-alert threshold can only produce at least as many incidents
+    assert len(reports) >= len(result.reports)

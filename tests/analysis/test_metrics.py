@@ -1,0 +1,118 @@
+"""Tests for accuracy scoring and the percentile helper."""
+
+import pytest
+
+from repro.analysis.metrics import AccuracyReport, percentile, score_incidents
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.core.incident import Incident, IncidentStatus
+from repro.simulation import scenarios as sc
+from repro.simulation.injector import FailureInjector
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import LocationPath
+
+
+@pytest.fixture()
+def setup():
+    topo = build_topology(TopologySpec.tiny())
+    state = NetworkState(topo)
+    injector = FailureInjector(state)
+    scenario = sc.known_device_failure(topo, start=100.0, duration=300.0)
+    injector.inject(scenario)
+    return topo, injector, scenario
+
+
+def incident_at(location, start, end):
+    incident = Incident(root=location, created_at=start, seed_nodes={})
+    incident.add(
+        StructuredAlert(
+            type_key=AlertTypeKey("snmp", "link_down"),
+            level=AlertLevel.ROOT_CAUSE,
+            location=location,
+            first_seen=start,
+            last_seen=end,
+        )
+    )
+    return incident
+
+
+def test_true_positive_matched(setup):
+    topo, injector, scenario = setup
+    incident = incident_at(scenario.truth.scope, 120.0, 200.0)
+    report = score_incidents([incident], injector)
+    assert report.true_positive_incidents == [incident]
+    assert report.false_positive_ratio == 0.0
+    assert report.false_negative_ratio == 0.0
+
+
+def test_false_positive_from_unrelated_incident(setup):
+    topo, injector, scenario = setup
+    elsewhere = incident_at(LocationPath(("nowhere",)), 120.0, 200.0)
+    report = score_incidents([elsewhere], injector)
+    assert report.false_positive_incidents == [elsewhere]
+    assert report.false_positive_ratio == 1.0
+    # the failure itself went undetected
+    assert report.false_negative_ratio == 1.0
+
+
+def test_false_negative_when_no_incident(setup):
+    topo, injector, _ = setup
+    report = score_incidents([], injector)
+    assert report.missed_truths == injector.ground_truths
+    assert report.false_negative_ratio == 1.0
+    assert report.false_positive_ratio == 0.0
+
+
+def test_wrong_time_does_not_match(setup):
+    topo, injector, scenario = setup
+    incident = incident_at(scenario.truth.scope, 5000.0, 5100.0)
+    report = score_incidents([incident], injector)
+    assert report.false_positive_incidents == [incident]
+
+
+def test_superseded_incidents_excluded(setup):
+    topo, injector, scenario = setup
+    incident = incident_at(scenario.truth.scope, 120.0, 200.0)
+    incident.close(300.0, IncidentStatus.SUPERSEDED)
+    report = score_incidents([incident], injector)
+    assert report.incident_count == 0
+
+
+def test_non_impacting_truth_not_required(setup):
+    topo, injector, scenario = setup
+    import dataclasses
+
+    injector._scenarios[0] = dataclasses.replace(
+        injector._scenarios[0],
+        truth=dataclasses.replace(scenario.truth, customer_impacting=False),
+    )
+    report = score_incidents([], injector, impacting_only=True)
+    assert report.false_negative_ratio == 0.0
+
+
+def test_summary_text(setup):
+    topo, injector, scenario = setup
+    incident = incident_at(scenario.truth.scope, 120.0, 200.0)
+    text = score_incidents([incident], injector).summary()
+    assert "FP=0" in text and "FN=0" in text
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        assert percentile([5, 1, 9], 0) == 1
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 90) == 7
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)

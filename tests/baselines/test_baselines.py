@@ -1,0 +1,149 @@
+"""Tests for the three baselines."""
+
+import pytest
+
+from repro.baselines.heuristic_only import HeuristicOnlySystem
+from repro.baselines.single_source import SingleSourceDetector, coverage_by_tool
+from repro.baselines.window_grouping import WindowGroupingDetector
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.monitors.base import RawAlert
+from repro.monitors.registry import build_monitors
+from repro.monitors.stream import AlertStream
+from repro.simulation import scenarios as sc
+from repro.simulation.injector import FailureInjector
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import Level, LocationPath
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    topo = build_topology(TopologySpec())
+    traffic = generate_traffic(topo, n_customers=25, seed=7)
+    state = NetworkState(topo, traffic)
+    injector = FailureInjector(state)
+    injector.inject(sc.known_device_failure(topo, start=20.0))
+    alerts = AlertStream(state, build_monitors(state)).collect(420.0)
+    return topo, state, injector, alerts
+
+
+class TestSingleSource:
+    def test_syslog_detects_hardware_failure(self, campaign):
+        topo, _, injector, alerts = campaign
+        detector = SingleSourceDetector(topo, "syslog")
+        assert detector.detects(alerts, injector.ground_truths[0])
+
+    def test_route_monitoring_blind_to_hardware(self, campaign):
+        topo, _, injector, alerts = campaign
+        detector = SingleSourceDetector(topo, "route_monitoring")
+        assert not detector.detects(alerts, injector.ground_truths[0])
+
+    def test_benign_syslog_not_actionable(self, campaign):
+        topo, _, _, _ = campaign
+        detector = SingleSourceDetector(topo, "syslog")
+        chatter = RawAlert(
+            tool="syslog", raw_type="log", timestamp=0.0,
+            message="%SEC_LOGIN-6-LOGIN_SUCCESS: Login Success [user: ops3] at vty0",
+            device=sorted(topo.devices)[0],
+        )
+        assert not detector.actionable(chatter)
+
+    def test_coverage_by_tool_fractions(self, campaign):
+        topo, _, injector, alerts = campaign
+        coverage = coverage_by_tool(
+            topo, alerts, injector.ground_truths, ["syslog", "ptp"]
+        )
+        assert coverage["syslog"] == 1.0
+        assert coverage["ptp"] == 0.0
+
+    def test_coverage_requires_truths(self, campaign):
+        topo, _, _, alerts = campaign
+        with pytest.raises(ValueError):
+            coverage_by_tool(topo, alerts, [], ["syslog"])
+
+
+class TestWindowGrouping:
+    def alert_at(self, loc, t, name="x"):
+        return StructuredAlert(
+            type_key=AlertTypeKey("snmp", name),
+            level=AlertLevel.ABNORMAL,
+            location=loc,
+            first_seen=t,
+            last_seen=t,
+        )
+
+    def test_groups_by_label_and_window(self):
+        detector = WindowGroupingDetector(window_s=300.0, group_level=Level.SITE)
+        site_a = LocationPath(("r", "c", "l", "s1", "cl"))
+        site_b = LocationPath(("r", "c", "l", "s2", "cl"))
+        groups = detector.group(
+            [
+                self.alert_at(site_a, 10.0),
+                self.alert_at(site_a, 20.0, name="y"),
+                self.alert_at(site_b, 10.0),
+                self.alert_at(site_a, 400.0),  # next window
+            ]
+        )
+        assert len(groups) == 3
+
+    def test_shallow_location_kept_whole(self):
+        detector = WindowGroupingDetector(group_level=Level.SITE)
+        region = LocationPath(("r",))
+        groups = detector.group([self.alert_at(region, 5.0)])
+        assert groups[0].location == region
+
+    def test_min_alerts_filter(self):
+        detector = WindowGroupingDetector(min_alerts=2)
+        loc = LocationPath(("r", "c", "l", "s", "cl"))
+        assert detector.group([self.alert_at(loc, 1.0)]) == []
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowGroupingDetector(window_s=0)
+
+    def test_group_size_counts_raw(self):
+        detector = WindowGroupingDetector()
+        loc = LocationPath(("r", "c", "l", "s", "cl"))
+        a = self.alert_at(loc, 1.0)
+        b = StructuredAlert(
+            type_key=AlertTypeKey("snmp", "z"), level=AlertLevel.ABNORMAL,
+            location=loc, first_seen=2.0, last_seen=2.0, count=4,
+        )
+        groups = detector.group([a, b])
+        assert groups[0].size == 5
+
+
+class TestHeuristicOnly:
+    def test_known_failure_handled(self, campaign):
+        topo, state, injector, alerts = campaign
+        system = HeuristicOnlySystem(topo, state)
+        outcomes = system.run(alerts, now=400.0)
+        handled = [o for o in outcomes if o.handled]
+        assert handled
+        truth = injector.ground_truths[0]
+        assert any(
+            truth.scope.contains(o.location) or o.location.contains(truth.scope)
+            for o in handled
+        )
+
+    def test_unknown_severe_failure_unhandled(self):
+        topo = build_topology(TopologySpec())
+        traffic = generate_traffic(topo, n_customers=25, seed=8)
+        state = NetworkState(topo, traffic)
+        injector = FailureInjector(state)
+        injector.inject(sc.internet_entrance_cable_cut(topo, start=20.0))
+        alerts = AlertStream(state, build_monitors(state)).collect(300.0)
+        system = HeuristicOnlySystem(topo, state)
+        outcomes = system.run(alerts, now=300.0)
+        truth = injector.ground_truths[0]
+        # the gateway buckets affected by the entrance cut match no rule
+        for outcome in outcomes:
+            if truth.scope.contains(outcome.location):
+                related = [
+                    a for a in outcome.alerts
+                    if a.type_key.name in ("link_down", "port_down",
+                                            "internet_unreachable")
+                ]
+                if related:
+                    assert not outcome.handled

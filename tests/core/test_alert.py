@@ -1,0 +1,76 @@
+"""Tests for structured alerts and alert levels."""
+
+import pytest
+
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.topology.hierarchy import LocationPath
+
+
+def make_alert(**overrides):
+    defaults = dict(
+        type_key=AlertTypeKey("ping", "end_to_end_icmp_loss"),
+        level=AlertLevel.FAILURE,
+        location=LocationPath(("r", "c")),
+        first_seen=10.0,
+        last_seen=20.0,
+        metrics={"loss_rate": 0.1},
+    )
+    defaults.update(overrides)
+    return StructuredAlert(**defaults)
+
+
+def test_levels_counting_rules():
+    assert AlertLevel.FAILURE.counts_for_incidents
+    assert AlertLevel.ABNORMAL.counts_for_incidents
+    assert AlertLevel.ROOT_CAUSE.counts_for_incidents
+    assert not AlertLevel.INFO.counts_for_incidents
+
+
+def test_type_key_rendering():
+    assert str(AlertTypeKey("snmp", "link_down")) == "snmp/link_down"
+
+
+def test_invalid_time_order_rejected():
+    with pytest.raises(ValueError):
+        make_alert(first_seen=10.0, last_seen=5.0)
+
+
+def test_invalid_count_rejected():
+    with pytest.raises(ValueError):
+        make_alert(count=0)
+
+
+def test_duration():
+    assert make_alert().duration_s == 10.0
+
+
+def test_merged_with_extends_window_and_count():
+    alert = make_alert()
+    merged = alert.merged_with(30.0, {"loss_rate": 0.5})
+    assert merged.last_seen == 30.0
+    assert merged.count == 2
+    assert merged.metrics["loss_rate"] == 0.5
+    # the original is untouched
+    assert alert.count == 1 and alert.metrics["loss_rate"] == 0.1
+
+
+def test_merged_with_keeps_worst_metric():
+    alert = make_alert()
+    merged = alert.merged_with(25.0, {"loss_rate": 0.01})
+    assert merged.metrics["loss_rate"] == 0.1
+
+
+def test_merged_with_does_not_rewind_last_seen():
+    alert = make_alert()
+    merged = alert.merged_with(15.0)
+    assert merged.last_seen == 20.0
+
+
+def test_metric_default():
+    assert make_alert().metric("nope", 3.0) == 3.0
+
+
+def test_render_mentions_type_and_location():
+    text = make_alert().render()
+    assert "ping/end_to_end_icmp_loss" in text
+    assert "r|c" in text

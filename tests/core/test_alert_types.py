@@ -1,0 +1,58 @@
+"""Tests for the alert-type registry."""
+
+from repro.core.alert import AlertLevel
+from repro.core.alert_types import (
+    ALERT_TYPE_LEVELS,
+    CONDITIONAL_TYPES,
+    SPORADIC_TYPES,
+    level_of,
+    registered_types,
+)
+from repro.monitors.registry import DATA_SOURCES
+
+
+def test_figure6_level_assignments():
+    assert level_of("ping", "end_to_end_icmp_loss") is AlertLevel.FAILURE
+    assert level_of("out_of_band", "inaccessible") is AlertLevel.ABNORMAL
+    assert level_of("snmp", "traffic_congestion") is AlertLevel.ROOT_CAUSE
+    assert level_of("snmp", "link_down") is AlertLevel.ROOT_CAUSE
+    assert level_of("syslog", "bgp_peer_down") is AlertLevel.ABNORMAL
+    assert level_of("syslog", "hardware_error") is AlertLevel.ROOT_CAUSE
+    assert level_of("syslog", "bgp_link_jitter") is AlertLevel.ROOT_CAUSE
+
+
+def test_benign_types_are_info():
+    for name in ("link_up", "login", "config_session", "ssh_session", "unclassified"):
+        assert level_of("syslog", name) is AlertLevel.INFO
+
+
+def test_unknown_type_defaults_to_abnormal():
+    assert level_of("future_tool", "novel_type") is AlertLevel.ABNORMAL
+
+
+def test_every_tool_in_registry_is_a_known_source():
+    from repro.monitors.registry import FUTURE_SOURCES
+
+    tools = {tool for tool, _ in ALERT_TYPE_LEVELS}
+    assert tools <= set(DATA_SOURCES) | set(FUTURE_SOURCES)
+
+
+def test_every_data_source_has_types():
+    tools = {tool for tool, _ in ALERT_TYPE_LEVELS}
+    assert set(DATA_SOURCES) <= tools
+
+
+def test_sporadic_and_conditional_are_registered():
+    assert SPORADIC_TYPES <= set(ALERT_TYPE_LEVELS)
+    assert CONDITIONAL_TYPES <= set(ALERT_TYPE_LEVELS)
+
+
+def test_registered_types_filter():
+    ping_types = registered_types("ping")
+    assert all(tool == "ping" for tool, _ in ping_types)
+    assert ("ping", "high_latency") in ping_types
+
+
+def test_every_level_is_represented():
+    levels = set(ALERT_TYPE_LEVELS.values())
+    assert levels == set(AlertLevel)

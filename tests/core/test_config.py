@@ -1,0 +1,79 @@
+"""Tests for SkyNet configuration and the A/B+C/D thresholds."""
+
+import pytest
+
+from repro.core.config import (
+    PRODUCTION_CONFIG,
+    IncidentThresholds,
+    SeverityParams,
+    SkyNetConfig,
+)
+
+
+class TestThresholds:
+    def test_production_label(self):
+        assert PRODUCTION_CONFIG.thresholds.label() == "2/1+2/5"
+
+    def test_parse_round_trip(self):
+        for label in ("2/1+2/5", "0/1+2/5", "2/0+0/5", "2/1+2/0", "1/1+2/4"):
+            assert IncidentThresholds.parse(label).label() == label
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            IncidentThresholds.parse("nope")
+
+    def test_failure_only_clause(self):
+        t = IncidentThresholds(2, 0, 0, 0)
+        assert t.triggered(2, 0)
+        assert not t.triggered(1, 99)
+
+    def test_combo_clause(self):
+        t = IncidentThresholds(0, 1, 2, 0)
+        assert t.triggered(1, 2)
+        assert not t.triggered(1, 1)
+        assert not t.triggered(0, 5)
+
+    def test_any_clause(self):
+        t = IncidentThresholds(0, 0, 0, 5)
+        assert t.triggered(0, 5)
+        assert t.triggered(3, 2)
+        assert not t.triggered(2, 2)
+
+    def test_production_semantics(self):
+        t = PRODUCTION_CONFIG.thresholds
+        assert t.triggered(2, 0)  # two failure alerts
+        assert t.triggered(1, 2)  # one failure + two other
+        assert t.triggered(0, 5)  # five of any
+        assert not t.triggered(1, 1)
+        assert not t.triggered(0, 4)
+
+    def test_zero_disables_clause(self):
+        t = IncidentThresholds(0, 0, 0, 0)
+        assert not t.triggered(10, 10)
+
+
+class TestSeverityParams:
+    def test_defaults_match_paper(self):
+        p = SeverityParams()
+        assert p.alert_threshold == 10.0
+        assert p.score_cap == 100.0
+
+    def test_rate_clamps_ordered(self):
+        p = SeverityParams()
+        assert 0 < p.min_rate < p.max_rate < 1
+
+
+class TestConfig:
+    def test_paper_timeouts(self):
+        cfg = SkyNetConfig()
+        assert cfg.node_timeout_s == 300.0
+        assert cfg.incident_timeout_s == 900.0
+
+    def test_replace_creates_new(self):
+        cfg = SkyNetConfig()
+        other = cfg.replace(node_timeout_s=60.0)
+        assert other.node_timeout_s == 60.0
+        assert cfg.node_timeout_s == 300.0
+
+    def test_count_by_type_default_on(self):
+        assert SkyNetConfig().count_by_type

@@ -1,0 +1,195 @@
+"""Tests for the evaluator: Equations 1-3 and incident ranking."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.core.config import SeverityParams, SkyNetConfig
+from repro.core.evaluator import Evaluator
+from repro.core.incident import Incident
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import LocationPath
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec())
+
+
+@pytest.fixture()
+def evaluator(topo):
+    return Evaluator(topo)
+
+
+def incident_with_loss(loss_rates, duration=300.0, root=("r",)):
+    incident = Incident(root=LocationPath(root), created_at=0.0, seed_nodes={})
+    for i, rate in enumerate(loss_rates):
+        incident.add(
+            StructuredAlert(
+                type_key=AlertTypeKey("ping", f"loss{i}"),
+                level=AlertLevel.FAILURE,
+                location=LocationPath(root),
+                first_seen=0.0,
+                last_seen=duration,
+                metrics={"loss_rate": rate},
+            )
+        )
+    return incident
+
+
+class TestTimeFactorMath:
+    def test_r_is_mean_of_failure_loss_metrics(self, evaluator):
+        incident = incident_with_loss([0.2, 0.4])
+        breakdown = evaluator.evaluate(incident)
+        assert breakdown.ping_loss_rate == pytest.approx(0.3)
+
+    def test_abnormal_metrics_ignored_for_r(self, evaluator):
+        incident = incident_with_loss([0.2])
+        incident.add(
+            StructuredAlert(
+                type_key=AlertTypeKey("snmp", "traffic_drop"),
+                level=AlertLevel.ABNORMAL,
+                location=LocationPath(("r",)),
+                first_seen=0.0,
+                last_seen=10.0,
+                metrics={"loss_rate": 0.99},
+            )
+        )
+        assert evaluator.evaluate(incident).ping_loss_rate == pytest.approx(0.2)
+
+    def test_zero_loss_zero_time_factor(self, evaluator):
+        incident = incident_with_loss([])
+        breakdown = evaluator.evaluate(incident)
+        assert breakdown.time_factor == 0.0
+        assert breakdown.score == 0.0
+
+    def test_higher_loss_raises_severity(self, evaluator):
+        mild = evaluator.evaluate(incident_with_loss([0.05]))
+        severe = evaluator.evaluate(incident_with_loss([0.5]))
+        assert severe.score > mild.score
+
+    def test_longer_duration_raises_severity(self, evaluator):
+        short = evaluator.evaluate(incident_with_loss([0.2], duration=60.0))
+        long = evaluator.evaluate(incident_with_loss([0.2], duration=3000.0))
+        assert long.score > short.score
+
+    def test_score_capped_for_display(self, evaluator):
+        breakdown = evaluator.evaluate(incident_with_loss([0.99], duration=86400.0))
+        assert breakdown.capped_score <= evaluator.params.score_cap
+        assert breakdown.score >= breakdown.capped_score
+
+    def test_log_base_guard_rates(self, evaluator):
+        assert evaluator._log_base_inverse(0.0, 100.0) == 0.0
+        assert evaluator._log_base_inverse(0.5, 0.5) == 0.0
+        # clamped high rate stays finite
+        assert math.isfinite(evaluator._log_base_inverse(1.5, 100.0))
+
+    def test_sigmoid_saturates(self, evaluator):
+        p = evaluator.params
+        low = evaluator._sigmoid(0)
+        mid = evaluator._sigmoid(int(p.sig_midpoint))
+        high = evaluator._sigmoid(50)
+        assert low < mid < high <= p.sig_scale
+        assert high == pytest.approx(p.sig_scale, rel=0.01)
+
+
+class TestTrafficTerms:
+    def test_impact_floor_is_one(self, evaluator):
+        # no state wired: impact factor must still be >= 1 (Equation 1 max)
+        breakdown = evaluator.evaluate(incident_with_loss([0.2]))
+        assert breakdown.impact_factor == 1.0
+
+    def test_breaks_raise_impact(self, topo):
+        traffic = generate_traffic(topo, n_customers=30, seed=6)
+        state = NetworkState(topo, traffic)
+        evaluator = Evaluator(topo, state=state, traffic=traffic)
+        incident = incident_with_loss([0.3], root=("RG01",))
+        baseline = evaluator.evaluate(incident).impact_factor
+        # break circuits under the incident scope
+        placement = state.placement()
+        busy = max(
+            (cs for cs in topo.circuit_sets.values()),
+            key=lambda cs: len(placement.flows_on(cs.set_id)),
+        )
+        state.add_condition(
+            Condition(ConditionKind.CIRCUIT_BREAK, busy.set_id, 0.0,
+                      params={"broken_circuits": len(busy.circuits) / 2}),
+        )
+        state.set_time(1.0)
+        incident2 = incident_with_loss([0.3], root=("RG01",))
+        broken = evaluator.evaluate(incident2).impact_factor
+        assert broken > baseline
+
+    def test_important_customers_counted(self, topo):
+        traffic = generate_traffic(topo, n_customers=30, seed=6)
+        state = NetworkState(topo, traffic)
+        evaluator = Evaluator(topo, state=state, traffic=traffic)
+        # break everything under the root: all important customers affected
+        for cs in list(topo.circuit_sets.values())[:40]:
+            state.add_condition(
+                Condition(ConditionKind.CIRCUIT_BREAK, cs.set_id, 0.0,
+                          params={"broken_circuits": 1}),
+            )
+        state.set_time(1.0)
+        breakdown = evaluator.evaluate(incident_with_loss([0.3], root=()))
+        assert breakdown.important_customers > 0
+
+
+class TestRanking:
+    def test_rank_orders_by_score(self, evaluator):
+        mild = incident_with_loss([0.02], duration=60.0)
+        severe = incident_with_loss([0.6], duration=1000.0)
+        ranked = evaluator.rank([mild, severe])
+        assert ranked[0] is severe
+
+    def test_urgent_filters_by_threshold(self, topo):
+        config = SkyNetConfig(severity=SeverityParams(alert_threshold=10.0))
+        evaluator = Evaluator(topo, config)
+        mild = incident_with_loss([0.01], duration=30.0)
+        severe = incident_with_loss([0.7], duration=3000.0)
+        urgent = evaluator.urgent([mild, severe])
+        assert severe in urgent
+        assert mild not in urgent
+
+    def test_evaluate_attaches_breakdown(self, evaluator):
+        incident = incident_with_loss([0.1])
+        assert incident.severity is None
+        evaluator.evaluate(incident)
+        assert incident.severity is not None
+
+
+# -- property-based monotonicity ------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.01, max_value=0.9),
+    st.floats(min_value=0.01, max_value=0.9),
+    st.floats(min_value=10.0, max_value=5000.0),
+)
+def test_prop_severity_monotone_in_loss(r1, r2, duration):
+    topo = build_topology(TopologySpec.tiny())
+    evaluator = Evaluator(topo)
+    lo, hi = sorted((r1, r2))
+    s_lo = evaluator.evaluate(incident_with_loss([lo], duration=duration)).score
+    s_hi = evaluator.evaluate(incident_with_loss([hi], duration=duration)).score
+    assert s_hi >= s_lo - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.05, max_value=0.9),
+    st.floats(min_value=10.0, max_value=5000.0),
+    st.floats(min_value=10.0, max_value=5000.0),
+)
+def test_prop_severity_monotone_in_duration(rate, d1, d2):
+    topo = build_topology(TopologySpec.tiny())
+    evaluator = Evaluator(topo)
+    lo, hi = sorted((d1, d2))
+    s_lo = evaluator.evaluate(incident_with_loss([rate], duration=lo)).score
+    s_hi = evaluator.evaluate(incident_with_loss([rate], duration=hi)).score
+    assert s_hi >= s_lo - 1e-9

@@ -1,0 +1,94 @@
+"""Tests for the §9 LLM context exporter."""
+
+import pytest
+
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.core.incident import Incident
+from repro.core.llm_export import CHARS_PER_TOKEN, IncidentContextExporter
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import LocationPath
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec.tiny())
+
+
+def incident_with_everything(topo):
+    device = sorted(topo.devices)[0]
+    root = topo.device(device).parent_location
+    incident = Incident(root=root, created_at=0.0, seed_nodes={})
+    data = [
+        ("ping", "end_to_end_icmp_loss", AlertLevel.FAILURE, None),
+        ("snmp", "traffic_drop", AlertLevel.ABNORMAL, device),
+        ("syslog", "hardware_error", AlertLevel.ROOT_CAUSE, device),
+        ("snmp", "traffic_congestion", AlertLevel.ROOT_CAUSE, device),
+    ]
+    for tool, name, level, dev in data:
+        incident.add(
+            StructuredAlert(
+                type_key=AlertTypeKey(tool, name),
+                level=level,
+                location=topo.device(device).location if dev else root,
+                first_seen=10.0,
+                last_seen=500.0,
+                count=7,
+                device=dev,
+            )
+        )
+    return incident
+
+
+def test_budget_validation(topo):
+    with pytest.raises(ValueError):
+        IncidentContextExporter(topo, max_tokens=10)
+
+
+def test_full_export_contains_all_sections(topo):
+    incident = incident_with_everything(topo)
+    package = IncidentContextExporter(topo, max_tokens=4000).export(incident)
+    assert not package.truncated
+    assert "header" in package.sections_included
+    assert "root_causes" in package.sections_included
+    assert "syslog/hardware_error" in package.text
+    assert str(incident.location) in package.text
+
+
+def test_budget_enforced(topo):
+    incident = incident_with_everything(topo)
+    exporter = IncidentContextExporter(topo, max_tokens=100)
+    package = exporter.export(incident)
+    assert package.approx_tokens <= 100
+    assert package.truncated
+    # the header is the last thing to go
+    assert "header" in package.sections_included
+
+
+def test_root_causes_survive_truncation_before_samples(topo):
+    incident = incident_with_everything(topo)
+    exporter = IncidentContextExporter(topo, max_tokens=260)
+    package = exporter.export(incident)
+    if "sample_messages" in package.sections_included:
+        assert "root_causes" in package.sections_included
+
+
+def test_gray_failure_notes_missing_root_cause(topo):
+    root = LocationPath(("RG01",))
+    incident = Incident(root=root, created_at=0.0, seed_nodes={})
+    incident.add(
+        StructuredAlert(
+            type_key=AlertTypeKey("ping", "end_to_end_icmp_loss"),
+            level=AlertLevel.FAILURE,
+            location=root,
+            first_seen=0.0,
+            last_seen=60.0,
+        )
+    )
+    package = IncidentContextExporter(topo).export(incident)
+    assert "gray failure" in package.text
+
+
+def test_token_estimate_consistent(topo):
+    incident = incident_with_everything(topo)
+    package = IncidentContextExporter(topo).export(incident)
+    assert package.approx_tokens == len(package.text) // CHARS_PER_TOKEN

@@ -1,0 +1,109 @@
+"""Tests for the SkyNet pipeline facade."""
+
+import pytest
+
+from repro.core.pipeline import SkyNet
+from repro.monitors.base import RawAlert
+from repro.simulation import scenarios as sc
+from repro.simulation.injector import FailureInjector
+from repro.simulation.state import NetworkState
+from repro.monitors.registry import build_monitors
+from repro.monitors.stream import AlertStream
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.network import DeviceRole
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture(scope="module")
+def setup():
+    topo = build_topology(TopologySpec())
+    traffic = generate_traffic(topo, n_customers=30, seed=12)
+    state = NetworkState(topo, traffic)
+    injector = FailureInjector(state)
+    injector.inject(sc.internet_entrance_cable_cut(topo, start=30.0))
+    stream = AlertStream(state, build_monitors(state))
+    alerts = stream.collect(600.0)
+    return topo, state, injector, alerts
+
+
+def test_process_produces_scored_incident(setup):
+    topo, state, injector, alerts = setup
+    skynet = SkyNet(topo, state=state)
+    reports = skynet.process(alerts)
+    assert reports
+    top = reports[0]
+    assert top.severity is not None
+    assert top.score > 0
+    truth = injector.ground_truths[0]
+    assert truth.scope.contains(top.incident.root) or top.incident.root.contains(
+        truth.scope
+    )
+
+
+def test_reports_ranked_descending(setup):
+    topo, state, _, alerts = setup
+    skynet = SkyNet(topo, state=state)
+    reports = skynet.process(alerts)
+    scores = [r.score for r in reports]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_severe_incident_is_urgent(setup):
+    topo, state, _, alerts = setup
+    skynet = SkyNet(topo, state=state)
+    skynet.process(alerts)
+    urgent = skynet.urgent_reports()
+    assert urgent
+    assert all(r.score >= 10.0 for r in urgent)
+
+
+def test_preprocessing_reduces_volume(setup):
+    topo, state, _, alerts = setup
+    skynet = SkyNet(topo, state=state)
+    skynet.process(alerts)
+    stats = skynet.preprocess_stats
+    assert stats.raw_in == len(alerts)
+    assert stats.emitted < stats.raw_in
+
+
+def test_streaming_and_batch_agree(setup):
+    topo, state, _, alerts = setup
+    batch = SkyNet(topo, state=state)
+    batch_reports = batch.process(alerts)
+
+    stream = SkyNet(topo, state=state)
+    for raw in alerts:
+        stream.feed(raw)
+    stream.finish()
+    stream_reports = stream.reports()
+    assert len(batch_reports) == len(stream_reports)
+    assert {r.incident.root for r in batch_reports} == {
+        r.incident.root for r in stream_reports
+    }
+
+
+def test_without_state_severity_degrades_gracefully():
+    topo = build_topology(TopologySpec.tiny())
+    skynet = SkyNet(topo)
+    dev = sorted(
+        d.name for d in topo.devices.values() if d.role is DeviceRole.CLUSTER_SWITCH
+    )[0]
+    raws = [
+        RawAlert(tool="snmp", raw_type=name, timestamp=1.0, device=dev)
+        for name in ("link_down", "port_down", "rx_errors", "high_cpu", "snmp_timeout")
+    ]
+    reports = skynet.process(raws)
+    assert len(reports) == 1
+    assert reports[0].severity is not None
+
+
+def test_incidents_exclude_superseded_by_default(setup):
+    topo, state, _, alerts = setup
+    skynet = SkyNet(topo, state=state)
+    skynet.process(alerts)
+    visible = skynet.incidents()
+    everything = skynet.incidents(include_superseded=True)
+    assert len(everything) >= len(visible)
+    from repro.core.incident import IncidentStatus
+
+    assert all(i.status is not IncidentStatus.SUPERSEDED for i in visible)

@@ -1,0 +1,224 @@
+"""Tests for the preprocessor: classification, location, consolidation."""
+
+import pytest
+
+from repro.core.config import SkyNetConfig
+from repro.core.preprocessor import Preprocessor
+from repro.monitors.base import RawAlert
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.network import DeviceRole
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec.tiny())
+
+
+@pytest.fixture()
+def prep(topo):
+    return Preprocessor(topo)
+
+
+def device(topo, role=DeviceRole.CLUSTER_SWITCH):
+    return sorted(d.name for d in topo.devices.values() if d.role is role)[0]
+
+
+def raw(topo, tool="snmp", raw_type="link_down", t=0.0, dev=None, **kw):
+    return RawAlert(
+        tool=tool,
+        raw_type=raw_type,
+        timestamp=t,
+        device=dev or device(topo),
+        **kw,
+    )
+
+
+class TestClassificationAndFiltering:
+    def test_device_alert_located_at_device_path(self, topo, prep):
+        out = prep.feed(raw(topo, t=1.0))
+        assert len(out) == 1
+        assert out[0].location == topo.device(device(topo)).location
+        assert out[0].type_key.name == "link_down"
+
+    def test_syslog_goes_through_classifier(self, topo, prep):
+        line = "%PLATFORM-2-HARDWARE_FAULT: ASIC 3 parity error detected, packets may be dropped"
+        out = prep.feed(
+            RawAlert(tool="syslog", raw_type="log", timestamp=0.0,
+                     message=line, device=device(topo))
+        )
+        assert out[0].type_key.name == "hardware_error"
+
+    def test_benign_syslog_filtered(self, topo, prep):
+        line = "%SEC_LOGIN-6-LOGIN_SUCCESS: Login Success [user: ops9] at vty0"
+        out = prep.feed(
+            RawAlert(tool="syslog", raw_type="log", timestamp=0.0,
+                     message=line, device=device(topo))
+        )
+        assert out == []
+        assert prep.stats.filtered_info == 1
+
+    def test_info_type_filtered(self, topo, prep):
+        out = prep.feed(
+            RawAlert(tool="modification_events", raw_type="modification_event",
+                     timestamp=0.0, device=device(topo))
+        )
+        assert out == []
+
+    def test_unlocatable_alert_dropped(self, topo, prep):
+        out = prep.feed(RawAlert(tool="snmp", raw_type="link_down", timestamp=0.0))
+        assert out == []
+        assert prep.stats.unlocatable == 1
+
+
+class TestEndpointSplitting:
+    def test_ping_alert_splits_to_both_clusters(self, topo, prep):
+        servers = sorted(topo.servers)
+        # pick servers in different clusters
+        a = topo.servers[servers[0]]
+        b = next(
+            topo.servers[s] for s in servers if topo.servers[s].cluster != a.cluster
+        )
+        out = []
+        for t in (0.0, 70.0):  # sporadic type needs persistent occurrences
+            out = prep.feed(
+                RawAlert(tool="ping", raw_type="end_to_end_icmp_loss", timestamp=t,
+                         endpoints=(a.name, b.name), metrics={"loss_rate": 0.3})
+            )
+        locations = {al.location for al in out}
+        assert locations == {a.cluster, b.cluster}
+
+    def test_internet_endpoint_skipped(self, topo, prep):
+        from repro.topology.network import INTERNET
+
+        server = next(iter(topo.servers.values()))
+        for t in (0.0, 70.0):
+            out = prep.feed(
+                RawAlert(tool="ping", raw_type="end_to_end_icmp_loss", timestamp=t,
+                         endpoints=(server.name, INTERNET),
+                         metrics={"loss_rate": 0.2})
+            )
+        assert {al.location for al in out} == {server.cluster}
+
+    def test_location_hint_used(self, topo, prep):
+        cluster = next(iter(topo.servers.values())).cluster
+        out = prep.feed(
+            RawAlert(tool="internet_telemetry", raw_type="internet_unreachable",
+                     timestamp=0.0, location_hint=cluster,
+                     metrics={"loss_rate": 1.0})
+        )
+        assert out[0].location == cluster
+
+
+class TestIdenticalConsolidation:
+    def test_duplicates_merge_within_window(self, topo, prep):
+        first = prep.feed(raw(topo, t=0.0))
+        dup = prep.feed(raw(topo, t=10.0))
+        assert len(first) == 1
+        assert dup == []  # merged, refresh interval not reached
+        assert prep.stats.merged == 1
+
+    def test_refresh_reemits_with_delta_count(self, topo, prep):
+        cfg = prep.config
+        prep.feed(raw(topo, t=0.0))
+        prep.feed(raw(topo, t=10.0))
+        out = prep.feed(raw(topo, t=cfg.refresh_interval_s + 1))
+        assert len(out) == 1
+        assert out[0].count == 2  # the two occurrences since first emission
+        assert out[0].first_seen == 0.0
+
+    def test_new_aggregate_after_merge_window(self, topo, prep):
+        cfg = prep.config
+        prep.feed(raw(topo, t=0.0))
+        out = prep.feed(raw(topo, t=cfg.merge_window_s + 61))
+        assert len(out) == 1
+        assert out[0].first_seen == cfg.merge_window_s + 61
+
+
+class TestSporadicPersistence:
+    def test_single_loss_suppressed(self, topo, prep):
+        server = next(iter(topo.servers.values()))
+        out = prep.feed(
+            RawAlert(tool="internet_telemetry", raw_type="internet_packet_loss",
+                     timestamp=0.0, location_hint=server.cluster,
+                     metrics={"loss_rate": 0.05})
+        )
+        assert out == []
+        assert prep.stats.suppressed_sporadic == 1
+
+    def test_persistent_loss_released_with_full_count(self, topo, prep):
+        server = next(iter(topo.servers.values()))
+
+        def feed(t):
+            return prep.feed(
+                RawAlert(tool="internet_telemetry", raw_type="internet_packet_loss",
+                         timestamp=t, location_hint=server.cluster,
+                         metrics={"loss_rate": 0.05})
+            )
+
+        assert feed(0.0) == []
+        assert feed(10.0) == []  # enough occurrences but too short a span
+        out = feed(75.0)
+        assert len(out) == 1
+        assert out[0].count == 3
+
+    def test_occurrences_outside_window_do_not_accumulate(self, topo, prep):
+        cfg = prep.config
+        server = next(iter(topo.servers.values()))
+
+        def feed(t):
+            return prep.feed(
+                RawAlert(tool="internet_telemetry", raw_type="internet_packet_loss",
+                         timestamp=t, location_hint=server.cluster,
+                         metrics={"loss_rate": 0.05})
+            )
+
+        assert feed(0.0) == []
+        # second occurrence far outside the correlation window
+        assert feed(cfg.correlation_window_s + 50) == []
+
+
+class TestCrossSourceRule:
+    def drop_alert(self, topo, t, dev):
+        return RawAlert(tool="snmp", raw_type="traffic_drop", timestamp=t,
+                        device=dev, metrics={"rate_gbps": 1.0})
+
+    def test_uncorroborated_drop_suppressed(self, topo, prep):
+        out = prep.feed(self.drop_alert(topo, 0.0, device(topo)))
+        assert out == []
+        assert prep.stats.suppressed_unconfirmed == 1
+
+    def test_corroborated_drop_passes(self, topo, prep):
+        dev = device(topo)
+        line = "%PLATFORM-2-HARDWARE_FAULT: ASIC 3 parity error detected, packets may be dropped"
+        prep.feed(RawAlert(tool="syslog", raw_type="log", timestamp=0.0,
+                           message=line, device=dev))
+        out = prep.feed(self.drop_alert(topo, 5.0, dev))
+        assert len(out) == 1
+        assert out[0].type_key.name == "traffic_drop"
+
+
+class TestRelatedSurgeRule:
+    def test_adjacent_surges_fold_into_first(self, topo, prep):
+        dev = device(topo)
+        neighbour = topo.neighbors(dev)[0]
+        # corroborate both with a failure so the cross-source rule passes
+        line = "%PLATFORM-2-HARDWARE_FAULT: ASIC 0 parity error detected, packets may be dropped"
+        prep.feed(RawAlert(tool="syslog", raw_type="log", timestamp=0.0,
+                           message=line, device=dev))
+        first = prep.feed(RawAlert(tool="snmp", raw_type="traffic_surge",
+                                   timestamp=1.0, device=dev))
+        second = prep.feed(RawAlert(tool="snmp", raw_type="traffic_surge",
+                                    timestamp=2.0, device=neighbour))
+        assert len(first) == 1
+        assert second == []
+        assert prep.stats.suppressed_related == 1
+
+
+class TestStats:
+    def test_reduction_factor(self, topo, prep):
+        for t in range(10):
+            prep.feed(raw(topo, t=float(t)))
+        stats = prep.stats
+        assert stats.raw_in == 10
+        assert stats.emitted == 1
+        assert stats.reduction_factor == 10.0

@@ -1,0 +1,187 @@
+"""Tests for reachability-matrix construction and location zoom-in."""
+
+import pytest
+
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.core.incident import Incident
+from repro.core.zoom_in import (
+    LocationZoomIn,
+    PingWindow,
+    ReachabilityMatrix,
+)
+from repro.monitors.base import RawAlert
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import Level, LocationPath
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec())
+
+
+def clusters_of(topo, n):
+    return [l for l in topo.locations() if l.level is Level.CLUSTER][:n]
+
+
+def matrix_with_hotspot(locations, hot_index=0, hot_loss=0.15):
+    loss = {}
+    for i, a in enumerate(locations):
+        for b in locations[i + 1 :]:
+            value = hot_loss if locations[hot_index] in (a, b) else 0.0
+            loss[(a, b)] = value
+    return ReachabilityMatrix(list(locations), loss)
+
+
+class TestReachabilityMatrix:
+    def test_cell_symmetric_lookup(self, topo):
+        a, b = clusters_of(topo, 2)
+        matrix = ReachabilityMatrix([a, b], {(a, b): 0.3})
+        assert matrix.cell(a, b) == 0.3
+        assert matrix.cell(b, a) == 0.3
+
+    def test_focal_point_found(self, topo):
+        locs = clusters_of(topo, 5)
+        matrix = matrix_with_hotspot(locs, hot_index=2)
+        assert matrix.focal_point() == locs[2]
+
+    def test_no_focal_point_when_uniform(self, topo):
+        locs = clusters_of(topo, 4)
+        loss = {
+            (a, b): 0.2
+            for i, a in enumerate(locs)
+            for b in locs[i + 1 :]
+        }
+        matrix = ReachabilityMatrix(locs, loss)
+        assert matrix.focal_point() is None
+
+    def test_no_focal_point_when_clean(self, topo):
+        locs = clusters_of(topo, 4)
+        matrix = ReachabilityMatrix(locs, {})
+        assert matrix.focal_point() is None
+
+    def test_single_location_no_focal(self, topo):
+        matrix = ReachabilityMatrix(clusters_of(topo, 1), {})
+        assert matrix.focal_point() is None
+
+    def test_render_contains_names(self, topo):
+        locs = clusters_of(topo, 3)
+        matrix = matrix_with_hotspot(locs)
+        text = matrix.render()
+        for loc in locs:
+            assert loc.name in text
+
+
+class TestPingWindow:
+    def ping_alert(self, topo, src, dst, loss, t=0.0):
+        return RawAlert(
+            tool="ping", raw_type="end_to_end_icmp_loss", timestamp=t,
+            endpoints=(src, dst), metrics={"loss_rate": loss},
+        )
+
+    def test_observe_and_build(self, topo):
+        window = PingWindow(topo)
+        servers = sorted(topo.servers)
+        a, b = servers[0], servers[-1]
+        window.observe(self.ping_alert(topo, a, b, 0.4, t=10.0))
+        matrix = window.matrix(now=20.0, level=Level.CLUSTER)
+        ca = topo.servers[a].cluster
+        cb = topo.servers[b].cluster
+        assert matrix.cell(ca, cb) == 0.4
+
+    def test_stale_samples_dropped(self, topo):
+        window = PingWindow(topo, window_s=100.0)
+        servers = sorted(topo.servers)
+        window.observe(self.ping_alert(topo, servers[0], servers[-1], 0.4, t=0.0))
+        matrix = window.matrix(now=500.0)
+        assert matrix.locations == []
+
+    def test_non_probe_alerts_ignored(self, topo):
+        window = PingWindow(topo)
+        window.observe(RawAlert(tool="snmp", raw_type="link_down", timestamp=0.0))
+        assert window.matrix(now=1.0).locations == []
+
+    def test_coarser_level_aggregation(self, topo):
+        window = PingWindow(topo)
+        servers = sorted(topo.servers)
+        a, b = servers[0], servers[-1]
+        window.observe(self.ping_alert(topo, a, b, 0.2, t=0.0))
+        matrix = window.matrix(now=1.0, level=Level.REGION)
+        assert all(loc.level is Level.REGION for loc in matrix.locations)
+
+
+class TestLocationZoomIn:
+    def incident_at(self, root):
+        return Incident(root=root, created_at=0.0, seed_nodes={})
+
+    def add_record(self, incident, tool, name, device, location):
+        incident.add(
+            StructuredAlert(
+                type_key=AlertTypeKey(tool, name),
+                level=AlertLevel.FAILURE,
+                location=location,
+                first_seen=0.0,
+                last_seen=10.0,
+                device=device,
+            )
+        )
+
+    def test_sflow_traceback_single_device(self, topo):
+        zoom = LocationZoomIn(topo)
+        device = sorted(topo.devices)[0]
+        dev = topo.device(device)
+        incident = self.incident_at(dev.parent_location)
+        self.add_record(incident, "traffic_statistics", "packet_loss", device,
+                        dev.location)
+        refined = zoom.refine(incident, now=20.0)
+        assert refined == dev.location
+        assert incident.location == dev.location
+
+    def test_int_traceback_when_no_sflow(self, topo):
+        zoom = LocationZoomIn(topo)
+        device = sorted(topo.devices)[0]
+        dev = topo.device(device)
+        incident = self.incident_at(dev.parent_location)
+        self.add_record(incident, "in_band_telemetry", "rate_mismatch", device,
+                        dev.location)
+        assert zoom.refine(incident, now=20.0) == dev.location
+
+    def test_no_refinement_when_devices_span_scope(self, topo):
+        zoom = LocationZoomIn(topo)
+        root = LocationPath(("RG01",))
+        incident = self.incident_at(root)
+        devices = [d for d in topo.devices.values() if root.contains(d.location)][:2]
+        # two devices whose LCA is the incident root itself
+        from repro.topology.hierarchy import lowest_common_ancestor
+
+        if lowest_common_ancestor([d.location for d in devices]) != root:
+            pytest.skip("fabric layout changed")
+        for d in devices:
+            self.add_record(incident, "traffic_statistics", "packet_loss", d.name,
+                            d.location)
+        assert zoom.refine(incident, now=20.0) is None
+
+    def test_matrix_focal_refines_cluster(self, topo):
+        zoom = LocationZoomIn(topo)
+        site = next(l for l in topo.locations() if l.level is Level.SITE)
+        clusters = [
+            l for l in topo.locations()
+            if l.level is Level.CLUSTER and site.contains(l)
+        ]
+        victim = clusters[0]
+        # dark row+column for the victim cluster via ping samples
+        servers = topo.servers_in(victim)
+        others = [
+            topo.servers_in(c)[0]
+            for c in topo.locations()
+            if c.level is Level.CLUSTER and c != victim and topo.servers_in(c)
+        ]
+        for i, other in enumerate(others[:6]):
+            zoom.observe(
+                RawAlert(tool="ping", raw_type="end_to_end_icmp_loss",
+                         timestamp=float(i),
+                         endpoints=(servers[0].name, other.name),
+                         metrics={"loss_rate": 0.3})
+            )
+        incident = self.incident_at(site)
+        refined = zoom.refine(incident, now=10.0)
+        assert refined == victim

@@ -1,0 +1,163 @@
+"""Integration tests reproducing the paper's four §5.1 case studies."""
+
+import pytest
+
+from repro.analysis.experiments import run_campaign
+from repro.core.alert import AlertLevel
+from repro.operators.mitigation import OperatorModel
+from repro.rules.engine import RuleContext, RuleEngine
+from repro.rules.library import default_rule_library
+from repro.rules.sop import SOPExecutor
+from repro.simulation import scenarios as sc
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import Level
+from repro.topology.traffic import (
+    IMPORTANCE_CRITICAL,
+    Customer,
+    Flow,
+    TrafficModel,
+)
+
+
+class TestAutomaticSOP:
+    """Case 1: a known failure is matched and mitigated automatically."""
+
+    def test_known_failure_isolated_by_sop(self):
+        topo = build_topology(TopologySpec())
+        scenario = sc.known_device_failure(topo, start=30.0)
+        result = run_campaign(420.0, scenarios=[scenario], topology=topo,
+                              noise=None, seed=21)
+        assert result.reports
+        incident = result.reports[0].incident
+        victim = scenario.truth.root_cause_targets[0]
+        assert incident.root.contains(topo.device(victim).location)
+        engine = RuleEngine(default_rule_library())
+        match = engine.match(
+            RuleContext(incident, topo, result.state, now=result.state.now)
+        )
+        assert match is not None, "the Figure 2a pattern must match a rule"
+        assert match.rule.name == "device-packet-loss-isolation"
+        executor = SOPExecutor(result.state)
+        record = executor.execute(match.plan)
+        assert record.mitigated_condition_ids  # the fault's impact ended
+
+
+class TestMultipleSceneDetection:
+    """Case 2: five simultaneous DDoS scenes become five incidents."""
+
+    def test_five_separate_incidents(self):
+        topo = build_topology(TopologySpec.benchmark())
+        scenarios = sc.multi_site_ddos(topo, start=30.0, n_sites=5)
+        result = run_campaign(480.0, scenarios=scenarios, topology=topo,
+                              noise=None, n_customers=60, seed=22)
+        victims = [s.truth.scope for s in scenarios]
+        matched = set()
+        for report in result.reports:
+            for victim in victims:
+                if report.incident.root.contains(victim) or victim.contains(
+                    report.incident.root
+                ):
+                    matched.add(victim)
+        assert len(matched) == 5, "every attacked location must be reported"
+        # and the attacks must not be merged into one giant incident
+        assert len(result.reports) >= 5
+
+
+class TestSceneRanking:
+    """Case 3: the smaller incident with critical customers ranks first."""
+
+    def test_critical_small_incident_outranks_big_mild(self):
+        topo = build_topology(TopologySpec())
+        big, small = sc.ranking_pair(topo, start=30.0)
+        # critical SLA customers live entirely inside the small incident's
+        # site; standard customers ride through the big site
+        small_site = small.truth.scope.parent
+        small_servers = [s.name for s in topo.servers_in(small.truth.scope)]
+        small_site_peers = [
+            s.name
+            for s in topo.servers.values()
+            if small_site.contains(s.cluster) and s.cluster != small.truth.scope
+        ]
+        big_servers = [
+            s.name for s in topo.servers.values()
+            if big.truth.scope.contains(s.cluster)
+        ]
+        far_servers = [
+            s.name
+            for s in topo.servers.values()
+            if not big.truth.scope.contains(s.cluster)
+            and not small_site.contains(s.cluster)
+        ]
+        customers = [Customer("vip", IMPORTANCE_CRITICAL), Customer("std")]
+        flows = []
+        for i, src in enumerate(small_servers):
+            flows.append(
+                Flow(f"vip/f{i}", "vip", src,
+                     small_site_peers[i % len(small_site_peers)],
+                     rate_gbps=3.0, sla_limit_gbps=2.5)
+            )
+        for i, src in enumerate(big_servers):
+            flows.append(
+                Flow(f"std/f{i}", "std", src, far_servers[i % len(far_servers)],
+                     rate_gbps=0.5)
+            )
+        traffic = TrafficModel(topo, customers, flows)
+        result = run_campaign(600.0, scenarios=[big, small], topology=topo,
+                              traffic=traffic, noise=None, seed=23)
+        # find the report for each scene
+        def report_for(scope):
+            for report in result.reports:
+                if report.incident.root.contains(scope) or scope.contains(
+                    report.incident.root
+                ):
+                    return report
+            return None
+
+        small_report = report_for(small.truth.scope)
+        big_report = report_for(big.truth.scope)
+        assert small_report is not None and big_report is not None
+        assert big_report.incident.total_alert_count() > (
+            small_report.incident.total_alert_count()
+        ), "the big scene generates more alerts"
+        assert small_report.score > big_report.score, (
+            "severity must rank the critical-customer scene first"
+        )
+
+
+class TestFineGrainedLocalization:
+    """Case 4: the entrance-cable failure is grouped into one incident at
+    the logic-site entrance with the congestion root cause surfaced."""
+
+    def test_single_incident_with_congestion_root_cause(self):
+        topo = build_topology(TopologySpec())
+        scenario = sc.internet_entrance_cable_cut(topo, start=30.0)
+        result = run_campaign(600.0, scenarios=[scenario], topology=topo,
+                              n_customers=40, seed=24)
+        matching = [
+            r for r in result.reports
+            if scenario.truth.scope.contains(r.incident.root)
+            or r.incident.root.contains(scenario.truth.scope)
+        ]
+        assert len(matching) == 1, "the flood must collapse into one incident"
+        incident = matching[0].incident
+        types = {str(r.type_key) for r in incident.records()}
+        assert "snmp/traffic_congestion" in types, (
+            "the congestion alert the operators missed in §2.2 must be visible"
+        )
+        assert any(
+            r.level is AlertLevel.FAILURE for r in incident.records()
+        )
+        assert matching[0].urgent
+
+    def test_mitigation_time_drops_two_orders(self):
+        topo = build_topology(TopologySpec())
+        scenario = sc.internet_entrance_cable_cut(topo, start=30.0)
+        result = run_campaign(600.0, scenarios=[scenario], topology=topo,
+                              n_customers=40, seed=24)
+        incident = result.reports[0].incident
+        model = OperatorModel()
+        manual = model.mitigation_time_raw(
+            len(result.raw_alerts), len(incident.devices_involved())
+        )
+        assisted = model.mitigation_time_skynet(incident)
+        assert assisted < manual

@@ -1,0 +1,123 @@
+"""End-to-end integration tests for paper behaviours beyond the case studies."""
+
+import pytest
+
+from repro.analysis.experiments import run_campaign
+from repro.analysis.metrics import score_incidents
+from repro.baselines.single_source import coverage_by_tool
+from repro.monitors.registry import DATA_SOURCES
+from repro.simulation import scenarios as sc
+from repro.simulation.noise import NoiseProfile
+from repro.topology.builder import TopologySpec, build_topology
+from repro.viz.voting import VotingGraph
+
+
+@pytest.fixture(scope="module")
+def mixed_campaign():
+    return run_campaign(
+        900.0,
+        n_random_failures=4,
+        noise=NoiseProfile(),
+        seed=31,
+        severe_fraction=0.5,
+    )
+
+
+class TestAccuracy:
+    def test_zero_false_negatives_at_production_thresholds(self, mixed_campaign):
+        report = score_incidents(
+            mixed_campaign.incidents, mixed_campaign.injector
+        )
+        assert report.false_negative_ratio == 0.0
+
+    def test_low_false_positives(self, mixed_campaign):
+        report = score_incidents(
+            mixed_campaign.incidents, mixed_campaign.injector
+        )
+        assert report.false_positive_ratio <= 0.35
+
+
+class TestCoverage:
+    def test_no_single_tool_covers_everything_but_union_does(self):
+        result = run_campaign(
+            900.0, n_random_failures=8, noise=None, seed=33, severe_fraction=0.4
+        )
+        truths = result.injector.ground_truths
+        coverage = coverage_by_tool(
+            result.topology, result.raw_alerts, truths, list(DATA_SOURCES)
+        )
+        assert max(coverage.values()) < 1.0 or min(coverage.values()) < 1.0
+        # the union of all tools detects every failure (SkyNet's premise)
+        report = score_incidents(result.incidents, result.injector)
+        assert report.false_negative_ratio == 0.0
+
+
+class TestDelayedRootCause:
+    """§7.3: the root-cause syslog arrives minutes after the effects, yet
+    must land inside the same incident (the 5-minute node timeout at work)."""
+
+    def test_late_hardware_error_joins_incident(self):
+        topo = build_topology(TopologySpec())
+        scenario = sc.delayed_root_cause(topo, start=30.0)
+        result = run_campaign(900.0, scenarios=[scenario], topology=topo,
+                              noise=None, seed=34)
+        matching = [
+            r for r in result.reports
+            if scenario.truth.scope.contains(r.incident.root)
+            or r.incident.root.contains(scenario.truth.scope)
+        ]
+        assert matching
+        types = {str(rec.type_key) for rec in matching[0].incident.records()}
+        assert "syslog/hardware_error" in types, (
+            "the delayed root cause must be grouped despite arriving late"
+        )
+        assert "syslog/bgp_link_jitter" in types
+        # and the effects genuinely preceded the cause in the record
+        records = {str(r.type_key): r for r in matching[0].incident.records()}
+        assert (
+            records["syslog/bgp_link_jitter"].first_seen
+            < records["syslog/hardware_error"].first_seen
+        )
+
+
+class TestReflectorVoting:
+    """§7.1: the voting view makes the misbehaving reflector stand out."""
+
+    def test_reflector_among_top_voted(self):
+        topo = build_topology(TopologySpec())
+        scenario = sc.reflector_failure(topo, start=30.0)
+        result = run_campaign(600.0, scenarios=[scenario], topology=topo,
+                              noise=None, seed=35)
+        matching = [
+            r for r in result.reports
+            if scenario.truth.scope.contains(r.incident.root)
+            or r.incident.root.contains(scenario.truth.scope)
+        ]
+        assert matching
+        graph = VotingGraph.from_incident(matching[0].incident, topo)
+        top = [name for name, _ in graph.top_devices(3)]
+        assert scenario.truth.root_cause_targets[0] in top
+
+
+class TestFloodShape:
+    def test_severe_failure_floods_then_skynet_distills(self):
+        topo = build_topology(TopologySpec())
+        scenario = sc.internet_entrance_cable_cut(topo, start=30.0)
+        result = run_campaign(600.0, scenarios=[scenario], topology=topo,
+                              n_customers=40, seed=36)
+        # the flood: hundreds of raw alerts for one failure
+        assert len(result.raw_alerts) > 300
+        # the distilled view: an operator reads ~10-20 messages (§2.4)
+        top = result.reports[0].incident
+        assert top.distinct_type_count() <= 25
+
+    def test_baseline_is_quiet(self):
+        result = run_campaign(600.0, noise=None, seed=37)
+        # no failures, no noise: nothing but (filtered) chatter
+        assert result.reports == []
+
+    def test_noise_alone_rarely_forms_incidents(self):
+        result = run_campaign(900.0, noise=NoiseProfile(), seed=38)
+        report = score_incidents(result.incidents, result.injector)
+        # everything detected here is by definition a false positive
+        assert report.incident_count <= 2

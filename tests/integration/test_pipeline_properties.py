@@ -1,0 +1,90 @@
+"""Property-style invariants over the whole pipeline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.experiments import run_campaign
+from repro.core.alert import AlertLevel
+from repro.core.incident import IncidentStatus
+from repro.simulation.failures import FailureCategory, sample_failure
+from repro.topology.builder import TopologySpec, build_topology
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(600.0, n_random_failures=2, spec=TopologySpec.tiny(),
+                        seed=77)
+
+
+class TestPipelineInvariants:
+    def test_no_info_alerts_reach_incidents(self, campaign):
+        for incident in campaign.incidents:
+            for record in incident.records():
+                assert record.level is not AlertLevel.INFO
+
+    def test_incident_windows_are_ordered(self, campaign):
+        for incident in campaign.incidents:
+            assert incident.start_time <= incident.end_time
+            if incident.closed_at is not None:
+                assert incident.closed_at >= incident.created_at
+
+    def test_every_record_inside_incident_scope(self, campaign):
+        for incident in campaign.incidents:
+            for record in incident.records():
+                assert incident.root.contains(record.location)
+
+    def test_counts_bounded_by_raw_volume(self, campaign):
+        raw = len(campaign.raw_alerts)
+        for incident in campaign.incidents:
+            assert incident.total_alert_count() <= raw
+
+    def test_open_and_finished_partition(self, campaign):
+        locator = campaign.skynet.locator
+        finished = locator.finished_incidents
+        assert all(not i.is_open for i in finished)
+        assert all(i.is_open for i in locator.open_incidents)
+
+    def test_superseded_incidents_have_successor(self, campaign):
+        all_incidents = campaign.skynet.incidents(include_superseded=True)
+        visible = campaign.skynet.incidents()
+        for incident in all_incidents:
+            if incident.status is IncidentStatus.SUPERSEDED:
+                assert any(
+                    other is not incident and other.root.contains(incident.root)
+                    for other in all_incidents
+                )
+        assert set(visible) <= set(all_incidents)
+
+    def test_preprocess_accounting_adds_up(self, campaign):
+        stats = campaign.skynet.preprocess_stats
+        assert stats.raw_in == len(campaign.raw_alerts)
+        assert stats.emitted <= stats.raw_in + stats.merged
+        assert stats.filtered_info + stats.unlocatable <= stats.raw_in
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_prop_campaign_deterministic_per_seed(seed):
+    def run():
+        result = run_campaign(240.0, n_random_failures=1,
+                              spec=TopologySpec.tiny(), noise=None, seed=seed)
+        return (
+            len(result.raw_alerts),
+            tuple(str(i.root) for i in result.incidents),
+        )
+
+    assert run() == run()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from(list(FailureCategory)), st.booleans(),
+       st.integers(min_value=0, max_value=10_000))
+def test_prop_scenarios_always_well_formed(category, severe, seed):
+    topo = build_topology(TopologySpec.tiny())
+    scenario = sample_failure(topo, random.Random(seed), start=50.0,
+                              category=category, severe=severe)
+    assert scenario.truth.start <= min(c.start for c in scenario.conditions)
+    assert all(c.end is None or c.end > c.start for c in scenario.conditions)
+    assert scenario.truth.end > scenario.truth.start

@@ -1,0 +1,68 @@
+"""Tests for RawAlert and the Monitor base class."""
+
+import pytest
+
+from repro.monitors.base import Monitor, RawAlert
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+
+
+def test_delivered_defaults_to_timestamp():
+    alert = RawAlert(tool="t", raw_type="x", timestamp=5.0)
+    assert alert.delivered_at == 5.0
+
+
+def test_delivery_before_observation_rejected():
+    with pytest.raises(ValueError):
+        RawAlert(tool="t", raw_type="x", timestamp=5.0, delivered_at=4.0)
+
+
+def test_metric_lookup():
+    alert = RawAlert(tool="t", raw_type="x", timestamp=0.0, metrics={"a": 1.5})
+    assert alert.metric("a") == 1.5
+    assert alert.metric("b", 9.0) == 9.0
+
+
+class CountingMonitor(Monitor):
+    name = "counting"
+    period_s = 10.0
+
+    def observe(self, t):
+        return [self._alert("tick", t)]
+
+
+@pytest.fixture()
+def state():
+    return NetworkState(build_topology(TopologySpec.tiny()))
+
+
+def test_collect_catches_up_all_periods(state):
+    monitor = CountingMonitor(state)
+    alerts = monitor.collect(35.0)
+    # offset < 1s, so 4 firings fit in 35s
+    assert len(alerts) == 4
+    assert [a.raw_type for a in alerts] == ["tick"] * 4
+
+
+def test_collect_does_not_refire(state):
+    monitor = CountingMonitor(state)
+    monitor.collect(35.0)
+    assert monitor.collect(35.0) == []
+
+
+def test_alert_helper_sets_tool_and_delay(state):
+    monitor = CountingMonitor(state)
+    alert = monitor._alert("x", 10.0, delay_s=5.0, foo=1.0)
+    assert alert.tool == "counting"
+    assert alert.delivered_at == 15.0
+    assert alert.metric("foo") == 1.0
+
+
+def test_monitor_offsets_differ_across_tools(state):
+    class A(CountingMonitor):
+        name = "aaa"
+
+    class B(CountingMonitor):
+        name = "bbb"
+
+    assert A(state)._schedule.peek_next() != B(state)._schedule.peek_next()

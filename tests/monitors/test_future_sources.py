@@ -1,0 +1,125 @@
+"""Tests for the §9 future-work data sources and §5.2 extensibility."""
+
+import pytest
+
+from repro.core.alert import AlertLevel
+from repro.core.alert_types import level_of
+from repro.core.pipeline import SkyNet
+from repro.monitors.registry import DATA_SOURCES, FUTURE_SOURCES, build_monitors
+from repro.monitors.srte_probe import SrteProbeMonitor
+from repro.monitors.stream import AlertStream
+from repro.monitors.user_telemetry import UserTelemetryMonitor
+from repro.simulation import scenarios as sc
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.injector import FailureInjector
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.network import INTERNET
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture()
+def state():
+    topo = build_topology(TopologySpec())
+    return NetworkState(topo, generate_traffic(topo, n_customers=25, seed=9))
+
+
+class TestRegistry:
+    def test_future_sources_not_in_standard_twelve(self):
+        assert not set(FUTURE_SOURCES) & set(DATA_SOURCES)
+
+    def test_standard_build_excludes_future(self, state):
+        names = {m.name for m in build_monitors(state)}
+        assert names == set(DATA_SOURCES)
+
+    def test_future_flag_adds_both(self, state):
+        names = {m.name for m in build_monitors(state, future_sources=True)}
+        assert names == set(DATA_SOURCES) | set(FUTURE_SOURCES)
+
+    def test_explicit_include_of_future_source(self, state):
+        monitors = build_monitors(state, include=["user_telemetry"])
+        assert [m.name for m in monitors] == ["user_telemetry"]
+
+    def test_levels_registered(self):
+        assert level_of("user_telemetry", "user_unreachable") is AlertLevel.FAILURE
+        assert level_of("srte_probe", "label_path_broken") is AlertLevel.ROOT_CAUSE
+
+
+class TestUserTelemetry:
+    def test_quiet_when_healthy(self, state):
+        state.set_time(0.0)
+        assert UserTelemetryMonitor(state).observe(0.0) == []
+
+    def test_sees_entrance_failure(self, state):
+        topo = state.topology
+        for gw in topo.internet_gateways():
+            for cs in topo.circuit_sets_of(gw.name):
+                if INTERNET in cs.endpoints:
+                    state.add_condition(
+                        Condition(ConditionKind.CIRCUIT_BREAK, cs.set_id, 0.0)
+                    )
+        state.set_time(state.convergence_s + 1.0)
+        alerts = UserTelemetryMonitor(state).observe(state.now)
+        assert any(a.raw_type == "user_unreachable" for a in alerts)
+
+
+class TestSrteProbe:
+    def test_quiet_when_healthy(self, state):
+        state.set_time(0.0)
+        assert SrteProbeMonitor(state).observe(0.0) == []
+
+    def test_names_broken_link_directly(self, state):
+        set_id = sorted(
+            cs.set_id
+            for cs in state.topology.circuit_sets.values()
+            if INTERNET not in cs.endpoints
+        )[0]
+        state.add_condition(Condition(ConditionKind.CIRCUIT_BREAK, set_id, 0.0))
+        state.set_time(1.0)
+        alerts = SrteProbeMonitor(state).observe(1.0)
+        broken = [a for a in alerts if a.raw_type == "label_path_broken"]
+        assert len(broken) == 1
+        assert set_id in broken[0].message
+
+    def test_reports_flapping_as_loss(self, state):
+        set_id = sorted(
+            cs.set_id
+            for cs in state.topology.circuit_sets.values()
+            if INTERNET not in cs.endpoints
+        )[0]
+        state.add_condition(
+            Condition(ConditionKind.LINK_FLAPPING, set_id, 0.0,
+                      params={"loss_rate": 0.1})
+        )
+        state.set_time(1.0)
+        alerts = SrteProbeMonitor(state).observe(1.0)
+        assert any(a.raw_type == "label_path_loss" for a in alerts)
+
+
+class TestExtensibilityEndToEnd:
+    def test_new_sources_flow_through_skynet_unchanged(self):
+        """§5.2: structured alerts from a new tool inject directly."""
+        topo = build_topology(TopologySpec())
+        traffic = generate_traffic(topo, n_customers=30, seed=10)
+        state = NetworkState(topo, traffic)
+        injector = FailureInjector(state)
+        # entrance cut: seen by user telemetry; device failure with a fully
+        # broken uplink: named by the SRTE label probe
+        injector.inject(sc.internet_entrance_cable_cut(topo, start=30.0))
+        injector.inject(sc.known_device_failure(topo, start=40.0))
+        stream = AlertStream(
+            state, build_monitors(state, future_sources=True)
+        )
+        alerts = stream.collect(480.0)
+        assert any(a.tool == "user_telemetry" for a in alerts)
+        assert any(a.tool == "srte_probe" for a in alerts)
+        skynet = SkyNet(topo, state=state)
+        reports = skynet.process(alerts)
+        assert reports
+        all_types = {
+            str(r.type_key)
+            for report in reports
+            for r in report.incident.records()
+        }
+        assert any(t.startswith("user_telemetry/") for t in all_types)
+        assert any(t.startswith("srte_probe/") for t in all_types)

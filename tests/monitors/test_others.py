@@ -1,0 +1,234 @@
+"""Tests for the remaining monitors: OOB, sFlow, internet, INT, PTP, route,
+modification, patrol, traceroute."""
+
+import pytest
+
+from repro.monitors.int_telemetry import IntTelemetryMonitor
+from repro.monitors.internet import InternetTelemetryMonitor
+from repro.monitors.modification import ModificationMonitor
+from repro.monitors.oob import OutOfBandMonitor
+from repro.monitors.patrol import PatrolInspectionMonitor
+from repro.monitors.ptp import PtpMonitor
+from repro.monitors.route import RouteMonitor
+from repro.monitors.sflow import SflowMonitor
+from repro.monitors.traceroute import TracerouteMonitor
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import Level
+from repro.topology.network import DeviceRole
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec())
+
+
+@pytest.fixture()
+def state(topo):
+    return NetworkState(topo, generate_traffic(topo, n_customers=25, seed=8))
+
+
+def switch(topo):
+    return sorted(
+        d.name for d in topo.devices.values() if d.role is DeviceRole.CLUSTER_SWITCH
+    )[0]
+
+
+class TestOutOfBand:
+    def test_reports_dead_device(self, topo, state):
+        victim = switch(topo)
+        state.add_condition(Condition(ConditionKind.DEVICE_DOWN, victim, 0.0))
+        state.set_time(1.0)
+        alerts = OutOfBandMonitor(state).observe(1.0)
+        assert [a.raw_type for a in alerts] == ["inaccessible"]
+        assert alerts[0].device == victim
+
+    def test_probe_error_spams_false_downs(self, topo, state):
+        victim = switch(topo)
+        state.add_condition(Condition(ConditionKind.PROBE_ERROR, victim, 0.0))
+        state.set_time(1.0)
+        alerts = OutOfBandMonitor(state).observe(1.0)
+        assert len(alerts) >= 3
+        assert all(a.raw_type == "inaccessible" for a in alerts)
+
+    def test_cpu_and_mem(self, topo, state):
+        victim = switch(topo)
+        state.add_conditions(
+            [
+                Condition(ConditionKind.DEVICE_HIGH_CPU, victim, 0.0),
+                Condition(ConditionKind.DEVICE_HIGH_MEM, victim, 0.0),
+            ]
+        )
+        state.set_time(1.0)
+        types = {a.raw_type for a in OutOfBandMonitor(state).observe(1.0)}
+        assert types == {"high_cpu", "high_mem"}
+
+
+class TestSflow:
+    def test_device_loss_attributed(self, topo, state):
+        victim = switch(topo)
+        state.add_condition(
+            Condition(
+                ConditionKind.DEVICE_SILENT_LOSS, victim, 0.0,
+                params={"loss_rate": 0.2},
+            )
+        )
+        state.set_time(1.0)
+        alerts = SflowMonitor(state).observe(1.0)
+        loss = [a for a in alerts if a.raw_type == "packet_loss"]
+        assert any(a.device == victim for a in loss)
+
+    def test_quiet_when_healthy(self, state):
+        state.set_time(0.0)
+        assert SflowMonitor(state).observe(0.0) == []
+
+
+class TestInternetTelemetry:
+    def test_unreachable_when_gateways_die(self, topo, state):
+        gws = topo.internet_gateways()
+        for gw in gws:
+            state.add_condition(Condition(ConditionKind.DEVICE_DOWN, gw.name, 0.0))
+        state.set_time(state.convergence_s + 1.0)
+        alerts = InternetTelemetryMonitor(state).observe(state.now)
+        assert any(a.raw_type == "internet_unreachable" for a in alerts)
+        assert all(a.location_hint is not None for a in alerts)
+
+    def test_one_probe_per_cluster(self, topo, state):
+        monitor = InternetTelemetryMonitor(state)
+        clusters = [l for l in topo.locations() if l.level is Level.CLUSTER]
+        assert len(monitor._probes) == len(clusters)
+
+
+class TestIntTelemetry:
+    def test_detects_silent_loss_on_supported_device(self, topo, state):
+        victim = switch(topo)  # cluster switches support INT
+        state.add_condition(
+            Condition(
+                ConditionKind.DEVICE_SILENT_LOSS, victim, 0.0,
+                params={"loss_rate": 0.1},
+            )
+        )
+        state.set_time(1.0)
+        alerts = IntTelemetryMonitor(state).observe(1.0)
+        assert any(a.device == victim for a in alerts)
+
+    def test_blind_to_core_devices(self, topo, state):
+        core = sorted(
+            d.name
+            for d in topo.devices.values()
+            if d.role is DeviceRole.CITY_ROUTER
+        )[0]
+        state.add_condition(
+            Condition(
+                ConditionKind.DEVICE_SILENT_LOSS, core, 0.0,
+                params={"loss_rate": 0.5},
+            )
+        )
+        state.set_time(1.0)
+        alerts = IntTelemetryMonitor(state).observe(1.0)
+        assert not any(a.device == core for a in alerts)
+
+
+class TestPtp:
+    def test_drift_alert(self, topo, state):
+        victim = switch(topo)
+        state.add_condition(
+            Condition(
+                ConditionKind.DEVICE_CLOCK_DRIFT, victim, 0.0,
+                params={"drift_us": 120.0},
+            )
+        )
+        state.set_time(1.0)
+        alerts = PtpMonitor(state).observe(1.0)
+        assert [a.raw_type for a in alerts] == ["clock_unsync"]
+
+    def test_small_drift_ignored(self, topo, state):
+        victim = switch(topo)
+        state.add_condition(
+            Condition(
+                ConditionKind.DEVICE_CLOCK_DRIFT, victim, 0.0,
+                params={"drift_us": 5.0},
+            )
+        )
+        state.set_time(1.0)
+        assert PtpMonitor(state).observe(1.0) == []
+
+
+class TestRouteMonitor:
+    def test_all_route_fault_kinds(self, topo, state):
+        gw = topo.internet_gateways()[0].name
+        state.add_conditions(
+            [
+                Condition(ConditionKind.ROUTE_LOSS, gw, 0.0),
+                Condition(ConditionKind.ROUTE_LEAK, gw, 0.0),
+                Condition(ConditionKind.ROUTE_HIJACK, gw, 0.0),
+            ]
+        )
+        state.set_time(1.0)
+        types = {a.raw_type for a in RouteMonitor(state).observe(1.0)}
+        assert types == {"default_route_loss", "route_leak", "route_hijack"}
+
+    def test_reemit_throttled(self, topo, state):
+        gw = topo.internet_gateways()[0].name
+        state.add_condition(Condition(ConditionKind.ROUTE_LOSS, gw, 0.0))
+        state.set_time(1.0)
+        monitor = RouteMonitor(state)
+        assert monitor.observe(1.0)
+        assert monitor.observe(11.0) == []  # within re-emit period
+        assert monitor.observe(62.0)
+
+
+class TestModification:
+    def test_failed_and_ok_events_once(self, topo, state):
+        victim = switch(topo)
+        state.add_conditions(
+            [
+                Condition(ConditionKind.MODIFICATION_FAILED, victim, 0.0),
+                Condition(ConditionKind.MODIFICATION_OK, victim, 0.0),
+            ]
+        )
+        state.set_time(1.0)
+        monitor = ModificationMonitor(state)
+        types = {a.raw_type for a in monitor.observe(1.0)}
+        assert types == {"modification_failed", "modification_event"}
+        assert monitor.observe(11.0) == []
+
+
+class TestPatrol:
+    def test_sees_config_errors_other_tools_miss(self, topo, state):
+        victim = switch(topo)
+        state.add_condition(Condition(ConditionKind.CONFIG_ERROR, victim, 0.0))
+        state.set_time(1.0)
+        alerts = PatrolInspectionMonitor(state).observe(1.0)
+        assert [a.raw_type for a in alerts] == ["patrol_anomaly"]
+
+    def test_slow_period(self):
+        assert PatrolInspectionMonitor.period_s == 900.0
+
+
+class TestTraceroute:
+    def test_attributes_hop_within_logic_site(self, topo, state):
+        monitor = TracerouteMonitor(state)
+        # find an intra-logic-site pair and break a device on its path
+        for src, dst in monitor._pairs:
+            a = topo.servers[src].cluster.truncate(Level.LOGIC_SITE)
+            b = topo.servers[dst].cluster.truncate(Level.LOGIC_SITE)
+            if a == b:
+                route, _ = state.pair_loss(src, dst)
+                if len(route.devices) < 2:
+                    continue
+                victim = route.devices[1]
+                state.add_condition(
+                    Condition(
+                        ConditionKind.DEVICE_HARDWARE_ERROR, victim, 0.0,
+                        params={"loss_rate": 0.5},
+                    )
+                )
+                state.set_time(1.0)
+                alerts = monitor.observe(1.0)
+                hops = [x for x in alerts if x.raw_type == "hop_loss"]
+                assert any(x.device == victim for x in hops)
+                return
+        pytest.skip("no intra-logic-site pair in mesh")

@@ -1,0 +1,112 @@
+"""Tests for the SNMP monitor, including legacy-device delivery delay."""
+
+import pytest
+
+from repro.monitors.snmp import (
+    MAX_OLD_DEVICE_DELAY_S,
+    SnmpMonitor,
+    device_delay,
+    is_old_device,
+)
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.network import INTERNET
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec())
+
+
+@pytest.fixture()
+def state(topo):
+    return NetworkState(topo, generate_traffic(topo, n_customers=25, seed=3))
+
+
+def internal_set(topo):
+    return next(
+        cs for cs in topo.circuit_sets.values() if INTERNET not in cs.endpoints
+    )
+
+
+def test_old_device_fraction_reasonable(topo):
+    old = sum(1 for name in topo.devices if is_old_device(name))
+    assert 0 < old < len(topo.devices)
+
+
+def test_delay_bounds(topo):
+    for name in topo.devices:
+        delay = device_delay(name)
+        assert 0.0 <= delay <= MAX_OLD_DEVICE_DELAY_S
+        if not is_old_device(name):
+            assert delay == 0.0
+
+
+def test_silent_when_healthy(state):
+    state.set_time(0.0)
+    assert SnmpMonitor(state).observe(0.0) == []
+
+
+def test_circuit_break_reports_port_down(topo, state):
+    cs = internal_set(topo)
+    state.add_condition(
+        Condition(
+            ConditionKind.CIRCUIT_BREAK, cs.set_id, 0.0,
+            params={"broken_circuits": 1},
+        )
+    )
+    state.set_time(1.0)
+    alerts = SnmpMonitor(state).observe(1.0)
+    port = [a for a in alerts if a.raw_type == "port_down"]
+    assert {a.device for a in port} == set(cs.endpoints)
+
+
+def test_full_break_reports_link_down(topo, state):
+    cs = internal_set(topo)
+    state.add_condition(Condition(ConditionKind.CIRCUIT_BREAK, cs.set_id, 0.0))
+    state.set_time(1.0)
+    alerts = SnmpMonitor(state).observe(1.0)
+    assert any(a.raw_type == "link_down" for a in alerts)
+
+
+def test_dead_device_times_out_immediately(topo, state):
+    victim = sorted(topo.devices)[0]
+    state.add_condition(Condition(ConditionKind.DEVICE_DOWN, victim, 0.0))
+    state.set_time(1.0)
+    alerts = SnmpMonitor(state).observe(1.0)
+    timeout = next(a for a in alerts if a.raw_type == "snmp_timeout")
+    # the poller itself notices the timeout; no legacy delay applies
+    assert timeout.delivered_at == timeout.timestamp
+
+
+def test_counter_alerts_delayed_on_old_devices(topo, state):
+    old = next(name for name in sorted(topo.devices) if is_old_device(name))
+    state.add_condition(Condition(ConditionKind.DEVICE_HIGH_CPU, old, 0.0))
+    state.set_time(1.0)
+    alerts = SnmpMonitor(state).observe(1.0)
+    cpu = next(a for a in alerts if a.raw_type == "high_cpu")
+    assert cpu.delivered_at - cpu.timestamp == device_delay(old) > 0
+
+
+def test_crc_errors_report_rx_errors(topo, state):
+    cs = internal_set(topo)
+    state.add_condition(Condition(ConditionKind.LINK_CRC_ERRORS, cs.set_id, 0.0))
+    state.set_time(1.0)
+    alerts = SnmpMonitor(state).observe(1.0)
+    assert any(a.raw_type == "rx_errors" for a in alerts)
+
+
+def test_congestion_alert_on_hot_entrance(topo, state):
+    from repro.topology.hierarchy import Level
+
+    victim = next(l for l in topo.locations() if l.level is Level.CLUSTER)
+    state.add_condition(
+        Condition(
+            ConditionKind.DDOS_ATTACK, victim, 0.0, params={"attack_gbps": 10000.0}
+        )
+    )
+    state.set_time(1.0)
+    alerts = SnmpMonitor(state).observe(1.0)
+    assert any(a.raw_type == "traffic_congestion" for a in alerts)

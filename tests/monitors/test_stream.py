@@ -1,0 +1,92 @@
+"""Tests for the alert stream driver and the registry."""
+
+import pytest
+
+from repro.monitors.registry import (
+    COVERAGE_ORDER,
+    DATA_SOURCES,
+    MONITOR_CLASSES,
+    build_monitors,
+)
+from repro.monitors.stream import AlertStream
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture()
+def state():
+    topo = build_topology(TopologySpec.tiny())
+    return NetworkState(topo, generate_traffic(topo, n_customers=8, seed=1))
+
+
+class TestRegistry:
+    def test_twelve_data_sources(self):
+        assert len(DATA_SOURCES) == 12
+        assert set(DATA_SOURCES) == set(MONITOR_CLASSES)
+
+    def test_coverage_order_is_permutation(self):
+        assert sorted(COVERAGE_ORDER) == sorted(DATA_SOURCES)
+
+    def test_build_all(self, state):
+        monitors = build_monitors(state)
+        assert {m.name for m in monitors} == set(DATA_SOURCES)
+
+    def test_build_subset_and_exclude(self, state):
+        monitors = build_monitors(state, include=["ping", "syslog"], exclude=["syslog"])
+        assert [m.name for m in monitors] == ["ping"]
+
+    def test_unknown_source_rejected(self, state):
+        with pytest.raises(KeyError):
+            build_monitors(state, include=["nope"])
+
+    def test_class_names_match_registry(self, state):
+        for name, cls in MONITOR_CLASSES.items():
+            assert cls.name == name
+
+
+class TestAlertStream:
+    def test_requires_monitors(self, state):
+        with pytest.raises(ValueError):
+            AlertStream(state, [])
+
+    def test_rejects_bad_tick(self, state):
+        with pytest.raises(ValueError):
+            AlertStream(state, build_monitors(state), tick_s=0)
+
+    def test_alerts_ordered_by_delivery(self, state):
+        victim = sorted(state.topology.devices)[0]
+        state.add_condition(Condition(ConditionKind.DEVICE_HIGH_CPU, victim, 0.0))
+        stream = AlertStream(state, build_monitors(state))
+        alerts = stream.collect(120.0)
+        times = [a.delivered_at for a in alerts]
+        assert times == sorted(times)
+
+    def test_nothing_delivered_after_horizon(self, state):
+        stream = AlertStream(state, build_monitors(state))
+        alerts = stream.collect(60.0)
+        assert all(a.delivered_at < 60.0 for a in alerts)
+
+    def test_negative_duration_rejected(self, state):
+        stream = AlertStream(state, build_monitors(state))
+        with pytest.raises(ValueError):
+            stream.collect(-1.0)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            topo = build_topology(TopologySpec.tiny())
+            st = NetworkState(topo, generate_traffic(topo, n_customers=8, seed=1))
+            st.add_condition(
+                Condition(
+                    ConditionKind.DEVICE_HARDWARE_ERROR,
+                    sorted(topo.devices)[0],
+                    0.0,
+                )
+            )
+            return [
+                (a.tool, a.raw_type, a.timestamp)
+                for a in AlertStream(st, build_monitors(st, seed=4)).collect(90.0)
+            ]
+
+        assert run() == run()

@@ -1,0 +1,137 @@
+"""Tests for the syslog monitor's log production."""
+
+import pytest
+
+from repro.monitors.syslog import SyslogMonitor, interface_name, pseudo_ip
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.network import DeviceRole
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec.tiny())
+
+
+@pytest.fixture()
+def state(topo):
+    return NetworkState(topo)
+
+
+def switch(topo):
+    return sorted(
+        d.name for d in topo.devices.values() if d.role is DeviceRole.CLUSTER_SWITCH
+    )[0]
+
+
+def test_interface_and_ip_deterministic():
+    assert interface_name("a", "b") == interface_name("a", "b")
+    assert pseudo_ip("dev") == pseudo_ip("dev")
+    assert pseudo_ip("dev1") != pseudo_ip("dev2")
+
+
+def test_dead_device_logs_come_from_neighbours(topo, state):
+    victim = switch(topo)
+    state.add_condition(Condition(ConditionKind.DEVICE_DOWN, victim, 0.0))
+    state.set_time(1.0)
+    monitor = SyslogMonitor(state)
+    monitor.chatter_rate = 0.0
+    alerts = monitor.observe(1.0)
+    assert alerts
+    neighbours = set(topo.neighbors(victim))
+    assert {a.device for a in alerts} <= neighbours
+    assert any("changed state to down" in a.message for a in alerts)
+    assert any("BGP-5-ADJCHANGE" in a.message for a in alerts)
+
+
+def test_down_burst_emitted_once(topo, state):
+    victim = switch(topo)
+    state.add_condition(Condition(ConditionKind.DEVICE_DOWN, victim, 0.0))
+    state.set_time(1.0)
+    monitor = SyslogMonitor(state)
+    monitor.chatter_rate = 0.0
+    assert monitor.observe(1.0)
+    assert monitor.observe(6.0) == []
+
+
+def test_circuit_break_logs_port_down_per_circuit(topo, state):
+    cs = next(iter(topo.circuit_sets.values()))
+    state.add_condition(
+        Condition(
+            ConditionKind.CIRCUIT_BREAK, cs.set_id, 0.0,
+            params={"broken_circuits": 1},
+        )
+    )
+    state.set_time(1.0)
+    monitor = SyslogMonitor(state)
+    monitor.chatter_rate = 0.0
+    alerts = monitor.observe(1.0)
+    port_downs = [a for a in alerts if "IF_DOWN_LINK_FAILURE" in a.message]
+    assert len(port_downs) == 2  # one per endpoint, one broken circuit
+
+
+def test_hardware_error_reemits_on_period(topo, state):
+    victim = switch(topo)
+    state.add_condition(
+        Condition(ConditionKind.DEVICE_HARDWARE_ERROR, victim, 0.0)
+    )
+    state.set_time(1.0)
+    monitor = SyslogMonitor(state)
+    monitor.chatter_rate = 0.0
+    first = monitor.observe(1.0)
+    assert any("HARDWARE_FAULT" in a.message for a in first)
+    assert monitor.observe(10.0) == []  # within the 60 s re-emit period
+    assert any("HARDWARE_FAULT" in a.message for a in monitor.observe(65.0))
+
+
+def test_syslog_delay_param_honoured(topo, state):
+    victim = switch(topo)
+    state.add_condition(
+        Condition(
+            ConditionKind.DEVICE_HARDWARE_ERROR, victim, 0.0,
+            params={"syslog_delay_s": 300.0},
+        )
+    )
+    monitor = SyslogMonitor(state)
+    monitor.chatter_rate = 0.0
+    state.set_time(100.0)
+    assert monitor.observe(100.0) == []
+    state.set_time(301.0)
+    assert any("HARDWARE_FAULT" in a.message for a in monitor.observe(301.0))
+
+
+def test_silent_conditions_produce_no_syslog(topo, state):
+    victim = switch(topo)
+    state.add_conditions(
+        [
+            Condition(ConditionKind.DEVICE_SILENT_LOSS, victim, 0.0),
+            Condition(ConditionKind.CONFIG_ERROR, victim, 0.0),
+            Condition(ConditionKind.ROUTE_LEAK, victim, 0.0),
+        ]
+    )
+    state.set_time(1.0)
+    monitor = SyslogMonitor(state)
+    monitor.chatter_rate = 0.0
+    assert monitor.observe(1.0) == []
+
+
+def test_flapping_reemits_every_poll(topo, state):
+    cs = next(iter(topo.circuit_sets.values()))
+    state.add_condition(Condition(ConditionKind.LINK_FLAPPING, cs.set_id, 0.0))
+    state.set_time(1.0)
+    monitor = SyslogMonitor(state)
+    monitor.chatter_rate = 0.0
+    a1 = monitor.observe(1.0)
+    a2 = monitor.observe(6.0)
+    assert a1 and a2
+    assert any("state to up" in a.message for a in a1)
+
+
+def test_chatter_produces_benign_lines(topo, state):
+    state.set_time(1.0)
+    monitor = SyslogMonitor(state)
+    monitor.chatter_rate = 1.0  # force chatter
+    alerts = monitor.observe(1.0)
+    assert alerts
+    assert all(a.raw_type == "log" for a in alerts)

@@ -1,0 +1,112 @@
+"""Tests for the operator mitigation-time model."""
+
+import pytest
+
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.core.incident import Incident, SeverityBreakdown
+from repro.operators.mitigation import OperatorModel, OperatorParams
+from repro.topology.hierarchy import LocationPath
+
+
+def incident_with(types, root=("r", "c"), devices=()):
+    incident = Incident(root=LocationPath(root), created_at=0.0, seed_nodes={})
+    for i, (tool, name, level) in enumerate(types):
+        incident.add(
+            StructuredAlert(
+                type_key=AlertTypeKey(tool, name),
+                level=level,
+                location=LocationPath(root),
+                first_seen=0.0,
+                last_seen=100.0,
+                device=devices[i % len(devices)] if devices else None,
+            )
+        )
+    return incident
+
+
+def with_severity(incident, score):
+    incident.severity = SeverityBreakdown(
+        impact_factor=1.0, time_factor=score, score=score, capped_score=score,
+        ping_loss_rate=0.1, sla_excess_rate=0.0, duration_s=100.0,
+        important_customers=0, circuit_sets_considered=1,
+    )
+    return incident
+
+
+class TestRawWorkflow:
+    def test_triage_scales_with_alert_count_to_cap(self):
+        model = OperatorModel()
+        small = model.mitigation_time_raw(100, 3)
+        large = model.mitigation_time_raw(1000, 3)
+        assert large > small
+        capped = model.mitigation_time_raw(10**6, 3, rootcause_alert_buried=False)
+        more = model.mitigation_time_raw(2 * 10**6, 3, rootcause_alert_buried=False)
+        assert capped == more  # attention cap
+
+    def test_flood_pays_wrong_hypothesis_penalty(self):
+        model = OperatorModel()
+        quiet = model.mitigation_time_raw(1999, 3)
+        flood = model.mitigation_time_raw(2001, 3)
+        assert flood - quiet > model.params.wrong_hypothesis_s / 2
+
+    def test_more_candidate_devices_slower(self):
+        model = OperatorModel()
+        assert model.mitigation_time_raw(100, 20) > model.mitigation_time_raw(100, 2)
+
+
+class TestSkyNetWorkflow:
+    def test_root_cause_alert_speeds_diagnosis(self):
+        model = OperatorModel()
+        with_rc = incident_with(
+            [("ping", "loss", AlertLevel.FAILURE),
+             ("syslog", "hardware_error", AlertLevel.ROOT_CAUSE)]
+        )
+        without_rc = incident_with(
+            [("ping", "loss", AlertLevel.FAILURE)],
+            devices=["d1", "d2", "d3", "d4"],
+        )
+        assert model.mitigation_time_skynet(with_rc) < model.mitigation_time_skynet(
+            without_rc
+        )
+
+    def test_distilled_messages_beat_raw_flood(self):
+        model = OperatorModel()
+        incident = incident_with(
+            [("ping", "loss", AlertLevel.FAILURE),
+             ("snmp", "congestion", AlertLevel.ROOT_CAUSE),
+             ("snmp", "link_down", AlertLevel.ROOT_CAUSE)]
+        )
+        skynet_time = model.mitigation_time_skynet(incident)
+        raw_time = model.mitigation_time_raw(5000, 25)
+        assert skynet_time < raw_time * 0.2  # >80% reduction
+
+    def test_custom_params_respected(self):
+        params = OperatorParams(message_read_s=100.0)
+        model = OperatorModel(params)
+        incident = incident_with([("ping", "loss", AlertLevel.FAILURE)])
+        assert model.mitigation_time_skynet(incident) >= 100.0
+
+
+class TestQueueing:
+    def test_ranked_queue_reaches_severe_first(self):
+        model = OperatorModel()
+        big_mild = with_severity(
+            incident_with([("snmp", f"t{i}", AlertLevel.ABNORMAL) for i in range(8)]),
+            score=2.0,
+        )
+        small_critical = with_severity(
+            incident_with([("ping", "loss", AlertLevel.FAILURE)]), score=50.0
+        )
+        incidents = [big_mild, small_critical]
+        assert model.queue_delay(incidents, small_critical, ranked=True) == 0.0
+        assert model.queue_delay(incidents, small_critical, ranked=False) > 0.0
+
+    def test_delay_sums_prior_work(self):
+        model = OperatorModel()
+        first = with_severity(incident_with([("a", "x", AlertLevel.FAILURE)]), 30.0)
+        second = with_severity(incident_with([("b", "y", AlertLevel.FAILURE)]), 20.0)
+        third = with_severity(incident_with([("c", "z", AlertLevel.FAILURE)]), 10.0)
+        delay = model.queue_delay([first, second, third], third, ranked=True)
+        assert delay == pytest.approx(
+            model.mitigation_time_skynet(first) + model.mitigation_time_skynet(second)
+        )

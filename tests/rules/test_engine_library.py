@@ -1,0 +1,175 @@
+"""Tests for the rule engine and the representative rule library."""
+
+import pytest
+
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.core.incident import Incident
+from repro.rules.engine import HeuristicRule, RuleContext, RuleEngine
+from repro.rules.library import default_rule_library
+from repro.rules.sop import ActionKind, SOPPlan
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.network import DeviceRole
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec())
+
+
+@pytest.fixture()
+def state(topo):
+    return NetworkState(topo, generate_traffic(topo, n_customers=20, seed=2))
+
+
+def switch(topo, index=0):
+    return sorted(
+        d.name for d in topo.devices.values() if d.role is DeviceRole.CLUSTER_SWITCH
+    )[index]
+
+
+def incident_for(topo, records):
+    """records: list of (device_name_or_None, location, tool, type, level)."""
+    roots = [loc for _, loc, *_ in records]
+    from repro.topology.hierarchy import lowest_common_ancestor
+
+    incident = Incident(root=lowest_common_ancestor(roots), created_at=0.0,
+                        seed_nodes={})
+    for device, loc, tool, name, level in records:
+        incident.add(
+            StructuredAlert(
+                type_key=AlertTypeKey(tool, name),
+                level=level,
+                location=loc,
+                first_seen=0.0,
+                last_seen=60.0,
+                device=device,
+            )
+        )
+    return incident
+
+
+def lossy_device_incident(topo, device_name):
+    dev = topo.device(device_name)
+    return incident_for(
+        topo,
+        [
+            (device_name, dev.location, "traffic_statistics", "packet_loss",
+             AlertLevel.FAILURE),
+            (device_name, dev.location, "syslog", "hardware_error",
+             AlertLevel.ROOT_CAUSE),
+        ],
+    )
+
+
+class TestEngine:
+    def test_duplicate_rule_names_rejected(self):
+        rule = HeuristicRule("x", "", (), lambda ctx: SOPPlan("p", ()))
+        with pytest.raises(ValueError):
+            RuleEngine([rule, rule])
+
+    def test_first_match_wins(self, topo, state):
+        yes = HeuristicRule("always", "", (), lambda ctx: SOPPlan("first", ()))
+        other = HeuristicRule("also", "", (), lambda ctx: SOPPlan("second", ()))
+        engine = RuleEngine([yes, other])
+        ctx = RuleContext(lossy_device_incident(topo, switch(topo)), topo, state)
+        match = engine.match(ctx)
+        assert match.plan.name == "first"
+
+    def test_no_match_returns_none(self, topo, state):
+        never = HeuristicRule("never", "", (lambda ctx: False,),
+                              lambda ctx: SOPPlan("p", ()))
+        engine = RuleEngine([never])
+        ctx = RuleContext(lossy_device_incident(topo, switch(topo)), topo, state)
+        assert engine.match(ctx) is None
+        assert not engine.is_known_failure(ctx)
+
+
+class TestLibrary:
+    def test_isolation_rule_matches_paper_pattern(self, topo, state):
+        """Figure 2a: one lossy device, peers silent, traffic manageable."""
+        engine = RuleEngine(default_rule_library())
+        ctx = RuleContext(lossy_device_incident(topo, switch(topo)), topo, state)
+        match = engine.match(ctx)
+        assert match is not None
+        assert match.rule.name == "device-packet-loss-isolation"
+        kinds = [a.kind for a in match.plan.actions]
+        assert ActionKind.ISOLATE_DEVICE in kinds
+        assert match.plan.rollback  # §7.2: rollback always prepared
+
+    def test_isolation_blocked_when_peer_also_alerts(self, topo, state):
+        engine = RuleEngine(default_rule_library())
+        dev = switch(topo)
+        peer = next(
+            d.name
+            for d in topo.devices_in_group(topo.device(dev).group)
+            if d.name != dev
+        )
+        incident = lossy_device_incident(topo, dev)
+        incident.add(
+            StructuredAlert(
+                type_key=AlertTypeKey("traffic_statistics", "packet_loss"),
+                level=AlertLevel.FAILURE,
+                location=topo.device(peer).location,
+                first_seen=0.0,
+                last_seen=60.0,
+                device=peer,
+            )
+        )
+        match = RuleEngine(default_rule_library()).match(
+            RuleContext(incident, topo, state)
+        )
+        assert match is None or match.rule.name != "device-packet-loss-isolation"
+
+    def test_redundant_circuit_rule(self, topo, state):
+        dev = switch(topo)
+        location = topo.device(dev).location
+        incident = incident_for(
+            topo,
+            [(dev, location, "snmp", "port_down", AlertLevel.ROOT_CAUSE)],
+        )
+        match = RuleEngine(default_rule_library()).match(
+            RuleContext(incident, topo, state)
+        )
+        assert match is not None
+        assert match.rule.name == "redundant-circuit-repair"
+
+    def test_flapping_rule(self, topo, state):
+        dev = switch(topo)
+        location = topo.device(dev).location
+        incident = incident_for(
+            topo,
+            [(dev, location, "syslog", "link_flapping", AlertLevel.ABNORMAL)],
+        )
+        match = RuleEngine(default_rule_library()).match(
+            RuleContext(incident, topo, state)
+        )
+        assert match is not None
+        assert match.rule.name == "flapping-interface-disable"
+
+    def test_severe_wide_incident_matches_nothing(self, topo, state):
+        """The whole point of SkyNet: unknown/severe failures fall through."""
+        from repro.topology.hierarchy import Level, LocationPath
+
+        logic_site = next(
+            l for l in topo.locations() if l.level is Level.LOGIC_SITE
+        )
+        gateways = [
+            d for d in topo.devices_at(logic_site)
+            if d.role is DeviceRole.INTERNET_GATEWAY
+        ]
+        records = [
+            (gw.name, gw.location, "snmp", "link_down", AlertLevel.ROOT_CAUSE)
+            for gw in gateways
+        ]
+        records.append(
+            (None, logic_site, "internet_telemetry", "internet_unreachable",
+             AlertLevel.FAILURE)
+        )
+        incident = incident_for(topo, records)
+        assert incident.root == logic_site
+        match = RuleEngine(default_rule_library()).match(
+            RuleContext(incident, topo, state)
+        )
+        assert match is None

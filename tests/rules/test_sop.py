@@ -1,0 +1,93 @@
+"""Tests for SOP plans and execution against the simulator."""
+
+import pytest
+
+from repro.rules.sop import (
+    ActionKind,
+    SOPAction,
+    SOPExecutor,
+    SOPPlan,
+)
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+
+
+@pytest.fixture()
+def state():
+    return NetworkState(build_topology(TopologySpec.tiny()))
+
+
+def plan_for(device):
+    return SOPPlan(
+        name="isolate",
+        actions=(SOPAction(ActionKind.ISOLATE_DEVICE, device),
+                 SOPAction(ActionKind.OPEN_REPAIR_TICKET, device)),
+        rollback=(SOPAction(ActionKind.ISOLATE_DEVICE, device, note="undo"),),
+    )
+
+
+def test_execute_ends_device_conditions(state):
+    device = sorted(state.topology.devices)[0]
+    cond = Condition(ConditionKind.DEVICE_HARDWARE_ERROR, device, 0.0)
+    state.add_condition(cond)
+    state.set_time(10.0)
+    executor = SOPExecutor(state)
+    record = executor.execute(plan_for(device))
+    assert record.mitigated_condition_ids == [cond.condition_id]
+    state.set_time(10.1)
+    assert state.conditions_on_device(device) == []
+
+
+def test_ticket_only_actions_mitigate_nothing(state):
+    device = sorted(state.topology.devices)[0]
+    state.add_condition(Condition(ConditionKind.DEVICE_HARDWARE_ERROR, device, 0.0))
+    state.set_time(1.0)
+    executor = SOPExecutor(state)
+    plan = SOPPlan("ticket", actions=(SOPAction(ActionKind.OPEN_REPAIR_TICKET, device),))
+    record = executor.execute(plan)
+    assert record.mitigated_condition_ids == []
+    state.set_time(1.1)
+    assert state.conditions_on_device(device)
+
+
+def test_circuit_set_target(state):
+    set_id = sorted(state.topology.circuit_sets)[0]
+    cond = Condition(ConditionKind.LINK_FLAPPING, set_id, 0.0)
+    state.add_condition(cond)
+    state.set_time(5.0)
+    executor = SOPExecutor(state)
+    plan = SOPPlan("shut", actions=(SOPAction(ActionKind.DISABLE_INTERFACE, set_id),))
+    record = executor.execute(plan)
+    assert cond.condition_id in record.mitigated_condition_ids
+
+
+def test_location_target_for_ddos(state):
+    from repro.topology.hierarchy import Level
+
+    victim = next(
+        l for l in state.topology.locations() if l.level is Level.CLUSTER
+    )
+    cond = Condition(ConditionKind.DDOS_ATTACK, victim, 0.0,
+                     params={"attack_gbps": 100.0})
+    state.add_condition(cond)
+    state.set_time(5.0)
+    executor = SOPExecutor(state)
+    plan = SOPPlan("acl", actions=(SOPAction(ActionKind.BLOCK_TRAFFIC, str(victim)),))
+    record = executor.execute(plan)
+    assert cond.condition_id in record.mitigated_condition_ids
+
+
+def test_history_and_rollback_audit(state):
+    device = sorted(state.topology.devices)[0]
+    executor = SOPExecutor(state)
+    record = executor.execute(plan_for(device))
+    assert executor.history == [record]
+    executor.rollback(record)
+    assert record.rolled_back
+
+
+def test_plan_render_includes_rollback():
+    text = plan_for("dev-1").render()
+    assert "isolate_device(dev-1)" in text
+    assert "rollback:" in text

@@ -1,0 +1,63 @@
+"""Tests for simulated time and periodic schedules."""
+
+import pytest
+
+from repro.simulation.clock import PeriodicSchedule, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock(10.0)
+        clock.advance(5.0)
+        assert clock.now == 15.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(42.0)
+        assert clock.now == 42.0
+
+    def test_advance_to_rejects_rewind(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock(1.0)
+        clock.advance(0.0)
+        assert clock.now == 1.0
+
+
+class TestPeriodicSchedule:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicSchedule(0.0)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            PeriodicSchedule(1.0, offset=-0.1)
+
+    def test_fires_at_offset_then_period(self):
+        sched = PeriodicSchedule(10.0, offset=2.0)
+        assert sched.due(25.0) == [2.0, 12.0, 22.0]
+
+    def test_coarse_step_catches_every_firing(self):
+        sched = PeriodicSchedule(1.0)
+        fired = sched.due(4.5)
+        assert fired == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_no_double_fire(self):
+        sched = PeriodicSchedule(5.0)
+        sched.due(10.0)
+        assert sched.due(10.0) == []
+
+    def test_peek_next(self):
+        sched = PeriodicSchedule(5.0)
+        sched.due(7.0)
+        assert sched.peek_next() == 10.0

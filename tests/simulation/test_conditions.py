@@ -1,0 +1,68 @@
+"""Tests for failure conditions."""
+
+import pytest
+
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.topology.hierarchy import LocationPath
+
+
+def test_active_window_half_open():
+    cond = Condition(ConditionKind.DEVICE_DOWN, "d", start=10.0, end=20.0)
+    assert not cond.active_at(9.9)
+    assert cond.active_at(10.0)
+    assert cond.active_at(19.9)
+    assert not cond.active_at(20.0)
+
+
+def test_open_ended_condition_never_expires():
+    cond = Condition(ConditionKind.DEVICE_DOWN, "d", start=0.0)
+    assert cond.active_at(1e9)
+
+
+def test_end_before_start_rejected():
+    with pytest.raises(ValueError):
+        Condition(ConditionKind.DEVICE_DOWN, "d", start=10.0, end=10.0)
+
+
+def test_ddos_requires_location_target():
+    with pytest.raises(TypeError):
+        Condition(ConditionKind.DDOS_ATTACK, "cluster-as-string", start=0.0)
+
+
+def test_device_kind_requires_string_target():
+    with pytest.raises(TypeError):
+        Condition(ConditionKind.DEVICE_DOWN, LocationPath(("r",)), start=0.0)
+
+
+def test_param_lookup_with_default():
+    cond = Condition(
+        ConditionKind.DEVICE_SILENT_LOSS, "d", start=0.0, params={"loss_rate": 0.2}
+    )
+    assert cond.param("loss_rate") == 0.2
+    assert cond.param("missing", 7.0) == 7.0
+
+
+def test_age():
+    cond = Condition(ConditionKind.DEVICE_DOWN, "d", start=10.0)
+    assert cond.age_at(25.0) == 15.0
+    assert cond.age_at(5.0) == -5.0
+
+
+def test_affects_routing_flags():
+    assert Condition(ConditionKind.DEVICE_DOWN, "d", 0.0).affects_routing
+    assert Condition(ConditionKind.CIRCUIT_BREAK, "cs", 0.0).affects_routing
+    assert not Condition(ConditionKind.DEVICE_HIGH_CPU, "d", 0.0).affects_routing
+
+
+def test_shifted_moves_window_and_renames():
+    cond = Condition(ConditionKind.DEVICE_DOWN, "d", start=5.0, end=15.0)
+    moved = cond.shifted(100.0)
+    assert moved.start == 105.0 and moved.end == 115.0
+    assert moved.condition_id != cond.condition_id
+    assert moved.kind is cond.kind
+
+
+def test_condition_ids_unique():
+    a = Condition(ConditionKind.DEVICE_DOWN, "d", 0.0)
+    b = Condition(ConditionKind.DEVICE_DOWN, "d", 0.0)
+    assert a.condition_id != b.condition_id

@@ -1,0 +1,97 @@
+"""Tests for failure taxonomy and scenario sampling."""
+
+import random
+
+import pytest
+
+from repro.simulation.failures import (
+    FIGURE1_PROPORTIONS,
+    FailureCategory,
+    sample_campaign,
+    sample_category,
+    sample_failure,
+)
+from repro.topology.builder import TopologySpec, build_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec())
+
+
+def test_figure1_proportions_cover_all_categories():
+    assert set(FIGURE1_PROPORTIONS) == set(FailureCategory)
+
+
+def test_figure1_hardware_dominates():
+    top = max(FIGURE1_PROPORTIONS, key=FIGURE1_PROPORTIONS.get)
+    assert top is FailureCategory.DEVICE_HARDWARE
+
+
+def test_sample_category_follows_weights():
+    rng = random.Random(1)
+    draws = [sample_category(rng) for _ in range(3000)]
+    hw = sum(1 for d in draws if d is FailureCategory.DEVICE_HARDWARE)
+    route = sum(1 for d in draws if d is FailureCategory.ROUTE)
+    assert 0.35 < hw / len(draws) < 0.50
+    assert route / len(draws) < 0.06
+
+
+@pytest.mark.parametrize("category", list(FailureCategory))
+@pytest.mark.parametrize("severe", [False, True])
+def test_every_category_builds_both_severities(topo, category, severe):
+    rng = random.Random(7)
+    scenario = sample_failure(topo, rng, start=100.0, category=category, severe=severe)
+    assert scenario.truth.category is category
+    assert scenario.truth.severe == severe
+    assert scenario.conditions
+    assert scenario.truth.start == 100.0
+    assert scenario.truth.end > scenario.truth.start
+    for cond in scenario.conditions:
+        assert cond.start >= 100.0
+        assert cond.end is None or cond.end <= scenario.truth.end + 1e-6
+
+
+def test_scope_contains_all_condition_targets(topo):
+    rng = random.Random(3)
+    for _ in range(30):
+        scenario = sample_failure(topo, rng)
+        for cond in scenario.conditions:
+            if isinstance(cond.target, str) and topo.has_device(cond.target):
+                assert scenario.truth.scope.contains(
+                    topo.device(cond.target).location
+                )
+
+
+def test_shifted_scenario_moves_everything(topo):
+    rng = random.Random(5)
+    scenario = sample_failure(topo, rng, start=0.0)
+    moved = scenario.shifted(500.0)
+    assert moved.truth.start == scenario.truth.start + 500.0
+    assert all(
+        m.start == o.start + 500.0
+        for m, o in zip(moved.conditions, scenario.conditions)
+    )
+
+
+def test_campaign_sorted_and_sized(topo):
+    rng = random.Random(11)
+    campaign = sample_campaign(topo, rng, 15, 3600.0)
+    assert len(campaign) == 15
+    starts = [s.truth.start for s in campaign]
+    assert starts == sorted(starts)
+    assert all(0 <= s < 3600.0 for s in starts)
+
+
+def test_campaign_rejects_negative(topo):
+    with pytest.raises(ValueError):
+        sample_campaign(topo, random.Random(0), -1, 100.0)
+
+
+def test_ground_truth_overlap_window():
+    rng = random.Random(2)
+    topo = build_topology(TopologySpec.tiny())
+    scenario = sample_failure(topo, rng, start=100.0, severe=False)
+    truth = scenario.truth
+    assert truth.overlaps_window(truth.start - 10, truth.start + 10)
+    assert not truth.overlaps_window(truth.end + 1, truth.end + 100)

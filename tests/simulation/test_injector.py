@@ -1,0 +1,70 @@
+"""Tests for the failure injector's ground-truth ledger."""
+
+import random
+
+import pytest
+
+from repro.simulation import scenarios as sc
+from repro.simulation.failures import sample_failure
+from repro.simulation.injector import FailureInjector
+from repro.simulation.noise import BackgroundNoise
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import LocationPath
+
+
+@pytest.fixture()
+def setup():
+    topo = build_topology(TopologySpec.tiny())
+    state = NetworkState(topo)
+    return topo, state, FailureInjector(state)
+
+
+def test_inject_applies_conditions(setup):
+    topo, state, injector = setup
+    scenario = sc.known_device_failure(topo, start=0.0)
+    injector.inject(scenario)
+    state.set_time(1.0)
+    assert state.active_conditions()
+    assert injector.ground_truths == [scenario.truth]
+
+
+def test_noise_has_no_ground_truth(setup):
+    topo, state, injector = setup
+    injector.inject_noise(BackgroundNoise(topo).generate(600))
+    assert injector.ground_truths == []
+    assert injector.noise_conditions
+
+
+def test_matching_truth_by_location_and_time(setup):
+    topo, state, injector = setup
+    scenario = sc.known_device_failure(topo, start=100.0)
+    injector.inject(scenario)
+    scope = scenario.truth.scope
+    assert injector.matching_truth(scope, 120.0, 130.0) is scenario.truth
+    # ancestor location also matches (incident grouped wide)
+    assert injector.matching_truth(LocationPath.root(), 120.0, 130.0) is not None
+    # wrong time window does not
+    assert injector.matching_truth(scope, 10_000.0, 10_010.0) is None
+
+
+def test_matching_truth_impacting_filter(setup):
+    topo, state, injector = setup
+    rng = random.Random(0)
+    from repro.simulation.failures import FailureCategory
+
+    scenario = sample_failure(
+        topo, rng, start=0.0, category=FailureCategory.LINK, severe=False
+    )
+    assert not scenario.truth.customer_impacting
+    injector.inject(scenario)
+    scope = scenario.truth.scope
+    assert injector.matching_truth(scope, 0.0, 10.0) is not None
+    assert injector.matching_truth(scope, 0.0, 10.0, impacting_only=True) is None
+
+
+def test_truths_in_window(setup):
+    topo, state, injector = setup
+    injector.inject(sc.known_device_failure(topo, start=100.0, duration=50.0))
+    assert injector.truths_in_window(0.0, 99.0) == []
+    assert len(injector.truths_in_window(120.0, 130.0)) == 1

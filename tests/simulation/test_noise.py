@@ -1,0 +1,59 @@
+"""Tests for background noise generation."""
+
+import pytest
+
+from repro.simulation.conditions import ConditionKind
+from repro.simulation.noise import BackgroundNoise, NoiseProfile
+from repro.topology.builder import TopologySpec, build_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec.tiny())
+
+
+def test_deterministic_for_seed(topo):
+    a = BackgroundNoise(topo, seed=5).generate(3600)
+    b = BackgroundNoise(topo, seed=5).generate(3600)
+    assert [(c.kind, c.target, c.start) for c in a] == [
+        (c.kind, c.target, c.start) for c in b
+    ]
+
+
+def test_sorted_by_start(topo):
+    conds = BackgroundNoise(topo).generate(7200)
+    starts = [c.start for c in conds]
+    assert starts == sorted(starts)
+
+
+def test_all_within_horizon(topo):
+    conds = BackgroundNoise(topo).generate(1800, start=100.0)
+    assert all(100.0 <= c.start < 1900.0 for c in conds)
+
+
+def test_rates_scale_with_profile(topo):
+    quiet = BackgroundNoise(topo, NoiseProfile.quiet(), seed=1).generate(7200)
+    noisy = BackgroundNoise(topo, NoiseProfile.noisy(), seed=1).generate(7200)
+    assert len(noisy) > len(quiet)
+
+
+def test_negative_horizon_rejected(topo):
+    with pytest.raises(ValueError):
+        BackgroundNoise(topo).generate(-1)
+
+
+def test_zero_horizon_empty(topo):
+    assert BackgroundNoise(topo).generate(0) == []
+
+
+def test_noise_kinds_are_benign(topo):
+    severe_kinds = {ConditionKind.DEVICE_DOWN, ConditionKind.CIRCUIT_BREAK}
+    conds = BackgroundNoise(topo, NoiseProfile.noisy(), seed=2).generate(7200)
+    assert not any(c.kind in severe_kinds for c in conds)
+
+
+def test_noise_conditions_are_short(topo):
+    conds = BackgroundNoise(topo, NoiseProfile.noisy(), seed=3).generate(7200)
+    for cond in conds:
+        assert cond.end is not None
+        assert cond.end - cond.start <= 600.0

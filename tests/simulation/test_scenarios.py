@@ -1,0 +1,127 @@
+"""Tests for the canned paper scenarios."""
+
+import pytest
+
+from repro.simulation import scenarios as sc
+from repro.simulation.conditions import ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import Level
+from repro.topology.network import DeviceRole
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture()
+def topo():
+    # function-scoped: reflector_failure mutates the topology
+    return build_topology(TopologySpec())
+
+
+class TestCableCut:
+    def test_cuts_every_gateway_entrance(self, topo):
+        scenario = sc.internet_entrance_cable_cut(topo)
+        gw_count = TopologySpec().internet_gateways_per_logic_site
+        assert len(scenario.conditions) == gw_count
+        assert scenario.truth.severe
+        assert scenario.truth.scope.level is Level.LOGIC_SITE
+
+    def test_first_gateway_fully_cut(self, topo):
+        scenario = sc.internet_entrance_cable_cut(topo)
+        first = scenario.conditions[0]
+        cs = topo.circuit_set(str(first.target))
+        assert first.param("broken_circuits") == len(cs.circuits)
+
+    def test_survivors_congest_not_unreachable(self, topo):
+        traffic = generate_traffic(topo, n_customers=40)
+        state = NetworkState(topo, traffic)
+        scenario = sc.internet_entrance_cable_cut(topo, start=0.0)
+        state.add_conditions(scenario.conditions)
+        state.set_time(state.convergence_s + 10)
+        server = topo.servers_in(
+            next(
+                l
+                for l in topo.locations()
+                if l.level is Level.CLUSTER and scenario.truth.scope.contains(l)
+            )
+        )[0]
+        _, loss = state.internet_loss(server.name)
+        assert 0.05 < loss < 1.0  # congested, not dead: the §2.2 trap
+
+
+class TestKnownDeviceFailure:
+    def test_targets_single_cluster_switch(self, topo):
+        scenario = sc.known_device_failure(topo)
+        device = topo.device(scenario.truth.root_cause_targets[0])
+        assert device.role is DeviceRole.CLUSTER_SWITCH
+        assert not scenario.truth.severe
+
+    def test_peers_unaffected(self, topo):
+        scenario = sc.known_device_failure(topo)
+        victim = scenario.truth.root_cause_targets[0]
+        targeted = {
+            c.target for c in scenario.conditions if isinstance(c.target, str)
+        }
+        peers = {
+            d.name
+            for d in topo.devices_in_group(topo.device(victim).group)
+            if d.name != victim
+        }
+        assert not (targeted & peers)
+
+
+class TestMultiSiteDdos:
+    def test_five_distinct_victims(self, topo):
+        scenarios = sc.multi_site_ddos(topo, n_sites=5)
+        victims = {s.truth.scope for s in scenarios}
+        assert len(victims) == 5
+        for s in scenarios:
+            assert s.conditions[0].kind is ConditionKind.DDOS_ATTACK
+
+    def test_too_many_sites_rejected(self, topo):
+        with pytest.raises(ValueError):
+            sc.multi_site_ddos(topo, n_sites=10_000)
+
+
+class TestRankingPair:
+    def test_big_and_small_disjoint(self, topo):
+        big, small = sc.ranking_pair(topo)
+        assert not big.truth.scope.contains(small.truth.scope)
+        assert not small.truth.scope.contains(big.truth.scope)
+
+    def test_big_is_wide_but_mild(self, topo):
+        big, small = sc.ranking_pair(topo)
+        # many partial breaks, never a full one: redundancy holds
+        breaks = [c for c in big.conditions if c.kind is ConditionKind.CIRCUIT_BREAK]
+        assert len(breaks) >= 4
+        for cond in breaks:
+            cs = topo.circuit_set(str(cond.target))
+            assert cond.param("broken_circuits") < len(cs.circuits)
+        # the small scene blackholes heavily
+        assert small.conditions[0].param("loss_rate") >= 0.5
+
+
+class TestReflector:
+    def test_adds_reflector_device_once(self, topo):
+        scenario = sc.reflector_failure(topo)
+        name = scenario.truth.root_cause_targets[0]
+        assert topo.device(name).role is DeviceRole.REFLECTOR
+        # idempotent: building again reuses the device
+        sc.reflector_failure(topo)
+        assert sum(1 for d in topo.devices if d == name) == 1
+
+
+class TestDelayedRootCause:
+    def test_hardware_syslog_delayed(self, topo):
+        scenario = sc.delayed_root_cause(topo)
+        hw = next(
+            c
+            for c in scenario.conditions
+            if c.kind is ConditionKind.DEVICE_HARDWARE_ERROR
+        )
+        assert hw.param("syslog_delay_s") >= 120.0
+        jitter = next(
+            c
+            for c in scenario.conditions
+            if c.kind is ConditionKind.DEVICE_UNBALANCED_HASH
+        )
+        assert jitter.param("syslog_delay_s", 0.0) == 0.0

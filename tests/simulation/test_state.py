@@ -1,0 +1,276 @@
+"""Tests for NetworkState: the condition -> observable behaviour mapping."""
+
+import pytest
+
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import Level
+from repro.topology.network import INTERNET, DeviceRole
+from repro.topology.traffic import generate_traffic
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec())
+
+
+@pytest.fixture(scope="module")
+def traffic(topo):
+    return generate_traffic(topo, n_customers=25, seed=4)
+
+
+@pytest.fixture()
+def state(topo, traffic):
+    return NetworkState(topo, traffic)
+
+
+def any_switch(topo):
+    return sorted(
+        d.name for d in topo.devices.values() if d.role is DeviceRole.CLUSTER_SWITCH
+    )[0]
+
+
+def any_internal_set(topo):
+    return sorted(
+        cs.set_id
+        for cs in topo.circuit_sets.values()
+        if INTERNET not in cs.endpoints
+    )[0]
+
+
+class TestTimeAndConditions:
+    def test_time_cannot_rewind(self, state):
+        state.set_time(10.0)
+        with pytest.raises(ValueError):
+            state.set_time(5.0)
+
+    def test_conditions_become_active_on_time(self, state, topo):
+        dev = any_switch(topo)
+        state.add_condition(Condition(ConditionKind.DEVICE_DOWN, dev, 100.0, 200.0))
+        state.set_time(50.0)
+        assert state.device_up(dev)
+        state.set_time(150.0)
+        assert not state.device_up(dev)
+        state.set_time(250.0)
+        assert state.device_up(dev)
+
+    def test_active_signature_changes_with_set(self, state, topo):
+        sig0 = state.active_signature()
+        state.add_condition(
+            Condition(ConditionKind.DEVICE_HIGH_CPU, any_switch(topo), 0.0)
+        )
+        assert state.active_signature() != sig0
+
+    def test_end_condition(self, state, topo):
+        dev = any_switch(topo)
+        cond = Condition(ConditionKind.DEVICE_DOWN, dev, 0.0)
+        state.add_condition(cond)
+        state.set_time(10.0)
+        assert not state.device_up(dev)
+        state.end_condition(cond.condition_id)
+        state.set_time(10.1)
+        assert state.device_up(dev)
+
+    def test_end_unknown_condition_raises(self, state):
+        with pytest.raises(KeyError):
+            state.end_condition("nope")
+
+    def test_conditions_indexed_by_target(self, state, topo):
+        dev = any_switch(topo)
+        state.add_condition(Condition(ConditionKind.DEVICE_HIGH_CPU, dev, 0.0))
+        state.set_time(1.0)
+        assert [c.kind for c in state.conditions_on_device(dev)] == [
+            ConditionKind.DEVICE_HIGH_CPU
+        ]
+        assert state.conditions_on_device("other") == []
+
+
+class TestCircuitSets:
+    def test_break_ratio(self, state, topo):
+        set_id = any_internal_set(topo)
+        n = len(topo.circuit_set(set_id).circuits)
+        state.add_condition(
+            Condition(
+                ConditionKind.CIRCUIT_BREAK, set_id, 0.0,
+                params={"broken_circuits": n // 2},
+            )
+        )
+        state.set_time(1.0)
+        assert state.circuit_set_break_ratio(set_id) == pytest.approx(
+            (n // 2) / n
+        )
+        assert state.circuit_set_usable(set_id)
+
+    def test_full_break_unusable(self, state, topo):
+        set_id = any_internal_set(topo)
+        state.add_condition(Condition(ConditionKind.CIRCUIT_BREAK, set_id, 0.0))
+        state.set_time(1.0)
+        assert state.circuit_set_break_ratio(set_id) == 1.0
+        assert not state.circuit_set_usable(set_id)
+        assert state.circuit_set_loss_rate(set_id) == 1.0
+
+    def test_break_ratio_unknown_set(self, state):
+        with pytest.raises(KeyError):
+            state.circuit_set_break_ratio("ghost")
+
+    def test_capacity_scales_with_breaks(self, state, topo):
+        set_id = any_internal_set(topo)
+        full = state.available_capacity_gbps(set_id)
+        n = len(topo.circuit_set(set_id).circuits)
+        state.add_condition(
+            Condition(
+                ConditionKind.CIRCUIT_BREAK, set_id, 0.0,
+                params={"broken_circuits": n / 2},
+            )
+        )
+        state.set_time(1.0)
+        assert state.available_capacity_gbps(set_id) == pytest.approx(full / 2)
+
+
+class TestConvergence:
+    def test_routing_lags_actual_state(self, state, topo):
+        dev = any_switch(topo)
+        state.add_condition(Condition(ConditionKind.DEVICE_DOWN, dev, 0.0))
+        state.set_time(1.0)  # before convergence
+        assert not state.device_up(dev)
+        assert state.routing_health.device_up(dev)
+        state.set_time(state.convergence_s + 1.0)
+        assert not state.routing_health.device_up(dev)
+
+    def test_pair_loss_through_down_device_preconvergence(self, state, topo):
+        # find a pair whose route crosses a specific CSR, then kill it
+        servers = sorted(topo.servers)
+        route, _ = state.pair_loss(servers[0], servers[-1])
+        victim = route.devices[1]
+        state.add_condition(Condition(ConditionKind.DEVICE_DOWN, victim, 10.0))
+        state.set_time(11.0)
+        _, loss = state.pair_loss(servers[0], servers[-1])
+        assert loss == 1.0
+        state.set_time(11.0 + state.convergence_s + 1)
+        route2, loss2 = state.pair_loss(servers[0], servers[-1])
+        assert victim not in route2.devices
+        assert loss2 < 1.0
+
+
+class TestLossModel:
+    def test_device_loss_from_hardware_error(self, state, topo):
+        dev = any_switch(topo)
+        state.add_condition(
+            Condition(
+                ConditionKind.DEVICE_HARDWARE_ERROR, dev, 0.0,
+                params={"loss_rate": 0.25},
+            )
+        )
+        state.set_time(1.0)
+        assert state.device_loss_rate(dev) == pytest.approx(0.25)
+
+    def test_losses_compose(self, state, topo):
+        dev = any_switch(topo)
+        state.add_conditions(
+            [
+                Condition(
+                    ConditionKind.DEVICE_HARDWARE_ERROR, dev, 0.0,
+                    params={"loss_rate": 0.5},
+                ),
+                Condition(
+                    ConditionKind.DEVICE_SILENT_LOSS, dev, 0.0,
+                    params={"loss_rate": 0.5},
+                ),
+            ]
+        )
+        state.set_time(1.0)
+        assert state.device_loss_rate(dev) == pytest.approx(0.75)
+
+    def test_route_loss_blackholes_internet_only(self, state, topo):
+        gw = topo.internet_gateways()[0].name
+        state.add_condition(Condition(ConditionKind.ROUTE_LOSS, gw, 0.0))
+        state.set_time(1.0)
+        assert state.device_loss_rate(gw, internet_bound=True) == 1.0
+        assert state.device_loss_rate(gw, internet_bound=False) == 0.0
+
+    def test_corruption_rate(self, state, topo):
+        set_id = any_internal_set(topo)
+        state.add_condition(
+            Condition(
+                ConditionKind.LINK_CRC_ERRORS, set_id, 0.0,
+                params={"corruption_rate": 0.05},
+            )
+        )
+        state.set_time(1.0)
+        assert state.circuit_set_corruption_rate(set_id) == 0.05
+
+    def test_clean_network_has_no_loss(self, state, topo):
+        state.set_time(1.0)
+        servers = sorted(topo.servers)
+        _, loss = state.pair_loss(servers[0], servers[-1])
+        assert loss == 0.0
+
+
+class TestCongestion:
+    def test_ddos_congests_entrance(self, state, topo, traffic):
+        clusters = [l for l in topo.locations() if l.level is Level.CLUSTER]
+        victim = clusters[0]
+        state.add_condition(
+            Condition(
+                ConditionKind.DDOS_ATTACK, victim, 0.0,
+                params={"attack_gbps": 10000.0},
+            )
+        )
+        state.set_time(1.0)
+        server = topo.servers_in(victim)[0].name
+        _, loss = state.internet_loss(server)
+        assert loss > 0.5
+
+    def test_congestion_loss_formula(self, state, topo):
+        set_id = any_internal_set(topo)
+        assert state.congestion_loss(set_id) == 0.0
+
+    def test_delivered_rate_capped_by_congestion(self, state, topo):
+        clusters = [l for l in topo.locations() if l.level is Level.CLUSTER]
+        state.add_condition(
+            Condition(
+                ConditionKind.DDOS_ATTACK, clusters[0], 0.0,
+                params={"attack_gbps": 10000.0},
+            )
+        )
+        state.set_time(1.0)
+        server = topo.servers_in(clusters[0])[0]
+        route = state.router.route_to_internet(server, state.routing_health)
+        entrance = route.circuit_sets[-1]
+        assert state.delivered_rate_gbps(entrance) <= (
+            state.available_capacity_gbps(entrance) * 1.0001
+        )
+
+    def test_latency_rises_with_utilization(self, state, topo):
+        servers = sorted(topo.servers)
+        route, _ = state.pair_loss(servers[0], servers[-1])
+        base = state.route_latency_ms(route)
+        clusters = [l for l in topo.locations() if l.level is Level.CLUSTER]
+        state.add_condition(
+            Condition(
+                ConditionKind.DDOS_ATTACK, clusters[0], 0.0,
+                params={"attack_gbps": 5000.0},
+            )
+        )
+        state.set_time(1.0)
+        server = topo.servers_in(clusters[0])[0]
+        route2 = state.router.route_to_internet(server, state.routing_health)
+        assert state.route_latency_ms(route2) > base
+
+    def test_unreachable_route_latency_infinite(self, state):
+        from repro.topology.routing import RoutePath
+
+        route = RoutePath("a", "b", (), (), False, "down")
+        assert state.route_latency_ms(route) == float("inf")
+
+
+class TestBaseline:
+    def test_baseline_loads_precomputed(self, state, topo):
+        loads = [state.baseline_load_gbps(s) for s in list(topo.circuit_sets)[:10]]
+        assert any(l > 0 for l in loads)
+
+    def test_stateless_network_baseline_zero(self, topo):
+        state = NetworkState(topo)
+        assert state.baseline_load_gbps(any_internal_set(topo)) == 0.0
+        assert state.placement() is None

@@ -1,0 +1,66 @@
+"""Tests for template labelling and the classifier."""
+
+import pytest
+
+from repro.syslogproc.classify import (
+    UNCLASSIFIED,
+    TemplateClassifier,
+    bootstrap_corpus,
+    label_template,
+)
+
+
+@pytest.fixture(scope="module")
+def clf():
+    return TemplateClassifier().fit(bootstrap_corpus())
+
+
+def test_classify_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        TemplateClassifier().classify("x")
+
+
+@pytest.mark.parametrize(
+    "line,expected",
+    [
+        ("%LINK-3-UPDOWN: Interface TenGigE0/3/0/44, changed state to down", "link_down"),
+        ("%LINK-3-UPDOWN: Interface TenGigE0/3/0/44, changed state to up", "link_up"),
+        ("%LINEPROTO-5-UPDOWN: Line protocol on Interface TenGigE0/0/0/2, changed state to down", "link_down"),
+        ("%BGP-5-ADJCHANGE: neighbor 10.99.3.7 Down - holdtimer expired", "bgp_peer_down"),
+        ("%PORT-5-IF_DOWN_LINK_FAILURE: Interface TenGigE0/2/0/31 is down (Link failure)", "port_down"),
+        ("%PLATFORM-2-HARDWARE_FAULT: ASIC 7 parity error detected, packets may be dropped", "hardware_error"),
+        ("%OS-2-PROCESS_CRASH: Process bgpd exited unexpectedly, restart scheduled", "software_error"),
+        ("%SYS-2-MALLOCFAIL: Memory allocation of 9999 bytes failed, out of memory", "out_of_memory"),
+        ("%BGP-4-SESSION_JITTER: BGP link jitter detected on session eBGP-63", "bgp_link_jitter"),
+        ("%PKT_INFRA-3-CRC_ERROR: 377 CRC errors detected on interface TenGigE0/1/0/9", "crc_errors"),
+        ("%SEC_LOGIN-6-LOGIN_SUCCESS: Login Success [user: ops88] at vty0", "login"),
+        ("%SYS-5-CONFIG_I: Configured from console by ops3 on vty1", "config_session"),
+        ("%SSH-6-SESSION: SSH session from 172.16.4.9 established", "ssh_session"),
+    ],
+)
+def test_classification_table(clf, line, expected):
+    assert clf.classify(line) == expected
+
+
+def test_unknown_line_unclassified(clf):
+    assert clf.classify("random words with no vendor head") == UNCLASSIFIED
+
+
+def test_unseen_variant_of_known_family(clf):
+    # wildly different variable values still classify via the template
+    line = "%BGP-5-ADJCHANGE: neighbor 203.0.113.250 Down - peer closed the session"
+    assert clf.classify(line) == "bgp_peer_down"
+
+
+def test_label_template_rules():
+    assert label_template(("%PLATFORM-2-HARDWARE_FAULT:", "ASIC")) == "hardware_error"
+    assert label_template(("nothing", "known")) == UNCLASSIFIED
+
+
+def test_known_types_populated(clf):
+    types = set(clf.known_types())
+    assert {"link_down", "hardware_error", "login"} <= types
+
+
+def test_template_count_reasonable(clf):
+    assert 10 <= clf.template_count() <= 40

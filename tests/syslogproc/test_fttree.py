@@ -1,0 +1,113 @@
+"""Tests for FT-tree template extraction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.syslogproc.fttree import FtTree
+
+CORPUS = [
+    "%LINK-3-UPDOWN: Interface TenGigE0/1/0/1, changed state to down",
+    "%LINK-3-UPDOWN: Interface TenGigE0/2/0/9, changed state to down",
+    "%LINK-3-UPDOWN: Interface TenGigE0/1/0/1, changed state to up",
+    "%BGP-5-ADJCHANGE: neighbor 10.0.0.1 Down - holdtimer expired",
+    "%BGP-5-ADJCHANGE: neighbor 10.0.0.2 Down - holdtimer expired",
+    "%SYS-2-MALLOCFAIL: Memory allocation of 4096 bytes failed, out of memory",
+]
+
+
+def test_match_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        FtTree().match("x")
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        FtTree(max_children=0)
+    with pytest.raises(ValueError):
+        FtTree(min_word_count=0)
+
+
+def test_same_family_shares_template():
+    tree = FtTree().fit(CORPUS)
+    a = tree.match("%LINK-3-UPDOWN: Interface TenGigE0/9/0/4, changed state to down")
+    b = tree.match("%LINK-3-UPDOWN: Interface TenGigE0/3/0/7, changed state to down")
+    assert a == b is not None
+
+
+def test_up_and_down_templates_differ():
+    tree = FtTree().fit(CORPUS)
+    down = tree.match(CORPUS[0])
+    up = tree.match(CORPUS[2])
+    assert down != up
+
+
+def test_template_count_bounded_by_message_families():
+    tree = FtTree().fit(CORPUS)
+    assert 3 <= tree.template_count() <= len(CORPUS)
+
+
+def test_unseen_family_returns_none_or_shallow():
+    tree = FtTree().fit(CORPUS)
+    assert tree.match("completely different words entirely") is None
+
+
+def test_word_frequency_counts_messages_not_occurrences():
+    tree = FtTree().fit(["a a a b", "a c"])
+    assert tree.word_frequency("a") == 2
+
+
+def test_extend_adds_new_templates():
+    tree = FtTree().fit(CORPUS)
+    before = tree.template_count()
+    tree.extend(["%NEW-1-THING: something novel happened badly"] * 2)
+    assert tree.template_count() > before
+    assert tree.match("%NEW-1-THING: something novel happened badly") is not None
+
+
+def test_pruning_collapses_high_fanout_positions():
+    # 40 messages identical except one pseudo-random word the variable
+    # regexes do not catch: that position must prune away
+    corpus = [f"alpha beta gamma variantword{i}x" for i in range(40)]
+    tree = FtTree(max_children=8).fit(corpus)
+    assert tree.template_count() <= 8 + 1
+
+
+def test_deterministic_fit():
+    t1 = FtTree().fit(CORPUS).templates()
+    t2 = FtTree().fit(CORPUS).templates()
+    assert t1 == t2
+
+
+# -- property-based -----------------------------------------------------------
+
+words = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]),
+    min_size=1,
+    max_size=6,
+)
+corpus_strategy = st.lists(words.map(" ".join), min_size=1, max_size=30)
+
+
+@settings(max_examples=50, deadline=None)
+@given(corpus_strategy)
+def test_prop_every_training_line_matches_something(corpus):
+    tree = FtTree().fit(corpus)
+    for line in corpus:
+        assert tree.match(line) is not None
+
+
+@settings(max_examples=50, deadline=None)
+@given(corpus_strategy)
+def test_prop_template_words_come_from_line(corpus):
+    tree = FtTree().fit(corpus)
+    for line in corpus:
+        template = tree.match(line)
+        assert template is not None
+        assert set(template) <= set(line.split())
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpus_strategy)
+def test_prop_template_count_bounded_by_corpus(corpus):
+    tree = FtTree().fit(corpus)
+    assert tree.template_count() <= len(set(corpus)) + 1

@@ -1,0 +1,65 @@
+"""Tests for tokenisation and variable stripping."""
+
+from repro.syslogproc.tokenize import constant_words, is_variable, tokenize
+
+
+def test_tokenize_splits_on_whitespace_and_commas():
+    assert tokenize("a b,c\td ") == ["a", "b", "c", "d"]
+
+
+def test_empty_line():
+    assert tokenize("") == []
+    assert constant_words("") == []
+
+
+def test_ipv4_is_variable():
+    assert is_variable("10.1.2.3")
+    assert is_variable("192.168.0.1/24")
+
+
+def test_interface_is_variable():
+    assert is_variable("TenGigE0/1/0/25")
+    assert is_variable("HundredGigE0/0/0/1")
+
+
+def test_numbers_and_hex_are_variable():
+    assert is_variable("42")
+    assert is_variable("3.14")
+    assert is_variable("97%")
+    assert is_variable("0xdeadbeef")
+
+
+def test_device_names_are_variable():
+    assert is_variable("RG01-CT01-LS01-ISR-G1")
+
+
+def test_session_and_user_handles_variable():
+    assert is_variable("eBGP-17")
+    assert is_variable("vty0")
+    assert is_variable("ops42")
+
+
+def test_mnemonic_head_is_constant():
+    assert not is_variable("%LINK-3-UPDOWN:")
+    assert not is_variable("Interface")
+    assert not is_variable("down")
+
+
+def test_punctuation_stripped_before_matching():
+    assert is_variable("(10.0.0.1)")
+    assert is_variable("[42]")
+
+
+def test_constant_words_keep_template_skeleton():
+    line = "%LINK-3-UPDOWN: Interface TenGigE0/1/0/25, changed state to down"
+    words = constant_words(line)
+    assert "%LINK-3-UPDOWN:" in words
+    assert "Interface" in words
+    assert "down" in words
+    assert not any("TenGigE" in w for w in words)
+
+
+def test_two_instances_share_skeleton():
+    a = "%BGP-5-ADJCHANGE: neighbor 10.0.0.1 Down - holdtimer expired"
+    b = "%BGP-5-ADJCHANGE: neighbor 172.16.9.7 Down - holdtimer expired"
+    assert constant_words(a) == constant_words(b)

@@ -1,0 +1,184 @@
+"""Tests for hierarchy-aware routing and failover."""
+
+import pytest
+
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import Level
+from repro.topology.network import INTERNET, DeviceRole
+from repro.topology.routing import (
+    ALL_HEALTHY,
+    HealthView,
+    HierarchicalRouter,
+    RoutePath,
+)
+
+
+class DenyList(HealthView):
+    def __init__(self, devices=(), circuit_sets=()):
+        self.devices = set(devices)
+        self.circuit_sets = set(circuit_sets)
+
+    def device_up(self, name):
+        return name not in self.devices
+
+    def circuit_set_usable(self, set_id):
+        return set_id not in self.circuit_sets
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec())
+
+
+@pytest.fixture(scope="module")
+def router(topo):
+    return HierarchicalRouter(topo)
+
+
+def servers_in_different(topo, level):
+    """Two servers whose lowest common ancestor is exactly `level`."""
+    servers = sorted(topo.servers.values(), key=lambda s: s.name)
+    for a in servers:
+        for b in servers:
+            if a.name >= b.name:
+                continue
+            if a.cluster.common_ancestor(b.cluster).level is level:
+                return a, b
+    raise AssertionError(f"no pair meets at {level}")
+
+
+class TestBasicRoutes:
+    def test_same_switch_route_is_one_hop(self, topo, router):
+        by_switch = {}
+        for server in topo.servers.values():
+            by_switch.setdefault(server.attached_switch, []).append(server)
+        pair = next(v for v in by_switch.values() if len(v) >= 2)
+        route = router.route_servers(pair[0], pair[1])
+        assert route.reachable
+        assert route.devices == (pair[0].attached_switch,)
+        assert route.circuit_sets == ()
+
+    def test_same_server_rejected(self, topo, router):
+        server = next(iter(topo.servers.values()))
+        with pytest.raises(ValueError):
+            router.route_servers(server, server)
+
+    @pytest.mark.parametrize(
+        "level", [Level.SITE, Level.LOGIC_SITE, Level.CITY]
+    )
+    def test_route_meets_at_common_ancestor_level(self, topo, router, level):
+        a, b = servers_in_different(topo, level)
+        route = router.route_servers(a, b)
+        assert route.reachable
+        # consecutive devices are joined by the named circuit sets
+        for i, set_id in enumerate(route.circuit_sets):
+            cs = topo.circuit_set(set_id)
+            assert {route.devices[i], route.devices[i + 1]} == set(cs.endpoints)
+
+    def test_cross_region_route_uses_wan(self, topo, router):
+        a, b = servers_in_different(topo, Level.ROOT)
+        route = router.route_servers(a, b)
+        assert route.reachable
+        backbones = [
+            d
+            for d in route.devices
+            if topo.device(d).role is DeviceRole.REGION_BACKBONE
+        ]
+        assert len(backbones) == 2
+
+    def test_internet_route_ends_at_gateway(self, topo, router):
+        server = next(iter(topo.servers.values()))
+        route = router.route_to_internet(server)
+        assert route.reachable
+        assert route.dst == INTERNET
+        last = topo.device(route.devices[-1])
+        assert last.role is DeviceRole.INTERNET_GATEWAY
+        assert len(route.circuit_sets) == len(route.devices)
+
+    def test_route_clusters_uses_representatives(self, topo, router):
+        clusters = [l for l in topo.locations() if l.level is Level.CLUSTER]
+        route = router.route_clusters(clusters[0], clusters[1])
+        assert route is not None and route.reachable
+
+    def test_route_clusters_none_for_empty(self, topo, router):
+        clusters = [l for l in topo.locations() if l.level is Level.CLUSTER]
+        fake = clusters[0].parent.child("empty-cluster")
+        assert router.route_clusters(fake, clusters[1]) is None
+
+
+class TestFailover:
+    def test_down_transit_device_is_avoided(self, topo, router):
+        a, b = servers_in_different(topo, Level.SITE)
+        route = router.route_servers(a, b)
+        transit = route.devices[1]  # a CSR
+        rerouted = router.route_servers(a, b, DenyList(devices={transit}))
+        assert rerouted.reachable
+        assert transit not in rerouted.devices
+
+    def test_unusable_circuit_set_is_avoided(self, topo, router):
+        a, b = servers_in_different(topo, Level.SITE)
+        route = router.route_servers(a, b)
+        blocked = route.circuit_sets[0]
+        rerouted = router.route_servers(a, b, DenyList(circuit_sets={blocked}))
+        assert rerouted.reachable
+        assert blocked not in rerouted.circuit_sets
+
+    def test_all_transit_down_is_unreachable(self, topo, router):
+        a, b = servers_in_different(topo, Level.SITE)
+        site = a.cluster.truncate(Level.SITE)
+        csrs = {
+            d.name
+            for d in topo.devices_at(site)
+            if d.role is DeviceRole.SITE_AGGREGATION
+        }
+        route = router.route_servers(a, b, DenyList(devices=csrs))
+        assert not route.reachable
+        assert route.failure_reason
+
+    def test_source_switch_down_is_unreachable(self, topo, router):
+        a, b = servers_in_different(topo, Level.SITE)
+        route = router.route_servers(a, b, DenyList(devices={a.attached_switch}))
+        assert not route.reachable
+
+    def test_internet_fails_when_all_gateways_down(self, topo, router):
+        server = next(iter(topo.servers.values()))
+        gws = {d.name for d in topo.internet_gateways()}
+        route = router.route_to_internet(server, DenyList(devices=gws))
+        assert not route.reachable
+
+    def test_wan_survives_one_backbone_loss(self, topo, router):
+        a, b = servers_in_different(topo, Level.ROOT)
+        route = router.route_servers(a, b)
+        backbone = next(
+            d
+            for d in route.devices
+            if topo.device(d).role is DeviceRole.REGION_BACKBONE
+        )
+        rerouted = router.route_servers(a, b, DenyList(devices={backbone}))
+        assert rerouted.reachable
+        assert backbone not in rerouted.devices
+
+
+class TestRoutePathInvariants:
+    def test_consistency_check_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            RoutePath("a", "b", ("d1", "d2"), ("cs1", "cs2"), True)
+
+    def test_unreachable_route_has_no_elements(self, topo, router):
+        a, b = servers_in_different(topo, Level.SITE)
+        route = router.route_servers(a, b, DenyList(devices={a.attached_switch}))
+        assert route.devices == () and route.circuit_sets == ()
+
+    def test_deterministic_routing(self, topo, router):
+        a, b = servers_in_different(topo, Level.CITY)
+        r1 = router.route_servers(a, b)
+        r2 = router.route_servers(a, b)
+        assert r1.devices == r2.devices
+        assert r1.circuit_sets == r2.circuit_sets
+
+    def test_traversal_queries(self, topo, router):
+        a, b = servers_in_different(topo, Level.SITE)
+        route = router.route_servers(a, b)
+        assert route.traverses_device(route.devices[0])
+        assert route.traverses_circuit_set(route.circuit_sets[0])
+        assert not route.traverses_device("ghost")

@@ -1,0 +1,145 @@
+"""Tests for customers, flows and traffic placement."""
+
+import pytest
+
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.network import INTERNET
+from repro.topology.routing import HealthView
+from repro.topology.traffic import (
+    IMPORTANCE_CRITICAL,
+    IMPORTANCE_STANDARD,
+    Customer,
+    Flow,
+    TrafficModel,
+    generate_traffic,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec.tiny())
+
+
+def make_model(topo, flows=None):
+    servers = sorted(topo.servers)
+    customers = [
+        Customer("c1", IMPORTANCE_CRITICAL),
+        Customer("c2", IMPORTANCE_STANDARD),
+    ]
+    flows = flows or [
+        Flow("f1", "c1", servers[0], servers[-1], rate_gbps=1.0, sla_limit_gbps=0.8),
+        Flow("f2", "c2", servers[1], INTERNET, rate_gbps=2.0),
+    ]
+    return TrafficModel(topo, customers, flows)
+
+
+class TestValidation:
+    def test_duplicate_customers_rejected(self, topo):
+        with pytest.raises(ValueError):
+            TrafficModel(topo, [Customer("c"), Customer("c")], [])
+
+    def test_flow_unknown_customer(self, topo):
+        servers = sorted(topo.servers)
+        with pytest.raises(KeyError):
+            TrafficModel(
+                topo,
+                [Customer("c1")],
+                [Flow("f", "ghost", servers[0], servers[1], 1.0)],
+            )
+
+    def test_flow_unknown_server(self, topo):
+        with pytest.raises(KeyError):
+            TrafficModel(
+                topo,
+                [Customer("c1")],
+                [Flow("f", "c1", "nope", INTERNET, 1.0)],
+            )
+
+    def test_importance_tiers(self):
+        assert Customer("x", IMPORTANCE_CRITICAL).is_important
+        assert not Customer("x", IMPORTANCE_STANDARD).is_important
+
+    def test_sla_flag(self):
+        assert Flow("f", "c", "s", "d", 1.0, sla_limit_gbps=0.5).has_sla
+        assert not Flow("f", "c", "s", "d", 1.0).has_sla
+
+
+class TestPlacement:
+    def test_all_flows_routable_when_healthy(self, topo):
+        model = make_model(topo)
+        placement = model.place_flows()
+        assert placement.unroutable == []
+        assert len(placement.routes) == 2
+
+    def test_flows_indexed_by_circuit_set(self, topo):
+        model = make_model(topo)
+        placement = model.place_flows()
+        route = placement.routes["f1"]
+        for set_id in route.circuit_sets:
+            assert "f1" in placement.flows_on(set_id)
+
+    def test_unroutable_reported(self, topo):
+        model = make_model(topo)
+
+        class AllDown(HealthView):
+            def device_up(self, name):
+                return False
+
+        placement = model.place_flows(AllDown())
+        assert set(placement.unroutable) == {"f1", "f2"}
+
+    def test_offered_load_sums_rates(self, topo):
+        model = make_model(topo)
+        placement = model.place_flows()
+        set_id = placement.routes["f1"].circuit_sets[0]
+        load = model.offered_load_gbps(set_id, placement)
+        assert load >= 1.0
+
+    def test_customers_on_circuit_set(self, topo):
+        model = make_model(topo)
+        placement = model.place_flows()
+        set_id = placement.routes["f1"].circuit_sets[0]
+        ids = {c.customer_id for c in model.customers_on_circuit_set(set_id, placement)}
+        assert "c1" in ids
+
+    def test_importance_factor_is_mean(self, topo):
+        model = make_model(topo)
+        placement = model.place_flows()
+        set_id = placement.routes["f1"].circuit_sets[0]
+        g = model.importance_factor(set_id, placement)
+        assert g >= IMPORTANCE_STANDARD
+
+    def test_important_customers_in_scope(self, topo):
+        model = make_model(topo)
+        placement = model.place_flows()
+        from repro.topology.hierarchy import LocationPath
+
+        important = model.important_customers_in(LocationPath.root(), placement)
+        assert important == {"c1"}
+
+
+class TestGenerator:
+    def test_generates_requested_population(self, topo):
+        model = generate_traffic(topo, n_customers=12, flows_per_customer=2)
+        assert len(model.customers) == 12
+        assert len(model.flows) == 24
+
+    def test_deterministic_for_seed(self, topo):
+        a = generate_traffic(topo, n_customers=8, seed=3)
+        b = generate_traffic(topo, n_customers=8, seed=3)
+        assert sorted(a.flows) == sorted(b.flows)
+        assert [c.importance for c in a.customers.values()] == [
+            c.importance for c in b.customers.values()
+        ]
+
+    def test_rejects_empty_population(self, topo):
+        with pytest.raises(ValueError):
+            generate_traffic(topo, n_customers=0)
+
+    def test_internet_fraction_produces_internet_flows(self, topo):
+        model = generate_traffic(topo, n_customers=20, internet_fraction=1.0)
+        assert all(f.dst == INTERNET for f in model.flows.values())
+
+    def test_all_flows_have_positive_rate(self, topo):
+        model = generate_traffic(topo, n_customers=10)
+        assert all(f.rate_gbps > 0 for f in model.flows.values())

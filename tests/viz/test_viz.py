@@ -1,0 +1,103 @@
+"""Tests for the visualization helpers."""
+
+import pytest
+
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.core.alert_tree import AlertTree
+from repro.core.incident import Incident
+from repro.core.zoom_in import ReachabilityMatrix
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import Level, LocationPath
+from repro.viz.render import (
+    render_alert_tree,
+    render_incident_tree,
+    render_matrix_heatmap,
+)
+from repro.viz.voting import VotingGraph
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologySpec.tiny())
+
+
+def alert(location, name="link_down", device=None, count=1):
+    return StructuredAlert(
+        type_key=AlertTypeKey("snmp", name),
+        level=AlertLevel.ROOT_CAUSE,
+        location=location,
+        first_seen=0.0,
+        last_seen=10.0,
+        count=count,
+        device=device,
+    )
+
+
+class TestVoting:
+    def incident(self, topo):
+        devices = sorted(topo.devices)[:3]
+        root = LocationPath(())
+        incident = Incident(root=root, created_at=0.0, seed_nodes={})
+        incident.add(alert(topo.device(devices[0]).location, device=devices[0],
+                           count=5))
+        incident.add(alert(topo.device(devices[1]).location, name="port_down",
+                           device=devices[1], count=1))
+        return incident, devices
+
+    def test_votes_follow_alert_counts(self, topo):
+        incident, devices = self.incident(topo)
+        graph = VotingGraph.from_incident(incident, topo)
+        assert graph.device_votes[devices[0]] == 5
+        assert graph.top_device() == devices[0]
+
+    def test_links_of_voters_receive_votes(self, topo):
+        incident, devices = self.incident(topo)
+        graph = VotingGraph.from_incident(incident, topo)
+        for cs in topo.circuit_sets_of(devices[0]):
+            assert graph.edge_votes[cs.set_id] >= 5
+
+    def test_render_table(self, topo):
+        incident, devices = self.incident(topo)
+        text = VotingGraph.from_incident(incident, topo).render_table()
+        assert devices[0] in text
+
+    def test_dot_export_well_formed(self, topo):
+        incident, _ = self.incident(topo)
+        dot = VotingGraph.from_incident(incident, topo).to_dot(topo)
+        assert dot.startswith("graph incident {")
+        assert dot.rstrip().endswith("}")
+
+    def test_empty_incident_graph(self, topo):
+        incident = Incident(root=LocationPath(()), created_at=0.0, seed_nodes={})
+        graph = VotingGraph.from_incident(incident, topo)
+        assert graph.top_device() is None
+
+
+class TestRendering:
+    def test_alert_tree_rendering(self, topo):
+        tree = AlertTree()
+        cluster = next(l for l in topo.locations() if l.level is Level.CLUSTER)
+        tree.insert(alert(cluster))
+        text = render_alert_tree(tree)
+        assert cluster.name in text
+        assert "root_cause: 1" in text
+
+    def test_empty_tree_rendering(self):
+        assert render_alert_tree(AlertTree()) == "<empty tree>"
+
+    def test_incident_tree_rendering(self, topo):
+        cluster = next(l for l in topo.locations() if l.level is Level.CLUSTER)
+        incident = Incident(root=cluster.parent, created_at=0.0, seed_nodes={})
+        incident.add(alert(cluster))
+        text = render_incident_tree(incident)
+        assert incident.incident_id in text
+        assert "snmp/link_down" in text
+
+    def test_matrix_heatmap_markers(self, topo):
+        clusters = [l for l in topo.locations() if l.level is Level.CLUSTER][:3]
+        matrix = ReachabilityMatrix(
+            clusters,
+            {(clusters[0], clusters[1]): 0.5, (clusters[0], clusters[2]): 0.01},
+        )
+        text = render_matrix_heatmap(matrix)
+        assert "#" in text and "+" in text and "." in text
