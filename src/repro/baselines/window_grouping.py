@@ -13,6 +13,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.alert import StructuredAlert
+from ..core.config import PRODUCTION_CONFIG
 from ..topology.hierarchy import Level, LocationPath
 
 
@@ -40,8 +41,11 @@ class AlertGroup:
 class WindowGroupingDetector:
     """Fixed-window, fixed-level grouping of structured alerts."""
 
-    def __init__(self, group_level: Level = Level.SITE, window_s: float = 300.0,
-                 min_alerts: int = 1):
+    # default bucket width = SkyNet's 5-min node timeout so the baseline
+    # and the main tree see the same horizon (single-sourced from config)
+    def __init__(self, group_level: Level = Level.SITE,
+                 window_s: float = PRODUCTION_CONFIG.node_timeout_s,
+                 min_alerts: int = 1) -> None:
         if window_s <= 0:
             raise ValueError("window must be positive")
         self.group_level = group_level

@@ -14,7 +14,7 @@ a clause with any member set to ``0`` is disabled.  Production runs
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Any
 
 
 @dataclasses.dataclass(frozen=True)
@@ -118,7 +118,7 @@ class SkyNetConfig:
     #: window for persistence counting and cross-source correlation
     correlation_window_s: float = 120.0
 
-    def replace(self, **kwargs) -> "SkyNetConfig":
+    def replace(self, **kwargs: Any) -> "SkyNetConfig":
         return dataclasses.replace(self, **kwargs)
 
 

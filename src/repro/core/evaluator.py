@@ -25,11 +25,11 @@ evaluator degrades to the alert-derived terms only (R and ΔT).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..simulation.state import NetworkState
 from ..topology.network import Topology
-from ..topology.traffic import TrafficModel
+from ..topology.traffic import FlowPlacement, TrafficModel
 from .alert import AlertLevel
 from .config import SeverityParams, SkyNetConfig
 from .incident import Incident, SeverityBreakdown
@@ -47,7 +47,7 @@ class Evaluator:
         config: Optional[SkyNetConfig] = None,
         state: Optional[NetworkState] = None,
         traffic: Optional[TrafficModel] = None,
-    ):
+    ) -> None:
         self._topo = topology
         self._config = config or SkyNetConfig()
         self._state = state
@@ -141,7 +141,7 @@ class Evaluator:
             return 1.0, 0.0, 0
         impact_sum = 0.0
         max_excess = 0.0
-        affected_important: set = set()
+        affected_important: Set[str] = set()
         for set_id in self._related_circuit_sets(incident):
             d = self._state.circuit_set_break_ratio(set_id)
             customers = self._traffic.customers_on_circuit_set(set_id, placement)
@@ -164,7 +164,7 @@ class Evaluator:
         assert self._state is not None
         return self._state.circuit_set_loss_rate(set_id) > 0.01
 
-    def _sla_terms(self, set_id: str, placement) -> Tuple[float, float]:
+    def _sla_terms(self, set_id: str, placement: FlowPlacement) -> Tuple[float, float]:
         """``(l_i, avg relative SLA shortfall)`` for one circuit set."""
         assert self._state is not None and self._traffic is not None
         sla_flows = self._traffic.sla_flows_on(set_id, placement)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..topology.hierarchy import LocationPath
 from .alert import AlertLevel, AlertTypeKey, StructuredAlert
@@ -51,7 +51,7 @@ class Incident:
     """One alert cluster: a replicated location subtree plus its records."""
 
     def __init__(self, root: LocationPath, created_at: float,
-                 seed_nodes: Dict[LocationPath, List[TreeRecord]]):
+                 seed_nodes: Dict[LocationPath, List[TreeRecord]]) -> None:
         self.incident_id = f"incident-{next(_incident_counter):05d}"
         self.root = root
         self.created_at = created_at
@@ -131,7 +131,7 @@ class Incident:
     def end_time(self) -> float:
         return self.update_time
 
-    def records(self):
+    def records(self) -> Iterator[TreeRecord]:
         for node in self._nodes.values():
             yield from node.values()
 

@@ -44,7 +44,7 @@ class ContextPackage:
 class IncidentContextExporter:
     """Builds LLM-ready context from an incident, most valuable data first."""
 
-    def __init__(self, topology: Topology, max_tokens: int = 2000):
+    def __init__(self, topology: Topology, max_tokens: int = 2000) -> None:
         if max_tokens < 50:
             raise ValueError("budget too small to carry even the header")
         self._topo = topology

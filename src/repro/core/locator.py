@@ -44,7 +44,7 @@ class SweepResult:
 class Locator:
     """Streaming incident discovery (main tree + incident trees)."""
 
-    def __init__(self, topology: Topology, config: Optional[SkyNetConfig] = None):
+    def __init__(self, topology: Topology, config: Optional[SkyNetConfig] = None) -> None:
         self._topo = topology
         self._config = config or SkyNetConfig()
         self.main_tree = AlertTree()
@@ -85,8 +85,8 @@ class Locator:
         return SweepResult(opened=opened, closed=closed, expired_records=expired)
 
     def _close_idle(self, now: float) -> List[Incident]:
-        closed = []
-        still_open = []
+        closed: List[Incident] = []
+        still_open: List[Incident] = []
         for incident in self._open:
             if now > incident.update_time + self._config.incident_timeout_s:
                 incident.close(now)

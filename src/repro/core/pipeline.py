@@ -66,7 +66,7 @@ class SkyNet:
         state: Optional[NetworkState] = None,
         traffic: Optional[TrafficModel] = None,
         classifier: Optional[TemplateClassifier] = None,
-    ):
+    ) -> None:
         self._topo = topology
         self._config = config or PRODUCTION_CONFIG
         self.preprocessor = Preprocessor(topology, self._config, classifier)

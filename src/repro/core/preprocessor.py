@@ -72,7 +72,7 @@ class Preprocessor:
         topology: Topology,
         config: Optional[SkyNetConfig] = None,
         classifier: Optional[TemplateClassifier] = None,
-    ):
+    ) -> None:
         self._topo = topology
         self._config = config or SkyNetConfig()
         self._classifier = classifier or TemplateClassifier().fit(bootstrap_corpus())
@@ -130,7 +130,7 @@ class Preprocessor:
             # path alerts that deliberately blame neither endpoint)
             return [raw.location_hint]
         if raw.endpoints is not None:
-            locations = []
+            locations: List[LocationPath] = []
             for end in raw.endpoints:
                 if end == INTERNET:
                     continue

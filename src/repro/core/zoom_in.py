@@ -17,11 +17,12 @@ of the incident".
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..monitors.base import RawAlert
 from ..topology.hierarchy import Level, LocationPath, lowest_common_ancestor
 from ..topology.network import Topology
+from .config import PRODUCTION_CONFIG
 from .incident import Incident
 
 #: A matrix cell above this loss is a "dark" cell.
@@ -87,7 +88,10 @@ class PingWindow:
     Internet monitors emit, remembering the latest loss per cluster pair.
     """
 
-    def __init__(self, topology: Topology, window_s: float = 300.0):
+    # probe recency horizon = the §4.2 node timeout: the matrix considers
+    # the same window the main tree keeps alert nodes alive for
+    def __init__(self, topology: Topology,
+                 window_s: float = PRODUCTION_CONFIG.node_timeout_s) -> None:
         self._topo = topology
         self.window_s = window_s
         self._latest: Dict[Tuple[LocationPath, LocationPath], Tuple[float, float]] = {}
@@ -96,7 +100,7 @@ class PingWindow:
         """Feed one raw alert; non-probe alerts are ignored."""
         if raw.tool not in ("ping", "traceroute") or raw.endpoints is None:
             return
-        clusters = []
+        clusters: List[LocationPath] = []
         for end in raw.endpoints:
             server = self._topo.servers.get(end)
             if server is not None:
@@ -113,7 +117,7 @@ class PingWindow:
     ) -> ReachabilityMatrix:
         """Build the matrix at ``level`` granularity from fresh samples."""
         cells: Dict[Tuple[LocationPath, LocationPath], List[float]] = {}
-        locations = set()
+        locations: Set[LocationPath] = set()
         for (a, b), (ts, loss) in self._latest.items():
             if now - ts > self.window_s:
                 continue
@@ -132,7 +136,7 @@ class PingWindow:
 class LocationZoomIn:
     """Applies the three §4.3 zoom-in triggers to an incident."""
 
-    def __init__(self, topology: Topology, ping_window: Optional[PingWindow] = None):
+    def __init__(self, topology: Topology, ping_window: Optional[PingWindow] = None) -> None:
         self._topo = topology
         self.ping_window = ping_window or PingWindow(topology)
 

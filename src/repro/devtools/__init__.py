@@ -1,0 +1,9 @@
+"""Developer tooling for the SkyNet reproduction.
+
+``repro.devtools.lint`` is the domain-aware static-analysis pass (the
+REP-rule battery); future correctness tooling (profilers, invariant
+fuzzers) lives here too.  Nothing under this package is imported by the
+pipeline at runtime.
+"""
+
+from __future__ import annotations

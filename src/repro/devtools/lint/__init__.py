@@ -1,0 +1,36 @@
+"""skynet-lint: domain-aware static analysis for the SkyNet repro.
+
+Public API::
+
+    from repro.devtools.lint import LintEngine
+    report = LintEngine().run(["src"])
+    assert report.ok, report.render_text()
+
+Run from the shell as ``python -m repro.devtools.lint [paths]``.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Finding,
+    LintEngine,
+    LintReport,
+    LintRule,
+    Project,
+    SourceFile,
+    UsageError,
+    register,
+    registered_rules,
+)
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "LintRule",
+    "Project",
+    "SourceFile",
+    "UsageError",
+    "register",
+    "registered_rules",
+]

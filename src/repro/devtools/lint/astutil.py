@@ -1,0 +1,89 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def is_str_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def is_number_constant(node: ast.AST) -> bool:
+    """True for int/float literals; bools are excluded on purpose."""
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+def compare_pairs(node: ast.Compare) -> Iterator[Tuple[ast.cmpop, ast.AST, ast.AST]]:
+    """Yield ``(op, left, right)`` for each link of a chained comparison."""
+    left = node.left
+    for op, right in zip(node.ops, node.comparators):
+        yield op, left, right
+        left = right
+
+
+def class_defs(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def functions_of(node: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Direct function children of a module or class body."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child  # type: ignore[misc]
+
+
+def all_arguments(args: ast.arguments) -> List[ast.arg]:
+    """Every argument node of a signature, in declaration order."""
+    out: List[ast.arg] = []
+    out.extend(getattr(args, "posonlyargs", []))
+    out.extend(args.args)
+    if args.vararg is not None:
+        out.append(args.vararg)
+    out.extend(args.kwonlyargs)
+    if args.kwarg is not None:
+        out.append(args.kwarg)
+    return out
+
+
+def base_names(cls: ast.ClassDef) -> List[str]:
+    """Rightmost identifier of each base class expression."""
+    names: List[str] = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def assigned_names(node: ast.stmt) -> List[str]:
+    """Names bound by an Assign/AnnAssign statement."""
+    targets: List[ast.expr]
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AnnAssign):
+        targets = [node.target]
+    else:
+        return []
+    return [t.id for t in targets if isinstance(t, ast.Name)]

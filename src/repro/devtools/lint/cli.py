@@ -1,0 +1,84 @@
+"""Command line for skynet-lint: ``python -m repro.devtools.lint``.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import LintEngine, UsageError, registered_rules
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [token.strip().upper() for token in raw.split(",") if token.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.lint",
+        description="skynet-lint: domain-aware static analysis for the "
+        "SkyNet reproduction (paper-constant, taxonomy, determinism and "
+        "registry invariants).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _render_catalogue() -> str:
+    lines = ["ID      Title                                                    Paper"]
+    for cls in registered_rules():
+        lines.append(f"{cls.rule_id:<7} {cls.title:<56} {cls.paper_ref}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_render_catalogue())
+        return 0
+    try:
+        engine = LintEngine(
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore) or (),
+        )
+        report = engine.run(args.paths)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1

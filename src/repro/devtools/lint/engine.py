@@ -1,0 +1,405 @@
+"""skynet-lint: the AST lint engine.
+
+SkyNet's correctness rests on a handful of paper-mandated invariants --
+the ``2/1+2/5`` incident thresholds, the 5-minute node / 15-minute
+incident timeouts (§4.2), the three-level alert taxonomy and the
+Region→Device location hierarchy (§4.1-§4.2).  In code these are easy to
+shadow with a stray literal, and a typo silently corrupts incident
+grouping instead of failing loudly.  This engine runs *domain-aware*
+rules over the repository's ASTs so such defects are caught before
+runtime, in the spirit of systematic alert-definition checking
+(anti-pattern catalogues for industrial alert rules).
+
+Architecture
+------------
+
+* :class:`SourceFile` -- one parsed module: text, AST, dotted module
+  name, and per-line waivers (``# lint: allow REP003`` comments).
+* :class:`Project` -- every source file of one lint run; project-scoped
+  rules (e.g. REP006's registry cross-check) see all of them at once.
+* :class:`LintRule` -- base class; subclasses declare ``rule_id``,
+  ``title``, ``paper_ref`` and per-rule ``default_options``, and are
+  registered via the :func:`register` decorator.
+* :class:`LintEngine` -- discovers files, instantiates rules (with
+  optional per-rule option overrides), runs them and returns a
+  :class:`LintReport`.
+
+Waivers: a finding is suppressed when its line carries a comment
+``# lint: allow <RULE>[,<RULE>...]`` or ``# lint: allow all``; a file is
+skipped entirely when any line carries ``# lint: skip-file``.  Waivers
+are deliberate, reviewable exceptions -- use them for constants that
+*look* like paper constants but have distinct semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+import fnmatch
+import json
+import pathlib
+import re
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+#: Rule id reserved for engine-level problems (unparsable files).
+PARSE_ERROR_RULE = "REP000"
+
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+_WAIVER_RE = re.compile(r"#\s*lint:\s*allow\s+([A-Za-z0-9_, ]+)")
+_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file\b")
+
+
+class UsageError(Exception):
+    """Bad invocation: unknown rule ids, missing paths, bad options."""
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, sortable into report order."""
+
+    path: str  # file path as given/discovered, posix-style
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class SourceFile:
+    """One parsed Python source file plus its lint metadata."""
+
+    def __init__(self, path: pathlib.Path, text: Optional[str] = None):
+        self.path = path
+        if text is None:
+            text = path.read_text(encoding="utf-8")
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.rel = path.as_posix()
+        self.module = _module_name(path)
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = exc
+        self.skip_all = any(_SKIP_FILE_RE.search(line) for line in self.lines)
+        self._waivers: Dict[int, FrozenSet[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _WAIVER_RE.search(line)
+            if match:
+                ids = frozenset(
+                    token.strip().upper()
+                    for token in match.group(1).replace(",", " ").split()
+                    if token.strip()
+                )
+                self._waivers[lineno] = ids
+
+    def waived(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is waived on ``line`` (or file-wide)."""
+        if self.skip_all:
+            return True
+        ids = self._waivers.get(line, frozenset())
+        return rule_id.upper() in ids or "ALL" in ids
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node`` in this file."""
+        return Finding(
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+        )
+
+    def __repr__(self) -> str:
+        return f"SourceFile({self.rel!r}, module={self.module!r})"
+
+
+def _module_name(path: pathlib.Path) -> Optional[str]:
+    """Dotted module name, derived by climbing ``__init__.py`` parents.
+
+    Returns ``None`` for standalone scripts/fixtures outside any package;
+    rules treat such files as always in scope so fixture snippets exercise
+    every rule regardless of where they live.
+    """
+    path = path.resolve()
+    if path.name == "__init__.py":
+        parts: List[str] = []
+        current = path.parent
+    else:
+        parts = [path.stem]
+        current = path.parent
+    package_seen = False
+    while (current / "__init__.py").exists():
+        package_seen = True
+        parts.append(current.name)
+        current = current.parent
+    if not package_seen and path.name != "__init__.py":
+        return None
+    return ".".join(reversed(parts)) if parts else None
+
+
+class Project:
+    """All source files of one lint run, for project-scoped rules."""
+
+    def __init__(self, files: Sequence[SourceFile]):
+        self.files: List[SourceFile] = list(files)
+        self._by_module: Dict[str, SourceFile] = {
+            f.module: f for f in self.files if f.module is not None
+        }
+
+    def module(self, dotted: str) -> Optional[SourceFile]:
+        return self._by_module.get(dotted)
+
+    def modules_matching(self, pattern: str) -> List[SourceFile]:
+        """Files whose dotted module name matches the fnmatch ``pattern``."""
+        return [
+            f
+            for f in self.files
+            if f.module is not None and fnmatch.fnmatchcase(f.module, pattern)
+        ]
+
+    def module_by_suffix(self, suffix: str) -> Optional[SourceFile]:
+        """The unique file whose module name equals or ends with ``suffix``."""
+        hits = [
+            f
+            for f in self.files
+            if f.module is not None
+            and (f.module == suffix or f.module.endswith("." + suffix))
+        ]
+        return hits[0] if len(hits) == 1 else None
+
+
+class LintRule(abc.ABC):
+    """Base class for all lint rules.
+
+    Subclasses set the class attributes below and implement either
+    :meth:`check_file` (``scope = "file"``) or :meth:`check_project`
+    (``scope = "project"``).  ``default_options`` documents every knob a
+    rule accepts; unknown overrides raise :class:`UsageError` so config
+    typos fail loudly.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    #: Paper section that motivates the rule, e.g. "§4.2".
+    paper_ref: str = ""
+    scope: str = "file"  # "file" | "project"
+    #: fnmatch patterns over dotted module names; empty = all modules.
+    include_modules: Tuple[str, ...] = ()
+    exclude_modules: Tuple[str, ...] = ()
+    default_options: Mapping[str, Any] = {}
+
+    def __init__(self, **options: Any):
+        unknown = sorted(set(options) - set(self.default_options))
+        if unknown:
+            raise UsageError(
+                f"{self.rule_id}: unknown option(s) {unknown}; "
+                f"accepts {sorted(self.default_options)}"
+            )
+        self.options: Dict[str, Any] = {**self.default_options, **options}
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Module-pattern scoping; standalone files are always in scope."""
+        if source.module is None:
+            return True
+        module = source.module
+        if self.include_modules and not any(
+            fnmatch.fnmatchcase(module, pat) for pat in self.include_modules
+        ):
+            return False
+        return not any(
+            fnmatch.fnmatchcase(module, pat) for pat in self.exclude_modules
+        )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _RULE_ID_RE.match(cls.rule_id):
+        raise ValueError(f"bad rule id {cls.rule_id!r}, want 'REPnnn'")
+    if cls.rule_id == PARSE_ERROR_RULE:
+        raise ValueError(f"{PARSE_ERROR_RULE} is reserved for parse errors")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    if cls.scope not in ("file", "project"):
+        raise ValueError(f"{cls.rule_id}: bad scope {cls.scope!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def registered_rules() -> List[Type[LintRule]]:
+    """Every registered rule class, sorted by id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def _load_builtin_rules() -> None:
+    # Importing the package registers every built-in rule module.
+    from . import rules  # noqa: F401
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    findings: List[Finding]
+    files_checked: int
+    rules_run: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, List[Finding]]:
+        grouped: Dict[str, List[Finding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.rule_id, []).append(finding)
+        return grouped
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} in {self.files_checked} file(s) "
+            f"({len(self.rules_run)} rules)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "files_checked": self.files_checked,
+                "rules_run": self.rules_run,
+                "findings": [f.as_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+class LintEngine:
+    """Discovers files, runs rules, filters waivers, reports findings."""
+
+    def __init__(
+        self,
+        select: Optional[Sequence[str]] = None,
+        ignore: Sequence[str] = (),
+        rule_options: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        rules: Optional[Sequence[LintRule]] = None,
+    ):
+        rule_options = rule_options or {}
+        if rules is not None:
+            self.rules: List[LintRule] = list(rules)
+        else:
+            available = {cls.rule_id: cls for cls in registered_rules()}
+            wanted = list(available) if select is None else list(select)
+            unknown = [rid for rid in list(wanted) + list(ignore) if rid not in available]
+            if unknown:
+                raise UsageError(
+                    f"unknown rule id(s) {sorted(set(unknown))}; "
+                    f"available: {sorted(available)}"
+                )
+            bad_opts = sorted(set(rule_options) - set(available))
+            if bad_opts:
+                raise UsageError(f"options given for unknown rule(s) {bad_opts}")
+            self.rules = [
+                available[rid](**dict(rule_options.get(rid, {})))
+                for rid in sorted(set(wanted) - set(ignore))
+            ]
+
+    # -- discovery ---------------------------------------------------------
+
+    @staticmethod
+    def discover(paths: Sequence[Union[str, pathlib.Path]]) -> List[pathlib.Path]:
+        """Expand files/directories into a sorted, deduplicated file list."""
+        out: List[pathlib.Path] = []
+        seen = set()
+        for raw in paths:
+            path = pathlib.Path(raw)
+            if not path.exists():
+                raise UsageError(f"no such file or directory: {path}")
+            candidates: Iterator[pathlib.Path]
+            if path.is_dir():
+                candidates = iter(sorted(path.rglob("*.py")))
+            else:
+                candidates = iter([path])
+            for candidate in candidates:
+                if "__pycache__" in candidate.parts:
+                    continue
+                key = candidate.resolve()
+                if key not in seen:
+                    seen.add(key)
+                    out.append(candidate)
+        return out
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, paths: Sequence[Union[str, pathlib.Path]]) -> LintReport:
+        files = [SourceFile(path) for path in self.discover(paths)]
+        return self.run_sources(files)
+
+    def run_sources(self, files: Sequence[SourceFile]) -> LintReport:
+        findings: List[Finding] = []
+        checkable: List[SourceFile] = []
+        for source in files:
+            if source.parse_error is not None:
+                exc = source.parse_error
+                findings.append(
+                    Finding(
+                        path=source.rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        rule_id=PARSE_ERROR_RULE,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+            elif not source.skip_all:
+                checkable.append(source)
+        by_path: Dict[str, SourceFile] = {f.rel: f for f in checkable}
+        project = Project(checkable)
+        for rule in self.rules:
+            raw: List[Finding] = []
+            if rule.scope == "project":
+                raw.extend(rule.check_project(project))
+            else:
+                for source in checkable:
+                    if rule.applies_to(source):
+                        raw.extend(rule.check_file(source))
+            for finding in raw:
+                owner = by_path.get(finding.path)
+                if owner is not None and owner.waived(finding.rule_id, finding.line):
+                    continue
+                findings.append(finding)
+        return LintReport(
+            findings=sorted(findings),
+            files_checked=len(files),
+            rules_run=[rule.rule_id for rule in self.rules],
+        )

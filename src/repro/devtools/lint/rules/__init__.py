@@ -1,0 +1,21 @@
+"""Built-in skynet-lint rules.
+
+Importing this package registers every rule module with the engine's
+registry; add a new ``repNNN_*.py`` module and import it here to ship a
+new rule.  The rule catalogue (id, check, motivating paper section)
+lives in the README "Development" section -- the integration tests
+assert the two stay in sync.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401
+    rep001_alert_levels,
+    rep002_locations,
+    rep003_shadow_constants,
+    rep004_determinism,
+    rep005_mutable_defaults,
+    rep006_monitor_registry,
+    rep007_float_equality,
+    rep008_type_annotations,
+)

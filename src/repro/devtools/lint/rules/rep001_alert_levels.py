@@ -1,0 +1,74 @@
+"""REP001: alert-level literals must come from the ``AlertLevel`` taxonomy.
+
+§4.2 defines exactly three importance levels (failure / abnormal / root
+cause, plus the repro's ``info`` for filtered chatter), modelled by
+``repro.core.alert.AlertLevel``.  Comparing against the raw strings
+(``record.level == "failure"``) bypasses the enum: a typo like
+``"falure"`` is forever-false and silently drops alerts from incident
+counting instead of raising.  The rule flags equality/membership
+comparisons against level strings and ``AlertLevel("failure")``-style
+value lookups; display tables mapping ``AlertLevel`` members *to*
+strings (e.g. the viz renderer) are fine and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..astutil import compare_pairs, dotted_name
+from ..engine import Finding, LintRule, SourceFile, register
+
+#: The enum's value strings (kept literal here: this rule must not import
+#: the enum at match time -- fixtures run without ``repro`` importable).
+LEVEL_VALUES = frozenset({"failure", "abnormal", "root_cause", "info"})
+
+
+def _level_literals(node: ast.AST) -> List[str]:
+    """Level strings appearing in a constant or a literal container."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str) and node.value in LEVEL_VALUES:
+            return [node.value]
+        return []
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out: List[str] = []
+        for element in node.elts:
+            out.extend(_level_literals(element))
+        return out
+    return []
+
+
+@register
+class AlertLevelLiteralRule(LintRule):
+    rule_id = "REP001"
+    title = "alert-level literals must use the AlertLevel taxonomy"
+    paper_ref = "§4.2"
+    #: The enum definition itself legitimately spells the value strings.
+    exclude_modules = ("repro.core.alert", "repro.devtools.*")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Compare):
+                for op, left, right in compare_pairs(node):
+                    if not isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)):
+                        continue
+                    for side in (left, right):
+                        for value in _level_literals(side):
+                            yield source.finding(
+                                self.rule_id,
+                                node,
+                                f"comparison against raw level string {value!r}; "
+                                f"use AlertLevel.{value.upper()} "
+                                f"(is/is not for enum members)",
+                            )
+            elif isinstance(node, ast.Call):
+                if dotted_name(node.func) in ("AlertLevel", "alert.AlertLevel"):
+                    for arg in node.args:
+                        for value in _level_literals(arg):
+                            yield source.finding(
+                                self.rule_id,
+                                node,
+                                f"AlertLevel({value!r}) lookup by raw string; "
+                                f"use AlertLevel.{value.upper()}",
+                            )

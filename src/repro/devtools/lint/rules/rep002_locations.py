@@ -1,0 +1,81 @@
+"""REP002: literal location strings must parse against the hierarchy.
+
+Every alert is indexed by a ``LocationPath`` over the strict
+Root→Region→City→Logic site→Site→Cluster→Device hierarchy of Figure 5b.
+A literal path that is too deep, has an empty segment, or smuggles the
+``|`` separator inside a segment raises ``ValueError`` only when the
+code path actually runs -- in a rarely-taken branch that can be long
+after deploy.  This rule evaluates literal arguments of
+``LocationPath.parse(...)`` and ``LocationPath((...))`` constructions at
+lint time, using the real hierarchy implementation so the two can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..astutil import dotted_name
+from ..engine import Finding, LintRule, SourceFile, register
+
+
+def _literal_segments(node: ast.AST) -> Optional[List[str]]:
+    """String elements of a literal tuple/list, or None if not literal."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    segments: List[str] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        segments.append(element.value)
+    return segments
+
+
+def _keyword_bool(call: ast.Call, name: str) -> Optional[bool]:
+    for keyword in call.keywords:
+        if keyword.arg == name and isinstance(keyword.value, ast.Constant):
+            value = keyword.value.value
+            if isinstance(value, bool):
+                return value
+    return None
+
+
+@register
+class LocationLiteralRule(LintRule):
+    rule_id = "REP002"
+    title = "literal location strings must parse against the hierarchy"
+    paper_ref = "§4.1, Fig. 5b"
+    exclude_modules = ("repro.topology.hierarchy", "repro.devtools.*")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        # Deferred import: the *real* hierarchy validates the literals, so
+        # the rule can never disagree with runtime behaviour.
+        from repro.topology.hierarchy import LocationPath
+
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            is_device = _keyword_bool(node, "is_device")
+            problem: Optional[str] = None
+            if callee.endswith("LocationPath.parse") or callee == "parse_location":
+                if node.args and isinstance(node.args[0], ast.Constant) \
+                        and isinstance(node.args[0].value, str):
+                    text = node.args[0].value
+                    try:
+                        LocationPath.parse(text, is_device=bool(is_device))
+                    except ValueError as exc:
+                        problem = f"bad location literal {text!r}: {exc}"
+            elif callee == "LocationPath" or callee.endswith(".LocationPath"):
+                segments = _literal_segments(node.args[0]) if node.args else None
+                if segments is not None:
+                    try:
+                        LocationPath(segments, is_device=bool(is_device))
+                    except ValueError as exc:
+                        problem = f"bad location segments {segments!r}: {exc}"
+            if problem is not None:
+                yield source.finding(self.rule_id, node, problem)

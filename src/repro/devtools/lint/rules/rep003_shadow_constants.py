@@ -1,0 +1,98 @@
+"""REP003: paper constants live in ``core/config.py`` -- nowhere else.
+
+The ``2/1+2/5`` incident thresholds and the 5-minute node / 15-minute
+incident timeouts (§4.2, §6.3) are the paper's load-bearing numbers.
+``repro.core.config`` is their single source of truth; a shadow literal
+``300.0`` elsewhere drifts silently the day someone retunes the config.
+The rule flags:
+
+* numeric literals equal to a paper timeout (300/900 seconds) used as a
+  default argument value or bound to a module/class-level name;
+* string literals spelling an ``A/B+C/D`` threshold (e.g. ``"2/1+2/5"``)
+  anywhere outside the config module.
+
+Scoping: the simulator (``repro.simulation.*``) is excluded -- scenario
+durations and failure windows legitimately use 300/900-second spans that
+are *not* the paper's timeouts.  A literal with deliberately different
+semantics (e.g. the 15-minute patrol polling period of Table 2) should
+carry a ``# lint: allow REP003`` waiver explaining itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, Tuple
+
+from ..astutil import is_number_constant
+from ..engine import Finding, LintRule, SourceFile, register
+
+_THRESHOLD_RE = re.compile(r"^\d+/\d+\+\d+/\d+$")
+
+
+@register
+class ShadowConstantRule(LintRule):
+    rule_id = "REP003"
+    title = "paper constants may only be defined in core/config.py"
+    paper_ref = "§4.2, §6.3, Fig. 9"
+    exclude_modules = (
+        "repro.core.config",
+        "repro.simulation.*",
+        "repro.devtools.*",
+    )
+    default_options = {
+        #: numeric paper constants (the 5-min and 15-min timeouts, seconds)
+        "timeout_constants": (300, 900),
+    }
+
+    def _timeouts(self) -> Tuple[float, ...]:
+        return tuple(float(v) for v in self.options["timeout_constants"])
+
+    def _is_timeout_literal(self, node: ast.AST) -> bool:
+        return is_number_constant(node) and float(node.value) in self._timeouts()  # type: ignore[attr-defined]
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        tree = source.tree
+        yield from self._check_bindings(source, tree, where="module")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_bindings(source, node, where=f"class {node.name}")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                yield from self._check_defaults(source, node)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if _THRESHOLD_RE.match(node.value):
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"shadow threshold spec {node.value!r}; build an "
+                        f"IncidentThresholds from core/config.py instead",
+                    )
+
+    def _check_bindings(
+        self, source: SourceFile, owner: ast.AST, where: str
+    ) -> Iterator[Finding]:
+        for stmt in ast.iter_child_nodes(owner):
+            value = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is not None and self._is_timeout_literal(value):
+                yield source.finding(
+                    self.rule_id,
+                    value,
+                    f"paper timeout literal {value.value!r} bound at {where} "  # type: ignore[attr-defined]
+                    f"level; import it from core/config.py",
+                )
+
+    def _check_defaults(self, source: SourceFile, func: ast.AST) -> Iterator[Finding]:
+        args: ast.arguments = func.args  # type: ignore[attr-defined]
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            if self._is_timeout_literal(default):
+                yield source.finding(
+                    self.rule_id,
+                    default,
+                    f"paper timeout literal {default.value!r} as default "  # type: ignore[attr-defined]
+                    f"argument; import the value from core/config.py",
+                )

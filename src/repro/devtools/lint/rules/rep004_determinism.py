@@ -1,0 +1,135 @@
+"""REP004: no wall clocks or global RNG outside the simulation kernel.
+
+The repro's core invariant is that runs are *deterministic*: SkyNet's
+pipeline never reads the wall clock ("every component takes explicit
+timestamps"), and every stochastic choice flows from a seeded
+``random.Random`` instance.  ``time.time()`` or the module-level
+``random.uniform(...)`` anywhere else silently breaks replayability and
+property-based testing.  Only ``simulation/clock.py`` (the single source
+of simulated "now") and ``simulation/noise.py`` may touch these;
+everything else must take timestamps as arguments and RNGs as seeded
+instances.  Unseeded ``random.Random()`` (OS-entropy seeded) is flagged
+too; ``random.Random(seed)`` is the sanctioned idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..astutil import dotted_name
+from ..engine import Finding, LintRule, SourceFile, register
+
+#: Wall-clock reads, as dotted call names.
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+
+#: Module-level functions of ``random`` driven by the shared global RNG.
+GLOBAL_RNG_FUNCS = frozenset(
+    {
+        "random",
+        "uniform",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "triangular",
+        "vonmisesvariate",
+        "weibullvariate",
+        "getrandbits",
+        "seed",
+    }
+)
+
+
+@register
+class DeterminismRule(LintRule):
+    rule_id = "REP004"
+    title = "wall clocks and global RNG only in the simulation kernel"
+    paper_ref = "§5 (repro determinism)"
+    exclude_modules = ("repro.simulation.clock", "repro.simulation.noise")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                callee = dotted_name(node.func)
+                if callee is None:
+                    continue
+                if callee in CLOCK_CALLS:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"wall-clock read {callee}(); take simulated "
+                        f"timestamps as arguments (simulation/clock.py is "
+                        f"the only source of now)",
+                    )
+                elif callee.startswith("random.") and \
+                        callee[len("random."):] in GLOBAL_RNG_FUNCS:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"global RNG call {callee}(); use a seeded "
+                        f"random.Random instance",
+                    )
+                elif callee in ("random.Random", "Random") and not (
+                    node.args or node.keywords
+                ):
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        "random.Random() without a seed is OS-entropy "
+                        "seeded; pass an explicit seed",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    bad = sorted(
+                        alias.name
+                        for alias in node.names
+                        if alias.name in GLOBAL_RNG_FUNCS
+                    )
+                    if bad:
+                        yield source.finding(
+                            self.rule_id,
+                            node,
+                            f"importing global RNG function(s) {bad} from "
+                            f"random; use a seeded random.Random instance",
+                        )
+                elif node.module == "time":
+                    bad = sorted(
+                        alias.name
+                        for alias in node.names
+                        if f"time.{alias.name}" in CLOCK_CALLS
+                    )
+                    if bad:
+                        yield source.finding(
+                            self.rule_id,
+                            node,
+                            f"importing wall-clock function(s) {bad} from "
+                            f"time; take timestamps as arguments",
+                        )

@@ -1,0 +1,51 @@
+"""REP005: no mutable default argument values.
+
+A ``def observe(self, out=[])`` default is evaluated once at function
+definition and shared across every call -- in this codebase that means
+alerts from one simulation run leaking into the next, which corrupts
+incident grouping in the quietest possible way.  Flags list/dict/set
+displays and ``list()``/``dict()``/``set()``/``bytearray()`` calls used
+as defaults; use ``None`` plus an in-body default, or
+``dataclasses.field(default_factory=...)`` for dataclasses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, LintRule, SourceFile, register
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(LintRule):
+    rule_id = "REP005"
+    title = "no mutable default argument values"
+    paper_ref = "(hygiene; protects run isolation)"
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [d for d in args.kw_defaults if d]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield source.finding(
+                        self.rule_id,
+                        default,
+                        f"mutable default in {name}(); use None and build "
+                        f"inside the body (shared across calls otherwise)",
+                    )

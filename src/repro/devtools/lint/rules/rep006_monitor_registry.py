@@ -1,0 +1,131 @@
+"""REP006: every monitor must be registered and name its Table-2 source.
+
+Table 2 is the paper's inventory of the twelve monitoring tools; the
+repro mirrors it in ``monitors/registry.py`` (``DATA_SOURCES`` plus the
+§9 ``FUTURE_SOURCES``).  A ``Monitor`` subclass that is not wired into
+the registry silently never polls -- ablations and coverage benches then
+quietly run with a hole in them.  For each ``Monitor`` subclass under a
+``monitors`` package this project-scoped rule checks that:
+
+* the class declares a ``name = "<source>"`` class attribute;
+* that source name is a ``DATA_SOURCES``/``FUTURE_SOURCES`` key;
+* the class itself appears as a value in the registry's class maps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..astutil import assigned_names, base_names
+from ..engine import Finding, LintRule, Project, SourceFile, register
+
+#: monitor-package modules that legitimately hold no registered monitor
+_INFRA_MODULES = ("registry", "base", "stream", "__init__")
+
+
+def _registry_inventory(registry: SourceFile) -> Dict[str, Set[str]]:
+    """Source-name keys and registered class names from the registry AST."""
+    source_names: Set[str] = set()
+    class_names: Set[str] = set()
+    assert registry.tree is not None
+    for node in ast.walk(registry.tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            names = assigned_names(node)
+            value = node.value
+            if not isinstance(value, ast.Dict):
+                continue
+            if any(n in ("DATA_SOURCES", "FUTURE_SOURCES") for n in names):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        source_names.add(key.value)
+        if isinstance(node, ast.Dict):
+            # class maps: any dict whose values are bare class names
+            # (MONITOR_CLASSES and the dict built by _future_classes)
+            for val in node.values:
+                if isinstance(val, ast.Name):
+                    class_names.add(val.id)
+    return {"sources": source_names, "classes": class_names}
+
+
+def _declared_name(cls: ast.ClassDef) -> Optional[str]:
+    for stmt in cls.body:
+        for bound in assigned_names(stmt):
+            if bound == "name":
+                value = stmt.value  # type: ignore[union-attr]
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    return value.value
+    return None
+
+
+def _is_abstract(cls: ast.ClassDef) -> bool:
+    if "ABC" in base_names(cls):
+        return True
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in node.decorator_list:
+                deco_name = deco.attr if isinstance(deco, ast.Attribute) else \
+                    deco.id if isinstance(deco, ast.Name) else None
+                if deco_name in ("abstractmethod", "abstractproperty"):
+                    return True
+    return False
+
+
+@register
+class MonitorRegistryRule(LintRule):
+    rule_id = "REP006"
+    title = "monitors must be registered with a Table-2 source name"
+    paper_ref = "Table 2, §5.2"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registry = project.module_by_suffix("monitors.registry")
+        monitor_files: List[SourceFile] = [
+            f
+            for f in project.files
+            if f.module is not None
+            and "monitors" in f.module.split(".")[:-1]
+            and f.module.rsplit(".", 1)[-1] not in _INFRA_MODULES
+        ]
+        if registry is None:
+            if monitor_files:
+                yield Finding(
+                    path=monitor_files[0].rel,
+                    line=1,
+                    col=1,
+                    rule_id=self.rule_id,
+                    message="monitors package has no registry module "
+                    "(monitors/registry.py) to register against",
+                )
+            return
+        inventory = _registry_inventory(registry)
+        for source in monitor_files:
+            assert source.tree is not None
+            for node in source.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if "Monitor" not in base_names(node) or _is_abstract(node):
+                    continue
+                declared = _declared_name(node)
+                if declared is None:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"monitor {node.name} does not declare a "
+                        f"'name = \"<source>\"' Table-2 source attribute",
+                    )
+                elif declared not in inventory["sources"]:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"monitor {node.name} declares source {declared!r} "
+                        f"which is not a DATA_SOURCES/FUTURE_SOURCES key in "
+                        f"{registry.rel}",
+                    )
+                if node.name not in inventory["classes"]:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"monitor {node.name} is not registered in a class "
+                        f"map of {registry.rel}",
+                    )

@@ -1,0 +1,65 @@
+"""REP007: no float ``==`` on alert/incident timestamps.
+
+Alerts and incidents carry float timestamps (``first_seen``,
+``last_seen``, ``delivered_at``, ...).  Rule predicates and grouping
+logic that compare them with ``==``/``!=`` are one floating-point
+round-trip away from never matching -- e.g. a merge window that should
+close exactly at an alert's ``last_seen`` misses it and the incident
+stays open past the §4.2 timeout.  Order comparisons (``<``, ``>=``) are
+exact and fine; equality should be ``math.isclose`` or an identity/None
+check (``is None`` for optional close times).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..astutil import compare_pairs
+from ..engine import Finding, LintRule, SourceFile, register
+
+#: Timestamp attribute names of the alert/incident dataclasses.
+TIMESTAMP_ATTRS = frozenset(
+    {
+        "timestamp",
+        "first_seen",
+        "last_seen",
+        "delivered_at",
+        "created_at",
+        "update_time",
+        "closed_at",
+        "window_start",
+    }
+)
+
+
+def _timestamp_attr(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute) and node.attr in TIMESTAMP_ATTRS:
+        return node.attr
+    return ""
+
+
+@register
+class TimestampEqualityRule(LintRule):
+    rule_id = "REP007"
+    title = "no float == on alert/incident timestamps"
+    paper_ref = "§4.2 (timeout correctness)"
+    exclude_modules = ("repro.devtools.*",)
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            for op, left, right in compare_pairs(node):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                attr = _timestamp_attr(left) or _timestamp_attr(right)
+                if attr:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"float equality on timestamp attribute .{attr}; "
+                        f"use math.isclose, an order comparison, or "
+                        f"'is (not) None' for optional times",
+                    )

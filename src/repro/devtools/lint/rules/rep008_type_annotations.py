@@ -1,0 +1,87 @@
+"""REP008: public functions in ``core/`` must be fully type-annotated.
+
+The locator pipeline in ``repro.core`` is the part every other package
+builds on; its signatures are the contract the mypy gate (pyproject
+``[tool.mypy]``) enforces in CI.  This rule is the fast local mirror of
+that gate: every public module-level function and every method of a
+public class must annotate each parameter (including ``*args`` /
+``**kwargs``; ``self``/``cls`` excepted) and the return type.  Private
+helpers (leading underscore) are exempt; dunders are not -- they are
+API.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterable, Iterator, List
+
+from ..astutil import all_arguments
+from ..engine import Finding, LintRule, SourceFile, register
+
+
+def _missing_bits(func: ast.FunctionDef, is_method: bool) -> List[str]:
+    missing: List[str] = []
+    args = all_arguments(func.args)
+    if is_method and args and args[0].arg in ("self", "cls"):
+        args = args[1:]
+    for arg in args:
+        if arg.annotation is None:
+            missing.append(f"parameter {arg.arg!r}")
+    if func.returns is None:
+        missing.append("return type")
+    return missing
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_") or (name.startswith("__") and name.endswith("__"))
+
+
+@register
+class CoreAnnotationRule(LintRule):
+    rule_id = "REP008"
+    title = "public core/ functions must be fully type-annotated"
+    paper_ref = "(typing gate; mirrors mypy CI)"
+    include_modules = ("repro.core.*",)
+    default_options = {
+        #: additional dotted-module fnmatch patterns to cover
+        "extra_modules": (),
+    }
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.module is None:
+            return True
+        patterns = self.include_modules + tuple(self.options["extra_modules"])
+        return any(
+            fnmatch.fnmatchcase(source.module, pat) for pat in patterns
+        )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        yield from self._check_scope(source, source.tree.body, is_method=False)
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef) and _public(node.name):
+                yield from self._check_scope(source, node.body, is_method=True,
+                                             owner=node.name)
+
+    def _check_scope(
+        self,
+        source: SourceFile,
+        body: List[ast.stmt],
+        is_method: bool,
+        owner: str = "",
+    ) -> Iterator[Finding]:
+        for node in body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _public(node.name):
+                continue
+            missing = _missing_bits(node, is_method)  # type: ignore[arg-type]
+            if missing:
+                qualname = f"{owner}.{node.name}" if owner else node.name
+                yield source.finding(
+                    self.rule_id,
+                    node,
+                    f"public function {qualname}() missing annotations: "
+                    + ", ".join(missing),
+                )

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from ..simulation.clock import PeriodicSchedule
 from ..simulation.state import NetworkState
 from ..topology.hierarchy import LocationPath
+from ..topology.network import Topology
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,7 +67,7 @@ class Monitor(abc.ABC):
     #: Seconds between polling rounds.
     period_s: float = 30.0
 
-    def __init__(self, state: NetworkState, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         self._state = state
         self._rng = random.Random(
             zlib.crc32(self.name.encode("utf-8")) ^ (seed * 2654435761 % 2**32)
@@ -80,7 +81,7 @@ class Monitor(abc.ABC):
         return self._state
 
     @property
-    def topology(self):
+    def topology(self) -> Topology:
         return self._state.topology
 
     def collect(self, now: float) -> List[RawAlert]:

@@ -30,7 +30,7 @@ class IntTelemetryMonitor(Monitor):
     name = "in_band_telemetry"
     period_s = 15.0
 
-    def __init__(self, state: NetworkState, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         super().__init__(state, seed)
         self._pairs = PingMonitor(state, seed).probe_pairs[::SAMPLE_STRIDE]
         self._supported: Set[str] = {

@@ -10,10 +10,10 @@ heavy loss on the egress path -- regardless of which device is at fault.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from ..simulation.state import NetworkState
-from ..topology.hierarchy import Level
+from ..topology.hierarchy import Level, LocationPath
 from .base import Monitor, RawAlert
 
 LOSS_ALERT_THRESHOLD = 0.01
@@ -25,9 +25,9 @@ class InternetTelemetryMonitor(Monitor):
     name = "internet_telemetry"
     period_s = 10.0
 
-    def __init__(self, state: NetworkState, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         super().__init__(state, seed)
-        self._probes = []
+        self._probes: List[Tuple[LocationPath, str]] = []
         for loc in self.topology.locations():
             if loc.level is Level.CLUSTER:
                 servers = self.topology.servers_in(loc)

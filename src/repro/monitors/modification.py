@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Set
 
 from ..simulation.conditions import ConditionKind
+from ..simulation.state import NetworkState
 from .base import Monitor, RawAlert
 
 
@@ -21,7 +22,7 @@ class ModificationMonitor(Monitor):
     name = "modification_events"
     period_s = 10.0
 
-    def __init__(self, state, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         super().__init__(state, seed)
         self._reported: Set[str] = set()
 

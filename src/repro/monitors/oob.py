@@ -10,7 +10,7 @@ a live one.  A faulty probe (``PROBE_ERROR`` condition) spams false
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Set
 
 from ..simulation.conditions import ConditionKind
 from .base import Monitor, RawAlert
@@ -24,7 +24,7 @@ class OutOfBandMonitor(Monitor):
 
     def observe(self, t: float) -> List[RawAlert]:
         alerts: List[RawAlert] = []
-        seen_down = set()
+        seen_down: Set[str] = set()
         for cond in self._state.active_conditions():
             device = cond.target if isinstance(cond.target, str) else None
             if device is None or not self.topology.has_device(device):

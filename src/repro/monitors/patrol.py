@@ -8,7 +8,7 @@ at the cost of detection latency far above the minute-level SLA.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Set, Tuple
 
 from ..simulation.conditions import ConditionKind
 from .base import Monitor, RawAlert
@@ -30,11 +30,11 @@ class PatrolInspectionMonitor(Monitor):
     """Command-output sweep across all devices, every 15 minutes."""
 
     name = "patrol_inspection"
-    period_s = 900.0
+    period_s = 900.0  # lint: allow REP003 (Table 2 polling period, not the §4.2 incident timeout)
 
     def observe(self, t: float) -> List[RawAlert]:
         alerts: List[RawAlert] = []
-        seen = set()
+        seen: Set[Tuple[str, ConditionKind]] = set()
         for cond in self._state.active_conditions():
             if cond.kind not in PATROL_VISIBLE:
                 continue

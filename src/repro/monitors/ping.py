@@ -14,7 +14,7 @@ link breaks that do not yet cause loss.
 from __future__ import annotations
 
 import zlib
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from ..simulation.state import NetworkState
 from ..topology.hierarchy import Level, LocationPath
@@ -37,10 +37,10 @@ class PingMonitor(Monitor):
     name = "ping"
     period_s = 2.0
 
-    def __init__(self, state: NetworkState, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         super().__init__(state, seed)
         self._pairs = self._build_mesh()
-        self._pair_count: dict = {}
+        self._pair_count: Dict[LocationPath, int] = {}
         for src, dst in self._pairs:
             for server in (src, dst):
                 cluster = self.topology.servers[server].cluster
@@ -59,7 +59,7 @@ class PingMonitor(Monitor):
         deliberately diversifies endpoints the same way).
         """
         topo = self.topology
-        clusters_by_ls = {}
+        clusters_by_ls: Dict[LocationPath, List[LocationPath]] = {}
         for loc in topo.locations():
             if loc.level is Level.CLUSTER and topo.servers_in(loc):
                 clusters_by_ls.setdefault(loc.truncate(Level.LOGIC_SITE), []).append(loc)
@@ -95,8 +95,8 @@ class PingMonitor(Monitor):
         suspect; when neither side stands out, both are reported.
         """
         alerts: List[RawAlert] = []
-        lossy: List = []
-        lossy_count: dict = {}
+        lossy: List[Tuple[str, str, float, LocationPath, LocationPath]] = []
+        lossy_count: Dict[LocationPath, int] = {}
         for src, dst in self._pairs:
             route, loss = self._state.pair_loss(src, dst)
             if loss >= LOSS_ALERT_THRESHOLD:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..simulation.conditions import ConditionKind
+from ..simulation.state import NetworkState
 from .base import Monitor, RawAlert
 
 _ROUTE_TYPES = {
@@ -28,7 +29,7 @@ class RouteMonitor(Monitor):
     name = "route_monitoring"
     period_s = 10.0
 
-    def __init__(self, state, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         super().__init__(state, seed)
         self._last_emit: Dict[str, float] = {}
 

@@ -9,7 +9,7 @@ flags abnormal rate swings.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Set
 
 from ..simulation.state import NetworkState
 from ..topology.network import INTERNET
@@ -33,7 +33,7 @@ class SflowMonitor(Monitor):
         state = self._state
         topo = self.topology
         # device-attributed loss from sampled flows
-        seen = set()
+        seen: Set[str] = set()
         for cond in state.active_conditions():
             device = cond.target if isinstance(cond.target, str) else None
             if device is None or device in seen or not topo.has_device(device):

@@ -60,7 +60,7 @@ class SnmpMonitor(Monitor):
     # -- interface state ---------------------------------------------------------
 
     def _interface_alerts(self, t: float) -> List[RawAlert]:
-        alerts = []
+        alerts: List[RawAlert] = []
         topo = self.topology
         for cond in self._state.active_conditions():
             if cond.kind is ConditionKind.CIRCUIT_BREAK:
@@ -98,7 +98,7 @@ class SnmpMonitor(Monitor):
 
     def _rate_alerts(self, t: float) -> List[RawAlert]:
         """Congestion / sharp drop / surge against the all-healthy baseline."""
-        alerts = []
+        alerts: List[RawAlert] = []
         state = self._state
         topo = self.topology
         for set_id, cs in topo.circuit_sets.items():
@@ -127,7 +127,7 @@ class SnmpMonitor(Monitor):
     # -- device counters --------------------------------------------------------------
 
     def _device_counter_alerts(self, t: float) -> List[RawAlert]:
-        alerts = []
+        alerts: List[RawAlert] = []
         for cond in self._state.active_conditions():
             device = str(cond.target)
             if not isinstance(cond.target, str) or not self.topology.has_device(device):

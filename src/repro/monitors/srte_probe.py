@@ -27,7 +27,7 @@ class SrteProbeMonitor(Monitor):
     name = "srte_probe"
     period_s = 60.0
 
-    def __init__(self, state: NetworkState, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         super().__init__(state, seed)
         self._set_ids = sorted(
             cs.set_id

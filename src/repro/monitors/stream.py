@@ -20,7 +20,7 @@ class AlertStream:
     """Polls a set of monitors over a network state and yields raw alerts."""
 
     def __init__(self, state: NetworkState, monitors: Sequence[Monitor],
-                 tick_s: float = 2.0):
+                 tick_s: float = 2.0) -> None:
         if tick_s <= 0:
             raise ValueError("tick must be positive")
         if not monitors:

@@ -57,7 +57,7 @@ class SyslogMonitor(Monitor):
     #: benign chatter lines per device per poll (corpus realism / FT-tree food)
     chatter_rate = 0.01
 
-    def __init__(self, state: NetworkState, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         super().__init__(state, seed)
         self._burst_logged: Set[str] = set()  # condition ids already burst-logged
         self._last_emit: Dict[Tuple[str, str], float] = {}
@@ -85,7 +85,7 @@ class SyslogMonitor(Monitor):
             return []
         self._burst_logged.add(cond.condition_id)
         dead = cond.target
-        alerts = []
+        alerts: List[RawAlert] = []
         for nbr in self.topology.neighbors(str(dead)):
             iface = interface_name(nbr, str(dead))
             alerts.append(self._log(nbr, t,
@@ -108,7 +108,7 @@ class SyslogMonitor(Monitor):
         if cs is None:
             return []
         broken = int(cond.param("broken_circuits", len(cs.circuits)))
-        alerts = []
+        alerts: List[RawAlert] = []
         from ..topology.network import INTERNET
 
         for end in cs.endpoints:
@@ -143,7 +143,7 @@ class SyslogMonitor(Monitor):
             from ..topology.network import INTERNET
 
             ends = [e for e in cs.endpoints if e != INTERNET]
-            alerts = []
+            alerts: List[RawAlert] = []
             for end in ends:
                 iface = interface_name(end, cs.other_end(end))
                 if cond.kind is ConditionKind.LINK_CRC_ERRORS:
@@ -195,7 +195,7 @@ class SyslogMonitor(Monitor):
             "%SYS-5-CONFIG_I: Configured from console by ops{} on vty1",
             "%SSH-6-SESSION: SSH session from 172.16.{}.{} established",
         )
-        alerts = []
+        alerts: List[RawAlert] = []
         for _ in range(count):
             device = self._rng.choice(devices)
             tpl = self._rng.choice(templates)

@@ -29,7 +29,7 @@ class TracerouteMonitor(Monitor):
     #: keep every Nth ping pair to bound probe load
     sample_stride = 3
 
-    def __init__(self, state: NetworkState, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         super().__init__(state, seed)
         mesh = PingMonitor(state, seed).probe_pairs
         self._pairs = mesh[:: self.sample_stride]

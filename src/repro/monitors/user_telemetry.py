@@ -16,10 +16,10 @@ raised by these tools can be simply injected into SkyNet").
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from ..simulation.state import NetworkState
-from ..topology.hierarchy import Level
+from ..topology.hierarchy import Level, LocationPath
 from .base import Monitor, RawAlert
 
 LOSS_ALERT_THRESHOLD = 0.01
@@ -31,11 +31,11 @@ class UserTelemetryMonitor(Monitor):
     name = "user_telemetry"
     period_s = 15.0
 
-    def __init__(self, state: NetworkState, seed: int = 0):
+    def __init__(self, state: NetworkState, seed: int = 0) -> None:
         super().__init__(state, seed)
         # one synthetic client population per logic site entrance, probing
         # a representative server behind it
-        self._targets = []
+        self._targets: List[Tuple[LocationPath, LocationPath, str]] = []
         for loc in self.topology.locations():
             if loc.level is Level.CLUSTER:
                 servers = self.topology.servers_in(loc)

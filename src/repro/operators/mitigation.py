@@ -42,7 +42,7 @@ class OperatorParams:
     max_inspected_devices: int = 40
     rootcause_confirm_s: float = 45.0  # verify an explicitly named root cause
     fix_s: float = 60.0  # execute the mitigation itself
-    wrong_hypothesis_s: float = 900.0  # a mis-diagnosis round trip (§2.2)
+    wrong_hypothesis_s: float = 900.0  # lint: allow REP003 (§2.2 mis-diagnosis round trip, not the incident timeout)
     flood_threshold: int = 2000  # raw alerts beyond this guarantee confusion
 
 

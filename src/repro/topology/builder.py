@@ -17,7 +17,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import random
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .hierarchy import LocationPath
 from .network import (
@@ -201,7 +201,7 @@ def _add_device_pairs(
     prefix: str,
 ) -> List[str]:
     """Add ``count`` redundant devices of ``role`` at ``location``."""
-    names = []
+    names: List[str] = []
     group = f"{location}|{role.value}"
     for i in range(count):
         name = f"{prefix}-G{i + 1}"
@@ -287,7 +287,7 @@ def _add_internet_entrance(
 
 def _connect_backbone(topo: Topology, spec: TopologySpec) -> None:
     """WAN: connect region backbones pairwise across regions (index-matched)."""
-    by_region: dict = {}
+    by_region: Dict[LocationPath, List[str]] = {}
     for dev in topo.devices.values():
         if dev.role is DeviceRole.REGION_BACKBONE:
             by_region.setdefault(dev.parent_location, []).append(dev.name)

@@ -71,7 +71,7 @@ class LocationPath:
 
     __slots__ = ("_segments", "_is_device", "_hash")
 
-    def __init__(self, segments: Sequence[str] = (), is_device: bool = False):
+    def __init__(self, segments: Sequence[str] = (), is_device: bool = False) -> None:
         segments = tuple(segments)
         for seg in segments:
             if not seg:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import types
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -279,7 +279,7 @@ class Topology:
     def circuit_sets_under(self, path: LocationPath) -> List[CircuitSet]:
         """Circuit sets with at least one endpoint inside ``path``'s subtree."""
         names = {d.name for d in self.devices_under(path)}
-        found = {}
+        found: Dict[str, CircuitSet] = {}
         for name in names:
             for cs in self.circuit_sets_of(name):
                 found[cs.set_id] = cs
@@ -287,7 +287,7 @@ class Topology:
 
     def neighbors(self, device_name: str) -> List[str]:
         """Adjacent devices (Internet pseudo-neighbour excluded)."""
-        out = []
+        out: List[str] = []
         for cs in self.circuit_sets_of(device_name):
             other = cs.other_end(device_name)
             if other != INTERNET:
@@ -296,7 +296,7 @@ class Topology:
 
     def internet_gateways(self) -> List[Device]:
         """Devices with a circuit set reaching the Internet pseudo-device."""
-        names = set()
+        names: Set[str] = set()
         for cs in self._circuit_sets.values():
             if INTERNET in cs.endpoints:
                 names.add(cs.other_end(INTERNET))
@@ -326,7 +326,7 @@ class Topology:
             frontier = {device_name}
             seen = {device_name}
             for _ in range(max_hops):
-                nxt = set()
+                nxt: Set[str] = set()
                 for node in frontier:
                     for nbr in graph.neighbors(node):
                         if nbr not in seen:

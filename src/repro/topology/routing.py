@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import zlib
-from typing import List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from .hierarchy import Level, LocationPath
 from .network import INTERNET, CircuitSet, DeviceRole, Server, Topology
@@ -90,10 +90,10 @@ def _unreachable(src: str, dst: str, reason: str) -> RoutePath:
 class HierarchicalRouter:
     """Routes flows through the hierarchy with health-aware failover."""
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology) -> None:
         self._topo = topology
         # circuit-set lookup by endpoint pair
-        self._cs_by_pair = {}
+        self._cs_by_pair: Dict[FrozenSet[str], List[CircuitSet]] = {}
         for cs in topology.circuit_sets.values():
             self._cs_by_pair.setdefault(frozenset((cs.device_a, cs.device_b)), []).append(cs)
 
@@ -175,7 +175,7 @@ class HierarchicalRouter:
 
     def _climb(
         self, server: Server, target_level: Level, health: HealthView, pref: int
-    ):
+    ) -> Optional[Tuple[List[str], List[str]]]:
         """Pick healthy devices from the server's switch up to ``target_level``.
 
         Returns ``(devices, circuit_set_ids)`` ending with the device chosen
@@ -210,8 +210,8 @@ class HierarchicalRouter:
         self,
         src: Server,
         dst: Server,
-        up_a,
-        up_b,
+        up_a: Tuple[List[str], List[str]],
+        up_b: Tuple[List[str], List[str]],
         meet_location: LocationPath,
         meet_level: Level,
         health: HealthView,
@@ -244,7 +244,8 @@ class HierarchicalRouter:
                 return RoutePath(src.name, dst.name, tuple(devices), tuple(sets), True)
         return _unreachable(src.name, dst.name, "no healthy meeting device")
 
-    def _reanchor(self, devices: List[str], sets: List[str], meeting: str, health: HealthView):
+    def _reanchor(self, devices: List[str], sets: List[str], meeting: str,
+                  health: HealthView) -> Optional[Tuple[List[str], List[str]]]:
         """Swap the final climbed device for ``meeting`` if a healthy circuit
         set connects the previous hop to it."""
         if devices[-1] == meeting:

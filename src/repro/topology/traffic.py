@@ -77,7 +77,7 @@ class TrafficModel:
     """Customers + flows over a topology, with placement and aggregation."""
 
     def __init__(self, topology: Topology, customers: Sequence[Customer],
-                 flows: Sequence[Flow]):
+                 flows: Sequence[Flow]) -> None:
         self._topo = topology
         self._router = HierarchicalRouter(topology)
         self._customers = {c.customer_id: c for c in customers}

@@ -1,0 +1,23 @@
+"""Shared helpers for the skynet-lint tests."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.devtools.lint import LintEngine
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO_ROOT = pathlib.Path(__file__).parents[2]
+
+
+@pytest.fixture
+def fixtures_dir() -> pathlib.Path:
+    return FIXTURES
+
+
+def run_rule(rule_id: str, *paths: pathlib.Path):
+    """Run exactly one rule over the given paths, return its findings."""
+    report = LintEngine(select=[rule_id]).run(list(paths))
+    return report.findings

@@ -1,0 +1,13 @@
+"""Negative fixture for REP001: raw alert-level strings."""
+
+
+def count_failures(records):
+    return sum(1 for r in records if r.level == "failure")
+
+
+def is_noise(record):
+    return record.level in ("abnormal", "info")
+
+
+def lookup(AlertLevel):
+    return AlertLevel("root_cause")

@@ -1,0 +1,16 @@
+"""Positive fixture for REP001: levels via the AlertLevel taxonomy."""
+
+from repro.core.alert import AlertLevel
+
+
+def count_failures(records):
+    return sum(1 for r in records if r.level is AlertLevel.FAILURE)
+
+
+def is_noise(record):
+    return record.level in (AlertLevel.ABNORMAL, AlertLevel.INFO)
+
+
+def display_name(level):
+    # mapping enum members *to* strings is fine (viz tables do this)
+    return {AlertLevel.FAILURE: "failure"}.get(level, "other")

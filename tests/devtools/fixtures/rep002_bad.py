@@ -1,0 +1,6 @@
+"""Negative fixture for REP002: invalid literal location paths."""
+
+from repro.topology.hierarchy import LocationPath
+
+TOO_DEEP = LocationPath.parse("RegionA|CityA|Logic1|SiteI|Cluster2|extra|deeper")
+EMPTY_SEGMENT = LocationPath(("RegionA", ""))

@@ -1,0 +1,13 @@
+"""Positive fixture for REP002: literal paths that fit the hierarchy."""
+
+from repro.topology.hierarchy import LocationPath
+
+CITY = LocationPath.parse("RegionA|CityA")
+DEVICE = LocationPath.parse("RegionA|CityA|Logic1|SiteI|Cluster2|spine-1",
+                            is_device=True)
+SEGMENTS = LocationPath(("RegionA", "CityA", "Logic1"))
+
+
+def dynamic(text):
+    # non-literal arguments are runtime concerns, not lint concerns
+    return LocationPath.parse(text)

@@ -1,0 +1,13 @@
+"""Negative fixture for REP003: shadow copies of paper constants."""
+
+NODE_TIMEOUT_S = 300.0
+
+THRESHOLD_SPEC = "2/1+2/5"
+
+
+class Grouper:
+    idle_close_s = 900
+
+
+def sweep(tree, window_s=300.0):
+    return [n for n in tree if n.age < window_s]

@@ -1,0 +1,14 @@
+"""Positive fixture for REP003: paper constants imported from config."""
+
+from repro.core.config import PRODUCTION_CONFIG, IncidentThresholds
+
+NODE_TIMEOUT_S = PRODUCTION_CONFIG.node_timeout_s
+THRESHOLDS = IncidentThresholds()
+
+# unrelated numbers are fine
+RETRY_BUDGET = 3
+SAMPLE_WINDOW_S = 120.0
+
+
+def sweep(tree, window_s=PRODUCTION_CONFIG.node_timeout_s):
+    return [n for n in tree if n.age < window_s]

@@ -1,0 +1,22 @@
+"""Negative fixture for REP004: wall clocks and global RNG."""
+
+import random
+import time
+from random import choice
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    random.seed(7)
+    return random.uniform(0.0, 1.0)
+
+
+def pick(items):
+    return choice(items)
+
+
+def make_rng():
+    return random.Random()

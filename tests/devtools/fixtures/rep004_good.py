@@ -1,0 +1,16 @@
+"""Positive fixture for REP004: explicit timestamps, seeded RNG."""
+
+import random
+
+
+def stamp(now):
+    return now
+
+
+def jitter(seed):
+    rng = random.Random(seed)
+    return rng.uniform(0.0, 1.0)
+
+
+def pick(items, rng):
+    return rng.choice(items)

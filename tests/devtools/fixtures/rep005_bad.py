@@ -1,0 +1,20 @@
+"""Negative fixture for REP005: mutable default arguments."""
+
+
+def collect(alert, out=[]):
+    out.append(alert)
+    return out
+
+
+def index(records, by={}):
+    for r in records:
+        by[r.key] = r
+    return by
+
+
+def fresh(seen=set()):
+    return seen
+
+
+def batched(items, buckets=list()):
+    return buckets

@@ -1,0 +1,17 @@
+"""Positive fixture for REP005: None defaults, factories in the body."""
+
+import dataclasses
+from typing import Dict, List, Optional
+
+
+def collect(alert: object, out: Optional[List] = None) -> List:
+    if out is None:
+        out = []
+    out.append(alert)
+    return out
+
+
+@dataclasses.dataclass
+class Bucket:
+    members: List = dataclasses.field(default_factory=list)
+    labels: Dict = dataclasses.field(default_factory=dict)

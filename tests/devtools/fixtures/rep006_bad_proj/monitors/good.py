@@ -1,0 +1,9 @@
+"""A correctly registered fixture monitor."""
+
+
+class Monitor:
+    pass
+
+
+class PingMonitor(Monitor):
+    name = "ping"

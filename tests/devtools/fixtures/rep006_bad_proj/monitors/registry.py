@@ -1,0 +1,11 @@
+"""Fixture registry: knows only ping."""
+
+from .good import PingMonitor
+
+DATA_SOURCES = {
+    "ping": "Periodically records latency and reachability",
+}
+
+MONITOR_CLASSES = {
+    "ping": PingMonitor,
+}

@@ -1,0 +1,15 @@
+"""Fixture monitors violating REP006 three ways."""
+
+from .good import Monitor
+
+
+class NamelessMonitor(Monitor):
+    """No Table-2 source name declared, and unregistered."""
+
+    period_s = 30.0
+
+
+class MisnamedMonitor(Monitor):
+    """Declares a source the registry inventory does not know."""
+
+    name = "mystery_probes"

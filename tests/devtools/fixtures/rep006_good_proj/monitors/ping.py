@@ -1,0 +1,16 @@
+"""A registered fixture monitor with its Table-2 source name."""
+
+import abc
+
+
+class Monitor(abc.ABC):
+    @abc.abstractmethod
+    def observe(self, t):
+        ...
+
+
+class PingMonitor(Monitor):
+    name = "ping"
+
+    def observe(self, t):
+        return []

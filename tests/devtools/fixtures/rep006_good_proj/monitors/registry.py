@@ -1,0 +1,11 @@
+"""Fixture registry covering every fixture monitor."""
+
+from .ping import PingMonitor
+
+DATA_SOURCES = {
+    "ping": "Periodically records latency and reachability",
+}
+
+MONITOR_CLASSES = {
+    "ping": PingMonitor,
+}

@@ -1,0 +1,13 @@
+"""Negative fixture for REP007: float == on timestamps."""
+
+
+def same_onset(a, b):
+    return a.first_seen == b.first_seen
+
+
+def closed_now(incident, now):
+    return incident.closed_at != now
+
+
+def still_fresh(record, cutoff):
+    return cutoff == record.last_seen

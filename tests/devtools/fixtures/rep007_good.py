@@ -1,0 +1,15 @@
+"""Positive fixture for REP007: order comparisons and isclose."""
+
+import math
+
+
+def same_onset(a, b):
+    return math.isclose(a.first_seen, b.first_seen)
+
+
+def closed(incident):
+    return incident.closed_at is not None
+
+
+def still_fresh(record, cutoff):
+    return record.last_seen >= cutoff

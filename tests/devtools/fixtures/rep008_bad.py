@@ -1,0 +1,13 @@
+"""Negative fixture for REP008: unannotated public API."""
+
+
+def score(incident, threshold=10):
+    return incident.severity >= threshold
+
+
+class Exporter:
+    def export(self, incident):
+        return str(incident)
+
+    def render(self, incident) -> str:
+        return str(incident)

@@ -1,0 +1,15 @@
+"""Positive fixture for REP008: fully annotated public API."""
+
+from typing import Any
+
+
+def score(incident: Any, threshold: float = 10.0) -> bool:
+    return bool(incident.severity >= threshold)
+
+
+class Exporter:
+    def export(self, incident: Any) -> str:
+        return str(incident)
+
+    def _internal(self, blob):  # private helpers are exempt
+        return blob

@@ -1,0 +1,8 @@
+# lint: skip-file
+"""Skip-file fixture: full of violations, all suppressed."""
+
+NODE_TIMEOUT_S = 300.0
+
+
+def collect(alert, out=[]):
+    return out

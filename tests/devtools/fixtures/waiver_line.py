@@ -1,0 +1,3 @@
+"""Waiver fixture: a would-be REP003 finding, explicitly allowed."""
+
+PATROL_PERIOD_S = 900.0  # lint: allow REP003 (polling period, not the incident timeout)

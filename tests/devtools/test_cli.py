@@ -1,0 +1,69 @@
+"""CLI contract: exit codes, output formats, rule listing."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.devtools.lint.cli import main
+
+from .conftest import FIXTURES, REPO_ROOT
+
+
+def test_clean_tree_exits_zero(capsys):
+    code = main([str(FIXTURES / "rep005_good.py")])
+    assert code == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one(capsys):
+    code = main([str(FIXTURES / "rep005_bad.py")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REP005" in out
+
+
+def test_bad_rule_id_exits_two(capsys):
+    code = main(["--select", "NOPE", str(FIXTURES / "rep005_good.py")])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_json_format(capsys):
+    code = main(["--format", "json", "--select", "REP007",
+                 str(FIXTURES / "rep007_bad.py")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert all(f["rule_id"] == "REP007" for f in payload["findings"])
+
+
+def test_select_limits_rules(capsys):
+    code = main(["--select", "REP001", str(FIXTURES / "rep005_bad.py")])
+    assert code == 0  # REP005 violations invisible to a REP001-only run
+
+
+def test_list_rules(capsys):
+    code = main(["--list-rules"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for n in range(1, 9):
+        assert f"REP{n:03d}" in out
+
+
+def test_module_entrypoint_runs():
+    """``python -m repro.devtools.lint`` works as documented in README."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint",
+         str(FIXTURES / "rep003_bad.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 1
+    assert "REP003" in proc.stdout

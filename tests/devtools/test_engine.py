@@ -1,0 +1,124 @@
+"""Engine behaviour: discovery, waivers, selection, reports, registry."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.devtools.lint import (
+    Finding,
+    LintEngine,
+    LintRule,
+    SourceFile,
+    UsageError,
+    registered_rules,
+)
+from repro.devtools.lint.engine import PARSE_ERROR_RULE
+
+from .conftest import FIXTURES
+
+
+def test_registry_has_the_full_battery():
+    ids = [cls.rule_id for cls in registered_rules()]
+    assert ids == sorted(ids)
+    assert ids == [f"REP{n:03d}" for n in range(1, 9)]
+
+
+def test_discover_dedupes_and_sorts(tmp_path):
+    (tmp_path / "a.py").write_text("x = 1\n")
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "sub" / "b.py").write_text("y = 2\n")
+    files = LintEngine.discover([tmp_path, tmp_path / "a.py"])
+    assert [f.name for f in files] == ["a.py", "b.py"]
+
+
+def test_discover_missing_path_is_usage_error():
+    with pytest.raises(UsageError):
+        LintEngine.discover(["no/such/path.py"])
+
+
+def test_unknown_rule_id_is_usage_error():
+    with pytest.raises(UsageError):
+        LintEngine(select=["REP999"])
+    with pytest.raises(UsageError):
+        LintEngine(ignore=["NOPE"])
+    with pytest.raises(UsageError):
+        LintEngine(rule_options={"REP999": {}})
+
+
+def test_unknown_rule_option_is_usage_error():
+    with pytest.raises(UsageError):
+        LintEngine(rule_options={"REP003": {"tyop": 1}})
+
+
+def test_line_waiver_suppresses_finding():
+    report = LintEngine(select=["REP003"]).run([FIXTURES / "waiver_line.py"])
+    assert report.ok, report.render_text()
+
+
+def test_skip_file_suppresses_everything():
+    report = LintEngine().run([FIXTURES / "skipfile.py"])
+    assert report.ok, report.render_text()
+
+
+def test_parse_error_becomes_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    report = LintEngine().run([bad])
+    assert not report.ok
+    assert report.findings[0].rule_id == PARSE_ERROR_RULE
+    assert "syntax error" in report.findings[0].message
+
+
+def test_ignore_disables_a_rule():
+    engine = LintEngine(ignore=["REP003"])
+    report = engine.run([FIXTURES / "rep003_bad.py"])
+    assert "REP003" not in report.rules_run
+    assert not [f for f in report.findings if f.rule_id == "REP003"]
+
+
+def test_json_report_round_trips():
+    report = LintEngine(select=["REP005"]).run([FIXTURES / "rep005_bad.py"])
+    payload = json.loads(report.to_json())
+    assert payload["ok"] is False
+    assert payload["rules_run"] == ["REP005"]
+    assert len(payload["findings"]) == 4
+    first = payload["findings"][0]
+    assert {"path", "line", "col", "rule_id", "message"} <= set(first)
+
+
+def test_text_report_has_summary_line():
+    report = LintEngine(select=["REP005"]).run([FIXTURES / "rep005_good.py"])
+    assert report.render_text().startswith("0 findings")
+
+
+def test_findings_sorted_by_location():
+    report = LintEngine().run([FIXTURES / "rep004_bad.py"])
+    keys = [(f.path, f.line, f.col) for f in report.findings]
+    assert keys == sorted(keys)
+
+
+def test_module_name_derivation():
+    src = SourceFile(
+        pathlib.Path("src/repro/core/config.py").resolve()
+    )
+    assert src.module == "repro.core.config"
+    standalone = SourceFile(FIXTURES / "rep001_bad.py")
+    assert standalone.module is None
+
+
+def test_custom_rule_instances_can_be_injected():
+    class AlwaysFires(LintRule):
+        rule_id = "REP999"
+        title = "test rule"
+        paper_ref = "-"
+
+        def check_file(self, source: SourceFile):
+            yield source.finding(self.rule_id, source.tree, "hello")
+
+    engine = LintEngine(rules=[AlwaysFires()])
+    report = engine.run([FIXTURES / "rep005_good.py"])
+    assert [f.message for f in report.findings] == ["hello"]
+    assert isinstance(report.findings[0], Finding)

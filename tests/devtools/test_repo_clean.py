@@ -1,0 +1,37 @@
+"""Integration: the repository itself satisfies its own lint battery."""
+
+from __future__ import annotations
+
+import re
+import sys
+
+from repro.devtools.lint import LintEngine, registered_rules
+
+from .conftest import REPO_ROOT
+
+
+def test_repo_is_lint_clean():
+    report = LintEngine().run([REPO_ROOT / "src"])
+    assert report.ok, "\n" + report.render_text()
+
+
+def test_every_rule_ran_on_the_repo():
+    report = LintEngine().run([REPO_ROOT / "src"])
+    assert report.rules_run == [cls.rule_id for cls in registered_rules()]
+    assert report.files_checked > 60
+
+
+def test_readme_catalogue_lists_every_rule():
+    """The README "Development" rule table must stay in sync with the code."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for cls in registered_rules():
+        assert re.search(rf"\b{cls.rule_id}\b", readme), (
+            f"{cls.rule_id} missing from the README rule catalogue"
+        )
+
+
+def test_rules_declare_metadata():
+    for cls in registered_rules():
+        assert cls.title, cls.rule_id
+        assert cls.paper_ref, cls.rule_id
+        assert sys.modules[cls.__module__].__doc__, cls.rule_id
