@@ -14,7 +14,7 @@ from repro.simulation import scenarios as sc
 from repro.topology.builder import TopologySpec, build_topology
 
 
-def test_connectivity_restriction_separates_scenes(benchmark, emit):
+def test_connectivity_restriction_separates_scenes(benchmark, emit, paper_assert):
     topo = build_topology(TopologySpec.benchmark())
     attacks = sc.multi_site_ddos(topo, start=30.0, n_sites=5)
 
@@ -42,9 +42,12 @@ def test_connectivity_restriction_separates_scenes(benchmark, emit):
         lines.append(f"  {report.incident.location}")
     emit("ablation_connectivity", "\n".join(lines))
 
-    assert len(with_restriction) >= 5, "restricted grouping keeps scenes apart"
-    assert len(without_restriction) < len(with_restriction), (
-        "removing the restriction merges unrelated scenes"
+    paper_assert(
+        len(with_restriction) >= 5, "restricted grouping keeps scenes apart"
+    )
+    paper_assert(
+        len(without_restriction) < len(with_restriction),
+        "removing the restriction merges unrelated scenes",
     )
 
 

@@ -41,7 +41,7 @@ def _severe_set(seed):
     return runs
 
 
-def test_fig10c_mitigation_time(benchmark, emit):
+def test_fig10c_mitigation_time(benchmark, emit, paper_assert):
     model = OperatorModel()
 
     def measure():
@@ -65,7 +65,9 @@ def test_fig10c_mitigation_time(benchmark, emit):
         return before, after
 
     before, after = benchmark.pedantic(measure, rounds=1, iterations=1)
-    assert before and after
+    if not (before and after):
+        paper_assert(False, "severe set must yield matched incidents")
+        return
 
     med_b, med_a = percentile(before, 50), percentile(after, 50)
     max_b, max_a = max(before), max(after)
@@ -82,5 +84,5 @@ def test_fig10c_mitigation_time(benchmark, emit):
     emit("fig10c_mitigation_time", "\n".join(lines))
 
     # paper shape: >80%-class reduction at the median, large cut at the max
-    assert med_a < med_b * 0.35
-    assert max_a < max_b * 0.5
+    paper_assert(med_a < med_b * 0.35)
+    paper_assert(max_a < max_b * 0.5)

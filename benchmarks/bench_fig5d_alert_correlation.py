@@ -13,7 +13,7 @@ def _contains_failure_alert(incident):
     return any(r.level is AlertLevel.FAILURE for r in incident.records())
 
 
-def test_fig5d_alert_level_correlation(benchmark, mixed_campaign, emit):
+def test_fig5d_alert_level_correlation(benchmark, mixed_campaign, emit, paper_assert):
     result = mixed_campaign
 
     def compute():
@@ -38,8 +38,9 @@ def test_fig5d_alert_level_correlation(benchmark, mixed_campaign, emit):
     incidents, failure_incidents, level_counts = benchmark.pedantic(
         compute, rounds=1, iterations=1
     )
-    assert incidents, "campaign must produce incidents"
-    assert failure_incidents, "campaign must contain real failures"
+    if not (incidents and failure_incidents):
+        paper_assert(False, "campaign must produce failure incidents")
+        return
 
     failure_inc_ratio = sum(
         1 for i in failure_incidents if _contains_failure_alert(i)
@@ -73,6 +74,6 @@ def test_fig5d_alert_level_correlation(benchmark, mixed_campaign, emit):
 
     # paper shape: failure incidents virtually always carry failure alerts,
     # even though failure-level records are a minority of everything seen
-    assert failure_inc_ratio >= 0.9
-    assert failure_inc_ratio >= all_inc_ratio
-    assert shares[AlertLevel.FAILURE] < 0.5
+    paper_assert(failure_inc_ratio >= 0.9)
+    paper_assert(failure_inc_ratio >= all_inc_ratio)
+    paper_assert(shares[AlertLevel.FAILURE] < 0.5)

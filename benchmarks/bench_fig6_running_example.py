@@ -5,7 +5,7 @@ and a risk score."""
 from repro.core.pipeline import SkyNet
 
 
-def test_fig6_running_example(benchmark, flood_campaign, emit):
+def test_fig6_running_example(benchmark, flood_campaign, emit, paper_assert):
     result, scenario = flood_campaign
 
     def rerun():
@@ -14,7 +14,9 @@ def test_fig6_running_example(benchmark, flood_campaign, emit):
         return skynet.process(result.raw_alerts), skynet
 
     reports, skynet = benchmark.pedantic(rerun, rounds=1, iterations=1)
-    assert reports
+    if not reports:
+        paper_assert(False, "the flood must produce incident reports")
+        return
     lines = ["Figure 6: running example output"]
     lines.append(
         f"raw alerts: {skynet.preprocess_stats.raw_in}  ->  structured: "
@@ -30,9 +32,10 @@ def test_fig6_running_example(benchmark, flood_campaign, emit):
 
     # the flood collapses into a ranked handful of incidents
     top = reports[0].incident
-    assert scenario.truth.scope.contains(top.root) or top.root.contains(
-        scenario.truth.scope
+    paper_assert(
+        scenario.truth.scope.contains(top.root)
+        or top.root.contains(scenario.truth.scope)
     )
     assert reports[0].score >= reports[-1].score
     by_level = top.alert_counts_by_level()
-    assert len(by_level) == 3, "all three alert-level sections must render"
+    paper_assert(len(by_level) == 3, "all three alert-level sections must render")

@@ -23,7 +23,9 @@ def _replay_with_sources(result, kept_sources):
     return [r.incident for r in reports]
 
 
-def test_fig8a_accuracy_vs_source_count(benchmark, coverage_campaign, emit):
+def test_fig8a_accuracy_vs_source_count(
+    benchmark, coverage_campaign, emit, paper_assert
+):
     result = coverage_campaign
 
     def sweep():
@@ -47,8 +49,8 @@ def test_fig8a_accuracy_vs_source_count(benchmark, coverage_campaign, emit):
 
     by_n = dict(rows)
     # paper shape: full sources have zero FN; ablation raises FN
-    assert by_n[12].false_negative_ratio == 0.0
-    assert by_n[3].false_negative_ratio > by_n[12].false_negative_ratio
+    paper_assert(by_n[12].false_negative_ratio == 0.0)
+    paper_assert(by_n[3].false_negative_ratio > by_n[12].false_negative_ratio)
     # FP stays comparatively flat (within 25 points across the sweep)
     fps = [r.false_positive_ratio for _, r in rows]
-    assert max(fps) - min(fps) <= 0.25
+    paper_assert(max(fps) - min(fps) <= 0.25)

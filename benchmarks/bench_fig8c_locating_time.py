@@ -6,13 +6,17 @@ feeds the locator growing synthetic alert batches and wall-clocks a full
 feed+sweep cycle.
 """
 
+import os
 import time
 
 from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
 from repro.core.locator import Locator
 from repro.topology.builder import TopologySpec, build_topology
 
-BATCH_SIZES = [500, 2000, 8000, 20000]
+if os.environ.get("SKYNET_BENCH_TINY"):
+    BATCH_SIZES = [100, 400, 1500]
+else:
+    BATCH_SIZES = [500, 2000, 8000, 20000]
 
 
 def _make_alerts(topo, n):
@@ -36,7 +40,7 @@ def _make_alerts(topo, n):
     return alerts
 
 
-def test_fig8c_locating_time(benchmark, emit):
+def test_fig8c_locating_time(benchmark, emit, paper_assert):
     topo = build_topology(TopologySpec.benchmark())
 
     def sweep():
@@ -61,4 +65,5 @@ def test_fig8c_locating_time(benchmark, emit):
 
     # paper shape: worst case well under 10 s, positively correlated
     assert all(elapsed < 10.0 for _, elapsed in rows)
-    assert rows[-1][1] > rows[0][1]
+    # (correlation is timing-noise-sensitive at smoke scale)
+    paper_assert(rows[-1][1] > rows[0][1])

@@ -1,0 +1,213 @@
+"""Flood-scale hot-path benchmark: reference vs ``fast_path`` pipelines.
+
+Replays seeded severe-failure floods (1k / 10k / 50k structured alerts
+into the locate stage by default; see ``SKYNET_BENCH_TIERS``) through the
+preprocess, locate and evaluate stages, timing each stage for the
+reference and the fast implementation and checking the incident output is
+identical.  The flood is the §2.2 shape: a wave of device failures takes
+out ~20% of the benchmark fabric and every monitoring tool floods at
+once.  Results are printed, persisted via ``emit`` and written as
+machine-readable JSON to ``BENCH_perf_flood.json`` at the repository
+root -- the committed copy documents the speedup the ``config.fast_path``
+toggle buys.
+
+Environment knobs:
+
+* ``SKYNET_BENCH_TIERS`` -- comma list of tiers to run (``1k,10k,50k``
+  or ``all``; default ``1k,10k``).  CI's bench-smoke job runs ``1k``.
+* ``SKYNET_BENCH_TINY`` -- run one miniature tier on the tiny topology
+  (the tests/test_bench_smoke.py mode).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import random
+import re
+import time
+from typing import Dict, List, Tuple
+
+from repro.core.config import PRODUCTION_CONFIG
+from repro.core.evaluator import Evaluator
+from repro.core.locator import Locator
+from repro.core.preprocessor import Preprocessor
+from repro.monitors import build_monitors
+from repro.monitors.stream import AlertStream
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+
+if os.environ.get("SKYNET_BENCH_TINY"):
+    # smoke mode exercises the write path without clobbering the
+    # committed full-scale numbers
+    JSON_PATH = pathlib.Path(__file__).parent / "results-tiny" / "BENCH_perf_flood.json"
+else:
+    JSON_PATH = pathlib.Path(__file__).parent.parent / "BENCH_perf_flood.json"
+
+_TIERS = {"1k": 1_000, "10k": 10_000, "50k": 50_000}
+
+
+def _selected_tiers() -> List[Tuple[str, int]]:
+    if os.environ.get("SKYNET_BENCH_TINY"):
+        return [("tiny", 200)]
+    raw = os.environ.get("SKYNET_BENCH_TIERS", "1k,10k")
+    if raw.strip().lower() == "all":
+        return list(_TIERS.items())
+    out = []
+    for token in raw.split(","):
+        token = token.strip()
+        if token in _TIERS:
+            out.append((token, _TIERS[token]))
+    return out or [("1k", _TIERS["1k"])]
+
+
+def _topology():
+    if os.environ.get("SKYNET_BENCH_TINY"):
+        return build_topology(TopologySpec.tiny())
+    return build_topology(TopologySpec.benchmark())
+
+
+def _flood(topo, n: int, seed: int) -> List:
+    """A seeded severe-failure storm, sized in *structured* alerts.
+
+    A wave of DEVICE_DOWN faults rolls over ~20% of the fabric inside
+    four minutes and stays down; all twelve monitors flood in response.
+    Raw alerts are drawn from the stream until the preprocessor has
+    emitted ``n`` structured alerts -- the locate stage's actual input
+    unit -- so every tier measures the same flood shape at a different
+    sustained length."""
+    rng = random.Random(seed)
+    state = NetworkState(topo)
+    devices = sorted(topo.devices)
+    rng.shuffle(devices)
+    n_down = max(3, len(devices) // 5)
+    for name in devices[:n_down]:
+        start = 60.0 + rng.uniform(0.0, 240.0)
+        state.add_condition(
+            Condition(
+                kind=ConditionKind.DEVICE_DOWN,
+                target=name,
+                start=start,
+                end=start + 86_400.0,
+            )
+        )
+    prep = Preprocessor(topo, PRODUCTION_CONFIG)
+    raws = []
+    count = 0
+    for raw in AlertStream(state, build_monitors(state, seed=seed)).run(86_400.0):
+        raws.append(raw)
+        count += len(prep.feed(raw))
+        if count >= n:
+            break
+    return raws
+
+
+def _preprocess(topo, raws) -> Tuple[float, List[Tuple[float, object]]]:
+    prep = Preprocessor(topo, PRODUCTION_CONFIG)
+    structured: List[Tuple[float, object]] = []
+    start = time.perf_counter()
+    for raw in raws:
+        for alert in prep.feed(raw):
+            structured.append((raw.delivered_at, alert))
+    return time.perf_counter() - start, structured
+
+
+def _locate(topo, structured, fast: bool) -> Tuple[float, Locator]:
+    config = dataclasses.replace(PRODUCTION_CONFIG, fast_path=fast)
+    locator = Locator(topo, config)
+    interval = config.sweep_interval_s
+    start = time.perf_counter()
+    last_sweep = float("-inf")
+    now = float("-inf")
+    for t, alert in structured:
+        now = max(now, t)
+        locator.feed(alert)
+        if now - last_sweep >= interval:
+            locator.sweep(now)
+            last_sweep = now
+    locator.sweep(now + 2 * PRODUCTION_CONFIG.incident_timeout_s)
+    return time.perf_counter() - start, locator
+
+
+def _evaluate(topo, incidents, fast: bool, rounds: int = 25) -> float:
+    """Periodic re-assessment of open incidents (what every sweep does)."""
+    config = dataclasses.replace(PRODUCTION_CONFIG, fast_path=fast)
+    evaluator = Evaluator(topo, config)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for incident in incidents:
+            evaluator.evaluate(incident, incident.end_time)
+    return time.perf_counter() - start
+
+
+def _fingerprint(locator: Locator) -> List[str]:
+    return sorted(
+        re.sub(r"incident-\d+", "incident-N", incident.render())
+        for incident in locator.all_incidents()
+    )
+
+
+def test_perf_flood(emit):
+    topo = _topology()
+    seed = 2025
+    report: Dict = {
+        "bench": "perf_flood",
+        "seed": seed,
+        "topology": topo.stats(),
+        "tiers": [],
+    }
+    for name, n in _selected_tiers():
+        raws = _flood(topo, n, seed)
+        preprocess_s, structured = _preprocess(topo, raws)
+
+        ref_s, ref_locator = _locate(topo, structured, fast=False)
+        fast_s, fast_locator = _locate(topo, structured, fast=True)
+        identical = _fingerprint(ref_locator) == _fingerprint(fast_locator)
+        assert identical, f"tier {name}: fast path diverged from reference"
+
+        incidents = fast_locator.all_incidents()
+        eval_ref_s = _evaluate(topo, incidents, fast=False)
+        eval_fast_s = _evaluate(topo, incidents, fast=True)
+
+        locate_speedup = ref_s / fast_s if fast_s > 0 else float("inf")
+        eval_speedup = eval_ref_s / eval_fast_s if eval_fast_s > 0 else float("inf")
+        tier = {
+            "name": name,
+            "raw_alerts": len(raws),
+            "structured_alerts": len(structured),
+            "incidents": len(incidents),
+            "outputs_identical": identical,
+            "stages": {
+                "preprocess_s": round(preprocess_s, 4),
+                "locate_reference_s": round(ref_s, 4),
+                "locate_fast_s": round(fast_s, 4),
+                "locate_speedup": round(locate_speedup, 2),
+                "evaluate_reference_s": round(eval_ref_s, 4),
+                "evaluate_fast_s": round(eval_fast_s, 4),
+                "evaluate_speedup": round(eval_speedup, 2),
+            },
+        }
+        report["tiers"].append(tier)
+        emit(
+            "perf_flood",
+            f"{name}: {len(raws)} raw -> {len(structured)} structured, "
+            f"{len(incidents)} incidents | preprocess {preprocess_s:.3f}s | "
+            f"locate ref {ref_s:.3f}s fast {fast_s:.3f}s "
+            f"({locate_speedup:.1f}x) | evaluate ref {eval_ref_s:.3f}s "
+            f"fast {eval_fast_s:.3f}s ({eval_speedup:.1f}x)",
+        )
+        # the tentpole target: >=5x on the 10k-flood locate stage, with
+        # identical output (asserted above)
+        if name == "10k":
+            assert locate_speedup >= 5.0, (
+                f"10k locate speedup {locate_speedup:.2f}x below the 5x target"
+            )
+
+    JSON_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(JSON_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    emit("perf_flood", f"wrote {JSON_PATH.name}")

@@ -6,10 +6,14 @@ These are the only true micro-benchmarks: preprocessor feed throughput and
 one full locator feed+sweep cycle, timed by pytest-benchmark for real.
 """
 
+import os
+
 from repro.core.locator import Locator
 from repro.core.preprocessor import Preprocessor
 from repro.monitors.base import RawAlert
 from repro.topology.builder import TopologySpec, build_topology
+
+BATCH = 800 if os.environ.get("SKYNET_BENCH_TINY") else 5000
 
 
 def _raw_batch(topo, n):
@@ -28,7 +32,7 @@ def _raw_batch(topo, n):
 
 def test_sec62_preprocessor_throughput(benchmark, emit):
     topo = build_topology(TopologySpec.benchmark())
-    batch = _raw_batch(topo, 5000)
+    batch = _raw_batch(topo, BATCH)
 
     def run():
         prep = Preprocessor(topo)
@@ -52,7 +56,7 @@ def test_sec62_locator_cycle(benchmark, emit):
     topo = build_topology(TopologySpec.benchmark())
     prep = Preprocessor(topo)
     structured = []
-    for raw in _raw_batch(topo, 5000):
+    for raw in _raw_batch(topo, BATCH):
         structured.extend(prep.feed(raw))
 
     def cycle():

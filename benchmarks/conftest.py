@@ -9,6 +9,7 @@ regenerated "figures" survive pytest's output capture.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import random
 
@@ -20,7 +21,53 @@ from repro.simulation.failures import FailureCategory, sample_failure
 from repro.simulation.noise import NoiseProfile
 from repro.topology.builder import TopologySpec, build_topology
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+#: Smoke mode (tests/test_bench_smoke.py and CI): every bench runs its
+#: full code path end to end, but on the small default fabric with capped
+#: campaigns.  Figure-shaped numbers need benchmark scale, so benches
+#: route those assertions through the ``paper_assert`` fixture, which is
+#: relaxed here; everything structural stays asserted.
+TINY = bool(os.environ.get("SKYNET_BENCH_TINY"))
+
+#: tiny-mode numbers must never clobber the committed full-scale results
+RESULTS_DIR = pathlib.Path(__file__).parent / (
+    "results-tiny" if TINY else "results"
+)
+
+if TINY:
+    import repro.analysis.experiments as _experiments
+
+    # benches that build the big evaluation fabric get the default
+    # small-but-complete one instead (same shape: two regions, full
+    # hierarchy), so region-dependent scenario builders keep working
+    TopologySpec.benchmark = classmethod(lambda cls: cls())  # type: ignore[method-assign]
+
+    _real_run_campaign = _experiments.run_campaign
+
+    def _tiny_run_campaign(duration_s, *args, **kwargs):
+        kwargs["n_customers"] = min(kwargs.get("n_customers", 40), 20)
+        return _real_run_campaign(min(duration_s, 1200.0), *args, **kwargs)
+
+    # patched before bench modules import it, so their
+    # ``from repro.analysis.experiments import run_campaign`` binds this
+    _experiments.run_campaign = _tiny_run_campaign
+    run_campaign = _tiny_run_campaign
+
+
+@pytest.fixture(scope="session")
+def paper_assert():
+    """Assert a paper-shaped result.
+
+    In ``SKYNET_BENCH_TINY`` mode the campaigns are far below the scale
+    the figures describe, so these checks become no-ops; the bench still
+    exercises its full pipeline.
+    """
+
+    def check(condition, message=""):
+        if TINY:
+            return
+        assert condition, message
+
+    return check
 
 
 @pytest.fixture(scope="session")

@@ -9,7 +9,9 @@ CPU-starved devices still join their incident.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+import heapq
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..topology.hierarchy import LocationPath
 from .alert import AlertLevel, AlertTypeKey, StructuredAlert
@@ -62,10 +64,28 @@ class AlertTree:
     ``nodes`` maps each alerting location to its live records by type;
     structural bookkeeping is implicit in the location paths, so subtree
     queries are containment scans over the (small) set of alerting nodes.
+
+    With ``fast=True`` the tree additionally maintains a lazy min-heap
+    over record freshness so :meth:`expire` visits only the records that
+    are actually due, instead of walking the whole tree every sweep.
+    The removal set is identical either way (the flood equivalence suite
+    pins this); the reference walk stays the default.
+
+    Two cheap indices are maintained in both modes for incremental
+    consumers: :attr:`structure_version` changes whenever the *set of
+    live locations* changes (node created or dropped), and
+    :meth:`consume_dirty` drains the locations touched since last asked.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fast: bool = False) -> None:
         self._nodes: Dict[LocationPath, Dict[AlertTypeKey, TreeRecord]] = {}
+        self._fast = fast
+        #: bumped whenever a location node appears or disappears
+        self.structure_version = 0
+        self._dirty: Set[LocationPath] = set()
+        # lazy expiry heap: (last_seen at push time, tiebreak, location, type)
+        self._expiry_heap: List[Tuple[float, int, LocationPath, AlertTypeKey]] = []
+        self._heap_seq = itertools.count()
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -73,10 +93,45 @@ class AlertTree:
     def __contains__(self, location: LocationPath) -> bool:
         return location in self._nodes
 
+    def consume_dirty(self) -> Set[LocationPath]:
+        """Locations touched since the previous call (then reset)."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
     def insert(self, alert: StructuredAlert) -> TreeRecord:
         """Algorithm 1's node insertion: create-or-update the record for the
         alert's (location, type)."""
-        node = self._nodes.setdefault(alert.location, {})
+        record = self._insert_one(alert)
+        if self._fast:
+            self._push_expiry(alert.location, alert.type_key, record.last_seen)
+        return record
+
+    def insert_batch(self, alerts: Iterable[StructuredAlert]) -> int:
+        """Insert a sweep-interval's worth of alerts in one pass.
+
+        State-equivalent to calling :meth:`insert` per alert in the same
+        order, but pushes at most one expiry-heap entry per touched
+        (location, type) pair -- under a flood most alerts refresh the
+        same few records, so this keeps the heap near the live-record
+        count instead of the alert count."""
+        touched: Dict[Tuple[LocationPath, AlertTypeKey], TreeRecord] = {}
+        count = 0
+        for alert in alerts:
+            record = self._insert_one(alert)
+            touched[(alert.location, alert.type_key)] = record
+            count += 1
+        if self._fast:
+            for (location, key), record in touched.items():
+                self._push_expiry(location, key, record.last_seen)
+        return count
+
+    def _insert_one(self, alert: StructuredAlert) -> TreeRecord:
+        node = self._nodes.get(alert.location)
+        if node is None:
+            node = self._nodes[alert.location] = {}
+            self.structure_version += 1
+        self._dirty.add(alert.location)
         record = node.get(alert.type_key)
         if record is None:
             record = record_from(alert)
@@ -85,8 +140,17 @@ class AlertTree:
             record.absorb(alert)
         return record
 
+    def _push_expiry(
+        self, location: LocationPath, key: AlertTypeKey, last_seen: float
+    ) -> None:
+        heapq.heappush(
+            self._expiry_heap, (last_seen, next(self._heap_seq), location, key)
+        )
+
     def expire(self, now: float, timeout_s: float) -> int:
         """Algorithm 3 lines 1-3: drop stale records and empty nodes."""
+        if self._fast:
+            return self._expire_fast(now, timeout_s)
         removed = 0
         for location in list(self._nodes):
             node = self._nodes[location]
@@ -96,6 +160,31 @@ class AlertTree:
                     removed += 1
             if not node:
                 del self._nodes[location]
+                self.structure_version += 1
+                self._dirty.discard(location)
+        return removed
+
+    def _expire_fast(self, now: float, timeout_s: float) -> int:
+        """Heap-backed expiry: pop entries whose pushed freshness is past
+        the timeout; a record refreshed since its entry was pushed fails
+        the live ``expired`` re-check and survives (its refresh pushed a
+        newer entry, so it will be revisited when that one is due)."""
+        removed = 0
+        heap = self._expiry_heap
+        while heap and now > heap[0][0] + timeout_s:
+            _, _, location, key = heapq.heappop(heap)
+            node = self._nodes.get(location)
+            if node is None:
+                continue
+            record = node.get(key)
+            if record is None or not record.expired(now, timeout_s):
+                continue
+            del node[key]
+            removed += 1
+            if not node:
+                del self._nodes[location]
+                self.structure_version += 1
+                self._dirty.discard(location)
         return removed
 
     # -- queries ---------------------------------------------------------------
@@ -105,6 +194,12 @@ class AlertTree:
 
     def records_at(self, location: LocationPath) -> List[TreeRecord]:
         return list(self._nodes.get(location, {}).values())
+
+    def iter_records_at(self, location: LocationPath) -> Iterator[TreeRecord]:
+        """Like :meth:`records_at` without the defensive copy (hot path)."""
+        node = self._nodes.get(location)
+        if node is not None:
+            yield from node.values()
 
     def records_under(self, root: LocationPath) -> Iterator[TreeRecord]:
         """All live records in the subtree of ``root`` (root included)."""

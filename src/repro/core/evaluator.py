@@ -28,6 +28,7 @@ import math
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..simulation.state import NetworkState
+from ..topology.hierarchy import LocationPath
 from ..topology.network import Topology
 from ..topology.traffic import FlowPlacement, TrafficModel
 from .alert import AlertLevel
@@ -52,6 +53,12 @@ class Evaluator:
         self._config = config or SkyNetConfig()
         self._state = state
         self._traffic = traffic or (state.traffic if state else None)
+        # fast path: related circuit sets per incident scope; the lookup
+        # walks every device under the scope, and open incidents are
+        # re-assessed every sweep, so the memo turns a per-sweep topology
+        # scan into a dict hit.  Keyed on the topology mutation counter.
+        self._cs_memo: Dict[LocationPath, List[str]] = {}
+        self._cs_memo_version = -1
 
     @property
     def params(self) -> SeverityParams:
@@ -125,6 +132,18 @@ class Evaluator:
 
     def _related_circuit_sets(self, incident: Incident) -> List[str]:
         root = incident.location
+        if not self._config.fast_path:
+            return self._lookup_circuit_sets(root)
+        version = self._topo.version
+        if version != self._cs_memo_version:
+            self._cs_memo.clear()
+            self._cs_memo_version = version
+        sets = self._cs_memo.get(root)
+        if sets is None:
+            sets = self._cs_memo[root] = self._lookup_circuit_sets(root)
+        return sets
+
+    def _lookup_circuit_sets(self, root: LocationPath) -> List[str]:
         if root.is_device:
             return [cs.set_id for cs in self._topo.circuit_sets_of(root.name)]
         return [cs.set_id for cs in self._topo.circuit_sets_under(root)]

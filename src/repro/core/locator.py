@@ -17,6 +17,20 @@ Counting semantics (§4.2): duplicate alert *types* inside one group count
 once ("we consolidate alarms of the same type from different devices into
 a single alert"), unless ``config.count_by_type`` is off -- that is the
 Figure 9 "type+location" ablation, which explodes false positives.
+
+Flood-scale fast path (``config.fast_path``): §6.2 promises end-to-end
+locating in seconds under production floods.  The reference
+implementation above is quadratic in alerting locations per sweep (the
+pairwise containment scans in :meth:`Locator._connected_components`), so
+the opt-in fast path batches :meth:`Locator.feed` into a pending buffer
+drained at sweep time, expires main-tree records through a freshness
+heap, and replaces the pairwise scans with prefix-indexed union-find
+(every containment edge runs through a registered ancestor prefix, so
+walking each location's ancestor prefixes finds exactly the same edges).
+Candidate groups are memoised on the tree's structure version between
+sweeps.  Outputs are identical to the reference path --
+``tests/test_equivalence_flood.py`` holds the two implementations
+bit-for-bit equal over a battery of seeded failure floods.
 """
 
 from __future__ import annotations
@@ -24,12 +38,15 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..topology.hierarchy import LocationPath, lowest_common_ancestor
+from ..topology.hierarchy import Level, LocationPath, lowest_common_ancestor
 from ..topology.network import Topology
 from .alert import AlertLevel, StructuredAlert
 from .alert_tree import AlertTree, TreeRecord
 from .config import SkyNetConfig
 from .incident import Incident, IncidentStatus
+
+#: One candidate alert group: (root = the group's LCA, member locations).
+CandidateGroup = Tuple[LocationPath, List[LocationPath]]
 
 
 @dataclasses.dataclass
@@ -47,9 +64,15 @@ class Locator:
     def __init__(self, topology: Topology, config: Optional[SkyNetConfig] = None) -> None:
         self._topo = topology
         self._config = config or SkyNetConfig()
-        self.main_tree = AlertTree()
+        self._fast = self._config.fast_path
+        self.main_tree = AlertTree(fast=self._fast)
         self._open: List[Incident] = []
         self._finished: List[Incident] = []
+        # fast path: alerts buffered between sweeps (drained by flush())
+        self._pending: List[StructuredAlert] = []
+        # fast path: candidate groups memoised on the tree structure version
+        self._groups_cache: Optional[List[CandidateGroup]] = None
+        self._groups_version = -1
 
     @property
     def config(self) -> SkyNetConfig:
@@ -69,16 +92,56 @@ class Locator:
     # -- Algorithm 1: alert insertion ------------------------------------------------
 
     def feed(self, alert: StructuredAlert) -> None:
-        """Insert one structured alert into the main and incident trees."""
+        """Insert one structured alert into the main and incident trees.
+
+        On the fast path the alert is buffered instead and applied by
+        :meth:`flush` (called at sweep time): the open-incident set only
+        changes at sweeps, so batching a sweep-interval's worth of alerts
+        reaches exactly the same tree and incident state."""
+        if self._fast:
+            self._pending.append(alert)
+            return
         for incident in self._open:
             if incident.covers(alert.location):
                 incident.add(alert)
         self.main_tree.insert(alert)
 
+    def feed_many(self, alerts: Iterable[StructuredAlert]) -> None:
+        """Feed a batch of structured alerts (order within the batch is
+        preserved, matching repeated :meth:`feed` calls)."""
+        if self._fast:
+            self._pending.extend(alerts)
+            return
+        for alert in alerts:
+            self.feed(alert)
+
+    def flush(self) -> None:
+        """Drain buffered alerts into the main tree and open incidents.
+
+        A no-op on the reference path (nothing is ever buffered).  Alerts
+        are applied in arrival order; incident-coverage checks collapse to
+        one containment test per (incident, location) pair."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        if self._open:
+            covered: Dict[Tuple[int, LocationPath], bool] = {}
+            for alert in pending:
+                for incident in self._open:
+                    key = (id(incident), alert.location)
+                    hit = covered.get(key)
+                    if hit is None:
+                        hit = covered[key] = incident.covers(alert.location)
+                    if hit:
+                        incident.add(alert)
+        self.main_tree.insert_batch(pending)
+
     # -- Algorithms 2 + 3: sweep --------------------------------------------------------
 
     def sweep(self, now: float) -> SweepResult:
         """Expire stale state, then try to generate new incident trees."""
+        if self._fast:
+            self.flush()
         expired = self.main_tree.expire(now, self._config.node_timeout_s)
         closed = self._close_idle(now)
         opened = self._generate(now)
@@ -99,11 +162,14 @@ class Locator:
 
     def _generate(self, now: float) -> List[Incident]:
         opened: List[Incident] = []
-        components = self._connected_components()
-        # widest groups first so a broad incident supersedes narrow ones
-        components.sort(key=lambda comp: len(_lca(comp).segments))
-        for component in components:
-            root = _lca(component)
+        if self._fast:
+            groups = self._indexed_groups()
+        else:
+            components = self._connected_components()
+            # widest groups first so a broad incident supersedes narrow ones
+            components.sort(key=lambda comp: len(_lca(comp).segments))
+            groups = [(_lca(comp), comp) for comp in components]
+        for root, component in groups:
             if self._inside_open_incident(root):
                 continue  # an incident tree for this area already exists
             failure_types, other_types = self._count_types(component)
@@ -176,8 +242,6 @@ class Locator:
                 if a.contains(b) or b.contains(a):
                     union(a, b)
 
-        from ..topology.hierarchy import Level
-
         for dev in device_locs:
             dev_parent = dev.parent
             glues_down = dev_parent.level.value >= Level.LOGIC_SITE.value
@@ -192,6 +256,149 @@ class Locator:
             groups.setdefault(find(loc), []).append(loc)
         return list(groups.values())
 
+    # -- connectivity grouping, fast path ------------------------------------------------
+
+    def _indexed_groups(self) -> List[CandidateGroup]:
+        """Candidate groups via prefix indices, memoised between sweeps.
+
+        The partition only depends on the *set* of alerting locations, so
+        the memo stays valid until the tree gains or loses a node
+        (``structure_version``).  The grouping rules are those of
+        :meth:`_connected_components`; only the edge discovery differs --
+        every containment edge there joins a location to one of its
+        ancestor prefixes, so an ancestor-prefix walk over a segments
+        index finds the same edge set in O(locations x depth) instead of
+        O(locations^2) pairwise containment tests."""
+        version = self.main_tree.structure_version
+        if self._groups_cache is not None and self._groups_version == version:
+            return self._groups_cache
+        groups = self._compute_indexed_groups()
+        self._groups_cache, self._groups_version = groups, version
+        return groups
+
+    def _device_components(
+        self, device_names: Tuple[str, ...]
+    ) -> List[List[str]]:
+        """Hop-connectivity device partition, computed via ball midpoints.
+
+        Same partition as :meth:`Topology.connected_device_components`
+        over the same name set (the edge relation -- graph distance
+        ``<= connectivity_max_hops`` -- is identical), computed without
+        materialising the max_hops fan-out per device."""
+        max_hops = self._config.connectivity_max_hops
+        current = [n for n in device_names if n in self._topo.devices]
+        parent = {n: n for n in current}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        if max_hops > 0 and max_hops % 2 == 0:
+            # midpoint decomposition: dist(a, b) <= 2k iff some device c
+            # (a shortest-path midpoint) has dist(a, c) <= k and
+            # dist(c, b) <= k, so devices sharing any radius-k ball are
+            # unioned through that ball's anchor.  Cost is sum of
+            # radius-k ball sizes -- for the default max_hops=2 that is
+            # the plain adjacency degree, not the 2-hop fan-out.
+            half = max_hops // 2
+            anchor: Dict[str, str] = {}
+            for name in current:
+                mine = anchor.setdefault(name, name)
+                if mine != name:
+                    union(name, mine)
+                for center in self._topo.hop_neighbourhood(name, half):
+                    other = anchor.setdefault(center, name)
+                    if other != name:
+                        union(name, other)
+        else:
+            name_set = set(current)
+            for name in current:
+                for hit in self._topo.hop_neighbourhood(name, max_hops) & name_set:
+                    union(name, hit)
+        groups: Dict[str, List[str]] = {}
+        for name in current:
+            groups.setdefault(find(name), []).append(name)
+        return list(groups.values())
+
+    def _compute_indexed_groups(self) -> List[CandidateGroup]:
+        locations = self.main_tree.locations()
+        if not locations:
+            return []
+        # integer-indexed union-find: find/union are pure list ops, no
+        # LocationPath hashing on the O(n alpha(n)) inner loops
+        index = {loc: i for i, loc in enumerate(locations)}
+        parent = list(range(len(locations)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        device_locs = [loc for loc in locations if loc.is_device]
+        struct_locs = [loc for loc in locations if not loc.is_device]
+
+        # alerting devices within connectivity_max_hops share a group
+        by_name = {loc.name: index[loc] for loc in device_locs}
+        for group in self._device_components(tuple(by_name)):
+            members = [by_name[n] for n in group if n in by_name]
+            for other in members[1:]:
+                union(members[0], other)
+
+        # structural containment: every contained pair meets at a
+        # registered ancestor prefix of the deeper location
+        by_segments = {loc.segments: index[loc] for loc in struct_locs}
+        for loc in struct_locs:
+            segments = loc.segments
+            own = index[loc]
+            for depth in range(len(segments)):
+                ancestor = by_segments.get(segments[:depth])
+                if ancestor is not None:
+                    union(ancestor, own)
+
+        # device-structure glue: enclosing structural prefixes upward, and
+        # (for devices attached at logic-site level or deeper) the
+        # structural locations inside the device's parent downward
+        glue_parents: Dict[Tuple[str, ...], List[int]] = {}
+        min_glue_depth = Level.LOGIC_SITE.value  # parent level as a depth check
+        for dev in device_locs:
+            dev_segments = dev.segments
+            own = index[dev]
+            for depth in range(len(dev_segments) + 1):
+                struct = by_segments.get(dev_segments[:depth])
+                if struct is not None:
+                    union(own, struct)
+            if len(dev_segments) - 1 >= min_glue_depth:
+                glue_parents.setdefault(dev_segments[:-1], []).append(own)
+        if glue_parents:
+            min_depth = min(len(segs) for segs in glue_parents)
+            for struct in struct_locs:
+                segments = struct.segments
+                own = index[struct]
+                for depth in range(min_depth, len(segments) + 1):
+                    for dev in glue_parents.get(segments[:depth], ()):
+                        union(dev, own)
+
+        grouped: Dict[int, List[LocationPath]] = {}
+        for i, loc in enumerate(locations):
+            grouped.setdefault(find(i), []).append(loc)
+        out = [(_lca_prefix(comp), comp) for comp in grouped.values()]
+        # widest groups first (stable, matching the reference sort order)
+        out.sort(key=lambda pair: len(pair[0].segments))
+        return out
+
     # -- counting ------------------------------------------------------------------
 
     def _count_types(self, component: Sequence[LocationPath]) -> Tuple[int, int]:
@@ -199,7 +406,7 @@ class Locator:
         failure_keys: Set = set()
         other_keys: Set = set()
         for location in component:
-            for record in self.main_tree.records_at(location):
+            for record in self.main_tree.iter_records_at(location):
                 if self._config.count_by_type:
                     key = record.type_key
                 else:
@@ -215,3 +422,23 @@ def _lca(component: Sequence[LocationPath]) -> LocationPath:
     if len(component) == 1:
         return component[0]
     return lowest_common_ancestor(list(component))
+
+
+def _lca_prefix(component: Sequence[LocationPath]) -> LocationPath:
+    """Same result as :func:`_lca` via one common-prefix computation.
+
+    The structural LCA is the longest common prefix of all members'
+    structural segments, and the common prefix of a set of tuples equals
+    the common prefix of its lexicographic min and max."""
+    if len(component) == 1:
+        return component[0]
+    seglists = [
+        loc.segments[:-1] if loc.is_device else loc.segments for loc in component
+    ]
+    lo, hi = min(seglists), max(seglists)
+    common = 0
+    for a, b in zip(lo, hi):
+        if a != b:
+            break
+        common += 1
+    return LocationPath(lo[:common])

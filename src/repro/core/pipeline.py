@@ -11,6 +11,11 @@ Typical use::
     reports = skynet.process(alert_stream.run(3600))
     for report in reports:
         print(report.incident.render())
+
+Flood-scale runs should enable ``config.fast_path`` (see
+``core/locator.py``): the locator then batches feeds between sweeps and
+uses index-backed grouping/expiry, producing identical incident output
+several times faster (benchmarks/bench_perf_flood.py tracks the ratio).
 """
 
 from __future__ import annotations
@@ -142,6 +147,9 @@ class SkyNet:
     def incidents(self, include_superseded: bool = False) -> List[Incident]:
         from .incident import IncidentStatus
 
+        # fast path: apply any alerts still buffered since the last sweep
+        # so readers see the same records the reference path would
+        self.locator.flush()
         items = self.locator.all_incidents()
         if not include_superseded:
             items = [i for i in items if i.status is not IncidentStatus.SUPERSEDED]

@@ -18,4 +18,5 @@ from . import (  # noqa: F401
     rep006_monitor_registry,
     rep007_float_equality,
     rep008_type_annotations,
+    rep009_alert_type_registry,
 )

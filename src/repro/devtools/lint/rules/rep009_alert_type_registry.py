@@ -1,0 +1,174 @@
+"""REP009: hard-coded alert-type keys must exist in the level tables.
+
+§4.1/§4.2: every (tool, type) SkyNet ingests is manually assigned an
+importance level in the alert-type registry (``core/alert_types.py``).
+``level_of`` deliberately defaults unknown keys to ABNORMAL so a new
+data source degrades gracefully -- which means a *typo* in a hard-coded
+key (``level_of("snmp", "link_dwon")``) never raises: the alert silently
+changes level and incident counting shifts.  This project-scoped rule
+checks every constant alert-type reference against the registry:
+
+* ``level_of("tool", "name")`` / ``type_key("tool", "name")`` calls and
+  ``AlertTypeKey(tool=..., name=...)`` constructions with literal
+  arguments must name a registered key;
+* a monitor's ``self._alert("<raw_type>", ...)`` with a literal type
+  must combine with the class's Table-2 ``name`` into a registered key
+  (the preprocessor looks the pair up verbatim);
+* the registry's own ``SPORADIC_TYPES`` / ``CONDITIONAL_TYPES`` entries
+  must be ``ALERT_TYPE_LEVELS`` keys -- a stale tuple there silently
+  stops debouncing its type.
+
+A legitimate raw carrier type that is classified *before* lookup (e.g.
+syslog's raw ``"log"`` lines, template-classified downstream) carries a
+``# lint: allow REP009`` waiver explaining itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..astutil import assigned_names, base_names, dotted_name
+from ..engine import Finding, LintRule, Project, SourceFile, register
+
+#: call names that take (tool, type-name) string pairs
+_LOOKUP_CALLS = ("level_of", "type_key")
+
+#: the second keyword of each lookup/constructor form
+_SECOND_KWARG = {"level_of": "type_name", "type_key": "type_name",
+                 "AlertTypeKey": "name"}
+
+_TABLE_NAMES = ("SPORADIC_TYPES", "CONDITIONAL_TYPES")
+
+
+def _str_const(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _pair_from_call(call: ast.Call, second_kwarg: str) -> Optional[Tuple[str, str]]:
+    """(tool, name) when both arguments are string literals."""
+    args: List[Optional[str]] = [None, None]
+    for i, arg in enumerate(call.args[:2]):
+        args[i] = _str_const(arg)
+    for kw in call.keywords:
+        if kw.arg == "tool":
+            args[0] = _str_const(kw.value)
+        elif kw.arg == second_kwarg:
+            args[1] = _str_const(kw.value)
+    if args[0] is not None and args[1] is not None:
+        return (args[0], args[1])
+    return None
+
+
+def _registered_keys(registry: SourceFile) -> Set[Tuple[str, str]]:
+    """The (tool, type) keys of the ALERT_TYPE_LEVELS table."""
+    keys: Set[Tuple[str, str]] = set()
+    assert registry.tree is not None
+    for node in ast.walk(registry.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        if "ALERT_TYPE_LEVELS" not in assigned_names(node):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            continue
+        for key in node.value.keys:
+            if isinstance(key, ast.Tuple) and len(key.elts) == 2:
+                tool, name = (_str_const(e) for e in key.elts)
+                if tool is not None and name is not None:
+                    keys.add((tool, name))
+    return keys
+
+
+def _auxiliary_tables(
+    registry: SourceFile,
+) -> Iterable[Tuple[str, ast.Tuple, Tuple[str, str]]]:
+    """(table name, tuple node, key) for SPORADIC/CONDITIONAL members."""
+    assert registry.tree is not None
+    for node in ast.walk(registry.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        names = [n for n in assigned_names(node) if n in _TABLE_NAMES]
+        if not names:
+            continue
+        for tup in ast.walk(node.value):  # type: ignore[arg-type]
+            if isinstance(tup, ast.Tuple) and len(tup.elts) == 2:
+                tool, name = (_str_const(e) for e in tup.elts)
+                if tool is not None and name is not None:
+                    yield names[0], tup, (tool, name)
+
+
+def _monitor_source_name(cls: ast.ClassDef) -> Optional[str]:
+    for stmt in cls.body:
+        if "name" in assigned_names(stmt):
+            return _str_const(stmt.value)  # type: ignore[union-attr]
+    return None
+
+
+@register
+class AlertTypeRegistryRule(LintRule):
+    rule_id = "REP009"
+    title = "hard-coded alert-type keys must be registered in the level tables"
+    paper_ref = "§4.1-4.2, Figure 6"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registry = project.module_by_suffix("core.alert_types")
+        if registry is None:
+            return
+        keys = _registered_keys(registry)
+        if not keys:
+            yield Finding(
+                path=registry.rel,
+                line=1,
+                col=1,
+                rule_id=self.rule_id,
+                message="alert-type registry defines no ALERT_TYPE_LEVELS keys",
+            )
+            return
+
+        # the registry's own auxiliary tables must stay in sync
+        for table, node, key in _auxiliary_tables(registry):
+            if key not in keys:
+                yield registry.finding(
+                    self.rule_id,
+                    node,
+                    f"{table} entry {key!r} is not an ALERT_TYPE_LEVELS key",
+                )
+
+        for source in project.files:
+            if source is registry or source.tree is None:
+                continue
+            yield from self._check_references(source, keys)
+
+    def _check_references(
+        self, source: SourceFile, keys: Set[Tuple[str, str]]
+    ) -> Iterable[Finding]:
+        monitor_name = None
+        for node in ast.walk(source.tree):  # type: ignore[arg-type]
+            if isinstance(node, ast.ClassDef) and "Monitor" in base_names(node):
+                monitor_name = monitor_name or _monitor_source_name(node)
+        for node in ast.walk(source.tree):  # type: ignore[arg-type]
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            short = name.rsplit(".", 1)[-1] if name else None
+            if short in _LOOKUP_CALLS or short == "AlertTypeKey":
+                pair = _pair_from_call(node, _SECOND_KWARG[short])
+                if pair is not None and pair not in keys:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"{short} names unregistered alert type {pair!r}; "
+                        f"register it in the alert-type level tables",
+                    )
+            elif short == "_alert" and monitor_name is not None:
+                raw_type = _str_const(node.args[0]) if node.args else None
+                if raw_type is not None and (monitor_name, raw_type) not in keys:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"monitor emits ({monitor_name!r}, {raw_type!r}) "
+                        f"which is not in the alert-type level tables",
+                    )

@@ -204,4 +204,7 @@ class SyslogMonitor(Monitor):
         return alerts
 
     def _log(self, device: str, t: float, line: str) -> RawAlert:
-        return self._alert("log", t, message=line, device=device)
+        # raw carrier type: FT-tree templates in repro.syslogproc classify
+        # each line into a registered ("syslog", <template>) key before the
+        # level lookup ever sees it
+        return self._alert("log", t, message=line, device=device)  # lint: allow REP009

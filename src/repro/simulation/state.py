@@ -27,7 +27,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..topology.hierarchy import Level, LocationPath
 from ..topology.network import INTERNET, Topology
-from ..topology.routing import HealthView, HierarchicalRouter, RoutePath
+from ..topology.routing import (
+    HealthView,
+    HierarchicalRouter,
+    ReachabilityCache,
+    RoutePath,
+)
 from ..topology.traffic import FlowPlacement, TrafficModel
 from .conditions import Condition, ConditionKind
 
@@ -55,6 +60,11 @@ class _RoutingHealth(HealthView):
     def circuit_set_usable(self, set_id: str) -> bool:
         return not self._state._circuit_set_routed_around(set_id)
 
+    def signature(self) -> Tuple[str, ...]:
+        # the converged-routing view changes exactly when the set of
+        # routing-affecting, converged conditions changes
+        return self._state._placement_signature()
+
 
 class NetworkState(HealthView):
     """Aggregate, time-aware view of the simulated network."""
@@ -72,6 +82,9 @@ class NetworkState(HealthView):
         self._conditions: List[Condition] = []
         self._now = 0.0
         self._routing_health = _RoutingHealth(self)
+        # memoised reachability queries, dropped when the converged
+        # routing view (placement signature) changes
+        self._reach_cache = ReachabilityCache(self._router)
         # caches, keyed by a signature of routing-visible conditions
         self._placement_key: Optional[Tuple[str, ...]] = None
         self._placement: Optional[FlowPlacement] = None
@@ -457,7 +470,9 @@ class NetworkState(HealthView):
         self, cluster_a: LocationPath, cluster_b: LocationPath
     ) -> Optional[float]:
         """Loss between representative servers of two clusters (Figure 7)."""
-        route = self._router.route_clusters(cluster_a, cluster_b, self._routing_health)
+        route = self._reach_cache.route_clusters(
+            cluster_a, cluster_b, self._routing_health
+        )
         if route is None:
             return None
         return self.route_loss_rate(route)

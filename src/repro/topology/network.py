@@ -159,6 +159,9 @@ class Topology:
         # caches invalidated on mutation (device graph, hop neighbourhoods)
         self._graph_cache: Optional["nx.Graph"] = None
         self._hood_cache: Dict[int, Dict[str, FrozenSet[str]]] = {}
+        # monotone mutation counter; external memoisers (e.g. the
+        # evaluator's circuit-set cache) key on it to stay coherent
+        self._version = 0
         # zero-copy read-only views handed out by the hot properties
         self._devices_view = types.MappingProxyType(self._devices)
         self._servers_view = types.MappingProxyType(self._servers)
@@ -170,6 +173,7 @@ class Topology:
         """Register a structural location (ancestors are added implicitly)."""
         if path.is_device:
             raise ValueError("use add_device for devices")
+        self._version += 1
         node = path
         while not node.is_root:
             siblings = self._children.setdefault(node.parent, [])
@@ -189,6 +193,7 @@ class Topology:
         self._devices_by_location.setdefault(device.parent_location, []).append(device.name)
         self._graph_cache = None
         self._hood_cache.clear()
+        self._version += 1
 
     def add_server(self, server: Server) -> None:
         if server.name in self._servers:
@@ -198,6 +203,7 @@ class Topology:
         self.add_location(server.cluster)
         self._servers[server.name] = server
         self._servers_by_cluster.setdefault(server.cluster, []).append(server.name)
+        self._version += 1
 
     def add_circuit_set(self, circuit_set: CircuitSet) -> None:
         if circuit_set.set_id in self._circuit_sets:
@@ -211,8 +217,15 @@ class Topology:
                 self._adjacency[end].append(circuit_set.set_id)
         self._graph_cache = None
         self._hood_cache.clear()
+        self._version += 1
 
     # -- lookups -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: changes whenever the topology is edited, so
+        long-lived memoisers can detect staleness cheaply."""
+        return self._version
 
     @property
     def devices(self) -> "Dict[str, Device]":

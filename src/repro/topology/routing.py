@@ -45,6 +45,17 @@ class HealthView:
         """True when at least one member circuit is up."""
         return True
 
+    def signature(self) -> Tuple[str, ...]:
+        """Cache token identifying the current failure-condition set.
+
+        Routing is a pure function of (topology, health), so any memoised
+        route stays valid while this signature is unchanged.  The default
+        view never fails anything, hence the constant empty token; stateful
+        subclasses return the identifiers of the active routing-affecting
+        failure conditions.
+        """
+        return ()
+
 
 ALL_HEALTHY = HealthView()
 
@@ -308,6 +319,46 @@ class HierarchicalRouter:
             if health.circuit_set_usable(cs.set_id):
                 return cs
         return None
+
+
+class ReachabilityCache:
+    """Memoised routing queries, invalidated on failure-condition change.
+
+    The locator's connectivity restriction and the Figure 7 reachability
+    matrix ask the same (source, destination) questions over and over
+    while the network state is unchanged; under an alert flood that is
+    thousands of identical hierarchical-routing walks per sweep.  This
+    cache keys every answer on :meth:`HealthView.signature`, so a failure
+    condition starting, converging or ending drops the whole memo at
+    once and correctness never depends on per-entry invalidation.
+    """
+
+    def __init__(self, router: HierarchicalRouter) -> None:
+        self._router = router
+        self._signature: Optional[Tuple[str, ...]] = None
+        self._cluster_routes: Dict[Tuple[LocationPath, LocationPath],
+                                   Optional[RoutePath]] = {}
+
+    def _refresh(self, health: HealthView) -> None:
+        signature = health.signature()
+        if signature != self._signature:
+            self._cluster_routes.clear()
+            self._signature = signature
+
+    def route_clusters(
+        self,
+        cluster_a: LocationPath,
+        cluster_b: LocationPath,
+        health: HealthView = ALL_HEALTHY,
+    ) -> Optional[RoutePath]:
+        """Cached :meth:`HierarchicalRouter.route_clusters`."""
+        self._refresh(health)
+        key = (cluster_a, cluster_b)
+        if key not in self._cluster_routes:
+            self._cluster_routes[key] = self._router.route_clusters(
+                cluster_a, cluster_b, health
+            )
+        return self._cluster_routes[key]
 
 
 def _preference(src: str, dst: str) -> int:

@@ -1,0 +1,15 @@
+"""Fixture registry whose auxiliary table has drifted."""
+
+ALERT_TYPE_LEVELS = {
+    ("ping", "end_to_end_icmp_loss"): "failure",
+    ("snmp", "link_down"): "root_cause",
+    ("syslog", "port_down"): "root_cause",
+}
+
+# ("ping", "high_latency") was renamed away but the debounce table kept it
+SPORADIC_TYPES = frozenset(
+    {
+        ("ping", "end_to_end_icmp_loss"),
+        ("ping", "high_latency"),
+    }
+)

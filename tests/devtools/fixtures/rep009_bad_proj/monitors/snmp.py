@@ -1,0 +1,14 @@
+"""Fixture monitor emitting a typo'd raw type."""
+
+
+class Monitor:
+    def _alert(self, raw_type, t, **kwargs):
+        return (self.name, raw_type, t)
+
+
+class SnmpMonitor(Monitor):
+    name = "snmp"
+
+    def observe(self, t):
+        # typo: the registry spells it "link_down"
+        return [self._alert("link_dwon", t)]

@@ -1,0 +1,23 @@
+"""Fixture consumers hard-coding unregistered alert-type keys."""
+
+from .core.alert_types import ALERT_TYPE_LEVELS  # noqa: F401
+
+
+def level_of(tool, type_name):
+    return ALERT_TYPE_LEVELS.get((tool, type_name), "abnormal")
+
+
+class AlertTypeKey:
+    def __init__(self, tool, name):
+        self.tool = tool
+        self.name = name
+
+
+def classify():
+    # typo: forever-ABNORMAL instead of raising
+    return level_of("snmp", "link_dwon")
+
+
+def build_key():
+    # unregistered pair hard-coded at a call site
+    return AlertTypeKey(tool="ping", name="latency_spike")

@@ -1,0 +1,13 @@
+"""Fixture registry with consistent level and debounce tables."""
+
+ALERT_TYPE_LEVELS = {
+    ("ping", "end_to_end_icmp_loss"): "failure",
+    ("snmp", "link_down"): "root_cause",
+    ("syslog", "port_down"): "root_cause",
+}
+
+SPORADIC_TYPES = frozenset(
+    {
+        ("ping", "end_to_end_icmp_loss"),
+    }
+)

@@ -1,0 +1,21 @@
+"""Fixture monitors emitting only registered (or waived) raw types."""
+
+
+class Monitor:
+    def _alert(self, raw_type, t, **kwargs):
+        return (self.name, raw_type, t)
+
+
+class PingMonitor(Monitor):
+    name = "ping"
+
+    def observe(self, t):
+        return [self._alert("end_to_end_icmp_loss", t)]
+
+
+class SyslogMonitor(Monitor):
+    name = "syslog"
+
+    def observe(self, t):
+        # raw carrier: classified into a registered key downstream
+        return [self._alert("log", t)]  # lint: allow REP009

@@ -1,0 +1,30 @@
+"""Fixture consumers referencing only registered keys (or variables)."""
+
+from .core.alert_types import ALERT_TYPE_LEVELS  # noqa: F401
+
+
+def level_of(tool, type_name):
+    return ALERT_TYPE_LEVELS.get((tool, type_name), "abnormal")
+
+
+def type_key(tool, type_name):
+    return (tool, type_name)
+
+
+class AlertTypeKey:
+    def __init__(self, tool, name):
+        self.tool = tool
+        self.name = name
+
+
+def classify(alert):
+    # variables are out of scope for the rule -- only literals are checked
+    return level_of(alert.tool, alert.raw_type)
+
+
+def registered_uses():
+    return (
+        level_of("snmp", "link_down"),
+        type_key(tool="syslog", type_name="port_down"),
+        AlertTypeKey(tool="ping", name="end_to_end_icmp_loss"),
+    )

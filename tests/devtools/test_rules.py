@@ -50,6 +50,21 @@ def test_rep006_silent_on_good_project():
     assert findings == [], "\n".join(f.render() for f in findings)
 
 
+def test_rep009_fires_on_bad_project():
+    findings = run_rule("REP009", FIXTURES / "rep009_bad_proj")
+    messages = [f.message for f in findings]
+    assert len(findings) == 4, "\n".join(messages)
+    assert any("SPORADIC_TYPES" in m and "high_latency" in m for m in messages)
+    assert any("monitor emits" in m and "link_dwon" in m for m in messages)
+    assert any(m.startswith("level_of") for m in messages)
+    assert any("latency_spike" in m for m in messages)
+
+
+def test_rep009_silent_on_good_project():
+    findings = run_rule("REP009", FIXTURES / "rep009_good_proj")
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
 def test_rep003_options_override():
     # with a different constant set, 300/900 are no longer special
     engine = LintEngine(
