@@ -1,0 +1,208 @@
+"""Runtime sharding benchmark: locate-stage throughput vs shard count.
+
+Replays a seeded *rolling* severe-failure storm (continuous failures
+and recoveries, ~20% of the fabric down at any instant)
+through :class:`repro.runtime.ShardedLocator` at shard counts {1, 2, 4},
+on both the reference and ``fast_path`` grouping rules, and reports
+alerts/sec through the locate stage.  Output identity across shard
+counts is asserted on every tier (the differential gate of
+``tests/runtime/test_shard_invariance.py``, re-checked here at flood
+scale), so the throughput numbers are for *exactly equivalent* work.
+
+The committed ``BENCH_runtime_throughput.json`` documents the payoff the
+runtime's shard router buys on the reference rules, where grouping cost
+is quadratic in live tree locations: partitioning the benchmark fabric's
+regions over shards divides that quadratic term even on a single core.
+
+Environment knobs (same contract as bench_perf_flood):
+
+* ``SKYNET_BENCH_TIERS`` -- comma list of tiers (``1k,10k,50k`` or
+  ``all``; default ``1k,10k``).  CI's runtime-smoke job runs ``1k``.
+* ``SKYNET_BENCH_TINY`` -- miniature tier on the tiny topology for
+  tests/test_bench_smoke.py.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import random
+import re
+import time
+from typing import Dict, List, Tuple
+
+from repro.core.config import PRODUCTION_CONFIG
+from repro.core.preprocessor import Preprocessor
+from repro.monitors import build_monitors
+from repro.monitors.stream import AlertStream
+from repro.runtime.sharding import ShardedLocator
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+
+if os.environ.get("SKYNET_BENCH_TINY"):
+    JSON_PATH = (
+        pathlib.Path(__file__).parent
+        / "results-tiny"
+        / "BENCH_runtime_throughput.json"
+    )
+else:
+    JSON_PATH = pathlib.Path(__file__).parent.parent / "BENCH_runtime_throughput.json"
+
+_TIERS = {"1k": 1_000, "10k": 10_000, "50k": 50_000}
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _selected_tiers() -> List[Tuple[str, int]]:
+    if os.environ.get("SKYNET_BENCH_TINY"):
+        return [("tiny", 200)]
+    raw = os.environ.get("SKYNET_BENCH_TIERS", "1k,10k")
+    if raw.strip().lower() == "all":
+        return list(_TIERS.items())
+    out = []
+    for token in raw.split(","):
+        token = token.strip()
+        if token in _TIERS:
+            out.append((token, _TIERS[token]))
+    return out or [("1k", _TIERS["1k"])]
+
+
+def _topology():
+    if os.environ.get("SKYNET_BENCH_TINY"):
+        return build_topology(TopologySpec.tiny())
+    return build_topology(TopologySpec.benchmark())
+
+
+def _flood(topo, n: int, seed: int) -> List[Tuple[float, object]]:
+    """Rolling severe-failure storm, pre-preprocessed to ``n`` structured
+    alerts -- the locate stage's input unit.
+
+    Unlike ``bench_perf_flood``'s one permanent wave, devices here fail
+    *and recover* continuously (each outage 10-20 min, ~20% of the fabric
+    down at any instant over a 2 h horizon).  That is the Sec. 2.2 regime
+    the runtime targets: the alerting-location set keeps churning, so the
+    quadratic grouping term keeps being paid -- which is exactly the work
+    the shard router divides.
+    """
+    rng = random.Random(seed)
+    state = NetworkState(topo)
+    devices = sorted(topo.devices)
+    horizon = 7_200.0
+    mean_outage = 900.0
+    target_down = max(3, len(devices) // 5)
+    for _ in range(int(target_down * horizon / mean_outage)):
+        start = 60.0 + rng.uniform(0.0, horizon)
+        state.add_condition(
+            Condition(
+                kind=ConditionKind.DEVICE_DOWN,
+                target=rng.choice(devices),
+                start=start,
+                end=start + rng.uniform(600.0, 1_200.0),
+            )
+        )
+    prep = Preprocessor(topo, PRODUCTION_CONFIG)
+    structured: List[Tuple[float, object]] = []
+    for raw in AlertStream(state, build_monitors(state, seed=seed)).run(86_400.0):
+        for alert in prep.feed(raw):
+            structured.append((raw.delivered_at, alert))
+        if len(structured) >= n:
+            break
+    return structured
+
+
+def _locate(topo, structured, shards: int, fast: bool) -> Tuple[float, ShardedLocator]:
+    config = dataclasses.replace(
+        PRODUCTION_CONFIG,
+        fast_path=fast,
+        runtime=dataclasses.replace(PRODUCTION_CONFIG.runtime, shards=shards),
+    )
+    locator = ShardedLocator(topo, config)
+    interval = config.sweep_interval_s
+    start = time.perf_counter()
+    last_sweep = float("-inf")
+    now = float("-inf")
+    for t, alert in structured:
+        now = max(now, t)
+        locator.feed(alert)
+        if now - last_sweep >= interval:
+            locator.sweep(now)
+            last_sweep = now
+    locator.sweep(now + 2 * PRODUCTION_CONFIG.incident_timeout_s)
+    return time.perf_counter() - start, locator
+
+
+def _fingerprint(locator: ShardedLocator) -> List[str]:
+    return sorted(
+        re.sub(r"incident-\d+", "incident-N", incident.render())
+        for incident in locator.all_incidents()
+    )
+
+
+def test_runtime_throughput(emit):
+    topo = _topology()
+    seed = 2025
+    report: Dict = {
+        "bench": "runtime_throughput",
+        "seed": seed,
+        "topology": topo.stats(),
+        "shard_counts": list(SHARD_COUNTS),
+        "tiers": [],
+    }
+    for name, n in _selected_tiers():
+        structured = _flood(topo, n, seed)
+        tier: Dict = {
+            "name": name,
+            "structured_alerts": len(structured),
+            "rows": [],
+        }
+        expected = None
+        speedup_at = {}  # (rules, shards) -> x over 1 shard, same rules
+        for fast in (False, True):
+            rules = "fast" if fast else "reference"
+            base_s = None
+            for shards in SHARD_COUNTS:
+                seconds, locator = _locate(topo, structured, shards, fast)
+                fp = _fingerprint(locator)
+                if expected is None:
+                    expected = fp
+                    tier["incidents"] = len(fp)
+                assert fp == expected, (
+                    f"tier {name}: {rules} rules at {shards} shard(s) "
+                    f"diverged from the 1-shard reference output"
+                )
+                if base_s is None:
+                    base_s = seconds
+                speedup = base_s / seconds if seconds > 0 else float("inf")
+                speedup_at[(rules, shards)] = speedup
+                throughput = len(structured) / seconds if seconds > 0 else 0.0
+                tier["rows"].append(
+                    {
+                        "rules": rules,
+                        "shards": shards,
+                        "locate_s": round(seconds, 4),
+                        "alerts_per_s": round(throughput, 1),
+                        "speedup_vs_1_shard": round(speedup, 2),
+                    }
+                )
+                emit(
+                    "runtime_throughput",
+                    f"{name} {rules:9s} shards={shards}: "
+                    f"{seconds:.3f}s locate, {throughput:,.0f} alerts/s "
+                    f"({speedup:.2f}x vs 1 shard)",
+                )
+        report["tiers"].append(tier)
+        # the tentpole target: sharding pays for itself where grouping is
+        # quadratic -- >=2x locate throughput at 4 shards on the 50k tier
+        if name == "50k":
+            assert speedup_at[("reference", 4)] >= 2.0, (
+                f"50k reference 4-shard speedup "
+                f"{speedup_at[('reference', 4)]:.2f}x below the 2x target"
+            )
+
+    JSON_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(JSON_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    emit("runtime_throughput", f"wrote {JSON_PATH.name}")

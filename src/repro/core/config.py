@@ -90,11 +90,42 @@ class SeverityParams:
 
 
 @dataclasses.dataclass(frozen=True)
+class RuntimeParams:
+    """Knobs for the ``repro.runtime`` online service (sharding, journal,
+    checkpoints, admission control).
+
+    These govern *how* the pipeline is hosted, never *what* it computes:
+    any shard count and any checkpoint cadence must produce byte-identical
+    incident reports (pinned by ``tests/runtime/``), and admission-control
+    shedding is off unless ``backpressure`` is set.
+    """
+
+    #: locator shards the alert tree is partitioned over (by Region
+    #: subtree; cross-region alert groups are merged exactly, see
+    #: ``repro.runtime.sharding``)
+    shards: int = 1
+    #: journal segment rotation threshold (records per JSONL segment)
+    journal_segment_records: int = 2000
+    #: sim-time seconds between snapshot checkpoints (0 disables)
+    checkpoint_interval_s: float = 600.0
+    #: admission-control backpressure: when the ingest window overflows,
+    #: shed load along the §4.1 consolidation ladder (dedup -> single-source
+    #: suppression -> cross-source combination), counting every shed
+    backpressure: bool = False
+    #: rolling window the admission controller measures inflow over
+    admission_window_s: float = 10.0
+    #: raw alerts per window above which shedding starts (ladder rung 1);
+    #: rungs 2 and 3 engage at 2x and 4x the watermark
+    admission_watermark: int = 400
+
+
+@dataclasses.dataclass(frozen=True)
 class SkyNetConfig:
     """Top-level configuration for the whole pipeline."""
 
     thresholds: IncidentThresholds = IncidentThresholds()
     severity: SeverityParams = SeverityParams()
+    runtime: RuntimeParams = RuntimeParams()
     #: main-tree alert timeout (§4.2: 5 minutes, sized by SNMP delays)
     node_timeout_s: float = 300.0
     #: incident-tree idle timeout (§4.2: "the threshold is set to 15 minutes")

@@ -21,7 +21,7 @@ Figure 9 "type+location" ablation, which explodes false positives.
 Flood-scale fast path (``config.fast_path``): §6.2 promises end-to-end
 locating in seconds under production floods.  The reference
 implementation above is quadratic in alerting locations per sweep (the
-pairwise containment scans in :meth:`Locator._connected_components`), so
+pairwise containment scans in :meth:`Locator._component_partition`), so
 the opt-in fast path batches :meth:`Locator.feed` into a pending buffer
 drained at sweep time, expires main-tree records through a freshness
 heap, and replaces the pairwise scans with prefix-indexed union-find
@@ -162,14 +162,7 @@ class Locator:
 
     def _generate(self, now: float) -> List[Incident]:
         opened: List[Incident] = []
-        if self._fast:
-            groups = self._indexed_groups()
-        else:
-            components = self._connected_components()
-            # widest groups first so a broad incident supersedes narrow ones
-            components.sort(key=lambda comp: len(_lca(comp).segments))
-            groups = [(_lca(comp), comp) for comp in components]
-        for root, component in groups:
+        for root, component in self._candidate_groups():
             if self._inside_open_incident(root):
                 continue  # an incident tree for this area already exists
             failure_types, other_types = self._count_types(component)
@@ -196,7 +189,23 @@ class Locator:
 
     # -- connectivity grouping ------------------------------------------------------------
 
-    def _connected_components(self) -> List[List[LocationPath]]:
+    def _candidate_groups(self) -> List[CandidateGroup]:
+        """Rooted candidate groups for this sweep, widest first.
+
+        The extension hook for alternative grouping engines (the sharded
+        locator in ``repro.runtime`` overrides this with a per-shard
+        partition plus an exact cross-shard merge); the base class picks
+        the reference pairwise scan or the prefix-indexed fast path."""
+        if self._fast:
+            return self._indexed_groups()
+        components = self._component_partition(self.main_tree.locations())
+        # widest groups first so a broad incident supersedes narrow ones
+        components.sort(key=lambda comp: len(_lca(comp).segments))
+        return [(_lca(comp), comp) for comp in components]
+
+    def _component_partition(
+        self, locations: List[LocationPath]
+    ) -> List[List[LocationPath]]:
         """Partition alerting locations into topology-connected groups.
 
         Rules (see DESIGN.md):
@@ -210,7 +219,6 @@ class Locator:
           deeper: a backbone router's alert must not claim every alert in
           its region, or concurrent scenes would merge into one blob.
         """
-        locations = self.main_tree.locations()
         if not locations:
             return []
         parent: Dict[LocationPath, LocationPath] = {loc: loc for loc in locations}
@@ -264,7 +272,7 @@ class Locator:
         The partition only depends on the *set* of alerting locations, so
         the memo stays valid until the tree gains or loses a node
         (``structure_version``).  The grouping rules are those of
-        :meth:`_connected_components`; only the edge discovery differs --
+        :meth:`_component_partition`; only the edge discovery differs --
         every containment edge there joins a location to one of its
         ancestor prefixes, so an ancestor-prefix walk over a segments
         index finds the same edge set in O(locations x depth) instead of
@@ -328,7 +336,16 @@ class Locator:
         return list(groups.values())
 
     def _compute_indexed_groups(self) -> List[CandidateGroup]:
-        locations = self.main_tree.locations()
+        components = self._indexed_partition(self.main_tree.locations())
+        out = [(_lca_prefix(comp), comp) for comp in components]
+        # widest groups first (stable, matching the reference sort order)
+        out.sort(key=lambda pair: len(pair[0].segments))
+        return out
+
+    def _indexed_partition(
+        self, locations: List[LocationPath]
+    ) -> List[List[LocationPath]]:
+        """:meth:`_component_partition` via prefix indices (same output)."""
         if not locations:
             return []
         # integer-indexed union-find: find/union are pure list ops, no
@@ -394,10 +411,7 @@ class Locator:
         grouped: Dict[int, List[LocationPath]] = {}
         for i, loc in enumerate(locations):
             grouped.setdefault(find(i), []).append(loc)
-        out = [(_lca_prefix(comp), comp) for comp in grouped.values()]
-        # widest groups first (stable, matching the reference sort order)
-        out.sort(key=lambda pair: len(pair[0].segments))
-        return out
+        return list(grouped.values())
 
     # -- counting ------------------------------------------------------------------
 

@@ -32,9 +32,26 @@ from .alert import StructuredAlert
 from .config import PRODUCTION_CONFIG, SkyNetConfig
 from .evaluator import Evaluator
 from .incident import Incident, SeverityBreakdown
-from .locator import Locator
+from .locator import Locator, SweepResult
 from .preprocessor import PreprocessStats, Preprocessor
 from .zoom_in import LocationZoomIn
+
+
+class PipelineObserver:
+    """No-op observation hooks on the streaming pipeline.
+
+    ``repro.runtime`` subclasses this to thread its metrics registry
+    through the preprocess/locate/evaluate stages without the core ever
+    importing the runtime package (or a clock -- observers see only alert
+    time).  Every hook defaults to a no-op so the batch facade stays
+    zero-overhead when nothing is observing.
+    """
+
+    def on_raw(self, raw: RawAlert, emitted: List[StructuredAlert]) -> None:
+        """One raw alert was preprocessed into ``emitted`` structured alerts."""
+
+    def on_sweep(self, now: float, result: SweepResult) -> None:
+        """One locator sweep ran (incidents opened/closed, records expired)."""
 
 
 @dataclasses.dataclass
@@ -71,13 +88,18 @@ class SkyNet:
         state: Optional[NetworkState] = None,
         traffic: Optional[TrafficModel] = None,
         classifier: Optional[TemplateClassifier] = None,
+        locator: Optional[Locator] = None,
+        observer: Optional[PipelineObserver] = None,
     ) -> None:
         self._topo = topology
         self._config = config or PRODUCTION_CONFIG
         self.preprocessor = Preprocessor(topology, self._config, classifier)
-        self.locator = Locator(topology, self._config)
+        # the runtime service passes a ShardedLocator here; any Locator
+        # subclass must keep output byte-identical (tests/runtime pins it)
+        self.locator = locator if locator is not None else Locator(topology, self._config)
         self.evaluator = Evaluator(topology, self._config, state=state, traffic=traffic)
         self.zoom = LocationZoomIn(topology)
+        self.observer = observer
         self._last_sweep = float("-inf")
         self._now = float("-inf")
 
@@ -102,6 +124,8 @@ class SkyNet:
         emitted = self.preprocessor.feed(raw)
         for alert in emitted:
             self.locator.feed(alert)
+        if self.observer is not None:
+            self.observer.on_raw(raw, emitted)
         if self._now - self._last_sweep >= self._config.sweep_interval_s:
             self.sweep(self._now)
         return emitted
@@ -120,6 +144,8 @@ class SkyNet:
         # keep open-incident scores fresh for live ranking
         for incident in self.locator.open_incidents:
             self.evaluator.evaluate(incident, now)
+        if self.observer is not None:
+            self.observer.on_sweep(now, result)
 
     def finish(self, now: Optional[float] = None) -> None:
         """Close out a run: generate from whatever is live, then advance far

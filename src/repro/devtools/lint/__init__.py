@@ -11,6 +11,7 @@ Run from the shell as ``python -m repro.devtools.lint [paths]``.
 
 from __future__ import annotations
 
+from .cache import DEFAULT_CACHE_FILE, run_with_cache
 from .engine import (
     Finding,
     LintEngine,
@@ -24,6 +25,7 @@ from .engine import (
 )
 
 __all__ = [
+    "DEFAULT_CACHE_FILE",
     "Finding",
     "LintEngine",
     "LintReport",
@@ -33,4 +35,5 @@ __all__ = [
     "UsageError",
     "register",
     "registered_rules",
+    "run_with_cache",
 ]

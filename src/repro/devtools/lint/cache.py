@@ -1,0 +1,255 @@
+"""Incremental lint runs: an mtime/size result cache for skynet-lint.
+
+The engine parses every file it checks; on a warm tree that parse cost
+dominates, and almost nothing has changed between runs.  This module
+caches a finished run in ``.skynet-lint-cache.json`` (gitignored) and on
+the next run:
+
+* **full hit** -- no file changed (mtime_ns + size both match) and the
+  file *set* is identical: the whole report is rebuilt from the cache
+  with zero parsing;
+* **partial hit** -- some files changed: everything is re-parsed (the
+  project-scoped rules legitimately need the whole tree -- a registry
+  edit can change findings in *other* files), project rules re-run, but
+  file-scoped rules only run over the changed files; unchanged files
+  reuse their cached findings.
+
+Soundness: file-scoped findings depend only on a file's own bytes plus
+the rule set, and waivers live in the file itself, so mtime_ns + size
+identity makes reuse exact.  The cache key also fingerprints the rule
+set -- ids, resolved options, and each rule module's own stat -- so
+editing a rule or passing different ``--select``/options invalidates
+everything.  A corrupt or unreadable cache is ignored and rebuilt, never
+an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .engine import (
+    PARSE_ERROR_RULE,
+    Finding,
+    LintEngine,
+    LintReport,
+    Project,
+    SourceFile,
+)
+
+#: default cache location, relative to the working directory
+DEFAULT_CACHE_FILE = ".skynet-lint-cache.json"
+
+_CACHE_VERSION = 1
+
+
+def _stat_key(path: pathlib.Path) -> Optional[List[int]]:
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return [st.st_mtime_ns, st.st_size]
+
+
+def ruleset_fingerprint(engine: LintEngine) -> str:
+    """Hash of the engine's rule set: ids, options, and rule-module stats."""
+    payload: List[Any] = []
+    for rule in engine.rules:
+        try:
+            module_file = inspect.getfile(type(rule))
+            module_stat = _stat_key(pathlib.Path(module_file))
+        except (TypeError, OSError):
+            module_file, module_stat = type(rule).__qualname__, None
+        payload.append(
+            [
+                rule.rule_id,
+                sorted((key, repr(value)) for key, value in rule.options.items()),
+                module_file,
+                module_stat,
+            ]
+        )
+    blob = json.dumps([_CACHE_VERSION, payload], sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _snapshot(stats: Dict[str, List[int]]) -> str:
+    blob = json.dumps(sorted(stats.items()))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _load(cache_path: pathlib.Path, fingerprint: str) -> Dict[str, Any]:
+    """The cached state, or a fresh empty one when missing/stale/corrupt."""
+    empty: Dict[str, Any] = {"files": {}, "project": None}
+    try:
+        data = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return empty
+    if not isinstance(data, dict):
+        return empty
+    if data.get("version") != _CACHE_VERSION or data.get("fingerprint") != fingerprint:
+        return empty
+    files = data.get("files")
+    project = data.get("project")
+    if not isinstance(files, dict):
+        return empty
+    for entry in files.values():
+        if not (
+            isinstance(entry, dict)
+            and isinstance(entry.get("stat"), list)
+            and isinstance(entry.get("findings"), list)
+        ):
+            return empty
+    if project is not None and not (
+        isinstance(project, dict)
+        and isinstance(project.get("snapshot"), str)
+        and isinstance(project.get("findings"), list)
+    ):
+        return empty
+    return {"files": files, "project": project}
+
+
+def _revive(dicts: Sequence[Dict[str, Any]]) -> List[Finding]:
+    out = []
+    for d in dicts:
+        out.append(
+            Finding(
+                path=str(d["path"]),
+                line=int(d["line"]),
+                col=int(d["col"]),
+                rule_id=str(d["rule_id"]),
+                message=str(d["message"]),
+            )
+        )
+    return out
+
+
+def _file_findings(engine: LintEngine, source: SourceFile) -> List[Finding]:
+    """Parse-error plus file-scoped findings for one source, waiver-filtered."""
+    if source.parse_error is not None:
+        exc = source.parse_error
+        return [
+            Finding(
+                path=source.rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    if source.skip_all:
+        return []
+    findings: List[Finding] = []
+    for rule in engine.rules:
+        if rule.scope != "file" or not rule.applies_to(source):
+            continue
+        for finding in rule.check_file(source):
+            if not source.waived(finding.rule_id, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def _project_findings(engine: LintEngine, sources: Sequence[SourceFile]) -> List[Finding]:
+    checkable = [s for s in sources if s.parse_error is None and not s.skip_all]
+    by_path = {s.rel: s for s in checkable}
+    project = Project(checkable)
+    findings: List[Finding] = []
+    for rule in engine.rules:
+        if rule.scope != "project":
+            continue
+        for finding in rule.check_project(project):
+            owner = by_path.get(finding.path)
+            if owner is not None and owner.waived(finding.rule_id, finding.line):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def run_with_cache(
+    engine: LintEngine,
+    paths: Sequence[Union[str, pathlib.Path]],
+    cache_path: Union[str, pathlib.Path] = DEFAULT_CACHE_FILE,
+) -> LintReport:
+    """Like ``engine.run(paths)`` but memoised through ``cache_path``.
+
+    Produces a report identical to an uncached run (the equivalence is
+    pinned by tests/devtools/test_cache.py); only the work to get there
+    differs.
+    """
+    cache_path = pathlib.Path(cache_path)
+    discovered = LintEngine.discover(paths)
+    fingerprint = ruleset_fingerprint(engine)
+    cached = _load(cache_path, fingerprint)
+
+    keyed: List[Tuple[pathlib.Path, str, Optional[List[int]]]] = []
+    stats: Dict[str, List[int]] = {}
+    for path in discovered:
+        key = path.resolve().as_posix()
+        stat = _stat_key(path)
+        keyed.append((path, key, stat))
+        if stat is not None:
+            stats[key] = stat
+    snapshot = _snapshot(stats)
+
+    def hit(key: str, stat: Optional[List[int]]) -> bool:
+        entry = cached["files"].get(key)
+        return entry is not None and stat is not None and entry["stat"] == stat
+
+    project_entry = cached["project"]
+    if (
+        all(hit(key, stat) for _, key, stat in keyed)
+        and project_entry is not None
+        and project_entry["snapshot"] == snapshot
+    ):
+        findings: List[Finding] = _revive(project_entry["findings"])
+        for _, key, _ in keyed:
+            findings.extend(_revive(cached["files"][key]["findings"]))
+        return LintReport(
+            findings=sorted(findings),
+            files_checked=len(keyed),
+            rules_run=[rule.rule_id for rule in engine.rules],
+        )
+
+    files_out: Dict[str, Any] = {}
+    findings = []
+    sources: List[SourceFile] = []
+    for path, key, stat in keyed:
+        source = SourceFile(path)
+        sources.append(source)
+        if hit(key, stat):
+            per_file = _revive(cached["files"][key]["findings"])
+        else:
+            per_file = _file_findings(engine, source)
+        findings.extend(per_file)
+        if stat is not None:
+            files_out[key] = {
+                "stat": stat,
+                "findings": [f.as_dict() for f in per_file],
+            }
+    project_found = _project_findings(engine, sources)
+    findings.extend(project_found)
+
+    payload = {
+        "version": _CACHE_VERSION,
+        "fingerprint": fingerprint,
+        "files": files_out,
+        "project": {
+            "snapshot": snapshot,
+            "findings": [f.as_dict() for f in project_found],
+        },
+    }
+    try:
+        tmp = cache_path.with_name(cache_path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+        os.replace(tmp, cache_path)
+    except OSError:
+        pass  # a read-only tree just means the next run is cold again
+
+    return LintReport(
+        findings=sorted(findings),
+        files_checked=len(keyed),
+        rules_run=[rule.rule_id for rule in engine.rules],
+    )

@@ -9,6 +9,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .cache import DEFAULT_CACHE_FILE, run_with_cache
 from .engine import LintEngine, UsageError, registered_rules
 
 
@@ -52,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the result cache",
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="PATH",
+        default=DEFAULT_CACHE_FILE,
+        help=f"result cache location (default: {DEFAULT_CACHE_FILE})",
+    )
     return parser
 
 
@@ -73,7 +85,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore) or (),
         )
-        report = engine.run(args.paths)
+        if args.no_cache:
+            report = engine.run(args.paths)
+        else:
+            report = run_with_cache(engine, args.paths, args.cache_file)
     except UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

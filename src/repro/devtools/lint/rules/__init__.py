@@ -19,4 +19,5 @@ from . import (  # noqa: F401
     rep007_float_equality,
     rep008_type_annotations,
     rep009_alert_type_registry,
+    rep010_monitor_cadence,
 )

@@ -44,8 +44,10 @@ class CoreAnnotationRule(LintRule):
     paper_ref = "(typing gate; mirrors mypy CI)"
     include_modules = ("repro.core.*",)
     default_options = {
-        #: additional dotted-module fnmatch patterns to cover
-        "extra_modules": (),
+        #: additional dotted-module fnmatch patterns to cover; simulation
+        #: and the runtime service graduated into the typed set and are
+        #: checked by default (mirroring the pyproject mypy overrides)
+        "extra_modules": ("repro.simulation.*", "repro.runtime.*"),
     }
 
     def applies_to(self, source: SourceFile) -> bool:

@@ -1,0 +1,170 @@
+"""REP010: monitor cadence literals must match the Table-2 registry.
+
+Table 2 fixes each tool's polling period, and §4.2 documents the one
+delivery-delay bound that sized SkyNet's incident timeout (SNMP counters
+from legacy gear arrive up to ~2 minutes late).  The repro records both
+in ``monitors/registry.py`` as ``TABLE2_CADENCE`` so experiments can
+introspect them; the monitor classes carry the *same* numbers as
+``period_s`` / ``*_DELAY_S`` literals the scheduler actually uses.  When
+the two copies drift, coverage and detection-delay benches silently
+measure a cadence the registry (and the paper tables built from it) no
+longer describes.  This project-scoped rule cross-checks, for every
+concrete ``Monitor`` subclass that declares a Table-2 ``name``:
+
+* a ``period_s = <literal>`` class attribute must equal the registry's
+  ``period_s`` for that source (inheriting the base default is exempt);
+* the source must have a ``TABLE2_CADENCE`` entry at all;
+* a module-level ``<X>_DELAY_S = <literal>`` constant must match the
+  registry's ``delivery_delay_s`` -- in both directions: an undocumented
+  delay constant and a registry delay with no backing constant are each
+  findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..astutil import assigned_names, base_names
+from ..engine import Finding, LintRule, Project, SourceFile, register
+
+#: monitor-package modules that carry no monitor class to check
+_INFRA_MODULES = ("registry", "base", "stream", "__init__")
+
+
+def _cadence_table(registry: SourceFile) -> Dict[str, Dict[str, float]]:
+    """``TABLE2_CADENCE`` read straight from the registry module's AST."""
+    table: Dict[str, Dict[str, float]] = {}
+    assert registry.tree is not None
+    for node in registry.tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        if "TABLE2_CADENCE" not in assigned_names(node):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            continue
+        for key, entry in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            if not isinstance(entry, ast.Dict):
+                continue
+            fields: Dict[str, float] = {}
+            for fkey, fval in zip(entry.keys, entry.values):
+                if (
+                    isinstance(fkey, ast.Constant)
+                    and isinstance(fkey.value, str)
+                    and isinstance(fval, ast.Constant)
+                    and isinstance(fval.value, (int, float))
+                ):
+                    fields[fkey.value] = float(fval.value)
+            table[key.value] = fields
+    return table
+
+
+def _declared_name(cls: ast.ClassDef) -> Optional[str]:
+    for stmt in cls.body:
+        for bound in assigned_names(stmt):
+            if bound == "name":
+                value = stmt.value  # type: ignore[union-attr]
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    return value.value
+    return None
+
+
+def _numeric_attr(cls: ast.ClassDef, attr: str) -> Optional[Tuple[ast.stmt, float]]:
+    for stmt in cls.body:
+        if attr in assigned_names(stmt):
+            value = stmt.value  # type: ignore[union-attr]
+            if isinstance(value, ast.Constant) and isinstance(value.value, (int, float)):
+                return stmt, float(value.value)
+    return None
+
+
+def _module_delay_constants(source: SourceFile) -> List[Tuple[ast.stmt, str, float]]:
+    out: List[Tuple[ast.stmt, str, float]] = []
+    assert source.tree is not None
+    for node in source.tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if not (isinstance(value, ast.Constant) and isinstance(value.value, (int, float))):
+            continue
+        for bound in assigned_names(node):
+            if bound.endswith("_DELAY_S"):
+                out.append((node, bound, float(value.value)))
+    return out
+
+
+@register
+class MonitorCadenceRule(LintRule):
+    rule_id = "REP010"
+    title = "monitor cadence literals must match the Table-2 registry"
+    paper_ref = "Table 2, §4.2"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registry = project.module_by_suffix("monitors.registry")
+        monitor_files: List[SourceFile] = [
+            f
+            for f in project.files
+            if f.module is not None
+            and "monitors" in f.module.split(".")[:-1]
+            and f.module.rsplit(".", 1)[-1] not in _INFRA_MODULES
+        ]
+        if registry is None or not monitor_files:
+            return
+        cadence = _cadence_table(registry)
+        if not cadence:
+            return  # no TABLE2_CADENCE table to check against (REP006's job)
+        for source in monitor_files:
+            assert source.tree is not None
+            delay_consts = _module_delay_constants(source)
+            delay_expected: Dict[str, float] = {}
+            for node in source.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if "Monitor" not in base_names(node):
+                    continue
+                declared = _declared_name(node)
+                if declared is None:
+                    continue  # unnamed/abstract monitors are REP006's beat
+                entry = cadence.get(declared)
+                if entry is None:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"monitor {node.name} (source {declared!r}) has no "
+                        f"TABLE2_CADENCE entry in {registry.rel}",
+                    )
+                    continue
+                period = _numeric_attr(node, "period_s")
+                if period is not None and period[1] != entry.get("period_s"):
+                    yield source.finding(
+                        self.rule_id,
+                        period[0],
+                        f"monitor {node.name} polls at period_s={period[1]:g} "
+                        f"but TABLE2_CADENCE[{declared!r}] records "
+                        f"{entry.get('period_s', float('nan')):g}",
+                    )
+                if "delivery_delay_s" in entry:
+                    delay_expected[declared] = entry["delivery_delay_s"]
+            for stmt, bound, value in delay_consts:
+                matches = [s for s, v in delay_expected.items() if v == value]
+                if not matches:
+                    yield source.finding(
+                        self.rule_id,
+                        stmt,
+                        f"delivery-delay constant {bound} = {value:g} does not "
+                        f"match any TABLE2_CADENCE delivery_delay_s for this "
+                        f"module's sources",
+                    )
+            for declared, expected in delay_expected.items():
+                if not any(v == expected for _, _, v in delay_consts):
+                    yield source.finding(
+                        self.rule_id,
+                        source.tree.body[0] if source.tree.body else source.tree,
+                        f"TABLE2_CADENCE[{declared!r}] records "
+                        f"delivery_delay_s={expected:g} but this module declares "
+                        f"no matching *_DELAY_S constant",
+                    )

@@ -35,6 +35,29 @@ DATA_SOURCES: Dict[str, str] = {
     "patrol_inspection": "Runs predefined commands on devices and collects results",
 }
 
+#: Table 2 polling cadence per source, plus documented delivery-delay
+#: bounds (only SNMP has one: the §4.2 "approximately 2 minutes" lag on
+#: CPU-starved legacy gear that sized the incident timeout).  REP010 in
+#: ``repro.devtools.lint`` reads this dict from the AST and cross-checks
+#: every monitor's ``period_s`` / ``*_DELAY_S`` literal against it, so a
+#: cadence tweak must land here and in the monitor module together.
+TABLE2_CADENCE: Dict[str, Dict[str, float]] = {
+    "ping": {"period_s": 2.0},
+    "traceroute": {"period_s": 30.0},
+    "out_of_band": {"period_s": 30.0},
+    "traffic_statistics": {"period_s": 60.0},
+    "internet_telemetry": {"period_s": 10.0},
+    "syslog": {"period_s": 5.0},
+    "snmp": {"period_s": 30.0, "delivery_delay_s": 120.0},
+    "in_band_telemetry": {"period_s": 15.0},
+    "ptp": {"period_s": 60.0},
+    "route_monitoring": {"period_s": 10.0},
+    "modification_events": {"period_s": 10.0},
+    "patrol_inspection": {"period_s": 900.0},  # lint: allow REP003 (Table 2 polling period, not the §4.2 incident timeout)
+    "user_telemetry": {"period_s": 15.0},
+    "srte_probe": {"period_s": 60.0},
+}
+
 MONITOR_CLASSES: Dict[str, Type[Monitor]] = {
     "ping": PingMonitor,
     "traceroute": TracerouteMonitor,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from ..simulation.state import NetworkState
 from .base import Monitor, RawAlert
@@ -33,12 +33,25 @@ class AlertStream:
     def monitors(self) -> List[Monitor]:
         return list(self._monitors)
 
-    def run(self, duration_s: float, start: float = 0.0) -> Iterator[RawAlert]:
+    def run(
+        self,
+        duration_s: float,
+        start: float = 0.0,
+        limit: Optional[int] = None,
+    ) -> Iterator[RawAlert]:
         """Yield raw alerts delivered during ``[start, start + duration_s)``,
-        in delivery order."""
+        in delivery order.
+
+        ``limit`` caps the number of alerts yielded -- flood benchmarks and
+        kill-and-resume tests size runs in alerts rather than simulated
+        hours, and a cap here stops monitor polling as soon as the quota is
+        reached instead of simulating the rest of the horizon."""
         if duration_s < 0:
             raise ValueError("duration must be non-negative")
+        if limit is not None and limit <= 0:
+            return
         seq = itertools.count()
+        yielded = 0
         buffer: list = []  # (delivered_at, seq, alert)
         t = start
         end = start + duration_s
@@ -49,11 +62,19 @@ class AlertStream:
                     heapq.heappush(buffer, (alert.delivered_at, next(seq), alert))
             while buffer and buffer[0][0] <= t:
                 yield heapq.heappop(buffer)[2]
+                yielded += 1
+                if limit is not None and yielded >= limit:
+                    return
             t += self._tick_s
         # flush whatever was delivered before the horizon closed
         while buffer and buffer[0][0] < end:
             yield heapq.heappop(buffer)[2]
+            yielded += 1
+            if limit is not None and yielded >= limit:
+                return
 
-    def collect(self, duration_s: float, start: float = 0.0) -> List[RawAlert]:
+    def collect(
+        self, duration_s: float, start: float = 0.0, limit: Optional[int] = None
+    ) -> List[RawAlert]:
         """Convenience: materialise the whole run."""
-        return list(self.run(duration_s, start=start))
+        return list(self.run(duration_s, start=start, limit=limit))

@@ -1,0 +1,50 @@
+"""repro.runtime: the paper's pipeline as a resumable online service.
+
+The reproduction's core (``repro.core``) is a faithful batch rendering of
+§4's algorithms; this package is the serving layer a production SkyNet
+needs around them (§2's operational setting -- 12+ monitor feeds, severe
+floods, no downtime):
+
+* :mod:`sharding` -- the alert tree partitioned over N Region-subtree
+  shards with an exact cross-shard merge; byte-identical to the
+  unsharded reference at every shard count.
+* :mod:`journal` -- write-ahead JSONL alert journal with rotation and
+  loud, non-fatal corruption reporting.
+* :mod:`checkpoint` -- periodic snapshots of all mutable pipeline state;
+  restore + journal replay reproduces the uninterrupted run exactly.
+* :mod:`admission` -- watermark backpressure shedding along §4.1's
+  consolidation ladder, every shed counted.
+* :mod:`metrics` -- sim-clock counters/gauges/histograms threaded
+  through the stages via the pipeline observer hook.
+* :mod:`service` / :mod:`cli` -- composition plus the
+  ``python -m repro.runtime`` entry point.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .checkpoint import CheckpointStore, pipeline_state_dict, restore_pipeline_state
+from .journal import AlertJournal, JournalCorruption, JournalEntry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .service import RecoveryReport, RuntimeObserver, RuntimeService
+from .sharding import ShardedAlertTree, ShardedLocator, ShardRouter, frontier_devices
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AlertJournal",
+    "CheckpointStore",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JournalCorruption",
+    "JournalEntry",
+    "MetricsRegistry",
+    "RecoveryReport",
+    "RuntimeObserver",
+    "RuntimeService",
+    "ShardRouter",
+    "ShardedAlertTree",
+    "ShardedLocator",
+    "frontier_devices",
+    "pipeline_state_dict",
+    "restore_pipeline_state",
+]

@@ -1,0 +1,169 @@
+"""Admission control: backpressure that degrades along §4.1's ladder.
+
+Under a severe failure the raw firehose can outrun what the pipeline
+sustains.  When the rolling ingest window overflows its watermark, the
+controller sheds load by climbing the same consolidation ladder the
+preprocessor applies semantically (§4.1) -- so the *least informative*
+alerts go first, in the order the paper argues they are redundant:
+
+1. **dedup** -- an identical raw alert (same tool, type, device,
+   endpoints and location hint) already arrived inside the window; its
+   only contribution would be a count bump.
+2. **single-source suppression** -- sporadic-prone single-source types
+   (``SPORADIC_TYPES``: ping-style loss probes) that the preprocessor
+   would demand persistence from anyway.
+3. **cross-source combination** -- conditional types
+   (``CONDITIONAL_TYPES``: traffic drops/surges) that only matter when
+   corroborated by another source.
+
+Rung *k* engages when the window holds more than ``2^(k-1)`` times the
+watermark.  Every shed is counted per rung and journaled with the alert
+-- nothing is ever dropped silently -- and with ``backpressure`` off the
+controller is a pure pass-through: zero sheds, byte-identical pipeline
+output (``tests/runtime/test_admission.py`` pins both properties).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.alert_types import CONDITIONAL_TYPES, SPORADIC_TYPES
+from ..core.config import RuntimeParams
+from ..monitors.base import RawAlert
+from .metrics import MetricsRegistry
+
+#: Ladder rungs in engagement order (§4.1's consolidation order).
+RUNGS: Tuple[str, str, str] = ("dedup", "single_source", "cross_source")
+
+_DedupKey = Tuple[str, str, Optional[str], Optional[Tuple[str, str]], object]
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionDecision:
+    admit: bool
+    rung: Optional[str] = None  # which ladder rung shed it, when not admitted
+
+
+class AdmissionController:
+    """Watermark-based load shedding over a rolling sim-time window."""
+
+    def __init__(
+        self,
+        params: RuntimeParams,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.params = params
+        self.enabled = params.backpressure
+        self._metrics = metrics
+        #: delivery times of every *offered* alert still inside the window
+        self._window: Deque[float] = collections.deque()
+        #: last-seen delivery time per dedup key (lazily evicted)
+        self._recent: Dict[_DedupKey, float] = {}
+        self.offered = 0
+        self.admitted = 0
+        self.sheds: Dict[str, int] = {rung: 0 for rung in RUNGS}
+
+    # -- decisions ---------------------------------------------------------
+
+    def offer(self, raw: RawAlert) -> AdmissionDecision:
+        """Decide admission for one raw alert (and record the outcome)."""
+        decision = self._decide(raw)
+        self._apply(raw, decision)
+        return decision
+
+    def replay(self, raw: RawAlert, admitted: bool, rung: Optional[str]) -> None:
+        """Re-apply a *journaled* decision during crash recovery.
+
+        The original decision is replayed rather than re-derived: shed
+        alerts are absent from the pipeline but present in the journal,
+        and honouring the recorded outcome reproduces window state and
+        shed counters exactly."""
+        self._apply(raw, AdmissionDecision(admit=admitted, rung=rung))
+
+    def _decide(self, raw: RawAlert) -> AdmissionDecision:
+        if not self.enabled:
+            return AdmissionDecision(admit=True)
+        now = raw.delivered_at
+        window_s = self.params.admission_window_s
+        while self._window and self._window[0] < now - window_s:
+            self._window.popleft()
+        load = len(self._window) + 1  # counting this alert
+        watermark = self.params.admission_watermark
+        if watermark < 1 or load <= watermark:
+            return AdmissionDecision(admit=True)
+
+        # rung 1: dedup (always on once over the watermark)
+        key = self._dedup_key(raw)
+        last = self._recent.get(key)
+        if last is not None and now - last <= window_s:
+            return AdmissionDecision(admit=False, rung="dedup")
+
+        type_pair = (raw.tool, raw.raw_type)
+        # rung 2: single-source suppression at 2x the watermark
+        if load > 2 * watermark and type_pair in SPORADIC_TYPES:
+            return AdmissionDecision(admit=False, rung="single_source")
+        # rung 3: cross-source combination at 4x the watermark
+        if load > 4 * watermark and type_pair in CONDITIONAL_TYPES:
+            return AdmissionDecision(admit=False, rung="cross_source")
+        return AdmissionDecision(admit=True)
+
+    def _apply(self, raw: RawAlert, decision: AdmissionDecision) -> None:
+        now = raw.delivered_at
+        window_s = self.params.admission_window_s
+        while self._window and self._window[0] < now - window_s:
+            self._window.popleft()
+        self._window.append(now)
+        self.offered += 1
+        if decision.admit:
+            self.admitted += 1
+            self._recent[self._dedup_key(raw)] = now
+            if len(self._recent) > 4 * max(len(self._window), 1024):
+                self._evict_recent(now - window_s)
+        else:
+            rung = decision.rung or RUNGS[0]
+            self.sheds[rung] = self.sheds.get(rung, 0) + 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "runtime_admission_offered_total",
+                "raw alerts offered to the admission controller",
+            ).inc()
+            if decision.admit:
+                self._metrics.counter(
+                    "runtime_admission_admitted_total",
+                    "raw alerts admitted into the pipeline",
+                ).inc()
+            else:
+                self._metrics.counter(
+                    f"runtime_admission_shed_{decision.rung}_total",
+                    f"raw alerts shed at the {decision.rung} ladder rung",
+                ).inc()
+
+    def _evict_recent(self, horizon: float) -> None:
+        self._recent = {
+            key: seen for key, seen in self._recent.items() if seen >= horizon
+        }
+
+    @staticmethod
+    def _dedup_key(raw: RawAlert) -> _DedupKey:
+        return (raw.tool, raw.raw_type, raw.device, raw.endpoints,
+                raw.location_hint)
+
+    # -- checkpoint plumbing -----------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "window": list(self._window),
+            "recent": dict(self._recent),
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "sheds": dict(self.sheds),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._window = collections.deque(state["window"])  # type: ignore[arg-type]
+        self._recent = dict(state["recent"])  # type: ignore[arg-type]
+        self.offered = int(state["offered"])  # type: ignore[arg-type]
+        self.admitted = int(state["admitted"])  # type: ignore[arg-type]
+        self.sheds = dict(state["sheds"])  # type: ignore[arg-type]

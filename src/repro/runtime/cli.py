@@ -1,0 +1,222 @@
+"""``python -m repro.runtime``: run the online service over a seeded flood.
+
+Simulates a severe-failure scenario on a chosen fabric, streams the raw
+alert firehose through the sharded, journaled, admission-controlled
+runtime, and prints the ranked incident reports plus the metrics
+registry (text or JSON).  With ``--dir`` the run journals and
+checkpoints to disk; ``--resume`` rebuilds from that directory first
+(replaying the journal tail) and then continues.
+
+Everything is deterministic for a given seed: the simulation drives all
+clocks and randomness (REP004), so two invocations with the same flags
+print identical bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.config import PRODUCTION_CONFIG, RuntimeParams, SkyNetConfig
+from ..monitors import build_monitors
+from ..monitors.base import RawAlert
+from ..monitors.stream import AlertStream
+from ..simulation.conditions import Condition, ConditionKind
+from ..simulation.state import NetworkState
+from ..topology.builder import TopologySpec, build_topology
+from ..topology.network import Topology
+from .service import RuntimeService
+
+SCENARIOS = ("flood", "regional", "quiet")
+TOPOLOGIES = ("default", "tiny", "benchmark")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Run the SkyNet pipeline as a sharded, resumable "
+        "online service over a simulated alert flood.",
+    )
+    parser.add_argument(
+        "--topology", choices=TOPOLOGIES, default="default",
+        help="fabric to simulate (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scenario", choices=SCENARIOS, default="flood",
+        help="failure scenario driving the flood (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="locator shards to partition the alert tree over",
+    )
+    parser.add_argument(
+        "--fast-path", action="store_true",
+        help="enable the flood-scale hot path (config.fast_path)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=900.0,
+        help="simulated seconds to stream (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--alerts", type=int, default=None,
+        help="stop after this many raw alerts (default: unlimited)",
+    )
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument(
+        "--dir", type=pathlib.Path, default=None,
+        help="journal + checkpoint directory (enables persistence)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --dir (checkpoint + journal tail) before ingesting",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SIM_S",
+        help="sim-time seconds between checkpoints (default: config value)",
+    )
+    parser.add_argument(
+        "--backpressure", action="store_true",
+        help="enable admission-control load shedding (§4.1 ladder)",
+    )
+    parser.add_argument(
+        "--watermark", type=int, default=None,
+        help="admission window watermark (raw alerts per window)",
+    )
+    parser.add_argument(
+        "--metrics", choices=("text", "json", "none"), default="text",
+        help="metrics dump format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="incident reports to print (default: %(default)s)",
+    )
+    return parser
+
+
+def _build_config(args: argparse.Namespace) -> SkyNetConfig:
+    base = PRODUCTION_CONFIG.runtime
+    runtime = RuntimeParams(
+        shards=max(1, args.shards),
+        journal_segment_records=base.journal_segment_records,
+        checkpoint_interval_s=(
+            args.checkpoint_every
+            if args.checkpoint_every is not None
+            else base.checkpoint_interval_s
+        ),
+        backpressure=args.backpressure,
+        admission_window_s=base.admission_window_s,
+        admission_watermark=(
+            args.watermark if args.watermark is not None else base.admission_watermark
+        ),
+    )
+    return dataclasses.replace(
+        PRODUCTION_CONFIG, fast_path=args.fast_path, runtime=runtime
+    )
+
+
+def _topology(name: str) -> Topology:
+    if name == "tiny":
+        return build_topology(TopologySpec.tiny())
+    if name == "benchmark":
+        return build_topology(TopologySpec.benchmark())
+    return build_topology(TopologySpec())
+
+
+def _conditions(
+    topo: Topology, scenario: str, seed: int, duration: float
+) -> List[Condition]:
+    rng = random.Random(seed)
+    if scenario == "quiet":
+        return []
+    devices = sorted(topo.devices)
+    if scenario == "regional":
+        region = sorted(
+            {topo.device(d).location.segments[0] for d in devices}
+        )[0]
+        devices = [
+            d for d in devices if topo.device(d).location.segments[0] == region
+        ]
+    rng.shuffle(devices)
+    n_down = max(3, len(devices) // 5)
+    out: List[Condition] = []
+    for name in devices[:n_down]:
+        start = 60.0 + rng.uniform(0.0, min(240.0, duration / 2))
+        out.append(
+            Condition(
+                kind=ConditionKind.DEVICE_DOWN,
+                target=name,
+                start=start,
+                end=start + duration,
+            )
+        )
+    return out
+
+
+def _stream(
+    topo: Topology,
+    scenario: str,
+    seed: int,
+    duration: float,
+    limit: Optional[int],
+) -> Tuple[NetworkState, Iterator[RawAlert]]:
+    state = NetworkState(topo)
+    for condition in _conditions(topo, scenario, seed, duration):
+        state.add_condition(condition)
+    stream = AlertStream(state, build_monitors(state, seed=seed))
+    return state, stream.run(duration, limit=limit)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.resume and args.dir is None:
+        build_parser().error("--resume requires --dir")
+    config = _build_config(args)
+    topo = _topology(args.topology)
+    state, raws = _stream(
+        topo, args.scenario, args.seed, args.duration, args.alerts
+    )
+
+    if args.resume:
+        service = RuntimeService.resume(
+            topo, args.dir, config=config, state=state
+        )
+        if service.recovery is not None:
+            print(service.recovery.render())
+    else:
+        service = RuntimeService(
+            topo, config=config, state=state, directory=args.dir
+        )
+
+    service.run(raws)
+    service.finish()
+
+    reports = service.reports()
+    print(
+        f"# {service.shards} shard(s), {len(reports)} incident(s), "
+        f"{service.admission.offered} raw alert(s) offered, "
+        f"{service.admission.admitted} admitted"
+    )
+    sheds = service.shed_counts()
+    if any(sheds.values()):
+        shed_text = ", ".join(f"{k}={v}" for k, v in sheds.items())
+        print(f"# load shed per ladder rung: {shed_text}")
+    for report in reports[: max(0, args.top)]:
+        print(report.render())
+        print()
+    if args.metrics == "text":
+        print(service.metrics.render_text())
+    elif args.metrics == "json":
+        print(service.metrics.render_json())
+    return 0
+
+
+def run_from_raws(
+    service: RuntimeService, raws: List[RawAlert]
+) -> RuntimeService:
+    """Test hook: drive a prepared service over a prepared stream."""
+    service.run(raws)
+    service.finish()
+    return service

@@ -1,0 +1,244 @@
+"""Write-ahead alert journal: append-only JSONL segments.
+
+Every raw alert offered to the runtime is journaled *before* it is
+processed, together with its sequence number and the admission decision
+it received.  A killed run therefore loses nothing: resume loads the
+last snapshot checkpoint and replays the journal tail -- re-applying the
+*recorded* admission decisions, so even load-shed alerts are accounted
+for identically the second time around.
+
+Segments rotate every ``segment_records`` lines and are strictly
+append-only; a resuming journal always opens a fresh segment rather than
+appending after a possibly torn tail.  Corruption handling is explicit:
+a truncated or garbled trailing record stops replay at the last valid
+line and surfaces a :class:`JournalCorruption` report (segment, line,
+reason, records discarded) instead of crashing -- the §4 requirement
+that a flood-scale service degrades loudly, never silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple
+
+from ..monitors.base import RawAlert
+from ..topology.hierarchy import LocationPath
+
+SEGMENT_PREFIX = "segment-"
+SEGMENT_SUFFIX = ".jsonl"
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalCorruption:
+    """One detected defect in the journal, reported on replay."""
+
+    segment: str
+    line_number: int  # 1-based line within the segment
+    reason: str
+    discarded_records: int  # valid-looking lines skipped after the defect
+
+    def render(self) -> str:
+        return (
+            f"journal corruption in {self.segment}:{self.line_number}: "
+            f"{self.reason} ({self.discarded_records} later record(s) "
+            f"discarded; resuming from last valid state)"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalEntry:
+    """One journaled raw alert plus its admission decision."""
+
+    seq: int
+    admitted: bool
+    rung: Optional[str]  # admission ladder rung that shed it, if any
+    raw: RawAlert
+
+
+def raw_to_json(raw: RawAlert) -> Dict[str, object]:
+    """Lossless, schema-stable encoding of a :class:`RawAlert`."""
+    out: Dict[str, object] = {
+        "tool": raw.tool,
+        "raw_type": raw.raw_type,
+        "timestamp": raw.timestamp,
+        "delivered_at": raw.delivered_at,
+    }
+    if raw.message:
+        out["message"] = raw.message
+    if raw.device is not None:
+        out["device"] = raw.device
+    if raw.endpoints is not None:
+        out["endpoints"] = list(raw.endpoints)
+    if raw.location_hint is not None:
+        # segments + device flag, never the rendered string: "<root>" is a
+        # display form, not a parseable path (REP002's whole point)
+        out["location"] = {
+            "segments": list(raw.location_hint.segments),
+            "is_device": raw.location_hint.is_device,
+        }
+    if raw.metrics:
+        out["metrics"] = dict(raw.metrics)
+    return out
+
+
+def raw_from_json(data: Dict[str, object]) -> RawAlert:
+    location = None
+    loc_data = data.get("location")
+    if isinstance(loc_data, dict):
+        location = LocationPath(
+            tuple(loc_data["segments"]), bool(loc_data["is_device"])
+        )
+    endpoints = data.get("endpoints")
+    return RawAlert(
+        tool=str(data["tool"]),
+        raw_type=str(data["raw_type"]),
+        timestamp=float(data["timestamp"]),  # type: ignore[arg-type]
+        message=str(data.get("message", "")),
+        device=data.get("device"),  # type: ignore[arg-type]
+        endpoints=tuple(endpoints) if endpoints is not None else None,  # type: ignore[arg-type]
+        location_hint=location,
+        metrics=dict(data.get("metrics", {})),  # type: ignore[arg-type]
+        delivered_at=float(data["delivered_at"]),  # type: ignore[arg-type]
+    )
+
+
+class AlertJournal:
+    """Append-only JSONL journal over a directory of rotating segments."""
+
+    def __init__(
+        self, directory: pathlib.Path, segment_records: int = 2000
+    ) -> None:
+        if segment_records < 1:
+            raise ValueError("segment_records must be positive")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_records = segment_records
+        # never append to an existing segment: a fresh writer starts its
+        # own file so a torn tail from a crash stays frozen as evidence
+        self._next_segment = self._max_segment_index() + 1
+        self._handle: Optional[TextIO] = None
+        self._current_lines = 0
+        #: corruption reports collected by the most recent :meth:`replay`
+        self.corruptions: List[JournalCorruption] = []
+
+    # -- writing -----------------------------------------------------------
+
+    def append(
+        self,
+        raw: RawAlert,
+        seq: int,
+        admitted: bool = True,
+        rung: Optional[str] = None,
+    ) -> None:
+        if self._handle is None or self._current_lines >= self.segment_records:
+            self._rotate()
+        entry: Dict[str, object] = {"seq": seq, "admitted": admitted}
+        if rung is not None:
+            entry["rung"] = rung
+        entry["raw"] = raw_to_json(raw)
+        assert self._handle is not None
+        self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        self._current_lines += 1
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        path = self.directory / (
+            f"{SEGMENT_PREFIX}{self._next_segment:08d}{SEGMENT_SUFFIX}"
+        )
+        self._next_segment += 1
+        self._handle = open(path, "w", encoding="utf-8")
+        self._current_lines = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def sync(self) -> None:
+        """Force the current segment to stable storage."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    # -- reading -----------------------------------------------------------
+
+    def segments(self) -> List[pathlib.Path]:
+        return sorted(
+            p
+            for p in self.directory.iterdir()
+            if p.name.startswith(SEGMENT_PREFIX)
+            and p.name.endswith(SEGMENT_SUFFIX)
+        )
+
+    def _max_segment_index(self) -> int:
+        highest = 0
+        for path in self.segments():
+            stem = path.name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)]
+            try:
+                highest = max(highest, int(stem))
+            except ValueError:
+                continue
+        return highest
+
+    def replay(self, after_seq: int = -1) -> Iterator[JournalEntry]:
+        """Yield journal entries with ``seq > after_seq``, in order.
+
+        Stops -- and records a :class:`JournalCorruption` -- at the first
+        unparseable line.  Everything after a defect is discarded: entries
+        are causally ordered, so replaying past a hole could interleave
+        alerts out of sequence and silently diverge from the original run.
+        """
+        self.corruptions = []
+        segments = self.segments()
+        for seg_index, path in enumerate(segments):
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+            for line_index, line in enumerate(lines):
+                entry, reason = self._parse_line(line)
+                if entry is None:
+                    discarded = len(lines) - line_index - 1
+                    for later in segments[seg_index + 1 :]:
+                        with open(later, "r", encoding="utf-8") as handle:
+                            discarded += sum(
+                                1 for _ in handle
+                            )
+                    self.corruptions.append(
+                        JournalCorruption(
+                            segment=path.name,
+                            line_number=line_index + 1,
+                            reason=reason,
+                            discarded_records=discarded,
+                        )
+                    )
+                    return
+                if entry.seq > after_seq:
+                    yield entry
+
+    @staticmethod
+    def _parse_line(line: str) -> Tuple[Optional[JournalEntry], str]:
+        stripped = line.strip()
+        if not stripped:
+            return None, "blank record"
+        try:
+            data = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            return None, f"unparseable JSON ({exc.msg})"
+        if not isinstance(data, dict):
+            return None, "record is not an object"
+        try:
+            return (
+                JournalEntry(
+                    seq=int(data["seq"]),
+                    admitted=bool(data["admitted"]),
+                    rung=data.get("rung"),
+                    raw=raw_from_json(data["raw"]),
+                ),
+                "",
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            return None, f"malformed record ({exc!r})"

@@ -1,0 +1,191 @@
+"""Sim-clock metrics for the runtime service (counters, gauges, histograms).
+
+The registry is deliberately clock-free: nothing here ever reads a wall
+clock (REP004 bans those outside the simulation package), so every
+"latency" is a *simulated-time* quantity -- delivery lag between a
+monitor's observation and its collection, detection latency between the
+first record of an incident and the sweep that opened it, incident
+duration.  Gauges that want a timestamp take it from the caller, who owns
+alert time.
+
+Rendering mirrors the two shapes operators consume: a flat
+``prometheus``-flavoured text exposition (``render_text``) and a nested
+JSON document (``as_dict``), both stable-ordered so diffs are readable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (seconds of simulated time);
+#: spans monitor delivery jitter (~seconds) up to incident lifetimes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 240.0, 600.0, 1800.0, 3600.0,
+)
+
+
+class Counter:
+    """Monotonic event count."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-observed value (open incidents, live tree nodes, sim time)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution of a simulated-time quantity."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)  # +inf tail
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named metric store threaded through the runtime's pipeline stages.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create, so stages can
+    grab handles lazily without coordinating registration order.  The
+    whole registry is plain picklable state and rides along in runtime
+    checkpoints, which keeps counts exact across a kill-and-resume.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name, help_text)
+        return metric
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name, help_text)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, help_text, buckets)
+        return metric
+
+    def counter_value(self, name: str) -> int:
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    # -- rendering ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": metric.count,
+                    "sum": round(metric.total, 6),
+                    "mean": round(metric.mean, 6),
+                    "buckets": {
+                        _bound_label(bound): count
+                        for bound, count in zip(
+                            list(metric.bounds) + [float("inf")],
+                            metric.bucket_counts,
+                        )
+                    },
+                }
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            if counter.help_text:
+                lines.append(f"# HELP {name} {counter.help_text}")
+            lines.append(f"{name} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            if gauge.help_text:
+                lines.append(f"# HELP {name} {gauge.help_text}")
+            lines.append(f"{name} {gauge.value:g}")
+        for name, hist in sorted(self._histograms.items()):
+            if hist.help_text:
+                lines.append(f"# HELP {name} {hist.help_text}")
+            cumulative = 0
+            for bound, count in zip(
+                list(hist.bounds) + [float("inf")], hist.bucket_counts
+            ):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_bound_label(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{name}_count {hist.count}")
+            lines.append(f"{name}_sum {hist.total:g}")
+        return "\n".join(lines)
+
+
+def _bound_label(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+def registry_or_new(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    return registry if registry is not None else MetricsRegistry()

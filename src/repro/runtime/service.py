@@ -1,0 +1,305 @@
+"""The resumable online service: journal -> admission -> pipeline.
+
+:class:`RuntimeService` hosts the preprocessor -> (sharded) locator ->
+evaluator pipeline as a long-lived stream consumer:
+
+* every offered raw alert is **journaled first** (write-ahead, with its
+  admission decision), then run through the admission controller and --
+  if admitted -- the pipeline;
+* on the configured sim-time cadence the whole mutable pipeline state is
+  **checkpointed** (see ``checkpoint.py``);
+* after a crash, :meth:`RuntimeService.resume` loads the newest loadable
+  checkpoint and replays the journal tail, reproducing the exact state
+  -- incident ids included -- the uninterrupted run would have reached
+  (``tests/runtime/test_kill_resume.py`` pins this);
+* a :class:`MetricsRegistry` threads through every stage via the
+  pipeline's observer hook; all its latency quantities are simulated
+  time (REP004: no wall clocks in the core).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.config import PRODUCTION_CONFIG, SkyNetConfig
+from ..core.locator import SweepResult
+from ..core.pipeline import IncidentReport, PipelineObserver, SkyNet
+from ..monitors.base import RawAlert
+from ..simulation.state import NetworkState
+from ..topology.network import Topology
+from .admission import AdmissionController
+from .checkpoint import (
+    CheckpointStore,
+    pipeline_state_dict,
+    restore_pipeline_state,
+)
+from .journal import AlertJournal, JournalCorruption
+from .metrics import MetricsRegistry, registry_or_new
+from .sharding import ShardedLocator
+
+JOURNAL_SUBDIR = "journal"
+CHECKPOINT_SUBDIR = "checkpoints"
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`RuntimeService.resume` reconstructed."""
+
+    checkpoint_seq: Optional[int]  # None = no checkpoint, full journal replay
+    replayed_records: int
+    corruptions: Tuple[JournalCorruption, ...]
+
+    def render(self) -> str:
+        base = (
+            f"resumed from checkpoint seq={self.checkpoint_seq}"
+            if self.checkpoint_seq is not None
+            else "no checkpoint found; replaying full journal"
+        )
+        lines = [f"{base}; replayed {self.replayed_records} journal record(s)"]
+        lines.extend(c.render() for c in self.corruptions)
+        return "\n".join(lines)
+
+
+class RuntimeObserver(PipelineObserver):
+    """Feeds the metrics registry from the pipeline's observer hooks."""
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+        self._raws = metrics.counter(
+            "runtime_raw_alerts_total", "raw alerts fed to the pipeline"
+        )
+        self._structured = metrics.counter(
+            "runtime_structured_alerts_total",
+            "structured alerts emitted by the preprocessor",
+        )
+        self._sweeps = metrics.counter(
+            "runtime_sweeps_total", "locator sweeps executed"
+        )
+        self._opened = metrics.counter(
+            "runtime_incidents_opened_total", "incident trees generated"
+        )
+        self._closed = metrics.counter(
+            "runtime_incidents_closed_total", "incident trees closed"
+        )
+        self._expired = metrics.counter(
+            "runtime_records_expired_total", "main-tree records expired"
+        )
+        self._delivery_lag = metrics.histogram(
+            "runtime_delivery_lag_seconds",
+            "simulated lag between observation and collector delivery",
+        )
+        self._detection = metrics.histogram(
+            "runtime_detection_latency_seconds",
+            "simulated time from an incident's first alert to its opening sweep",
+        )
+        self._duration = metrics.histogram(
+            "runtime_incident_duration_seconds",
+            "simulated incident lifetime at close",
+        )
+
+    def on_raw(self, raw: RawAlert, emitted: List) -> None:
+        self._raws.inc()
+        self._structured.inc(len(emitted))
+        self._delivery_lag.observe(raw.delivered_at - raw.timestamp)
+
+    def on_sweep(self, now: float, result: SweepResult) -> None:
+        self._sweeps.inc()
+        self._opened.inc(len(result.opened))
+        self._closed.inc(len(result.closed))
+        self._expired.inc(result.expired_records)
+        for incident in result.opened:
+            self._detection.observe(max(0.0, now - incident.start_time))
+        for incident in result.closed:
+            self._duration.observe(
+                max(0.0, incident.end_time - incident.start_time)
+            )
+
+
+class RuntimeService:
+    """Sharded, checkpointable, backpressured hosting of the pipeline."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[SkyNetConfig] = None,
+        state: Optional[NetworkState] = None,
+        directory: Optional[pathlib.Path] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or PRODUCTION_CONFIG
+        params = self.config.runtime
+        self.metrics = registry_or_new(metrics)
+        self.admission = AdmissionController(params, metrics=self.metrics)
+        self.observer = RuntimeObserver(self.metrics)
+        self.pipeline = SkyNet(
+            topology,
+            config=self.config,
+            state=state,
+            locator=ShardedLocator(topology, self.config),
+            observer=self.observer,
+        )
+        self.directory = pathlib.Path(directory) if directory is not None else None
+        self.journal: Optional[AlertJournal] = None
+        self.checkpoints: Optional[CheckpointStore] = None
+        if self.directory is not None:
+            self.journal = AlertJournal(
+                self.directory / JOURNAL_SUBDIR, params.journal_segment_records
+            )
+            self.checkpoints = CheckpointStore(self.directory / CHECKPOINT_SUBDIR)
+        self.recovery: Optional[RecoveryReport] = None
+        self._seq = 0
+        self._last_checkpoint_t = float("-inf")
+
+    # -- ingest ------------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        locator = self.pipeline.locator
+        return locator.shards if isinstance(locator, ShardedLocator) else 1
+
+    def ingest(self, raw: RawAlert) -> List:
+        """Offer one raw alert: journal, admission, pipeline, checkpoint."""
+        decision = self.admission.offer(raw)
+        if self.journal is not None:
+            self.journal.append(
+                raw, self._seq, admitted=decision.admit, rung=decision.rung
+            )
+        self._seq += 1
+        if not decision.admit:
+            return []
+        emitted = self.pipeline.feed(raw)
+        self._maybe_checkpoint(raw.delivered_at)
+        self._update_gauges()
+        return emitted
+
+    def run(self, raws: Iterable[RawAlert]) -> "RuntimeService":
+        for raw in raws:
+            self.ingest(raw)
+        return self
+
+    def finish(self) -> None:
+        """Close out the stream; final state is checkpointed if persisting."""
+        self.pipeline.finish()
+        self._update_gauges()
+        if self.checkpoints is not None:
+            self.checkpoint()
+
+    # -- results -----------------------------------------------------------
+
+    def reports(self) -> List[IncidentReport]:
+        return self.pipeline.reports()
+
+    def shed_counts(self) -> Dict[str, int]:
+        return dict(self.admission.sheds)
+
+    def _update_gauges(self) -> None:
+        self.metrics.gauge(
+            "runtime_open_incidents", "incident trees currently open"
+        ).set(len(self.pipeline.locator.open_incidents))
+        self.metrics.gauge(
+            "runtime_live_locations", "alerting locations in the main tree"
+        ).set(len(self.pipeline.locator.main_tree))
+        self.metrics.gauge(
+            "runtime_sim_time_seconds", "alert time the pipeline has reached"
+        ).set(max(self.pipeline.now, 0.0))
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _maybe_checkpoint(self, now: float) -> None:
+        interval = self.config.runtime.checkpoint_interval_s
+        if self.checkpoints is None or interval <= 0:
+            return
+        if now - self._last_checkpoint_t >= interval:
+            self.checkpoint(now)
+
+    def checkpoint(self, now: Optional[float] = None) -> None:
+        """Snapshot everything needed to resume at the current seq."""
+        if self.checkpoints is None:
+            raise RuntimeError("service has no persistence directory")
+        if self.journal is not None:
+            self.journal.sync()
+        state: Dict[str, object] = {
+            "seq": self._seq,
+            "sim_now": self.pipeline.now,
+            "pipeline": pipeline_state_dict(self.pipeline),
+            "admission": self.admission.state_dict(),
+            "metrics": self.metrics,
+        }
+        self.checkpoints.save(self._seq, state)
+        self._last_checkpoint_t = (
+            now if now is not None else self.pipeline.now
+        )
+        self.metrics.counter(
+            "runtime_checkpoints_total", "snapshot checkpoints written"
+        ).inc()
+
+    # -- crash recovery ----------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        topology: Topology,
+        directory: pathlib.Path,
+        config: Optional[SkyNetConfig] = None,
+        state: Optional[NetworkState] = None,
+    ) -> "RuntimeService":
+        """Rebuild a service from its journal + checkpoints directory.
+
+        Loads the newest loadable checkpoint (if any), replays the
+        journal tail through the same code paths the live run used, and
+        returns a service ready to ingest new alerts.  Journal corruption
+        stops the replay at the last valid record and is surfaced in
+        ``service.recovery`` -- recovery proceeds, it does not crash."""
+        service = cls(topology, config=config, state=state, directory=directory)
+        if service.journal is None or service.checkpoints is None:
+            raise RuntimeError("resume requires a persistence directory")
+
+        checkpoint_seq: Optional[int] = None
+        after_seq = -1
+        found = service.checkpoints.latest()
+        if found is not None:
+            seq, payload = found
+            checkpoint_seq = seq
+            restore_pipeline_state(
+                service.pipeline, payload["pipeline"]  # type: ignore[arg-type]
+            )
+            restored_metrics = payload.get("metrics")
+            if isinstance(restored_metrics, MetricsRegistry):
+                service._rebind_metrics(restored_metrics)
+            service.admission.load_state_dict(
+                payload["admission"]  # type: ignore[arg-type]
+            )
+            service._seq = int(payload["seq"])  # type: ignore[arg-type]
+            service._last_checkpoint_t = float(
+                payload.get("sim_now", service.pipeline.now)  # type: ignore[arg-type]
+            )
+            after_seq = service._seq - 1
+
+        replayed = 0
+        for entry in service.journal.replay(after_seq=after_seq):
+            service.admission.replay(entry.raw, entry.admitted, entry.rung)
+            if entry.admitted:
+                service.pipeline.feed(entry.raw)
+            service._seq = entry.seq + 1
+            replayed += 1
+        service._update_gauges()
+        service.recovery = RecoveryReport(
+            checkpoint_seq=checkpoint_seq,
+            replayed_records=replayed,
+            corruptions=tuple(service.journal.corruptions),
+        )
+        for corruption in service.recovery.corruptions:
+            service.metrics.counter(
+                "runtime_journal_corruptions_total",
+                "journal defects detected during recovery",
+            ).inc()
+        return service
+
+    def _rebind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Swap in a restored registry and re-point every handle holder."""
+        self.metrics = metrics
+        self.observer = RuntimeObserver(metrics)
+        self.pipeline.observer = self.observer
+        self.admission._metrics = metrics

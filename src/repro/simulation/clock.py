@@ -13,7 +13,7 @@ from __future__ import annotations
 class SimClock:
     """Monotonically advancing simulated time in seconds."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 
     @property
@@ -49,7 +49,7 @@ class PeriodicSchedule:
     even when the simulation advances in coarse steps.
     """
 
-    def __init__(self, period: float, offset: float = 0.0):
+    def __init__(self, period: float, offset: float = 0.0) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
         if offset < 0:

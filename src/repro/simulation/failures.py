@@ -16,7 +16,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from ..topology.hierarchy import Level, LocationPath
-from ..topology.network import DeviceRole, Topology
+from ..topology.network import CircuitSet, Device, DeviceRole, Topology
 from .conditions import Condition, ConditionKind
 
 
@@ -87,7 +87,9 @@ def _name(category: FailureCategory) -> str:
     return f"{category.value}-{next(_scenario_counter):05d}"
 
 
-def _pick_device(topo: Topology, rng: random.Random, roles: Sequence[DeviceRole]):
+def _pick_device(
+    topo: Topology, rng: random.Random, roles: Sequence[DeviceRole]
+) -> Device:
     candidates = sorted(
         (d for d in topo.devices.values() if d.role in roles), key=lambda d: d.name
     )
@@ -95,7 +97,9 @@ def _pick_device(topo: Topology, rng: random.Random, roles: Sequence[DeviceRole]
         raise ValueError(f"topology has no devices with roles {roles}")
     return rng.choice(candidates)
 
-def _pick_circuit_set(topo: Topology, rng: random.Random, internal_only: bool = True):
+def _pick_circuit_set(
+    topo: Topology, rng: random.Random, internal_only: bool = True
+) -> CircuitSet:
     from ..topology.network import INTERNET
 
     candidates = sorted(

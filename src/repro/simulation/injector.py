@@ -14,7 +14,7 @@ from .state import NetworkState
 class FailureInjector:
     """Applies failure scenarios and noise conditions to a network state."""
 
-    def __init__(self, state: NetworkState):
+    def __init__(self, state: NetworkState) -> None:
         self._state = state
         self._scenarios: List[FailureScenario] = []
         self._noise: List[Condition] = []

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List
+from typing import Dict, List, Tuple
 
 from ..topology.network import Topology
 from .conditions import Condition, ConditionKind
@@ -67,7 +67,7 @@ class BackgroundNoise:
     """Samples harmless glitch conditions over a time horizon."""
 
     def __init__(self, topology: Topology, profile: NoiseProfile = NoiseProfile(),
-                 seed: int = 23):
+                 seed: int = 23) -> None:
         self._topo = topology
         self._profile = profile
         self._rng = random.Random(seed)
@@ -131,7 +131,9 @@ class BackgroundNoise:
         )
         return sorted(out, key=lambda c: c.start)
 
-    def _maintenance_waves(self, mean, start, horizon_s):
+    def _maintenance_waves(
+        self, mean: float, start: float, horizon_s: float
+    ) -> List[Condition]:
         from ..topology.hierarchy import Level
         from ..topology.network import DeviceRole
 
@@ -166,7 +168,14 @@ class BackgroundNoise:
                 )
         return out
 
-    def _waves(self, kind, mean, start, horizon_s, params):
+    def _waves(
+        self,
+        kind: ConditionKind,
+        mean: float,
+        start: float,
+        horizon_s: float,
+        params: Dict[str, float],
+    ) -> List[Condition]:
         """Correlated multi-device events within one site."""
         from ..topology.hierarchy import Level
 
@@ -203,7 +212,15 @@ class BackgroundNoise:
                 return k
             k += 1
 
-    def _device_events(self, kind, mean, start, horizon_s, dur_range, params):
+    def _device_events(
+        self,
+        kind: ConditionKind,
+        mean: float,
+        start: float,
+        horizon_s: float,
+        dur_range: Tuple[float, float],
+        params: Dict[str, float],
+    ) -> List[Condition]:
         out = []
         for _ in range(self._count(mean)):
             device = self._rng.choice(self._device_names)

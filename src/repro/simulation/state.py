@@ -51,7 +51,7 @@ DEFAULT_LOSS_RATES = {
 class _RoutingHealth(HealthView):
     """Health as the converged control plane sees it (see module docstring)."""
 
-    def __init__(self, state: "NetworkState"):
+    def __init__(self, state: "NetworkState") -> None:
         self._state = state
 
     def device_up(self, device_name: str) -> bool:
@@ -74,7 +74,7 @@ class NetworkState(HealthView):
         topology: Topology,
         traffic: Optional[TrafficModel] = None,
         convergence_s: float = 45.0,
-    ):
+    ) -> None:
         self._topo = topology
         self._traffic = traffic
         self._router = HierarchicalRouter(topology)

@@ -1,0 +1,1 @@
+"""Fixture monitors package whose cadence literals drift from Table 2."""

@@ -1,0 +1,30 @@
+"""Fixture monitors violating REP010 four ways."""
+
+
+class Monitor:
+    pass
+
+
+class SlowPingMonitor(Monitor):
+    """Polls at a period Table 2 does not record for ping."""
+
+    name = "ping"
+    period_s = 5.0
+
+
+class UnchartedMonitor(Monitor):
+    """Declares a source with no TABLE2_CADENCE entry at all."""
+
+    name = "syslog"
+    period_s = 5.0
+
+
+class SnmpMonitor(Monitor):
+    """Period is right, but the module's delay constant drifted (and so
+    the registry's 120 s delay has no backing constant either)."""
+
+    name = "snmp"
+    period_s = 30.0
+
+
+MAX_OLD_DEVICE_DELAY_S = 90.0

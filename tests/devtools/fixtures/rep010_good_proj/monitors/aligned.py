@@ -1,0 +1,19 @@
+"""Fixture monitors whose literals agree with the cadence registry."""
+
+
+class Monitor:
+    pass
+
+
+class PingMonitor(Monitor):
+    name = "ping"
+    period_s = 2.0
+
+
+class DefaultCadenceMonitor(Monitor):
+    """No period_s literal: inherits the base default, nothing to check."""
+
+    name = "snmp"
+
+
+MAX_OLD_DEVICE_DELAY_S = 120.0

@@ -1,0 +1,6 @@
+"""Fixture registry: Table-2 cadences for ping and snmp."""
+
+TABLE2_CADENCE = {
+    "ping": {"period_s": 2.0},
+    "snmp": {"period_s": 30.0, "delivery_delay_s": 120.0},
+}

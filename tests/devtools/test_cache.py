@@ -1,0 +1,136 @@
+"""The skynet-lint result cache: hits, invalidation, equivalence,
+corruption tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.lint import LintEngine, run_with_cache
+from repro.devtools.lint import cache as cache_mod
+
+CLEAN = '''"""Clean module."""
+
+
+def tidy(values=None):
+    return values or []
+'''
+
+DIRTY = '''"""Module with a REP005 violation."""
+
+
+def leaky(values=[]):
+    return values
+'''
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "a.py").write_text(CLEAN)
+    (tmp_path / "b.py").write_text(DIRTY)
+    return tmp_path
+
+
+def _engine():
+    return LintEngine(select=["REP005", "REP006"])  # one file rule, one project rule
+
+
+def _cached_run(tree, cache_file):
+    return run_with_cache(_engine(), [tree], cache_file)
+
+
+def test_cached_report_equals_uncached(tree, tmp_path):
+    cache_file = tmp_path / "cache.json"
+    uncached = _engine().run([tree])
+    cold = _cached_run(tree, cache_file)
+    warm = _cached_run(tree, cache_file)
+    for report in (cold, warm):
+        assert report.findings == uncached.findings
+        assert report.files_checked == uncached.files_checked
+        assert report.rules_run == uncached.rules_run
+    assert len(uncached.findings) == 1
+    assert uncached.findings[0].rule_id == "REP005"
+
+
+def test_full_hit_skips_parsing(tree, tmp_path, monkeypatch):
+    cache_file = tmp_path / "cache.json"
+    _cached_run(tree, cache_file)
+
+    def bomb(*args, **kwargs):
+        raise AssertionError("SourceFile constructed on a full cache hit")
+
+    monkeypatch.setattr(cache_mod, "SourceFile", bomb)
+    warm = _cached_run(tree, cache_file)
+    assert len(warm.findings) == 1
+
+
+def test_edit_invalidates_only_that_file(tree, tmp_path):
+    cache_file = tmp_path / "cache.json"
+    _cached_run(tree, cache_file)
+    # fix the violation; pad so size changes even under coarse mtime
+    (tree / "b.py").write_text(CLEAN + "\n# fixed\n")
+    warm = _cached_run(tree, cache_file)
+    assert warm.findings == []
+    assert _engine().run([tree]).findings == []
+
+
+def test_new_file_invalidates_project_scope(tree, tmp_path):
+    cache_file = tmp_path / "cache.json"
+    _cached_run(tree, cache_file)
+    (tree / "c.py").write_text(DIRTY.replace("leaky", "leakier"))
+    warm = _cached_run(tree, cache_file)
+    assert len(warm.findings) == 2
+    assert sorted(f.path for f in warm.findings) == [
+        (tree / "b.py").as_posix(),
+        (tree / "c.py").as_posix(),
+    ]
+
+
+def test_ruleset_change_invalidates(tree, tmp_path, monkeypatch):
+    cache_file = tmp_path / "cache.json"
+    _cached_run(tree, cache_file)
+
+    def bomb(*args, **kwargs):
+        raise RuntimeError("re-parse attempted")
+
+    monkeypatch.setattr(cache_mod, "SourceFile", bomb)
+    # same rules: full hit, no parsing
+    _cached_run(tree, cache_file)
+    # different rule selection: fingerprint differs, must re-run cold
+    with pytest.raises(RuntimeError):
+        run_with_cache(LintEngine(select=["REP005"]), [tree], cache_file)
+
+
+def test_corrupt_cache_is_rebuilt(tree, tmp_path):
+    cache_file = tmp_path / "cache.json"
+    _cached_run(tree, cache_file)
+    cache_file.write_text("{not json!")
+    report = _cached_run(tree, cache_file)
+    assert len(report.findings) == 1
+    # and the rebuilt cache is valid again
+    assert json.loads(cache_file.read_text())["version"] == 1
+
+
+def test_wrong_schema_cache_is_rebuilt(tree, tmp_path):
+    cache_file = tmp_path / "cache.json"
+    _cached_run(tree, cache_file)
+    payload = json.loads(cache_file.read_text())
+    payload["files"] = {"x": {"stat": "not-a-list"}}
+    cache_file.write_text(json.dumps(payload))
+    report = _cached_run(tree, cache_file)
+    assert len(report.findings) == 1
+
+
+def test_cli_cache_flags(tree, tmp_path, capsys):
+    from repro.devtools.lint.cli import main
+
+    cache_file = tmp_path / "cli-cache.json"
+    argv = [str(tree), "--cache-file", str(cache_file)]
+    assert main(argv) == 1
+    assert cache_file.exists()
+    assert main(argv) == 1  # warm run, same verdict
+    cache_file.unlink()
+    assert main(argv + ["--no-cache"]) == 1
+    assert not cache_file.exists()  # --no-cache neither reads nor writes
+    capsys.readouterr()

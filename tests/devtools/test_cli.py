@@ -7,9 +7,17 @@ import os
 import subprocess
 import sys
 
+import pytest
+
 from repro.devtools.lint.cli import main
 
 from .conftest import FIXTURES, REPO_ROOT
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Keep each CLI run's default result cache out of the repo tree."""
+    monkeypatch.chdir(tmp_path)
 
 
 def test_clean_tree_exits_zero(capsys):
@@ -49,11 +57,11 @@ def test_list_rules(capsys):
     code = main(["--list-rules"])
     assert code == 0
     out = capsys.readouterr().out
-    for n in range(1, 9):
+    for n in range(1, 11):
         assert f"REP{n:03d}" in out
 
 
-def test_module_entrypoint_runs():
+def test_module_entrypoint_runs(tmp_path):
     """``python -m repro.devtools.lint`` works as documented in README."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
@@ -63,7 +71,7 @@ def test_module_entrypoint_runs():
         capture_output=True,
         text=True,
         env=env,
-        cwd=str(REPO_ROOT),
+        cwd=str(tmp_path),
     )
     assert proc.returncode == 1
     assert "REP003" in proc.stdout

@@ -65,6 +65,22 @@ def test_rep009_silent_on_good_project():
     assert findings == [], "\n".join(f.render() for f in findings)
 
 
+def test_rep010_fires_on_bad_project():
+    findings = run_rule("REP010", FIXTURES / "rep010_bad_proj")
+    messages = [f.message for f in findings]
+    assert len(findings) == 4, "\n".join(messages)
+    assert any("period_s=5" in m and "SlowPingMonitor" in m for m in messages)
+    assert any("no TABLE2_CADENCE entry" in m and "UnchartedMonitor" in m
+               for m in messages)
+    assert any("MAX_OLD_DEVICE_DELAY_S = 90" in m for m in messages)
+    assert any("no matching *_DELAY_S constant" in m for m in messages)
+
+
+def test_rep010_silent_on_good_project():
+    findings = run_rule("REP010", FIXTURES / "rep010_good_proj")
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
 def test_rep003_options_override():
     # with a different constant set, 300/900 are no longer special
     engine = LintEngine(

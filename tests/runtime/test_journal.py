@@ -1,0 +1,237 @@
+"""Journal unit coverage plus the corruption contract: a truncated or
+garbled record is detected, reported loudly, and recovery proceeds from
+the last valid state instead of crashing or silently skipping."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.monitors.base import RawAlert
+from repro.runtime import RuntimeService
+from repro.runtime.checkpoint import set_incident_counter
+from repro.runtime.journal import (
+    AlertJournal,
+    JournalCorruption,
+    raw_from_json,
+    raw_to_json,
+)
+from repro.topology.hierarchy import LocationPath
+
+from ..test_equivalence_flood import _assert_equal, _fingerprint
+from .test_kill_resume import flood_fixture, runtime_config
+
+
+def _raw(i: int, tool: str = "syslog", raw_type: str = "link_down") -> RawAlert:
+    return RawAlert(
+        tool=tool,
+        raw_type=raw_type,
+        timestamp=float(i),
+        message=f"event {i}",
+        device=f"dev-{i % 5}",
+        delivered_at=float(i) + 0.5,
+    )
+
+
+# ---------------------------------------------------------------------------
+# round-trip and rotation
+
+
+def test_raw_alert_json_round_trip():
+    raw = RawAlert(
+        tool="ping",
+        raw_type="end_to_end_icmp_loss",
+        timestamp=12.5,
+        message="loss 40%",
+        endpoints=("srv-a", "srv-b"),
+        location_hint=LocationPath(("RG01", "AZ01")),
+        metrics={"loss_pct": 40.0},
+        delivered_at=13.25,
+    )
+    assert raw_from_json(json.loads(json.dumps(raw_to_json(raw)))) == raw
+
+
+def test_root_location_round_trips_by_segments():
+    """``<root>`` is a display form; the journal must store segments."""
+    raw = RawAlert(
+        tool="traceroute",
+        raw_type="path_loss",
+        timestamp=1.0,
+        location_hint=LocationPath(()),
+    )
+    data = raw_to_json(raw)
+    assert data["location"] == {"segments": [], "is_device": False}
+    assert raw_from_json(data).location_hint == LocationPath(())
+
+
+def test_segment_rotation_and_replay_order(tmp_path):
+    journal = AlertJournal(tmp_path, segment_records=10)
+    for i in range(35):
+        journal.append(_raw(i), seq=i)
+    journal.close()
+    assert len(journal.segments()) == 4
+    entries = list(AlertJournal(tmp_path, segment_records=10).replay())
+    assert [e.seq for e in entries] == list(range(35))
+    assert all(e.admitted for e in entries)
+
+
+def test_replay_after_seq_skips_checkpointed_prefix(tmp_path):
+    journal = AlertJournal(tmp_path, segment_records=10)
+    for i in range(20):
+        journal.append(_raw(i), seq=i, admitted=(i % 3 != 0),
+                       rung=None if i % 3 != 0 else "dedup")
+    journal.close()
+    tail = list(AlertJournal(tmp_path).replay(after_seq=11))
+    assert [e.seq for e in tail] == list(range(12, 20))
+    assert [e.rung for e in tail if not e.admitted] == ["dedup", "dedup", "dedup"]
+
+
+# ---------------------------------------------------------------------------
+# corruption detection
+
+
+def _truncate_last_line(path: pathlib.Path, keep_bytes: int = 12) -> None:
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[-1] = lines[-1][:keep_bytes]  # torn write: no newline, half a record
+    path.write_bytes(b"".join(lines))
+
+
+def _garble_line(path: pathlib.Path, index: int) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    lines[index] = "\x00corrupt!{{{\n"
+    path.write_text("".join(lines), encoding="utf-8")
+
+
+def test_truncated_trailing_record_is_reported_and_skipped(tmp_path):
+    journal = AlertJournal(tmp_path, segment_records=100)
+    for i in range(8):
+        journal.append(_raw(i), seq=i)
+    journal.close()
+    _truncate_last_line(journal.segments()[-1])
+
+    reader = AlertJournal(tmp_path, segment_records=100)
+    entries = list(reader.replay())
+    assert [e.seq for e in entries] == list(range(7))
+    assert len(reader.corruptions) == 1
+    corruption = reader.corruptions[0]
+    assert corruption.line_number == 8
+    assert corruption.discarded_records == 0
+    assert "unparseable JSON" in corruption.reason
+    assert "resuming from last valid state" in corruption.render()
+
+
+def test_garbled_mid_segment_record_counts_discards(tmp_path):
+    journal = AlertJournal(tmp_path, segment_records=10)
+    for i in range(25):  # 3 segments: 10 + 10 + 5
+        journal.append(_raw(i), seq=i)
+    journal.close()
+    _garble_line(journal.segments()[0], index=6)
+
+    reader = AlertJournal(tmp_path, segment_records=10)
+    entries = list(reader.replay())
+    assert [e.seq for e in entries] == list(range(6))
+    corruption = reader.corruptions[0]
+    assert corruption.segment == journal.segments()[0].name
+    assert corruption.line_number == 7
+    # 3 remaining in this segment + 10 + 5 in the later ones
+    assert corruption.discarded_records == 18
+
+
+@pytest.mark.parametrize(
+    "line,reason_part",
+    [
+        ("", "blank record"),
+        ("[1, 2, 3]", "record is not an object"),
+        ('{"admitted": true}', "malformed record"),
+        ('{"seq": 1, "admitted": true}', "malformed record"),
+    ],
+)
+def test_parse_line_reasons(line, reason_part):
+    entry, reason = AlertJournal._parse_line(line)
+    assert entry is None
+    assert reason_part in reason
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: corruption during service recovery
+
+
+def test_service_recovers_past_torn_journal_tail(tmp_path):
+    """A torn final record costs exactly that record -- the resumed run
+    equals an uninterrupted run over the stream minus the torn alert."""
+    topo, state, raws = flood_fixture()
+    config = runtime_config(checkpoint_every=0.0)  # journal is all we have
+
+    k = len(raws) // 2
+    set_incident_counter(1)
+    first = RuntimeService(topo, config=config, state=state, directory=tmp_path)
+    for raw in raws[:k]:
+        first.ingest(raw)
+    segments = first.journal.segments()
+    del first
+    _truncate_last_line(segments[-1])
+
+    set_incident_counter(1)
+    resumed = RuntimeService.resume(topo, tmp_path, config=config, state=state)
+    assert resumed.recovery is not None
+    assert len(resumed.recovery.corruptions) == 1
+    assert resumed.recovery.replayed_records == k - 1
+    assert (
+        resumed.metrics.counter_value("runtime_journal_corruptions_total") == 1
+    )
+    for raw in raws[k:]:
+        resumed.ingest(raw)
+    resumed.finish()
+
+    # the comparator never saw the torn alert either
+    set_incident_counter(1)
+    reference = RuntimeService(topo, config=config, state=state)
+    reference.run(raws[: k - 1] + raws[k:])
+    reference.finish()
+    _assert_equal(_fingerprint(reference.pipeline), _fingerprint(resumed.pipeline))
+
+
+def test_corrupt_newest_checkpoint_falls_back_to_previous(tmp_path):
+    """An unloadable newest snapshot degrades to the previous one plus a
+    longer journal replay -- never a crash, never divergence."""
+    topo, state, raws = flood_fixture()
+    config = runtime_config(checkpoint_every=45.0)
+
+    k = (2 * len(raws)) // 3
+    set_incident_counter(1)
+    first = RuntimeService(topo, config=config, state=state, directory=tmp_path)
+    for raw in raws[:k]:
+        first.ingest(raw)
+    checkpoints = first.checkpoints.list()
+    assert len(checkpoints) >= 2
+    del first
+    checkpoints[-1].path.write_bytes(b"not a pickle at all")
+
+    set_incident_counter(1)
+    resumed = RuntimeService.resume(topo, tmp_path, config=config, state=state)
+    assert resumed.recovery is not None
+    assert resumed.recovery.checkpoint_seq == checkpoints[-2].seq
+    assert resumed.admission.offered == k
+    for raw in raws[k:]:
+        resumed.ingest(raw)
+    resumed.finish()
+
+    set_incident_counter(1)
+    reference = RuntimeService(topo, config=config, state=state)
+    reference.run(raws)
+    reference.finish()
+    _assert_equal(_fingerprint(reference.pipeline), _fingerprint(resumed.pipeline))
+
+
+def test_corruption_dataclass_render_names_segment_and_line():
+    corruption = JournalCorruption(
+        segment="segment-00000003.jsonl",
+        line_number=41,
+        reason="unparseable JSON (Expecting value)",
+        discarded_records=7,
+    )
+    text = corruption.render()
+    assert "segment-00000003.jsonl:41" in text
+    assert "7 later record(s) discarded" in text

@@ -1,0 +1,98 @@
+"""Unit coverage for the runtime metrics registry (REP004: clock-free)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.runtime.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_is_monotonic():
+    counter = Counter("events_total")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_holds_last_value():
+    gauge = Gauge("open_incidents")
+    gauge.set(7)
+    gauge.set(3.5)
+    assert gauge.value == 3.5
+
+
+def test_histogram_buckets_and_inf_tail():
+    hist = Histogram("lag_seconds", buckets=(1.0, 10.0))
+    for value in (0.5, 0.9, 5.0, 9999.0):
+        hist.observe(value)
+    assert hist.bucket_counts == [2, 1, 1]  # <=1, <=10, +inf
+    assert hist.count == 4
+    assert hist.mean == pytest.approx((0.5 + 0.9 + 5.0 + 9999.0) / 4)
+    empty = Histogram("empty")
+    assert empty.mean == 0.0
+    assert len(empty.bucket_counts) == len(DEFAULT_BUCKETS) + 1
+
+
+def test_registry_get_or_create_returns_same_handle():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total", "first registration wins")
+    b = registry.counter("x_total", "ignored on re-registration")
+    assert a is b
+    a.inc()
+    assert registry.counter_value("x_total") == 1
+    assert registry.counter_value("never_registered") == 0
+
+
+def test_render_text_is_sorted_and_prometheus_shaped():
+    registry = MetricsRegistry()
+    registry.counter("z_total", "last alphabetically").inc(2)
+    registry.counter("a_total", "first alphabetically").inc(1)
+    registry.gauge("live", "a gauge").set(4)
+    hist = registry.histogram("lag", "a histogram", buckets=(1.0,))
+    hist.observe(0.5)
+    hist.observe(99.0)
+    text = registry.render_text()
+    assert text.index("a_total 1") < text.index("z_total 2")
+    assert "# HELP a_total first alphabetically" in text
+    assert 'lag_bucket{le="1"} 1' in text
+    assert 'lag_bucket{le="+Inf"} 2' in text  # cumulative
+    assert "lag_count 2" in text
+    # rendering twice is byte-stable
+    assert registry.render_text() == text
+
+
+def test_render_json_parses_and_nests():
+    registry = MetricsRegistry()
+    registry.counter("c_total").inc(3)
+    registry.histogram("h", buckets=(2.0,)).observe(1.0)
+    data = json.loads(registry.render_json())
+    assert data["counters"]["c_total"] == 3
+    assert data["histograms"]["h"]["count"] == 1
+    assert data["histograms"]["h"]["buckets"] == {"2": 1, "+Inf": 0}
+
+
+def test_registry_pickles_with_counts_intact():
+    """The registry rides inside runtime checkpoints; pickling is part of
+    its contract."""
+    registry = MetricsRegistry()
+    registry.counter("c_total").inc(9)
+    registry.gauge("g").set(2.5)
+    registry.histogram("h").observe(42.0)
+    clone = pickle.loads(pickle.dumps(registry))
+    assert clone.counter_value("c_total") == 9
+    assert clone.gauge("g").value == 2.5
+    assert clone.histogram("h").count == 1
+    # handles from the clone keep working
+    clone.counter("c_total").inc()
+    assert clone.counter_value("c_total") == 10

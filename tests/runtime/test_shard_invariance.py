@@ -1,0 +1,269 @@
+"""Differential gate: sharded locating must be byte-identical to the
+unsharded reference, for every shard count.
+
+This is the contract that lets ``repro.runtime`` shard the alert tree at
+all: the same raw stream is run through the unsharded reference pipeline
+and through :class:`ShardedLocator` at shard counts {1, 2, 4}, on both
+the reference and ``fast_path`` grouping rules, and the complete incident
+output (scopes, times, statuses, contents, severities, renders with ids
+normalised) must match.  Scenarios reuse the flood battery of
+``tests/test_equivalence_flood.py``, including the cross-region and dense
+benchmark-fabric floods whose groups genuinely span Region subtrees --
+the case naive region sharding gets wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.alert import AlertLevel, AlertTypeKey, StructuredAlert
+from repro.core.config import PRODUCTION_CONFIG
+from repro.core.locator import Locator
+from repro.core.pipeline import SkyNet
+from repro.monitors.base import RawAlert
+from repro.runtime.sharding import ShardedLocator, ShardRouter, frontier_devices
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import LocationPath
+
+from ..test_equivalence_flood import (
+    _assert_equal,
+    _device_down,
+    _fingerprint,
+    _stream,
+)
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _sharded_config(shards: int, fast: bool):
+    return dataclasses.replace(
+        PRODUCTION_CONFIG,
+        fast_path=fast,
+        runtime=dataclasses.replace(PRODUCTION_CONFIG.runtime, shards=shards),
+    )
+
+
+def _run_reference(topo, state, raws: List[RawAlert]) -> List[Tuple]:
+    net = SkyNet(topo, config=PRODUCTION_CONFIG, state=state)
+    net.process(raws)
+    return _fingerprint(net)
+
+
+def _run_sharded(
+    topo, state, raws: List[RawAlert], shards: int, fast: bool
+) -> List[Tuple]:
+    config = _sharded_config(shards, fast)
+    net = SkyNet(
+        topo,
+        config=config,
+        state=state,
+        locator=ShardedLocator(topo, config),
+    )
+    net.process(raws)
+    return _fingerprint(net)
+
+
+def _check_all_shard_counts(topo, state, raws: List[RawAlert]) -> None:
+    reference = _run_reference(topo, state, raws)
+    for shards in SHARD_COUNTS:
+        for fast in (False, True):
+            sharded = _run_sharded(topo, state, raws, shards, fast)
+            assert len(sharded) == len(reference), (
+                f"shards={shards} fast={fast}: incident count "
+                f"{len(sharded)} != reference {len(reference)}"
+            )
+            _assert_equal(reference, sharded)
+
+
+# ---------------------------------------------------------------------------
+# flood scenarios (the test_equivalence_flood battery, sharded)
+
+
+@pytest.mark.parametrize("seed,n_down", [(7, 3), (2, 5), (4, 20), (5, 40)])
+def test_device_down_flood_shard_invariance(seed, n_down):
+    """Seeds 4 and 5 produce ``<root>``-scoped incidents spanning every
+    region -- the exact case that breaks naive per-region sharding."""
+    topo = build_topology(TopologySpec())
+    state = NetworkState(topo)
+    rng = random.Random(seed)
+    devices = sorted(topo.devices)
+    rng.shuffle(devices)
+    for cond in _device_down(devices[:n_down], start=40.0, duration=400.0):
+        state.add_condition(cond)
+    raws = _stream(topo, state, 600.0, seed)
+    _check_all_shard_counts(topo, state, raws)
+
+
+@pytest.mark.parametrize("seed", [31, 32])
+def test_concurrent_cross_region_shard_invariance(seed):
+    topo = build_topology(TopologySpec())
+    state = NetworkState(topo)
+    rng = random.Random(seed)
+    by_region = {}
+    for name in sorted(topo.devices):
+        region = topo.device(name).location.segments[0]
+        by_region.setdefault(region, []).append(name)
+    for names in by_region.values():
+        rng.shuffle(names)
+        for cond in _device_down(names[:4], start=45.0, duration=380.0):
+            state.add_condition(cond)
+    raws = _stream(topo, state, 600.0, seed)
+    _check_all_shard_counts(topo, state, raws)
+
+
+def test_circuit_break_shard_invariance():
+    topo = build_topology(TopologySpec())
+    state = NetworkState(topo)
+    rng = random.Random(12)
+    sets = sorted(topo.circuit_sets)
+    rng.shuffle(sets)
+    for set_id in sets[:6]:
+        state.add_condition(
+            Condition(
+                kind=ConditionKind.CIRCUIT_BREAK,
+                target=set_id,
+                start=60.0,
+                end=500.0,
+                params={"broken_circuits": 4.0},
+            )
+        )
+    raws = _stream(topo, state, 600.0, 12)
+    _check_all_shard_counts(topo, state, raws)
+
+
+def test_benchmark_fabric_dense_flood_shard_invariance():
+    """Three-region benchmark fabric under a 50-device failure wave."""
+    topo = build_topology(TopologySpec.benchmark())
+    state = NetworkState(topo)
+    rng = random.Random(61)
+    devices = sorted(topo.devices)
+    rng.shuffle(devices)
+    for name in devices[:50]:
+        state.add_condition(
+            Condition(
+                kind=ConditionKind.DEVICE_DOWN,
+                target=name,
+                start=60.0 + rng.uniform(0.0, 240.0),
+                end=700.0,
+            )
+        )
+    raws = _stream(topo, state, 800.0, 61)
+    _check_all_shard_counts(topo, state, raws)
+
+
+# ---------------------------------------------------------------------------
+# locator-level: root-located alerts and frontier mechanics
+
+
+def _alert(
+    tool: str,
+    name: str,
+    location: LocationPath,
+    t: float,
+    level: AlertLevel = AlertLevel.FAILURE,
+    device=None,
+) -> StructuredAlert:
+    return StructuredAlert(
+        type_key=AlertTypeKey(tool, name),
+        level=level,
+        location=location,
+        first_seen=t,
+        last_seen=t,
+        device=device,
+    )
+
+
+def _locator_prints(locator: Locator) -> List[str]:
+    import re
+
+    return sorted(
+        re.sub(r"incident-\d+", "incident-N", incident.render())
+        for incident in locator.all_incidents()
+    )
+
+
+def test_root_located_alert_merges_all_shards():
+    """A live root node joins every component, exactly like the reference
+    containment scan (root contains everything)."""
+    topo = build_topology(TopologySpec())
+    root = LocationPath(())
+    regions = sorted(
+        {d.location.segments[0] for d in topo.devices.values()}
+    )
+    feeds = []
+    t = 0.0
+    for i, region in enumerate(regions):
+        dev = next(
+            d for d in sorted(topo.devices)
+            if topo.device(d).location.segments[0] == region
+        )
+        loc = topo.device(dev).location
+        feeds.append(_alert("ping", f"loss_{i}", loc, 10.0 + i, device=dev))
+        feeds.append(
+            _alert("syslog", f"err_{i}", loc, 11.0 + i, device=dev)
+        )
+    feeds.append(_alert("traceroute", "path_loss", root, 12.0))
+    feeds.append(
+        _alert("internet", "wide_loss", root, 13.0, level=AlertLevel.ABNORMAL)
+    )
+
+    prints = []
+    for build in (
+        lambda: Locator(topo, PRODUCTION_CONFIG),
+        lambda: ShardedLocator(topo, _sharded_config(4, False)),
+        lambda: ShardedLocator(topo, _sharded_config(2, True)),
+    ):
+        locator = build()
+        for alert in feeds:
+            locator.feed(alert)
+        locator.sweep(t + 20.0)
+        locator.sweep(t + 5000.0)
+        prints.append(_locator_prints(locator))
+    assert prints[0] == prints[1] == prints[2]
+    assert any("<root>" in p for p in prints[0])
+
+
+def test_router_is_deterministic_and_balanced():
+    topo = build_topology(TopologySpec.benchmark())
+    router = ShardRouter(topo, 4)
+    regions = sorted(
+        {d.location.segments[0] for d in topo.devices.values()}
+    )
+    # round-robin over sorted region names: distinct shards while they last
+    assert [router.assignment[r] for r in regions] == [
+        i % 4 for i in range(len(regions))
+    ]
+    # root-located paths go to the dedicated root shard
+    assert router.shard_of(LocationPath(())) == -1
+    # unknown top-level segments still route deterministically
+    ghost = LocationPath(("no-such-region", "x"))
+    assert router.shard_of(ghost) == router.shard_of(ghost)
+    assert 0 <= router.shard_of(ghost) < 4
+
+
+def test_frontier_devices_cross_region_neighbours():
+    topo = build_topology(TopologySpec())
+    frontier = frontier_devices(topo, max_hops=2)
+    assert frontier, "expected a non-empty cross-region frontier"
+    # every frontier device really has a cross-region neighbour in range
+    for name in frontier:
+        region = topo.device(name).location.segments[0]
+        assert any(
+            topo.device(n).location.segments[0] != region
+            for n in topo.hop_neighbourhood(name, 2)
+            if n in topo.devices
+        )
+    # and every cross-region pair within range is frontier on both ends
+    for name in sorted(topo.devices):
+        region = topo.device(name).location.segments[0]
+        for other in topo.hop_neighbourhood(name, 2):
+            if other in topo.devices and (
+                topo.device(other).location.segments[0] != region
+            ):
+                assert name in frontier and other in frontier
