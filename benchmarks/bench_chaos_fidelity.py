@@ -1,0 +1,270 @@
+"""Chaos fidelity benchmark: incident-stream fidelity per fault class.
+
+Runs one seeded severe-failure flood through the runtime once fault-free
+and once per chaos fault class (source outage, source brownout,
+transient I/O faults, exhausted I/O budget, shard crashes, everything
+combined), and reports how much of the fault-free incident stream
+survives each:
+
+* ``exact`` -- the recovered incident stream is byte-identical to the
+  fault-free one (ids normalised).  This is the *contract* for shard
+  crashes and for I/O faults below the retry budget, so those rows are
+  hard-asserted, at every scale.
+* ``device_recall`` -- fraction of the fault-free run's implicated
+  devices still implicated.  Stream-degrading faults (outage, brownout,
+  permanent I/O loss) may only lose information, never invent it.
+
+The committed ``BENCH_chaos_fidelity.json`` is the EXPERIMENTS.md
+robustness table's source.  Environment: ``SKYNET_BENCH_TINY`` runs the
+tiny fabric for tests/test_bench_smoke.py and CI's chaos-smoke job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import random
+import re
+from typing import Dict, List, Optional, Set
+
+from repro.core.config import PRODUCTION_CONFIG
+from repro.monitors import build_monitors
+from repro.monitors.stream import AlertStream
+from repro.runtime import RuntimeService
+from repro.runtime.checkpoint import set_incident_counter
+from repro.runtime.faults import (
+    ChaosPlan,
+    IOFault,
+    ShardCrash,
+    SourceBrownout,
+    SourceOutage,
+)
+from repro.simulation.conditions import Condition, ConditionKind
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+
+TINY = bool(os.environ.get("SKYNET_BENCH_TINY"))
+
+if TINY:
+    JSON_PATH = (
+        pathlib.Path(__file__).parent
+        / "results-tiny"
+        / "BENCH_chaos_fidelity.json"
+    )
+else:
+    JSON_PATH = pathlib.Path(__file__).parent.parent / "BENCH_chaos_fidelity.json"
+
+SEED = 7
+HORIZON = 600.0
+
+
+def _flood():
+    topo = build_topology(TopologySpec.tiny() if TINY else TopologySpec())
+    state = NetworkState(topo)
+    rng = random.Random(SEED)
+    devices = sorted(topo.devices)
+    rng.shuffle(devices)
+    n_down = 2 if TINY else 4
+    for i, name in enumerate(devices[:n_down]):
+        state.add_condition(
+            Condition(
+                kind=ConditionKind.DEVICE_DOWN,
+                target=name,
+                start=40.0 + 5.0 * i,
+                end=440.0 + 5.0 * i,
+            )
+        )
+    raws = AlertStream(state, build_monitors(state, seed=SEED)).collect(HORIZON)
+    return topo, state, raws
+
+
+def _config():
+    return dataclasses.replace(
+        PRODUCTION_CONFIG,
+        runtime=dataclasses.replace(
+            PRODUCTION_CONFIG.runtime, shards=2, checkpoint_interval_s=60.0
+        ),
+    )
+
+
+#: name -> (plan builder, must the incident stream stay exact?)
+FAULT_CLASSES = {
+    "none": (lambda: None, True),
+    "source_outage": (
+        lambda: ChaosPlan(
+            outages=(SourceOutage("ping", 0.0, HORIZON + 100.0),)
+        ),
+        False,
+    ),
+    "source_brownout": (
+        lambda: ChaosPlan(
+            brownouts=(
+                SourceBrownout(
+                    "syslog", 60.0, 400.0,
+                    delay_s=5.0, delay_jitter_s=20.0,
+                    duplicate_rate=0.2, drop_rate=0.1,
+                ),
+            ),
+            seed=3,
+        ),
+        False,
+    ),
+    "io_transient": (
+        lambda: ChaosPlan(
+            io_faults=(
+                IOFault("journal_append", 100.0, 200.0, fail_count=2),
+                IOFault("checkpoint_save", 0.0, HORIZON, fail_count=1),
+            ),
+        ),
+        True,
+    ),
+    "io_exhausted": (
+        lambda: ChaosPlan(
+            io_faults=(
+                IOFault("journal_append", 100.0, 200.0, permanent=True),
+            ),
+        ),
+        False,
+    ),
+    "shard_crash": (
+        lambda: ChaosPlan(
+            shard_crashes=(
+                ShardCrash(at=200.0, shard=0),
+                ShardCrash(at=300.0, shard=1),
+            ),
+        ),
+        True,
+    ),
+    "combined": (
+        lambda: ChaosPlan(
+            brownouts=(
+                SourceBrownout(
+                    "syslog", 60.0, 400.0, delay_s=5.0, delay_jitter_s=20.0
+                ),
+            ),
+            shard_crashes=(ShardCrash(at=250.0, shard=1),),
+            io_faults=(
+                IOFault("journal_append", 100.0, 180.0, fail_count=2),
+            ),
+            seed=3,
+        ),
+        False,
+    ),
+}
+
+
+def _run(topo, state, raws, plan: Optional[ChaosPlan], directory):
+    set_incident_counter(1)
+    service = RuntimeService(
+        topo, config=_config(), state=state, directory=directory,
+        chaos=plan, run_seed=SEED,
+    )
+    stream = raws
+    perturb_counts = {"dropped": 0, "delayed": 0, "duplicated": 0}
+    if plan is not None and plan.perturbs_stream():
+        perturbed = plan.perturb(raws, run_seed=SEED)
+        stream = perturbed.raws
+        perturb_counts = perturbed.counts()
+    service.run(stream)
+    service.finish()
+    return service, perturb_counts
+
+
+def _fingerprint(service: RuntimeService) -> List[str]:
+    return sorted(
+        re.sub(r"incident-\d+", "incident-N", incident.render())
+        for incident in service.pipeline.incidents(include_superseded=True)
+    )
+
+
+def _devices(service: RuntimeService) -> Set[str]:
+    out: Set[str] = set()
+    for incident in service.pipeline.incidents(include_superseded=True):
+        out |= set(incident.devices_involved())
+    return out
+
+
+def test_chaos_fidelity(emit, paper_assert, tmp_path):
+    topo, state, raws = _flood()
+    report: Dict = {
+        "bench": "chaos_fidelity",
+        "seed": SEED,
+        "topology": topo.stats(),
+        "raw_alerts": len(raws),
+        "rows": [],
+    }
+
+    baseline_fp: List[str] = []
+    baseline_devices: Set[str] = set()
+    for name, (build, must_be_exact) in FAULT_CLASSES.items():
+        plan = build()
+        service, perturb_counts = _run(
+            topo, state, raws, plan, tmp_path / name
+        )
+        fp = _fingerprint(service)
+        devices = _devices(service)
+        if name == "none":
+            baseline_fp, baseline_devices = fp, devices
+        exact = fp == baseline_fp
+        recall = (
+            len(devices & baseline_devices) / len(baseline_devices)
+            if baseline_devices
+            else 0.0
+        )
+        counters = {
+            key: service.metrics.counter_value(key)
+            for key in (
+                "runtime_io_retries_total",
+                "runtime_io_shed_journal_append_total",
+                "runtime_shard_crashes_total",
+                "runtime_shard_restores_total",
+            )
+        }
+        row = {
+            "fault_class": name,
+            "incidents": len(fp),
+            "exact": exact,
+            "device_recall": round(recall, 3),
+            **perturb_counts,
+            **counters,
+        }
+        report["rows"].append(row)
+        emit(
+            "chaos_fidelity",
+            f"{name:15s} incidents={len(fp):3d} exact={str(exact):5s} "
+            f"device_recall={recall:.2f} "
+            f"retries={counters['runtime_io_retries_total']} "
+            f"shed={counters['runtime_io_shed_journal_append_total']} "
+            f"crashes={counters['runtime_shard_crashes_total']}",
+        )
+        if must_be_exact:
+            assert exact, (
+                f"{name}: recovery contract broken -- incident stream "
+                f"diverged from the fault-free run"
+            )
+        # degradation may lose information, never invent devices
+        assert not (devices - baseline_devices), (
+            f"{name}: chaos implicated devices the fault-free run did not: "
+            f"{sorted(devices - baseline_devices)}"
+        )
+
+    assert report["rows"][0]["exact"], "baseline must match itself"
+    by_name = {row["fault_class"]: row for row in report["rows"]}
+    assert by_name["io_transient"]["runtime_io_retries_total"] > 0
+    assert by_name["io_exhausted"]["runtime_io_shed_journal_append_total"] > 0
+    assert by_name["shard_crash"]["runtime_shard_crashes_total"] == 2
+    # figure-shaped claims need flood scale; relaxed in tiny mode
+    paper_assert(
+        by_name["source_outage"]["device_recall"] <= 1.0
+        and by_name["source_outage"]["incidents"] > 0,
+        "a ping outage must degrade, not erase, detection",
+    )
+    paper_assert(
+        by_name["io_exhausted"]["device_recall"] >= 0.5,
+        "a 100s journal blackout must not erase most of the storm",
+    )
+
+    JSON_PATH.parent.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

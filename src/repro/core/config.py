@@ -117,6 +117,18 @@ class RuntimeParams:
     #: raw alerts per window above which shedding starts (ladder rung 1);
     #: rungs 2 and 3 engage at 2x and 4x the watermark
     admission_watermark: int = 400
+    #: opt-in journal segment compaction: at checkpoint time, delete
+    #: closed segments fully covered by the oldest retained checkpoint
+    #: (bounds disk across long runs; default off keeps journals strictly
+    #: append-only so crashed-run evidence is never destroyed)
+    journal_compaction: bool = False
+    #: bounded retry budget for journal/checkpoint I/O failures; attempt
+    #: counts above this shed the write (visible in metrics, never silent)
+    io_max_attempts: int = 4
+    #: first-retry backoff (sim-clock accounting, doubled per attempt and
+    #: capped at ``io_max_backoff_s``; jittered from the run seed)
+    io_base_backoff_s: float = 0.5
+    io_max_backoff_s: float = 30.0
 
 
 @dataclasses.dataclass(frozen=True)

@@ -25,7 +25,7 @@ evaluator degrades to the alert-derived terms only (R and ΔT).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..simulation.state import NetworkState
 from ..topology.hierarchy import LocationPath
@@ -66,14 +66,27 @@ class Evaluator:
 
     # -- public API -----------------------------------------------------------
 
-    def evaluate(self, incident: Incident, now: Optional[float] = None
-                 ) -> SeverityBreakdown:
-        """Score one incident and attach the breakdown to it."""
+    def evaluate(
+        self,
+        incident: Incident,
+        now: Optional[float] = None,
+        degraded: FrozenSet[str] = frozenset(),
+    ) -> SeverityBreakdown:
+        """Score one incident and attach the breakdown to it.
+
+        ``degraded`` names data sources currently unusable; their
+        records are excluded from ``R_k`` while healthy evidence exists
+        (falling back to the degraded records rather than pretending
+        zero loss), and the incident is stamped with a ``confidence``
+        annotation: the fraction of its relevant sources still healthy.
+        An empty set -- the only case without a chaos plan -- leaves
+        every computation byte-identical to the degradation-unaware
+        evaluator."""
         now = incident.end_time if now is None else now
         duration = max(
             self.params.min_duration_s, incident.end_time - incident.start_time
         )
-        ping_loss = self._ping_loss_rate(incident)
+        ping_loss = self._ping_loss_rate(incident, degraded)
         impact, sla_excess, important = self._traffic_terms(incident)
         time_factor = self._time_factor(ping_loss, sla_excess, duration, important)
         score = impact * time_factor
@@ -93,6 +106,14 @@ class Evaluator:
         # erase how bad it got while live
         if incident.severity is None or breakdown.score >= incident.severity.score:
             incident.severity = breakdown
+        if degraded:
+            relevant = self._relevant_sources(incident)
+            unusable = relevant & degraded
+            if unusable:
+                incident.note_degradation(
+                    confidence=1.0 - len(unusable) / len(relevant),
+                    degraded=unusable,
+                )
         return breakdown
 
     def rank(self, incidents: List[Incident], now: Optional[float] = None
@@ -118,17 +139,38 @@ class Evaluator:
 
     # -- equation terms -----------------------------------------------------------
 
-    def _ping_loss_rate(self, incident: Incident) -> float:
-        """``R_k``: mean observed loss over the incident's failure alerts."""
+    def _ping_loss_rate(
+        self, incident: Incident, degraded: FrozenSet[str] = frozenset()
+    ) -> float:
+        """``R_k``: mean observed loss over the incident's failure alerts.
+
+        Records from degraded sources are set aside and only used when
+        *no* healthy failure evidence carries a loss metric -- stale loss
+        numbers are better than inventing a zero rate, but must never
+        outvote live ones."""
         values: List[float] = []
+        sidelined: List[float] = []
         for record in incident.records():
             if record.level is not AlertLevel.FAILURE:
                 continue
             for metric in _LOSS_METRICS:
                 if metric in record.worst_metrics:
-                    values.append(record.worst_metrics[metric])
+                    if degraded and record.type_key.tool in degraded:
+                        sidelined.append(record.worst_metrics[metric])
+                    else:
+                        values.append(record.worst_metrics[metric])
                     break
+        if not values:
+            values = sidelined
         return sum(values) / len(values) if values else 0.0
+
+    def _relevant_sources(self, incident: Incident) -> FrozenSet[str]:
+        """Sources whose health bears on this incident's assessment: every
+        tool that contributed a record, plus the three §4.3 zoom-in feeds
+        the refinement would have consulted."""
+        tools = {record.type_key.tool for record in incident.records()}
+        tools.update(("ping", "traffic_statistics", "in_band_telemetry"))
+        return frozenset(tools)
 
     def _related_circuit_sets(self, incident: Incident) -> List[str]:
         root = incident.location

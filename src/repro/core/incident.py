@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..topology.hierarchy import LocationPath
 from .alert import AlertLevel, AlertTypeKey, StructuredAlert
@@ -60,6 +60,12 @@ class Incident:
         self.closed_at: Optional[float] = None
         self.refined_location: Optional[LocationPath] = None  # zoom-in result
         self.severity: Optional[SeverityBreakdown] = None
+        #: assessment confidence in [0, 1]; None until a degraded data
+        #: source touches this incident (the evaluator stamps it), so
+        #: healthy runs carry -- and render -- no confidence annotation
+        self.confidence: Optional[float] = None
+        #: degraded sources that affected this incident's assessment
+        self.degraded_sources: Tuple[str, ...] = ()
         self._nodes: Dict[LocationPath, Dict[AlertTypeKey, TreeRecord]] = {}
         for location, records in seed_nodes.items():
             node = self._nodes.setdefault(location, {})
@@ -108,6 +114,21 @@ class Incident:
     def close(self, now: float, status: IncidentStatus = IncidentStatus.CLOSED) -> None:
         self.status = status
         self.closed_at = now
+
+    def note_degradation(
+        self, confidence: float, degraded: Iterable[str]
+    ) -> None:
+        """Record that degraded sources touched this assessment.
+
+        Confidence keeps its in-flight *minimum* (mirroring how severity
+        keeps its peak: the report must not forget how blind the system
+        was at the worst moment) and the degraded-source list is the
+        union over the incident's lifetime."""
+        if self.confidence is None or confidence < self.confidence:
+            self.confidence = confidence
+        self.degraded_sources = tuple(
+            sorted(set(self.degraded_sources) | set(degraded))
+        )
 
     # -- queries ----------------------------------------------------------------
 
@@ -190,6 +211,14 @@ class Incident:
             f"[{self.location}][{self.start_time:.0f}s - {self.end_time:.0f}s]"
             f"{score}"
         )
+        # only degraded runs annotate confidence: healthy renders stay
+        # byte-identical to the pre-chaos report format
+        if self.degraded_sources:
+            assert self.confidence is not None
+            lines.append(
+                f"confidence {self.confidence:.2f}"
+                f" (degraded: {', '.join(self.degraded_sources)})"
+            )
         by_level = self.alert_counts_by_level()
         titles = {
             AlertLevel.FAILURE: "Failure alerts",

@@ -21,7 +21,7 @@ several times faster (benchmarks/bench_perf_flood.py tracks the ratio).
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional
+from typing import FrozenSet, Iterable, List, Optional, Protocol
 
 from ..monitors.base import RawAlert
 from ..simulation.state import NetworkState
@@ -35,6 +35,20 @@ from .incident import Incident, SeverityBreakdown
 from .locator import Locator, SweepResult
 from .preprocessor import PreprocessStats, Preprocessor
 from .zoom_in import LocationZoomIn
+
+
+class SourceHealth(Protocol):
+    """What the pipeline needs from a per-source health tracker.
+
+    Structural only: ``repro.runtime.health.SourceHealthTracker``
+    satisfies it without the core ever importing the runtime package.
+    """
+
+    def observe(self, raw: RawAlert) -> None:
+        """Note one raw alert reaching the pipeline."""
+
+    def degraded_sources(self, now: float) -> FrozenSet[str]:
+        """Tools considered degraded at alert time ``now``."""
 
 
 class PipelineObserver:
@@ -100,6 +114,12 @@ class SkyNet:
         self.evaluator = Evaluator(topology, self._config, state=state, traffic=traffic)
         self.zoom = LocationZoomIn(topology)
         self.observer = observer
+        #: optional per-source health tracker (duck-typed: ``observe(raw)``
+        #: + ``degraded_sources(now)``).  ``repro.runtime`` installs one
+        #: when a chaos plan degrades sources; left ``None``, every
+        #: degradation branch below is skipped and the pipeline is
+        #: byte-identical to a health-unaware run.
+        self.health: Optional[SourceHealth] = None
         self._last_sweep = float("-inf")
         self._now = float("-inf")
 
@@ -120,6 +140,8 @@ class SkyNet:
     def feed(self, raw: RawAlert) -> List[StructuredAlert]:
         """Feed one raw alert; sweeps are driven by alert delivery time."""
         self._now = max(self._now, raw.delivered_at)
+        if self.health is not None:
+            self.health.observe(raw)
         self.zoom.observe(raw)
         emitted = self.preprocessor.feed(raw)
         for alert in emitted:
@@ -135,15 +157,20 @@ class SkyNet:
         self._last_sweep = now
         self._now = max(self._now, now)
         result = self.locator.sweep(now)
+        degraded = (
+            self.health.degraded_sources(now)
+            if self.health is not None
+            else frozenset()
+        )
         for incident in result.opened:
-            self.zoom.refine(incident, now)
-            self.evaluator.evaluate(incident, now)
+            self.zoom.refine(incident, now, degraded=degraded)
+            self.evaluator.evaluate(incident, now, degraded=degraded)
         for incident in result.closed:
-            self.zoom.refine(incident, now)
-            self.evaluator.evaluate(incident, now)
+            self.zoom.refine(incident, now, degraded=degraded)
+            self.evaluator.evaluate(incident, now, degraded=degraded)
         # keep open-incident scores fresh for live ranking
         for incident in self.locator.open_incidents:
-            self.evaluator.evaluate(incident, now)
+            self.evaluator.evaluate(incident, now, degraded=degraded)
         if self.observer is not None:
             self.observer.on_sweep(now, result)
 

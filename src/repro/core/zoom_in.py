@@ -17,7 +17,7 @@ of the incident".
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..monitors.base import RawAlert
 from ..topology.hierarchy import Level, LocationPath, lowest_common_ancestor
@@ -143,13 +143,32 @@ class LocationZoomIn:
     def observe(self, raw: RawAlert) -> None:
         self.ping_window.observe(raw)
 
-    def refine(self, incident: Incident, now: float) -> Optional[LocationPath]:
+    def refine(
+        self,
+        incident: Incident,
+        now: float,
+        degraded: FrozenSet[str] = frozenset(),
+    ) -> Optional[LocationPath]:
         """Most precise location the telemetry supports; sets
-        ``incident.refined_location`` when something sticks."""
+        ``incident.refined_location`` when something sticks.
+
+        ``degraded`` names data sources currently unusable (outage or
+        severe brownout): a degraded source's trigger is skipped and the
+        next one in §4.3's ping -> sFlow -> INT order takes over, so a
+        dark ping mesh falls back to traceback instead of refining from
+        stale loss samples."""
         refined = (
-            self._matrix_focal(incident, now)
-            or self._sflow_traceback(incident)
-            or self._int_device(incident)
+            (None if "ping" in degraded else self._matrix_focal(incident, now))
+            or (
+                None
+                if "traffic_statistics" in degraded
+                else self._sflow_traceback(incident)
+            )
+            or (
+                None
+                if "in_band_telemetry" in degraded
+                else self._int_device(incident)
+            )
         )
         if refined is not None and incident.root.contains(refined):
             incident.refined_location = refined

@@ -20,4 +20,5 @@ from . import (  # noqa: F401
     rep008_type_annotations,
     rep009_alert_type_registry,
     rep010_monitor_cadence,
+    rep011_exception_hygiene,
 )

@@ -47,7 +47,11 @@ class CoreAnnotationRule(LintRule):
         #: additional dotted-module fnmatch patterns to cover; simulation
         #: and the runtime service graduated into the typed set and are
         #: checked by default (mirroring the pyproject mypy overrides)
-        "extra_modules": ("repro.simulation.*", "repro.runtime.*"),
+        "extra_modules": (
+            "repro.simulation.*",
+            "repro.runtime.*",
+            "repro.operators.*",
+        ),
     }
 
     def applies_to(self, source: SourceFile) -> bool:

@@ -1,0 +1,98 @@
+"""REP011: fault handling in core/runtime/monitors must be explicit.
+
+The chaos layer (``repro.runtime.faults``) exists to prove the pipeline
+survives real failures -- shard crashes, refused writes, silent sources.
+That proof is worthless if a handler quietly eats the evidence: a bare
+``except:`` swallows everything up to ``KeyboardInterrupt``, and an
+``except Exception: pass`` turns an injected I/O fault into the exact
+silent drop the retry/shed machinery is built to prevent.  In the
+pipeline packages (``repro.core``, ``repro.runtime``,
+``repro.monitors``) every handler must therefore name the exception
+types it expects (``OSError``, ``pickle.UnpicklingError``, ...) and do
+something observable with them -- re-raise, count, report, or return a
+degraded-but-loud result.
+
+Flags, in the scoped modules:
+
+* any bare ``except:`` clause;
+* any handler catching ``Exception`` (alone or inside a tuple) whose
+  body is only ``pass``/``...`` -- the classic silent swallow.
+
+Catching ``Exception`` and *acting* on it (logging, counting, wrapping)
+is allowed; it is the combination of maximal breadth and zero reaction
+that this rule bans.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterable
+
+from ..engine import Finding, LintRule, SourceFile, register
+
+
+def _catches_exception(handler: ast.ExceptHandler) -> bool:
+    """Does the handler's type clause name ``Exception`` (or ``BaseException``)?"""
+    node = handler.type
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in (
+            "Exception",
+            "BaseException",
+        ):
+            return True
+    return False
+
+
+def _body_is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing observable at all."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+@register
+class ExceptionHygieneRule(LintRule):
+    rule_id = "REP011"
+    title = "no bare except / silent Exception swallows in pipeline packages"
+    paper_ref = "(robustness; degradation must be loud, §4.3)"
+    include_modules = (
+        "repro.core.*",
+        "repro.runtime.*",
+        "repro.monitors.*",
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.module is None:
+            return True
+        return any(
+            fnmatch.fnmatchcase(source.module, pattern)
+            for pattern in self.include_modules
+        )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield source.finding(
+                    self.rule_id,
+                    node,
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt; name the exception types this "
+                    "handler expects",
+                )
+            elif _catches_exception(node) and _body_is_silent(node):
+                yield source.finding(
+                    self.rule_id,
+                    node,
+                    "'except Exception' with an empty body silently "
+                    "swallows every failure; name the expected types and "
+                    "react observably (re-raise, count, or report)",
+                )

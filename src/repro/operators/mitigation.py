@@ -25,7 +25,7 @@ the constants.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core.alert import AlertLevel
 from ..core.incident import Incident
@@ -49,7 +49,7 @@ class OperatorParams:
 class OperatorModel:
     """Deterministic mitigation-time estimates for both workflows."""
 
-    def __init__(self, params: Optional[OperatorParams] = None):
+    def __init__(self, params: Optional[OperatorParams] = None) -> None:
         self.params = params or OperatorParams()
 
     # -- without SkyNet ------------------------------------------------------------

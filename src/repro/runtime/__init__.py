@@ -16,34 +16,69 @@ floods, no downtime):
   consolidation ladder, every shed counted.
 * :mod:`metrics` -- sim-clock counters/gauges/histograms threaded
   through the stages via the pipeline observer hook.
+* :mod:`faults` / :mod:`health` / :mod:`supervisor` -- the chaos layer:
+  seeded :class:`ChaosPlan` fault injection (source outages/brownouts,
+  shard crashes, journal/checkpoint I/O faults), per-source staleness
+  tracking feeding §4.3 degraded-mode fallback and incident confidence,
+  and exact crash-and-heal shard supervision.  Entirely opt-in: with no
+  plan the runtime is byte-identical to a chaos-free build.
 * :mod:`service` / :mod:`cli` -- composition plus the
   ``python -m repro.runtime`` entry point.
 """
 
 from .admission import AdmissionController, AdmissionDecision
 from .checkpoint import CheckpointStore, pipeline_state_dict, restore_pipeline_state
+from .faults import (
+    ChaosPlan,
+    FaultInjectedIOError,
+    FaultyIO,
+    IOFault,
+    PerturbResult,
+    RetryPolicy,
+    ShardCrash,
+    SourceBrownout,
+    SourceOutage,
+    chaos_or_none,
+    empty_plan,
+)
+from .health import SourceHealthTracker
 from .journal import AlertJournal, JournalCorruption, JournalEntry
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .service import RecoveryReport, RuntimeObserver, RuntimeService
 from .sharding import ShardedAlertTree, ShardedLocator, ShardRouter, frontier_devices
+from .supervisor import SupervisedAlertTree, SupervisedLocator
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AlertJournal",
+    "ChaosPlan",
     "CheckpointStore",
     "Counter",
+    "FaultInjectedIOError",
+    "FaultyIO",
     "Gauge",
     "Histogram",
+    "IOFault",
     "JournalCorruption",
     "JournalEntry",
     "MetricsRegistry",
+    "PerturbResult",
     "RecoveryReport",
+    "RetryPolicy",
     "RuntimeObserver",
     "RuntimeService",
+    "ShardCrash",
     "ShardRouter",
     "ShardedAlertTree",
     "ShardedLocator",
+    "SourceBrownout",
+    "SourceHealthTracker",
+    "SourceOutage",
+    "SupervisedAlertTree",
+    "SupervisedLocator",
+    "chaos_or_none",
+    "empty_plan",
     "frontier_devices",
     "pipeline_state_dict",
     "restore_pipeline_state",

@@ -69,8 +69,8 @@ class AdmissionController:
 
     def offer(self, raw: RawAlert) -> AdmissionDecision:
         """Decide admission for one raw alert (and record the outcome)."""
-        decision = self._decide(raw)
-        self._apply(raw, decision)
+        decision = self.decide(raw)
+        self.apply(raw, decision)
         return decision
 
     def replay(self, raw: RawAlert, admitted: bool, rung: Optional[str]) -> None:
@@ -80,9 +80,16 @@ class AdmissionController:
         alerts are absent from the pipeline but present in the journal,
         and honouring the recorded outcome reproduces window state and
         shed counters exactly."""
-        self._apply(raw, AdmissionDecision(admit=admitted, rung=rung))
+        self.apply(raw, AdmissionDecision(admit=admitted, rung=rung))
 
-    def _decide(self, raw: RawAlert) -> AdmissionDecision:
+    def decide(self, raw: RawAlert) -> AdmissionDecision:
+        """Pure decision: what would happen to ``raw``, without recording it.
+
+        Split from :meth:`apply` so the service can write the decision to
+        the journal *before* mutating any state -- a write-ahead failure
+        then leaves the controller exactly as if the alert never arrived.
+        Window pruning here is idempotent with the pruning in
+        :meth:`apply`."""
         if not self.enabled:
             return AdmissionDecision(admit=True)
         now = raw.delivered_at
@@ -109,7 +116,8 @@ class AdmissionController:
             return AdmissionDecision(admit=False, rung="cross_source")
         return AdmissionDecision(admit=True)
 
-    def _apply(self, raw: RawAlert, decision: AdmissionDecision) -> None:
+    def apply(self, raw: RawAlert, decision: AdmissionDecision) -> None:
+        """Record one decided alert: window, counters, metrics."""
         now = raw.delivered_at
         window_s = self.params.admission_window_s
         while self._window and self._window[0] < now - window_s:

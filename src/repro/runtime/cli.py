@@ -28,6 +28,14 @@ from ..simulation.conditions import Condition, ConditionKind
 from ..simulation.state import NetworkState
 from ..topology.builder import TopologySpec, build_topology
 from ..topology.network import Topology
+from .faults import (
+    ChaosPlan,
+    IOFault,
+    ShardCrash,
+    SourceBrownout,
+    SourceOutage,
+    chaos_or_none,
+)
 from .service import RuntimeService
 
 SCENARIOS = ("flood", "regional", "quiet")
@@ -86,6 +94,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission window watermark (raw alerts per window)",
     )
     parser.add_argument(
+        "--compact-journal", action="store_true",
+        help="compact journal segments fully covered by the oldest "
+        "retained checkpoint (bounds disk over long runs)",
+    )
+    chaos = parser.add_argument_group(
+        "chaos", "deterministic fault injection (repeat flags to stack faults)"
+    )
+    chaos.add_argument(
+        "--chaos-outage", action="append", default=[], metavar="TOOL:START:END",
+        help="silence one monitoring tool for a sim-time window",
+    )
+    chaos.add_argument(
+        "--chaos-brownout", action="append", default=[],
+        metavar="TOOL:START:END:DELAY[:JITTER[:DUP[:DROP]]]",
+        help="degrade one tool: delivery delay (+jitter), duplicate/drop rates",
+    )
+    chaos.add_argument(
+        "--chaos-shard-crash", action="append", default=[], metavar="AT[:SHARD]",
+        help="crash one locator shard at a sim instant (supervisor heals it)",
+    )
+    chaos.add_argument(
+        "--chaos-io", action="append", default=[],
+        metavar="OP:START:END[:FAILS|perm]",
+        help="fail journal_append/journal_sync/checkpoint_save in a window",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed offsetting the chaos RNGs (default: %(default)s)",
+    )
+    parser.add_argument(
         "--metrics", choices=("text", "json", "none"), default="text",
         help="metrics dump format (default: %(default)s)",
     )
@@ -111,9 +149,74 @@ def _build_config(args: argparse.Namespace) -> SkyNetConfig:
         admission_watermark=(
             args.watermark if args.watermark is not None else base.admission_watermark
         ),
+        journal_compaction=args.compact_journal,
     )
     return dataclasses.replace(
         PRODUCTION_CONFIG, fast_path=args.fast_path, runtime=runtime
+    )
+
+
+def _split_fields(spec: str, flag: str, minimum: int, maximum: int) -> List[str]:
+    fields = spec.split(":")
+    if not minimum <= len(fields) <= maximum:
+        raise SystemExit(
+            f"error: bad {flag} value {spec!r} "
+            f"(want {minimum}-{maximum} ':'-separated fields)"
+        )
+    return fields
+
+
+def _build_chaos(args: argparse.Namespace) -> Optional[ChaosPlan]:
+    """Assemble the chaos plan from the repeatable CLI flags."""
+    outages = tuple(
+        SourceOutage(tool=f[0], start=float(f[1]), end=float(f[2]))
+        for f in (
+            _split_fields(s, "--chaos-outage", 3, 3) for s in args.chaos_outage
+        )
+    )
+    brownouts = []
+    for spec in args.chaos_brownout:
+        f = _split_fields(spec, "--chaos-brownout", 4, 7)
+        brownouts.append(
+            SourceBrownout(
+                tool=f[0],
+                start=float(f[1]),
+                end=float(f[2]),
+                delay_s=float(f[3]),
+                delay_jitter_s=float(f[4]) if len(f) > 4 else 0.0,
+                duplicate_rate=float(f[5]) if len(f) > 5 else 0.0,
+                drop_rate=float(f[6]) if len(f) > 6 else 0.0,
+            )
+        )
+    crashes = []
+    for spec in args.chaos_shard_crash:
+        f = _split_fields(spec, "--chaos-shard-crash", 1, 2)
+        crashes.append(
+            ShardCrash(at=float(f[0]), shard=int(f[1]) if len(f) > 1 else 0)
+        )
+    io_faults = []
+    for spec in args.chaos_io:
+        f = _split_fields(spec, "--chaos-io", 3, 4)
+        permanent = len(f) > 3 and f[3] == "perm"
+        io_faults.append(
+            IOFault(
+                op=f[0],
+                start=float(f[1]),
+                end=float(f[2]),
+                fail_count=(
+                    int(f[3]) if len(f) > 3 and not permanent else 1
+                ),
+                permanent=permanent,
+            )
+        )
+    return chaos_or_none(
+        ChaosPlan(
+            outages=outages,
+            brownouts=tuple(brownouts),
+            shard_crashes=tuple(crashes),
+            io_faults=tuple(io_faults),
+            seed=args.chaos_seed,
+        )
     )
 
 
@@ -174,6 +277,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.resume and args.dir is None:
         build_parser().error("--resume requires --dir")
     config = _build_config(args)
+    chaos = _build_chaos(args)
     topo = _topology(args.topology)
     state, raws = _stream(
         topo, args.scenario, args.seed, args.duration, args.alerts
@@ -181,14 +285,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.resume:
         service = RuntimeService.resume(
-            topo, args.dir, config=config, state=state
+            topo, args.dir, config=config, state=state,
+            chaos=chaos, run_seed=args.seed,
         )
         if service.recovery is not None:
             print(service.recovery.render())
     else:
         service = RuntimeService(
-            topo, config=config, state=state, directory=args.dir
+            topo, config=config, state=state, directory=args.dir,
+            chaos=chaos, run_seed=args.seed,
         )
+
+    if chaos is not None and chaos.perturbs_stream():
+        perturbed = chaos.perturb(list(raws), run_seed=args.seed)
+        for name, value in perturbed.counts().items():
+            service.metrics.counter(
+                f"runtime_chaos_stream_{name}_total",
+                f"raw alerts {name} by the chaos plan's stream faults",
+            ).inc(value)
+        counts = ", ".join(
+            f"{k}={v}" for k, v in perturbed.counts().items()
+        )
+        print(f"# chaos stream faults: {counts}")
+        raws = iter(perturbed.raws)
 
     service.run(raws)
     service.finish()
@@ -203,6 +322,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if any(sheds.values()):
         shed_text = ", ".join(f"{k}={v}" for k, v in sheds.items())
         print(f"# load shed per ladder rung: {shed_text}")
+    degraded = service.degraded_sources()
+    if degraded:
+        print(f"# degraded sources at shutdown: {', '.join(sorted(degraded))}")
     for report in reports[: max(0, args.top)]:
         print(report.render())
         print()

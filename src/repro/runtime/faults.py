@@ -1,0 +1,289 @@
+"""Deterministic fault injection for the runtime: the chaos layer.
+
+Nothing in a reproduction fails on its own, so nothing about recovery is
+real until something *makes* monitors go dark, shards die mid-storm and
+disks refuse writes.  A :class:`ChaosPlan` is a declarative, seeded,
+sim-clock-driven schedule of exactly those events:
+
+* **source outages** -- a monitoring tool is silent for a window (the
+  Figure 8a ablation, but mid-run instead of for a whole campaign);
+* **source brownouts** -- a tool keeps reporting but degraded: delivery
+  delay spikes (which reorder alerts within their delivery bounds),
+  seeded duplication, seeded partial loss;
+* **shard crashes** -- a :class:`~repro.runtime.supervisor.SupervisedLocator`
+  shard loses its in-memory tree at a simulated instant;
+* **I/O faults** -- journal appends / syncs or checkpoint saves raise
+  ``OSError`` for a window, consulted through the injectable
+  :class:`FaultyIO` wrapper.
+
+Everything is driven by simulated time and a seed (REP004: no wall
+clocks, no global RNG), so the same plan over the same stream produces
+the same perturbed stream, the same retries and the same sheds -- which
+is what lets ``tests/runtime/test_chaos.py`` assert *exact* recovery.
+An empty plan is inert by construction: :meth:`ChaosPlan.perturb`
+returns its input list unchanged (the same object), and the service
+skips every chaos code path, keeping output byte-identical to a
+chaos-free runtime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..monitors.base import RawAlert
+
+#: I/O operations :class:`FaultyIO` can be asked about.
+IO_OPS: Tuple[str, str, str] = ("journal_append", "journal_sync", "checkpoint_save")
+
+
+class FaultInjectedIOError(OSError):
+    """An I/O failure manufactured by :class:`FaultyIO`."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceOutage:
+    """One tool reports nothing observed during ``[start, end)``."""
+
+    tool: str
+    start: float
+    end: float
+
+    def covers(self, raw: RawAlert) -> bool:
+        return raw.tool == self.tool and self.start <= raw.timestamp < self.end
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceBrownout:
+    """One tool degrades during ``[start, end)``: late, lossy, chatty.
+
+    ``delay_s`` (+ seeded ``delay_jitter_s``) is added to delivery time,
+    never to observation time, so ``delivered_at >= timestamp`` stays
+    true and the reordering is exactly the delivery-bound kind the §4.2
+    node timeout was sized for.  ``drop_rate`` / ``duplicate_rate`` are
+    per-alert probabilities drawn from the plan's seeded RNG.
+    """
+
+    tool: str
+    start: float
+    end: float
+    delay_s: float = 0.0
+    delay_jitter_s: float = 0.0
+    duplicate_rate: float = 0.0
+    drop_rate: float = 0.0
+
+    def covers(self, raw: RawAlert) -> bool:
+        return raw.tool == self.tool and self.start <= raw.timestamp < self.end
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardCrash:
+    """Locator shard ``shard`` loses its in-memory tree at sim time ``at``."""
+
+    at: float
+    shard: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class IOFault:
+    """``op`` fails during ``[start, end)``.
+
+    Each *call* issued inside the window fails its first ``fail_count``
+    attempts and then succeeds -- below the retry budget this models a
+    transient error; with ``permanent=True`` (or ``fail_count`` at or
+    above the budget) every attempt in the window fails and the caller's
+    terminal fallback engages.  Failure decisions depend only on
+    (op, sim time, attempt index), never on global call counters, so a
+    killed-and-resumed run re-derives the same outcomes.
+    """
+
+    op: str
+    start: float
+    end: float
+    fail_count: int = 1
+    permanent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in IO_OPS:
+            raise ValueError(f"unknown I/O op {self.op!r}; want one of {IO_OPS}")
+
+    def fails(self, now: float, attempt: int) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return self.permanent or attempt < self.fail_count
+
+
+@dataclasses.dataclass(frozen=True)
+class PerturbResult:
+    """A perturbed stream plus exactly what was done to it."""
+
+    raws: List[RawAlert]
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "dropped": self.dropped,
+            "delayed": self.delayed,
+            "duplicated": self.duplicated,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, sim-clock schedule of injected failures.
+
+    The plan is pure data; the machinery that executes it lives where
+    each fault class bites: :meth:`perturb` (stream faults, applied by
+    the caller before ingest so journal and replay see the *perturbed*
+    stream), :class:`~repro.runtime.service.RuntimeService` (shard
+    crashes and I/O retry/shed), and
+    :class:`~repro.runtime.health.SourceHealthTracker` (degradation
+    awareness).  ``seed`` offsets every RNG the plan drives so two plans
+    over the same run seed stay independent.
+    """
+
+    outages: Tuple[SourceOutage, ...] = ()
+    brownouts: Tuple[SourceBrownout, ...] = ()
+    shard_crashes: Tuple[ShardCrash, ...] = ()
+    io_faults: Tuple[IOFault, ...] = ()
+    seed: int = 0
+
+    def is_empty(self) -> bool:
+        return not (
+            self.outages or self.brownouts or self.shard_crashes or self.io_faults
+        )
+
+    def degrades_sources(self) -> bool:
+        return bool(self.outages or self.brownouts)
+
+    def perturbs_stream(self) -> bool:
+        return bool(self.outages or self.brownouts)
+
+    def rng(self, purpose: str, run_seed: int) -> random.Random:
+        """A deterministic RNG namespaced by purpose, plan seed, run seed."""
+        return random.Random(f"chaos:{purpose}:{self.seed}:{run_seed}")
+
+    def perturb(self, raws: Sequence[RawAlert], run_seed: int = 0) -> PerturbResult:
+        """Apply the stream faults (outages, brownouts) to a raw stream.
+
+        With no stream faults planned this returns the input unchanged --
+        when ``raws`` is already a list, literally the same object, so an
+        empty plan cannot even reorder equal delivery times.  Otherwise
+        alerts observed inside an outage window are dropped, brownout
+        windows delay/duplicate/drop per the seeded RNG, and the result
+        is re-sorted by delivery time (stable, preserving the original
+        relative order of unperturbed equal-time alerts).
+        """
+        if not self.perturbs_stream():
+            out = raws if isinstance(raws, list) else list(raws)
+            return PerturbResult(raws=out)
+        rng = self.rng("perturb", run_seed)
+        out: List[RawAlert] = []
+        dropped = delayed = duplicated = 0
+        for raw in raws:
+            if any(outage.covers(raw) for outage in self.outages):
+                dropped += 1
+                continue
+            brownout = next(
+                (b for b in self.brownouts if b.covers(raw)), None
+            )
+            if brownout is None:
+                out.append(raw)
+                continue
+            # RNG draws happen in a fixed order per alert so the stream
+            # is a pure function of (plan, seeds, input)
+            drop_draw = rng.random() if brownout.drop_rate > 0.0 else 1.0
+            jitter_draw = (
+                rng.random() if brownout.delay_jitter_s > 0.0 else 0.0
+            )
+            dup_draw = rng.random() if brownout.duplicate_rate > 0.0 else 1.0
+            if drop_draw < brownout.drop_rate:
+                dropped += 1
+                continue
+            delay = brownout.delay_s + brownout.delay_jitter_s * jitter_draw
+            if delay > 0.0:
+                raw = dataclasses.replace(
+                    raw, delivered_at=raw.delivered_at + delay
+                )
+                delayed += 1
+            out.append(raw)
+            if dup_draw < brownout.duplicate_rate:
+                out.append(raw)
+                duplicated += 1
+        out.sort(key=lambda r: r.delivered_at)
+        return PerturbResult(
+            raws=out, dropped=dropped, delayed=delayed, duplicated=duplicated
+        )
+
+
+class FaultyIO:
+    """Injectable I/O fault oracle, consulted before every real I/O call.
+
+    The runtime asks ``check(op, now, attempt)`` immediately before each
+    journal append/sync and checkpoint save attempt; a matching
+    :class:`IOFault` window answers by raising
+    :class:`FaultInjectedIOError`, which the service's retry policy then
+    handles exactly like a real ``OSError`` from the filesystem.  Keeping
+    the oracle outside the journal/checkpoint classes means the storage
+    code under test is the *production* code, not a test double.
+    """
+
+    def __init__(self, faults: Sequence[IOFault]) -> None:
+        self.faults: Tuple[IOFault, ...] = tuple(faults)
+
+    def check(self, op: str, now: float, attempt: int) -> None:
+        """Raise if attempt number ``attempt`` of a call at ``now`` fails."""
+        for fault in self.faults:
+            if fault.op == op and fault.fails(now, attempt):
+                raise FaultInjectedIOError(
+                    f"injected {op} failure (attempt {attempt + 1}) at "
+                    f"sim t={now:.1f}s in window "
+                    f"[{fault.start:.0f}, {fault.end:.0f})"
+                )
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with sim-clock exponential backoff.
+
+    Backoff here is *accounting*, not sleeping: the runtime has no wall
+    clock (REP004) and must not advance alert time, so each computed
+    backoff is recorded in the metrics registry as the simulated delay a
+    production deployment would have paid.  Jitter comes from a seeded
+    RNG owned by the service, so a full rerun reproduces the same
+    histogram.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.5
+    multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff after failed attempt index ``attempt`` (0-based)."""
+        base = min(
+            self.base_backoff_s * self.multiplier**attempt, self.max_backoff_s
+        )
+        if self.jitter > 0.0:
+            base *= 1.0 + self.jitter * rng.random()
+        return base
+
+
+def empty_plan() -> ChaosPlan:
+    """The inert plan: nothing scheduled, every chaos path skipped."""
+    return ChaosPlan()
+
+
+def chaos_or_none(plan: Optional[ChaosPlan]) -> Optional[ChaosPlan]:
+    """Normalise: an empty plan is the same as no plan at all."""
+    if plan is None or plan.is_empty():
+        return None
+    return plan

@@ -1,0 +1,124 @@
+"""Per-source health: marking monitors degraded on cadence deadlines.
+
+§4.3's zoom-in is explicitly built for partial blindness -- it falls back
+ping -> sFlow -> INT as sources become unusable -- and Figure 8a
+quantifies how locating degrades as sources drop out.  This module is
+the runtime's awareness of that state: a :class:`SourceHealthTracker`
+decides, at any simulated instant, which data sources are *degraded*.
+
+Two signals combine:
+
+* **planned windows** -- the :class:`~repro.runtime.faults.ChaosPlan`'s
+  outages, plus brownouts severe enough to matter (a delivery delay
+  beyond the tool's staleness deadline, or majority loss).  These are
+  exact: the injector knows what it broke.
+* **observed staleness** -- a tool that has reported at least once but
+  has now been silent for ``stale_after_periods`` of its Table 2 polling
+  period (plus its documented delivery-delay bound, i.e. SNMP's §4.2
+  lag) is presumed dark.  This signal is scoped to tools the plan
+  touches: monitors here only speak when something is wrong, so silence
+  from an unperturbed source is indistinguishable from health and must
+  never flag it (a storm ending mid-run quiets every feed at once).
+
+The tracker only exists when a chaos plan actually degrades sources
+(the service does not construct one otherwise), so a fault-free run
+carries no health machinery at all and stays byte-identical to the
+pre-chaos runtime.  State is a plain dict and rides along in runtime
+checkpoints, keeping kill-and-resume exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..monitors.base import RawAlert
+from ..monitors.registry import TABLE2_CADENCE
+from .faults import ChaosPlan, SourceBrownout
+
+#: A tool is presumed dark after this many silent polling periods.
+DEFAULT_STALE_PERIODS = 3.0
+
+
+def _deadline_s(tool: str, stale_after_periods: float) -> float:
+    cadence = TABLE2_CADENCE.get(tool, {})
+    period = cadence.get("period_s", 60.0)
+    delivery = cadence.get("delivery_delay_s", 0.0)
+    return stale_after_periods * period + delivery
+
+
+def _brownout_degrades(brownout: SourceBrownout, deadline_s: float) -> bool:
+    """A brownout counts as degradation when its data is unusable: delayed
+    past the tool's own staleness deadline, or mostly lost."""
+    return brownout.delay_s >= deadline_s or brownout.drop_rate >= 0.5
+
+
+class SourceHealthTracker:
+    """Decides which monitoring tools are degraded at a simulated instant."""
+
+    def __init__(
+        self,
+        plan: ChaosPlan,
+        stale_after_periods: float = DEFAULT_STALE_PERIODS,
+        tools: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.plan = plan
+        self.stale_after_periods = stale_after_periods
+        names = list(tools) if tools is not None else list(TABLE2_CADENCE)
+        self._deadlines: Dict[str, float] = {
+            name: _deadline_s(name, stale_after_periods) for name in names
+        }
+        #: tools the plan perturbs -- the only ones staleness may flag
+        self._watched: FrozenSet[str] = frozenset(
+            fault.tool for fault in (*plan.outages, *plan.brownouts)
+        )
+        #: last *observation* timestamp per tool, admitted alerts only
+        self._last_seen: Dict[str, float] = {}
+
+    # -- feeding -----------------------------------------------------------
+
+    def observe(self, raw: RawAlert) -> None:
+        """Note one admitted raw alert (called from the pipeline's feed)."""
+        previous = self._last_seen.get(raw.tool)
+        if previous is None or raw.timestamp > previous:
+            self._last_seen[raw.tool] = raw.timestamp
+
+    # -- queries -----------------------------------------------------------
+
+    def degraded_sources(self, now: float) -> FrozenSet[str]:
+        """Tools considered degraded at sim time ``now``."""
+        degraded = set()
+        for outage in self.plan.outages:
+            if outage.start <= now < outage.end:
+                degraded.add(outage.tool)
+        for brownout in self.plan.brownouts:
+            deadline = self._deadlines.get(
+                brownout.tool, _deadline_s(brownout.tool, self.stale_after_periods)
+            )
+            if brownout.start <= now < brownout.end and _brownout_degrades(
+                brownout, deadline
+            ):
+                degraded.add(brownout.tool)
+        # observed staleness is judged against the freshest tool, not raw
+        # ``now``: when the whole stream goes quiet (storm over, or the
+        # closing sweeps at the horizon) no tool is singled out, but when
+        # others are still flooding a silent watched one stands out
+        if self._last_seen:
+            reference = min(now, max(self._last_seen.values()))
+            for tool in self._watched:
+                seen = self._last_seen.get(tool)
+                if seen is None:
+                    continue
+                deadline = self._deadlines.get(
+                    tool, _deadline_s(tool, self.stale_after_periods)
+                )
+                if reference - seen > deadline:
+                    degraded.add(tool)
+        return frozenset(degraded)
+
+    # -- checkpoint plumbing -----------------------------------------------
+
+    def state_dict(self) -> Dict[str, float]:
+        return dict(self._last_seen)
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        self._last_seen = dict(state)

@@ -120,6 +120,7 @@ class AlertJournal:
         # own file so a torn tail from a crash stays frozen as evidence
         self._next_segment = self._max_segment_index() + 1
         self._handle: Optional[TextIO] = None
+        self._current_path: Optional[pathlib.Path] = None
         self._current_lines = 0
         #: corruption reports collected by the most recent :meth:`replay`
         self.corruptions: List[JournalCorruption] = []
@@ -152,18 +153,60 @@ class AlertJournal:
         )
         self._next_segment += 1
         self._handle = open(path, "w", encoding="utf-8")
+        self._current_path = path
         self._current_lines = 0
 
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+            self._current_path = None
 
     def sync(self) -> None:
         """Force the current segment to stable storage."""
         if self._handle is not None:
             self._handle.flush()
             os.fsync(self._handle.fileno())
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self, before_seq: int) -> int:
+        """Delete closed segments fully covered by a durable checkpoint.
+
+        A segment may go only when *every* line parses and its highest
+        sequence number is below ``before_seq`` (the oldest retained
+        checkpoint's position): replay will never need it again.  The
+        active segment and any segment containing an unparseable line --
+        crash evidence -- are always kept.  Returns the number of
+        segments removed.  This is the ROADMAP's segment-compaction item;
+        the service only calls it when ``runtime.journal_compaction`` is
+        opted into, so default journals remain strictly append-only.
+        """
+        removed = 0
+        for path in self.segments():
+            if path == self._current_path:
+                continue
+            last_seq = self._segment_max_seq(path)
+            if last_seq is not None and last_seq < before_seq:
+                path.unlink()
+                removed += 1
+        return removed
+
+    def _segment_max_seq(self, path: pathlib.Path) -> Optional[int]:
+        """Highest seq in a fully-parseable segment, else ``None``."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return None
+        highest: Optional[int] = None
+        for line in lines:
+            entry, _ = self._parse_line(line)
+            if entry is None:
+                return None
+            if highest is None or entry.seq > highest:
+                highest = entry.seq
+        return highest
 
     # -- reading -----------------------------------------------------------
 

@@ -14,14 +14,25 @@ evaluator pipeline as a long-lived stream consumer:
   (``tests/runtime/test_kill_resume.py`` pins this);
 * a :class:`MetricsRegistry` threads through every stage via the
   pipeline's observer hook; all its latency quantities are simulated
-  time (REP004: no wall clocks in the core).
+  time (REP004: no wall clocks in the core);
+* an optional :class:`~repro.runtime.faults.ChaosPlan` turns the
+  robustness machinery on: journal/checkpoint I/O runs under a bounded
+  retry-with-backoff policy consulted against the plan's
+  :class:`~repro.runtime.faults.FaultyIO` oracle (exhausted budgets shed
+  the write, counted, never silent), planned shard crashes fire against
+  a :class:`~repro.runtime.supervisor.SupervisedLocator` and are healed
+  in the same ingest, and a
+  :class:`~repro.runtime.health.SourceHealthTracker` feeds the
+  pipeline's degraded-source awareness.  With no plan (or an empty one)
+  none of this machinery is even constructed and the service is
+  byte-identical to the pre-chaos runtime.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import pathlib
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..core.config import PRODUCTION_CONFIG, SkyNetConfig
 from ..core.locator import SweepResult
@@ -35,9 +46,12 @@ from .checkpoint import (
     pipeline_state_dict,
     restore_pipeline_state,
 )
+from .faults import ChaosPlan, FaultyIO, RetryPolicy, chaos_or_none
+from .health import SourceHealthTracker
 from .journal import AlertJournal, JournalCorruption
 from .metrics import MetricsRegistry, registry_or_new
 from .sharding import ShardedLocator
+from .supervisor import SupervisedLocator
 
 JOURNAL_SUBDIR = "journal"
 CHECKPOINT_SUBDIR = "checkpoints"
@@ -127,19 +141,56 @@ class RuntimeService:
         state: Optional[NetworkState] = None,
         directory: Optional[pathlib.Path] = None,
         metrics: Optional[MetricsRegistry] = None,
+        chaos: Optional[ChaosPlan] = None,
+        run_seed: int = 0,
     ) -> None:
         self.config = config or PRODUCTION_CONFIG
         params = self.config.runtime
         self.metrics = registry_or_new(metrics)
         self.admission = AdmissionController(params, metrics=self.metrics)
         self.observer = RuntimeObserver(self.metrics)
+        # an empty plan is normalised away: no chaos machinery exists at
+        # all unless something is actually scheduled
+        self.chaos = chaos_or_none(chaos)
+        self.run_seed = run_seed
+        self._faulty: Optional[FaultyIO] = None
+        self._retry_policy = RetryPolicy(
+            max_attempts=params.io_max_attempts,
+            base_backoff_s=params.io_base_backoff_s,
+            max_backoff_s=params.io_max_backoff_s,
+        )
+        self._retry_rng = None
+        self._pending_crashes: Tuple = ()
+        self._fired_crashes: Set[Tuple[float, int]] = set()
+        self._health: Optional[SourceHealthTracker] = None
+        locator: ShardedLocator
+        if self.chaos is not None:
+            self._retry_rng = self.chaos.rng("retry", run_seed)
+            if self.chaos.io_faults:
+                self._faulty = FaultyIO(self.chaos.io_faults)
+            if self.chaos.degrades_sources():
+                self._health = SourceHealthTracker(self.chaos)
+            if self.chaos.shard_crashes:
+                self._pending_crashes = tuple(
+                    sorted(
+                        self.chaos.shard_crashes,
+                        key=lambda c: (c.at, c.shard),
+                    )
+                )
+                locator = SupervisedLocator(topology, self.config)
+            else:
+                locator = ShardedLocator(topology, self.config)
+        else:
+            locator = ShardedLocator(topology, self.config)
         self.pipeline = SkyNet(
             topology,
             config=self.config,
             state=state,
-            locator=ShardedLocator(topology, self.config),
+            locator=locator,
             observer=self.observer,
         )
+        if self._health is not None:
+            self.pipeline.health = self._health
         self.directory = pathlib.Path(directory) if directory is not None else None
         self.journal: Optional[AlertJournal] = None
         self.checkpoints: Optional[CheckpointStore] = None
@@ -160,12 +211,32 @@ class RuntimeService:
         return locator.shards if isinstance(locator, ShardedLocator) else 1
 
     def ingest(self, raw: RawAlert) -> List:
-        """Offer one raw alert: journal, admission, pipeline, checkpoint."""
-        decision = self.admission.offer(raw)
+        """Offer one raw alert: journal, admission, pipeline, checkpoint.
+
+        Write-ahead discipline: the admission decision is *derived*
+        first, the journal entry (which records it) is written second,
+        and only then is any state mutated.  If the journal write sheds
+        after exhausting its retry budget, the alert is refused whole --
+        counted, but with controller, pipeline and sequence untouched --
+        so the journal on disk always describes exactly the alerts the
+        service acted on and a resumed run replays to the same state.
+        """
+        if self._pending_crashes:
+            self._fire_shard_crashes(raw.delivered_at)
+        decision = self.admission.decide(raw)
         if self.journal is not None:
-            self.journal.append(
-                raw, self._seq, admitted=decision.admit, rung=decision.rung
+            journal = self.journal
+            seq = self._seq
+            appended = self._io_attempt(
+                "journal_append",
+                raw.delivered_at,
+                lambda: journal.append(
+                    raw, seq, admitted=decision.admit, rung=decision.rung
+                ),
             )
+            if not appended:
+                return []
+        self.admission.apply(raw, decision)
         self._seq += 1
         if not decision.admit:
             return []
@@ -194,6 +265,12 @@ class RuntimeService:
     def shed_counts(self) -> Dict[str, int]:
         return dict(self.admission.sheds)
 
+    def degraded_sources(self) -> FrozenSet[str]:
+        """Tools currently considered degraded (empty without a chaos plan)."""
+        if self._health is None:
+            return frozenset()
+        return self._health.degraded_sources(self.pipeline.now)
+
     def _update_gauges(self) -> None:
         self.metrics.gauge(
             "runtime_open_incidents", "incident trees currently open"
@@ -204,6 +281,91 @@ class RuntimeService:
         self.metrics.gauge(
             "runtime_sim_time_seconds", "alert time the pipeline has reached"
         ).set(max(self.pipeline.now, 0.0))
+        if self._health is not None:
+            self.metrics.gauge(
+                "runtime_degraded_sources",
+                "monitoring tools currently past their staleness deadline",
+            ).set(len(self.degraded_sources()))
+
+    # -- chaos: I/O retries and shard supervision ---------------------------
+
+    def _io_attempt(
+        self, op: str, now: float, fn: Callable[[], None]
+    ) -> bool:
+        """Run one I/O operation under the bounded retry policy.
+
+        Without a chaos plan this is a direct call -- no wrapping, no
+        counters, byte-identical to the pre-chaos service.  With one,
+        each attempt first consults the :class:`FaultyIO` oracle and any
+        ``OSError`` (injected or real) is retried with sim-clock
+        exponential backoff, recorded as accounting in the metrics
+        registry.  Returns ``False`` -- and counts a shed -- once the
+        budget is exhausted; the caller decides the terminal fallback.
+        """
+        if self.chaos is None:
+            fn()
+            return True
+        assert self._retry_rng is not None
+        policy = self._retry_policy
+        for attempt in range(policy.max_attempts):
+            try:
+                if self._faulty is not None:
+                    self._faulty.check(op, now, attempt)
+                fn()
+                return True
+            except OSError:
+                self.metrics.counter(
+                    "runtime_io_errors_total", "failed I/O attempts"
+                ).inc()
+                if attempt + 1 < policy.max_attempts:
+                    self.metrics.counter(
+                        "runtime_io_retries_total", "I/O attempts retried"
+                    ).inc()
+                    self.metrics.histogram(
+                        "runtime_io_backoff_seconds",
+                        "simulated backoff before each I/O retry",
+                    ).observe(policy.backoff_s(attempt, self._retry_rng))
+        self.metrics.counter(
+            f"runtime_io_shed_{op}_total",
+            f"{op} operations abandoned after exhausting the retry budget",
+        ).inc()
+        return False
+
+    def _fire_shard_crashes(self, now: float) -> None:
+        """Fire due planned shard crashes, then heal them immediately.
+
+        A crash is due once stream time reaches its instant; the
+        supervisor heals it in the same ingest -- before the pipeline
+        touches the tree again -- so siblings and open incidents never
+        observe the dead shard.  Fired crashes are remembered (and
+        checkpointed) so kill-and-resume re-derives the same schedule.
+        """
+        locator = self.pipeline.locator
+        if not isinstance(locator, SupervisedLocator):
+            return
+        fired_any = False
+        for crash in self._pending_crashes:
+            key = (crash.at, crash.shard)
+            if crash.at <= now and key not in self._fired_crashes:
+                self._fired_crashes.add(key)
+                locator.crash_shard(crash.shard)
+                fired_any = True
+                self.metrics.counter(
+                    "runtime_shard_crashes_total",
+                    "locator shards crashed by the chaos plan",
+                ).inc()
+        if fired_any:
+            tree = locator.supervised_tree
+            before_ops = tree.replayed_ops
+            restored = locator.heal_crashed()
+            self.metrics.counter(
+                "runtime_shard_restores_total",
+                "crashed locator shards restored by the supervisor",
+            ).inc(restored)
+            self.metrics.counter(
+                "runtime_shard_replayed_ops_total",
+                "tree operations replayed while healing crashed shards",
+            ).inc(tree.replayed_ops - before_ops)
 
     # -- checkpointing -----------------------------------------------------
 
@@ -215,11 +377,24 @@ class RuntimeService:
             self.checkpoint(now)
 
     def checkpoint(self, now: Optional[float] = None) -> None:
-        """Snapshot everything needed to resume at the current seq."""
+        """Snapshot everything needed to resume at the current seq.
+
+        Under a chaos plan both the journal fsync and the checkpoint
+        save run inside the bounded retry policy; if either sheds, the
+        checkpoint is skipped (counted, retried at the next cadence
+        tick) -- the journal already holds every alert, so a later
+        resume just replays a longer tail.  Nothing is ever lost to a
+        failed checkpoint."""
         if self.checkpoints is None:
             raise RuntimeError("service has no persistence directory")
+        when = now if now is not None else self.pipeline.now
         if self.journal is not None:
-            self.journal.sync()
+            if not self._io_attempt("journal_sync", when, self.journal.sync):
+                self.metrics.counter(
+                    "runtime_checkpoints_skipped_total",
+                    "checkpoints skipped after I/O retry exhaustion",
+                ).inc()
+                return
         state: Dict[str, object] = {
             "seq": self._seq,
             "sim_now": self.pipeline.now,
@@ -227,13 +402,42 @@ class RuntimeService:
             "admission": self.admission.state_dict(),
             "metrics": self.metrics,
         }
-        self.checkpoints.save(self._seq, state)
-        self._last_checkpoint_t = (
-            now if now is not None else self.pipeline.now
+        if self._health is not None:
+            state["health"] = self._health.state_dict()
+        if self._pending_crashes:
+            state["chaos"] = {"fired_crashes": sorted(self._fired_crashes)}
+        checkpoints = self.checkpoints
+        seq = self._seq
+        saved = self._io_attempt(
+            "checkpoint_save", when, lambda: checkpoints.save(seq, state)
         )
+        if not saved:
+            self.metrics.counter(
+                "runtime_checkpoints_skipped_total",
+                "checkpoints skipped after I/O retry exhaustion",
+            ).inc()
+            return
+        locator = self.pipeline.locator
+        if isinstance(locator, SupervisedLocator):
+            # refresh shard recovery bases only once the checkpoint is
+            # durable, keeping both recovery sources aligned
+            locator.snapshot_shards()
+        self._last_checkpoint_t = when
         self.metrics.counter(
             "runtime_checkpoints_total", "snapshot checkpoints written"
         ).inc()
+        if (
+            self.config.runtime.journal_compaction
+            and self.journal is not None
+        ):
+            listing = self.checkpoints.list()
+            if listing:
+                removed = self.journal.compact(listing[0].seq)
+                if removed:
+                    self.metrics.counter(
+                        "runtime_journal_segments_compacted_total",
+                        "journal segments deleted by checkpoint compaction",
+                    ).inc(removed)
 
     # -- crash recovery ----------------------------------------------------
 
@@ -244,6 +448,8 @@ class RuntimeService:
         directory: pathlib.Path,
         config: Optional[SkyNetConfig] = None,
         state: Optional[NetworkState] = None,
+        chaos: Optional[ChaosPlan] = None,
+        run_seed: int = 0,
     ) -> "RuntimeService":
         """Rebuild a service from its journal + checkpoints directory.
 
@@ -251,8 +457,21 @@ class RuntimeService:
         journal tail through the same code paths the live run used, and
         returns a service ready to ingest new alerts.  Journal corruption
         stops the replay at the last valid record and is surfaced in
-        ``service.recovery`` -- recovery proceeds, it does not crash."""
-        service = cls(topology, config=config, state=state, directory=directory)
+        ``service.recovery`` -- recovery proceeds, it does not crash.
+
+        A chaos run must be resumed with the *same* plan and run seed it
+        started with (the caller owns that invariant, exactly as for
+        topology and config); planned shard crashes already past replay
+        re-fire and re-heal deterministically, which is a no-op on the
+        tree by the supervisor's exactness guarantee."""
+        service = cls(
+            topology,
+            config=config,
+            state=state,
+            directory=directory,
+            chaos=chaos,
+            run_seed=run_seed,
+        )
         if service.journal is None or service.checkpoints is None:
             raise RuntimeError("resume requires a persistence directory")
 
@@ -271,6 +490,15 @@ class RuntimeService:
             service.admission.load_state_dict(
                 payload["admission"]  # type: ignore[arg-type]
             )
+            health_state = payload.get("health")
+            if service._health is not None and isinstance(health_state, dict):
+                service._health.load_state_dict(health_state)
+            chaos_state = payload.get("chaos")
+            if isinstance(chaos_state, dict):
+                service._fired_crashes = {
+                    (float(at), int(shard))
+                    for at, shard in chaos_state.get("fired_crashes", [])
+                }
             service._seq = int(payload["seq"])  # type: ignore[arg-type]
             service._last_checkpoint_t = float(
                 payload.get("sim_now", service.pipeline.now)  # type: ignore[arg-type]
@@ -279,6 +507,7 @@ class RuntimeService:
 
         replayed = 0
         for entry in service.journal.replay(after_seq=after_seq):
+            service._fire_shard_crashes(entry.raw.delivered_at)
             service.admission.replay(entry.raw, entry.admitted, entry.rung)
             if entry.admitted:
                 service.pipeline.feed(entry.raw)

@@ -1,0 +1,177 @@
+"""Shard supervision: detect a crashed locator shard, heal it exactly.
+
+:class:`~repro.runtime.sharding.ShardedLocator` partitions the main tree
+over Region-subtree shards; a production deployment runs those shards as
+separate workers, and workers die.  This module gives the runtime the
+recovery half of that story at the granularity the service already
+checkpoints at:
+
+* :class:`SupervisedAlertTree` keeps, per shard, a pickled **base
+  snapshot** (refreshed whenever the service writes a checkpoint, so the
+  two stay aligned) plus an **op log** of every mutation since -- the
+  same write-ahead discipline the alert journal applies to the whole
+  service, scoped to one shard.  Emitted structured alerts are never
+  mutated after emission (the preprocessor snapshots aggregates on
+  emit), so replaying the logged inserts and expiries over the base
+  snapshot reconstructs the shard tree *exactly*.
+* :class:`SupervisedLocator` swaps that tree in and exposes
+  ``crash_shard`` / ``heal_crashed``: a crash wipes one shard's live
+  tree (sibling shards, open incidents and the root tree are untouched);
+  healing restores the base snapshot and replays the log.  The service
+  triggers crashes from the :class:`~repro.runtime.faults.ChaosPlan` and
+  runs the supervision check before the pipeline next touches the tree,
+  so a healed shard is indistinguishable from one that never died --
+  ``tests/runtime/test_chaos.py`` pins the incident stream (ids
+  included) against an uncrashed run.
+
+Supervision is only installed when the plan actually schedules shard
+crashes; otherwise the service uses the plain :class:`ShardedLocator`
+and this module stays out of the way entirely.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..core.alert import StructuredAlert
+from ..core.alert_tree import AlertTree, TreeRecord
+from ..core.config import SkyNetConfig
+from ..topology.network import Topology
+from .sharding import ROOT_SHARD, ShardedAlertTree, ShardedLocator, ShardRouter
+
+#: One logged mutation: ("insert", alert) or ("expire", now, timeout_s).
+_Op = Union[Tuple[str, StructuredAlert], Tuple[str, float, float]]
+
+
+class SupervisedAlertTree(ShardedAlertTree):
+    """A :class:`ShardedAlertTree` whose shards can crash and be healed.
+
+    Mutations route through the parent unchanged; per regular shard they
+    are additionally appended to that shard's op log.  The root tree is
+    deliberately outside the crash model -- it is the cross-shard merge
+    anchor, not a worker.
+    """
+
+    def __init__(self, router: ShardRouter, fast: bool = False) -> None:
+        super().__init__(router, fast)
+        self._fast = fast
+        self._base: Dict[int, Optional[bytes]] = {
+            i: None for i in range(router.shards)
+        }
+        self._oplog: Dict[int, List[_Op]] = {
+            i: [] for i in range(router.shards)
+        }
+        self._crashed: Set[int] = set()
+        self.crashes = 0
+        self.restores = 0
+        self.replayed_ops = 0
+
+    # -- logged mutations --------------------------------------------------
+
+    def insert(self, alert: StructuredAlert) -> TreeRecord:
+        index = self.router.shard_of(alert.location)
+        if index != ROOT_SHARD:
+            self._oplog[index].append(("insert", alert))
+        return super().insert(alert)
+
+    def insert_batch(self, alerts: List[StructuredAlert]) -> int:
+        for alert in alerts:
+            index = self.router.shard_of(alert.location)
+            if index != ROOT_SHARD:
+                self._oplog[index].append(("insert", alert))
+        return super().insert_batch(alerts)
+
+    def expire(self, now: float, timeout_s: float) -> int:
+        for log in self._oplog.values():
+            log.append(("expire", now, timeout_s))
+        return super().expire(now, timeout_s)
+
+    # -- supervision -------------------------------------------------------
+
+    def snapshot_shards(self) -> None:
+        """Refresh every shard's base snapshot and truncate its op log.
+
+        The service calls this at checkpoint time, so a shard's recovery
+        source is never older than the service's own recovery source and
+        the op log stays bounded by one checkpoint interval of alerts.
+        """
+        for index, tree in enumerate(self.shard_trees):
+            self._base[index] = pickle.dumps(
+                tree, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._oplog[index] = []
+
+    def crash(self, index: int) -> None:
+        """Lose shard ``index``'s live tree, as a dead worker would."""
+        if not 0 <= index < len(self.shard_trees):
+            raise IndexError(f"no shard {index} (have {len(self.shard_trees)})")
+        self.shard_trees[index] = AlertTree(fast=self._fast)
+        self._crashed.add(index)
+        self.crashes += 1
+
+    @property
+    def crashed_shards(self) -> Set[int]:
+        return set(self._crashed)
+
+    def heal_all(self) -> int:
+        """Restore every crashed shard from base snapshot + op-log replay.
+
+        Returns the number of shards healed.  Sibling shards are never
+        touched: healing rebuilds one shard's :class:`AlertTree` in
+        isolation and swaps it into place.
+        """
+        healed = 0
+        for index in sorted(self._crashed):
+            base = self._base[index]
+            tree = (
+                pickle.loads(base)
+                if base is not None
+                else AlertTree(fast=self._fast)
+            )
+            for op in self._oplog[index]:
+                if op[0] == "insert":
+                    tree.insert(op[1])  # type: ignore[arg-type]
+                else:
+                    tree.expire(op[1], op[2])  # type: ignore[arg-type, misc]
+            self.replayed_ops += len(self._oplog[index])
+            self.shard_trees[index] = tree
+            self.restores += 1
+            healed += 1
+        self._crashed.clear()
+        return healed
+
+
+class SupervisedLocator(ShardedLocator):
+    """A :class:`ShardedLocator` running under shard supervision.
+
+    Identical locating behaviour (the supervised tree only *records*
+    mutations), plus the crash/heal surface the service drives from its
+    chaos plan.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[SkyNetConfig] = None,
+        shards: Optional[int] = None,
+    ) -> None:
+        super().__init__(topology, config, shards)
+        self.main_tree = SupervisedAlertTree(  # type: ignore[assignment]
+            self.router, fast=self._fast
+        )
+        self._partitions = {}
+
+    @property
+    def supervised_tree(self) -> SupervisedAlertTree:
+        tree: SupervisedAlertTree = self.main_tree  # type: ignore[assignment]
+        return tree
+
+    def crash_shard(self, index: int) -> None:
+        self.supervised_tree.crash(index)
+
+    def heal_crashed(self) -> int:
+        return self.supervised_tree.heal_all()
+
+    def snapshot_shards(self) -> None:
+        self.supervised_tree.snapshot_shards()

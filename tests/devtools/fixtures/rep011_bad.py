@@ -1,0 +1,32 @@
+"""Negative fixture for REP011: bare excepts and silent Exception swallows."""
+
+
+def load_checkpoint(path):
+    try:
+        return open(path, "rb").read()
+    except:  # noqa: E722
+        return None
+
+
+def sync_journal(handle):
+    try:
+        handle.flush()
+    except Exception:
+        pass
+
+
+def replay_segment(lines):
+    out = []
+    for line in lines:
+        try:
+            out.append(int(line))
+        except (ValueError, Exception):
+            ...
+    return out
+
+
+def probe(target):
+    try:
+        return target.ping()
+    except:  # noqa: E722
+        raise

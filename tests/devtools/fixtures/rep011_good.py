@@ -1,0 +1,37 @@
+"""Positive fixture for REP011: explicit, observable fault handling."""
+
+import pickle
+
+
+def load_checkpoint(path):
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError):
+        return None  # corrupt-fallback: caller tries the next checkpoint
+
+
+def sync_journal(handle, metrics):
+    try:
+        handle.flush()
+    except OSError:
+        metrics.count_failure("journal_sync")
+        raise
+
+
+def replay_segment(lines):
+    out = []
+    for line in lines:
+        try:
+            out.append(int(line))
+        except ValueError:
+            break  # corruption stops replay, loudly reported upstream
+    return out
+
+
+def assess(target, log):
+    try:
+        return target.ping()
+    except Exception as exc:  # broad, but observable: logged and re-raised
+        log.error("probe failed: %r", exc)
+        raise

@@ -23,7 +23,7 @@ from .conftest import FIXTURES
 def test_registry_has_the_full_battery():
     ids = [cls.rule_id for cls in registered_rules()]
     assert ids == sorted(ids)
-    assert ids == [f"REP{n:03d}" for n in range(1, 11)]
+    assert ids == [f"REP{n:03d}" for n in range(1, 12)]
 
 
 def test_discover_dedupes_and_sorts(tmp_path):

@@ -18,6 +18,7 @@ FILE_RULE_CASES = {
     "REP005": ("rep005_bad.py", 4, "rep005_good.py"),
     "REP007": ("rep007_bad.py", 3, "rep007_good.py"),
     "REP008": ("rep008_bad.py", 3, "rep008_good.py"),
+    "REP011": ("rep011_bad.py", 4, "rep011_good.py"),
 }
 
 

@@ -4,6 +4,7 @@ the last valid state instead of crashing or silently skipping."""
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 
@@ -21,7 +22,7 @@ from repro.runtime.journal import (
 from repro.topology.hierarchy import LocationPath
 
 from ..test_equivalence_flood import _assert_equal, _fingerprint
-from .test_kill_resume import flood_fixture, runtime_config
+from .test_kill_resume import flood_fixture, runtime_config, uninterrupted_run
 
 
 def _raw(i: int, tool: str = "syslog", raw_type: str = "link_down") -> RawAlert:
@@ -235,3 +236,88 @@ def test_corruption_dataclass_render_names_segment_and_line():
     text = corruption.render()
     assert "segment-00000003.jsonl:41" in text
     assert "7 later record(s) discarded" in text
+
+
+# ---------------------------------------------------------------------------
+# segment compaction
+
+
+def test_compact_removes_only_fully_checkpointed_segments(tmp_path):
+    journal = AlertJournal(tmp_path, segment_records=10)
+    for i in range(35):
+        journal.append(_raw(i), seq=i)
+    # seqs 0-9 and 10-19 are fully below the horizon; 20-29 is not
+    assert journal.compact(before_seq=20) == 2
+    assert [e.seq for e in journal.replay()] == list(range(20, 35))
+    # the active segment (seqs 30-34) survives even a horizon above it
+    assert journal.compact(before_seq=100) == 1
+    assert [e.seq for e in journal.replay()] == list(range(30, 35))
+
+
+def test_compact_spares_unparseable_segments(tmp_path):
+    journal = AlertJournal(tmp_path, segment_records=10)
+    for i in range(25):
+        journal.append(_raw(i), seq=i)
+    segments = journal.segments()
+    _garble_line(segments[0], index=3)
+    # the garbled segment cannot prove its records are checkpointed, so
+    # it stays for recovery to report; the clean old segment goes
+    assert journal.compact(before_seq=20) == 1
+    assert segments[0] in journal.segments()
+
+
+def test_compaction_bounds_disk_across_kill_and_resume(tmp_path):
+    """Long-haul contract: with compaction on, journal disk stays O(one
+    checkpoint interval) across repeated kill/resume cycles, and the
+    output is still exactly the uninterrupted run's."""
+    topo, state, raws = flood_fixture()
+    base = runtime_config(checkpoint_every=30.0, segment_records=50)
+    config = dataclasses.replace(
+        base,
+        runtime=dataclasses.replace(base.runtime, journal_compaction=True),
+    )
+    expected, expected_ids = uninterrupted_run(topo, state, raws, config)
+
+    def segment_count() -> int:
+        return len(list(tmp_path.glob("segment-*.jsonl")))
+
+    cuts = [0, len(raws) // 4, len(raws) // 2, 3 * len(raws) // 4, len(raws)]
+    max_segments = 0
+    service = None
+    set_incident_counter(1)
+    for start, stop in zip(cuts, cuts[1:]):
+        if start == 0:
+            service = RuntimeService(
+                topo, config=config, state=state, directory=tmp_path
+            )
+        else:
+            del service  # kill: no finish, no graceful shutdown
+            set_incident_counter(1)
+            service = RuntimeService.resume(
+                topo, tmp_path, config=config, state=state
+            )
+        for raw in raws[start:stop]:
+            service.ingest(raw)
+            max_segments = max(max_segments, segment_count())
+    service.finish()
+
+    _assert_equal(expected, _fingerprint(service.pipeline))
+    ids = sorted(
+        i.incident_id
+        for i in service.pipeline.incidents(include_superseded=True)
+    )
+    assert ids == expected_ids
+    assert (
+        service.metrics.counter_value(
+            "runtime_journal_segments_compacted_total"
+        )
+        > 0
+    )
+
+    # without compaction the same run keeps every segment ever written
+    uncompacted = len(raws) // 50
+    assert max_segments <= 12, (
+        f"compaction failed to bound disk: {max_segments} segments live "
+        f"(uncompacted run would end at ~{uncompacted})"
+    )
+    assert max_segments * 3 <= uncompacted
