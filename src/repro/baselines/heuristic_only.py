@@ -39,7 +39,7 @@ class HeuristicOnlySystem:
     """Rules-without-SkyNet: per-device buckets, first matching rule wins."""
 
     def __init__(self, topology: Topology, state: Optional[NetworkState] = None,
-                 engine: Optional[RuleEngine] = None):
+                 engine: Optional[RuleEngine] = None) -> None:
         self._topo = topology
         self._state = state
         self._engine = engine or RuleEngine(default_rule_library())
@@ -59,7 +59,7 @@ class HeuristicOnlySystem:
         for alert in structured:
             key = alert.location if alert.location.is_device else alert.location
             buckets.setdefault(key, []).append(alert)
-        outcomes = []
+        outcomes: List[HeuristicOutcome] = []
         for location, alerts in sorted(buckets.items(), key=lambda kv: str(kv[0])):
             incident = _pseudo_incident(location, alerts)
             ctx = RuleContext(

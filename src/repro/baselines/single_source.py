@@ -8,7 +8,7 @@ the definition behind the per-tool coverage bars in Figure 3.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.alert_types import level_of
 from ..monitors.base import RawAlert
@@ -20,7 +20,7 @@ from ..topology.network import Topology
 class SingleSourceDetector:
     """Failure detection using exactly one monitoring data source."""
 
-    def __init__(self, topology: Topology, tool: str):
+    def __init__(self, topology: Topology, tool: str) -> None:
         self._topo = topology
         self.tool = tool
 
@@ -73,11 +73,11 @@ def coverage_by_tool(
     alerts: Sequence[RawAlert],
     truths: Sequence[GroundTruth],
     tools: Sequence[str],
-) -> dict:
+) -> Dict[str, float]:
     """Fraction of failures each tool detects (the Figure 3 bars)."""
     if not truths:
         raise ValueError("need at least one ground-truth failure")
-    by_tool = {}
+    by_tool: Dict[str, float] = {}
     for tool in tools:
         detector = SingleSourceDetector(topology, tool)
         tool_alerts = [a for a in alerts if a.tool == tool]

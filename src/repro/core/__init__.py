@@ -26,6 +26,7 @@ from .incident import (
 from .locator import Locator, SweepResult
 from .pipeline import IncidentReport, SkyNet
 from .preprocessor import PreprocessStats, Preprocessor
+from .voting import VotingGraph
 from .zoom_in import LocationZoomIn, PingWindow, ReachabilityMatrix
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "StructuredAlert",
     "SweepResult",
     "TreeRecord",
+    "VotingGraph",
     "level_of",
     "record_from",
     "registered_types",

@@ -17,7 +17,11 @@ from ..topology.hierarchy import LocationPath
 from .alert import AlertLevel, AlertTypeKey, StructuredAlert
 from .alert_tree import TreeRecord, record_from
 
-_incident_counter = itertools.count(1)
+# Process-global by design: incident ids must be dense and stable across
+# checkpoint/resume, so the counter is checkpointed (set_incident_counter)
+# and rebound on restore.  The multiprocess-shard port must replace this
+# with ids minted by the owning shard (ROADMAP "multiprocess shards").
+_incident_counter = itertools.count(1)  # lint: allow REP014
 
 #: Report ordering of levels, matching Figure 6's sections.
 LEVEL_ORDER = (AlertLevel.FAILURE, AlertLevel.ABNORMAL, AlertLevel.ROOT_CAUSE)

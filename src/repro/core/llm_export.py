@@ -20,7 +20,7 @@ import dataclasses
 from typing import List, Optional
 
 from ..topology.network import Topology
-from ..viz.voting import VotingGraph
+from .voting import VotingGraph
 from .alert import AlertLevel
 from .incident import Incident, LEVEL_ORDER
 

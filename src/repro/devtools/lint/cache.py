@@ -10,17 +10,28 @@ the next run:
   with zero parsing;
 * **partial hit** -- some files changed: everything is re-parsed (the
   project-scoped rules legitimately need the whole tree -- a registry
-  edit can change findings in *other* files), project rules re-run, but
-  file-scoped rules only run over the changed files; unchanged files
-  reuse their cached findings.
+  edit can change findings in *other* files), file-scoped rules only run
+  over the changed files, and each project rule re-runs only when its
+  *dependency closure* changed.
+
+Project rules cache per rule, keyed on the ``{resolved-path: [mtime_ns,
+size]}`` map of the rule's dependency closure
+(:meth:`~.engine.LintRule.cache_closure`, recomputed fresh each run from
+the current import graph; ``None`` means "every linted file").  Editing
+a file inside the closure, or adding/removing a closure member, changes
+the map and re-runs the rule; editing an unrelated file reuses the
+cached findings.  This fixes the old cross-file cache hole where *any*
+edit re-ran *every* project rule.
 
 Soundness: file-scoped findings depend only on a file's own bytes plus
 the rule set, and waivers live in the file itself, so mtime_ns + size
-identity makes reuse exact.  The cache key also fingerprints the rule
-set -- ids, resolved options, and each rule module's own stat -- so
-editing a rule or passing different ``--select``/options invalidates
-everything.  A corrupt or unreadable cache is ignored and rebuilt, never
-an error.
+identity makes reuse exact; project findings depend only on their
+closure's bytes by the ``cache_closure`` contract.  The cache key also
+fingerprints the rule set -- ids, resolved options, and the stat of
+every module in the lint package itself (rules, engine, and the
+whole-program analysis layer) -- so editing lint code or passing
+different ``--select``/options invalidates everything.  A corrupt or
+unreadable cache is ignored and rebuilt, never an error.
 """
 
 from __future__ import annotations
@@ -44,7 +55,7 @@ from .engine import (
 #: default cache location, relative to the working directory
 DEFAULT_CACHE_FILE = ".skynet-lint-cache.json"
 
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
 
 
 def _stat_key(path: pathlib.Path) -> Optional[List[int]]:
@@ -56,7 +67,7 @@ def _stat_key(path: pathlib.Path) -> Optional[List[int]]:
 
 
 def ruleset_fingerprint(engine: LintEngine) -> str:
-    """Hash of the engine's rule set: ids, options, and rule-module stats."""
+    """Hash of the rule set: ids, options, and lint-package file stats."""
     payload: List[Any] = []
     for rule in engine.rules:
         try:
@@ -72,7 +83,18 @@ def ruleset_fingerprint(engine: LintEngine) -> str:
                 module_stat,
             ]
         )
-    blob = json.dumps([_CACHE_VERSION, payload], sort_keys=True)
+    # project findings also depend on the analysis layer (and every rule
+    # on the engine), so the whole lint package's stats join the key
+    package_dir = pathlib.Path(__file__).resolve().parent
+    package_stats = [
+        [path.relative_to(package_dir).as_posix(), _stat_key(path)]
+        for path in sorted(package_dir.rglob("*.py"))
+        if "__pycache__" not in path.parts
+    ]
+    blob = json.dumps(
+        [_CACHE_VERSION, engine.project_mode, payload, package_stats],
+        sort_keys=True,
+    )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -83,7 +105,7 @@ def _snapshot(stats: Dict[str, List[int]]) -> str:
 
 def _load(cache_path: pathlib.Path, fingerprint: str) -> Dict[str, Any]:
     """The cached state, or a fresh empty one when missing/stale/corrupt."""
-    empty: Dict[str, Any] = {"files": {}, "project": None}
+    empty: Dict[str, Any] = {"files": {}, "snapshot": None, "project_rules": {}}
     try:
         data = json.loads(cache_path.read_text(encoding="utf-8"))
     except (OSError, ValueError):
@@ -93,8 +115,8 @@ def _load(cache_path: pathlib.Path, fingerprint: str) -> Dict[str, Any]:
     if data.get("version") != _CACHE_VERSION or data.get("fingerprint") != fingerprint:
         return empty
     files = data.get("files")
-    project = data.get("project")
-    if not isinstance(files, dict):
+    project_rules = data.get("project_rules")
+    if not isinstance(files, dict) or not isinstance(project_rules, dict):
         return empty
     for entry in files.values():
         if not (
@@ -103,13 +125,17 @@ def _load(cache_path: pathlib.Path, fingerprint: str) -> Dict[str, Any]:
             and isinstance(entry.get("findings"), list)
         ):
             return empty
-    if project is not None and not (
-        isinstance(project, dict)
-        and isinstance(project.get("snapshot"), str)
-        and isinstance(project.get("findings"), list)
-    ):
+    for entry in project_rules.values():
+        if not (
+            isinstance(entry, dict)
+            and isinstance(entry.get("deps"), dict)
+            and isinstance(entry.get("findings"), list)
+        ):
+            return empty
+    snapshot = data.get("snapshot")
+    if snapshot is not None and not isinstance(snapshot, str):
         return empty
-    return {"files": files, "project": project}
+    return {"files": files, "snapshot": snapshot, "project_rules": project_rules}
 
 
 def _revive(dicts: Sequence[Dict[str, Any]]) -> List[Finding]:
@@ -152,20 +178,25 @@ def _file_findings(engine: LintEngine, source: SourceFile) -> List[Finding]:
     return findings
 
 
-def _project_findings(engine: LintEngine, sources: Sequence[SourceFile]) -> List[Finding]:
-    checkable = [s for s in sources if s.parse_error is None and not s.skip_all]
-    by_path = {s.rel: s for s in checkable}
-    project = Project(checkable)
-    findings: List[Finding] = []
-    for rule in engine.rules:
-        if rule.scope != "project":
+def _closure_deps(
+    rule: Any,
+    project: Project,
+    all_stats: Dict[str, List[int]],
+) -> Dict[str, List[int]]:
+    """Current ``{resolved-path: stat}`` map of one project rule's closure."""
+    modules = rule.cache_closure(project)
+    if modules is None:
+        return dict(all_stats)
+    deps: Dict[str, List[int]] = {}
+    for dotted in modules:
+        source = project.module(dotted)
+        if source is None:
             continue
-        for finding in rule.check_project(project):
-            owner = by_path.get(finding.path)
-            if owner is not None and owner.waived(finding.rule_id, finding.line):
-                continue
-            findings.append(finding)
-    return findings
+        key = source.path.resolve().as_posix()
+        stat = all_stats.get(key) or _stat_key(source.path)
+        if stat is not None:
+            deps[key] = stat
+    return deps
 
 
 def run_with_cache(
@@ -198,17 +229,19 @@ def run_with_cache(
         entry = cached["files"].get(key)
         return entry is not None and stat is not None and entry["stat"] == stat
 
-    project_entry = cached["project"]
+    project_rule_ids = [r.rule_id for r in engine.rules if r.scope == "project"]
     if (
         all(hit(key, stat) for _, key, stat in keyed)
-        and project_entry is not None
-        and project_entry["snapshot"] == snapshot
+        and cached["snapshot"] == snapshot
+        and all(rid in cached["project_rules"] for rid in project_rule_ids)
     ):
-        findings: List[Finding] = _revive(project_entry["findings"])
+        findings: List[Finding] = []
+        for rid in project_rule_ids:
+            findings.extend(_revive(cached["project_rules"][rid]["findings"]))
         for _, key, _ in keyed:
             findings.extend(_revive(cached["files"][key]["findings"]))
         return LintReport(
-            findings=sorted(findings),
+            findings=sorted(engine._apply_supersedes(findings)),
             files_checked=len(keyed),
             rules_run=[rule.rule_id for rule in engine.rules],
         )
@@ -229,17 +262,37 @@ def run_with_cache(
                 "stat": stat,
                 "findings": [f.as_dict() for f in per_file],
             }
-    project_found = _project_findings(engine, sources)
-    findings.extend(project_found)
+
+    checkable = [s for s in sources if s.parse_error is None and not s.skip_all]
+    by_path = {s.rel: s for s in checkable}
+    project = Project(checkable)
+    project_out: Dict[str, Any] = {}
+    for rule in engine.rules:
+        if rule.scope != "project":
+            continue
+        deps = _closure_deps(rule, project, stats)
+        entry = cached["project_rules"].get(rule.rule_id)
+        if entry is not None and entry["deps"] == deps:
+            per_rule = _revive(entry["findings"])
+        else:
+            per_rule = []
+            for finding in rule.check_project(project):
+                owner = by_path.get(finding.path)
+                if owner is not None and owner.waived(finding.rule_id, finding.line):
+                    continue
+                per_rule.append(finding)
+        findings.extend(per_rule)
+        project_out[rule.rule_id] = {
+            "deps": deps,
+            "findings": [f.as_dict() for f in per_rule],
+        }
 
     payload = {
         "version": _CACHE_VERSION,
         "fingerprint": fingerprint,
+        "snapshot": snapshot,
         "files": files_out,
-        "project": {
-            "snapshot": snapshot,
-            "findings": [f.as_dict() for f in project_found],
-        },
+        "project_rules": project_out,
     }
     try:
         tmp = cache_path.with_name(cache_path.name + ".tmp")
@@ -249,7 +302,7 @@ def run_with_cache(
         pass  # a read-only tree just means the next run is cold again
 
     return LintReport(
-        findings=sorted(findings),
+        findings=sorted(engine._apply_supersedes(findings)),
         files_checked=len(keyed),
         rules_run=[rule.rule_id for rule in engine.rules],
     )

@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help="enable whole-program analysis rules (import graph, "
+        "determinism taint, shard safety, config drift)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -70,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _render_catalogue() -> str:
     lines = ["ID      Title                                                    Paper"]
     for cls in registered_rules():
-        lines.append(f"{cls.rule_id:<7} {cls.title:<56} {cls.paper_ref}")
+        title = cls.title + (" [--project]" if cls.project_only else "")
+        lines.append(f"{cls.rule_id:<7} {title:<56} {cls.paper_ref}")
     return "\n".join(lines)
 
 
@@ -84,6 +91,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         engine = LintEngine(
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore) or (),
+            project_mode=args.project,
         )
         if args.no_cache:
             report = engine.run(args.paths)

@@ -1,0 +1,90 @@
+"""Nondeterminism source inventory shared by REP004 and REP013.
+
+One catalogue of "APIs whose values differ between two runs of the same
+program": wall clocks, the process-global RNG, OS-entropy-seeded RNG
+construction, and environment reads.  The per-file REP004 rule flags any
+*call* to these outside the simulation kernel; the whole-program REP013
+rule tracks their *values* along the call graph into incident identity
+and journal writes.  Keeping the inventory in one module guarantees the
+two rules can never disagree about what counts as a clock.
+"""
+
+from __future__ import annotations
+
+#: Wall-clock reads, as dotted call names.
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+
+#: Module-level functions of ``random`` driven by the shared global RNG.
+GLOBAL_RNG_FUNCS = frozenset(
+    {
+        "random",
+        "uniform",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "triangular",
+        "vonmisesvariate",
+        "weibullvariate",
+        "getrandbits",
+        "seed",
+    }
+)
+
+#: Environment reads: contents differ between hosts and shard processes.
+ENVIRON_CALLS = frozenset(
+    {
+        "os.getenv",
+        "os.environ.get",
+        "os.environ.setdefault",
+        "os.environb.get",
+    }
+)
+
+#: ``numpy.random`` module-level draws (the global numpy RNG).
+NUMPY_RANDOM_PREFIXES = ("numpy.random.", "np.random.")
+
+
+def classify_source_call(dotted: str) -> str:
+    """Source kind for a dotted call name, or ``""`` when deterministic.
+
+    Kinds: ``wall-clock``, ``global-rng``, ``environ``.  Unseeded
+    ``random.Random()`` and unordered-iteration sources are structural
+    (they need the call's arguments or the surrounding statement) and are
+    classified by the callers, not here.
+    """
+    if dotted in CLOCK_CALLS:
+        return "wall-clock"
+    if dotted.startswith("random.") and dotted[len("random."):] in GLOBAL_RNG_FUNCS:
+        return "global-rng"
+    if dotted.startswith(NUMPY_RANDOM_PREFIXES):
+        return "global-rng"
+    if dotted in ENVIRON_CALLS:
+        return "environ"
+    return ""

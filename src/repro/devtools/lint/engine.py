@@ -166,6 +166,7 @@ class Project:
         self._by_module: Dict[str, SourceFile] = {
             f.module: f for f in self.files if f.module is not None
         }
+        self._analysis: Optional[Any] = None
 
     def module(self, dotted: str) -> Optional[SourceFile]:
         return self._by_module.get(dotted)
@@ -188,6 +189,20 @@ class Project:
         ]
         return hits[0] if len(hits) == 1 else None
 
+    @property
+    def analysis(self) -> "Any":
+        """Shared whole-program facts (import graph, symbols, call graph).
+
+        Built lazily on first access so runs with only file-scoped rules
+        never pay for it.  Typed loosely to keep the import local: the
+        ``project`` subpackage imports this module.
+        """
+        if self._analysis is None:
+            from .project import ProjectAnalysis
+
+            self._analysis = ProjectAnalysis(self)
+        return self._analysis
+
 
 class LintRule(abc.ABC):
     """Base class for all lint rules.
@@ -204,6 +219,15 @@ class LintRule(abc.ABC):
     #: Paper section that motivates the rule, e.g. "§4.2".
     paper_ref: str = ""
     scope: str = "file"  # "file" | "project"
+    #: project-scoped rules that need the whole-program analysis layer;
+    #: they only run when the engine is built with ``project_mode=True``
+    #: (the CLI's ``--project``), so plain file runs stay cheap.
+    project_only: bool = False
+    #: rule ids whose findings this rule replaces at the same (path, line)
+    #: when both rules report there -- e.g. REP013 supersedes REP004 so a
+    #: wall-clock call site that provably flows into an incident field is
+    #: reported once, with the flow message.
+    supersedes: Tuple[str, ...] = ()
     #: fnmatch patterns over dotted module names; empty = all modules.
     include_modules: Tuple[str, ...] = ()
     exclude_modules: Tuple[str, ...] = ()
@@ -236,6 +260,17 @@ class LintRule(abc.ABC):
 
     def check_project(self, project: Project) -> Iterable[Finding]:
         return ()
+
+    def cache_closure(self, project: Project) -> Optional[Sequence[str]]:
+        """Dotted modules this project rule's findings depend on.
+
+        ``None`` (the default) means "every linted file" -- always sound.
+        Project rules that only inspect a subgraph can return the module
+        names of that subgraph (typically an import-graph dependency
+        closure) so the result cache survives edits to unrelated files.
+        Only consulted for ``scope == "project"`` rules.
+        """
+        return None
 
 
 _REGISTRY: Dict[str, Type[LintRule]] = {}
@@ -314,8 +349,10 @@ class LintEngine:
         ignore: Sequence[str] = (),
         rule_options: Optional[Mapping[str, Mapping[str, Any]]] = None,
         rules: Optional[Sequence[LintRule]] = None,
+        project_mode: bool = False,
     ):
         rule_options = rule_options or {}
+        self.project_mode = project_mode
         if rules is not None:
             self.rules: List[LintRule] = list(rules)
         else:
@@ -327,12 +364,24 @@ class LintEngine:
                     f"unknown rule id(s) {sorted(set(unknown))}; "
                     f"available: {sorted(available)}"
                 )
+            if not project_mode and select is not None:
+                needs_project = sorted(
+                    rid
+                    for rid in set(wanted) - set(ignore)
+                    if available[rid].project_only
+                )
+                if needs_project:
+                    raise UsageError(
+                        f"rule(s) {needs_project} need whole-program "
+                        f"analysis; run with --project"
+                    )
             bad_opts = sorted(set(rule_options) - set(available))
             if bad_opts:
                 raise UsageError(f"options given for unknown rule(s) {bad_opts}")
             self.rules = [
                 available[rid](**dict(rule_options.get(rid, {})))
                 for rid in sorted(set(wanted) - set(ignore))
+                if project_mode or not available[rid].project_only
             ]
 
     # -- discovery ---------------------------------------------------------
@@ -398,8 +447,24 @@ class LintEngine:
                 if owner is not None and owner.waived(finding.rule_id, finding.line):
                     continue
                 findings.append(finding)
+        findings = self._apply_supersedes(findings)
         return LintReport(
             findings=sorted(findings),
             files_checked=len(files),
             rules_run=[rule.rule_id for rule in self.rules],
         )
+
+    def _apply_supersedes(self, findings: List[Finding]) -> List[Finding]:
+        """Drop findings replaced by a superseding rule at the same site."""
+        superseders = {
+            rule.rule_id: rule.supersedes for rule in self.rules if rule.supersedes
+        }
+        if not superseders:
+            return findings
+        drops = set()
+        for finding in findings:
+            for superseded in superseders.get(finding.rule_id, ()):
+                drops.add((superseded, finding.path, finding.line))
+        return [
+            f for f in findings if (f.rule_id, f.path, f.line) not in drops
+        ]

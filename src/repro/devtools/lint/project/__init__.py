@@ -1,0 +1,45 @@
+"""Whole-program facts for skynet-lint's project rules (REP012-REP015).
+
+Per-file rules see one AST at a time; the failure modes that actually
+break deterministic sharded replay -- a layering leak, a wall-clock value
+laundered through two helpers into an incident id, a module-level dict
+mutated from a shard code path -- live *between* files.  This subpackage
+computes the shared whole-program facts once per lint run:
+
+* :class:`~.imports.ImportGraph` -- project-internal import edges with
+  relative-import and ``__init__`` re-export resolution, closures, SCCs;
+* :class:`~.symbols.SymbolIndex` -- per-module symbol tables (globals,
+  classes and their attributes, functions, import bindings) plus
+  project-wide call-target resolution;
+* :class:`~.callgraph.CallGraph` -- function-level call edges (imports
+  resolved exactly, method calls over-approximated by name) and
+  entry-point reachability with witness chains;
+* :class:`~.dataflow.DeterminismTaint` -- an intraprocedural dataflow
+  pass extended along the call graph (returns and attribute assignments)
+  tracking nondeterminism sources into identity/journal sinks.
+
+Everything is built lazily through :class:`ProjectAnalysis` (reachable as
+``Project.analysis`` in the engine) so file-scoped runs pay nothing.
+"""
+
+from __future__ import annotations
+
+from .analysis import ProjectAnalysis
+from .callgraph import CallGraph
+from .dataflow import DeterminismTaint, Flow, TaintSource
+from .imports import ImportGraph, ImportRecord
+from .symbols import ClassInfo, FunctionInfo, ModuleSymbols, SymbolIndex
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "DeterminismTaint",
+    "Flow",
+    "FunctionInfo",
+    "ImportGraph",
+    "ImportRecord",
+    "ModuleSymbols",
+    "ProjectAnalysis",
+    "SymbolIndex",
+    "TaintSource",
+]

@@ -1,0 +1,54 @@
+"""Lazy facade bundling the whole-program facts for one lint run.
+
+Project rules share one :class:`ProjectAnalysis` (via ``Project.analysis``
+in the engine) so the import graph, symbol index, call graph, and taint
+pass are each computed at most once per run regardless of how many rules
+consume them -- and not at all when only file-scoped rules run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..engine import Project
+from .callgraph import CallGraph
+from .dataflow import DeterminismTaint
+from .imports import ImportGraph
+from .symbols import SymbolIndex
+
+
+class ProjectAnalysis:
+    """Memoised accessors over one ``Project``'s files."""
+
+    def __init__(self, project: Project):
+        self._project = project
+        self._imports: Optional[ImportGraph] = None
+        self._symbols: Optional[SymbolIndex] = None
+        self._callgraph: Optional[CallGraph] = None
+        self._taints: Dict[Tuple[str, ...], DeterminismTaint] = {}
+
+    @property
+    def imports(self) -> ImportGraph:
+        if self._imports is None:
+            self._imports = ImportGraph(self._project)
+        return self._imports
+
+    @property
+    def symbols(self) -> SymbolIndex:
+        if self._symbols is None:
+            self._symbols = SymbolIndex(self._project, self.imports)
+        return self._symbols
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.symbols)
+        return self._callgraph
+
+    def taint(self, exclude_modules: Sequence[str] = ()) -> DeterminismTaint:
+        key = tuple(sorted(exclude_modules))
+        if key not in self._taints:
+            self._taints[key] = DeterminismTaint(
+                self.symbols, exclude_modules=key
+            )
+        return self._taints[key]

@@ -1,0 +1,160 @@
+"""Function-level call graph over the linted project.
+
+Nodes are function keys (``module:qualname``).  Edges come from two
+resolution tiers: calls whose callee resolves through the import-binding
+tables land on the exact target (including constructor calls, which edge
+to ``__init__``); calls on unresolvable receivers (``self.x.flush()``)
+are over-approximated by method name across every project class.  That
+over-approximation is deliberate -- for REP013/REP014 a missed edge is a
+missed race, a spurious edge is at worst a reviewable finding.
+
+:meth:`CallGraph.reachable` answers "which functions can an entry point
+reach", returning a witness chain per reached function so findings can
+say *how* a shard path gets to a mutation site.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import fnmatch
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..astutil import dotted_name
+from .symbols import FunctionInfo, SymbolIndex
+
+
+@dataclasses.dataclass(frozen=True)
+class CallEdge:
+    """One call site: ``caller`` invokes ``callee`` at ``path:line``."""
+
+    caller: str  # function key, or "module-body:<module>" for top level
+    callee: str  # function key
+    path: str
+    line: int
+    exact: bool  # resolved through imports (True) or by method name
+
+
+class CallGraph:
+    """Call edges plus entry-point reachability with witness chains."""
+
+    def __init__(self, symbols: SymbolIndex):
+        self._symbols = symbols
+        self.edges: List[CallEdge] = []
+        self._out: Dict[str, List[CallEdge]] = {}
+        #: function key -> external dotted calls made inside it
+        self.external_calls: Dict[str, List[Tuple[str, int]]] = {}
+        for key, info in sorted(symbols.functions.items()):
+            self._scan_function(key, info)
+        for module, table in sorted(symbols.modules.items()):
+            if table.source.tree is not None:
+                self._scan_body(module, table.source.tree)
+
+    # -- construction ------------------------------------------------------
+
+    def _scan_function(self, key: str, info: FunctionInfo) -> None:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                self._record(key, info.module, node)
+
+    def _scan_body(self, module: str, tree: ast.Module) -> None:
+        """Module-level statements call things too (decorators, singletons)."""
+        key = f"module-body:{module}"
+        for stmt in tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._record(key, module, node)
+
+    def _record(self, caller: str, module: str, call: ast.Call) -> None:
+        kind, payload = self._symbols.resolve_call(module, call.func)
+        table = self._symbols.modules.get(module)
+        path = table.source.rel if table is not None else "<unknown>"
+        if kind == "project":
+            assert isinstance(payload, list)
+            for target in payload:
+                self._add(CallEdge(caller, target.key, path, call.lineno, True))
+        elif kind == "methods":
+            assert isinstance(payload, list)
+            for target in payload:
+                if target.name.startswith("__") and target.name != "__call__":
+                    continue  # dunders rarely ring through attribute calls
+                self._add(
+                    CallEdge(caller, target.key, path, call.lineno, False)
+                )
+        elif kind == "external":
+            assert isinstance(payload, str)
+            self.external_calls.setdefault(caller, []).append(
+                (payload, call.lineno)
+            )
+        else:
+            dotted = dotted_name(call.func)
+            if dotted is not None:
+                self.external_calls.setdefault(caller, []).append(
+                    (dotted, call.lineno)
+                )
+
+    def _add(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self._out.setdefault(edge.caller, []).append(edge)
+
+    # -- queries -----------------------------------------------------------
+
+    def callees_of(self, key: str) -> List[CallEdge]:
+        return list(self._out.get(key, []))
+
+    def match_functions(self, patterns: Sequence[str]) -> List[str]:
+        """Function keys matching any ``module-glob:qualname-glob`` pattern."""
+        out: Set[str] = set()
+        for pattern in patterns:
+            if ":" in pattern:
+                mod_pat, qual_pat = pattern.split(":", 1)
+            else:
+                mod_pat, qual_pat = "*", pattern
+            for key in self._symbols.functions:
+                module, qualname = key.split(":", 1)
+                if fnmatch.fnmatchcase(module, mod_pat) and fnmatch.fnmatchcase(
+                    qualname, qual_pat
+                ):
+                    out.add(key)
+        return sorted(out)
+
+    def reachable(
+        self, entry_patterns: Sequence[str]
+    ) -> Dict[str, List[str]]:
+        """BFS from entry points: reached key -> witness chain of keys.
+
+        The chain starts at the entry point and ends at the reached
+        function; entry points map to a one-element chain.
+        """
+        entries = self.match_functions(entry_patterns)
+        chains: Dict[str, List[str]] = {}
+        queue: List[str] = []
+        for entry in entries:
+            if entry not in chains:
+                chains[entry] = [entry]
+                queue.append(entry)
+        head = 0
+        while head < len(queue):
+            current = queue[head]
+            head += 1
+            for edge in self._out.get(current, []):
+                if edge.callee not in chains:
+                    chains[edge.callee] = chains[current] + [edge.callee]
+                    queue.append(edge.callee)
+        return chains
+
+    def function(self, key: str) -> Optional[FunctionInfo]:
+        return self._symbols.functions.get(key)
+
+    @staticmethod
+    def describe_chain(chain: Iterable[str]) -> str:
+        """``a.b:f -> c.d:g`` witness text, module prefixes trimmed."""
+        shown = []
+        for key in chain:
+            module, qualname = key.split(":", 1)
+            shown.append(f"{module.rsplit('.', 1)[-1]}:{qualname}")
+        return " -> ".join(shown)

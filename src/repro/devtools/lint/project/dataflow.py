@@ -1,0 +1,437 @@
+"""Cross-function determinism taint (the REP013 engine).
+
+Tracks values produced by nondeterministic APIs -- wall clocks, the
+global RNG, ``os.environ``, unseeded ``random.Random()``, set-iteration
+order -- through assignments, returns, and attribute writes, into the
+sinks that must stay run-stable: incident identity fields, Incident
+construction, and journal writes.
+
+The pass is intraprocedural per function, extended along the call graph
+by a fixpoint over two summaries:
+
+* *return taint* -- functions whose return value carries a source;
+* *attribute taint* -- attribute names assigned a tainted value
+  anywhere (``self.created_at = stamp()`` taints ``.created_at`` reads
+  in every other method).
+
+``sorted()``/``min()``/``max()`` launder set-iteration-order taint only
+(a sorted list of wall-clock values is still wall-clock-derived).
+Unknown calls propagate their arguments' taint conservatively: for this
+rule a missed flow is worse than a reviewable false positive.  Findings
+anchor at the *source* site so one nondeterministic call reports once no
+matter how many sinks it reaches.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..astutil import dotted_name
+from ..determinism import classify_source_call
+from .symbols import FunctionInfo, SymbolIndex, annotation_is_set
+
+#: Attribute / keyword names that feed incident identity or timestamps.
+SINK_ATTRS = frozenset(
+    {
+        "incident_id",
+        "created_at",
+        "first_seen",
+        "last_seen",
+        "update_time",
+        "timestamp",
+        "closed_at",
+    }
+)
+
+#: Call-name leaves that write durable records.
+SINK_CALL_LEAVES = frozenset({"append_record", "write_record"})
+
+#: Builtins that impose a total order, discharging set-order taint.
+ORDER_LAUNDERERS = frozenset({"sorted", "min", "max"})
+
+
+@dataclasses.dataclass(frozen=True)
+class TaintSource:
+    """Where nondeterminism enters: one call or iteration site."""
+
+    kind: str  # "wall-clock" | "global-rng" | "environ" | "unseeded-rng" | "set-order"
+    detail: str  # e.g. "time.time" or "iteration over set"
+    path: str
+    line: int
+    col: int
+    function: str  # function key the source sits in
+
+
+@dataclasses.dataclass(frozen=True)
+class Flow:
+    """One source-to-sink determinism leak."""
+
+    source: TaintSource
+    sink: str  # human description, e.g. "attribute .created_at"
+    sink_path: str
+    sink_line: int
+    via: Tuple[str, ...]  # propagation steps between source and sink
+
+
+@dataclasses.dataclass(frozen=True)
+class _Taint:
+    source: TaintSource
+    via: Tuple[str, ...] = ()
+
+    def step(self, note: str) -> "_Taint":
+        if note in self.via:
+            return self
+        return _Taint(self.source, self.via + (note,))
+
+
+class DeterminismTaint:
+    """Fixpoint taint analysis over every function in the project."""
+
+    def __init__(
+        self,
+        symbols: SymbolIndex,
+        exclude_modules: Sequence[str] = (),
+    ):
+        self._symbols = symbols
+        self._exclude = set(exclude_modules)
+        self._returns: Dict[str, _Taint] = {}
+        self._attrs: Dict[str, _Taint] = {}
+        self._flows: Dict[Tuple[str, int, str, int, str], Flow] = {}
+        self.flows: List[Flow] = []
+        self._run()
+
+    def _run(self) -> None:
+        functions = [
+            info
+            for key, info in sorted(self._symbols.functions.items())
+            if info.module not in self._exclude
+        ]
+        for _ in range(10):
+            before = (len(self._returns), len(self._attrs))
+            self._flows.clear()
+            for info in functions:
+                _FunctionPass(self, info).run()
+            if (len(self._returns), len(self._attrs)) == before:
+                break
+        self.flows = sorted(
+            self._flows.values(),
+            key=lambda f: (f.source.path, f.source.line, f.sink_path, f.sink_line),
+        )
+
+    # -- summary plumbing used by _FunctionPass ----------------------------
+
+    def _record_return(self, key: str, taint: _Taint) -> None:
+        self._returns.setdefault(key, taint.step(f"returned from {key}"))
+
+    def _record_attr(self, name: str, taint: _Taint) -> None:
+        self._attrs.setdefault(name, taint.step(f"stored in attribute .{name}"))
+
+    def _record_flow(
+        self, taint: _Taint, sink: str, path: str, line: int
+    ) -> None:
+        flow = Flow(
+            source=taint.source,
+            sink=sink,
+            sink_path=path,
+            sink_line=line,
+            via=taint.via,
+        )
+        key = (taint.source.path, taint.source.line, path, line, sink)
+        self._flows.setdefault(key, flow)
+
+
+class _FunctionPass:
+    """One intraprocedural walk; two sweeps to stabilise loop-carried taint."""
+
+    def __init__(self, owner: DeterminismTaint, info: FunctionInfo):
+        self._owner = owner
+        self._symbols = owner._symbols
+        self._info = info
+        self._env: Dict[str, _Taint] = {}
+
+    def run(self) -> None:
+        for _ in range(2):
+            for stmt in self._info.node.body:
+                self._stmt(stmt)
+
+    # -- statements --------------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self._expr(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._expr(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._expr(stmt.value)
+            if taint is None and isinstance(stmt.target, ast.Name):
+                taint = self._env.get(stmt.target.id)
+            self._assign(stmt.target, taint, augmented=True)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint = self._expr(stmt.value)
+                if taint is not None:
+                    self._owner._record_return(self._info.key, taint)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self._iteration_taint(stmt.iter)
+            self._assign(stmt.target, taint)
+            for inner in stmt.body + stmt.orelse:
+                self._stmt(inner)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test)
+            for inner in stmt.body + stmt.orelse:
+                self._stmt(inner)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr)
+            for inner in stmt.body:
+                self._stmt(inner)
+        elif isinstance(stmt, ast.Try):
+            for inner in stmt.body + stmt.orelse + stmt.finalbody:
+                self._stmt(inner)
+            for handler in stmt.handlers:
+                for inner in handler.body:
+                    self._stmt(inner)
+        # nested defs / classes get their own pass via SymbolIndex when
+        # they are methods; closures are out of scope for this rule
+
+    def _assign(
+        self,
+        target: ast.expr,
+        taint: Optional[_Taint],
+        augmented: bool = False,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if taint is not None:
+                self._env[target.id] = taint
+            elif not augmented:
+                self._env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taint, augmented)
+        elif isinstance(target, ast.Attribute):
+            if taint is not None:
+                if target.attr in SINK_ATTRS:
+                    self._owner._record_flow(
+                        taint,
+                        f"attribute .{target.attr}",
+                        self._info.source.rel,
+                        target.lineno,
+                    )
+                self._owner._record_attr(target.attr, taint)
+        elif isinstance(target, ast.Subscript):
+            self._expr(target.value)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, expr: ast.expr) -> Optional[_Taint]:
+        if isinstance(expr, ast.Name):
+            return self._env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            hit = self._owner._attrs.get(expr.attr)
+            if hit is not None:
+                return hit
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._first(expr.left, expr.right)
+        if isinstance(expr, ast.BoolOp):
+            return self._first(*expr.values)
+        if isinstance(expr, ast.UnaryOp):
+            return self._expr(expr.operand)
+        if isinstance(expr, ast.IfExp):
+            return self._first(expr.body, expr.orelse)
+        if isinstance(expr, ast.JoinedStr):
+            parts = [
+                value.value
+                for value in expr.values
+                if isinstance(value, ast.FormattedValue)
+            ]
+            return self._first(*parts)
+        if isinstance(expr, ast.FormattedValue):
+            return self._expr(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return self._first(*expr.elts)
+        if isinstance(expr, ast.Dict):
+            return self._first(*[v for v in expr.values if v is not None])
+        if isinstance(expr, ast.Subscript):
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Await):
+            return self._expr(expr.value)
+        if isinstance(expr, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            taints = [self._iteration_taint(gen.iter) for gen in expr.generators]
+            taints.append(self._expr(expr.elt))
+            return next((t for t in taints if t is not None), None)
+        return None
+
+    def _first(self, *exprs: ast.expr) -> Optional[_Taint]:
+        for expr in exprs:
+            taint = self._expr(expr)
+            if taint is not None:
+                return taint
+        return None
+
+    def _iteration_taint(self, iterable: ast.expr) -> Optional[_Taint]:
+        """Taint carried by loop variables, including set-order."""
+        if self._is_set_valued(iterable):
+            return _Taint(
+                TaintSource(
+                    kind="set-order",
+                    detail="iteration over a set (order is salt-dependent)",
+                    path=self._info.source.rel,
+                    line=iterable.lineno,
+                    col=iterable.col_offset + 1,
+                    function=self._info.key,
+                )
+            )
+        return self._expr(iterable)
+
+    def _is_set_valued(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            dotted = dotted_name(expr.func)
+            if dotted in ("set", "frozenset"):
+                return True
+            kind, payload = self._symbols.resolve_call(
+                self._info.module, expr.func
+            )
+            if kind in ("project", "methods") and isinstance(payload, list):
+                return any(target.returns_set for target in payload)
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_valued(expr.left) or self._is_set_valued(
+                expr.right
+            )
+        if isinstance(expr, ast.Name):
+            taint = self._env.get(expr.id)
+            return taint is not None and taint.source.kind == "set-order-value"
+        return False
+
+    def _call(self, call: ast.Call) -> Optional[_Taint]:
+        dotted = dotted_name(call.func)
+        kind, payload = self._symbols.resolve_call(self._info.module, call.func)
+
+        arg_taint = self._first(
+            *list(call.args),
+            *[kw.value for kw in call.keywords if kw.value is not None],
+        )
+
+        # sink checks happen before laundering: passing a tainted value
+        # into a journal write is a leak even if later sorted
+        self._check_call_sinks(call, kind, payload, arg_taint)
+
+        leaf = dotted.rsplit(".", 1)[-1] if dotted else ""
+        if leaf in ORDER_LAUNDERERS and dotted == leaf:
+            if arg_taint is not None and arg_taint.source.kind == "set-order":
+                return None
+            return arg_taint
+
+        external_name: Optional[str] = None
+        if kind == "external" and isinstance(payload, str):
+            external_name = payload
+        elif kind == "unknown" and dotted is not None:
+            external_name = dotted
+        if external_name is not None:
+            source_kind = classify_source_call(external_name)
+            if source_kind:
+                return _Taint(self._source(source_kind, external_name, call))
+        if dotted in ("random.Random", "Random") and not (
+            call.args or call.keywords
+        ):
+            return _Taint(
+                self._source("unseeded-rng", "random.Random()", call)
+            )
+
+        if kind in ("project", "methods") and isinstance(payload, list):
+            for target in payload:
+                summary = self._owner._returns.get(target.key)
+                if summary is not None:
+                    return summary
+            if kind == "project":
+                # fully resolved and summary says clean: trust it, but a
+                # tainted argument can still come back out
+                return (
+                    arg_taint.step(f"through call to {payload[0].key}")
+                    if arg_taint is not None and payload
+                    else None
+                )
+
+        # unknown / external call: taint passes through arguments
+        if arg_taint is not None and dotted is not None:
+            return arg_taint.step(f"through call to {dotted}()")
+        return arg_taint
+
+    def _check_call_sinks(
+        self,
+        call: ast.Call,
+        kind: str,
+        payload: object,
+        arg_taint: Optional[_Taint],
+    ) -> None:
+        dotted = dotted_name(call.func) or ""
+        leaf = dotted.rsplit(".", 1)[-1]
+
+        # tainted keyword feeding an identity field of any call
+        for kw in call.keywords:
+            if kw.arg in SINK_ATTRS and kw.value is not None:
+                taint = self._expr(kw.value)
+                if taint is not None:
+                    self._owner._record_flow(
+                        taint,
+                        f"keyword {kw.arg}= of {dotted or 'call'}()",
+                        self._info.source.rel,
+                        call.lineno,
+                    )
+
+        if arg_taint is None:
+            return
+        journal_like = "journal" in dotted.lower() or leaf in SINK_CALL_LEAVES
+        incident_ctor = leaf.endswith("Incident") and leaf[:1].isupper()
+        if not incident_ctor and kind == "project" and isinstance(payload, list):
+            incident_ctor = any(
+                (target.owner or "").endswith("Incident") for target in payload
+            )
+        if journal_like:
+            self._owner._record_flow(
+                arg_taint,
+                f"journal write {dotted or leaf}()",
+                self._info.source.rel,
+                call.lineno,
+            )
+        elif incident_ctor:
+            self._owner._record_flow(
+                arg_taint,
+                f"Incident construction {dotted or leaf}()",
+                self._info.source.rel,
+                call.lineno,
+            )
+
+    def _source(self, kind: str, detail: str, node: ast.expr) -> TaintSource:
+        return TaintSource(
+            kind=kind,
+            detail=detail,
+            path=self._info.source.rel,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            function=self._info.key,
+        )
+
+
+__all__ = [
+    "DeterminismTaint",
+    "Flow",
+    "TaintSource",
+    "SINK_ATTRS",
+    "annotation_is_set",
+]

@@ -1,0 +1,289 @@
+"""The project import graph: who imports whom, resolved to real modules.
+
+Nodes are the dotted module names of the linted files (standalone files
+outside any package get a pseudo-name so single-file runs still work).
+Edges are *project-internal* imports only -- stdlib and third-party
+imports are recorded per module but grow no edges.  Resolution handles
+the three shapes that defeat naive grepping:
+
+* **relative imports** -- ``from ..core import config`` resolved against
+  the importer's package, including ``__init__`` importers whose package
+  is the module itself;
+* **``from pkg import name``** where ``name`` is a submodule, not a
+  symbol -- the edge goes to ``pkg.name``;
+* **``__init__`` re-exports** -- ``from repro.core import AlertTree``
+  where ``AlertTree`` is re-exported by ``repro/core/__init__.py`` from
+  ``repro.core.alert_tree``: the edge goes to the package *and* a
+  ``via``-tagged edge goes to the defining module, followed through
+  chained re-exports.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..engine import Project, SourceFile
+
+
+@dataclasses.dataclass(frozen=True)
+class ImportRecord:
+    """One resolved project-internal import edge."""
+
+    importer: str  # importing module's dotted name
+    target: str  # resolved project module the edge points at
+    raw: str  # the import as written, e.g. "from ..core import config"
+    path: str  # importing file
+    line: int
+    col: int
+    #: package ``__init__`` the name was re-exported through, when the
+    #: written import named the package but the symbol lives deeper
+    via: Optional[str] = None
+
+
+def pseudo_module(source: SourceFile) -> str:
+    """Node id for a file: its dotted module, or a path-based stand-in."""
+    return source.module if source.module is not None else f"<{source.rel}>"
+
+
+class ImportGraph:
+    """Project-internal import edges over one lint run's files."""
+
+    def __init__(self, project: Project):
+        self._by_module: Dict[str, SourceFile] = {}
+        for source in project.files:
+            self._by_module.setdefault(pseudo_module(source), source)
+        self.modules: Set[str] = set(self._by_module)
+        self.records: List[ImportRecord] = []
+        #: module -> local names its ``__init__``-style body re-exports,
+        #: mapped to the (resolved) module the name was imported from
+        self._reexports: Dict[str, Dict[str, str]] = {}
+        #: module -> external (non-project) dotted imports, binding -> target
+        self.external: Dict[str, Dict[str, str]] = {}
+        for module, source in sorted(self._by_module.items()):
+            self._scan_reexports(module, source)
+        for module, source in sorted(self._by_module.items()):
+            self._scan(module, source)
+        self._imports: Dict[str, Set[str]] = {m: set() for m in self.modules}
+        self._importers: Dict[str, Set[str]] = {m: set() for m in self.modules}
+        for record in self.records:
+            self._imports.setdefault(record.importer, set()).add(record.target)
+            self._importers.setdefault(record.target, set()).add(record.importer)
+
+    # -- construction ------------------------------------------------------
+
+    def _package_of(self, module: str, source: SourceFile) -> List[str]:
+        parts = module.split(".")
+        if source.path.name == "__init__.py":
+            return parts
+        return parts[:-1]
+
+    def _resolve_base(
+        self, module: str, source: SourceFile, node: ast.ImportFrom
+    ) -> Optional[List[str]]:
+        """Package parts the ``from``-clause is anchored at, or None."""
+        if node.level == 0:
+            return (node.module or "").split(".") if node.module else []
+        package = self._package_of(module, source)
+        ups = node.level - 1
+        if ups > len(package):
+            return None
+        base = package[: len(package) - ups] if ups else list(package)
+        if node.module:
+            base = base + node.module.split(".")
+        return base
+
+    def _project_module(self, parts: Sequence[str]) -> Optional[str]:
+        dotted = ".".join(parts)
+        return dotted if dotted in self.modules else None
+
+    def _scan_reexports(self, module: str, source: SourceFile) -> None:
+        """First pass: record which names a module imports from where."""
+        if source.tree is None:
+            return
+        table: Dict[str, str] = {}
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            base = self._resolve_base(module, source, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                as_sub = self._project_module(list(base) + [alias.name])
+                target = as_sub or self._project_module(base)
+                if target is not None:
+                    table[alias.asname or alias.name] = (
+                        as_sub or f"{target}:{alias.name}"
+                    )
+        self._reexports[module] = table
+
+    def _follow_reexport(self, package: str, name: str) -> Optional[str]:
+        """Module that ultimately defines ``package.name``, via re-exports."""
+        seen: Set[str] = set()
+        current, symbol = package, name
+        for _ in range(8):  # bounded: re-export chains are short
+            if current in seen:
+                return None
+            seen.add(current)
+            entry = self._reexports.get(current, {}).get(symbol)
+            if entry is None:
+                return None
+            if ":" not in entry:
+                return entry  # the name *is* a submodule
+            current, symbol = entry.split(":", 1)
+            if self._reexports.get(current, {}).get(symbol) is None:
+                return current  # defined (or at least bound) here
+        return current
+
+    def _add(self, module: str, source: SourceFile, node: ast.stmt,
+             target: str, raw: str, via: Optional[str] = None) -> None:
+        self.records.append(
+            ImportRecord(
+                importer=module,
+                target=target,
+                raw=raw,
+                path=source.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                via=via,
+            )
+        )
+
+    def _scan(self, module: str, source: SourceFile) -> None:
+        if source.tree is None:
+            return
+        externals: Dict[str, str] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    # longest project-module prefix wins; `import a.b.c`
+                    # depends on every package on the path, the leaf says it
+                    resolved = None
+                    for end in range(len(parts), 0, -1):
+                        resolved = self._project_module(parts[:end])
+                        if resolved is not None:
+                            break
+                    if resolved is not None:
+                        self._add(module, source, node, resolved,
+                                  f"import {alias.name}")
+                    else:
+                        externals[alias.asname or parts[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_base(module, source, node)
+                raw_mod = ("." * node.level) + (node.module or "")
+                if base is None:
+                    continue
+                package = self._project_module(base)
+                for alias in node.names:
+                    raw = f"from {raw_mod} import {alias.name}"
+                    submodule = self._project_module(list(base) + [alias.name])
+                    if submodule is not None:
+                        self._add(module, source, node, submodule, raw)
+                    elif package is not None:
+                        self._add(module, source, node, package, raw)
+                        deeper = self._follow_reexport(package, alias.name)
+                        if deeper is not None and deeper != package:
+                            self._add(module, source, node, deeper, raw,
+                                      via=package)
+                    elif node.level == 0 and node.module:
+                        externals[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+        self.external[module] = externals
+
+    # -- queries -----------------------------------------------------------
+
+    def imports_of(self, module: str) -> Set[str]:
+        """Modules ``module`` imports (directly), itself excluded."""
+        return set(self._imports.get(module, set())) - {module}
+
+    def importers_of(self, module: str) -> Set[str]:
+        return set(self._importers.get(module, set())) - {module}
+
+    def dependency_closure(self, modules: Iterable[str]) -> Set[str]:
+        """``modules`` plus everything they transitively import."""
+        out: Set[str] = set()
+        stack = [m for m in modules if m in self.modules]
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._imports.get(current, set()) - out)
+        return out
+
+    def dependent_closure(self, modules: Iterable[str]) -> Set[str]:
+        """``modules`` plus everything that transitively imports them."""
+        out: Set[str] = set()
+        stack = [m for m in modules if m in self.modules]
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._importers.get(current, set()) - out)
+        return out
+
+    def file_of(self, module: str) -> Optional[SourceFile]:
+        return self._by_module.get(module)
+
+    def cycles(self) -> List[List[str]]:
+        """Import cycles: SCCs of size > 1 plus self-loops, sorted."""
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work: List[Tuple[str, Iterable[str]]] = [
+                (root, iter(sorted(self._imports.get(root, set()))))
+            ]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in self.modules:
+                        continue
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(sorted(self._imports.get(succ, set()))))
+                        )
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or node in self._imports.get(
+                        node, set()
+                    ):
+                        sccs.append(sorted(component))
+
+        for module in sorted(self.modules):
+            if module not in index:
+                strongconnect(module)
+        return sorted(sccs)

@@ -1,0 +1,379 @@
+"""Per-module symbol tables and project-wide name resolution.
+
+For each module: the module-level bindings (with mutability of the bound
+value -- the REP014 seed set), class definitions with their class-body
+attributes and methods, top-level functions, and the import-binding map
+(``np`` -> ``numpy``, ``stamp`` -> ``pkg.helpers.stamp``) that lets call
+sites be resolved to either a *project function* or a fully-qualified
+*external* dotted name (so ``from time import time as now; now()`` still
+matches the wall-clock inventory).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..astutil import dotted_name
+from ..engine import Project, SourceFile
+from .imports import ImportGraph, pseudo_module
+
+#: Callables that build mutable containers (REP014's global-state seeds).
+MUTABLE_BUILDERS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "deque",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "count",  # itertools.count: a stateful iterator, same hazard
+        "cycle",
+        "chain",
+    }
+)
+
+#: Return-annotation heads whose iteration order is interpreter-defined.
+SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet",
+     "KeysView", "ItemsView"}
+)
+
+
+def is_mutable_value(node: ast.AST) -> Tuple[bool, str]:
+    """(mutable?, description) for a module/class-level bound value."""
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return True, "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True, "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True, "set"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None:
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in MUTABLE_BUILDERS:
+                return True, leaf
+    return False, ""
+
+
+def annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    """True when a return annotation denotes an unordered set type."""
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = dotted_name(node)
+    if name is None and isinstance(node, ast.Constant) and isinstance(
+        node.value, str
+    ):
+        name = node.value.split("[", 1)[0].strip()
+    if name is None:
+        return False
+    return name.rsplit(".", 1)[-1] in SET_ANNOTATIONS
+
+
+@dataclasses.dataclass
+class GlobalInfo:
+    """One module-level binding."""
+
+    name: str
+    line: int
+    col: int
+    mutable: bool
+    kind: str  # "list" / "dict" / "count" / "" ...
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    module: str
+    qualname: str  # "func" or "Class.method"
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    owner: Optional[str]  # class name for methods
+    source: SourceFile
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def returns_set(self) -> bool:
+        return annotation_is_set(self.node.returns)
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class definition with its class-body state."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    source: SourceFile
+    #: class-body attribute name -> (line, col, mutable?, kind)
+    attrs: Dict[str, Tuple[int, int, bool, str]]
+    methods: Dict[str, FunctionInfo]
+    bases: List[str]
+
+
+@dataclasses.dataclass
+class ModuleSymbols:
+    """Everything one module defines or binds at its top level."""
+
+    module: str
+    source: SourceFile
+    globals: Dict[str, GlobalInfo]
+    classes: Dict[str, ClassInfo]
+    functions: Dict[str, FunctionInfo]
+    #: local binding -> dotted target; project targets use module names,
+    #: external ones keep their written dotted path
+    bindings: Dict[str, str]
+
+
+class SymbolIndex:
+    """Symbol tables for every module plus cross-module call resolution."""
+
+    def __init__(self, project: Project, imports: ImportGraph):
+        self._imports = imports
+        self.modules: Dict[str, ModuleSymbols] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        for source in project.files:
+            if source.tree is None:
+                continue
+            module = pseudo_module(source)
+            if module in self.modules:
+                continue
+            table = self._build_module(module, source)
+            self.modules[module] = table
+            for info in table.functions.values():
+                self.functions[info.key] = info
+            for cls in table.classes.values():
+                self.classes_by_name.setdefault(cls.name, []).append(cls)
+                for info in cls.methods.values():
+                    self.functions[info.key] = info
+                    self.methods_by_name.setdefault(info.name, []).append(info)
+
+    # -- construction ------------------------------------------------------
+
+    def _build_module(self, module: str, source: SourceFile) -> ModuleSymbols:
+        assert source.tree is not None
+        globals_: Dict[str, GlobalInfo] = {}
+        classes: Dict[str, ClassInfo] = {}
+        functions: Dict[str, FunctionInfo] = {}
+        bindings: Dict[str, str] = {}
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    local = alias.asname or parts[0]
+                    target = alias.name if alias.asname else parts[0]
+                    bindings[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                resolved = self._resolve_from(module, source, node)
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if resolved is not None:
+                        sub = f"{resolved}.{alias.name}"
+                        if sub in self._imports.modules:
+                            bindings[local] = sub
+                        else:
+                            bindings[local] = f"{resolved}:{alias.name}"
+                    elif node.level == 0 and node.module:
+                        bindings[local] = f"{node.module}.{alias.name}"
+
+        for node in source.tree.body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                mutable, kind = (
+                    is_mutable_value(value) if value is not None else (False, "")
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        globals_[target.id] = GlobalInfo(
+                            name=target.id,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            mutable=mutable,
+                            kind=kind,
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[node.name] = FunctionInfo(
+                    module=module, qualname=node.name, node=node,
+                    owner=None, source=source,
+                )
+            elif isinstance(node, ast.ClassDef):
+                classes[node.name] = self._build_class(module, source, node)
+        return ModuleSymbols(
+            module=module, source=source, globals=globals_,
+            classes=classes, functions=functions, bindings=bindings,
+        )
+
+    def _build_class(
+        self, module: str, source: SourceFile, node: ast.ClassDef
+    ) -> ClassInfo:
+        attrs: Dict[str, Tuple[int, int, bool, str]] = {}
+        methods: Dict[str, FunctionInfo] = {}
+        for stmt in node.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                mutable, kind = (
+                    is_mutable_value(value) if value is not None else (False, "")
+                )
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        attrs[target.id] = (
+                            stmt.lineno, stmt.col_offset + 1, mutable, kind
+                        )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods[stmt.name] = FunctionInfo(
+                    module=module,
+                    qualname=f"{node.name}.{stmt.name}",
+                    node=stmt,
+                    owner=node.name,
+                    source=source,
+                )
+        bases = []
+        for base in node.bases:
+            name = dotted_name(base)
+            if name is not None:
+                bases.append(name)
+        return ClassInfo(
+            module=module, name=node.name, node=node, source=source,
+            attrs=attrs, methods=methods, bases=bases,
+        )
+
+    def _resolve_from(
+        self, module: str, source: SourceFile, node: ast.ImportFrom
+    ) -> Optional[str]:
+        """Project module an ImportFrom is anchored at, or None."""
+        if node.level == 0:
+            dotted = node.module or ""
+            return dotted if dotted in self._imports.modules else None
+        parts = module.split(".")
+        package = parts if source.path.name == "__init__.py" else parts[:-1]
+        ups = node.level - 1
+        if ups > len(package):
+            return None
+        base = package[: len(package) - ups] if ups else list(package)
+        if node.module:
+            base = base + node.module.split(".")
+        dotted = ".".join(base)
+        return dotted if dotted in self._imports.modules else None
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_call(
+        self, module: str, callee: ast.AST
+    ) -> Tuple[str, Union[str, List[FunctionInfo], None]]:
+        """Resolve a call's callee expression from inside ``module``.
+
+        Returns one of:
+
+        * ``("project", [FunctionInfo, ...])`` -- project function(s) /
+          constructor method(s) the call can reach;
+        * ``("external", "time.time")`` -- fully-expanded external name;
+        * ``("methods", [FunctionInfo, ...])`` -- unresolvable receiver,
+          matched by method name over every project class (over-approx);
+        * ``("unknown", None)``.
+        """
+        table = self.modules.get(module)
+        dotted = dotted_name(callee)
+        if table is None or dotted is None:
+            return ("unknown", None)
+        parts = dotted.split(".")
+        head = parts[0]
+
+        if head in table.bindings:
+            target = table.bindings[head]
+            if ":" in target:  # `from mod import symbol`
+                target_module, symbol = target.split(":", 1)
+                full = [symbol] + parts[1:]
+                resolved = self._lookup(target_module, full)
+                if resolved is not None:
+                    return resolved
+                return ("external", ".".join([target_module] + full))
+            expanded = target.split(".") + parts[1:]
+            # longest project-module prefix, then symbol path inside it
+            for end in range(len(expanded), 0, -1):
+                candidate = ".".join(expanded[:end])
+                if candidate in self._imports.modules:
+                    resolved = self._lookup(candidate, expanded[end:])
+                    if resolved is not None:
+                        return resolved
+                    break
+            else:
+                return ("external", ".".join(expanded))
+            return ("external", ".".join(expanded))
+
+        if len(parts) == 1:
+            local = self._lookup(module, parts)
+            if local is not None:
+                return local
+            return ("unknown", None)
+
+        # receiver is a local variable / attribute chain: method-name match
+        hits = self.methods_by_name.get(parts[-1], [])
+        if hits:
+            return ("methods", list(hits))
+        return ("unknown", None)
+
+    def _lookup(
+        self, module: str, symbol_path: Sequence[str]
+    ) -> Optional[Tuple[str, List[FunctionInfo]]]:
+        """``("project", funcs)`` for ``module`` . ``symbol_path``, or None."""
+        table = self.modules.get(module)
+        if table is None or not symbol_path:
+            return None
+        head = symbol_path[0]
+        if head in table.functions and len(symbol_path) == 1:
+            return ("project", [table.functions[head]])
+        if head in table.classes:
+            cls = table.classes[head]
+            if len(symbol_path) == 1:  # constructor call
+                ctors = [
+                    cls.methods[name]
+                    for name in ("__init__", "__post_init__", "__new__")
+                    if name in cls.methods
+                ]
+                return ("project", ctors)
+            if len(symbol_path) == 2 and symbol_path[1] in cls.methods:
+                return ("project", [cls.methods[symbol_path[1]]])
+        if head in table.bindings:  # re-exported through this module
+            target = table.bindings[head]
+            if ":" in target:
+                target_module, symbol = target.split(":", 1)
+                return self._lookup(
+                    target_module, [symbol] + list(symbol_path[1:])
+                )
+            if target in self._imports.modules:
+                return self._lookup(target, symbol_path[1:])
+        return None
+
+    def class_of_method(self, info: FunctionInfo) -> Optional[ClassInfo]:
+        if info.owner is None:
+            return None
+        table = self.modules.get(info.module)
+        if table is None:
+            return None
+        return table.classes.get(info.owner)
+
+    def set_returning_functions(self) -> Set[str]:
+        """Keys of functions whose return annotation is set-typed."""
+        return {key for key, fn in self.functions.items() if fn.returns_set}

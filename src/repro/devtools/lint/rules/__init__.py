@@ -21,4 +21,8 @@ from . import (  # noqa: F401
     rep009_alert_type_registry,
     rep010_monitor_cadence,
     rep011_exception_hygiene,
+    rep012_layering,
+    rep013_determinism_flow,
+    rep014_shard_safety,
+    rep015_config_drift,
 )

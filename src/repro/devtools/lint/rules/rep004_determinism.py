@@ -10,6 +10,13 @@ of simulated "now") and ``simulation/noise.py`` may touch these;
 everything else must take timestamps as arguments and RNGs as seeded
 instances.  Unseeded ``random.Random()`` (OS-entropy seeded) is flagged
 too; ``random.Random(seed)`` is the sanctioned idiom.
+
+The clock/RNG inventory lives in ``..determinism`` and is shared with
+the whole-program REP013 taint rule.  When both rules run (``--project``
+mode) and REP013 traces a flow out of a call site this rule also flags,
+the engine keeps only the REP013 finding (REP013 declares
+``supersedes = ("REP004",)``): one call site, one report, and the
+project-level flow message is the more actionable of the two.
 """
 
 from __future__ import annotations
@@ -18,53 +25,8 @@ import ast
 from typing import Iterable
 
 from ..astutil import dotted_name
+from ..determinism import CLOCK_CALLS, GLOBAL_RNG_FUNCS  # noqa: F401  (re-export)
 from ..engine import Finding, LintRule, SourceFile, register
-
-#: Wall-clock reads, as dotted call names.
-CLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "datetime.now",
-        "datetime.utcnow",
-        "datetime.today",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
-        "date.today",
-    }
-)
-
-#: Module-level functions of ``random`` driven by the shared global RNG.
-GLOBAL_RNG_FUNCS = frozenset(
-    {
-        "random",
-        "uniform",
-        "randint",
-        "randrange",
-        "choice",
-        "choices",
-        "shuffle",
-        "sample",
-        "gauss",
-        "normalvariate",
-        "lognormvariate",
-        "expovariate",
-        "betavariate",
-        "gammavariate",
-        "paretovariate",
-        "triangular",
-        "vonmisesvariate",
-        "weibullvariate",
-        "getrandbits",
-        "seed",
-    }
-)
 
 
 @register

@@ -78,6 +78,24 @@ class MonitorRegistryRule(LintRule):
     paper_ref = "Table 2, §5.2"
     scope = "project"
 
+    def cache_closure(self, project: Project) -> Optional[List[str]]:
+        """Findings depend only on the monitors package and its imports.
+
+        Keying the result cache on this closure lets edits elsewhere in
+        the tree (core, runtime, viz, ...) reuse the cached REP006
+        verdict instead of re-running it on every change.
+        """
+        monitor_modules = [
+            f.module
+            for f in project.files
+            if f.module is not None and "monitors" in f.module.split(".")
+        ]
+        if not monitor_modules:
+            return None  # unusual tree: stay conservative
+        return sorted(
+            project.analysis.imports.dependency_closure(monitor_modules)
+        )
+
     def check_project(self, project: Project) -> Iterable[Finding]:
         registry = project.module_by_suffix("monitors.registry")
         monitor_files: List[SourceFile] = [

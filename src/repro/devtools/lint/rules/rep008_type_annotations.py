@@ -51,6 +51,8 @@ class CoreAnnotationRule(LintRule):
             "repro.simulation.*",
             "repro.runtime.*",
             "repro.operators.*",
+            "repro.rules.*",
+            "repro.baselines.*",
         ),
     }
 

@@ -1,0 +1,113 @@
+"""REP012: package layering contracts over the resolved import graph.
+
+The repro is layered so the deterministic pipeline stays deterministic
+and the paper-facing packages stay paper-faithful: ``topology`` and
+``syslogproc`` are base layers, ``core`` (the SkyNet locating pipeline)
+sits on them, and presentation (``viz``), orchestration (``runtime``),
+tooling (``devtools``) and evaluation (``baselines``, ``analysis``,
+``rules``, ``operators``) sit above ``core``.  An import *down* the
+stack is fine; an import *up* (``core`` importing ``viz``) drags
+presentation concerns into the pipeline and, worse, can smuggle
+nondeterminism or heavyweight deps into shard workers.
+
+The contract is a declarative allowed-import matrix over the top-level
+packages of the project root package.  Edges come from the project
+import graph, so relative imports and ``__init__`` re-exports resolve to
+the module that actually defines the symbol.  Packages absent from the
+matrix are unconstrained (except that nothing may import ``tests``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+from ..engine import Finding, LintRule, Project, register
+
+#: package -> packages it may import (itself is always allowed).
+DEFAULT_CONTRACTS: Mapping[str, Tuple[str, ...]] = {
+    "topology": (),
+    "syslogproc": (),
+    "simulation": ("topology",),
+    "monitors": ("topology", "simulation"),
+    "core": ("topology", "syslogproc", "monitors", "simulation"),
+    "viz": ("core", "topology"),
+    "rules": ("core", "simulation", "topology"),
+    "operators": ("core",),
+    "baselines": ("core", "monitors", "rules", "simulation", "topology"),
+    "analysis": ("core", "monitors", "simulation", "topology"),
+    "runtime": ("core", "monitors", "simulation", "topology"),
+    "devtools": ("topology",),
+}
+
+
+@register
+class LayeringRule(LintRule):
+    rule_id = "REP012"
+    title = "package imports must follow the layering contracts"
+    paper_ref = "§5 (repro architecture)"
+    scope = "project"
+    project_only = True
+    default_options: Mapping[str, Any] = {
+        #: top-level package whose subpackages the matrix constrains
+        "root": "repro",
+        #: package -> allowed imported packages (itself always allowed);
+        #: packages not listed are unconstrained
+        "contracts": DEFAULT_CONTRACTS,
+        #: packages nothing may import, listed in the matrix or not
+        "forbidden": ("tests",),
+    }
+
+    def _package(self, module: str) -> str:
+        root = self.options["root"]
+        parts = module.split(".")
+        if parts[0] != root or len(parts) < 2:
+            return ""
+        return parts[1]
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        contracts: Dict[str, Tuple[str, ...]] = dict(self.options["contracts"])
+        forbidden = set(self.options["forbidden"])
+        seen = set()  # one finding per (site, package pair): a package
+        # edge and its re-export `via` edge should not double-report
+        for record in project.analysis.imports.records:
+            importer_pkg = self._package(record.importer)
+            target_pkg = self._package(record.target)
+            if not importer_pkg or not target_pkg or importer_pkg == target_pkg:
+                continue
+            site = (record.path, record.line, importer_pkg, target_pkg)
+            if site in seen:
+                continue
+            seen.add(site)
+            source = project.analysis.imports.file_of(record.importer)
+            if source is None:
+                continue
+            if target_pkg in forbidden:
+                yield Finding(
+                    path=record.path,
+                    line=record.line,
+                    col=record.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{record.importer} imports forbidden package "
+                        f"{self.options['root']}.{target_pkg} "
+                        f"({record.raw})"
+                    ),
+                )
+                continue
+            if importer_pkg not in contracts:
+                continue
+            allowed = contracts[importer_pkg]
+            if target_pkg not in allowed:
+                shown = sorted(allowed) or ["nothing"]
+                yield Finding(
+                    path=record.path,
+                    line=record.line,
+                    col=record.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"layering violation: {importer_pkg} may not import "
+                        f"{target_pkg} ({record.raw} resolves to "
+                        f"{record.target}); {importer_pkg} may import only "
+                        f"{', '.join(shown)}"
+                    ),
+                )

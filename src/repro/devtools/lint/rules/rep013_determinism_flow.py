@@ -1,0 +1,66 @@
+"""REP013: nondeterminism must not flow into incident identity or journals.
+
+REP004 flags nondeterministic *calls* outside the simulation kernel;
+this rule tracks their *values*.  The repro's replay guarantee is that
+two runs over the same alert stream produce byte-identical incident
+streams and journals -- so a wall-clock read, a global-RNG draw, an
+``os.environ`` lookup, an unseeded ``random.Random()``, or the
+iteration order of a set must never reach an incident id, a timestamp
+field, Incident construction, or a journal write.  The flow is traced
+cross-function along the call graph (through returns and attribute
+assignments), so laundering ``time.time()`` through two helpers still
+reports -- at the *source* call site, with the witness path to the sink.
+
+When both this rule and REP004 fire on the same call site (``--project``
+runs), the engine keeps only this finding (``supersedes``): the flow
+message is strictly more actionable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..engine import Finding, LintRule, Project, register
+
+
+@register
+class DeterminismFlowRule(LintRule):
+    rule_id = "REP013"
+    title = "nondeterminism must not reach incident identity or journals"
+    paper_ref = "§5 (repro determinism)"
+    scope = "project"
+    project_only = True
+    supersedes = ("REP004",)
+    default_options: Mapping[str, Any] = {
+        #: modules whose calls are not treated as sources (the simulated
+        #: clock and seeded noise kernel are *allowed* to own time/RNG)
+        "kernel_modules": (
+            "repro.simulation.clock",
+            "repro.simulation.noise",
+        ),
+        #: cap on witness steps shown in the message
+        "max_via": 4,
+    }
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        taint = project.analysis.taint(
+            exclude_modules=tuple(self.options["kernel_modules"])
+        )
+        max_via = int(self.options["max_via"])
+        for flow in taint.flows:
+            via = list(flow.via[:max_via])
+            if len(flow.via) > max_via:
+                via.append("...")
+            trail = f" via {'; '.join(via)}" if via else ""
+            yield Finding(
+                path=flow.source.path,
+                line=flow.source.line,
+                col=flow.source.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"{flow.source.kind} source {flow.source.detail} "
+                    f"(in {flow.source.function}) flows into {flow.sink} "
+                    f"at {flow.sink_path}:{flow.sink_line}{trail}; "
+                    f"replayed runs will diverge"
+                ),
+            )

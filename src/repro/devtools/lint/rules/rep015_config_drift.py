@@ -1,0 +1,286 @@
+"""REP015: config fields and CLI flags must not drift apart.
+
+Config drift is how reproductions rot: a ``RuntimeParams`` field that
+nothing reads (the knob silently stopped doing anything), a CLI flag
+that parses but never reaches the config (the operator *thinks* they
+changed behaviour), or a runtime parameter that simply cannot be set
+from the command line.  This rule cross-checks three surfaces:
+
+* every dataclass field in the config module is **read** somewhere in
+  the project (an attribute load with that name, anywhere);
+* every ``--flag`` the runtime CLI declares is **consumed** (its dest is
+  read off the parsed namespace) and **maps to a field** -- a config
+  field by name or via the alias table, a chaos-plan field for
+  ``--chaos-*`` flags, or an explicitly exempt operational flag;
+* every field of the runtime-params class (and of the chaos plan) is
+  **settable from some flag**, by name or alias.
+
+The alias table is declarative because flag spelling is UX and field
+spelling is code (``--checkpoint-every`` vs ``checkpoint_interval_s``);
+keeping the map in rule options makes renames a reviewed, one-line diff.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterable, List, Mapping, Set, Tuple
+
+from ..astutil import dotted_name
+from ..engine import Finding, LintRule, Project, SourceFile, register
+
+
+@register
+class ConfigDriftRule(LintRule):
+    rule_id = "REP015"
+    title = "config fields and CLI flags stay wired to each other"
+    paper_ref = "§5 (repro operability)"
+    scope = "project"
+    project_only = True
+    default_options: Mapping[str, Any] = {
+        "config_module": "repro.core.config",
+        "cli_module": "repro.runtime.cli",
+        "params_class": "RuntimeParams",
+        "chaos_module": "repro.runtime.faults",
+        "chaos_class": "ChaosPlan",
+        #: CLI dest -> config field, when the names differ
+        "flag_aliases": {
+            "checkpoint_every": "checkpoint_interval_s",
+            "watermark": "admission_watermark",
+            "compact_journal": "journal_compaction",
+            "admission_window": "admission_window_s",
+            "io_base_backoff": "io_base_backoff_s",
+            "io_max_backoff": "io_max_backoff_s",
+        },
+        #: chaos CLI dest -> chaos-plan field
+        "chaos_aliases": {
+            "chaos_outage": "outages",
+            "chaos_brownout": "brownouts",
+            "chaos_shard_crash": "shard_crashes",
+            "chaos_io": "io_faults",
+            "chaos_seed": "seed",
+        },
+        #: operational flags that legitimately configure the *run*, not
+        #: the config object (scenario selection, output shaping, ...)
+        "exempt_flags": (
+            "topology",
+            "scenario",
+            "duration",
+            "alerts",
+            "seed",
+            "dir",
+            "resume",
+            "metrics",
+            "top",
+        ),
+    }
+
+    # -- fact extraction ---------------------------------------------------
+
+    def _dataclass_fields(
+        self, source: SourceFile
+    ) -> Dict[str, Dict[str, Tuple[int, int]]]:
+        """class name -> {field name: (line, col)} for annotated fields."""
+        assert source.tree is not None
+        out: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        for node in source.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            fields: Dict[str, Tuple[int, int]] = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields[stmt.target.id] = (
+                        stmt.lineno,
+                        stmt.col_offset + 1,
+                    )
+            if fields:
+                out[node.name] = fields
+        return out
+
+    def _flags(
+        self, source: SourceFile
+    ) -> List[Tuple[str, str, int, int]]:
+        """(flag, dest, line, col) per ``add_argument("--...")`` call."""
+        assert source.tree is not None
+        out: List[Tuple[str, str, int, int]] = []
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+                and first.value.startswith("--")
+            ):
+                continue
+            flag = first.value
+            dest = flag.lstrip("-").replace("-", "_")
+            for kw in node.keywords:
+                if kw.arg == "dest" and isinstance(kw.value, ast.Constant):
+                    dest = str(kw.value.value)
+            out.append((flag, dest, node.lineno, node.col_offset + 1))
+        return out
+
+    @staticmethod
+    def _attribute_loads(project: Project) -> Set[str]:
+        names: Set[str] = set()
+        for source in project.files:
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.Attribute) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    names.add(node.attr)
+        return names
+
+    # -- the checks --------------------------------------------------------
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        config_src = project.module(str(self.options["config_module"]))
+        cli_src = project.module(str(self.options["cli_module"]))
+        chaos_src = project.module(str(self.options["chaos_module"]))
+        if config_src is None or config_src.tree is None:
+            return  # nothing to check outside the repro tree (fixtures
+            # point the options at their own modules)
+
+        classes = self._dataclass_fields(config_src)
+        reads = self._attribute_loads(project)
+        aliases: Dict[str, str] = dict(self.options["flag_aliases"])
+        chaos_aliases: Dict[str, str] = dict(self.options["chaos_aliases"])
+        exempt = set(self.options["exempt_flags"])
+
+        # 1. every config field is read somewhere
+        for cls_name in sorted(classes):
+            for field in sorted(classes[cls_name]):
+                if field not in reads:
+                    line, col = classes[cls_name][field]
+                    yield Finding(
+                        path=config_src.rel,
+                        line=line,
+                        col=col,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"config field {cls_name}.{field} is never "
+                            f"read; dead knob or missing wiring"
+                        ),
+                    )
+
+        all_fields: Set[str] = set()
+        for fields in classes.values():
+            all_fields.update(fields)
+        chaos_fields: Dict[str, Tuple[int, int]] = {}
+        if chaos_src is not None and chaos_src.tree is not None:
+            chaos_fields = self._dataclass_fields(chaos_src).get(
+                str(self.options["chaos_class"]), {}
+            )
+
+        if cli_src is None or cli_src.tree is None:
+            return
+        flags = self._flags(cli_src)
+        cli_reads = self._attribute_loads_of(cli_src)
+        dests = {dest for _, dest, _, _ in flags}
+
+        for flag, dest, line, col in flags:
+            # 2a. the flag's value is consumed by the CLI module
+            if dest not in cli_reads:
+                yield Finding(
+                    path=cli_src.rel,
+                    line=line,
+                    col=col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"CLI flag {flag} is parsed but args.{dest} is "
+                        f"never read; the flag does nothing"
+                    ),
+                )
+                continue
+            # 2b. the flag maps to a field
+            if dest in exempt:
+                continue
+            if dest.startswith("chaos_"):
+                target = chaos_aliases.get(dest)
+                if target is None or target not in chaos_fields:
+                    yield Finding(
+                        path=cli_src.rel,
+                        line=line,
+                        col=col,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"chaos flag {flag} maps to no "
+                            f"{self.options['chaos_class']} field "
+                            f"(chaos_aliases entry missing or stale)"
+                        ),
+                    )
+                continue
+            mapped = aliases.get(dest, dest)
+            if mapped not in all_fields:
+                yield Finding(
+                    path=cli_src.rel,
+                    line=line,
+                    col=col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"CLI flag {flag} maps to no config field "
+                        f"(no field named {mapped!r}; add a flag_aliases "
+                        f"entry or an exempt_flags entry)"
+                    ),
+                )
+
+        # 3. every runtime param (and chaos-plan field) is CLI-settable
+        settable = {aliases.get(dest, dest) for dest in dests}
+        params = classes.get(str(self.options["params_class"]), {})
+        for field in sorted(params):
+            if field not in settable:
+                line, col = params[field]
+                yield Finding(
+                    path=config_src.rel,
+                    line=line,
+                    col=col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{self.options['params_class']}.{field} cannot be "
+                        f"set from the runtime CLI; add a flag (or alias)"
+                    ),
+                )
+        chaos_settable = {
+            chaos_aliases[dest] for dest in dests if dest in chaos_aliases
+        }
+        for field in sorted(chaos_fields):
+            if field not in chaos_settable and chaos_src is not None:
+                line, col = chaos_fields[field]
+                yield Finding(
+                    path=chaos_src.rel,
+                    line=line,
+                    col=col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{self.options['chaos_class']}.{field} cannot be "
+                        f"set from any --chaos-* flag"
+                    ),
+                )
+
+    @staticmethod
+    def _attribute_loads_of(source: SourceFile) -> Set[str]:
+        assert source.tree is not None
+        names: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                names.add(node.attr)
+            elif isinstance(node, ast.Call):
+                func = dotted_name(node.func)
+                if func == "getattr" and len(node.args) >= 2:
+                    second = node.args[1]
+                    if isinstance(second, ast.Constant) and isinstance(
+                        second.value, str
+                    ):
+                        names.add(second.value)
+        return names

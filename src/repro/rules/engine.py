@@ -57,7 +57,7 @@ class RuleMatch:
 class RuleEngine:
     """Evaluates the rule library against incidents, first match wins."""
 
-    def __init__(self, rules: Sequence[HeuristicRule]):
+    def __init__(self, rules: Sequence[HeuristicRule]) -> None:
         names = [r.name for r in rules]
         if len(set(names)) != len(names):
             raise ValueError("duplicate rule names")

@@ -27,7 +27,7 @@ _CIRCUIT_TYPES = frozenset({"port_down", "link_down"})
 
 def _primary_device(incident: Incident) -> Optional[str]:
     """The device carrying the most alert records in the incident."""
-    counts: Counter = Counter(
+    counts: Counter[str] = Counter(
         r.device for r in incident.records() if r.device is not None
     )
     if not counts:

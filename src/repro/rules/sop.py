@@ -74,7 +74,7 @@ class SOPExecutor:
         }
     )
 
-    def __init__(self, state: NetworkState):
+    def __init__(self, state: NetworkState) -> None:
         self._state = state
         self._history: List[ExecutionRecord] = []
 

@@ -98,6 +98,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact journal segments fully covered by the oldest "
         "retained checkpoint (bounds disk over long runs)",
     )
+    parser.add_argument(
+        "--journal-segment-records", type=int, default=None, metavar="N",
+        help="records per journal segment before rotation (default: "
+        "config value)",
+    )
+    parser.add_argument(
+        "--admission-window", type=float, default=None, metavar="SIM_S",
+        help="admission-control window length in sim seconds (default: "
+        "config value)",
+    )
+    parser.add_argument(
+        "--io-max-attempts", type=int, default=None, metavar="N",
+        help="attempts per journal/checkpoint IO op before degrading "
+        "(default: config value)",
+    )
+    parser.add_argument(
+        "--io-base-backoff", type=float, default=None, metavar="SIM_S",
+        help="first-retry IO backoff in sim seconds (default: config value)",
+    )
+    parser.add_argument(
+        "--io-max-backoff", type=float, default=None, metavar="SIM_S",
+        help="IO backoff ceiling in sim seconds (default: config value)",
+    )
     chaos = parser.add_argument_group(
         "chaos", "deterministic fault injection (repeat flags to stack faults)"
     )
@@ -136,20 +159,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _build_config(args: argparse.Namespace) -> SkyNetConfig:
     base = PRODUCTION_CONFIG.runtime
+
+    def over(value, fallback):
+        return value if value is not None else fallback
+
     runtime = RuntimeParams(
         shards=max(1, args.shards),
-        journal_segment_records=base.journal_segment_records,
-        checkpoint_interval_s=(
-            args.checkpoint_every
-            if args.checkpoint_every is not None
-            else base.checkpoint_interval_s
+        journal_segment_records=over(
+            args.journal_segment_records, base.journal_segment_records
+        ),
+        checkpoint_interval_s=over(
+            args.checkpoint_every, base.checkpoint_interval_s
         ),
         backpressure=args.backpressure,
-        admission_window_s=base.admission_window_s,
-        admission_watermark=(
-            args.watermark if args.watermark is not None else base.admission_watermark
-        ),
+        admission_window_s=over(args.admission_window, base.admission_window_s),
+        admission_watermark=over(args.watermark, base.admission_watermark),
         journal_compaction=args.compact_journal,
+        io_max_attempts=over(args.io_max_attempts, base.io_max_attempts),
+        io_base_backoff_s=over(args.io_base_backoff, base.io_base_backoff_s),
+        io_max_backoff_s=over(args.io_max_backoff, base.io_max_backoff_s),
     )
     return dataclasses.replace(
         PRODUCTION_CONFIG, fast_path=args.fast_path, runtime=runtime

@@ -123,14 +123,18 @@ class ShardedAlertTree:
         index = self.router.shard_of(alert.location)
         tree = self.root_tree if index == ROOT_SHARD else self.shard_trees[index]
         record = tree.insert(alert)
-        self._order.setdefault(alert.location, index)
+        # Insertion-order map spans all shards by design: report order must
+        # match the unsharded tree byte-for-byte.  The multiprocess port
+        # needs a merge step here (ROADMAP).
+        self._order.setdefault(alert.location, index)  # lint: allow REP014
         return record
 
     def insert_batch(self, alerts: List[StructuredAlert]) -> int:
         buckets: Dict[int, List[StructuredAlert]] = {}
         for alert in alerts:
             index = self.router.shard_of(alert.location)
-            self._order.setdefault(alert.location, index)
+            # Same cross-shard order map as insert().
+            self._order.setdefault(alert.location, index)  # lint: allow REP014
             buckets.setdefault(index, []).append(alert)
         count = 0
         for index, batch in buckets.items():
@@ -157,7 +161,8 @@ class ShardedAlertTree:
                     else self.shard_trees[index]
                 )
                 if location not in tree:
-                    del self._order[location]
+                    # Cross-shard order map upkeep.
+                    del self._order[location]  # lint: allow REP014
         return removed
 
     # -- AlertTree interface: queries --------------------------------------

@@ -1,83 +1,13 @@
-"""Alert-voting visualization (§7.1, Figure 11).
+"""Back-compat shim: :class:`VotingGraph` moved to ``repro.core.voting``.
 
-"Devices and links are highlighted based on the outcomes of alert voting;
-an alert generated by a device or link registers a vote for itself and the
-connected links or devices."  The operator reads the hottest node as the
-prime suspect -- the paper's reflector case was cracked exactly this way
-(the top-voted device was a reflector, an uncommon logic-site resident).
+The voting tallies are pipeline logic (the LLM export ranks suspects by
+vote), so the class lives in ``core`` where the REP012 layering matrix
+allows the pipeline to use it.  Rendering-side callers keep importing it
+from here.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Optional, Tuple
+from ..core.voting import VotingGraph
 
-from ..core.incident import Incident
-from ..topology.network import Topology
-
-
-@dataclasses.dataclass
-class VotingGraph:
-    """Vote tallies over the devices and links in an incident's scope."""
-
-    device_votes: Dict[str, int]
-    edge_votes: Dict[str, int]  # circuit-set id -> votes
-
-    @classmethod
-    def from_incident(cls, incident: Incident, topology: Topology
-                      ) -> "VotingGraph":
-        device_votes: Dict[str, int] = {}
-        edge_votes: Dict[str, int] = {}
-        for record in incident.records():
-            device = record.device
-            if device is None or not topology.has_device(device):
-                continue
-            device_votes[device] = device_votes.get(device, 0) + record.count
-            for cs in topology.circuit_sets_of(device):
-                edge_votes[cs.set_id] = edge_votes.get(cs.set_id, 0) + record.count
-        # links vote their endpoints back (one hop of propagation)
-        for set_id, votes in list(edge_votes.items()):
-            cs = topology.circuit_sets[set_id]
-            for end in cs.endpoints:
-                if topology.has_device(end) and end not in device_votes:
-                    device_votes[end] = 0
-        return cls(device_votes=device_votes, edge_votes=edge_votes)
-
-    def top_devices(self, n: int = 5) -> List[Tuple[str, int]]:
-        return sorted(
-            self.device_votes.items(), key=lambda kv: (-kv[1], kv[0])
-        )[:n]
-
-    def top_device(self) -> Optional[str]:
-        top = self.top_devices(1)
-        return top[0][0] if top else None
-
-    def render_table(self) -> str:
-        lines = ["votes  device"]
-        for device, votes in self.top_devices(10):
-            lines.append(f"{votes:>5}  {device}")
-        return "\n".join(lines)
-
-    def to_dot(self, topology: Topology, max_edges: int = 60) -> str:
-        """Graphviz DOT of the voted subgraph, hottest nodes darkest."""
-        peak = max(self.device_votes.values(), default=1) or 1
-        lines = ["graph incident {", "  node [style=filled];"]
-        for device, votes in sorted(self.device_votes.items()):
-            shade = int(9 - min(9, (votes / peak) * 9)) if peak else 9
-            lines.append(
-                f'  "{device}" [fillcolor=gray{shade * 10 or 10}, '
-                f'label="{device}\\n{votes}"];'
-            )
-        shown = 0
-        for set_id, votes in sorted(
-            self.edge_votes.items(), key=lambda kv: -kv[1]
-        ):
-            if shown >= max_edges:
-                break
-            cs = topology.circuit_sets[set_id]
-            ends = sorted(cs.endpoints)
-            if all(topology.has_device(e) for e in ends):
-                lines.append(f'  "{ends[0]}" -- "{ends[1]}" [label="{votes}"];')
-                shown += 1
-        lines.append("}")
-        return "\n".join(lines)
+__all__ = ["VotingGraph"]

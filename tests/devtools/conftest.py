@@ -21,3 +21,9 @@ def run_rule(rule_id: str, *paths: pathlib.Path):
     """Run exactly one rule over the given paths, return its findings."""
     report = LintEngine(select=[rule_id]).run(list(paths))
     return report.findings
+
+
+def run_project_rule(rule_id: str, *paths: pathlib.Path):
+    """Run one whole-program rule (``--project``), return its findings."""
+    report = LintEngine(select=[rule_id], project_mode=True).run(list(paths))
+    return report.findings

@@ -1,0 +1,7 @@
+"""Pipeline layer importing *up* the stack: core -> viz is forbidden."""
+
+from ..viz import draw
+
+
+def report(incidents):
+    return draw(incidents)

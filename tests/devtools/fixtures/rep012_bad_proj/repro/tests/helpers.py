@@ -1,0 +1,5 @@
+"""Test helpers: nothing may import these."""
+
+
+def fake_fabric():
+    return {"dcbr-1": []}

@@ -1,0 +1,7 @@
+"""Base layer leaning on the forbidden tests package."""
+
+from ..tests.helpers import fake_fabric
+
+
+def fabric():
+    return fake_fabric()

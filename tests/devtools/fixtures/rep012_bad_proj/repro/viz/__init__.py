@@ -1,0 +1,5 @@
+"""Re-exports, so the illegal core import resolves through __init__."""
+
+from .plots import draw
+
+__all__ = ["draw"]

@@ -1,0 +1,7 @@
+"""Pipeline layer importing *down* the stack only."""
+
+from ..topology.geo import fabric
+
+
+def report():
+    return sorted(fabric())

@@ -1,0 +1,5 @@
+"""Base layer: imports nothing project-internal."""
+
+
+def fabric():
+    return {"dcbr-1": ["dcbr-2"]}

@@ -1,0 +1,7 @@
+"""Presentation layer: may import core."""
+
+from ..core.pipeline import report
+
+
+def draw():
+    return f"plot of {report()}"

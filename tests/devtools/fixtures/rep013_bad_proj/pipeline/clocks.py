@@ -1,0 +1,11 @@
+"""Wall-clock reads laundered through two helpers."""
+
+import time
+
+
+def raw_now():
+    return time.time()
+
+
+def stamp():
+    return raw_now()

@@ -1,0 +1,15 @@
+"""Sink side: tainted values reaching incident identity fields."""
+
+from .clocks import stamp
+
+
+def first_member():
+    chosen = None
+    for device in {"primary", "secondary"}:
+        chosen = device
+    return chosen
+
+
+def close(incident):
+    incident.created_at = stamp()
+    incident.incident_id = first_member()

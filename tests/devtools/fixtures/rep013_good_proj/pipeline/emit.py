@@ -1,0 +1,12 @@
+"""Sink side done right: injected clock, order-laundered set reads."""
+
+
+def first_member(members):
+    for device in sorted(members):
+        return device
+    return None
+
+
+def close(incident, members, now):
+    incident.created_at = now
+    incident.incident_id = first_member(set(members))

@@ -1,0 +1,11 @@
+"""Shard entry point driving the hazardous tree."""
+
+from .tree import ShardedAlertTree
+
+
+class ShardedLocator:
+    def __init__(self):
+        self.tree = ShardedAlertTree()
+
+    def feed(self, key, value):
+        self.tree.insert(key, value)

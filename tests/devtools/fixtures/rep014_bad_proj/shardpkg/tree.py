@@ -1,0 +1,14 @@
+"""A toy sharded tree exhibiting every shard-safety hazard."""
+
+SEEN = {}
+
+
+class ShardedAlertTree:
+    pending = []
+
+    def __init__(self):
+        self.items = {}
+
+    def insert(self, key, value):
+        SEEN[key] = value
+        self.items[key] = value

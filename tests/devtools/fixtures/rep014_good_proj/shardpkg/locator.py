@@ -1,0 +1,11 @@
+"""Shard entry point over the safe tree."""
+
+from .tree import ShardedAlertTree
+
+
+class ShardedLocator:
+    def __init__(self):
+        self.tree = ShardedAlertTree()
+
+    def feed(self, key):
+        return self.tree.lookup(key)

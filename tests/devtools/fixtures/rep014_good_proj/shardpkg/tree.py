@@ -1,0 +1,11 @@
+"""Shard-safe tree: read-only globals, state built in __init__ only."""
+
+LIMITS = {"max": 10}
+
+
+class ShardedAlertTree:
+    def __init__(self):
+        self.items = {}
+
+    def lookup(self, key):
+        return self.items.get(key, LIMITS["max"])

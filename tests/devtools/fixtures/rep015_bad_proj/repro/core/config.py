@@ -1,0 +1,7 @@
+"""Config surface with drift in every direction."""
+
+
+class RuntimeParams:
+    shards: int = 2
+    dead_knob: int = 0
+    hidden: float = 1.0

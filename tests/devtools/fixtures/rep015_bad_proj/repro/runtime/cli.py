@@ -1,0 +1,20 @@
+"""CLI surface with dangling and unmapped flags."""
+
+import argparse
+
+from ..core.config import RuntimeParams
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--shards", type=int)
+    parser.add_argument("--ghost", type=int)
+    parser.add_argument("--mystery", type=int)
+    parser.add_argument("--chaos-fog", type=int)
+    return parser
+
+
+def run(argv):
+    args = build_parser().parse_args(argv)
+    params = RuntimeParams()
+    return (args.shards, args.mystery, args.chaos_fog, params.hidden)

@@ -1,0 +1,5 @@
+"""Chaos plan with a field no --chaos-* flag can set."""
+
+
+class ChaosPlan:
+    outages: int = 0

@@ -1,0 +1,5 @@
+"""Config surface fully wired to the CLI."""
+
+
+class RuntimeParams:
+    shards: int = 2

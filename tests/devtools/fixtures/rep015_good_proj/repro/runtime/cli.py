@@ -1,0 +1,22 @@
+"""CLI surface: every flag consumed, every field settable."""
+
+import argparse
+
+from ..core.config import RuntimeParams
+from .faults import ChaosPlan
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--shards", type=int)
+    parser.add_argument("--chaos-outage", type=int)
+    return parser
+
+
+def run(argv):
+    args = build_parser().parse_args(argv)
+    params = RuntimeParams()
+    params.shards = args.shards
+    plan = ChaosPlan()
+    plan.outages = args.chaos_outage
+    return (params.shards, plan.outages)

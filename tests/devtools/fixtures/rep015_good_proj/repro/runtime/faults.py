@@ -1,0 +1,5 @@
+"""Chaos plan fully settable from --chaos-* flags."""
+
+
+class ChaosPlan:
+    outages: int = 0

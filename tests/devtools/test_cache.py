@@ -109,7 +109,7 @@ def test_corrupt_cache_is_rebuilt(tree, tmp_path):
     report = _cached_run(tree, cache_file)
     assert len(report.findings) == 1
     # and the rebuilt cache is valid again
-    assert json.loads(cache_file.read_text())["version"] == 1
+    assert json.loads(cache_file.read_text())["version"] == cache_mod._CACHE_VERSION
 
 
 def test_wrong_schema_cache_is_rebuilt(tree, tmp_path):
@@ -120,6 +120,58 @@ def test_wrong_schema_cache_is_rebuilt(tree, tmp_path):
     cache_file.write_text(json.dumps(payload))
     report = _cached_run(tree, cache_file)
     assert len(report.findings) == 1
+
+
+@pytest.fixture
+def monitor_tree(tmp_path):
+    """A registry-clean monitors package plus one unrelated module."""
+    pkg = tmp_path / "monitors"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "base.py").write_text(
+        "class Monitor:\n    pass\n"
+    )
+    (pkg / "ping.py").write_text(
+        'from .base import Monitor\n\n\n'
+        'class PingMonitor(Monitor):\n    name = "ping"\n'
+    )
+    (pkg / "registry.py").write_text(
+        'from .ping import PingMonitor\n\n'
+        'DATA_SOURCES = {"ping": "active probing"}\n'
+        'MONITOR_CLASSES = {"ping": PingMonitor}\n'
+    )
+    (tmp_path / "unrelated.py").write_text(CLEAN)
+    return tmp_path
+
+
+def test_project_rule_cache_is_keyed_on_its_closure(
+    monitor_tree, tmp_path, monkeypatch
+):
+    """REP006's cached verdict survives edits outside its dependency
+    closure and is invalidated by edits inside it."""
+    from repro.devtools.lint.rules.rep006_monitor_registry import (
+        MonitorRegistryRule,
+    )
+
+    cache_file = tmp_path / "closure-cache.json"
+    cold = _cached_run(monitor_tree, cache_file)
+    assert cold.findings == []
+
+    def bomb(self, project):
+        raise AssertionError("REP006 re-ran without a closure change")
+
+    monkeypatch.setattr(MonitorRegistryRule, "check_project", bomb)
+
+    # an edit outside the closure re-lints that file but reuses REP006
+    (monitor_tree / "unrelated.py").write_text(CLEAN + "\n# edited\n")
+    warm = _cached_run(monitor_tree, cache_file)
+    assert warm.findings == []
+
+    # an edit inside the closure must re-run the project rule
+    ping = monitor_tree / "monitors" / "ping.py"
+    ping.write_text(ping.read_text() + "\n# closure edit\n")
+    with pytest.raises(AssertionError, match="closure change"):
+        _cached_run(monitor_tree, cache_file)
 
 
 def test_cli_cache_flags(tree, tmp_path, capsys):

@@ -1,0 +1,188 @@
+"""Units for the whole-program analysis layer: import graph, call graph."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.devtools.lint import LintEngine, SourceFile
+from repro.devtools.lint.engine import Project
+
+
+def build_project(tmp_path: pathlib.Path, files: dict) -> Project:
+    """Materialise ``{relative path: source}`` and wrap it in a Project."""
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    sources = [SourceFile(p) for p in LintEngine.discover([tmp_path])]
+    return Project(sources)
+
+
+# -- import graph -----------------------------------------------------------
+
+
+def test_relative_imports_resolve_to_modules(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from .b import helper\n",
+        "pkg/b.py": "def helper():\n    return 1\n",
+    })
+    graph = project.analysis.imports
+    assert graph.imports_of("pkg.a") == {"pkg.b"}
+    assert graph.importers_of("pkg.b") == {"pkg.a"}
+
+
+def test_parent_relative_import_resolves(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/base.py": "X = 1\n",
+        "pkg/sub/__init__.py": "",
+        "pkg/sub/deep.py": "from ..base import X\n",
+    })
+    graph = project.analysis.imports
+    assert graph.imports_of("pkg.sub.deep") == {"pkg.base"}
+
+
+def test_init_reexport_resolves_to_the_defining_module(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "from .impl import Thing\n",
+        "pkg/impl.py": "class Thing:\n    pass\n",
+        "user.py": "from pkg import Thing\n",
+    })
+    graph = project.analysis.imports
+    records = [r for r in graph.records if r.raw == "from pkg import Thing"]
+    targets = {(r.target, r.via) for r in records}
+    # the written edge lands on the package, the via edge on the definer
+    assert ("pkg", None) in targets
+    assert ("pkg.impl", "pkg") in targets
+
+
+def test_from_pkg_import_submodule_edges_to_the_submodule(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/mod.py": "Y = 2\n",
+        "user.py": "from pkg import mod\n",
+    })
+    graph = project.analysis.imports
+    assert any(r.target == "pkg.mod" for r in graph.records)
+
+
+def test_cycles_finds_the_scc(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from . import b\n",
+        "pkg/b.py": "from . import a\n",
+        "pkg/solo.py": "Z = 3\n",
+    })
+    assert project.analysis.imports.cycles() == [["pkg.a", "pkg.b"]]
+
+
+def test_dependency_and_dependent_closures(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from .b import f\n",
+        "pkg/b.py": "from .c import g\n\n\ndef f():\n    return g()\n",
+        "pkg/c.py": "def g():\n    return 1\n",
+        "pkg/other.py": "W = 4\n",
+    })
+    graph = project.analysis.imports
+    assert graph.dependency_closure(["pkg.a"]) == {"pkg.a", "pkg.b", "pkg.c"}
+    assert graph.dependent_closure(["pkg.c"]) == {"pkg.a", "pkg.b", "pkg.c"}
+
+
+def test_external_imports_grow_no_edges(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "import json\nfrom os import path\n",
+    })
+    graph = project.analysis.imports
+    assert graph.imports_of("pkg.a") == set()
+    assert graph.external["pkg.a"] == {"json": "json", "path": "os.path"}
+
+
+# -- call graph -------------------------------------------------------------
+
+
+def test_imported_function_call_is_an_exact_edge(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from .b import helper\n\n\ndef run():\n"
+                    "    return helper()\n",
+        "pkg/b.py": "def helper():\n    return 1\n",
+    })
+    edges = project.analysis.callgraph.edges
+    exact = [(e.caller, e.callee) for e in edges if e.exact]
+    assert ("pkg.a:run", "pkg.b:helper") in exact
+
+
+def test_constructor_call_edges_to_init(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from .b import Box\n\n\ndef make():\n"
+                    "    return Box()\n",
+        "pkg/b.py": "class Box:\n    def __init__(self):\n"
+                    "        self.items = []\n",
+    })
+    edges = project.analysis.callgraph.edges
+    assert any(
+        e.caller == "pkg.a:make" and e.callee == "pkg.b:Box.__init__"
+        for e in edges
+    )
+
+
+def test_attribute_call_overapproximates_by_method_name(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "def drive(sink):\n    sink.flush()\n",
+        "pkg/b.py": "class Sink:\n    def flush(self):\n        return 0\n",
+    })
+    edges = project.analysis.callgraph.edges
+    inexact = [
+        (e.caller, e.callee) for e in edges if not e.exact
+    ]
+    assert ("pkg.a:drive", "pkg.b:Sink.flush") in inexact
+
+
+def test_module_body_calls_get_a_pseudo_caller(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from .b import helper\n\nSINGLETON = helper()\n",
+        "pkg/b.py": "def helper():\n    return {}\n",
+    })
+    edges = project.analysis.callgraph.edges
+    assert any(
+        e.caller == "module-body:pkg.a" and e.callee == "pkg.b:helper"
+        for e in edges
+    )
+
+
+def test_reachable_returns_witness_chains(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from .b import middle\n\n\ndef entry():\n"
+                    "    return middle()\n",
+        "pkg/b.py": "from .c import leaf\n\n\ndef middle():\n"
+                    "    return leaf()\n",
+        "pkg/c.py": "def leaf():\n    return 1\n\n\ndef unreached():\n"
+                    "    return 2\n",
+    })
+    graph = project.analysis.callgraph
+    reach = graph.reachable(["pkg.a:entry"])
+    assert reach["pkg.c:leaf"] == ["pkg.a:entry", "pkg.b:middle", "pkg.c:leaf"]
+    assert "pkg.c:unreached" not in reach
+
+
+def test_match_functions_globs_module_and_qualname(tmp_path):
+    project = build_project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/service.py": "class Service:\n"
+                          "    def start(self):\n        return 1\n"
+                          "    def stop(self):\n        return 2\n",
+        "pkg/other.py": "def start():\n    return 3\n",
+    })
+    graph = project.analysis.callgraph
+    assert graph.match_functions(["*service:Service.*"]) == [
+        "pkg.service:Service.start",
+        "pkg.service:Service.stop",
+    ]
+    assert graph.match_functions(["start"]) == ["pkg.other:start"]
