@@ -1,11 +1,15 @@
-"""Runtime sharding benchmark: locate-stage throughput vs shard count.
+"""Runtime sharding benchmark: locate-stage throughput vs shard count
+and execution backend.
 
 Replays a seeded *rolling* severe-failure storm (continuous failures
-and recoveries, ~20% of the fabric down at any instant)
-through :class:`repro.runtime.ShardedLocator` at shard counts {1, 2, 4},
-on both the reference and ``fast_path`` grouping rules, and reports
-alerts/sec through the locate stage.  Output identity across shard
-counts is asserted on every tier (the differential gate of
+and recoveries, ~20% of the fabric down at any instant) through the
+sharded locator at shard counts {1, 2, 4}, on both the reference and
+``fast_path`` grouping rules, on both execution backends -- ``inproc``
+(:class:`repro.runtime.ShardedLocator`, all shards on one thread) and
+``mp`` (:class:`repro.runtime.MPShardedLocator`, one spawned worker
+process per shard) -- and reports alerts/sec through the locate stage.
+Output identity across every (shards, backend) cell is asserted on
+every tier (the differential gate of
 ``tests/runtime/test_shard_invariance.py``, re-checked here at flood
 scale), so the throughput numbers are for *exactly equivalent* work.
 
@@ -13,6 +17,12 @@ The committed ``BENCH_runtime_throughput.json`` documents the payoff the
 runtime's shard router buys on the reference rules, where grouping cost
 is quadratic in live tree locations: partitioning the benchmark fabric's
 regions over shards divides that quadratic term even on a single core.
+The ``mp`` rows add what worker processes buy on top: on a multi-core
+host the per-shard partition work runs concurrently, so the report
+asserts >=1.5x mp-over-inproc at 4 shards on the 50k tier *when the
+host has >=2 cores* (``cpu_count`` is recorded in the JSON; on a
+single-core host mp can only measure its IPC overhead, so the assert is
+skipped and the honest slowdown is committed instead).
 
 Environment knobs (same contract as bench_perf_flood):
 
@@ -38,6 +48,7 @@ from repro.core.preprocessor import Preprocessor
 from repro.monitors import build_monitors
 from repro.monitors.stream import AlertStream
 from repro.runtime.sharding import ShardedLocator
+from repro.runtime.workers import MPShardedLocator
 from repro.simulation.conditions import Condition, ConditionKind
 from repro.simulation.state import NetworkState
 from repro.topology.builder import TopologySpec, build_topology
@@ -53,6 +64,7 @@ else:
 
 _TIERS = {"1k": 1_000, "10k": 10_000, "50k": 50_000}
 SHARD_COUNTS = (1, 2, 4)
+BACKENDS = ("inproc", "mp")
 
 
 def _selected_tiers() -> List[Tuple[str, int]]:
@@ -112,13 +124,22 @@ def _flood(topo, n: int, seed: int) -> List[Tuple[float, object]]:
     return structured
 
 
-def _locate(topo, structured, shards: int, fast: bool) -> Tuple[float, ShardedLocator]:
+def _locate(
+    topo, structured, shards: int, fast: bool, backend: str
+) -> Tuple[float, ShardedLocator]:
     config = dataclasses.replace(
         PRODUCTION_CONFIG,
         fast_path=fast,
-        runtime=dataclasses.replace(PRODUCTION_CONFIG.runtime, shards=shards),
+        runtime=dataclasses.replace(
+            PRODUCTION_CONFIG.runtime, shards=shards, backend=backend
+        ),
     )
-    locator = ShardedLocator(topo, config)
+    # workers are leased from the long-lived pool *before* the clock
+    # starts: process spawn is a once-per-service cost, not per-alert
+    if backend == "mp":
+        locator: ShardedLocator = MPShardedLocator(topo, config)
+    else:
+        locator = ShardedLocator(topo, config)
     interval = config.sweep_interval_s
     start = time.perf_counter()
     last_sweep = float("-inf")
@@ -143,11 +164,14 @@ def _fingerprint(locator: ShardedLocator) -> List[str]:
 def test_runtime_throughput(emit):
     topo = _topology()
     seed = 2025
+    cpu_count = os.cpu_count() or 1
     report: Dict = {
         "bench": "runtime_throughput",
         "seed": seed,
+        "cpu_count": cpu_count,
         "topology": topo.stats(),
         "shard_counts": list(SHARD_COUNTS),
+        "backends": list(BACKENDS),
         "tiers": [],
     }
     for name, n in _selected_tiers():
@@ -158,48 +182,81 @@ def test_runtime_throughput(emit):
             "rows": [],
         }
         expected = None
-        speedup_at = {}  # (rules, shards) -> x over 1 shard, same rules
-        for fast in (False, True):
-            rules = "fast" if fast else "reference"
-            base_s = None
-            for shards in SHARD_COUNTS:
-                seconds, locator = _locate(topo, structured, shards, fast)
-                fp = _fingerprint(locator)
-                if expected is None:
-                    expected = fp
-                    tier["incidents"] = len(fp)
-                assert fp == expected, (
-                    f"tier {name}: {rules} rules at {shards} shard(s) "
-                    f"diverged from the 1-shard reference output"
-                )
-                if base_s is None:
-                    base_s = seconds
-                speedup = base_s / seconds if seconds > 0 else float("inf")
-                speedup_at[(rules, shards)] = speedup
-                throughput = len(structured) / seconds if seconds > 0 else 0.0
-                tier["rows"].append(
-                    {
+        speedup_at = {}  # (backend, rules, shards) -> x over 1 shard
+        seconds_at = {}  # (backend, rules, shards) -> locate seconds
+        for backend in BACKENDS:
+            for fast in (False, True):
+                rules = "fast" if fast else "reference"
+                base_s = None
+                for shards in SHARD_COUNTS:
+                    seconds, locator = _locate(
+                        topo, structured, shards, fast, backend
+                    )
+                    fp = _fingerprint(locator)
+                    if isinstance(locator, MPShardedLocator):
+                        locator.close()
+                    if expected is None:
+                        expected = fp
+                        tier["incidents"] = len(fp)
+                    assert fp == expected, (
+                        f"tier {name}: {backend} backend, {rules} rules at "
+                        f"{shards} shard(s) diverged from the reference output"
+                    )
+                    if base_s is None:
+                        base_s = seconds
+                    speedup = base_s / seconds if seconds > 0 else float("inf")
+                    speedup_at[(backend, rules, shards)] = speedup
+                    seconds_at[(backend, rules, shards)] = seconds
+                    throughput = (
+                        len(structured) / seconds if seconds > 0 else 0.0
+                    )
+                    row = {
+                        "backend": backend,
                         "rules": rules,
                         "shards": shards,
                         "locate_s": round(seconds, 4),
                         "alerts_per_s": round(throughput, 1),
                         "speedup_vs_1_shard": round(speedup, 2),
                     }
-                )
-                emit(
-                    "runtime_throughput",
-                    f"{name} {rules:9s} shards={shards}: "
-                    f"{seconds:.3f}s locate, {throughput:,.0f} alerts/s "
-                    f"({speedup:.2f}x vs 1 shard)",
-                )
+                    inproc_s = seconds_at.get(("inproc", rules, shards))
+                    if backend == "mp" and inproc_s:
+                        row["speedup_vs_inproc"] = round(inproc_s / seconds, 2)
+                    tier["rows"].append(row)
+                    emit(
+                        "runtime_throughput",
+                        f"{name} {backend:6s} {rules:9s} shards={shards}: "
+                        f"{seconds:.3f}s locate, {throughput:,.0f} alerts/s "
+                        f"({speedup:.2f}x vs 1 shard)",
+                    )
         report["tiers"].append(tier)
         # the tentpole target: sharding pays for itself where grouping is
         # quadratic -- >=2x locate throughput at 4 shards on the 50k tier
         if name == "50k":
-            assert speedup_at[("reference", 4)] >= 2.0, (
+            assert speedup_at[("inproc", "reference", 4)] >= 2.0, (
                 f"50k reference 4-shard speedup "
-                f"{speedup_at[('reference', 4)]:.2f}x below the 2x target"
+                f"{speedup_at[('inproc', 'reference', 4)]:.2f}x below the "
+                f"2x target"
             )
+            # worker processes must beat the in-process backend where there
+            # are cores to run them on; a single-core host can only measure
+            # mp's IPC overhead, so the honest numbers are committed but
+            # the parallel-speedup target is not asserted
+            mp_gain = (
+                seconds_at[("inproc", "reference", 4)]
+                / seconds_at[("mp", "reference", 4)]
+            )
+            if cpu_count >= 2:
+                assert mp_gain >= 1.5, (
+                    f"50k reference 4-shard mp-over-inproc speedup "
+                    f"{mp_gain:.2f}x below the 1.5x target "
+                    f"({cpu_count} cores)"
+                )
+            else:
+                emit(
+                    "runtime_throughput",
+                    f"50k mp-over-inproc {mp_gain:.2f}x on a single core; "
+                    f">=1.5x target needs >=2 cores, skipping assert",
+                )
 
     JSON_PATH.parent.mkdir(parents=True, exist_ok=True)
     with open(JSON_PATH, "w") as fh:

@@ -122,6 +122,14 @@ class RuntimeParams:
     #: (bounds disk across long runs; default off keeps journals strictly
     #: append-only so crashed-run evidence is never destroyed)
     journal_compaction: bool = False
+    #: locator execution backend: ``"inproc"`` runs every shard on the
+    #: service thread; ``"mp"`` runs each shard in a long-lived spawned
+    #: worker process (``repro.runtime.workers``) fed alert batches over
+    #: pickled pipes, with the cross-shard merge and incident-id
+    #: assignment staying in the parent.  Both backends are byte-identical
+    #: to the unsharded reference (pinned by
+    #: ``tests/runtime/test_shard_invariance.py``).
+    backend: str = "inproc"
     #: bounded retry budget for journal/checkpoint I/O failures; attempt
     #: counts above this shed the write (visible in metrics, never silent)
     io_max_attempts: int = 4

@@ -89,6 +89,28 @@ class Locator:
     def all_incidents(self) -> List[Incident]:
         return self._finished + self._open
 
+    # -- checkpoint hooks --------------------------------------------------------------
+
+    def checkpoint_tree(self) -> AlertTree:
+        """The main tree as a picklable checkpoint artefact.
+
+        Subclasses whose live tree is not directly picklable (the
+        multiprocess sharded locator owns its shard trees in worker
+        processes) override this to materialise an equivalent plain
+        tree; the base class just hands out the live one, which the
+        checkpoint store pickles at save time."""
+        return self.main_tree
+
+    def restore_tree(self, tree: AlertTree) -> None:
+        """Load a :meth:`checkpoint_tree` artefact back into this locator.
+
+        Resets the derived grouping memos; subclasses extend this to
+        rebuild whatever execution state (shard memos, worker-process
+        trees) hangs off the main tree."""
+        self.main_tree = tree
+        self._groups_cache = None
+        self._groups_version = -1
+
     # -- Algorithm 1: alert insertion ------------------------------------------------
 
     def feed(self, alert: StructuredAlert) -> None:

@@ -63,9 +63,16 @@ class ShardSafetyRule(LintRule):
             "*runtime.service:RuntimeService.*",
             "*:ShardedLocator.*",
             "*:SupervisedLocator.*",
+            "*:MPShardedLocator.*",
+            "*:MPSupervisedLocator.*",
+            "*runtime.workers:_worker_main",
         ),
         #: class-name globs for objects shared across the shard boundary
-        "shared_classes": ("ShardedAlertTree", "ShardRouter"),
+        "shared_classes": (
+            "ShardedAlertTree",
+            "ShardRouter",
+            "MPShardedAlertTree",
+        ),
     }
 
     def check_project(self, project: Project) -> Iterable[Finding]:

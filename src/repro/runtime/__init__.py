@@ -22,6 +22,13 @@ floods, no downtime):
   tracking feeding §4.3 degraded-mode fallback and incident confidence,
   and exact crash-and-heal shard supervision.  Entirely opt-in: with no
   plan the runtime is byte-identical to a chaos-free build.
+* :mod:`workers` -- the multiprocess execution backend
+  (``backend="mp"``): each shard in a long-lived spawned worker process
+  owning its tree + partition engine, fed alert batches over pickled
+  pipes, with the cross-shard merge, incident-id assignment and
+  supervision (real SIGKILLed processes healed from snapshot+oplog)
+  staying in the parent.  Byte-identical to ``inproc`` at every shard
+  count.
 * :mod:`service` / :mod:`cli` -- composition plus the
   ``python -m repro.runtime`` entry point.
 """
@@ -44,14 +51,30 @@ from .faults import (
 from .health import SourceHealthTracker
 from .journal import AlertJournal, JournalCorruption, JournalEntry
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .service import RecoveryReport, RuntimeObserver, RuntimeService
-from .sharding import ShardedAlertTree, ShardedLocator, ShardRouter, frontier_devices
-from .supervisor import SupervisedAlertTree, SupervisedLocator
+from .service import BACKENDS, RecoveryReport, RuntimeObserver, RuntimeService
+from .sharding import (
+    ShardedAlertTree,
+    ShardedLocator,
+    ShardRouter,
+    frontier_devices,
+    merge_shard_partitions,
+    partition_locations,
+)
+from .supervisor import ShardSupervision, SupervisedAlertTree, SupervisedLocator
+from .workers import (
+    MPShardedAlertTree,
+    MPShardedLocator,
+    MPSupervisedLocator,
+    WorkerCrashed,
+    WorkerError,
+    WorkerPool,
+)
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AlertJournal",
+    "BACKENDS",
     "ChaosPlan",
     "CheckpointStore",
     "Counter",
@@ -62,6 +85,9 @@ __all__ = [
     "IOFault",
     "JournalCorruption",
     "JournalEntry",
+    "MPShardedAlertTree",
+    "MPShardedLocator",
+    "MPSupervisedLocator",
     "MetricsRegistry",
     "PerturbResult",
     "RecoveryReport",
@@ -70,6 +96,7 @@ __all__ = [
     "RuntimeService",
     "ShardCrash",
     "ShardRouter",
+    "ShardSupervision",
     "ShardedAlertTree",
     "ShardedLocator",
     "SourceBrownout",
@@ -77,9 +104,14 @@ __all__ = [
     "SourceOutage",
     "SupervisedAlertTree",
     "SupervisedLocator",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerPool",
     "chaos_or_none",
     "empty_plan",
     "frontier_devices",
+    "merge_shard_partitions",
+    "partition_locations",
     "pipeline_state_dict",
     "restore_pipeline_state",
 ]

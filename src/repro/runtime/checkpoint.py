@@ -49,7 +49,7 @@ def pipeline_state_dict(net: SkyNet) -> Dict[str, object]:
             "stats": net.preprocessor.stats,
         },
         "locator": {
-            "main_tree": locator.main_tree,
+            "main_tree": locator.checkpoint_tree(),
             "open": locator._open,
             "finished": locator._finished,
             "pending": locator._pending,
@@ -74,15 +74,12 @@ def restore_pipeline_state(net: SkyNet, state: Dict[str, object]) -> None:
 
     loc_state = state["locator"]
     locator = net.locator
-    locator.main_tree = loc_state["main_tree"]  # type: ignore[index]
+    # restore_tree also drops the derived grouping memos (and, on the
+    # multiprocess backend, ships the shard trees back to the workers)
+    locator.restore_tree(loc_state["main_tree"])  # type: ignore[index]
     locator._open = loc_state["open"]  # type: ignore[index]
     locator._finished = loc_state["finished"]  # type: ignore[index]
     locator._pending = loc_state["pending"]  # type: ignore[index]
-    # memoised partitions are derived state: drop, they rebuild lazily
-    locator._groups_cache = None
-    locator._groups_version = -1
-    if hasattr(locator, "_partitions"):
-        locator._partitions = {}
 
     net.zoom.ping_window._latest = state["zoom_ping_latest"]  # type: ignore[assignment]
     net._now = state["now"]  # type: ignore[assignment]

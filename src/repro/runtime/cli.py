@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="locator shards to partition the alert tree over",
     )
     parser.add_argument(
+        "--backend", choices=("inproc", "mp"), default=None,
+        help="locator execution backend: in-process shards or one "
+        "worker process per shard (default: config value)",
+    )
+    parser.add_argument(
         "--fast-path", action="store_true",
         help="enable the flood-scale hot path (config.fast_path)",
     )
@@ -165,6 +170,7 @@ def _build_config(args: argparse.Namespace) -> SkyNetConfig:
 
     runtime = RuntimeParams(
         shards=max(1, args.shards),
+        backend=over(args.backend, base.backend),
         journal_segment_records=over(
             args.journal_segment_records, base.journal_segment_records
         ),

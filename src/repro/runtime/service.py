@@ -51,10 +51,14 @@ from .health import SourceHealthTracker
 from .journal import AlertJournal, JournalCorruption
 from .metrics import MetricsRegistry, registry_or_new
 from .sharding import ShardedLocator
-from .supervisor import SupervisedLocator
+from .supervisor import ShardSupervision, SupervisedLocator
+from .workers import MPShardedLocator, MPSupervisedLocator
 
 JOURNAL_SUBDIR = "journal"
 CHECKPOINT_SUBDIR = "checkpoints"
+
+#: Locator execution backends (``RuntimeParams.backend`` / ``--backend``).
+BACKENDS = ("inproc", "mp")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -163,7 +167,13 @@ class RuntimeService:
         self._pending_crashes: Tuple = ()
         self._fired_crashes: Set[Tuple[float, int]] = set()
         self._health: Optional[SourceHealthTracker] = None
+        backend = params.backend
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown locator backend {backend!r} (want one of {BACKENDS})"
+            )
         locator: ShardedLocator
+        supervised = False
         if self.chaos is not None:
             self._retry_rng = self.chaos.rng("retry", run_seed)
             if self.chaos.io_faults:
@@ -177,9 +187,15 @@ class RuntimeService:
                         key=lambda c: (c.at, c.shard),
                     )
                 )
-                locator = SupervisedLocator(topology, self.config)
-            else:
-                locator = ShardedLocator(topology, self.config)
+                supervised = True
+        if supervised:
+            locator = (
+                MPSupervisedLocator(topology, self.config)
+                if backend == "mp"
+                else SupervisedLocator(topology, self.config)
+            )
+        elif backend == "mp":
+            locator = MPShardedLocator(topology, self.config)
         else:
             locator = ShardedLocator(topology, self.config)
         self.pipeline = SkyNet(
@@ -286,6 +302,19 @@ class RuntimeService:
                 "runtime_degraded_sources",
                 "monitoring tools currently past their staleness deadline",
             ).set(len(self.degraded_sources()))
+        locator = self.pipeline.locator
+        if isinstance(locator, MPShardedLocator):
+            # per-worker counters are shipped at sweep barriers (with
+            # each partition reply); aggregate the latest snapshots
+            for key, value in locator.worker_counters().items():
+                self.metrics.gauge(
+                    f"runtime_worker_{key}",
+                    f"worker-process {key.replace('_', ' ')} "
+                    "(summed over shards, as of the last sweep barrier)",
+                ).set(value)
+            self.metrics.gauge(
+                "runtime_workers_alive", "live locator worker processes"
+            ).set(locator.workers_alive())
 
     # -- chaos: I/O retries and shard supervision ---------------------------
 
@@ -341,7 +370,7 @@ class RuntimeService:
         checkpointed) so kill-and-resume re-derives the same schedule.
         """
         locator = self.pipeline.locator
-        if not isinstance(locator, SupervisedLocator):
+        if not isinstance(locator, ShardSupervision):
             return
         fired_any = False
         for crash in self._pending_crashes:
@@ -355,8 +384,7 @@ class RuntimeService:
                     "locator shards crashed by the chaos plan",
                 ).inc()
         if fired_any:
-            tree = locator.supervised_tree
-            before_ops = tree.replayed_ops
+            before_ops = locator.replayed_ops
             restored = locator.heal_crashed()
             self.metrics.counter(
                 "runtime_shard_restores_total",
@@ -365,7 +393,7 @@ class RuntimeService:
             self.metrics.counter(
                 "runtime_shard_replayed_ops_total",
                 "tree operations replayed while healing crashed shards",
-            ).inc(tree.replayed_ops - before_ops)
+            ).inc(locator.replayed_ops - before_ops)
 
     # -- checkpointing -----------------------------------------------------
 
@@ -418,7 +446,7 @@ class RuntimeService:
             ).inc()
             return
         locator = self.pipeline.locator
-        if isinstance(locator, SupervisedLocator):
+        if isinstance(locator, ShardSupervision):
             # refresh shard recovery bases only once the checkpoint is
             # durable, keeping both recovery sources aligned
             locator.snapshot_shards()

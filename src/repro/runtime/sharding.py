@@ -82,7 +82,10 @@ class ShardRouter:
             return ROOT_SHARD
         index = self.assignment.get(segments[0])
         if index is None:
-            index = zlib.crc32(segments[0].encode("utf-8")) % self.shards
+            # surrogatepass: a corrupt region name (unpaired surrogate
+            # from a garbled upstream) must still route, not crash
+            digest = segments[0].encode("utf-8", "surrogatepass")
+            index = zlib.crc32(digest) % self.shards
         return index
 
 
@@ -218,6 +221,88 @@ class ShardedAlertTree:
         return out
 
 
+def partition_locations(
+    engine: Locator, locations: List[LocationPath]
+) -> List[List[LocationPath]]:
+    """One shard's partition with the engine's configured rules.
+
+    The single entry point both backends share: the in-process sharded
+    locator calls it per shard tree, and each ``repro.runtime.workers``
+    worker process calls it over its own tree, so the per-shard
+    components are computed by the same pure function either way.
+    """
+    if engine.config.fast_path:
+        return engine._indexed_partition(locations)
+    return engine._component_partition(locations)
+
+
+def merge_shard_partitions(
+    topology: Topology,
+    max_hops: int,
+    frontier: FrozenSet[str],
+    shard_parts: List[Tuple[int, List[List[LocationPath]]]],
+) -> List[CandidateGroup]:
+    """Exact cross-shard merge of per-shard partitions (module docstring).
+
+    ``shard_parts`` must enumerate shards in the canonical tree order --
+    worker shards ``0..N-1`` then :data:`ROOT_SHARD` -- with each shard's
+    components in its own partition order; the merged output (including
+    the stable widest-first tie-break) is then identical no matter where
+    the per-shard partitions were computed.
+    """
+    components: List[List[LocationPath]] = []
+    frontier_hits: List[Tuple[int, str, int]] = []  # (shard, device, comp)
+    root_components: List[int] = []
+
+    for index, parts in shard_parts:
+        for component in parts:
+            comp_id = len(components)
+            components.append(component)
+            if index == ROOT_SHARD:
+                root_components.append(comp_id)
+                continue
+            for location in component:
+                if location.is_device and location.name in frontier:
+                    frontier_hits.append((index, location.name, comp_id))
+
+    if not components:
+        return []
+
+    parent = list(range(len(components)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    # cross-shard device edges: alerting frontier pairs within max_hops
+    for i, (shard_a, name_a, comp_a) in enumerate(frontier_hits):
+        hood = topology.hop_neighbourhood(name_a, max_hops)
+        for shard_b, name_b, comp_b in frontier_hits[i + 1 :]:
+            if shard_a != shard_b and name_b in hood:
+                union(comp_a, comp_b)
+
+    # a live root-located node contains -- and therefore joins -- all
+    if root_components:
+        anchor = root_components[0]
+        for other in range(len(components)):
+            union(anchor, other)
+
+    merged: Dict[int, List[LocationPath]] = {}
+    for comp_id, component in enumerate(components):
+        merged.setdefault(find(comp_id), []).extend(component)
+    out = [(_lca(component), component) for component in merged.values()]
+    # widest groups first so a broad incident supersedes narrow ones
+    out.sort(key=lambda pair: len(pair[0].segments))
+    return out
+
+
 def frontier_devices(topology: Topology, max_hops: int) -> FrozenSet[str]:
     """Devices with a neighbour in another Region within ``max_hops``.
 
@@ -278,65 +363,24 @@ class ShardedLocator(Locator):
 
     def _candidate_groups(self) -> List[CandidateGroup]:
         tree: ShardedAlertTree = self.main_tree  # type: ignore[assignment]
-        components: List[List[LocationPath]] = []
-        frontier_hits: List[Tuple[int, str, int]] = []  # (shard, device, comp)
-        root_components: List[int] = []
-
+        shard_parts: List[Tuple[int, List[List[LocationPath]]]] = []
         for index, shard_tree in tree.trees():
             version = shard_tree.structure_version
             cached = self._partitions.get(index)
             if cached is None or cached[0] != version:
-                locations = shard_tree.locations()
-                if self._fast:
-                    parts = self._indexed_partition(locations)
-                else:
-                    parts = self._component_partition(locations)
-                cached = (version, parts)
+                cached = (
+                    version,
+                    partition_locations(self, shard_tree.locations()),
+                )
                 self._partitions[index] = cached
-            for component in cached[1]:
-                comp_id = len(components)
-                components.append(component)
-                if index == ROOT_SHARD:
-                    root_components.append(comp_id)
-                    continue
-                for location in component:
-                    if location.is_device and location.name in self._frontier:
-                        frontier_hits.append((index, location.name, comp_id))
+            shard_parts.append((index, cached[1]))
+        return merge_shard_partitions(
+            self._topo,
+            self._config.connectivity_max_hops,
+            self._frontier,
+            shard_parts,
+        )
 
-        if not components:
-            return []
-
-        parent = list(range(len(components)))
-
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        def union(a: int, b: int) -> None:
-            ra, rb = find(a), find(b)
-            if ra != rb:
-                parent[ra] = rb
-
-        # cross-shard device edges: alerting frontier pairs within max_hops
-        max_hops = self._config.connectivity_max_hops
-        for i, (shard_a, name_a, comp_a) in enumerate(frontier_hits):
-            hood = self._topo.hop_neighbourhood(name_a, max_hops)
-            for shard_b, name_b, comp_b in frontier_hits[i + 1 :]:
-                if shard_a != shard_b and name_b in hood:
-                    union(comp_a, comp_b)
-
-        # a live root-located node contains -- and therefore joins -- all
-        if root_components:
-            anchor = root_components[0]
-            for other in range(len(components)):
-                union(anchor, other)
-
-        merged: Dict[int, List[LocationPath]] = {}
-        for comp_id, component in enumerate(components):
-            merged.setdefault(find(comp_id), []).extend(component)
-        out = [(_lca(component), component) for component in merged.values()]
-        # widest groups first so a broad incident supersedes narrow ones
-        out.sort(key=lambda pair: len(pair[0].segments))
-        return out
+    def restore_tree(self, tree: AlertTree) -> None:
+        super().restore_tree(tree)
+        self._partitions = {}

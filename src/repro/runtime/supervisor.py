@@ -44,6 +44,42 @@ from .sharding import ROOT_SHARD, ShardedAlertTree, ShardedLocator, ShardRouter
 _Op = Union[Tuple[str, StructuredAlert], Tuple[str, float, float]]
 
 
+class ShardSupervision:
+    """The crash/heal surface the service drives, backend-agnostic.
+
+    Implemented by :class:`SupervisedLocator` (in-process shards: a
+    crash wipes one shard's live tree) and by
+    :class:`~repro.runtime.workers.MPSupervisedLocator` (multiprocess
+    shards: a crash SIGKILLs the real worker process).  Either way the
+    contract is the same: ``crash_shard`` loses exactly one shard's live
+    state, ``heal_crashed`` rebuilds it from base snapshot + op-log
+    replay, and ``snapshot_shards`` refreshes the recovery bases at
+    checkpoint time.  The counters let the service meter supervision
+    without knowing which backend it is talking to.
+    """
+
+    def crash_shard(self, index: int) -> None:
+        raise NotImplementedError
+
+    def heal_crashed(self) -> int:
+        raise NotImplementedError
+
+    def snapshot_shards(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def crashes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def restores(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def replayed_ops(self) -> int:
+        raise NotImplementedError
+
+
 class SupervisedAlertTree(ShardedAlertTree):
     """A :class:`ShardedAlertTree` whose shards can crash and be healed.
 
@@ -142,7 +178,7 @@ class SupervisedAlertTree(ShardedAlertTree):
         return healed
 
 
-class SupervisedLocator(ShardedLocator):
+class SupervisedLocator(ShardedLocator, ShardSupervision):
     """A :class:`ShardedLocator` running under shard supervision.
 
     Identical locating behaviour (the supervised tree only *records*
@@ -175,3 +211,38 @@ class SupervisedLocator(ShardedLocator):
 
     def snapshot_shards(self) -> None:
         self.supervised_tree.snapshot_shards()
+
+    @property
+    def crashes(self) -> int:
+        return self.supervised_tree.crashes
+
+    @property
+    def restores(self) -> int:
+        return self.supervised_tree.restores
+
+    @property
+    def replayed_ops(self) -> int:
+        return self.supervised_tree.replayed_ops
+
+    def restore_tree(self, tree: AlertTree) -> None:
+        """Load a checkpointed tree, upgrading it to a supervised one.
+
+        A checkpoint written by a supervised run carries the
+        :class:`SupervisedAlertTree` (op logs and bases included) and is
+        adopted as-is.  A checkpoint written by another backend (the
+        multiprocess locator materialises a plain
+        :class:`ShardedAlertTree`) is upgraded: the shard trees are
+        adopted and immediately re-snapshotted as the recovery bases,
+        which is exact because the checkpoint state *is* the
+        at-sequence state."""
+        if isinstance(tree, SupervisedAlertTree) or not isinstance(
+            tree, ShardedAlertTree
+        ):
+            super().restore_tree(tree)
+            return
+        upgraded = SupervisedAlertTree(self.router, fast=self._fast)
+        upgraded.shard_trees = tree.shard_trees
+        upgraded.root_tree = tree.root_tree
+        upgraded._order = tree._order
+        upgraded.snapshot_shards()
+        super().restore_tree(upgraded)

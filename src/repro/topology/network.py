@@ -167,6 +167,32 @@ class Topology:
         self._servers_view = types.MappingProxyType(self._servers)
         self._circuit_sets_view = types.MappingProxyType(self._circuit_sets)
 
+    # -- pickling ----------------------------------------------------------
+    # The read-only mapping views are unpicklable (and the graph/hood
+    # caches are derived state), so pickling -- which the multiprocess
+    # shard backend relies on to ship the fabric to worker processes --
+    # drops them and rebuilds on load.
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        for key in (
+            "_devices_view",
+            "_servers_view",
+            "_circuit_sets_view",
+            "_graph_cache",
+            "_hood_cache",
+        ):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._graph_cache = None
+        self._hood_cache = {}
+        self._devices_view = types.MappingProxyType(self._devices)
+        self._servers_view = types.MappingProxyType(self._servers)
+        self._circuit_sets_view = types.MappingProxyType(self._circuit_sets)
+
     # -- construction ------------------------------------------------------
 
     def add_location(self, path: LocationPath) -> None:

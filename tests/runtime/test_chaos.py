@@ -24,7 +24,10 @@ layer promises:
 
 from __future__ import annotations
 
+import os
 import random
+import signal
+import time
 from typing import FrozenSet, List, Sequence, Set, Tuple
 
 import pytest
@@ -42,10 +45,12 @@ from repro.runtime.faults import (
     chaos_or_none,
     empty_plan,
 )
-from repro.runtime.supervisor import SupervisedLocator
+from repro.runtime.supervisor import ShardSupervision
+from repro.runtime.workers import MPSupervisedLocator
 
 from ..test_equivalence_flood import _assert_equal, _device_down, _fingerprint, _stream
 from .test_kill_resume import (
+    BACKENDS,
     _incident_ids,
     flood_fixture,
     runtime_config,
@@ -82,16 +87,17 @@ def test_empty_plan_is_inert():
     assert result.counts() == {"dropped": 0, "delayed": 0, "duplicated": 0}
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("shards", [1, 2, 4])
-def test_out_of_window_plan_is_byte_identical(shards):
+def test_out_of_window_plan_is_byte_identical(shards, backend):
     """A plan whose windows never intersect the run leaves it untouched.
 
     Stronger than the empty-plan case: here the whole chaos machinery is
-    armed (FaultyIO consulted per append, SupervisedLocator logging ops,
-    crash schedule pending) and must still change nothing.
+    armed (FaultyIO consulted per append, the supervised locator logging
+    ops, crash schedule pending) and must still change nothing.
     """
     topo, state, raws = flood_fixture()
-    config = runtime_config(shards=shards)
+    config = runtime_config(shards=shards, backend=backend)
     expected, expected_ids = uninterrupted_run(topo, state, raws, config)
 
     horizon = max(r.delivered_at for r in raws)
@@ -102,7 +108,7 @@ def test_out_of_window_plan_is_byte_identical(shards):
         ),
     )
     service = chaos_run(topo, state, raws, config, plan)
-    assert isinstance(service.pipeline.locator, SupervisedLocator)
+    assert isinstance(service.pipeline.locator, ShardSupervision)
     _assert_equal(expected, _fingerprint(service.pipeline))
     assert _incident_ids(service) == expected_ids
     assert service.metrics.counter_value("runtime_shard_crashes_total") == 0
@@ -127,9 +133,10 @@ def _noisy_plan() -> ChaosPlan:
     )
 
 
-def test_chaos_runs_are_seed_deterministic(tmp_path):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_chaos_runs_are_seed_deterministic(tmp_path, backend):
     topo, state, raws = flood_fixture()
-    config = runtime_config()
+    config = runtime_config(backend=backend)
     plan = _noisy_plan()
 
     perturbed = plan.perturb(raws, run_seed=RUN_SEED)
@@ -177,10 +184,13 @@ def test_chaos_runs_are_seed_deterministic(tmp_path):
 # -- shard crash + restore ---------------------------------------------------
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("shards", [2, 4])
-def test_shard_crash_and_restore_mid_storm_is_exact(shards):
+def test_shard_crash_and_restore_mid_storm_is_exact(shards, backend):
+    """Under ``mp`` the crash is real: the worker process is SIGKILLed
+    and a replacement is re-armed from snapshot + oplog replay."""
     topo, state, raws = flood_fixture()
-    config = runtime_config(shards=shards)
+    config = runtime_config(shards=shards, backend=backend)
     expected, expected_ids = uninterrupted_run(topo, state, raws, config)
 
     plan = ChaosPlan(
@@ -195,6 +205,52 @@ def test_shard_crash_and_restore_mid_storm_is_exact(shards):
     assert service.metrics.counter_value("runtime_shard_crashes_total") == 2
     assert service.metrics.counter_value("runtime_shard_restores_total") == 2
     assert service.metrics.counter_value("runtime_shard_replayed_ops_total") > 0
+
+
+@pytest.mark.slow
+def test_unplanned_sigkill_of_real_worker_heals_exactly():
+    """An *unscheduled* SIGKILL of a live worker process, from outside the
+    chaos plan, is detected at the next pipe operation (mid-sweep) and
+    healed transparently -- the final incident stream, ids included, must
+    equal the run that was never killed.
+    """
+    topo, state, raws = flood_fixture()
+    config = runtime_config(backend="mp")
+    expected, expected_ids = uninterrupted_run(topo, state, raws, config)
+
+    # arm supervision with a crash scheduled far beyond the horizon: the
+    # plan never fires, so every crash observed below is the real SIGKILL
+    horizon = max(r.delivered_at for r in raws)
+    plan = ChaosPlan(shard_crashes=(ShardCrash(at=horizon + 1e9, shard=0),))
+    set_incident_counter(1)
+    service = RuntimeService(
+        topo, config=config, state=state, chaos=plan, run_seed=RUN_SEED
+    )
+    locator = service.pipeline.locator
+    assert isinstance(locator, MPSupervisedLocator)
+
+    k = len(raws) // 2
+    for raw in raws[:k]:
+        service.ingest(raw)
+
+    n_workers = locator.workers_alive()
+    victim = locator.worker_pid(0)
+    os.kill(victim, signal.SIGKILL)
+    deadline = time.monotonic() + 30.0
+    while locator.workers_alive() == n_workers:
+        assert time.monotonic() < deadline, "worker did not die after SIGKILL"
+        time.sleep(0.01)
+
+    for raw in raws[k:]:
+        service.ingest(raw)
+    service.finish()
+
+    assert locator.worker_pid(0) != victim, "shard 0 must run in a new process"
+    assert locator.crashes >= 1
+    assert locator.restores >= 1
+    assert locator.replayed_ops > 0
+    _assert_equal(expected, _fingerprint(service.pipeline))
+    assert _incident_ids(service) == expected_ids
 
 
 # -- I/O faults and the retry budget ----------------------------------------
@@ -256,11 +312,12 @@ def test_exhausted_io_budget_sheds_loudly_and_exactly(tmp_path):
 # -- kill/resume under chaos -------------------------------------------------
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("cut", [0.4, 0.7])
-def test_chaos_kill_and_resume_reproduces_faulted_run(tmp_path, cut):
+def test_chaos_kill_and_resume_reproduces_faulted_run(tmp_path, cut, backend):
     """Fault decisions depend only on sim time, so resume re-derives them."""
     topo, state, raws = flood_fixture()
-    config = runtime_config()
+    config = runtime_config(backend=backend)
     plan = ChaosPlan(
         shard_crashes=(
             ShardCrash(at=200.0, shard=0),

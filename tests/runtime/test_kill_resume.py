@@ -30,12 +30,16 @@ from repro.topology.network import Topology
 from ..test_equivalence_flood import _assert_equal, _device_down, _fingerprint, _stream
 
 
+BACKENDS = ("inproc", "mp")
+
+
 def runtime_config(
     shards: int = 2,
     checkpoint_every: float = 60.0,
     segment_records: int = 100,
     backpressure: bool = False,
     watermark: int = 400,
+    backend: str = "inproc",
 ) -> SkyNetConfig:
     return dataclasses.replace(
         PRODUCTION_CONFIG,
@@ -46,6 +50,7 @@ def runtime_config(
             journal_segment_records=segment_records,
             backpressure=backpressure,
             admission_watermark=watermark,
+            backend=backend,
         ),
     )
 
@@ -80,10 +85,11 @@ def _incident_ids(service: RuntimeService) -> List[str]:
     )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("cut", [0.3, 0.7])
-def test_kill_and_resume_reproduces_incident_stream(tmp_path, cut):
+def test_kill_and_resume_reproduces_incident_stream(tmp_path, cut, backend):
     topo, state, raws = flood_fixture()
-    config = runtime_config()
+    config = runtime_config(backend=backend)
     expected, expected_ids = uninterrupted_run(topo, state, raws, config)
 
     k = int(len(raws) * cut)
@@ -111,10 +117,11 @@ def test_kill_and_resume_reproduces_incident_stream(tmp_path, cut):
     assert resumed.metrics.counter_value("runtime_raw_alerts_total") == len(raws)
 
 
-def test_resume_without_any_checkpoint_replays_full_journal(tmp_path):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_resume_without_any_checkpoint_replays_full_journal(tmp_path, backend):
     """Checkpointing disabled: recovery must rebuild from the journal alone."""
     topo, state, raws = flood_fixture()
-    config = runtime_config(checkpoint_every=0.0)
+    config = runtime_config(checkpoint_every=0.0, backend=backend)
     expected, expected_ids = uninterrupted_run(topo, state, raws, config)
 
     k = len(raws) // 2
@@ -163,10 +170,11 @@ def test_resumed_writer_opens_a_fresh_segment(tmp_path):
     assert len(after) > len(segments_before)
 
 
-def test_double_kill_still_converges(tmp_path):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_double_kill_still_converges(tmp_path, backend):
     """Two crashes (one mid-replay-tail) still land on the reference run."""
     topo, state, raws = flood_fixture()
-    config = runtime_config(checkpoint_every=45.0)
+    config = runtime_config(checkpoint_every=45.0, backend=backend)
     expected, expected_ids = uninterrupted_run(topo, state, raws, config)
 
     a, b = len(raws) // 3, (2 * len(raws)) // 3
@@ -190,3 +198,44 @@ def test_double_kill_still_converges(tmp_path):
     third.finish()
     _assert_equal(expected, _fingerprint(third.pipeline))
     assert _incident_ids(third) == expected_ids
+
+
+@pytest.mark.parametrize(
+    "first_backend,second_backend", [("inproc", "mp"), ("mp", "inproc")]
+)
+def test_checkpoints_are_backend_portable(tmp_path, first_backend, second_backend):
+    """A checkpoint written under one backend resumes under the other.
+
+    Snapshots serialise the locator state as plain (backend-neutral)
+    sharded trees, so a deployment can switch between in-process and
+    multiprocess execution across restarts without replaying history.
+    """
+    topo, state, raws = flood_fixture()
+    expected, expected_ids = uninterrupted_run(
+        topo, state, raws, runtime_config()
+    )
+
+    k = len(raws) // 2
+    set_incident_counter(1)
+    first = RuntimeService(
+        topo,
+        config=runtime_config(backend=first_backend),
+        state=state,
+        directory=tmp_path,
+    )
+    for raw in raws[:k]:
+        first.ingest(raw)
+    del first  # crash: no finish, no graceful shutdown
+
+    set_incident_counter(1)
+    resumed = RuntimeService.resume(
+        topo, tmp_path, config=runtime_config(backend=second_backend), state=state
+    )
+    assert resumed.recovery is not None
+    assert resumed.recovery.corruptions == ()
+    for raw in raws[k:]:
+        resumed.ingest(raw)
+    resumed.finish()
+
+    _assert_equal(expected, _fingerprint(resumed.pipeline))
+    assert _incident_ids(resumed) == expected_ids

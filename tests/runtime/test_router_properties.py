@@ -1,0 +1,120 @@
+"""Hypothesis property tests for :class:`ShardRouter.shard_of`.
+
+The exact cross-shard merge in ``repro.runtime.sharding`` is only sound
+if routing is a *partition by Region subtree*: every location maps to
+exactly one shard, every location in a region maps with its region, and
+the mapping is a pure function of the topology's region set -- not of
+the order devices happened to be inserted in.  These properties pin each
+of those assumptions directly, so a routing change that silently breaks
+one fails here rather than as a flaky byte-identity diff.
+"""
+
+from __future__ import annotations
+
+import functools
+from types import SimpleNamespace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.sharding import ROOT_SHARD, ShardRouter
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.hierarchy import LocationPath
+
+
+@functools.lru_cache(maxsize=1)
+def _topo():
+    return build_topology(TopologySpec())
+
+
+def _all_locations():
+    topo = _topo()
+    locs = set(topo.locations())
+    locs.update(device.location for device in topo.devices.values())
+    locs.add(LocationPath(()))
+    return sorted(locs, key=str)
+
+
+_SHARDS = st.integers(min_value=1, max_value=8)
+
+_REGION_NAMES = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=10,
+    unique=True,
+)
+
+
+@given(shards=_SHARDS)
+@settings(max_examples=25, deadline=None)
+def test_every_location_routes_to_exactly_one_shard(shards):
+    router = ShardRouter(_topo(), shards)
+    twin = ShardRouter(_topo(), shards)
+    for loc in _all_locations():
+        index = router.shard_of(loc)
+        # exactly one shard: a single deterministic index, in range
+        assert index == router.shard_of(loc) == twin.shard_of(loc)
+        if loc.segments:
+            assert 0 <= index < shards
+        else:
+            assert index == ROOT_SHARD
+
+
+@given(shards=_SHARDS)
+@settings(max_examples=25, deadline=None)
+def test_routing_is_a_region_subtree_partition(shards):
+    router = ShardRouter(_topo(), shards)
+    by_shard = {}
+    non_root = [loc for loc in _all_locations() if loc.segments]
+    for loc in non_root:
+        # region-subtree consistency: a location routes with its region,
+        # so no containment edge below the root ever crosses shards
+        region = LocationPath((loc.segments[0],))
+        assert router.shard_of(loc) == router.shard_of(region)
+        by_shard.setdefault(router.shard_of(loc), []).append(loc)
+    # completeness: the shard sets partition the non-root locations
+    assert sum(len(v) for v in by_shard.values()) == len(non_root)
+    assert set(by_shard) <= set(range(shards))
+
+
+@given(regions=_REGION_NAMES, shards=_SHARDS, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_routing_stable_under_insertion_order_shuffles(regions, shards, data):
+    """The assignment depends on the *set* of regions, never on the
+    order devices were added to the topology."""
+    shuffled = data.draw(st.permutations(regions))
+
+    def stub_topology(region_order):
+        devices = {}
+        for i, region in enumerate(region_order):
+            loc = LocationPath((region, "city", "site"))
+            devices[f"dev-{region}-{i}"] = SimpleNamespace(location=loc)
+        return SimpleNamespace(devices=devices)
+
+    router = ShardRouter(stub_topology(regions), shards)
+    reordered = ShardRouter(stub_topology(shuffled), shards)
+    assert router.assignment == reordered.assignment
+    for region in regions:
+        loc = LocationPath((region, "city", "site"))
+        assert router.shard_of(loc) == reordered.shard_of(loc)
+
+
+@given(
+    # any non-empty segment text except the "|" path separator
+    name=st.text(
+        alphabet=st.characters(blacklist_characters="|"),
+        min_size=1,
+        max_size=20,
+    ),
+    shards=_SHARDS,
+)
+@settings(max_examples=50, deadline=None)
+def test_unknown_regions_route_deterministically_in_range(name, shards):
+    router = ShardRouter(_topo(), shards)
+    loc = LocationPath((f"zz-{name}", "x"))
+    index = router.shard_of(loc)
+    assert 0 <= index < shards
+    assert index == ShardRouter(_topo(), shards).shard_of(loc)

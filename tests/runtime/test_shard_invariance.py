@@ -1,15 +1,27 @@
 """Differential gate: sharded locating must be byte-identical to the
-unsharded reference, for every shard count.
+unsharded reference, for every shard count and every execution backend.
 
 This is the contract that lets ``repro.runtime`` shard the alert tree at
 all: the same raw stream is run through the unsharded reference pipeline
-and through :class:`ShardedLocator` at shard counts {1, 2, 4}, on both
-the reference and ``fast_path`` grouping rules, and the complete incident
+and through the sharded locator at shard counts {1, 2, 4}, on both the
+reference and ``fast_path`` grouping rules, and the complete incident
 output (scopes, times, statuses, contents, severities, renders with ids
-normalised) must match.  Scenarios reuse the flood battery of
-``tests/test_equivalence_flood.py``, including the cross-region and dense
-benchmark-fabric floods whose groups genuinely span Region subtrees --
-the case naive region sharding gets wrong.
+normalised) must match.  Every scenario runs on both backends:
+``inproc`` (:class:`ShardedLocator`, every shard on the caller's thread)
+and ``mp`` (:class:`MPShardedLocator`, each shard in a spawned worker
+process).
+
+Two layers of coverage:
+
+* the hard scenarios below (cross-region and dense benchmark-fabric
+  floods whose groups genuinely span Region subtrees -- the case naive
+  region sharding gets wrong) run at every (shards, fast, backend)
+  combination;
+* the *full* flood battery of ``tests/test_equivalence_flood.py`` --
+  every registry scenario -- runs through the ``mp`` backend at 1/2/4
+  shards with the incident counter reset before each run, so the
+  comparison is byte-identical **including incident ids**, the strongest
+  form of the contract.
 """
 
 from __future__ import annotations
@@ -25,13 +37,18 @@ from repro.core.config import PRODUCTION_CONFIG
 from repro.core.locator import Locator
 from repro.core.pipeline import SkyNet
 from repro.monitors.base import RawAlert
+from repro.runtime.checkpoint import set_incident_counter
 from repro.runtime.sharding import ShardedLocator, ShardRouter, frontier_devices
+from repro.runtime.workers import MPShardedLocator
 from repro.simulation.conditions import Condition, ConditionKind
 from repro.simulation.state import NetworkState
 from repro.topology.builder import TopologySpec, build_topology
 from repro.topology.hierarchy import LocationPath
 
 from ..test_equivalence_flood import (
+    SCENARIO_IDS,
+    SCENARIOS,
+    FloodScenario,
     _assert_equal,
     _device_down,
     _fingerprint,
@@ -39,14 +56,23 @@ from ..test_equivalence_flood import (
 )
 
 SHARD_COUNTS = (1, 2, 4)
+BACKENDS = ("inproc", "mp")
 
 
-def _sharded_config(shards: int, fast: bool):
+def _sharded_config(shards: int, fast: bool, backend: str = "inproc"):
     return dataclasses.replace(
         PRODUCTION_CONFIG,
         fast_path=fast,
-        runtime=dataclasses.replace(PRODUCTION_CONFIG.runtime, shards=shards),
+        runtime=dataclasses.replace(
+            PRODUCTION_CONFIG.runtime, shards=shards, backend=backend
+        ),
     )
+
+
+def _make_locator(topo, config):
+    if config.runtime.backend == "mp":
+        return MPShardedLocator(topo, config)
+    return ShardedLocator(topo, config)
 
 
 def _run_reference(topo, state, raws: List[RawAlert]) -> List[Tuple]:
@@ -56,37 +82,38 @@ def _run_reference(topo, state, raws: List[RawAlert]) -> List[Tuple]:
 
 
 def _run_sharded(
-    topo, state, raws: List[RawAlert], shards: int, fast: bool
+    topo, state, raws: List[RawAlert], shards: int, fast: bool, backend: str
 ) -> List[Tuple]:
-    config = _sharded_config(shards, fast)
-    net = SkyNet(
-        topo,
-        config=config,
-        state=state,
-        locator=ShardedLocator(topo, config),
-    )
-    net.process(raws)
-    return _fingerprint(net)
+    config = _sharded_config(shards, fast, backend)
+    locator = _make_locator(topo, config)
+    try:
+        net = SkyNet(topo, config=config, state=state, locator=locator)
+        net.process(raws)
+        return _fingerprint(net)
+    finally:
+        if isinstance(locator, MPShardedLocator):
+            locator.close()
 
 
-def _check_all_shard_counts(topo, state, raws: List[RawAlert]) -> None:
+def _check_all_shard_counts(topo, state, raws: List[RawAlert], backend: str) -> None:
     reference = _run_reference(topo, state, raws)
     for shards in SHARD_COUNTS:
         for fast in (False, True):
-            sharded = _run_sharded(topo, state, raws, shards, fast)
+            sharded = _run_sharded(topo, state, raws, shards, fast, backend)
             assert len(sharded) == len(reference), (
-                f"shards={shards} fast={fast}: incident count "
-                f"{len(sharded)} != reference {len(reference)}"
+                f"backend={backend} shards={shards} fast={fast}: incident "
+                f"count {len(sharded)} != reference {len(reference)}"
             )
             _assert_equal(reference, sharded)
 
 
 # ---------------------------------------------------------------------------
-# flood scenarios (the test_equivalence_flood battery, sharded)
+# hard scenarios: every (shards, fast, backend) combination
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed,n_down", [(7, 3), (2, 5), (4, 20), (5, 40)])
-def test_device_down_flood_shard_invariance(seed, n_down):
+def test_device_down_flood_shard_invariance(seed, n_down, backend):
     """Seeds 4 and 5 produce ``<root>``-scoped incidents spanning every
     region -- the exact case that breaks naive per-region sharding."""
     topo = build_topology(TopologySpec())
@@ -97,11 +124,12 @@ def test_device_down_flood_shard_invariance(seed, n_down):
     for cond in _device_down(devices[:n_down], start=40.0, duration=400.0):
         state.add_condition(cond)
     raws = _stream(topo, state, 600.0, seed)
-    _check_all_shard_counts(topo, state, raws)
+    _check_all_shard_counts(topo, state, raws, backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed", [31, 32])
-def test_concurrent_cross_region_shard_invariance(seed):
+def test_concurrent_cross_region_shard_invariance(seed, backend):
     topo = build_topology(TopologySpec())
     state = NetworkState(topo)
     rng = random.Random(seed)
@@ -114,10 +142,11 @@ def test_concurrent_cross_region_shard_invariance(seed):
         for cond in _device_down(names[:4], start=45.0, duration=380.0):
             state.add_condition(cond)
     raws = _stream(topo, state, 600.0, seed)
-    _check_all_shard_counts(topo, state, raws)
+    _check_all_shard_counts(topo, state, raws, backend)
 
 
-def test_circuit_break_shard_invariance():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_circuit_break_shard_invariance(backend):
     topo = build_topology(TopologySpec())
     state = NetworkState(topo)
     rng = random.Random(12)
@@ -134,10 +163,11 @@ def test_circuit_break_shard_invariance():
             )
         )
     raws = _stream(topo, state, 600.0, 12)
-    _check_all_shard_counts(topo, state, raws)
+    _check_all_shard_counts(topo, state, raws, backend)
 
 
-def test_benchmark_fabric_dense_flood_shard_invariance():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_benchmark_fabric_dense_flood_shard_invariance(backend):
     """Three-region benchmark fabric under a 50-device failure wave."""
     topo = build_topology(TopologySpec.benchmark())
     state = NetworkState(topo)
@@ -154,7 +184,112 @@ def test_benchmark_fabric_dense_flood_shard_invariance():
             )
         )
     raws = _stream(topo, state, 800.0, 61)
-    _check_all_shard_counts(topo, state, raws)
+    _check_all_shard_counts(topo, state, raws, backend)
+
+
+# ---------------------------------------------------------------------------
+# the full battery through the mp backend, ids included
+#
+# Incident ids come from a global counter; resetting it before each run
+# makes the id sequence part of the contract.  (Reference fast=False and
+# fast=True produce identical ids after a reset -- the fast-path gate in
+# tests/test_equivalence_flood.py guarantees identical incident *order* --
+# so comparing against the fast reference is comparing against the
+# reference.)
+
+
+def _fingerprint_exact(net: SkyNet) -> List[Tuple]:
+    """Like ``_fingerprint`` but with incident ids left intact."""
+    out = []
+    for incident in sorted(
+        net.incidents(include_superseded=True),
+        key=lambda i: (i.start_time, str(i.location)),
+    ):
+        severity = incident.severity
+        out.append(
+            (
+                incident.incident_id,
+                str(incident.location),
+                incident.status.name,
+                incident.start_time,
+                incident.end_time,
+                incident.total_alert_count(),
+                incident.distinct_type_count(),
+                sorted(incident.devices_involved()),
+                (severity.score, severity.impact_factor, severity.time_factor)
+                if severity
+                else None,
+                incident.render(),
+            )
+        )
+    return out
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=SCENARIO_IDS)
+def test_full_battery_mp_exact_ids(scenario: FloodScenario):
+    topo, state, raws = scenario.build()
+
+    set_incident_counter(1)
+    config = dataclasses.replace(PRODUCTION_CONFIG, fast_path=True)
+    reference_net = SkyNet(topo, config=config, state=state)
+    reference_net.process(raws)
+    reference = _fingerprint_exact(reference_net)
+    if scenario.require_incidents:
+        assert reference, "scenario produced no incidents -- not a useful gate"
+
+    for shards in SHARD_COUNTS:
+        set_incident_counter(1)
+        mp_config = _sharded_config(shards, fast=True, backend="mp")
+        locator = MPShardedLocator(topo, mp_config)
+        try:
+            net = SkyNet(topo, config=mp_config, state=state, locator=locator)
+            net.process(raws)
+            sharded = _fingerprint_exact(net)
+        finally:
+            locator.close()
+        assert len(sharded) == len(reference), (
+            f"mp shards={shards}: incident count {len(sharded)} != "
+            f"reference {len(reference)}"
+        )
+        for ref_item, mp_item in zip(reference, sharded):
+            assert ref_item == mp_item, f"mp shards={shards}"
+
+
+# ---------------------------------------------------------------------------
+# incremental API equivalence through mp: feed/feed_many/mid-stream reads
+# (the two interleaving scenarios of the flood battery, through workers)
+
+
+def test_incremental_feed_interleavings_mp():
+    topo = build_topology(TopologySpec())
+    state = NetworkState(topo)
+    for cond in _device_down(sorted(topo.devices)[:6], 40.0, 300.0):
+        state.add_condition(cond)
+    raws = _stream(topo, state, 420.0, seed=5)
+
+    config = _sharded_config(2, fast=True, backend="mp")
+    batch_locator = MPShardedLocator(topo, config)
+    feed_locator = MPShardedLocator(topo, config)
+    try:
+        batch_net = SkyNet(topo, config=config, state=state, locator=batch_locator)
+        batch_net.process(raws)
+
+        reference = SkyNet(topo, state=state)
+        net = SkyNet(topo, config=config, state=state, locator=feed_locator)
+        for i, raw in enumerate(raws):
+            net.feed(raw)
+            reference.feed(raw)
+            if i % 500 == 0:
+                # mid-stream reads flush worker outboxes and must neither
+                # change eventual output nor diverge from the reference
+                assert len(net.incidents()) == len(reference.incidents())
+        net.finish()
+        reference.finish()
+        _assert_equal(_fingerprint(reference), _fingerprint(net))
+        _assert_equal(_fingerprint(batch_net), _fingerprint(net))
+    finally:
+        batch_locator.close()
+        feed_locator.close()
 
 
 # ---------------------------------------------------------------------------
@@ -218,14 +353,20 @@ def test_root_located_alert_merges_all_shards():
         lambda: Locator(topo, PRODUCTION_CONFIG),
         lambda: ShardedLocator(topo, _sharded_config(4, False)),
         lambda: ShardedLocator(topo, _sharded_config(2, True)),
+        lambda: MPShardedLocator(topo, _sharded_config(4, False, "mp")),
+        lambda: MPShardedLocator(topo, _sharded_config(2, True, "mp")),
     ):
         locator = build()
-        for alert in feeds:
-            locator.feed(alert)
-        locator.sweep(t + 20.0)
-        locator.sweep(t + 5000.0)
-        prints.append(_locator_prints(locator))
-    assert prints[0] == prints[1] == prints[2]
+        try:
+            for alert in feeds:
+                locator.feed(alert)
+            locator.sweep(t + 20.0)
+            locator.sweep(t + 5000.0)
+            prints.append(_locator_prints(locator))
+        finally:
+            if isinstance(locator, MPShardedLocator):
+                locator.close()
+    assert all(p == prints[0] for p in prints[1:])
     assert any("<root>" in p for p in prints[0])
 
 

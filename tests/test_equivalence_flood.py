@@ -8,6 +8,11 @@ open/close times, status, alert contents and severity scores.  Incident
 ids come from a global counter and legitimately differ between runs, so
 renders are compared with ids normalised; every other byte must match.
 
+The scenarios live in a module-level registry (:data:`SCENARIOS`) so the
+sharding and multiprocess invariance suites under ``tests/runtime`` can
+replay the *same* floods through their backends instead of copying the
+definitions (see ``tests/runtime/test_shard_invariance.py``).
+
 This is the gate that lets the fast path exist at all (see
 ``core/locator.py``): any optimisation that changes output fails here.
 """
@@ -71,28 +76,6 @@ def _fingerprint(net: SkyNet) -> List[Tuple]:
     return out
 
 
-def _run_pair(
-    make_topo: Callable[[], Topology],
-    conditions_for: Callable[[Topology, random.Random], Sequence[Condition]],
-    horizon: float = 600.0,
-    seed: int = 0,
-) -> Tuple[List[Tuple], List[Tuple]]:
-    """Run reference and fast pipelines over one generated flood."""
-    topo = make_topo()
-    state = NetworkState(topo)
-    rng = random.Random(seed)
-    for cond in conditions_for(topo, rng):
-        state.add_condition(cond)
-    raws = _stream(topo, state, horizon, seed)
-    prints = []
-    for fast in (False, True):
-        config = dataclasses.replace(PRODUCTION_CONFIG, fast_path=fast)
-        net = SkyNet(topo, config=config, state=state)
-        net.process(raws)
-        prints.append(_fingerprint(net))
-    return prints[0], prints[1]
-
-
 def _assert_equal(reference: List[Tuple], fast: List[Tuple]) -> None:
     assert len(reference) == len(fast), (
         f"incident count differs: reference={len(reference)} fast={len(fast)}"
@@ -117,26 +100,57 @@ def _device_down(
 
 
 # ---------------------------------------------------------------------------
-# synthetic floods: device failures, link failures, site isolation,
-# concurrent incidents -- across seeds and flood sizes
+# the scenario registry
+#
+# Each entry is a self-contained flood: building it yields a topology, the
+# network state that produced the stream, and the raw alert stream itself.
+# Both the fast-path gate below and the runtime invariance suites iterate
+# this registry, so adding a scenario here widens every differential gate
+# at once.
 
 
-@pytest.mark.parametrize("seed,n_down", [(7, 3), (2, 5), (3, 8), (4, 20), (5, 40)])
-def test_device_down_floods(seed, n_down):
-    def conditions(topo, rng):
+@dataclasses.dataclass(frozen=True)
+class FloodScenario:
+    """A named, reproducible flood for differential testing."""
+
+    name: str
+    build: Callable[[], Tuple[Topology, NetworkState, List[RawAlert]]]
+    #: synthetic floods must produce incidents to be a useful gate; the
+    #: paper's named scenarios may legitimately be quiet on the small fabric
+    require_incidents: bool = True
+
+
+def _conditions_scenario(
+    name: str,
+    conditions_for: Callable[[Topology, random.Random], Sequence[Condition]],
+    *,
+    spec: Callable[[], TopologySpec] = TopologySpec,
+    horizon: float = 600.0,
+    seed: int = 0,
+    require_incidents: bool = True,
+) -> FloodScenario:
+    def build() -> Tuple[Topology, NetworkState, List[RawAlert]]:
+        topo = build_topology(spec())
+        state = NetworkState(topo)
+        rng = random.Random(seed)
+        for cond in conditions_for(topo, rng):
+            state.add_condition(cond)
+        return topo, state, _stream(topo, state, horizon, seed)
+
+    return FloodScenario(name=name, build=build, require_incidents=require_incidents)
+
+
+def _device_down_conditions(n_down: int):
+    def conditions(topo: Topology, rng: random.Random) -> List[Condition]:
         devices = sorted(topo.devices)
         rng.shuffle(devices)
         return _device_down(devices[:n_down], start=40.0, duration=400.0)
 
-    ref, fast = _run_pair(
-        lambda: build_topology(TopologySpec()), conditions, seed=seed
-    )
-    _assert_equal(ref, fast)
+    return conditions
 
 
-@pytest.mark.parametrize("seed,n_sets", [(11, 2), (12, 6), (13, 15)])
-def test_link_failure_floods(seed, n_sets):
-    def conditions(topo, rng):
+def _link_failure_conditions(n_sets: int):
+    def conditions(topo: Topology, rng: random.Random) -> List[Condition]:
         sets = sorted(topo.circuit_sets)
         rng.shuffle(sets)
         return [
@@ -150,55 +164,34 @@ def test_link_failure_floods(seed, n_sets):
             for set_id in sets[:n_sets]
         ]
 
-    ref, fast = _run_pair(
-        lambda: build_topology(TopologySpec()), conditions, seed=seed
-    )
-    _assert_equal(ref, fast)
+    return conditions
 
 
-@pytest.mark.parametrize("seed", [21, 22])
-def test_site_isolation(seed):
+def _site_isolation_conditions(topo: Topology, rng: random.Random):
     """Every device of one site down at once: one wide incident scope."""
-
-    def conditions(topo, rng):
-        sites = sorted(
-            (loc for loc in topo.locations() if loc.level is Level.SITE), key=str
-        )
-        site = sites[rng.randrange(len(sites))]
-        names = [d.name for d in topo.devices_at(site)]
-        return _device_down(names, start=50.0, duration=420.0)
-
-    ref, fast = _run_pair(
-        lambda: build_topology(TopologySpec()), conditions, seed=seed
+    sites = sorted(
+        (loc for loc in topo.locations() if loc.level is Level.SITE), key=str
     )
-    _assert_equal(ref, fast)
+    site = sites[rng.randrange(len(sites))]
+    names = [d.name for d in topo.devices_at(site)]
+    return _device_down(names, start=50.0, duration=420.0)
 
 
-@pytest.mark.parametrize("seed", [31, 32])
-def test_concurrent_cross_region_incidents(seed):
+def _cross_region_conditions(topo: Topology, rng: random.Random):
     """Independent failures in different regions stay separate incidents."""
-
-    def conditions(topo, rng):
-        by_region = {}
-        for name in sorted(topo.devices):
-            region = topo.device(name).location.segments[0]
-            by_region.setdefault(region, []).append(name)
-        out = []
-        for names in by_region.values():
-            rng.shuffle(names)
-            out.extend(_device_down(names[:4], start=45.0, duration=380.0))
-        return out
-
-    ref, fast = _run_pair(
-        lambda: build_topology(TopologySpec()), conditions, seed=seed
-    )
-    _assert_equal(ref, fast)
+    by_region: dict = {}
+    for name in sorted(topo.devices):
+        region = topo.device(name).location.segments[0]
+        by_region.setdefault(region, []).append(name)
+    out = []
+    for names in by_region.values():
+        rng.shuffle(names)
+        out.extend(_device_down(names[:4], start=45.0, duration=380.0))
+    return out
 
 
-@pytest.mark.parametrize("seed", [41, 42, 43])
-def test_mixed_kind_floods(seed):
+def _mixed_kind_conditions(topo: Topology, rng: random.Random):
     """Loss, flapping, CPU and config faults interleaved."""
-
     kinds = [
         (ConditionKind.DEVICE_SILENT_LOSS, {"loss_rate": 0.3}),
         (ConditionKind.LINK_FLAPPING, {}),
@@ -206,39 +199,46 @@ def test_mixed_kind_floods(seed):
         (ConditionKind.CONFIG_ERROR, {}),
         (ConditionKind.DEVICE_HARDWARE_ERROR, {"loss_rate": 0.2}),
     ]
-
-    def conditions(topo, rng):
-        devices = sorted(topo.devices)
-        sets = sorted(topo.circuit_sets)
-        out = []
-        for i, (kind, params) in enumerate(kinds * 2):
-            if kind is ConditionKind.LINK_FLAPPING:
-                target = sets[rng.randrange(len(sets))]
-            else:
-                target = devices[rng.randrange(len(devices))]
-            start = 40.0 + 30.0 * i
-            out.append(
-                Condition(
-                    kind=kind,
-                    target=target,
-                    start=start,
-                    end=start + 360.0,
-                    params=dict(params),
-                )
+    devices = sorted(topo.devices)
+    sets = sorted(topo.circuit_sets)
+    out = []
+    for i, (kind, params) in enumerate(kinds * 2):
+        if kind is ConditionKind.LINK_FLAPPING:
+            target = sets[rng.randrange(len(sets))]
+        else:
+            target = devices[rng.randrange(len(devices))]
+        start = 40.0 + 30.0 * i
+        out.append(
+            Condition(
+                kind=kind,
+                target=target,
+                start=start,
+                end=start + 360.0,
+                params=dict(params),
             )
-        return out
-
-    ref, fast = _run_pair(
-        lambda: build_topology(TopologySpec()), conditions, seed=seed
-    )
-    _assert_equal(ref, fast)
+        )
+    return out
 
 
-@pytest.mark.parametrize("seed", [51, 52])
-def test_sampled_figure1_campaign(seed):
+def _benchmark_dense_conditions(topo: Topology, rng: random.Random):
+    """The big fabric under a wide failure wave (the bench scenario)."""
+    devices = sorted(topo.devices)
+    rng.shuffle(devices)
+    return [
+        Condition(
+            kind=ConditionKind.DEVICE_DOWN,
+            target=name,
+            start=60.0 + rng.uniform(0.0, 240.0),
+            end=700.0,
+        )
+        for name in devices[:50]
+    ]
+
+
+def _campaign_scenario(seed: int) -> FloodScenario:
     """Failures drawn from the paper's root-cause distribution."""
 
-    def run():
+    def build() -> Tuple[Topology, NetworkState, List[RawAlert]]:
         topo = build_topology(TopologySpec())
         state = NetworkState(topo)
         rng = random.Random(seed)
@@ -246,46 +246,25 @@ def test_sampled_figure1_campaign(seed):
         injector.inject_all(
             sample_campaign(topo, rng, 10, 600.0, severe_fraction=0.3)
         )
-        raws = _stream(topo, state, 600.0, seed)
-        prints = []
-        for fast in (False, True):
-            config = dataclasses.replace(PRODUCTION_CONFIG, fast_path=fast)
-            net = SkyNet(topo, config=config, state=state)
-            net.process(raws)
-            prints.append(_fingerprint(net))
-        return prints
+        return topo, state, _stream(topo, state, 600.0, seed)
 
-    ref, fast = run()
-    _assert_equal(ref, fast)
+    return FloodScenario(name=f"campaign_s{seed}", build=build)
 
 
-def test_benchmark_fabric_dense_flood():
-    """The big fabric under a wide failure wave (the bench scenario)."""
+def _named_scenario(name: str, scenario_fn) -> FloodScenario:
+    """One of the paper's named failure scenarios (§2/§5 case studies)."""
 
-    def conditions(topo, rng):
-        devices = sorted(topo.devices)
-        rng.shuffle(devices)
-        return [
-            Condition(
-                kind=ConditionKind.DEVICE_DOWN,
-                target=name,
-                start=60.0 + rng.uniform(0.0, 240.0),
-                end=700.0,
-            )
-            for name in devices[:50]
-        ]
+    def build() -> Tuple[Topology, NetworkState, List[RawAlert]]:
+        topo = build_topology(TopologySpec())
+        state = NetworkState(topo)
+        injector = FailureInjector(state)
+        for scenario in scenario_fn(topo):
+            injector.inject(scenario)
+        return topo, state, _stream(topo, state, 600.0, seed=7)
 
-    ref, fast = _run_pair(
-        lambda: build_topology(TopologySpec.benchmark()),
-        conditions,
-        horizon=800.0,
-        seed=61,
-    )
-    _assert_equal(ref, fast)
-
-
-# ---------------------------------------------------------------------------
-# the paper's named scenarios
+    # named scenarios are allowed to produce zero incidents on the small
+    # fabric; the synthetic floods guarantee non-trivial coverage
+    return FloodScenario(name=name, build=build, require_incidents=False)
 
 
 _NAMED = [
@@ -301,16 +280,66 @@ _NAMED = [
 ]
 
 
-@pytest.mark.parametrize(
-    "scenario_fn", [fn for _, fn in _NAMED], ids=[name for name, _ in _NAMED]
+SCENARIOS: List[FloodScenario] = (
+    [
+        _conditions_scenario(
+            f"device_down_s{seed}_n{n_down}",
+            _device_down_conditions(n_down),
+            seed=seed,
+        )
+        for seed, n_down in [(7, 3), (2, 5), (3, 8), (4, 20), (5, 40)]
+    ]
+    + [
+        _conditions_scenario(
+            f"link_failure_s{seed}_n{n_sets}",
+            _link_failure_conditions(n_sets),
+            seed=seed,
+        )
+        for seed, n_sets in [(11, 2), (12, 6), (13, 15)]
+    ]
+    + [
+        _conditions_scenario(
+            f"site_isolation_s{seed}", _site_isolation_conditions, seed=seed
+        )
+        for seed in (21, 22)
+    ]
+    + [
+        _conditions_scenario(
+            f"cross_region_s{seed}", _cross_region_conditions, seed=seed
+        )
+        for seed in (31, 32)
+    ]
+    + [
+        _conditions_scenario(
+            f"mixed_kind_s{seed}", _mixed_kind_conditions, seed=seed
+        )
+        for seed in (41, 42, 43)
+    ]
+    + [_campaign_scenario(seed) for seed in (51, 52)]
+    + [
+        _conditions_scenario(
+            "benchmark_dense_flood",
+            _benchmark_dense_conditions,
+            spec=TopologySpec.benchmark,
+            horizon=800.0,
+            seed=61,
+        )
+    ]
+    + [_named_scenario(name, fn) for name, fn in _NAMED]
 )
-def test_named_scenarios(scenario_fn):
-    topo = build_topology(TopologySpec())
-    state = NetworkState(topo)
-    injector = FailureInjector(state)
-    for scenario in scenario_fn(topo):
-        injector.inject(scenario)
-    raws = _stream(topo, state, 600.0, seed=7)
+
+SCENARIO_IDS = [scenario.name for scenario in SCENARIOS]
+
+assert len(SCENARIOS) == len(set(SCENARIO_IDS)), "scenario names must be unique"
+
+
+# ---------------------------------------------------------------------------
+# the fast-path gate: every registry scenario, reference vs fast_path
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=SCENARIO_IDS)
+def test_fast_path_equivalence(scenario: FloodScenario):
+    topo, state, raws = scenario.build()
     prints = []
     for fast in (False, True):
         config = dataclasses.replace(PRODUCTION_CONFIG, fast_path=fast)
@@ -318,11 +347,13 @@ def test_named_scenarios(scenario_fn):
         net.process(raws)
         prints.append(_fingerprint(net))
     reference, fast_fp = prints
-    assert len(reference) == len(fast_fp)
+    assert len(reference) == len(fast_fp), (
+        f"incident count differs: reference={len(reference)} fast={len(fast_fp)}"
+    )
     for ref_item, fast_item in zip(reference, fast_fp):
         assert ref_item == fast_item
-    # named scenarios are allowed to produce zero incidents on the small
-    # fabric; the synthetic floods above guarantee non-trivial coverage
+    if scenario.require_incidents:
+        assert reference, "scenario produced no incidents -- not a useful gate"
 
 
 # ---------------------------------------------------------------------------
