@@ -4,7 +4,9 @@ Tracks values produced by nondeterministic APIs -- wall clocks, the
 global RNG, ``os.environ``, unseeded ``random.Random()``, set-iteration
 order -- through assignments, returns, and attribute writes, into the
 sinks that must stay run-stable: incident identity fields, Incident
-construction, and journal writes.
+construction, journal writes, and checkpoint payloads (a nondeterministic
+value serialised into a checkpoint resurfaces on resume and breaks the
+replay-identity guarantee one run later).
 
 The pass is intraprocedural per function, extended along the call graph
 by a fixpoint over two summaries:
@@ -47,6 +49,9 @@ SINK_ATTRS = frozenset(
 
 #: Call-name leaves that write durable records.
 SINK_CALL_LEAVES = frozenset({"append_record", "write_record"})
+
+#: Call-name leaves that build durable checkpoint payloads.
+CHECKPOINT_CALL_LEAVES = frozenset({"pipeline_state_dict", "state_dict"})
 
 #: Builtins that impose a total order, discharging set-order taint.
 ORDER_LAUNDERERS = frozenset({"sorted", "min", "max"})
@@ -397,6 +402,9 @@ class _FunctionPass:
         if arg_taint is None:
             return
         journal_like = "journal" in dotted.lower() or leaf in SINK_CALL_LEAVES
+        checkpoint_like = (
+            "checkpoint" in dotted.lower() or leaf in CHECKPOINT_CALL_LEAVES
+        )
         incident_ctor = leaf.endswith("Incident") and leaf[:1].isupper()
         if not incident_ctor and kind == "project" and isinstance(payload, list):
             incident_ctor = any(
@@ -413,6 +421,13 @@ class _FunctionPass:
             self._owner._record_flow(
                 arg_taint,
                 f"Incident construction {dotted or leaf}()",
+                self._info.source.rel,
+                call.lineno,
+            )
+        elif checkpoint_like:
+            self._owner._record_flow(
+                arg_taint,
+                f"checkpoint write {dotted or leaf}()",
                 self._info.source.rel,
                 call.lineno,
             )

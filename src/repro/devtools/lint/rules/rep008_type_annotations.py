@@ -50,6 +50,8 @@ class CoreAnnotationRule(LintRule):
         "extra_modules": (
             "repro.simulation.*",
             "repro.runtime.*",
+            "repro.gateway.*",
+            "repro.analysis.*",
             "repro.operators.*",
             "repro.rules.*",
             "repro.baselines.*",

@@ -1,12 +1,16 @@
-"""REP013: nondeterminism must not flow into incident identity or journals.
+"""REP013: nondeterminism must not flow into incident identity, journals
+or checkpoints.
 
 REP004 flags nondeterministic *calls* outside the simulation kernel;
 this rule tracks their *values*.  The repro's replay guarantee is that
 two runs over the same alert stream produce byte-identical incident
-streams and journals -- so a wall-clock read, a global-RNG draw, an
-``os.environ`` lookup, an unseeded ``random.Random()``, or the
+streams, journals and checkpoints -- so a wall-clock read, a global-RNG
+draw, an ``os.environ`` lookup, an unseeded ``random.Random()``, or the
 iteration order of a set must never reach an incident id, a timestamp
-field, Incident construction, or a journal write.  The flow is traced
+field, Incident construction, a journal write, or a checkpoint payload
+(``state_dict``/``pipeline_state_dict`` and ``*checkpoint*`` calls: a
+tainted value serialised today resurfaces on resume and diverges the
+replay one run later).  The flow is traced
 cross-function along the call graph (through returns and attribute
 assignments), so laundering ``time.time()`` through two helpers still
 reports -- at the *source* call site, with the witness path to the sink.
@@ -26,7 +30,7 @@ from ..engine import Finding, LintRule, Project, register
 @register
 class DeterminismFlowRule(LintRule):
     rule_id = "REP013"
-    title = "nondeterminism must not reach incident identity or journals"
+    title = "nondeterminism must not reach incident ids, journals or checkpoints"
     paper_ref = "§5 (repro determinism)"
     scope = "project"
     project_only = True

@@ -61,6 +61,7 @@ class ShardSafetyRule(LintRule):
         #: shard (or the runtime driving shards) starts executing from
         "entry_points": (
             "*runtime.service:RuntimeService.*",
+            "*gateway.service:GatewayService.*",
             "*:ShardedLocator.*",
             "*:SupervisedLocator.*",
             "*:MPShardedLocator.*",

@@ -57,6 +57,7 @@ class ConfigDriftRule(LintRule):
             "chaos_brownout": "brownouts",
             "chaos_shard_crash": "shard_crashes",
             "chaos_io": "io_faults",
+            "chaos_skew": "clock_skews",
             "chaos_seed": "seed",
         },
         #: operational flags that legitimately configure the *run*, not

@@ -1,0 +1,49 @@
+"""``repro.gateway``: network-facing ingestion + incident query service.
+
+The serving layer over :mod:`repro.runtime`: sources submit alerts
+through a validated, bounded, deterministically-sequenced front door;
+operators query active incidents, history, per-source health and
+metrics, or long-poll an incident subscription -- and the incident
+stream served online is byte-identical (ids included) to an offline
+replay of the same admitted alerts.  See ``README.md`` "Serving".
+"""
+
+from .config import GatewayParams
+from .sequencer import DeterministicSequencer
+from .service import GatewayService, IncidentEvent, QUEUE_RUNG
+from .sources import (
+    CANONICAL_SOURCES,
+    GatewayError,
+    SequenceError,
+    SourceClosedError,
+    SourceRegistry,
+    SOURCE_PRIORITY,
+    UnknownSourceError,
+)
+from .transport import (
+    GatewayClient,
+    GatewaySocketServer,
+    LoopbackTransport,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "CANONICAL_SOURCES",
+    "DeterministicSequencer",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayParams",
+    "GatewayService",
+    "GatewaySocketServer",
+    "IncidentEvent",
+    "LoopbackTransport",
+    "QUEUE_RUNG",
+    "SequenceError",
+    "SOURCE_PRIORITY",
+    "SourceClosedError",
+    "SourceRegistry",
+    "UnknownSourceError",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,283 @@
+"""``python -m repro.gateway``: serve, feed and query the gateway.
+
+Three subcommands over one framed-JSONL socket protocol:
+
+* ``serve`` -- host a :class:`~repro.gateway.service.GatewayService`
+  (fresh or ``--resume``\\ d from a run directory) behind a socket
+  server; SIGTERM/SIGINT triggers the graceful
+  drain-checkpoint-shutdown path (the sequencer's pending heap rides
+  the checkpoint, never flushed);
+* ``ingest`` -- simulate a scenario flood (same flags as the runtime
+  CLI), split it into per-source substreams and submit them through a
+  client connection, closing with per-source ``eof`` and ``finish``;
+* ``query`` -- one-shot client for the query API (``active``,
+  ``reports``, ``health``, ``metrics``, ``stats``, ``history``,
+  ``subscribe``), printing the JSON reply.
+
+The serving knobs (``--queue-limit``, addresses, poll patience) are
+wall-clock concerns and never touch the pipeline; the runtime knobs are
+the same flags -- literally the same ``argparse`` group -- as
+``python -m repro.runtime``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import pathlib
+import signal
+import sys
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ..monitors.base import RawAlert
+from ..runtime.cli import (
+    TOPOLOGIES,
+    SCENARIOS,
+    _build_chaos,
+    _build_config,
+    _stream,
+    _topology,
+    add_chaos_arguments,
+    add_service_arguments,
+)
+from ..runtime.journal import raw_to_json
+from .config import GatewayParams
+from .service import GatewayService
+from .sources import SOURCE_PRIORITY
+from .transport import GatewayClient, GatewaySocketServer
+
+QUERY_OPS = (
+    "active", "reports", "health", "metrics", "stats", "history", "subscribe",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway",
+        description="Network-facing ingestion + incident query service "
+        "over the sharded runtime.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="host the gateway service on a socket"
+    )
+    add_service_arguments(serve)
+    add_chaos_arguments(serve)
+    _add_gateway_arguments(serve)
+    serve.add_argument(
+        "--port-file", type=pathlib.Path, default=None, metavar="PATH",
+        help="write 'host port' of the bound socket to this file "
+        "(for scripts that asked for an ephemeral port)",
+    )
+
+    ingest = sub.add_parser(
+        "ingest", help="simulate a flood and submit it to a serving gateway"
+    )
+    _add_client_arguments(ingest)
+    ingest.add_argument(
+        "--topology", choices=TOPOLOGIES, default="default",
+        help="fabric to simulate (default: %(default)s)",
+    )
+    ingest.add_argument(
+        "--scenario", choices=SCENARIOS, default="flood",
+        help="failure scenario driving the flood (default: %(default)s)",
+    )
+    ingest.add_argument(
+        "--duration", type=float, default=900.0,
+        help="simulated seconds to stream (default: %(default)s)",
+    )
+    ingest.add_argument(
+        "--alerts", type=int, default=None,
+        help="stop after this many raw alerts (default: unlimited)",
+    )
+    ingest.add_argument("--seed", type=int, default=2025)
+    ingest.add_argument(
+        "--no-finish", action="store_true",
+        help="leave the stream open: skip the closing eof/finish ops",
+    )
+
+    query = sub.add_parser("query", help="query a serving gateway")
+    _add_client_arguments(query)
+    query.add_argument(
+        "--op", choices=QUERY_OPS, default="stats",
+        help="query operation (default: %(default)s)",
+    )
+    query.add_argument(
+        "--cursor", type=int, default=0,
+        help="event cursor for history/subscribe (default: %(default)s)",
+    )
+    query.add_argument(
+        "--poll-timeout", type=float, default=None, metavar="WALL_S",
+        help="subscribe long-poll patience (default: server's)",
+    )
+    return parser
+
+
+def _add_gateway_arguments(parser: argparse.ArgumentParser) -> None:
+    gateway = parser.add_argument_group("gateway", "serving-layer knobs")
+    gateway.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (default: %(default)s)",
+    )
+    gateway.add_argument(
+        "--port", type=int, default=0,
+        help="listen port; 0 picks an ephemeral port (default: %(default)s)",
+    )
+    gateway.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="max pending alerts per source before shedding "
+        f"(default: {GatewayParams.queue_limit})",
+    )
+
+
+def _add_client_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="gateway address (default: %(default)s)",
+    )
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, metavar="WALL_S",
+        help="client socket timeout (default: %(default)s)",
+    )
+
+
+def _gateway_params(args: argparse.Namespace) -> GatewayParams:
+    overrides: Dict[str, object] = {"host": args.host, "port": args.port}
+    if args.queue_limit is not None:
+        overrides["queue_limit"] = args.queue_limit
+    return GatewayParams(**overrides)  # type: ignore[arg-type]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.resume and args.dir is None:
+        build_parser().error("--resume requires --dir")
+    config = _build_config(args)
+    chaos = _build_chaos(args)
+    topo = _topology(args.topology)
+    params = _gateway_params(args)
+
+    if args.resume:
+        service = GatewayService.resume(
+            topo, args.dir, config=config, chaos=chaos,
+            run_seed=args.seed, params=params,
+        )
+        recovery = service.runtime.recovery
+        if recovery is not None:
+            print(recovery.render(), flush=True)
+    else:
+        service = GatewayService(
+            topo, config=config, directory=args.dir, chaos=chaos,
+            run_seed=args.seed, params=params,
+        )
+
+    server = GatewaySocketServer(service.handle, params)
+    server.start()
+    host, port = server.address
+    print(f"gateway listening on {host} {port}", flush=True)
+    if args.port_file is not None:
+        args.port_file.write_text(f"{host} {port}\n")
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    while not stop.is_set() and not service.stats()["draining"]:
+        stop.wait(0.2)
+
+    server.stop()
+    reply = service.shutdown()
+    print(
+        f"gateway drained: {reply['pending']} alert(s) held for resume, "
+        f"{service.stats()['events']} incident event(s) served",
+        flush=True,
+    )
+    return 0
+
+
+def _substreams(raws: Sequence[RawAlert]) -> Dict[str, List[RawAlert]]:
+    """Split a delivered-at-ordered flood into per-source substreams.
+
+    Each source's substream is stably re-sorted by *observation* time:
+    delivery jitter can reorder one tool's alerts in the global stream,
+    but a live monitor submits in its own clock order -- which is the
+    non-decreasing-timestamp contract the registry enforces.
+    """
+    split: Dict[str, List[RawAlert]] = {}
+    for raw in raws:
+        split.setdefault(raw.tool, []).append(raw)
+    for substream in split.values():
+        substream.sort(key=lambda r: r.timestamp)
+    return split
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    topo = _topology(args.topology)
+    _state, raws = _stream(
+        topo, args.scenario, args.seed, args.duration, args.alerts
+    )
+    split = _substreams(list(raws))
+    merged = heapq.merge(
+        *(
+            ((raw.timestamp, SOURCE_PRIORITY[tool], raw) for raw in substream)
+            for tool, substream in sorted(split.items())
+        )
+    )
+    submitted = shed = released = 0
+    with GatewayClient(args.host, args.port, timeout_s=args.timeout) as client:
+        # idle sources would gate the watermark frontier forever; close
+        # them up front so the active substreams release continuously
+        for tool in sorted(SOURCE_PRIORITY):
+            if tool not in split:
+                client.request({"op": "eof", "source": tool})
+        for _timestamp, _priority, raw in merged:
+            reply = client.request({"op": "submit", "raw": raw_to_json(raw)})
+            if not reply.get("ok"):
+                print(f"error: {reply.get('error')}", file=sys.stderr)
+                return 1
+            if reply.get("admitted"):
+                submitted += 1
+                released += int(reply.get("released", 0))  # type: ignore[arg-type]
+            else:
+                shed += 1
+        if not args.no_finish:
+            for tool in sorted(split):
+                client.request({"op": "eof", "source": tool})
+            reply = client.request({"op": "finish"})
+            print(
+                f"finished: {reply.get('incidents')} incident(s) from "
+                f"{submitted} submitted, {shed} shed at the queues"
+            )
+        else:
+            print(
+                f"submitted {submitted} alert(s) ({released} released, "
+                f"{shed} shed); stream left open"
+            )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    request: Dict[str, object] = {"op": args.op}
+    if args.op in ("history", "subscribe"):
+        request["cursor"] = args.cursor
+    if args.op == "subscribe" and args.poll_timeout is not None:
+        request["timeout_s"] = args.poll_timeout
+    with GatewayClient(args.host, args.port, timeout_s=args.timeout) as client:
+        reply = client.request(request)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0 if reply.get("ok") else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
+    return _cmd_query(args)

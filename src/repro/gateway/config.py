@@ -1,0 +1,42 @@
+"""Gateway tunables: the serving layer's knobs, separate from the pipeline's.
+
+Everything here shapes *how traffic arrives and is asked for* -- queue
+bounds, socket addressing, long-poll patience -- never what the pipeline
+computes.  The analysis configuration stays in
+:class:`repro.core.config.SkyNetConfig`; keeping the serving knobs in
+their own frozen dataclass means a gateway in front of the runtime
+cannot perturb the byte-identical incident stream the differential
+battery pins (the timeouts below are wall-clock serving concerns and are
+deliberately invisible to the sim-clock pipeline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class GatewayParams:
+    """Serving-layer parameters for :class:`repro.gateway.GatewayService`."""
+
+    #: Bound on alerts a source may have submitted but not yet released
+    #: by the sequencer; overflow is shed (counted, never silent).
+    queue_limit: int = 256
+    #: Socket listen address; port 0 asks the OS for an ephemeral port.
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Listen backlog for the ingest/query socket.
+    backlog: int = 16
+    #: Default patience of a long-poll ``subscribe`` request (seconds of
+    #: wall time; a serving concern, never fed to the pipeline).
+    poll_timeout_s: float = 30.0
+    #: Accept-loop wakeup cadence: how quickly a stopping server notices.
+    accept_timeout_s: float = 0.5
+    #: Per-connection socket timeout for clients.
+    socket_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        if self.poll_timeout_s < 0 or self.accept_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")

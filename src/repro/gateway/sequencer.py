@@ -1,0 +1,179 @@
+"""Deterministic merge of concurrent sources into one total order.
+
+The gateway's signature property -- incidents served online are
+byte-identical (ids included) to an offline replay -- reduces to one
+question: in what order do admitted alerts reach the runtime?  The
+sequencer answers it with a total order that does not depend on arrival
+interleaving:
+
+    ``(timestamp, source_priority, seq)``
+
+where ``source_priority`` is the fixed Table-2 rank from
+:mod:`repro.gateway.sources` and ``seq`` is the per-source monotone
+sequence number.  Alerts are held in a heap keyed by that triple and
+released only once no source could still submit an *earlier* key:
+
+* each source carries a **watermark** -- the timestamp of its latest
+  submission (per-source timestamps are non-decreasing, enforced by the
+  registry, so no later submission can fall below it);
+* an alert at timestamp ``t`` is releasable iff ``t`` is *strictly*
+  below the minimum watermark over all live sources.  Strict, because a
+  source sitting exactly at the frontier may still submit at ``t`` with
+  a lower-priority key (its rank may beat a queued alert's rank);
+* ``eof`` lifts a source's watermark to +inf; once every source is done
+  the frontier is +inf and everything drains in key order.
+
+Release order is therefore a pure function of the *set* of submissions,
+never of their arrival interleaving -- the Hypothesis battery in
+``tests/gateway/test_sequencer_properties.py`` pins exactly that.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Generic, List, Mapping, Set, Tuple, TypeVar
+
+from .sources import SequenceError, SourceClosedError, UnknownSourceError
+
+T = TypeVar("T")
+
+#: Heap entry: the ordering triple, then the source name, then the
+#: payload.  ``(timestamp, priority, seq)`` is globally unique --
+#: priority is unique per source and seq unique within one -- so the
+#: payload itself is never compared.
+_Entry = Tuple[float, int, int, str, T]
+
+
+class DeterministicSequencer(Generic[T]):
+    """Watermarked heap-merge of per-source substreams."""
+
+    def __init__(self, priorities: Mapping[str, int]) -> None:
+        self._priority: Dict[str, int] = dict(priorities)
+        self._watermark: Dict[str, float] = {
+            source: float("-inf") for source in self._priority
+        }
+        self._eof: Set[str] = set()
+        self._heap: List[_Entry[T]] = []
+        self._pending: Dict[str, int] = {source: 0 for source in self._priority}
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, source: str, timestamp: float, seq: int, payload: T) -> List[T]:
+        """Queue one alert; return whatever the frontier now releases."""
+        if source not in self._priority:
+            raise UnknownSourceError(f"unknown source {source!r}")
+        if source in self._eof:
+            raise SourceClosedError(f"source {source!r} already sent eof")
+        if timestamp < self._watermark[source]:
+            raise SequenceError(
+                f"source {source!r} timestamp {timestamp} regresses below "
+                f"its watermark {self._watermark[source]}"
+            )
+        heapq.heappush(
+            self._heap,
+            (timestamp, self._priority[source], seq, source, payload),
+        )
+        self._watermark[source] = timestamp
+        self._pending[source] += 1
+        return self._release()
+
+    def advance(self, source: str, timestamp: float) -> List[T]:
+        """Heartbeat: lift a source's watermark without submitting.
+
+        A quiet source gates the frontier exactly like a busy one (that
+        is what makes release order arrival-invariant), so sources with
+        nothing to report punctuate with their current clock instead --
+        the promise "nothing from me below ``timestamp``" -- and the
+        frontier keeps moving."""
+        if source not in self._priority:
+            raise UnknownSourceError(f"unknown source {source!r}")
+        if source in self._eof:
+            raise SourceClosedError(f"source {source!r} already sent eof")
+        if timestamp < self._watermark[source]:
+            raise SequenceError(
+                f"source {source!r} heartbeat {timestamp} regresses below "
+                f"its watermark {self._watermark[source]}"
+            )
+        self._watermark[source] = timestamp
+        return self._release()
+
+    def eof(self, source: str) -> List[T]:
+        """Declare a source done; its watermark stops gating the frontier."""
+        if source not in self._priority:
+            raise UnknownSourceError(f"unknown source {source!r}")
+        if source in self._eof:
+            raise SourceClosedError(f"source {source!r} already sent eof")
+        self._eof.add(source)
+        return self._release()
+
+    def flush(self) -> List[T]:
+        """Drain every queued alert in key order (end-of-stream only).
+
+        Flushing while sources are still live forfeits the ordering
+        guarantee for anything they submit afterwards; the gateway only
+        calls this from its explicit ``finish`` operation.
+        """
+        released: List[T] = []
+        while self._heap:
+            released.append(self._pop())
+        return released
+
+    # -- introspection -----------------------------------------------------
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def pending_for(self, source: str) -> int:
+        return self._pending[source]
+
+    def watermark(self, source: str) -> float:
+        return float("inf") if source in self._eof else self._watermark[source]
+
+    def watermarks(self) -> Dict[str, float]:
+        return {source: self.watermark(source) for source in self._priority}
+
+    def frontier(self) -> float:
+        """Minimum watermark over all sources: the release boundary."""
+        return min(self.watermark(source) for source in self._priority)
+
+    # -- internals ---------------------------------------------------------
+
+    def _release(self) -> List[T]:
+        frontier = self.frontier()
+        released: List[T] = []
+        while self._heap and self._heap[0][0] < frontier:
+            released.append(self._pop())
+        return released
+
+    def _pop(self) -> T:
+        timestamp, priority, seq, source, payload = heapq.heappop(self._heap)
+        self._pending[source] -= 1
+        return payload
+
+    # -- checkpoint plumbing -----------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Checkpointable state, *including* the pending heap.
+
+        A draining gateway must not flush: pending alerts were withheld
+        precisely because a live source could still order ahead of them,
+        and that remains true across a restart.  They ride the checkpoint
+        instead and are restored un-released.
+        """
+        return {
+            "watermarks": dict(self._watermark),
+            "eof": sorted(self._eof),
+            "heap": list(self._heap),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        watermarks = state["watermarks"]
+        self._watermark = {
+            source: float(stamp) for source, stamp in watermarks.items()  # type: ignore[union-attr]
+        }
+        self._eof = set(state["eof"])  # type: ignore[arg-type]
+        self._heap = [tuple(entry) for entry in state["heap"]]  # type: ignore[arg-type, misc]
+        heapq.heapify(self._heap)
+        self._pending = {source: 0 for source in self._priority}
+        for entry in self._heap:
+            self._pending[entry[3]] += 1

@@ -1,0 +1,164 @@
+"""Source registry: the gateway's per-monitor ingestion contract.
+
+Each Table-2 monitor (plus the two §7 future sources) connects to the
+gateway as a named *source*.  The registry owns the per-source contract
+the deterministic sequencer depends on:
+
+* **identity** -- only canonical monitor names are accepted;
+* **priority** -- a fixed total order over sources (Table-2 registry
+  order, future sources last) used as the tie-break when two sources
+  submit alerts with the same timestamp;
+* **sequence numbers** -- every accepted submission gets a per-source
+  monotone sequence number; a client may supply its own (for exactly-once
+  resubmission after reconnect) but it must be strictly increasing;
+* **timestamps** -- per-source submission timestamps must be
+  non-decreasing, which is what makes the sequencer's watermarks safe;
+* **accounting** -- submitted/shed counts and end-of-stream state per
+  source, surfaced by the gateway's ``health`` query and carried through
+  checkpoints so a resumed gateway enforces the same contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..monitors.registry import DATA_SOURCES, FUTURE_SOURCES
+
+#: Every source the gateway will accept, in priority order: the twelve
+#: Table-2 monitors in registry order, then the §7 future sources.
+CANONICAL_SOURCES: Tuple[str, ...] = tuple(DATA_SOURCES) + tuple(FUTURE_SOURCES)
+
+#: Tie-break rank per source: lower rank wins at equal timestamps.
+SOURCE_PRIORITY: Dict[str, int] = {
+    tool: rank for rank, tool in enumerate(CANONICAL_SOURCES)
+}
+
+
+class GatewayError(ValueError):
+    """Base class for gateway ingestion-contract violations."""
+
+
+class UnknownSourceError(GatewayError):
+    """The named source is not a canonical monitor."""
+
+
+class SourceClosedError(GatewayError):
+    """The source already declared end-of-stream."""
+
+
+class SequenceError(GatewayError):
+    """A submission violated per-source seq or timestamp monotonicity."""
+
+
+@dataclasses.dataclass
+class SourceRecord:
+    """Mutable per-source bookkeeping (one row of the registry)."""
+
+    name: str
+    priority: int
+    next_seq: int = 0
+    last_timestamp: Optional[float] = None
+    submitted: int = 0
+    shed: int = 0
+    eof: bool = False
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "next_seq": self.next_seq,
+            "last_timestamp": self.last_timestamp,
+            "submitted": self.submitted,
+            "shed": self.shed,
+            "eof": self.eof,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.next_seq = int(state["next_seq"])  # type: ignore[arg-type]
+        last = state["last_timestamp"]
+        self.last_timestamp = None if last is None else float(last)  # type: ignore[arg-type]
+        self.submitted = int(state["submitted"])  # type: ignore[arg-type]
+        self.shed = int(state["shed"])  # type: ignore[arg-type]
+        self.eof = bool(state["eof"])
+
+
+class SourceRegistry:
+    """Validates and accounts every submission before it is sequenced.
+
+    :meth:`assign` is the single validation point: it raises *before*
+    mutating any state, so a rejected submission leaves the registry (and
+    therefore the sequencer, which is only fed validated input) exactly
+    as it was.
+    """
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, SourceRecord] = {
+            name: SourceRecord(name=name, priority=SOURCE_PRIORITY[name])
+            for name in CANONICAL_SOURCES
+        }
+
+    # -- contract ----------------------------------------------------------
+
+    def record(self, source: str) -> SourceRecord:
+        try:
+            return self._sources[source]
+        except KeyError:
+            raise UnknownSourceError(
+                f"unknown source {source!r}; expected one of the "
+                f"{len(CANONICAL_SOURCES)} canonical monitors"
+            ) from None
+
+    def assign(
+        self, source: str, timestamp: float, seq: Optional[int] = None
+    ) -> int:
+        """Validate one submission and return its per-source seq number.
+
+        Raises before mutating on: unknown source, source past eof,
+        client-supplied ``seq`` not >= the next expected, or ``timestamp``
+        regressing below the source's last accepted timestamp.
+        """
+        record = self.record(source)
+        if record.eof:
+            raise SourceClosedError(f"source {source!r} already sent eof")
+        if seq is not None and seq < record.next_seq:
+            raise SequenceError(
+                f"source {source!r} seq {seq} replays or reorders; "
+                f"next expected is {record.next_seq}"
+            )
+        if record.last_timestamp is not None and timestamp < record.last_timestamp:
+            raise SequenceError(
+                f"source {source!r} timestamp {timestamp} regresses below "
+                f"{record.last_timestamp}; per-source timestamps must be "
+                "non-decreasing"
+            )
+        assigned = record.next_seq if seq is None else seq
+        record.next_seq = assigned + 1
+        record.last_timestamp = timestamp
+        record.submitted += 1
+        return assigned
+
+    def mark_shed(self, source: str) -> None:
+        self.record(source).shed += 1
+
+    def mark_eof(self, source: str) -> None:
+        record = self.record(source)
+        if record.eof:
+            raise SourceClosedError(f"source {source!r} already sent eof")
+        record.eof = True
+
+    def all_eof(self) -> bool:
+        return all(record.eof for record in self._sources.values())
+
+    def snapshot(self) -> Dict[str, SourceRecord]:
+        """Read-only view for the health endpoint (do not mutate rows)."""
+        return dict(self._sources)
+
+    # -- checkpoint plumbing -----------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            name: record.state_dict() for name, record in self._sources.items()
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        for name, record_state in state.items():
+            self.record(name).load_state_dict(record_state)  # type: ignore[arg-type]

@@ -1,0 +1,174 @@
+"""Gateway transports: framed JSONL over sockets, plus in-process loopback.
+
+One request/reply protocol, two carriers:
+
+* :class:`LoopbackTransport` hands the request dict straight to the
+  service handler -- zero I/O, fully deterministic, what the
+  27-scenario byte-identity battery drives;
+* :class:`GatewaySocketServer` / :class:`GatewayClient` speak the same
+  dicts as newline-framed JSON over TCP (one JSON object per line,
+  UTF-8), reusing the journal's :func:`raw_to_json` wire form for
+  alerts.  The server runs one thread per connection so a long-poll
+  ``subscribe`` can block without stalling ingestion.
+
+Both carriers funnel into a single ``handler(request) -> reply``
+callable, so everything observable -- ordering, admission, incidents --
+is transport-independent by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .config import GatewayParams
+
+#: The request/reply message shape on both carriers.
+Message = Dict[str, object]
+Handler = Callable[[Message], Message]
+
+
+def encode_frame(message: Message) -> bytes:
+    """One message -> one newline-terminated JSON line."""
+    if not isinstance(message, dict):
+        raise ValueError("gateway frame must be a JSON object")
+    return json.dumps(message, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_frame(line: bytes) -> Message:
+    payload = json.loads(line.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("gateway frame must be a JSON object")
+    return payload
+
+
+class LoopbackTransport:
+    """In-process carrier: request dicts go straight to the handler.
+
+    Round-trips every message through the frame codec so the loopback
+    battery exercises the exact wire encoding the socket path uses --
+    a loopback-green, socket-red encoding bug is impossible.
+    """
+
+    def __init__(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def request(self, message: Message) -> Message:
+        reply = self._handler(decode_frame(encode_frame(message)))
+        return decode_frame(encode_frame(reply))
+
+
+class GatewayClient:
+    """Blocking JSONL client for the gateway socket server."""
+
+    def __init__(
+        self, host: str, port: int, timeout_s: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._reader = self._sock.makefile("rb")
+
+    def request(self, message: Message) -> Message:
+        self._sock.sendall(encode_frame(message))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("gateway closed the connection")
+        return decode_frame(line)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class GatewaySocketServer:
+    """Threaded accept loop serving framed JSONL request/reply."""
+
+    def __init__(self, handler: Handler, params: GatewayParams) -> None:
+        self._handler = handler
+        self._params = params
+        self._listener = socket.create_server(
+            (params.host, params.port), backlog=params.backlog
+        )
+        self._listener.settimeout(params.accept_timeout_s)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._conns: Set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self._accept_thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="gateway-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us during stop()
+            conn.settimeout(self._params.socket_timeout_s)
+            with self._conns_lock:
+                if self._stopping.is_set():
+                    conn.close()
+                    break
+                self._conns.add(conn)
+            thread = threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        reader = conn.makefile("rb")
+        try:
+            for line in reader:
+                try:
+                    request = decode_frame(line)
+                except ValueError as exc:
+                    reply: Message = {"ok": False, "error": f"bad frame: {exc}"}
+                else:
+                    reply = self._handler(request)
+                try:
+                    conn.sendall(encode_frame(reply))
+                except OSError:
+                    break
+        except (OSError, ValueError):
+            pass  # connection torn down mid-read; nothing to salvage
+        finally:
+            reader.close()
+            with self._conns_lock:
+                self._conns.discard(conn)
+            conn.close()
+
+    def stop(self) -> None:
+        """Stop accepting, close every connection, join the threads."""
+        self._stopping.set()
+        self._listener.close()
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in self._threads:
+            thread.join(timeout=5.0)

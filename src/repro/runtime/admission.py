@@ -148,6 +148,28 @@ class AdmissionController:
                     f"raw alerts shed at the {decision.rung} ladder rung",
                 ).inc()
 
+    def count_shed(self, rung: str) -> None:
+        """Account one shed decided *outside* the ladder (gateway queues).
+
+        The gateway's bounded per-source ingest queues refuse alerts
+        before they ever reach :meth:`offer`; those refusals still flow
+        through this controller's books -- a new ``rung`` key in
+        ``sheds`` plus the same per-rung metrics counter -- so one query
+        (``shed_counts``) reports every alert the service turned away,
+        wherever the decision was made.
+        """
+        self.offered += 1
+        self.sheds[rung] = self.sheds.get(rung, 0) + 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "runtime_admission_offered_total",
+                "raw alerts offered to the admission controller",
+            ).inc()
+            self._metrics.counter(
+                f"runtime_admission_shed_{rung}_total",
+                f"raw alerts shed at the {rung} ladder rung",
+            ).inc()
+
     def _evict_recent(self, horizon: float) -> None:
         self._recent = {
             key: seen for key, seen in self._recent.items() if seen >= horizon

@@ -33,6 +33,7 @@ from .faults import (
     IOFault,
     ShardCrash,
     SourceBrownout,
+    SourceClockSkew,
     SourceOutage,
     chaos_or_none,
 )
@@ -49,12 +50,40 @@ def build_parser() -> argparse.ArgumentParser:
         "online service over a simulated alert flood.",
     )
     parser.add_argument(
-        "--topology", choices=TOPOLOGIES, default="default",
-        help="fabric to simulate (default: %(default)s)",
-    )
-    parser.add_argument(
         "--scenario", choices=SCENARIOS, default="flood",
         help="failure scenario driving the flood (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=900.0,
+        help="simulated seconds to stream (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--alerts", type=int, default=None,
+        help="stop after this many raw alerts (default: unlimited)",
+    )
+    add_service_arguments(parser)
+    add_chaos_arguments(parser)
+    parser.add_argument(
+        "--metrics", choices=("text", "json", "none"), default="text",
+        help="metrics dump format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="incident reports to print (default: %(default)s)",
+    )
+    return parser
+
+
+def add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every front-end that builds a ``RuntimeService``.
+
+    ``repro.gateway``'s CLI reuses this group (and ``_build_config``),
+    so the serving layer can never drift from the operator CLI's
+    runtime knobs -- REP015 audits this module as the single source.
+    """
+    parser.add_argument(
+        "--topology", choices=TOPOLOGIES, default="default",
+        help="fabric to simulate (default: %(default)s)",
     )
     parser.add_argument(
         "--shards", type=int, default=1,
@@ -68,14 +97,6 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fast-path", action="store_true",
         help="enable the flood-scale hot path (config.fast_path)",
-    )
-    parser.add_argument(
-        "--duration", type=float, default=900.0,
-        help="simulated seconds to stream (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--alerts", type=int, default=None,
-        help="stop after this many raw alerts (default: unlimited)",
     )
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument(
@@ -126,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--io-max-backoff", type=float, default=None, metavar="SIM_S",
         help="IO backoff ceiling in sim seconds (default: config value)",
     )
+
+
+def add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``--chaos-*`` flag group (shared with the gateway CLI)."""
     chaos = parser.add_argument_group(
         "chaos", "deterministic fault injection (repeat flags to stack faults)"
     )
@@ -148,18 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail journal_append/journal_sync/checkpoint_save in a window",
     )
     chaos.add_argument(
+        "--chaos-skew", action="append", default=[], metavar="TOOL:SKEW_S",
+        help="run one tool's clock a constant offset from true time "
+        "(shifts its observation and delivery stamps together)",
+    )
+    chaos.add_argument(
         "--chaos-seed", type=int, default=0,
         help="seed offsetting the chaos RNGs (default: %(default)s)",
     )
-    parser.add_argument(
-        "--metrics", choices=("text", "json", "none"), default="text",
-        help="metrics dump format (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--top", type=int, default=5,
-        help="incident reports to print (default: %(default)s)",
-    )
-    return parser
 
 
 def _build_config(args: argparse.Namespace) -> SkyNetConfig:
@@ -243,12 +264,19 @@ def _build_chaos(args: argparse.Namespace) -> Optional[ChaosPlan]:
                 permanent=permanent,
             )
         )
+    skews = tuple(
+        SourceClockSkew(tool=f[0], skew_s=float(f[1]))
+        for f in (
+            _split_fields(s, "--chaos-skew", 2, 2) for s in args.chaos_skew
+        )
+    )
     return chaos_or_none(
         ChaosPlan(
             outages=outages,
             brownouts=tuple(brownouts),
             shard_crashes=tuple(crashes),
             io_faults=tuple(io_faults),
+            clock_skews=skews,
             seed=args.chaos_seed,
         )
     )

@@ -78,6 +78,24 @@ class SourceBrownout:
 
 
 @dataclasses.dataclass(frozen=True)
+class SourceClockSkew:
+    """One tool's clock runs a constant ``skew_s`` off true time.
+
+    Applied to the *whole* stream (clock error is a property of the
+    source, not of a window): every alert from ``tool`` has its
+    observation and delivery stamps shifted by the same amount, so
+    ``delivered_at >= timestamp`` is preserved and no new RNG draws are
+    introduced (a skewed plan perturbs nothing else's seeding).  Skew is
+    applied *before* outage/brownout windows are matched -- those windows
+    are expressed in the collector's (skewed) timeline, the same one the
+    gateway sequencer's per-source watermarks see.
+    """
+
+    tool: str
+    skew_s: float
+
+
+@dataclasses.dataclass(frozen=True)
 class ShardCrash:
     """Locator shard ``shard`` loses its in-memory tree at sim time ``at``."""
 
@@ -122,12 +140,14 @@ class PerturbResult:
     dropped: int = 0
     delayed: int = 0
     duplicated: int = 0
+    skewed: int = 0
 
     def counts(self) -> Dict[str, int]:
         return {
             "dropped": self.dropped,
             "delayed": self.delayed,
             "duplicated": self.duplicated,
+            "skewed": self.skewed,
         }
 
 
@@ -149,18 +169,25 @@ class ChaosPlan:
     brownouts: Tuple[SourceBrownout, ...] = ()
     shard_crashes: Tuple[ShardCrash, ...] = ()
     io_faults: Tuple[IOFault, ...] = ()
+    clock_skews: Tuple[SourceClockSkew, ...] = ()
     seed: int = 0
 
     def is_empty(self) -> bool:
         return not (
-            self.outages or self.brownouts or self.shard_crashes or self.io_faults
+            self.outages
+            or self.brownouts
+            or self.shard_crashes
+            or self.io_faults
+            or self.clock_skews
         )
 
     def degrades_sources(self) -> bool:
+        # skew alone does not make a source *stale* -- it keeps reporting
+        # on cadence, just on a shifted clock -- so it is not watched
         return bool(self.outages or self.brownouts)
 
     def perturbs_stream(self) -> bool:
-        return bool(self.outages or self.brownouts)
+        return bool(self.outages or self.brownouts or self.clock_skews)
 
     def rng(self, purpose: str, run_seed: int) -> random.Random:
         """A deterministic RNG namespaced by purpose, plan seed, run seed."""
@@ -181,9 +208,24 @@ class ChaosPlan:
             out = raws if isinstance(raws, list) else list(raws)
             return PerturbResult(raws=out)
         rng = self.rng("perturb", run_seed)
+        skew_by_tool = {
+            skew.tool: skew.skew_s
+            for skew in self.clock_skews
+            if skew.skew_s != 0.0
+        }
         out: List[RawAlert] = []
-        dropped = delayed = duplicated = 0
+        dropped = delayed = duplicated = skewed = 0
         for raw in raws:
+            # clock skew first: outage/brownout windows (and everything
+            # downstream) see the source's shifted timeline
+            skew_s = skew_by_tool.get(raw.tool)
+            if skew_s is not None:
+                raw = dataclasses.replace(
+                    raw,
+                    timestamp=raw.timestamp + skew_s,
+                    delivered_at=raw.delivered_at + skew_s,
+                )
+                skewed += 1
             if any(outage.covers(raw) for outage in self.outages):
                 dropped += 1
                 continue
@@ -215,7 +257,11 @@ class ChaosPlan:
                 duplicated += 1
         out.sort(key=lambda r: r.delivered_at)
         return PerturbResult(
-            raws=out, dropped=dropped, delayed=delayed, duplicated=duplicated
+            raws=out,
+            dropped=dropped,
+            delayed=delayed,
+            duplicated=duplicated,
+            skewed=skewed,
         )
 
 

@@ -135,6 +135,26 @@ class RuntimeObserver(PipelineObserver):
             )
 
 
+class _FanoutObserver(PipelineObserver):
+    """Broadcasts pipeline hooks to several observers, in order.
+
+    The runtime's own :class:`RuntimeObserver` always comes first so the
+    metrics a tap reads in its hooks are already up to date for the
+    event being observed.
+    """
+
+    def __init__(self, observers: Tuple[PipelineObserver, ...]) -> None:
+        self.observers = observers
+
+    def on_raw(self, raw: RawAlert, emitted: List) -> None:
+        for observer in self.observers:
+            observer.on_raw(raw, emitted)
+
+    def on_sweep(self, now: float, result: SweepResult) -> None:
+        for observer in self.observers:
+            observer.on_sweep(now, result)
+
+
 class RuntimeService:
     """Sharded, checkpointable, backpressured hosting of the pipeline."""
 
@@ -147,12 +167,19 @@ class RuntimeService:
         metrics: Optional[MetricsRegistry] = None,
         chaos: Optional[ChaosPlan] = None,
         run_seed: int = 0,
+        tap: Optional[PipelineObserver] = None,
     ) -> None:
         self.config = config or PRODUCTION_CONFIG
         params = self.config.runtime
         self.metrics = registry_or_new(metrics)
         self.admission = AdmissionController(params, metrics=self.metrics)
         self.observer = RuntimeObserver(self.metrics)
+        #: extra pipeline observer (the gateway's incident tap); fanned
+        #: out after the metrics observer and preserved across resume
+        self.tap = tap
+        #: optional provider of extra checkpoint state (``state["extras"]``)
+        #: -- the gateway stores its sequencer/source-registry state here
+        self.checkpoint_extras: Optional[Callable[[], Dict[str, object]]] = None
         # an empty plan is normalised away: no chaos machinery exists at
         # all unless something is actually scheduled
         self.chaos = chaos_or_none(chaos)
@@ -198,12 +225,15 @@ class RuntimeService:
             locator = MPShardedLocator(topology, self.config)
         else:
             locator = ShardedLocator(topology, self.config)
+        pipeline_observer: PipelineObserver = self.observer
+        if self.tap is not None:
+            pipeline_observer = _FanoutObserver((self.observer, self.tap))
         self.pipeline = SkyNet(
             topology,
             config=self.config,
             state=state,
             locator=locator,
-            observer=self.observer,
+            observer=pipeline_observer,
         )
         if self._health is not None:
             self.pipeline.health = self._health
@@ -434,6 +464,8 @@ class RuntimeService:
             state["health"] = self._health.state_dict()
         if self._pending_crashes:
             state["chaos"] = {"fired_crashes": sorted(self._fired_crashes)}
+        if self.checkpoint_extras is not None:
+            state["extras"] = self.checkpoint_extras()
         checkpoints = self.checkpoints
         seq = self._seq
         saved = self._io_attempt(
@@ -478,6 +510,8 @@ class RuntimeService:
         state: Optional[NetworkState] = None,
         chaos: Optional[ChaosPlan] = None,
         run_seed: int = 0,
+        tap: Optional[PipelineObserver] = None,
+        extras_hook: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> "RuntimeService":
         """Rebuild a service from its journal + checkpoints directory.
 
@@ -486,6 +520,11 @@ class RuntimeService:
         returns a service ready to ingest new alerts.  Journal corruption
         stops the replay at the last valid record and is surfaced in
         ``service.recovery`` -- recovery proceeds, it does not crash.
+
+        ``extras_hook`` receives the checkpoint's ``extras`` payload (see
+        ``checkpoint_extras``) *between* the snapshot restore and the
+        journal-tail replay, so a layered service (the gateway) can
+        rebuild its own state before the replay drives its ``tap``.
 
         A chaos run must be resumed with the *same* plan and run seed it
         started with (the caller owns that invariant, exactly as for
@@ -499,6 +538,7 @@ class RuntimeService:
             directory=directory,
             chaos=chaos,
             run_seed=run_seed,
+            tap=tap,
         )
         if service.journal is None or service.checkpoints is None:
             raise RuntimeError("resume requires a persistence directory")
@@ -532,6 +572,9 @@ class RuntimeService:
                 payload.get("sim_now", service.pipeline.now)  # type: ignore[arg-type]
             )
             after_seq = service._seq - 1
+            extras = payload.get("extras")
+            if extras_hook is not None and isinstance(extras, dict):
+                extras_hook(extras)
 
         replayed = 0
         for entry in service.journal.replay(after_seq=after_seq):
@@ -558,5 +601,9 @@ class RuntimeService:
         """Swap in a restored registry and re-point every handle holder."""
         self.metrics = metrics
         self.observer = RuntimeObserver(metrics)
-        self.pipeline.observer = self.observer
+        self.pipeline.observer = (
+            self.observer
+            if self.tap is None
+            else _FanoutObserver((self.observer, self.tap))
+        )
         self.admission._metrics = metrics

@@ -54,7 +54,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from ..core.alert import AlertLevel, StructuredAlert
 from ..core.alert_tree import AlertTree, TreeRecord, record_from
 from ..core.config import SkyNetConfig
-from ..core.locator import CandidateGroup, Locator
+from ..core.locator import CandidateGroup, Locator, SweepResult
 from ..topology.hierarchy import LocationPath
 from ..topology.network import Topology
 from .sharding import (
@@ -174,6 +174,46 @@ def _worker_main(conn: Connection) -> None:
                 }
                 components = None if version == known_version else memo[1]
                 reply = ("ok", version, components, types, dict(counters))
+            elif command == "sweep":
+                # compound barrier: insert batch + expire + partition in
+                # one round-trip, so a sweep costs O(1) frames per shard
+                # instead of one per pending alert batch plus two more
+                _, batch, now, timeout_s, known_version = message
+                if batch:
+                    applied = tree.insert_batch(batch)
+                    counters["inserts_applied"] += applied
+                    counters["ops_applied"] += 1
+                before = set(tree._nodes)
+                removed = tree.expire(now, timeout_s)
+                dropped = (
+                    [loc for loc in before if loc not in tree]
+                    if len(tree) != len(before)
+                    else []
+                )
+                counters["expires_applied"] += 1
+                counters["ops_applied"] += 1
+                version = tree.structure_version
+                if memo is None or memo[0] != version:
+                    assert engine is not None, "sweep before init"
+                    memo = (
+                        version,
+                        partition_locations(engine, tree.locations()),
+                    )
+                    counters["partitions_computed"] += 1
+                else:
+                    counters["partition_cache_hits"] += 1
+                types = {
+                    loc: tuple(
+                        (record.type_key, record.level)
+                        for record in tree.iter_records_at(loc)
+                    )
+                    for loc in tree.locations()
+                }
+                components = None if version == known_version else memo[1]
+                reply = (
+                    "ok", removed, dropped, version, components, types,
+                    dict(counters),
+                )
             elif command == "records":
                 reply = (
                     "ok",
@@ -643,6 +683,70 @@ class MPShardedAlertTree:
             types_map.update(types)
         return shard_parts, types_map
 
+    def sweep_all(
+        self, now: float, timeout_s: float
+    ) -> Tuple[
+        int,
+        List[Tuple[int, List[List[LocationPath]]]],
+        Dict[LocationPath, Tuple],
+    ]:
+        """One compound barrier: outbox batch + expire + partition per shard.
+
+        The pending insert batches ride *inside* the sweep request, so a
+        whole sweep costs one request/reply frame per shard -- O(batches)
+        -- where the separate ``_flush`` + ``expire`` + ``partition``
+        sequence paid up to three requests and two replies.  Replies are
+        byte-for-byte the fusion of the individual commands' replies, and
+        the heal discipline is unchanged: popped batches are already in
+        the op log (logged at ``_note_insert``), so a retried sweep sends
+        an empty batch and the replayed log supplies the inserts, while
+        the expire is logged only after its ack and therefore applied
+        exactly once.
+        """
+
+        def build_message(index: int) -> Tuple:
+            batch = self._outbox[index]
+            if batch:
+                self._outbox[index] = []  # lint: allow REP014
+            memo = self._comp_memo[index]
+            return (
+                "sweep", batch, now, timeout_s,
+                memo[0] if memo is not None else -1,
+            )
+
+        sent = self._scatter(build_message)
+        root_before = self.root_tree.structure_version
+        removed = self.root_tree.expire(now, timeout_s)
+        shard_parts: List[Tuple[int, List[List[LocationPath]]]] = []
+        types_map: Dict[LocationPath, Tuple] = {}
+        for index in range(self.router.shards):
+            reply = self._gather(index, sent[index], build_message)
+            _, shard_removed, dropped, version, components, types, counters = reply
+            removed += shard_removed
+            if components is None:
+                memo = self._comp_memo[index]
+                assert memo is not None and memo[0] == version
+                components = memo[1]
+            else:
+                self._comp_memo[index] = (version, components)  # lint: allow REP014
+            self._versions[index] = version  # lint: allow REP014
+            self._counters[index] = counters  # lint: allow REP014
+            for location in dropped:
+                self._order.pop(location, None)  # lint: allow REP014
+                self._dirty.discard(location)  # lint: allow REP014
+            if self.supervised:
+                self._oplog[index].append(("expire", now, timeout_s))  # lint: allow REP014
+            shard_parts.append((index, components))
+            types_map.update(types)
+        if self.root_tree.structure_version != root_before:
+            for location in [
+                loc
+                for loc, index in self._order.items()
+                if index == ROOT_SHARD and loc not in self.root_tree
+            ]:
+                del self._order[location]  # lint: allow REP014
+        return removed, shard_parts, types_map
+
     # -- checkpoint + restore ----------------------------------------------
 
     def snapshot_trees(self) -> List[bytes]:
@@ -790,15 +894,52 @@ class MPShardedLocator(ShardedLocator):
         self._partitions = {}
         #: location -> ((type_key, level), ...) from the last barrier
         self._types_map: Dict[LocationPath, Tuple] = {}
+        #: worker partitions from the last compound sweep barrier,
+        #: consumed (and cleared) by the next ``_candidate_groups`` call
+        self._barrier_parts: Optional[
+            List[Tuple[int, List[List[LocationPath]]]]
+        ] = None
 
     @property
     def mp_tree(self) -> MPShardedAlertTree:
         tree: MPShardedAlertTree = self.main_tree  # type: ignore[assignment]
         return tree
 
+    def sweep(self, now: float) -> SweepResult:
+        """The :meth:`Locator.sweep` steps, fused at one worker barrier.
+
+        Mirrors the base implementation line for line -- flush (fast
+        path), expire, close-idle, generate -- but ships each shard's
+        pending insert batch, its expiry and its partition request in a
+        *single* compound frame via :meth:`MPShardedAlertTree.sweep_all`;
+        ``_candidate_groups`` then consumes the partitions gathered at
+        that barrier instead of paying a second scatter.  ``_close_idle``
+        between the barrier and ``_generate`` is pure incident
+        bookkeeping (no tree mutation), so the partitions stay valid.
+        """
+        if self._fast:
+            self.flush()  # fills the per-shard outboxes parent-side
+        tree = self.mp_tree
+        expired, shard_parts, types_map = tree.sweep_all(
+            now, self._config.node_timeout_s
+        )
+        self._types_map = types_map
+        self._barrier_parts = shard_parts
+        closed = self._close_idle(now)
+        opened = self._generate(now)
+        return SweepResult(
+            opened=opened, closed=closed, expired_records=expired
+        )
+
     def _candidate_groups(self) -> List[CandidateGroup]:
         tree = self.mp_tree
-        shard_parts, self._types_map = tree.partition_all()
+        if self._barrier_parts is not None:
+            # partitions gathered at this sweep's compound barrier
+            shard_parts = self._barrier_parts
+            self._barrier_parts = None
+        else:
+            # out-of-sweep call (no barrier to consume): pay the scatter
+            shard_parts, self._types_map = tree.partition_all()
         version = tree.root_tree.structure_version
         cached = self._partitions.get(ROOT_SHARD)
         if cached is None or cached[0] != version:
@@ -858,6 +999,7 @@ class MPShardedLocator(ShardedLocator):
         self._groups_version = -1
         self._partitions = {}
         self._types_map = {}
+        self._barrier_parts = None
 
     # -- worker surface -----------------------------------------------------
 

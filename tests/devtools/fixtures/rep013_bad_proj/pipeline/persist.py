@@ -1,0 +1,7 @@
+"""Checkpoint payloads built from ambient process state."""
+
+import os
+
+
+def snapshot(store, tree):
+    store.write_checkpoint(os.environ.get("RUN_ID"))

@@ -1,0 +1,5 @@
+"""Checkpoint payloads done right: identity is injected, never ambient."""
+
+
+def snapshot(store, tree, run_id):
+    store.write_checkpoint(run_id)

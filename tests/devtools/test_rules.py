@@ -85,7 +85,7 @@ def test_rep010_silent_on_good_project():
 #: whole-program rule -> (bad fixture dir, expected count, good fixture dir)
 PROJECT_RULE_CASES = {
     "REP012": ("rep012_bad_proj", 2, "rep012_good_proj"),
-    "REP013": ("rep013_bad_proj", 2, "rep013_good_proj"),
+    "REP013": ("rep013_bad_proj", 3, "rep013_good_proj"),
     "REP014": ("rep014_bad_proj", 3, "rep014_good_proj"),
     "REP015": ("rep015_bad_proj", 7, "rep015_good_proj"),
 }
@@ -126,6 +126,9 @@ def test_rep013_reports_at_source_with_witness():
     order = [f for f in findings if "set-order" in f.message]
     assert len(order) == 1
     assert ".incident_id" in order[0].message
+    persist = [f for f in findings if f.path.endswith("persist.py")]
+    assert len(persist) == 1
+    assert "checkpoint write" in persist[0].message
 
 
 def test_rep014_findings_name_the_entry_point():

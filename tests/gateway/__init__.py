@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.gateway`: the serving layer over the runtime."""

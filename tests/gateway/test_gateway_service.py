@@ -1,0 +1,303 @@
+"""Service-level contract tests: validation, backpressure, subscription.
+
+The battery (``test_gateway_battery.py``) pins the signature identity
+property; this file pins everything around it -- the request/reply error
+envelope, the per-source bounded queues shedding through the admission
+controller's books, heartbeats, the cursor-ordered event log and the
+long-poll, and the health/metrics/stats query surfaces.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+import pytest
+
+from repro.gateway import (
+    CANONICAL_SOURCES,
+    GatewayParams,
+    GatewayService,
+    QUEUE_RUNG,
+    SOURCE_PRIORITY,
+)
+from repro.monitors.base import RawAlert
+from repro.runtime.checkpoint import set_incident_counter
+from repro.runtime.journal import raw_to_json
+from repro.simulation.state import NetworkState
+from repro.topology.builder import TopologySpec, build_topology
+
+
+def _alert(tool: str, t: float, device=None, n: int = 0) -> RawAlert:
+    return RawAlert(
+        tool=tool,
+        raw_type=f"test_{tool}_{n}",
+        timestamp=t,
+        message=f"synthetic {tool} alert",
+        device=device,
+    )
+
+
+@pytest.fixture()
+def service():
+    topo = build_topology(TopologySpec.tiny())
+    set_incident_counter(1)
+    svc = GatewayService(topo, params=GatewayParams(queue_limit=4))
+    yield svc
+    svc.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# validation + error envelope
+
+
+def test_source_registry_covers_table2_and_future_sources():
+    assert len(CANONICAL_SOURCES) == len(SOURCE_PRIORITY)
+    assert "ping" in SOURCE_PRIORITY and "syslog" in SOURCE_PRIORITY
+    # ranks are the canonical order, dense from zero
+    assert sorted(SOURCE_PRIORITY.values()) == list(range(len(CANONICAL_SOURCES)))
+
+
+def test_unknown_source_is_rejected(service):
+    reply = service.handle(
+        {"op": "submit", "raw": raw_to_json(_alert("not-a-tool", 1.0))}
+    )
+    assert reply["ok"] is False
+    assert reply["kind"] == "UnknownSourceError"
+
+
+def test_source_tool_mismatch_is_rejected(service):
+    reply = service.handle(
+        {
+            "op": "submit",
+            "source": "syslog",
+            "raw": raw_to_json(_alert("ping", 1.0)),
+        }
+    )
+    assert reply["ok"] is False
+    assert reply["kind"] == "SequenceError"
+
+
+def test_timestamp_regression_is_rejected(service):
+    assert service.handle(
+        {"op": "submit", "raw": raw_to_json(_alert("ping", 5.0))}
+    )["ok"]
+    reply = service.handle(
+        {"op": "submit", "raw": raw_to_json(_alert("ping", 4.0))}
+    )
+    assert reply["ok"] is False and reply["kind"] == "SequenceError"
+
+
+def test_explicit_seq_must_be_monotone(service):
+    assert service.handle(
+        {"op": "submit", "raw": raw_to_json(_alert("ping", 1.0)), "seq": 3}
+    )["seq"] == 3
+    reply = service.handle(
+        {"op": "submit", "raw": raw_to_json(_alert("ping", 2.0)), "seq": 2}
+    )
+    assert reply["ok"] is False and reply["kind"] == "SequenceError"
+    # the next implicit seq continues after the explicit one
+    assert service.handle(
+        {"op": "submit", "raw": raw_to_json(_alert("ping", 2.0))}
+    )["seq"] == 4
+
+
+def test_submit_after_eof_is_rejected(service):
+    service.handle({"op": "eof", "source": "ping"})
+    reply = service.handle(
+        {"op": "submit", "raw": raw_to_json(_alert("ping", 1.0))}
+    )
+    assert reply["ok"] is False and reply["kind"] == "SourceClosedError"
+
+
+def test_unknown_op_and_missing_fields(service):
+    assert service.handle({"op": "frobnicate"})["ok"] is False
+    assert "missing field" in service.handle({"op": "advance"})["error"]
+    assert service.handle({"op": "history", "cursor": -1})["ok"] is False
+
+
+def test_eof_tracks_all_sources(service):
+    for i, tool in enumerate(CANONICAL_SOURCES):
+        reply = service.handle({"op": "eof", "source": tool})
+        assert reply["ok"]
+        assert reply["all_eof"] is (i == len(CANONICAL_SOURCES) - 1)
+
+
+# ---------------------------------------------------------------------------
+# backpressure: bounded queues shed through the admission books
+
+
+def test_queue_overflow_sheds_and_is_accounted(service):
+    # syslog never speaks, so ping's submissions all stay pending
+    admitted = 0
+    for i in range(7):
+        reply = service.submit(_alert("ping", float(i), n=i))
+        if reply["admitted"]:
+            admitted += 1
+        else:
+            assert reply["shed"] == QUEUE_RUNG
+    assert admitted == 4  # the queue_limit
+    stats = service.stats()
+    assert stats["pending"] == 4
+    assert stats["sheds"].get(QUEUE_RUNG) == 3
+    assert stats["offered"] == 3  # sheds are *offered* to the books too
+    health = service.health()
+    ping = health["sources"]["ping"]
+    assert ping["submitted"] == 4 and ping["shed"] == 3 and ping["pending"] == 4
+    counters = service.metrics()["metrics"]["counters"]
+    assert counters["gateway_queue_shed_total"] == 3
+    assert counters["gateway_submitted_total"] == 4
+
+
+def test_shed_frees_up_after_release(service):
+    for i in range(4):
+        assert service.submit(_alert("ping", float(i), n=i))["admitted"]
+    assert not service.submit(_alert("ping", 4.0, n=4))["admitted"]
+    # releasing the backlog (every other source done) reopens the queue
+    for tool in CANONICAL_SOURCES:
+        if tool != "ping":
+            service.eof(tool)
+    assert service.stats()["pending"] <= 1  # only ping's frontier item holds
+    assert service.submit(_alert("ping", 5.0, n=5))["admitted"]
+
+
+# ---------------------------------------------------------------------------
+# heartbeats
+
+
+def test_advance_releases_without_submitting(service):
+    assert service.submit(_alert("ping", 10.0))["released"] == 0
+    for tool in CANONICAL_SOURCES:
+        if tool not in ("ping", "syslog"):
+            service.eof(tool)
+    assert service.advance("syslog", 11.0)["released"] == 0  # ping gates itself
+    assert service.advance("ping", 11.0)["released"] == 1
+    reply = service.handle({"op": "advance", "source": "ping", "timestamp": 10.5})
+    assert reply["ok"] is False and reply["kind"] == "SequenceError"
+    health = service.health()
+    assert health["sources"]["syslog"]["last_timestamp"] == 11.0
+
+
+# ---------------------------------------------------------------------------
+# event log + long-poll subscription
+
+
+def _tiny_flood():
+    """A small but real simulated flood on the tiny fabric."""
+    from ..test_equivalence_flood import _device_down, _stream
+    from .test_gateway_battery import _merged
+
+    topo = build_topology(TopologySpec.tiny())
+    state = NetworkState(topo)
+    for cond in _device_down(sorted(topo.devices)[:3], start=30.0, duration=200.0):
+        state.add_condition(cond)
+    raws = _stream(topo, state, 300.0, seed=11)
+    split, merged = _merged(raws)
+    return topo, state, split, merged
+
+
+def _flood_to_incident(service, split, merged) -> None:
+    """Drive a real flood through the service and close out the stream."""
+    for tool in CANONICAL_SOURCES:
+        if tool not in split:
+            service.eof(tool)
+    for raw in merged:
+        assert service.submit(raw)["admitted"]
+    for tool in sorted(split):
+        service.eof(tool)
+    service.finish()
+
+
+def test_event_log_cursors_and_history():
+    topo, state, split, merged = _tiny_flood()
+    set_incident_counter(1)
+    service = GatewayService(
+        topo, state=state, params=GatewayParams(queue_limit=10**6)
+    )
+    try:
+        _flood_to_incident(service, split, merged)
+        full = service.history()
+        assert full["finished"] is True
+        events = full["events"]
+        assert events, "flood produced no incident events"
+        assert [e["cursor"] for e in events] == list(range(len(events)))
+        assert {e["kind"] for e in events} <= {"opened", "closed"}
+        # resume-from-cursor returns exactly the tail
+        tail = service.history(cursor=len(events) - 1)
+        assert tail["events"] == events[-1:]
+        assert tail["cursor"] == len(events)
+        assert service.history(cursor=len(events))["events"] == []
+        # opened events carry no end_time; closed events do
+        for event in events:
+            if event["kind"] == "opened":
+                assert event["end_time"] is None
+    finally:
+        service.shutdown()
+
+
+def test_subscribe_long_poll_wakes_on_events():
+    topo, state, split, merged = _tiny_flood()
+    set_incident_counter(1)
+    service = GatewayService(
+        topo, state=state, params=GatewayParams(queue_limit=10**6)
+    )
+    got: List[dict] = []
+
+    def poller():
+        got.append(service.subscribe(cursor=0, timeout_s=30.0))
+
+    thread = threading.Thread(target=poller)
+    try:
+        thread.start()
+        _flood_to_incident(service, split, merged)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "subscriber never woke"
+        assert got and got[0]["events"], "subscriber woke without events"
+    finally:
+        thread.join(timeout=1.0)
+        service.shutdown()
+
+
+def test_subscribe_timeout_returns_empty(service):
+    reply = service.subscribe(cursor=0, timeout_s=0.05)
+    assert reply["ok"] and reply["events"] == []
+    assert reply["finished"] is False and reply["draining"] is False
+
+
+def test_shutdown_wakes_subscribers_and_is_idempotent(service):
+    woke = threading.Event()
+
+    def poller():
+        service.subscribe(cursor=0, timeout_s=30.0)
+        woke.set()
+
+    thread = threading.Thread(target=poller)
+    thread.start()
+    service.shutdown()
+    assert woke.wait(timeout=5.0), "drain did not wake the long-poller"
+    thread.join(timeout=1.0)
+    assert service.shutdown()["ok"]  # second drain is a no-op
+    reply = service.handle(
+        {"op": "submit", "raw": raw_to_json(_alert("ping", 1.0))}
+    )
+    assert reply["ok"] is False and reply["kind"] == "SourceClosedError"
+
+
+# ---------------------------------------------------------------------------
+# query surfaces
+
+
+def test_stats_and_health_shapes(service):
+    stats = service.stats()
+    assert stats["backend"] in ("inproc", "mp")
+    assert stats["shards"] >= 1
+    assert stats["finished"] is False and stats["draining"] is False
+    service.submit(_alert("ping", 3.0))
+    health = service.health()
+    ping = health["sources"]["ping"]
+    assert ping["watermark"] == 3.0 and ping["next_seq"] == 1
+    # idle sources report null watermarks (-inf is not JSON)
+    assert health["sources"]["syslog"]["watermark"] is None
+    assert service.active()["incidents"] == []
+    assert service.reports()["reports"] == []
+    assert service.metrics()["ok"]

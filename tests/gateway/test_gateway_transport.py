@@ -1,0 +1,131 @@
+"""Wire-level tests: framing codec, loopback, and the socket server.
+
+The loopback transport round-trips every request and reply through the
+real frame codec, so the battery's identity gate already exercises the
+encoding; this file pins the codec's contract directly (deterministic
+bytes, rejection of garbage) and the socket server's concurrency
+(parallel clients, per-connection framing errors, clean stop).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+import pytest
+
+from repro.gateway import (
+    GatewayClient,
+    GatewayParams,
+    GatewaySocketServer,
+    LoopbackTransport,
+    decode_frame,
+    encode_frame,
+)
+from repro.gateway.transport import Message
+
+
+def test_frame_codec_round_trip():
+    message = {"op": "submit", "nested": {"b": 2, "a": 1}, "n": None, "f": 1.5}
+    frame = encode_frame(message)
+    assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+    assert decode_frame(frame) == message
+
+
+def test_frame_encoding_is_deterministic():
+    a = encode_frame({"b": 1, "a": {"d": 2, "c": 3}})
+    b = encode_frame({"a": {"c": 3, "d": 2}, "b": 1})
+    assert a == b  # sorted keys: key order never leaks into the bytes
+
+
+def test_frame_codec_rejects_garbage():
+    with pytest.raises(ValueError):
+        decode_frame(b"not json\n")
+    with pytest.raises(ValueError):
+        decode_frame(b"[1, 2, 3]\n")  # frames are objects, not arrays
+    with pytest.raises(ValueError):
+        encode_frame(["not", "a", "dict"])  # type: ignore[arg-type]
+
+
+def test_loopback_round_trips_through_the_codec():
+    seen: List[Message] = []
+
+    def handler(request: Message) -> Message:
+        seen.append(request)
+        return {"ok": True, "echo": request.get("x")}
+
+    transport = LoopbackTransport(handler)
+    reply = transport.request({"op": "ping", "x": [1, 2.5, "three", None]})
+    assert reply == {"ok": True, "echo": [1, 2.5, "three", None]}
+    # the handler saw the codec's output, not the caller's object
+    assert seen[0] == {"op": "ping", "x": [1, 2.5, "three", None]}
+
+
+def _echo_server():
+    lock = threading.Lock()
+    counts: Dict[str, int] = {}
+
+    def handler(request: Message) -> Message:
+        with lock:
+            client = str(request.get("client"))
+            counts[client] = counts.get(client, 0) + 1
+            return {"ok": True, "client": client, "count": counts[client]}
+
+    server = GatewaySocketServer(handler, GatewayParams())
+    server.start()
+    return server, counts
+
+
+def test_socket_server_serves_concurrent_clients():
+    server, counts = _echo_server()
+    host, port = server.address
+    errors: List[BaseException] = []
+
+    def worker(name: str) -> None:
+        try:
+            with GatewayClient(host, port, timeout_s=10.0) as client:
+                for i in range(20):
+                    reply = client.request({"op": "echo", "client": name})
+                    assert reply["ok"] and reply["client"] == name
+                    assert reply["count"] == i + 1
+        except BaseException as exc:  # surfaced in the main thread
+            errors.append(exc)
+
+    try:
+        threads = [
+            threading.Thread(target=worker, args=(f"client-{i}",))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors, errors
+        assert counts == {f"client-{i}": 20 for i in range(8)}
+    finally:
+        server.stop()
+
+
+def test_socket_server_reports_bad_frames_and_keeps_the_connection():
+    server, _counts = _echo_server()
+    host, port = server.address
+    try:
+        with GatewayClient(host, port, timeout_s=10.0) as client:
+            client._sock.sendall(b"this is not json\n")  # type: ignore[attr-defined]
+            reply = decode_frame(client._reader.readline())  # type: ignore[attr-defined]
+            assert reply["ok"] is False
+            # the connection survives a framing error
+            assert client.request({"op": "echo", "client": "after"})["ok"]
+    finally:
+        server.stop()
+
+
+def test_server_stop_closes_connections():
+    server, _counts = _echo_server()
+    host, port = server.address
+    client = GatewayClient(host, port, timeout_s=5.0)
+    assert client.request({"op": "echo", "client": "x"})["ok"]
+    server.stop()
+    with pytest.raises((ConnectionError, OSError)):
+        client.request({"op": "echo", "client": "x"})
+    client.close()

@@ -1,0 +1,228 @@
+"""Hypothesis battery for the deterministic sequencer.
+
+The gateway's byte-identity guarantee reduces to one claim: the order in
+which the sequencer releases alerts is a pure function of the *set* of
+submissions, never of their arrival interleaving.  These properties pin
+that claim directly, below the service layer:
+
+* any two interleavings of the same per-source substreams release the
+  identical total order ``(timestamp, source_priority, seq)``;
+* a ``state_dict``/``load_state_dict`` round-trip at an arbitrary point
+  mid-stream changes nothing about the remaining releases (the resume
+  path's core assumption);
+* online releases never outrun the watermark frontier, and the frontier
+  is monotone.
+
+Payloads are the key triples themselves, so equality checks compare the
+full release order, not just its length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gateway.sequencer import DeterministicSequencer
+from repro.gateway.sources import (
+    SequenceError,
+    SourceClosedError,
+    UnknownSourceError,
+)
+
+PRIORITIES = {"ping": 0, "syslog": 1, "traceroute": 2}
+
+Key = Tuple[int, int, int]
+
+
+def _expected_order(subs: Dict[str, List[int]]) -> List[Key]:
+    return sorted(
+        (t, PRIORITIES[s], i) for s, ts in subs.items() for i, t in enumerate(ts)
+    )
+
+
+def _drive(
+    subs: Dict[str, List[int]],
+    arrival: Sequence[str],
+    eof_order: Sequence[str],
+) -> Tuple[List[Key], int]:
+    """Run one interleaving; return (full release order, #released online)."""
+    seq: DeterministicSequencer[Key] = DeterministicSequencer(PRIORITIES)
+    cursors = {s: 0 for s in PRIORITIES}
+    released: List[Key] = []
+    frontier = seq.frontier()
+    for source in arrival:
+        i = cursors[source]
+        cursors[source] += 1
+        t = subs[source][i]
+        out = seq.submit(source, float(t), i, (t, PRIORITIES[source], i))
+        # frontier is monotone, and releases stay strictly below it
+        assert seq.frontier() >= frontier
+        frontier = seq.frontier()
+        assert all(key[0] < frontier for key in out)
+        released.extend(out)
+    online = len(released)
+    for source in eof_order:
+        released.extend(seq.eof(source))
+    assert seq.pending() == 0
+    return released, online
+
+
+@st.composite
+def two_interleavings(draw):
+    subs = {
+        s: sorted(draw(st.lists(st.integers(0, 30), max_size=8)))
+        for s in sorted(PRIORITIES)
+    }
+    labels = [s for s in sorted(subs) for _ in subs[s]]
+    return (
+        subs,
+        (draw(st.permutations(labels)), draw(st.permutations(sorted(PRIORITIES)))),
+        (draw(st.permutations(labels)), draw(st.permutations(sorted(PRIORITIES)))),
+    )
+
+
+@given(two_interleavings())
+@settings(max_examples=200, deadline=None)
+def test_release_order_is_arrival_invariant(case):
+    subs, run_a, run_b = case
+    released_a, _ = _drive(subs, *run_a)
+    released_b, _ = _drive(subs, *run_b)
+    expected = _expected_order(subs)
+    assert released_a == expected
+    assert released_b == expected
+
+
+@st.composite
+def checkpointed_run(draw):
+    subs = {
+        s: sorted(draw(st.lists(st.integers(0, 30), max_size=8)))
+        for s in sorted(PRIORITIES)
+    }
+    labels = [s for s in sorted(subs) for _ in subs[s]]
+    arrival = draw(st.permutations(labels))
+    cut = draw(st.integers(0, len(arrival)))
+    return subs, arrival, cut
+
+
+@given(checkpointed_run())
+@settings(max_examples=200, deadline=None)
+def test_state_roundtrip_mid_stream_preserves_order(case):
+    """Checkpoint + restore at any point is invisible to the release order."""
+    subs, arrival, cut = case
+    seq: DeterministicSequencer[Key] = DeterministicSequencer(PRIORITIES)
+    cursors = {s: 0 for s in PRIORITIES}
+    released: List[Key] = []
+    for step, source in enumerate(arrival):
+        if step == cut:
+            clone: DeterministicSequencer[Key] = DeterministicSequencer(PRIORITIES)
+            clone.load_state_dict(seq.state_dict())
+            assert clone.watermarks() == seq.watermarks()
+            assert clone.pending() == seq.pending()
+            seq = clone
+        i = cursors[source]
+        cursors[source] += 1
+        t = subs[source][i]
+        released.extend(seq.submit(source, float(t), i, (t, PRIORITIES[source], i)))
+    # restore once more before the drain, then eof everything
+    clone = DeterministicSequencer(PRIORITIES)
+    clone.load_state_dict(seq.state_dict())
+    for source in sorted(PRIORITIES):
+        released.extend(clone.eof(source))
+    assert released == _expected_order(subs)
+
+
+@given(checkpointed_run())
+@settings(max_examples=100, deadline=None)
+def test_heartbeats_never_change_the_order(case):
+    """Interleaving ``advance`` heartbeats anywhere leaves the order alone."""
+    subs, arrival, cut = case
+    seq: DeterministicSequencer[Key] = DeterministicSequencer(PRIORITIES)
+    cursors = {s: 0 for s in PRIORITIES}
+    released: List[Key] = []
+    for step, source in enumerate(arrival):
+        i = cursors[source]
+        cursors[source] += 1
+        t = subs[source][i]
+        released.extend(seq.submit(source, float(t), i, (t, PRIORITIES[source], i)))
+        if step == cut:
+            # every source re-asserts its current watermark: a no-op
+            for s in sorted(PRIORITIES):
+                released.extend(seq.advance(s, seq.watermark(s)))
+    for source in sorted(PRIORITIES):
+        released.extend(seq.eof(source))
+    assert released == _expected_order(subs)
+
+
+# ---------------------------------------------------------------------------
+# deterministic edge cases
+
+
+def test_frontier_is_strict():
+    """An item *at* the frontier is withheld: a source sitting exactly at
+    the frontier may still submit at that timestamp with a winning rank."""
+    seq: DeterministicSequencer[str] = DeterministicSequencer(PRIORITIES)
+    seq.eof("traceroute")
+    assert seq.submit("ping", 5.0, 0, "ping@5") == []
+    assert seq.submit("syslog", 5.0, 0, "syslog@5") == []
+    assert seq.pending() == 2  # both sit at the frontier, neither releases
+    assert seq.frontier() == 5.0
+    # lifting both watermarks past 5 releases both, priority order
+    assert seq.advance("ping", 6.0) == []
+    assert seq.advance("syslog", 6.0) == ["ping@5", "syslog@5"]
+
+
+def test_quiet_source_gates_until_heartbeat_or_eof():
+    seq: DeterministicSequencer[str] = DeterministicSequencer(PRIORITIES)
+    assert seq.submit("ping", 10.0, 0, "a") == []
+    assert seq.submit("syslog", 10.0, 0, "b") == []
+    assert seq.frontier() == float("-inf")  # traceroute never spoke
+    assert seq.advance("traceroute", 11.0) == []  # submitters gate themselves
+    assert seq.advance("ping", 11.0) == []
+    assert seq.advance("syslog", 11.0) == ["a", "b"]
+
+
+def test_eof_all_drains_everything_in_key_order():
+    seq: DeterministicSequencer[str] = DeterministicSequencer(PRIORITIES)
+    seq.submit("syslog", 3.0, 0, "s3")
+    seq.submit("ping", 3.0, 0, "p3")
+    seq.submit("ping", 7.0, 1, "p7")
+    out: List[str] = []
+    for source in ("traceroute", "ping", "syslog"):
+        out.extend(seq.eof(source))
+    assert out == ["p3", "s3", "p7"]
+    assert seq.frontier() == float("inf")
+
+
+def test_flush_drains_in_key_order():
+    seq: DeterministicSequencer[str] = DeterministicSequencer(PRIORITIES)
+    seq.submit("syslog", 9.0, 0, "s9")
+    seq.submit("ping", 9.0, 0, "p9")
+    seq.submit("ping", 12.0, 1, "p12")
+    assert seq.flush() == ["p9", "s9", "p12"]
+    assert seq.pending() == 0
+    assert seq.pending_for("ping") == 0
+
+
+def test_validation_errors():
+    seq: DeterministicSequencer[str] = DeterministicSequencer(PRIORITIES)
+    with pytest.raises(UnknownSourceError):
+        seq.submit("sflow", 1.0, 0, "x")
+    with pytest.raises(UnknownSourceError):
+        seq.advance("sflow", 1.0)
+    with pytest.raises(UnknownSourceError):
+        seq.eof("sflow")
+    seq.submit("ping", 5.0, 0, "x")
+    with pytest.raises(SequenceError):
+        seq.submit("ping", 4.0, 1, "y")  # timestamp regression
+    with pytest.raises(SequenceError):
+        seq.advance("ping", 4.0)  # heartbeat regression
+    seq.eof("ping")
+    with pytest.raises(SourceClosedError):
+        seq.submit("ping", 6.0, 1, "z")
+    with pytest.raises(SourceClosedError):
+        seq.advance("ping", 6.0)
+    with pytest.raises(SourceClosedError):
+        seq.eof("ping")
+    assert seq.watermark("ping") == float("inf")

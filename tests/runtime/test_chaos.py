@@ -84,7 +84,9 @@ def test_empty_plan_is_inert():
     raws: List[RawAlert] = []
     result = plan.perturb(raws)
     assert result.raws is raws  # the same object, not a copy
-    assert result.counts() == {"dropped": 0, "delayed": 0, "duplicated": 0}
+    assert result.counts() == {
+        "dropped": 0, "delayed": 0, "duplicated": 0, "skewed": 0,
+    }
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
