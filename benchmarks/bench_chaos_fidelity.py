@@ -22,6 +22,7 @@ tiny fabric for tests/test_bench_smoke.py and CI's chaos-smoke job.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import json
 import os
 import pathlib
@@ -30,12 +31,23 @@ import re
 from typing import Dict, List, Optional, Set
 
 from repro.core.config import PRODUCTION_CONFIG
+from repro.gateway import (
+    ChaosTransport,
+    GatewayClient,
+    GatewayIngestSession,
+    GatewayParams,
+    GatewayService,
+    GatewaySocketServer,
+    NetChaosPlan,
+    SOURCE_PRIORITY,
+)
 from repro.monitors import build_monitors
 from repro.monitors.stream import AlertStream
 from repro.runtime import RuntimeService
 from repro.runtime.checkpoint import set_incident_counter
 from repro.runtime.faults import (
     ChaosPlan,
+    CorrelatedCrash,
     IOFault,
     ShardCrash,
     SourceBrownout,
@@ -137,6 +149,19 @@ FAULT_CLASSES = {
         ),
         True,
     ),
+    "correlated_crash": (
+        # both shards die together and both recovery snapshots are
+        # destroyed: the lost shards must be rebuilt from the durable
+        # checkpoint + journal tail, exactly
+        lambda: ChaosPlan(
+            correlated_crashes=(
+                CorrelatedCrash(
+                    at=250.0, shards=(0, 1), lose_snapshots=(0, 1)
+                ),
+            ),
+        ),
+        True,
+    ),
     "combined": (
         lambda: ChaosPlan(
             brownouts=(
@@ -153,6 +178,81 @@ FAULT_CLASSES = {
         False,
     ),
 }
+
+
+#: Every wire fault class at once, below the client's retry budget.
+NET_PLAN = NetChaosPlan(
+    reset_rate=0.02,
+    stall_rate=0.02,
+    torn_rate=0.02,
+    stale_rate=0.04,
+    duplicate_rate=0.04,
+    drop_reply_rate=0.02,
+    seed=13,
+)
+
+#: Unbounded queues (identity needs zero sheds) + near-zero wall-clock
+#: backoff so injected wire faults cost microseconds.
+GATEWAY_PARAMS = GatewayParams(
+    queue_limit=10**9,
+    client_backoff_base_s=0.0005,
+    client_backoff_max_s=0.005,
+)
+
+
+def _gateway_run(topo, state, raws, net_plan: Optional[NetChaosPlan], directory):
+    """Serve the flood through the real socket transport; return the
+    normalised incident fingerprint, implicated devices and telemetry."""
+    split: Dict[str, List] = {}
+    for raw in raws:
+        split.setdefault(raw.tool, []).append(raw)
+    for substream in split.values():
+        substream.sort(key=lambda r: r.timestamp)
+    merged = [
+        raw
+        for _t, _p, raw in heapq.merge(
+            *(
+                ((r.timestamp, SOURCE_PRIORITY[tool], r) for r in substream)
+                for tool, substream in sorted(split.items())
+            )
+        )
+    ]
+    set_incident_counter(1)
+    service = GatewayService(
+        topo, config=_config(), state=state, directory=directory,
+        run_seed=SEED, params=GATEWAY_PARAMS,
+    )
+    server = GatewaySocketServer(service.handle, GATEWAY_PARAMS)
+    server.start()
+    wire = ChaosTransport(net_plan, run_seed=SEED) if net_plan else None
+    try:
+        host, port = server.address
+        with GatewayClient(
+            host, port, timeout_s=10.0, params=GATEWAY_PARAMS,
+            run_seed=SEED, net_chaos=wire,
+        ) as client:
+            session = GatewayIngestSession(client)
+            for tool in sorted(SOURCE_PRIORITY):
+                if tool not in split:
+                    session.eof(tool)
+            for raw in merged:
+                reply = session.submit(raw)
+                assert reply.get("ok") and reply.get("admitted"), reply
+            for tool in sorted(split):
+                session.eof(tool)
+            session.finish()
+            fp = _fingerprint(service.runtime)
+            devices = _devices(service.runtime)
+            telemetry = {
+                "client_retries": client.retries,
+                "client_reconnects": client.reconnects,
+                "duplicates_deduped": session.duplicates,
+                "wire_faults_injected": wire.injected() if wire else 0,
+            }
+    finally:
+        server.stop()
+        service.shutdown()
+    return fp, devices, telemetry
 
 
 def _run(topo, state, raws, plan: Optional[ChaosPlan], directory):
@@ -220,6 +320,9 @@ def test_chaos_fidelity(emit, paper_assert, tmp_path):
                 "runtime_io_shed_journal_append_total",
                 "runtime_shard_crashes_total",
                 "runtime_shard_restores_total",
+                "runtime_shard_snapshots_lost_total",
+                "runtime_shard_rebuilds_total",
+                "runtime_shard_degraded_heals_total",
             )
         }
         row = {
@@ -250,11 +353,58 @@ def test_chaos_fidelity(emit, paper_assert, tmp_path):
             f"{sorted(devices - baseline_devices)}"
         )
 
+    # -- network fault class: same flood through the real socket
+    # transport, once clean and once with every wire fault injected.
+    # Wire chaos sits below the pipeline, so the contract is identity,
+    # not recall: the chaos run must be byte-identical to the clean
+    # gateway run (ids included via normalisation).
+    clean_fp, clean_devices, _clean_tel = _gateway_run(
+        topo, state, raws, None, tmp_path / "net_clean"
+    )
+    net_fp, net_devices, net_tel = _gateway_run(
+        topo, state, raws, NET_PLAN, tmp_path / "net_chaos"
+    )
+    net_exact = net_fp == clean_fp and net_devices == clean_devices
+    net_row = {
+        "fault_class": "network_faults",
+        "incidents": len(net_fp),
+        "exact": net_exact,
+        "device_recall": 1.0 if net_exact else (
+            round(
+                len(net_devices & clean_devices) / len(clean_devices), 3
+            ) if clean_devices else 0.0
+        ),
+        **net_tel,
+    }
+    report["rows"].append(net_row)
+    emit(
+        "chaos_fidelity",
+        f"{'network_faults':15s} incidents={len(net_fp):3d} "
+        f"exact={str(net_exact):5s} device_recall={net_row['device_recall']:.2f} "
+        f"wire_faults={net_tel['wire_faults_injected']} "
+        f"retries={net_tel['client_retries']} "
+        f"reconnects={net_tel['client_reconnects']} "
+        f"deduped={net_tel['duplicates_deduped']}",
+    )
+    assert net_exact, (
+        "network_faults: wire chaos leaked into the incident stream -- "
+        "the gateway's exactly-once contract is broken"
+    )
+    assert net_tel["wire_faults_injected"] > 0, (
+        "network_faults row proved nothing: the chaos transport never fired"
+    )
+    assert net_tel["client_retries"] > 0, (
+        "network_faults row proved nothing: the client never had to retry"
+    )
+
     assert report["rows"][0]["exact"], "baseline must match itself"
     by_name = {row["fault_class"]: row for row in report["rows"]}
     assert by_name["io_transient"]["runtime_io_retries_total"] > 0
     assert by_name["io_exhausted"]["runtime_io_shed_journal_append_total"] > 0
     assert by_name["shard_crash"]["runtime_shard_crashes_total"] == 2
+    assert by_name["correlated_crash"]["runtime_shard_snapshots_lost_total"] == 2
+    assert by_name["correlated_crash"]["runtime_shard_rebuilds_total"] == 2
+    assert by_name["correlated_crash"]["runtime_shard_degraded_heals_total"] == 0
     # figure-shaped claims need flood scale; relaxed in tiny mode
     paper_assert(
         by_name["source_outage"]["device_recall"] <= 1.0

@@ -25,4 +25,5 @@ from . import (  # noqa: F401
     rep013_determinism_flow,
     rep014_shard_safety,
     rep015_config_drift,
+    rep016_timing_literals,
 )

@@ -55,6 +55,7 @@ class CoreAnnotationRule(LintRule):
             "repro.operators.*",
             "repro.rules.*",
             "repro.baselines.*",
+            "repro.syslogproc.*",
         ),
     }
 

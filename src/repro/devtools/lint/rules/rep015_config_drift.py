@@ -56,6 +56,7 @@ class ConfigDriftRule(LintRule):
             "chaos_outage": "outages",
             "chaos_brownout": "brownouts",
             "chaos_shard_crash": "shard_crashes",
+            "chaos_correlated_crash": "correlated_crashes",
             "chaos_io": "io_faults",
             "chaos_skew": "clock_skews",
             "chaos_seed": "seed",

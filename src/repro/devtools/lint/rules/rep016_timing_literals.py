@@ -1,0 +1,100 @@
+"""REP016: serving-path timing knobs come from params, not literals.
+
+The fault-tolerance batteries (net chaos, correlated crash recovery)
+only stay fast and deterministic because every retry budget, backoff
+bound and socket timeout on the serving path is a *parameter* --
+``RuntimeParams`` for the runtime, ``GatewayParams`` for the gateway --
+that tests can crank down to microseconds and operators can tune
+without a code change.  A numeric literal handed straight to
+``settimeout``/``sleep``/``wait`` or to a ``timeout=``/``backoff=``/
+``max_attempts=`` keyword re-hardcodes the knob: the chaos battery
+either slows to real-time backoffs or silently stops exercising the
+retry path.  This rule flags such literals inside function bodies of
+the serving modules.
+
+Dataclass field *defaults* are exempt by construction (the params
+classes are where the numbers are supposed to live), as are module- and
+class-level constant bindings.  A literal that is genuinely not a
+serving knob (e.g. the reap bound for an already-SIGKILLed worker)
+should carry a ``# lint: allow REP016`` waiver explaining itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Tuple
+
+from ..astutil import is_number_constant
+from ..engine import Finding, LintRule, SourceFile, register
+
+
+@register
+class TimingLiteralRule(LintRule):
+    rule_id = "REP016"
+    title = "retry/backoff/timeout numbers come from RuntimeParams/GatewayParams"
+    paper_ref = "§5 (serving-path operability)"
+    include_modules = ("repro.runtime*", "repro.gateway*")
+    default_options = {
+        #: method names whose positional argument is a wall-clock delay
+        "timing_calls": ("settimeout", "sleep", "wait"),
+        #: keyword names that carry a timing/retry knob wherever they
+        #: appear; matched exactly or by the listed suffixes
+        "timing_keywords": ("timeout", "max_attempts", "attempts"),
+        "timing_suffixes": ("_timeout", "_timeout_s", "_backoff_s", "_interval_s"),
+        #: substrings that mark a keyword as a backoff knob
+        "timing_substrings": ("backoff",),
+    }
+
+    def _is_timing_keyword(self, name: str) -> bool:
+        if name in self.options["timing_keywords"] or name == "timeout_s":
+            return True
+        if any(name.endswith(sfx) for sfx in self.options["timing_suffixes"]):
+            return True
+        return any(sub in name for sub in self.options["timing_substrings"])
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for func in ast.walk(source.tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for stmt in func.body:
+                    yield from self._check_body(source, stmt)
+
+    def _check_body(self, source: SourceFile, node: ast.AST) -> Iterator[Finding]:
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            yield from self._check_call(source, call)
+
+    def _call_name(self, call: ast.Call) -> str:
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        return ""
+
+    def _check_call(self, source: SourceFile, call: ast.Call) -> Iterator[Finding]:
+        name = self._call_name(call)
+        sites: List[Tuple[ast.AST, str]] = []
+        if name in self.options["timing_calls"] and call.args:
+            first = call.args[0]
+            if is_number_constant(first):
+                sites.append(
+                    (first, f"positional delay in {name}({first.value!r})")  # type: ignore[attr-defined]
+                )
+        for kw in call.keywords:
+            if (
+                kw.arg is not None
+                and self._is_timing_keyword(kw.arg)
+                and is_number_constant(kw.value)
+            ):
+                sites.append(
+                    (kw.value, f"keyword {kw.arg}={kw.value.value!r}")  # type: ignore[attr-defined]
+                )
+        for node, what in sites:
+            yield source.finding(
+                self.rule_id,
+                node,
+                f"hard-coded timing literal ({what}); take it from "
+                f"RuntimeParams/GatewayParams so tests and operators "
+                f"can tune it",
+            )

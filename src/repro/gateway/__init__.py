@@ -5,12 +5,21 @@ through a validated, bounded, deterministically-sequenced front door;
 operators query active incidents, history, per-source health and
 metrics, or long-poll an incident subscription -- and the incident
 stream served online is byte-identical (ids included) to an offline
-replay of the same admitted alerts.  See ``README.md`` "Serving".
+replay of the same admitted alerts, including over a faulty network
+(see :mod:`repro.gateway.netchaos`).  See ``README.md`` "Serving".
 """
 
 from .config import GatewayParams
+from .netchaos import (
+    ChaosInjectedNetworkError,
+    ChaosTransport,
+    NetChaosPlan,
+    empty_net_plan,
+    net_chaos_or_none,
+)
 from .sequencer import DeterministicSequencer
 from .service import GatewayService, IncidentEvent, QUEUE_RUNG
+from .session import GatewayIngestSession
 from .sources import (
     CANONICAL_SOURCES,
     GatewayError,
@@ -23,21 +32,28 @@ from .sources import (
 from .transport import (
     GatewayClient,
     GatewaySocketServer,
+    GatewayTransportError,
     LoopbackTransport,
     decode_frame,
     encode_frame,
+    replay_safe,
 )
 
 __all__ = [
     "CANONICAL_SOURCES",
+    "ChaosInjectedNetworkError",
+    "ChaosTransport",
     "DeterministicSequencer",
     "GatewayClient",
     "GatewayError",
+    "GatewayIngestSession",
     "GatewayParams",
     "GatewayService",
     "GatewaySocketServer",
+    "GatewayTransportError",
     "IncidentEvent",
     "LoopbackTransport",
+    "NetChaosPlan",
     "QUEUE_RUNG",
     "SequenceError",
     "SOURCE_PRIORITY",
@@ -45,5 +61,8 @@ __all__ = [
     "SourceRegistry",
     "UnknownSourceError",
     "decode_frame",
+    "empty_net_plan",
     "encode_frame",
+    "net_chaos_or_none",
+    "replay_safe",
 ]

@@ -42,9 +42,15 @@ from ..runtime.cli import (
     add_chaos_arguments,
     add_service_arguments,
 )
-from ..runtime.journal import raw_to_json
 from .config import GatewayParams
+from .netchaos import (
+    FAULT_KINDS,
+    ChaosTransport,
+    NetChaosPlan,
+    net_chaos_or_none,
+)
 from .service import GatewayService
+from .session import GatewayIngestSession
 from .sources import SOURCE_PRIORITY
 from .transport import GatewayClient, GatewaySocketServer
 
@@ -97,6 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--no-finish", action="store_true",
         help="leave the stream open: skip the closing eof/finish ops",
+    )
+    chaos_net = ingest.add_argument_group(
+        "network chaos", "seeded fault injection on the client wire"
+    )
+    chaos_net.add_argument(
+        "--chaos-net", action="append", default=None, metavar="KIND:RATE",
+        help="inject a wire fault class at a per-exchange probability; "
+        f"KIND is one of {', '.join(FAULT_KINDS)} (repeatable)",
+    )
+    chaos_net.add_argument(
+        "--chaos-net-seed", type=int, default=0,
+        help="seed namespacing the wire-fault RNG (default: %(default)s)",
     )
 
     query = sub.add_parser("query", help="query a serving gateway")
@@ -189,7 +207,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGTERM, _on_signal)
     signal.signal(signal.SIGINT, _on_signal)
     while not stop.is_set() and not service.stats()["draining"]:
-        stop.wait(0.2)
+        stop.wait(params.serve_poll_interval_s)
 
     server.stop()
     reply = service.shutdown()
@@ -217,47 +235,93 @@ def _substreams(raws: Sequence[RawAlert]) -> Dict[str, List[RawAlert]]:
     return split
 
 
+def _build_net_chaos(args: argparse.Namespace) -> Optional[NetChaosPlan]:
+    """Assemble a wire-fault plan from repeated ``--chaos-net`` specs."""
+    specs = args.chaos_net or []
+    rates: Dict[str, float] = {}
+    for spec in specs:
+        kind, sep, rate = spec.partition(":")
+        if not sep or kind not in FAULT_KINDS:
+            build_parser().error(
+                f"--chaos-net wants KIND:RATE with KIND in {FAULT_KINDS}, "
+                f"got {spec!r}"
+            )
+        rates[f"{kind}_rate"] = float(rate)
+    return net_chaos_or_none(
+        NetChaosPlan(seed=args.chaos_net_seed, **rates)  # type: ignore[arg-type]
+    )
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     topo = _topology(args.topology)
     _state, raws = _stream(
         topo, args.scenario, args.seed, args.duration, args.alerts
     )
     split = _substreams(list(raws))
-    merged = heapq.merge(
-        *(
-            ((raw.timestamp, SOURCE_PRIORITY[tool], raw) for raw in substream)
-            for tool, substream in sorted(split.items())
-        )
+    net_plan = _build_net_chaos(args)
+    wire = (
+        None
+        if net_plan is None
+        else ChaosTransport(net_plan, run_seed=args.seed)
     )
-    submitted = shed = released = 0
-    with GatewayClient(args.host, args.port, timeout_s=args.timeout) as client:
+    released = 0
+    with GatewayClient(
+        args.host,
+        args.port,
+        timeout_s=args.timeout,
+        run_seed=args.seed,
+        net_chaos=wire,
+    ) as client:
+        session = GatewayIngestSession(client)
+        # session resume: learn each source's consumed frontier and skip
+        # exactly that prefix of the (deterministic) substream, so a
+        # restarted ingest re-offers only what the gateway never took
+        frontiers = session.resync()
+        skipped = 0
+        for tool in sorted(split):
+            consumed = frontiers.get(tool, 0)
+            if consumed:
+                split[tool] = split[tool][consumed:]
+                skipped += consumed
+        if skipped:
+            print(f"resuming: {skipped} already-consumed alert(s) skipped")
+        merged = heapq.merge(
+            *(
+                ((raw.timestamp, SOURCE_PRIORITY[tool], raw) for raw in substream)
+                for tool, substream in sorted(split.items())
+            )
+        )
         # idle sources would gate the watermark frontier forever; close
         # them up front so the active substreams release continuously
         for tool in sorted(SOURCE_PRIORITY):
             if tool not in split:
-                client.request({"op": "eof", "source": tool})
+                session.eof(tool)
         for _timestamp, _priority, raw in merged:
-            reply = client.request({"op": "submit", "raw": raw_to_json(raw)})
+            reply = session.submit(raw)
             if not reply.get("ok"):
                 print(f"error: {reply.get('error')}", file=sys.stderr)
                 return 1
-            if reply.get("admitted"):
-                submitted += 1
-                released += int(reply.get("released", 0))  # type: ignore[arg-type]
-            else:
-                shed += 1
+            released += int(reply.get("released", 0))  # type: ignore[arg-type]
+        resilience = (
+            f"{client.retries} retries, {client.reconnects} reconnects, "
+            f"{session.duplicates} deduped"
+        )
+        if wire is not None:
+            resilience += f", {wire.injected()} wire faults injected"
         if not args.no_finish:
             for tool in sorted(split):
-                client.request({"op": "eof", "source": tool})
-            reply = client.request({"op": "finish"})
+                session.eof(tool)
+            reply = session.finish()
             print(
                 f"finished: {reply.get('incidents')} incident(s) from "
-                f"{submitted} submitted, {shed} shed at the queues"
+                f"{session.submitted} submitted, {session.sheds} shed at "
+                f"the queues ({resilience})"
             )
         else:
             print(
-                f"submitted {submitted} alert(s) ({released} released, "
-                f"{shed} shed); stream left open"
+                f"submitted {session.submitted} alert(s) ({released} "
+                f"released, {session.sheds} shed); stream left open "
+                f"({resilience})"
             )
     return 0
 

@@ -34,9 +34,35 @@ class GatewayParams:
     accept_timeout_s: float = 0.5
     #: Per-connection socket timeout for clients.
     socket_timeout_s: float = 30.0
+    #: Client resilience: total connect-or-exchange attempts per request
+    #: before :class:`~repro.gateway.transport.GatewayTransportError`
+    #: escapes to the caller.
+    client_max_attempts: int = 5
+    #: Seeded exponential-backoff base and cap between client retries
+    #: (wall-clock serving concerns, never fed to the sim clock).
+    client_backoff_base_s: float = 0.05
+    client_backoff_max_s: float = 2.0
+    #: Hard cap on one framed request/reply line on either carrier; a
+    #: longer line is refused with a framed error, never buffered whole.
+    max_frame_bytes: int = 1_048_576
+    #: Patience when joining connection threads during server stop.
+    join_timeout_s: float = 5.0
+    #: ``serve`` main-loop wakeup cadence: how quickly the CLI notices a
+    #: stop signal or a drain request (wall clock).
+    serve_poll_interval_s: float = 0.2
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
             raise ValueError("queue_limit must be positive")
         if self.poll_timeout_s < 0 or self.accept_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
+        if self.client_max_attempts < 1:
+            raise ValueError("client_max_attempts must be positive")
+        if self.client_backoff_base_s < 0 or self.client_backoff_max_s < 0:
+            raise ValueError("client backoff bounds must be non-negative")
+        if self.max_frame_bytes < 2:
+            raise ValueError("max_frame_bytes must fit at least one frame")
+        if self.join_timeout_s <= 0:
+            raise ValueError("join_timeout_s must be positive")
+        if self.serve_poll_interval_s <= 0:
+            raise ValueError("serve_poll_interval_s must be positive")

@@ -1,0 +1,198 @@
+"""Network chaos: seeded fault injection at the gateway's wire boundary.
+
+The runtime's :class:`~repro.runtime.faults.ChaosPlan` stops at the
+process edge -- it can silence monitors, crash shards and fail disks,
+but a served deployment also fails *between* processes.  This module
+extends the same discipline (declarative plan, namespaced seeded RNGs,
+empty plan provably inert) across the socket:
+
+* **connection resets** -- the connection dies before the request frame
+  is written (nothing reached the server);
+* **torn frames** -- a prefix of the frame is written, then the
+  connection dies (the server sees a half line it must refuse cleanly);
+* **stalled reads** -- the request never goes out and the client's
+  patience expires (modelled as an immediate injected timeout: the
+  observable contract -- "timed out, nothing applied" -- is identical
+  and the battery stays fast);
+* **duplicated deliveries** -- the frame arrives twice; the server must
+  dedupe, the client must swallow the extra ack;
+* **reordered deliveries** -- a *stale* copy of an earlier frame lands
+  again before the current one (the request/reply protocol is lockstep,
+  so out-of-order manifests exactly as replayed old frames -- which is
+  what exercises the per-source seq dedupe);
+* **dropped replies** -- the frame is fully delivered but the reply is
+  lost: the one genuinely ambiguous failure (``maybe_applied=True``),
+  resolvable only because replay-safe requests can be resent into the
+  server-side dedupe.
+
+:class:`ChaosTransport` sits on :class:`~repro.gateway.transport.GatewayClient`'s
+wire seam and perturbs each request/reply exchange by drawing from the
+plan's RNG in a fixed order, so a given (plan, seed) perturbs a given
+request sequence identically on every run.  An empty plan draws
+nothing and passes bytes through untouched -- and
+:func:`net_chaos_or_none` normalises it to ``None`` so the client does
+not even construct the wrapper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, Optional, Tuple
+
+from .transport import GatewayTransportError
+
+#: Fault kinds in fixed draw order (one RNG draw each per exchange, so
+#: the perturbation is a pure function of the plan, seeds and exchange
+#: index -- later faults' draws are burned even when an earlier fault
+#: fires, keeping the sequence alignment independent of outcomes).
+FAULT_KINDS: Tuple[str, ...] = (
+    "reset",
+    "stall",
+    "torn",
+    "stale",
+    "duplicate",
+    "drop_reply",
+)
+
+
+class ChaosInjectedNetworkError(GatewayTransportError):
+    """A transport failure manufactured by :class:`ChaosTransport`."""
+
+
+@dataclasses.dataclass(frozen=True)
+class NetChaosPlan:
+    """Per-exchange fault probabilities for the gateway wire.
+
+    Each rate is the probability that the corresponding fault fires on
+    one request/reply exchange.  Rates compose: a single exchange may
+    draw a duplicate *and* a dropped reply.  ``seed`` namespaces the
+    RNG exactly like :meth:`ChaosPlan.rng
+    <repro.runtime.faults.ChaosPlan.rng>` so a net plan and a runtime
+    plan over the same run seed stay independent.
+    """
+
+    reset_rate: float = 0.0
+    torn_rate: float = 0.0
+    stall_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    stale_rate: float = 0.0
+    drop_reply_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for kind in FAULT_KINDS:
+            rate = getattr(self, f"{kind}_rate")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind}_rate must be in [0, 1], got {rate}")
+
+    def is_empty(self) -> bool:
+        return all(getattr(self, f"{kind}_rate") == 0.0 for kind in FAULT_KINDS)
+
+    def rng(self, purpose: str, run_seed: int) -> random.Random:
+        """A deterministic RNG namespaced by purpose, plan seed, run seed."""
+        return random.Random(f"netchaos:{purpose}:{self.seed}:{run_seed}")
+
+
+def empty_net_plan() -> NetChaosPlan:
+    """The inert plan: no wire faults, every chaos path skipped."""
+    return NetChaosPlan()
+
+
+def net_chaos_or_none(plan: Optional[NetChaosPlan]) -> Optional[NetChaosPlan]:
+    """Normalise: an empty plan is the same as no plan at all."""
+    if plan is None or plan.is_empty():
+        return None
+    return plan
+
+
+class ChaosTransport:
+    """Perturbs a client's wire exchanges per a :class:`NetChaosPlan`.
+
+    ``exchange`` is handed the client's raw send/recv primitives plus the
+    encoded frame and its replay-safety bit; it either completes the
+    exchange (possibly with injected duplicate/stale traffic whose extra
+    acks it swallows) or raises :class:`ChaosInjectedNetworkError` with
+    an honest ``maybe_applied``, which the client's reconnect-and-retry
+    machinery then handles exactly like a real network failure.
+    """
+
+    def __init__(self, plan: NetChaosPlan, run_seed: int = 0) -> None:
+        self._plan = plan
+        self._rng: Optional[random.Random] = (
+            None if plan.is_empty() else plan.rng("wire", run_seed)
+        )
+        #: stale-replay candidate: the last replay-safe frame delivered.
+        self._held: Optional[bytes] = None
+        self.counts: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.exchanges = 0
+
+    def injected(self) -> int:
+        """Total faults fired so far (the battery asserts this is > 0)."""
+        return sum(self.counts.values())
+
+    def exchange(
+        self,
+        send: Callable[[bytes], None],
+        recv: Callable[[], bytes],
+        frame: bytes,
+        safe: bool,
+    ) -> bytes:
+        self.exchanges += 1
+        if self._rng is None:
+            # empty plan: zero draws, byte-for-byte passthrough
+            send(frame)
+            return recv()
+        plan = self._plan
+        draws = {kind: self._rng.random() for kind in FAULT_KINDS}
+        if draws["reset"] < plan.reset_rate:
+            self.counts["reset"] += 1
+            raise ChaosInjectedNetworkError(
+                "injected connection reset before send", maybe_applied=False
+            )
+        if draws["stall"] < plan.stall_rate:
+            self.counts["stall"] += 1
+            raise ChaosInjectedNetworkError(
+                "injected stalled read; request never sent",
+                maybe_applied=False,
+            )
+        if draws["torn"] < plan.torn_rate and len(frame) > 1:
+            # cut strictly inside the frame so the newline never goes
+            # out: the server must see an unterminated half line
+            cut = 1 + int(self._rng.random() * (len(frame) - 2))
+            self.counts["torn"] += 1
+            send(frame[:cut])
+            raise ChaosInjectedNetworkError(
+                f"injected torn frame ({cut}/{len(frame)} bytes sent)",
+                maybe_applied=False,
+            )
+        stale_before = 0
+        if (
+            safe
+            and self._held is not None
+            and draws["stale"] < plan.stale_rate
+        ):
+            # a delayed copy of an earlier frame lands first: the
+            # lockstep protocol's manifestation of reordering
+            self.counts["stale"] += 1
+            send(self._held)
+            stale_before += 1
+        send(frame)
+        duplicates_after = 0
+        if safe and draws["duplicate"] < plan.duplicate_rate:
+            self.counts["duplicate"] += 1
+            send(frame)
+            duplicates_after += 1
+        if safe:
+            self._held = frame
+        if draws["drop_reply"] < plan.drop_reply_rate:
+            self.counts["drop_reply"] += 1
+            raise ChaosInjectedNetworkError(
+                "injected reply drop after full send", maybe_applied=True
+            )
+        for _ in range(stale_before):
+            recv()  # the stale frame's (duplicate-)ack: not ours, discard
+        reply = recv()
+        for _ in range(duplicates_after):
+            recv()  # the duplicate's ack: identical request, discard
+        return reply

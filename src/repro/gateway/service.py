@@ -172,6 +172,24 @@ class GatewayService:
                     f"{raw.tool!r}"
                 )
             record = self.registry.record(name)  # raises on unknown source
+            if seq is not None and seq < record.next_seq:
+                # replay of an already-consumed seq: a client retry whose
+                # original reply was lost, or a stale duplicate frame the
+                # network re-delivered.  Ack it (with the authoritative
+                # next_seq so a restarted client can fast-forward), count
+                # it, and never re-ingest it -- duplicates live in the
+                # metrics, not in the incident stream.  Checked before
+                # the eof guard: a stale replay may land after its
+                # source closed, and it is still just a duplicate.
+                self._count_duplicate()
+                return {
+                    "ok": True,
+                    "admitted": True,
+                    "duplicate": True,
+                    "seq": seq,
+                    "next_seq": record.next_seq,
+                    "released": 0,
+                }
             if record.eof:
                 raise SourceClosedError(f"source {name!r} already sent eof")
             if self.sequencer.pending_for(name) >= self.params.queue_limit:
@@ -217,10 +235,20 @@ class GatewayService:
             return {"ok": True, "released": len(released)}
 
     def eof(self, source: str) -> Message:
-        """Declare a source done for this stream."""
+        """Declare a source done for this stream (idempotent: retries ack)."""
         with self._lock:
             if self._finished:
                 raise SourceClosedError("gateway already finished")
+            if self.registry.record(source).eof:
+                # a retried eof whose original reply was lost: the close
+                # already happened, so ack instead of erroring the retry
+                self._count_duplicate()
+                return {
+                    "ok": True,
+                    "released": 0,
+                    "all_eof": self.registry.all_eof(),
+                    "duplicate": True,
+                }
             self.registry.mark_eof(source)
             released = self.sequencer.eof(source)
             self._ingest_released(released)
@@ -231,10 +259,21 @@ class GatewayService:
             }
 
     def finish(self) -> Message:
-        """End of stream: drain the sequencer and close out incidents."""
+        """End of stream: drain the sequencer and close out incidents.
+
+        Idempotent: a retried finish re-acks with the incident count
+        instead of erroring, so a client that lost the first reply can
+        safely resend.
+        """
         with self._lock:
             if self._finished:
-                raise SourceClosedError("gateway already finished")
+                self._count_duplicate()
+                return {
+                    "ok": True,
+                    "released": 0,
+                    "incidents": len(self.runtime.reports()),
+                    "duplicate": True,
+                }
             released = self.sequencer.flush()
             self._ingest_released(released)
             if self.runtime.checkpoints is not None:
@@ -248,6 +287,12 @@ class GatewayService:
                 "released": len(released),
                 "incidents": len(self.runtime.reports()),
             }
+
+    def _count_duplicate(self) -> None:
+        self.runtime.metrics.counter(
+            "gateway_duplicates_total",
+            "replayed requests acked idempotently, never re-applied",
+        ).inc()
 
     def _ingest_released(self, released: List[RawAlert]) -> None:
         metrics = self.runtime.metrics

@@ -1,0 +1,100 @@
+"""Client-side ingest session: the exactly-once half the server can't own.
+
+Server-side dedupe keys on the per-source monotone seq a submission
+carries, so exactly-once ingest over a lossy wire needs the *client* to
+(1) assign every submission an explicit seq and (2) survive its own
+restarts by re-learning where each source stands.
+:class:`GatewayIngestSession` owns both:
+
+* per-source counters assign the next seq to each ``submit``; a shed
+  submission does **not** advance the counter (the server never consumed
+  the seq), and a duplicate ack advances it by exactly one -- so a
+  restarted producer that replays its substream *from the beginning*
+  stays position-aligned with its seqs: the already-consumed prefix
+  drains as counted duplicate acks, and fresh alerts resume exactly at
+  the server's frontier;
+* :meth:`resync` re-learns each source's consumed frontier from the
+  gateway's ``health`` reply -- the session-resume handshake that lets a
+  deterministic producer *skip* the consumed prefix of each substream
+  instead of re-sending it (see ``python -m repro.gateway ingest``).
+
+The session is carrier-agnostic: anything with a
+``request(message) -> reply`` method works, so the loopback battery and
+the chaos-wrapped socket client drive the identical code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from ..monitors.base import RawAlert
+from ..runtime.journal import raw_to_json
+from .sources import GatewayError
+from .transport import Message
+
+
+class _Transport(Protocol):
+    def request(self, message: Message) -> Message: ...
+
+
+class GatewayIngestSession:
+    """Per-source seq assignment + resume-from-health over any transport."""
+
+    def __init__(self, transport: _Transport) -> None:
+        self._transport = transport
+        self._next_seq: Dict[str, int] = {}
+        #: accounting for tests and the CLI's closing summary.
+        self.submitted = 0
+        self.duplicates = 0
+        self.sheds = 0
+
+    def next_seq(self, source: str) -> int:
+        return self._next_seq.get(source, 0)
+
+    def resync(self) -> Dict[str, int]:
+        """Re-learn per-source next seqs from the gateway (session resume)."""
+        reply = self._transport.request({"op": "health"})
+        if not reply.get("ok"):
+            raise GatewayError(f"health query failed: {reply.get('error')}")
+        sources = reply.get("sources")
+        if not isinstance(sources, dict):
+            raise GatewayError("malformed health reply: no sources map")
+        self._next_seq = {
+            str(name): int(info["next_seq"])  # type: ignore[index, call-overload, arg-type]
+            for name, info in sources.items()
+        }
+        return dict(self._next_seq)
+
+    def submit(self, raw: RawAlert, source: Optional[str] = None) -> Message:
+        """Submit one alert with an explicit seq; replay-safe end to end."""
+        name = raw.tool if source is None else source
+        seq = self._next_seq.get(name, 0)
+        message: Message = {"op": "submit", "raw": raw_to_json(raw), "seq": seq}
+        if source is not None:
+            message["source"] = source
+        reply = self._transport.request(message)
+        if reply.get("ok") and reply.get("admitted"):
+            if reply.get("duplicate"):
+                # an earlier incarnation of this stream (or a retried
+                # frame) already delivered this seq; advance by exactly
+                # one so substream position stays aligned with seq
+                self.duplicates += 1
+            else:
+                self.submitted += 1
+            self._next_seq[name] = seq + 1
+        elif reply.get("ok"):
+            # shed at the queue: the seq was never consumed server-side,
+            # so the next submission re-offers it
+            self.sheds += 1
+        return reply
+
+    def advance(self, source: str, timestamp: float) -> Message:
+        return self._transport.request(
+            {"op": "advance", "source": source, "timestamp": timestamp}
+        )
+
+    def eof(self, source: str) -> Message:
+        return self._transport.request({"op": "eof", "source": source})
+
+    def finish(self) -> Message:
+        return self._transport.request({"op": "finish"})

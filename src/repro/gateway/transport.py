@@ -14,29 +14,99 @@ One request/reply protocol, two carriers:
 Both carriers funnel into a single ``handler(request) -> reply``
 callable, so everything observable -- ordering, admission, incidents --
 is transport-independent by construction.
+
+The socket client is *resilient*: every transport failure surfaces as a
+typed :class:`GatewayTransportError` that says whether the request may
+already have been applied server-side, and :meth:`GatewayClient.request`
+reconnects and retries (bounded attempts, seeded exponential backoff)
+whenever a retry cannot double-apply -- either the failure happened
+before the frame was fully sent, or the request is idempotent (queries,
+lifecycle ops the service de-duplicates, and ``submit`` carrying an
+explicit per-source seq, which the service acks as a duplicate instead
+of re-ingesting).  Network chaos (see :mod:`repro.gateway.netchaos`)
+plugs into exactly this seam.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import threading
-from typing import Callable, Dict, List, Optional, Set, Tuple
+import time
+from typing import BinaryIO, Callable, Dict, Optional, Set, Tuple
 
+from ..runtime.faults import RetryPolicy
 from .config import GatewayParams
 
 #: The request/reply message shape on both carriers.
 Message = Dict[str, object]
 Handler = Callable[[Message], Message]
 
+#: Ops safe to resend even when the original may have been applied: pure
+#: queries, plus the lifecycle ops the service answers idempotently
+#: (``advance`` re-asserts a watermark, ``eof``/``finish``/``shutdown``
+#: ack duplicates, ``checkpoint`` is a forced durable point).
+IDEMPOTENT_OPS = frozenset(
+    {
+        "advance",
+        "eof",
+        "finish",
+        "active",
+        "reports",
+        "history",
+        "subscribe",
+        "health",
+        "metrics",
+        "stats",
+        "checkpoint",
+        "shutdown",
+    }
+)
 
-def encode_frame(message: Message) -> bytes:
+
+def replay_safe(message: Message) -> bool:
+    """True if resending ``message`` can never double-apply it.
+
+    ``submit`` is replay-safe only with an explicit per-source ``seq``:
+    the service dedupes on it, so a retried submission whose first copy
+    *was* applied comes back as a counted duplicate ack, never as a
+    second ingest.  A seq-less submit must not be retried once the frame
+    may have reached the server.
+    """
+    op = message.get("op")
+    if op == "submit":
+        return message.get("seq") is not None
+    return op in IDEMPOTENT_OPS
+
+
+class GatewayTransportError(ConnectionError):
+    """A transport-layer failure talking to the gateway.
+
+    ``maybe_applied`` is the bit the retry/dedupe logic runs on: False
+    means the request frame cannot have reached the handler (connect or
+    send failed), so a retry is always safe; True means the frame was
+    fully sent and only the reply was lost, so only replay-safe requests
+    may be retried.
+    """
+
+    def __init__(self, message: str, *, maybe_applied: bool) -> None:
+        super().__init__(message)
+        self.maybe_applied = maybe_applied
+
+
+def encode_frame(message: Message, max_bytes: Optional[int] = None) -> bytes:
     """One message -> one newline-terminated JSON line."""
     if not isinstance(message, dict):
         raise ValueError("gateway frame must be a JSON object")
-    return json.dumps(message, separators=(",", ":"), sort_keys=True).encode(
+    frame = json.dumps(message, separators=(",", ":"), sort_keys=True).encode(
         "utf-8"
     ) + b"\n"
+    if max_bytes is not None and len(frame) > max_bytes:
+        raise ValueError(
+            f"frame of {len(frame)} bytes exceeds the {max_bytes}-byte cap"
+        )
+    return frame
 
 
 def decode_frame(line: bytes) -> Message:
@@ -63,32 +133,186 @@ class LoopbackTransport:
 
 
 class GatewayClient:
-    """Blocking JSONL client for the gateway socket server."""
+    """Reconnecting JSONL client for the gateway socket server.
+
+    One logical :meth:`request` survives connection resets, torn writes
+    and lost replies: each attempt reconnects if needed, and failures
+    are retried under ``params.client_max_attempts`` with seeded
+    exponential backoff -- unless the frame may already have been
+    applied and the request is not replay-safe, in which case the typed
+    error escapes immediately (the caller holds the only safe decision).
+    An optional :class:`~repro.gateway.netchaos.ChaosTransport` perturbs
+    the wire exchange; ``None`` (the default, and what an empty net-chaos
+    plan normalises to) leaves the exchange byte-for-byte untouched.
+    """
 
     def __init__(
-        self, host: str, port: int, timeout_s: float = 30.0
+        self,
+        host: str,
+        port: int,
+        timeout_s: Optional[float] = None,
+        params: Optional[GatewayParams] = None,
+        run_seed: int = 0,
+        net_chaos: Optional["SupportsExchange"] = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._reader = self._sock.makefile("rb")
+        self._params = params or GatewayParams()
+        self._host = host
+        self._port = port
+        self._timeout_s = (
+            self._params.socket_timeout_s if timeout_s is None else timeout_s
+        )
+        self._retry = RetryPolicy(
+            max_attempts=self._params.client_max_attempts,
+            base_backoff_s=self._params.client_backoff_base_s,
+            max_backoff_s=self._params.client_backoff_max_s,
+        )
+        self._rng = random.Random(f"gateway-retry:{run_seed}")
+        self._chaos = net_chaos
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[BinaryIO] = None
+        #: observability for tests and the CLI: attempts beyond the first
+        #: per request, and connections established beyond the first.
+        self.retries = 0
+        self.reconnects = 0
+        self._connects = 0
+        self._connection()  # fail fast on an unreachable gateway
 
-    def request(self, message: Message) -> Message:
-        self._sock.sendall(encode_frame(message))
-        line = self._reader.readline()
+    # -- connection lifecycle ----------------------------------------------
+
+    def _connection(self) -> Tuple[socket.socket, BinaryIO]:
+        if self._sock is None or self._reader is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout_s
+                )
+            except OSError as exc:
+                self._sock = None
+                raise GatewayTransportError(
+                    f"connect to {self._host}:{self._port} failed: {exc}",
+                    maybe_applied=False,
+                ) from exc
+            self._reader = self._sock.makefile("rb")
+            self._connects += 1
+            if self._connects > 1:
+                self.reconnects += 1
+        return self._sock, self._reader
+
+    def _teardown(self) -> None:
+        reader, sock = self._reader, self._sock
+        self._reader = self._sock = None
+        try:
+            if reader is not None:
+                reader.close()
+        except OSError:
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:
+            pass
+
+    # -- wire primitives ----------------------------------------------------
+
+    def _send(self, sock: socket.socket, data: bytes) -> None:
+        try:
+            sock.sendall(data)
+        except socket.timeout as exc:
+            raise GatewayTransportError(
+                f"send to gateway timed out: {exc}", maybe_applied=False
+            ) from exc
+        except OSError as exc:
+            # sendall raising means the frame was not fully delivered;
+            # a partial line can never decode server-side, so the
+            # request cannot have been applied
+            raise GatewayTransportError(
+                f"send to gateway failed: {exc}", maybe_applied=False
+            ) from exc
+
+    def _read_line(self, reader: BinaryIO) -> bytes:
+        cap = self._params.max_frame_bytes
+        try:
+            line = reader.readline(cap + 1)
+        except socket.timeout as exc:
+            raise GatewayTransportError(
+                f"gateway reply timed out: {exc}", maybe_applied=True
+            ) from exc
+        except OSError as exc:
+            raise GatewayTransportError(
+                f"gateway reply read failed: {exc}", maybe_applied=True
+            ) from exc
         if not line:
-            raise ConnectionError("gateway closed the connection")
+            raise GatewayTransportError(
+                "gateway closed the connection", maybe_applied=True
+            )
+        if not line.endswith(b"\n"):
+            raise GatewayTransportError(
+                f"gateway reply frame torn or over the {cap}-byte cap",
+                maybe_applied=True,
+            )
+        return line
+
+    def _exchange(self, frame: bytes, safe: bool) -> Message:
+        sock, reader = self._connection()
+        if self._chaos is not None:
+            line = self._chaos.exchange(
+                lambda data: self._send(sock, data),
+                lambda: self._read_line(reader),
+                frame,
+                safe,
+            )
+        else:
+            self._send(sock, frame)
+            line = self._read_line(reader)
         return decode_frame(line)
 
+    # -- public API ----------------------------------------------------------
+
+    def request(self, message: Message) -> Message:
+        frame = encode_frame(message, max_bytes=self._params.max_frame_bytes)
+        safe = replay_safe(message)
+        failure: Optional[GatewayTransportError] = None
+        for attempt in range(self._retry.max_attempts):
+            if attempt:
+                self.retries += 1
+                time.sleep(self._retry.backoff_s(attempt - 1, self._rng))
+            try:
+                return self._exchange(frame, safe)
+            except GatewayTransportError as exc:
+                self._teardown()
+                if exc.maybe_applied and not safe:
+                    # the server may hold this exact request; resending
+                    # could double-apply -- surface the ambiguity
+                    raise
+                failure = exc
+        assert failure is not None
+        raise failure
+
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "GatewayClient":
         return self
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+class SupportsExchange:
+    """Structural stand-in for :class:`~repro.gateway.netchaos.ChaosTransport`.
+
+    Anything with this ``exchange`` shape can sit on the client's wire
+    seam; keeping the protocol here avoids a transport -> netchaos
+    import cycle.
+    """
+
+    def exchange(
+        self,
+        send: Callable[[bytes], None],
+        recv: Callable[[], bytes],
+        frame: bytes,
+        safe: bool,
+    ) -> bytes:
+        raise NotImplementedError
 
 
 class GatewaySocketServer:
@@ -103,7 +327,7 @@ class GatewaySocketServer:
         self._listener.settimeout(params.accept_timeout_s)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
         self._stopping = threading.Event()
-        self._threads: List[threading.Thread] = []
+        self._threads: Set[threading.Thread] = set()
         self._conns: Set[socket.socket] = set()
         self._conns_lock = threading.Lock()
         self._accept_thread: Optional[threading.Thread] = None
@@ -114,6 +338,11 @@ class GatewaySocketServer:
         )
         self._accept_thread.start()
 
+    def live_connection_threads(self) -> int:
+        """How many connection threads are still tracked (tests/metrics)."""
+        with self._conns_lock:
+            return len(self._threads)
+
     def _accept_loop(self) -> None:
         while not self._stopping.is_set():
             try:
@@ -123,37 +352,71 @@ class GatewaySocketServer:
             except OSError:
                 break  # listener closed under us during stop()
             conn.settimeout(self._params.socket_timeout_s)
+            thread = threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            )
             with self._conns_lock:
                 if self._stopping.is_set():
                     conn.close()
                     break
                 self._conns.add(conn)
-            thread = threading.Thread(
-                target=self._serve, args=(conn,), daemon=True
-            )
-            self._threads.append(thread)
+                self._threads.add(thread)
             thread.start()
 
+    def _reply(self, conn: socket.socket, reply: Message) -> bool:
+        """Best-effort framed reply; False if the peer is unreachable."""
+        try:
+            conn.sendall(encode_frame(reply))
+        except (OSError, ValueError):
+            return False
+        return True
+
     def _serve(self, conn: socket.socket) -> None:
+        cap = self._params.max_frame_bytes
         reader = conn.makefile("rb")
         try:
-            for line in reader:
+            while not self._stopping.is_set():
+                line = reader.readline(cap + 1)
+                if not line:
+                    break  # clean EOF: peer closed between frames
+                if len(line) > cap:
+                    # over-cap line: the rest of the stream cannot be
+                    # re-framed reliably, so answer loudly and close
+                    self._reply(
+                        conn,
+                        {
+                            "ok": False,
+                            "error": f"frame exceeds the {cap}-byte cap",
+                        },
+                    )
+                    break
+                if not line.endswith(b"\n"):
+                    # torn frame: the peer died (or tore the write)
+                    # mid-line; reply best-effort and close cleanly
+                    # instead of wedging on a half request
+                    self._reply(
+                        conn,
+                        {"ok": False, "error": "torn frame at end of stream"},
+                    )
+                    break
                 try:
                     request = decode_frame(line)
                 except ValueError as exc:
                     reply: Message = {"ok": False, "error": f"bad frame: {exc}"}
                 else:
                     reply = self._handler(request)
-                try:
-                    conn.sendall(encode_frame(reply))
-                except OSError:
+                if not self._reply(conn, reply):
                     break
         except (OSError, ValueError):
             pass  # connection torn down mid-read; nothing to salvage
         finally:
-            reader.close()
+            try:
+                reader.close()
+            except OSError:
+                pass
             with self._conns_lock:
                 self._conns.discard(conn)
+                self._threads.discard(threading.current_thread())
             conn.close()
 
     def stop(self) -> None:
@@ -162,6 +425,7 @@ class GatewaySocketServer:
         self._listener.close()
         with self._conns_lock:
             conns = list(self._conns)
+            threads = list(self._threads)
         for conn in conns:
             try:
                 conn.shutdown(socket.SHUT_RDWR)
@@ -169,6 +433,6 @@ class GatewaySocketServer:
                 pass
             conn.close()
         if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
-        for thread in self._threads:
-            thread.join(timeout=5.0)
+            self._accept_thread.join(timeout=self._params.join_timeout_s)
+        for thread in threads:
+            thread.join(timeout=self._params.join_timeout_s)

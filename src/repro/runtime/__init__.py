@@ -36,7 +36,9 @@ floods, no downtime):
 from .admission import AdmissionController, AdmissionDecision
 from .checkpoint import CheckpointStore, pipeline_state_dict, restore_pipeline_state
 from .faults import (
+    DATA_LOSS_CONFIDENCE,
     ChaosPlan,
+    CorrelatedCrash,
     FaultInjectedIOError,
     FaultyIO,
     IOFault,
@@ -77,7 +79,9 @@ __all__ = [
     "BACKENDS",
     "ChaosPlan",
     "CheckpointStore",
+    "CorrelatedCrash",
     "Counter",
+    "DATA_LOSS_CONFIDENCE",
     "FaultInjectedIOError",
     "FaultyIO",
     "Gauge",

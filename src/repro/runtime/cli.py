@@ -30,6 +30,7 @@ from ..topology.builder import TopologySpec, build_topology
 from ..topology.network import Topology
 from .faults import (
     ChaosPlan,
+    CorrelatedCrash,
     IOFault,
     ShardCrash,
     SourceBrownout,
@@ -168,9 +169,17 @@ def add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
         help="crash one locator shard at a sim instant (supervisor heals it)",
     )
     chaos.add_argument(
+        "--chaos-correlated-crash", action="append", default=[],
+        metavar="AT:SHARDS[:LOSE]",
+        help="crash several shards together at a sim instant, e.g. "
+        "'300:0,2:2' kills shards 0 and 2 and destroys shard 2's "
+        "recovery snapshot (rebuilt from checkpoint + journal)",
+    )
+    chaos.add_argument(
         "--chaos-io", action="append", default=[],
         metavar="OP:START:END[:FAILS|perm]",
-        help="fail journal_append/journal_sync/checkpoint_save in a window",
+        help="fail journal_append/journal_sync/checkpoint_save/"
+        "journal_read in a window",
     )
     chaos.add_argument(
         "--chaos-skew", action="append", default=[], metavar="TOOL:SKEW_S",
@@ -249,6 +258,25 @@ def _build_chaos(args: argparse.Namespace) -> Optional[ChaosPlan]:
         crashes.append(
             ShardCrash(at=float(f[0]), shard=int(f[1]) if len(f) > 1 else 0)
         )
+    correlated = []
+    for spec in args.chaos_correlated_crash:
+        f = _split_fields(spec, "--chaos-correlated-crash", 2, 3)
+        try:
+            correlated.append(
+                CorrelatedCrash(
+                    at=float(f[0]),
+                    shards=tuple(int(s) for s in f[1].split(",") if s),
+                    lose_snapshots=(
+                        tuple(int(s) for s in f[2].split(",") if s)
+                        if len(f) > 2
+                        else ()
+                    ),
+                )
+            )
+        except ValueError as exc:
+            raise SystemExit(
+                f"error: bad --chaos-correlated-crash value {spec!r}: {exc}"
+            )
     io_faults = []
     for spec in args.chaos_io:
         f = _split_fields(spec, "--chaos-io", 3, 4)
@@ -275,6 +303,7 @@ def _build_chaos(args: argparse.Namespace) -> Optional[ChaosPlan]:
             outages=outages,
             brownouts=tuple(brownouts),
             shard_crashes=tuple(crashes),
+            correlated_crashes=tuple(correlated),
             io_faults=tuple(io_faults),
             clock_skews=skews,
             seed=args.chaos_seed,

@@ -35,7 +35,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..monitors.base import RawAlert
 
 #: I/O operations :class:`FaultyIO` can be asked about.
-IO_OPS: Tuple[str, str, str] = ("journal_append", "journal_sync", "checkpoint_save")
+#: ``journal_read`` covers the recovery-side scan a correlated-crash
+#: rebuild performs; failing it is how a plan makes the journal itself
+#: fault-exhausted, forcing the degraded-heal fallback.
+IO_OPS: Tuple[str, ...] = (
+    "journal_append",
+    "journal_sync",
+    "checkpoint_save",
+    "journal_read",
+)
+
+#: Assessment confidence stamped on incidents that lived through a
+#: degraded shard heal (recovery snapshot and journal both unavailable):
+#: the incident tree is still served, but its evidence base is known to
+#: have holes, exactly like an assessment over degraded sources.
+DATA_LOSS_CONFIDENCE = 0.5
 
 
 class FaultInjectedIOError(OSError):
@@ -104,6 +118,38 @@ class ShardCrash:
 
 
 @dataclasses.dataclass(frozen=True)
+class CorrelatedCrash:
+    """Several locator shards die together at sim time ``at``.
+
+    The correlated version of :class:`ShardCrash`: a rack power event or
+    a bad rollout takes out ``shards`` in the same instant, and for the
+    subset in ``lose_snapshots`` the blast also destroys the per-shard
+    recovery snapshot (the supervision base *and* its oplog), modelling
+    partial checkpoint loss.  Those shards cannot be healed from local
+    state -- recovery must rebuild them from the durable checkpoint plus
+    the journal tail, or fall back to a degraded heal when the journal
+    itself is fault-exhausted (see
+    :data:`DATA_LOSS_CONFIDENCE` and the ``journal_read`` I/O op).
+    """
+
+    at: float
+    shards: Tuple[int, ...] = (0,)
+    lose_snapshots: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("a correlated crash needs at least one shard")
+        if len(set(self.shards)) != len(self.shards):
+            raise ValueError(f"duplicate shards in {self.shards}")
+        stray = set(self.lose_snapshots) - set(self.shards)
+        if stray:
+            raise ValueError(
+                f"lose_snapshots {sorted(stray)} not among crashed "
+                f"shards {self.shards}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
 class IOFault:
     """``op`` fails during ``[start, end)``.
 
@@ -168,6 +214,7 @@ class ChaosPlan:
     outages: Tuple[SourceOutage, ...] = ()
     brownouts: Tuple[SourceBrownout, ...] = ()
     shard_crashes: Tuple[ShardCrash, ...] = ()
+    correlated_crashes: Tuple[CorrelatedCrash, ...] = ()
     io_faults: Tuple[IOFault, ...] = ()
     clock_skews: Tuple[SourceClockSkew, ...] = ()
     seed: int = 0
@@ -177,9 +224,14 @@ class ChaosPlan:
             self.outages
             or self.brownouts
             or self.shard_crashes
+            or self.correlated_crashes
             or self.io_faults
             or self.clock_skews
         )
+
+    def crashes_shards(self) -> bool:
+        """Does the plan require a supervised (heal-capable) locator?"""
+        return bool(self.shard_crashes or self.correlated_crashes)
 
     def degrades_sources(self) -> bool:
         # skew alone does not make a source *stale* -- it keeps reporting

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import pathlib
+import pickle
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..core.config import PRODUCTION_CONFIG, SkyNetConfig
@@ -43,10 +44,18 @@ from ..topology.network import Topology
 from .admission import AdmissionController
 from .checkpoint import (
     CheckpointStore,
+    _next_incident_id,
     pipeline_state_dict,
     restore_pipeline_state,
+    set_incident_counter,
 )
-from .faults import ChaosPlan, FaultyIO, RetryPolicy, chaos_or_none
+from .faults import (
+    DATA_LOSS_CONFIDENCE,
+    ChaosPlan,
+    FaultyIO,
+    RetryPolicy,
+    chaos_or_none,
+)
 from .health import SourceHealthTracker
 from .journal import AlertJournal, JournalCorruption
 from .metrics import MetricsRegistry, registry_or_new
@@ -193,7 +202,13 @@ class RuntimeService:
         self._retry_rng = None
         self._pending_crashes: Tuple = ()
         self._fired_crashes: Set[Tuple[float, int]] = set()
+        self._pending_correlated: Tuple = ()
+        self._fired_correlated: Set[Tuple[float, Tuple[int, ...]]] = set()
         self._health: Optional[SourceHealthTracker] = None
+        # kept for the correlated-crash rebuild path, which replays the
+        # journal through a scratch pipeline over the same world
+        self._topology = topology
+        self._net_state = state
         backend = params.backend
         if backend not in BACKENDS:
             raise ValueError(
@@ -214,7 +229,14 @@ class RuntimeService:
                         key=lambda c: (c.at, c.shard),
                     )
                 )
-                supervised = True
+            if self.chaos.correlated_crashes:
+                self._pending_correlated = tuple(
+                    sorted(
+                        self.chaos.correlated_crashes,
+                        key=lambda c: (c.at, c.shards),
+                    )
+                )
+            supervised = self.chaos.crashes_shards()
         if supervised:
             locator = (
                 MPSupervisedLocator(topology, self.config)
@@ -267,7 +289,7 @@ class RuntimeService:
         so the journal on disk always describes exactly the alerts the
         service acted on and a resumed run replays to the same state.
         """
-        if self._pending_crashes:
+        if self._pending_crashes or self._pending_correlated:
             self._fire_shard_crashes(raw.delivered_at)
         decision = self.admission.decide(raw)
         if self.journal is not None:
@@ -398,6 +420,14 @@ class RuntimeService:
         touches the tree again -- so siblings and open incidents never
         observe the dead shard.  Fired crashes are remembered (and
         checkpointed) so kill-and-resume re-derives the same schedule.
+
+        Correlated crashes additionally destroy the recovery snapshot of
+        their ``lose_snapshots`` subset.  Those shards are rebuilt from
+        the durable checkpoint + journal tail (:meth:`_rebuild_lost_shards`,
+        exact, so the heal is indistinguishable from a local one); only
+        when that second recovery tier is itself unavailable do they
+        heal empty, with every open incident stamped at
+        :data:`~repro.runtime.faults.DATA_LOSS_CONFIDENCE`.
         """
         locator = self.pipeline.locator
         if not isinstance(locator, ShardSupervision):
@@ -413,17 +443,149 @@ class RuntimeService:
                     "runtime_shard_crashes_total",
                     "locator shards crashed by the chaos plan",
                 ).inc()
-        if fired_any:
-            before_ops = locator.replayed_ops
-            restored = locator.heal_crashed()
+        for event in self._pending_correlated:
+            ckey = (event.at, event.shards)
+            if event.at <= now and ckey not in self._fired_correlated:
+                self._fired_correlated.add(ckey)
+                fired_any = True
+                self.metrics.counter(
+                    "runtime_correlated_crashes_total",
+                    "correlated multi-shard crash events fired",
+                ).inc()
+                for shard in event.shards:
+                    locator.crash_shard(shard)
+                    self.metrics.counter(
+                        "runtime_shard_crashes_total",
+                        "locator shards crashed by the chaos plan",
+                    ).inc()
+                for shard in event.lose_snapshots:
+                    locator.invalidate_snapshot(shard)
+                    self.metrics.counter(
+                        "runtime_shard_snapshots_lost_total",
+                        "per-shard recovery snapshots destroyed by the plan",
+                    ).inc()
+        if not fired_any:
+            return
+        lost = locator.lost_snapshots()
+        rebuilt: Dict[int, bytes] = {}
+        if lost:
+            rebuilt = self._rebuild_lost_shards(lost, now)
+            for index in sorted(rebuilt):
+                locator.install_base(index, rebuilt[index])
+                self.metrics.counter(
+                    "runtime_shard_rebuilds_total",
+                    "lost shards rebuilt from checkpoint + journal tail",
+                ).inc()
+        before_ops = locator.replayed_ops
+        before_degraded = locator.degraded_heals
+        restored = locator.heal_crashed()
+        self.metrics.counter(
+            "runtime_shard_restores_total",
+            "crashed locator shards restored by the supervisor",
+        ).inc(restored)
+        self.metrics.counter(
+            "runtime_shard_replayed_ops_total",
+            "tree operations replayed while healing crashed shards",
+        ).inc(locator.replayed_ops - before_ops)
+        degraded = locator.degraded_heals - before_degraded
+        if degraded:
             self.metrics.counter(
-                "runtime_shard_restores_total",
-                "crashed locator shards restored by the supervisor",
-            ).inc(restored)
+                "runtime_shard_degraded_heals_total",
+                "shards healed empty after losing every recovery source",
+            ).inc(degraded)
+            self._stamp_data_loss(sorted(lost - set(rebuilt)))
+
+    def _rebuild_lost_shards(
+        self, lost: Set[int], now: float
+    ) -> Dict[int, bytes]:
+        """Rebuild lost shards' trees from checkpoint + journal, exactly.
+
+        A scratch in-process pipeline is restored from the newest durable
+        checkpoint and fed the journal tail up to (not including) the
+        alert being ingested -- crashes fire before the current alert's
+        append, so the scratch state is precisely the live pre-insert
+        state and the extracted shard trees are what the dead shards
+        held.  Returns ``{}`` (caller degrades) when there is no
+        persistence directory, the ``journal_read`` scan is
+        fault-exhausted, or the journal is corrupted/truncated short of
+        the live frontier.
+
+        The scratch never touches live state: the journal reader is a
+        fresh handle-free instance (segments are only created on append),
+        the checkpoint payload is unpickled from disk, and the global
+        incident-id counter -- which scratch replay advances -- is
+        restored to the live value on every exit path.
+        """
+        if (
+            self.directory is None
+            or self.checkpoints is None
+            or self.journal is None
+        ):
+            return {}
+        after_seq = -1
+        payload: Optional[Dict[str, object]] = None
+        found = self.checkpoints.latest()
+        if found is not None:
+            _ckpt_seq, payload = found
+            after_seq = int(payload["seq"]) - 1  # type: ignore[arg-type]
+        limit = self._seq - 1
+        reader = AlertJournal(
+            self.directory / JOURNAL_SUBDIR,
+            self.config.runtime.journal_segment_records,
+        )
+        entries: List = []
+
+        def _scan() -> None:
+            del entries[:]
+            for entry in reader.replay(after_seq=after_seq):
+                if entry.seq > limit:
+                    break
+                entries.append(entry)
+
+        if not self._io_attempt("journal_read", now, _scan):
+            return {}
+        last_seq = entries[-1].seq if entries else after_seq
+        if reader.corruptions or last_seq != limit:
+            # the journal cannot reach the live frontier: a rebuild from
+            # it would be silently stale, so admit the loss instead
+            return {}
+        live_next_id = _next_incident_id(self.pipeline.locator)
+        try:
+            scratch = SkyNet(
+                self._topology,
+                config=self.config,
+                state=self._net_state,
+                locator=ShardedLocator(self._topology, self.config),
+            )
+            if payload is not None:
+                restore_pipeline_state(
+                    scratch, payload["pipeline"]  # type: ignore[arg-type]
+                )
+            for entry in entries:
+                if entry.admitted:
+                    scratch.feed(entry.raw)
+            trees = scratch.locator.main_tree.shard_trees
+            return {
+                index: pickle.dumps(
+                    trees[index], protocol=pickle.HIGHEST_PROTOCOL
+                )
+                for index in sorted(lost)
+            }
+        finally:
+            set_incident_counter(live_next_id)
+
+    def _stamp_data_loss(self, shards: List[int]) -> None:
+        """Annotate every open incident with the admitted shard loss."""
+        tags = [f"shard{index}-data-loss" for index in shards]
+        stamped = 0
+        for incident in self.pipeline.locator.open_incidents:
+            incident.note_degradation(DATA_LOSS_CONFIDENCE, tags)
+            stamped += 1
+        if stamped:
             self.metrics.counter(
-                "runtime_shard_replayed_ops_total",
-                "tree operations replayed while healing crashed shards",
-            ).inc(locator.replayed_ops - before_ops)
+                "runtime_data_loss_stamped_incidents_total",
+                "open incidents stamped with data-loss confidence",
+            ).inc(stamped)
 
     # -- checkpointing -----------------------------------------------------
 
@@ -462,8 +624,11 @@ class RuntimeService:
         }
         if self._health is not None:
             state["health"] = self._health.state_dict()
-        if self._pending_crashes:
-            state["chaos"] = {"fired_crashes": sorted(self._fired_crashes)}
+        if self._pending_crashes or self._pending_correlated:
+            state["chaos"] = {
+                "fired_crashes": sorted(self._fired_crashes),
+                "fired_correlated": sorted(self._fired_correlated),
+            }
         if self.checkpoint_extras is not None:
             state["extras"] = self.checkpoint_extras()
         checkpoints = self.checkpoints
@@ -566,6 +731,10 @@ class RuntimeService:
                 service._fired_crashes = {
                     (float(at), int(shard))
                     for at, shard in chaos_state.get("fired_crashes", [])
+                }
+                service._fired_correlated = {
+                    (float(at), tuple(int(s) for s in shards))
+                    for at, shards in chaos_state.get("fired_correlated", [])
                 }
             service._seq = int(payload["seq"])  # type: ignore[arg-type]
             service._last_checkpoint_t = float(

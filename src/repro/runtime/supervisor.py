@@ -67,6 +67,27 @@ class ShardSupervision:
     def snapshot_shards(self) -> None:
         raise NotImplementedError
 
+    def invalidate_snapshot(self, index: int) -> None:
+        """Destroy shard ``index``'s recovery source (base *and* op log).
+
+        Models partial checkpoint loss in a correlated crash: the shard
+        can no longer be healed locally.  The op log must go with the
+        base -- a later :meth:`install_base` carries current state, and
+        replaying the old log over it would double-apply mutations.
+        """
+        raise NotImplementedError
+
+    def install_base(self, index: int, blob: bytes) -> None:
+        """Install ``blob`` (a pickled shard tree at *current* state) as
+        shard ``index``'s recovery base, clearing its op log and lost
+        mark.  Used by the service after rebuilding a lost shard from
+        the durable checkpoint + journal tail."""
+        raise NotImplementedError
+
+    def lost_snapshots(self) -> Set[int]:
+        """Shards whose recovery source is currently invalidated."""
+        raise NotImplementedError
+
     @property
     def crashes(self) -> int:
         raise NotImplementedError
@@ -77,6 +98,11 @@ class ShardSupervision:
 
     @property
     def replayed_ops(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def degraded_heals(self) -> int:
+        """Heals that fell back to an empty tree (data loss admitted)."""
         raise NotImplementedError
 
 
@@ -99,9 +125,11 @@ class SupervisedAlertTree(ShardedAlertTree):
             i: [] for i in range(router.shards)
         }
         self._crashed: Set[int] = set()
+        self._lost: Set[int] = set()
         self.crashes = 0
         self.restores = 0
         self.replayed_ops = 0
+        self.degraded_heals = 0
 
     # -- logged mutations --------------------------------------------------
 
@@ -137,6 +165,26 @@ class SupervisedAlertTree(ShardedAlertTree):
                 tree, protocol=pickle.HIGHEST_PROTOCOL
             )
             self._oplog[index] = []
+        self._lost.clear()
+
+    def invalidate_snapshot(self, index: int) -> None:
+        """Partial checkpoint loss: shard ``index`` loses base *and* log."""
+        if not 0 <= index < len(self.shard_trees):
+            raise IndexError(f"no shard {index} (have {len(self.shard_trees)})")
+        self._base[index] = None
+        self._oplog[index] = []
+        self._lost.add(index)
+
+    def install_base(self, index: int, blob: bytes) -> None:
+        """Adopt a rebuilt current-state tree as the recovery base."""
+        if not 0 <= index < len(self.shard_trees):
+            raise IndexError(f"no shard {index} (have {len(self.shard_trees)})")
+        self._base[index] = blob
+        self._oplog[index] = []
+        self._lost.discard(index)
+
+    def lost_snapshots(self) -> Set[int]:
+        return set(self._lost)
 
     def crash(self, index: int) -> None:
         """Lose shard ``index``'s live tree, as a dead worker would."""
@@ -165,6 +213,11 @@ class SupervisedAlertTree(ShardedAlertTree):
                 if base is not None
                 else AlertTree(fast=self._fast)
             )
+            if index in self._lost:
+                # recovery source destroyed and no rebuilt base was
+                # installed: the heal is empty-tree, data loss admitted
+                self.degraded_heals += 1
+                self._lost.discard(index)
             for op in self._oplog[index]:
                 if op[0] == "insert":
                     tree.insert(op[1])  # type: ignore[arg-type]
@@ -212,6 +265,15 @@ class SupervisedLocator(ShardedLocator, ShardSupervision):
     def snapshot_shards(self) -> None:
         self.supervised_tree.snapshot_shards()
 
+    def invalidate_snapshot(self, index: int) -> None:
+        self.supervised_tree.invalidate_snapshot(index)
+
+    def install_base(self, index: int, blob: bytes) -> None:
+        self.supervised_tree.install_base(index, blob)
+
+    def lost_snapshots(self) -> Set[int]:
+        return self.supervised_tree.lost_snapshots()
+
     @property
     def crashes(self) -> int:
         return self.supervised_tree.crashes
@@ -223,6 +285,10 @@ class SupervisedLocator(ShardedLocator, ShardSupervision):
     @property
     def replayed_ops(self) -> int:
         return self.supervised_tree.replayed_ops
+
+    @property
+    def degraded_heals(self) -> int:
+        return self.supervised_tree.degraded_heals
 
     def restore_tree(self, tree: AlertTree) -> None:
         """Load a checkpointed tree, upgrading it to a supervised one.

@@ -265,7 +265,9 @@ class _Worker:
         """SIGKILL the process and reap it; the pipe is closed too."""
         if self.process.is_alive():
             self.process.kill()
-        self.process.join(timeout=10.0)
+        # reap bound for an already-SIGKILLed process, not a serving
+        # knob: the pool has no RuntimeParams to draw from by design
+        self.process.join(timeout=10.0)  # lint: allow REP016
         try:
             self.conn.close()
         except OSError:
@@ -377,9 +379,11 @@ class MPShardedAlertTree:
         }
         self._oplog: Dict[int, List[_Op]] = {i: [] for i in range(router.shards)}
         self._crashed: Set[int] = set()
+        self._lost: Set[int] = set()
         self.crashes = 0
         self.restores = 0
         self.replayed_ops = 0
+        self.degraded_heals = 0
         self._workers: List[_Worker] = []
         for index in range(router.shards):
             self._workers.append(_POOL.lease())
@@ -789,6 +793,7 @@ class MPShardedAlertTree:
             self._base = dict(enumerate(shard_blobs))  # lint: allow REP014
             self._oplog = {i: [] for i in range(self.router.shards)}  # lint: allow REP014
             self._crashed = set()  # lint: allow REP014
+            self._lost = set()  # lint: allow REP014
         for index, blob in enumerate(shard_blobs):
             reply = self._roundtrip(index, ("load", blob))
             self._versions[index] = reply[1]  # lint: allow REP014
@@ -806,6 +811,30 @@ class MPShardedAlertTree:
         for index, blob in enumerate(self.snapshot_trees()):
             self._base[index] = blob  # lint: allow REP014
             self._oplog[index] = []  # lint: allow REP014
+        self._lost.clear()  # lint: allow REP014
+
+    def invalidate_snapshot(self, index: int) -> None:
+        """Partial checkpoint loss: shard ``index`` loses base *and* log."""
+        if not 0 <= index < self.router.shards:
+            raise IndexError(
+                f"no shard {index} (have {self.router.shards})"
+            )
+        self._base[index] = None  # lint: allow REP014
+        self._oplog[index] = []  # lint: allow REP014
+        self._lost.add(index)  # lint: allow REP014
+
+    def install_base(self, index: int, blob: bytes) -> None:
+        """Adopt a rebuilt current-state tree as the recovery base."""
+        if not 0 <= index < self.router.shards:
+            raise IndexError(
+                f"no shard {index} (have {self.router.shards})"
+            )
+        self._base[index] = blob  # lint: allow REP014
+        self._oplog[index] = []  # lint: allow REP014
+        self._lost.discard(index)  # lint: allow REP014
+
+    def lost_snapshots(self) -> Set[int]:
+        return set(self._lost)
 
     def crash(self, index: int) -> None:
         """Kill shard ``index``'s worker *process* (SIGKILL, reaped)."""
@@ -843,6 +872,11 @@ class MPShardedAlertTree:
         self._workers[index].kill()
         self._workers[index] = _POOL.lease()  # lint: allow REP014
         self._init_worker(index)
+        if index in self._lost:
+            # recovery source destroyed and no rebuilt base installed:
+            # the heal is empty-worker, data loss admitted
+            self.degraded_heals += 1  # lint: allow REP014
+            self._lost.discard(index)  # lint: allow REP014
         base = self._base[index]
         if base is not None:
             reply = self._roundtrip(index, ("load", base))
@@ -1044,6 +1078,15 @@ class MPSupervisedLocator(MPShardedLocator, ShardSupervision):
     def snapshot_shards(self) -> None:
         self.mp_tree.snapshot_shards()
 
+    def invalidate_snapshot(self, index: int) -> None:
+        self.mp_tree.invalidate_snapshot(index)
+
+    def install_base(self, index: int, blob: bytes) -> None:
+        self.mp_tree.install_base(index, blob)
+
+    def lost_snapshots(self) -> Set[int]:
+        return self.mp_tree.lost_snapshots()
+
     @property
     def crashes(self) -> int:
         return self.mp_tree.crashes
@@ -1055,3 +1098,7 @@ class MPSupervisedLocator(MPShardedLocator, ShardSupervision):
     @property
     def replayed_ops(self) -> int:
         return self.mp_tree.replayed_ops
+
+    @property
+    def degraded_heals(self) -> int:
+        return self.mp_tree.degraded_heals

@@ -51,7 +51,7 @@ def label_template(template: Template) -> str:
 class TemplateClassifier:
     """FT-tree-backed syslog line -> alert type mapping."""
 
-    def __init__(self, max_children: int = 24):
+    def __init__(self, max_children: int = 24) -> None:
         self._tree = FtTree(max_children=max_children)
         self._labels: Dict[Template, str] = {}
         self._fitted = False

@@ -28,7 +28,7 @@ Template = Tuple[str, ...]
 class _Node:
     __slots__ = ("word", "children", "terminal", "collapsed", "count")
 
-    def __init__(self, word: str = ""):
+    def __init__(self, word: str = "") -> None:
         self.word = word
         self.children: Dict[str, _Node] = {}
         self.terminal = False
@@ -39,14 +39,14 @@ class _Node:
 class FtTree:
     """Learns templates from a corpus and matches new lines onto them."""
 
-    def __init__(self, max_children: int = 24, min_word_count: int = 1):
+    def __init__(self, max_children: int = 24, min_word_count: int = 1) -> None:
         if max_children < 1:
             raise ValueError("max_children must be >= 1")
         if min_word_count < 1:
             raise ValueError("min_word_count must be >= 1")
         self.max_children = max_children
         self.min_word_count = min_word_count
-        self._freq: Counter = Counter()
+        self._freq: Counter[str] = Counter()
         self._root = _Node()
         self._fitted = False
 

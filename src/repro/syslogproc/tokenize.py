@@ -14,7 +14,7 @@ from typing import List, Tuple
 
 #: Predefined regular expressions matching variable words.  Order matters:
 #: the first match wins, and broader numeric patterns come last.
-VARIABLE_PATTERNS: Tuple[re.Pattern, ...] = (
+VARIABLE_PATTERNS: Tuple["re.Pattern[str]", ...] = (
     re.compile(r"^\d{1,3}(\.\d{1,3}){3}(/\d+)?$"),  # IPv4, optional prefix
     re.compile(r"^[0-9a-fA-F:]+::[0-9a-fA-F:]*$"),  # IPv6-ish
     re.compile(r"^(Ten|Forty|Hundred)?Gig[A-Za-z]*\d+(/\d+)*$"),  # interfaces

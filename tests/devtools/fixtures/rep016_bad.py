@@ -1,0 +1,21 @@
+"""Negative fixture for REP016: hard-coded serving-path timing knobs."""
+
+import time
+
+
+def connect(sock):
+    sock.settimeout(30.0)  # positional delay literal
+    return sock
+
+
+def backoff_then_send(client, message):
+    time.sleep(0.05)  # literal backoff
+    return client.request(message, timeout=5.0)  # timeout kwarg literal
+
+
+def retry(client, message):
+    return client.exchange(
+        message,
+        max_attempts=5,  # retry budget literal
+        backoff_base_s=0.1,  # backoff kwarg literal
+    )

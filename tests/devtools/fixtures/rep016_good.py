@@ -1,0 +1,38 @@
+"""Positive fixture for REP016: timing knobs flow from params objects."""
+
+import dataclasses
+import time
+
+
+@dataclasses.dataclass(frozen=True)
+class Params:
+    # dataclass field defaults are where the numbers belong: exempt
+    socket_timeout_s: float = 30.0
+    backoff_base_s: float = 0.05
+    max_attempts: int = 5
+
+
+POLL_CADENCE_S = 0.25  # module-level constant binding: exempt
+
+
+def connect(sock, params: Params):
+    sock.settimeout(params.socket_timeout_s)
+    return sock
+
+
+def backoff_then_send(client, message, params: Params):
+    time.sleep(params.backoff_base_s)
+    return client.request(message, timeout=params.socket_timeout_s)
+
+
+def retry(client, message, params: Params):
+    return client.exchange(
+        message,
+        max_attempts=params.max_attempts,
+        backoff_base_s=params.backoff_base_s,
+    )
+
+
+def reap(process):
+    # deliberate, reviewed exception: not a serving knob
+    process.join(timeout=10.0)  # lint: allow REP016

@@ -23,7 +23,7 @@ from .conftest import FIXTURES
 def test_registry_has_the_full_battery():
     ids = [cls.rule_id for cls in registered_rules()]
     assert ids == sorted(ids)
-    assert ids == [f"REP{n:03d}" for n in range(1, 16)]
+    assert ids == [f"REP{n:03d}" for n in range(1, 17)]
     project_only = [
         cls.rule_id for cls in registered_rules() if cls.project_only
     ]

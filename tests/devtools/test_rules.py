@@ -19,6 +19,7 @@ FILE_RULE_CASES = {
     "REP007": ("rep007_bad.py", 3, "rep007_good.py"),
     "REP008": ("rep008_bad.py", 3, "rep008_good.py"),
     "REP011": ("rep011_bad.py", 4, "rep011_good.py"),
+    "REP016": ("rep016_bad.py", 5, "rep016_good.py"),
 }
 
 

@@ -88,18 +88,39 @@ def test_timestamp_regression_is_rejected(service):
     assert reply["ok"] is False and reply["kind"] == "SequenceError"
 
 
-def test_explicit_seq_must_be_monotone(service):
+def test_replayed_seq_is_deduped_not_reingested(service):
     assert service.handle(
         {"op": "submit", "raw": raw_to_json(_alert("ping", 1.0)), "seq": 3}
     )["seq"] == 3
+    pending = service.stats()["pending"]
+    # a seq at-or-below the consumed frontier is a retry/stale replay:
+    # acked as a duplicate (with the authoritative next_seq), never
+    # ingested a second time
     reply = service.handle(
         {"op": "submit", "raw": raw_to_json(_alert("ping", 2.0)), "seq": 2}
     )
-    assert reply["ok"] is False and reply["kind"] == "SequenceError"
+    assert reply["ok"] is True and reply["duplicate"] is True
+    assert reply["next_seq"] == 4
+    assert service.stats()["pending"] == pending  # nothing new queued
+    counters = service.metrics()["metrics"]["counters"]
+    assert counters["gateway_duplicates_total"] == 1
     # the next implicit seq continues after the explicit one
     assert service.handle(
         {"op": "submit", "raw": raw_to_json(_alert("ping", 2.0))}
     )["seq"] == 4
+
+
+def test_eof_and_finish_are_idempotent(service):
+    assert service.handle({"op": "eof", "source": "ping"})["ok"]
+    retry = service.handle({"op": "eof", "source": "ping"})
+    assert retry["ok"] is True and retry["duplicate"] is True
+    for tool in CANONICAL_SOURCES:
+        if tool != "ping":
+            service.handle({"op": "eof", "source": tool})
+    first = service.handle({"op": "finish"})
+    again = service.handle({"op": "finish"})
+    assert first["ok"] and again["ok"] and again["duplicate"] is True
+    assert again["incidents"] == first["incidents"]
 
 
 def test_submit_after_eof_is_rejected(service):

@@ -9,7 +9,9 @@ bytes, rejection of garbage) and the socket server's concurrency
 
 from __future__ import annotations
 
+import socket
 import threading
+import time
 from typing import Dict, List
 
 import pytest
@@ -116,6 +118,74 @@ def test_socket_server_reports_bad_frames_and_keeps_the_connection():
             assert reply["ok"] is False
             # the connection survives a framing error
             assert client.request({"op": "echo", "client": "after"})["ok"]
+    finally:
+        server.stop()
+
+
+def _wait_until(predicate, timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def test_torn_frame_answers_loudly_and_frees_the_accept_loop():
+    """A peer that dies mid-line must get a torn-frame error, not wedge
+    its serving thread -- and the accept loop must keep taking clients."""
+    server, _counts = _echo_server()
+    host, port = server.address
+    try:
+        torn = socket.create_connection((host, port), timeout=5.0)
+        try:
+            torn.sendall(b'{"op": "echo", "client": "tor')  # no newline
+            torn.shutdown(socket.SHUT_WR)  # the peer "dies" mid-frame
+            reply = decode_frame(torn.makefile("rb").readline())
+            assert reply["ok"] is False
+            assert "torn frame" in reply["error"]
+        finally:
+            torn.close()
+        # the torn connection's thread must unwind, not linger blocked
+        assert _wait_until(lambda: server.live_connection_threads() == 0)
+        # and a fresh client is served as if nothing happened
+        with GatewayClient(host, port, timeout_s=5.0) as client:
+            assert client.request({"op": "echo", "client": "fresh"})["ok"]
+    finally:
+        server.stop()
+
+
+def test_over_cap_frame_is_refused_and_connection_closed():
+    server, _counts = _echo_server()
+    host, port = server.address
+    cap = GatewayParams().max_frame_bytes
+    try:
+        with GatewayClient(host, port, timeout_s=5.0) as client:
+            sock = client._sock  # type: ignore[attr-defined]
+            assert sock is not None
+            sock.sendall(b"x" * (cap + 10) + b"\n")
+            reply = decode_frame(client._reader.readline())  # type: ignore[attr-defined]
+            assert reply["ok"] is False and "cap" in reply["error"]
+            # the stream past an over-cap line is unframeable: closed
+            assert client._reader.readline() == b""  # type: ignore[attr-defined]
+        assert _wait_until(lambda: server.live_connection_threads() == 0)
+    finally:
+        server.stop()
+
+
+def test_connection_threads_are_reaped_after_clients_close():
+    """No thread leak: tracked connection threads return to zero after
+    every client disconnects, without waiting for server.stop()."""
+    server, _counts = _echo_server()
+    host, port = server.address
+    try:
+        clients = [GatewayClient(host, port, timeout_s=5.0) for _ in range(6)]
+        for i, client in enumerate(clients):
+            assert client.request({"op": "echo", "client": f"c{i}"})["ok"]
+        assert server.live_connection_threads() == 6
+        for client in clients:
+            client.close()
+        assert _wait_until(lambda: server.live_connection_threads() == 0)
     finally:
         server.stop()
 

@@ -1,0 +1,118 @@
+"""Property-based gate on the wire codec: whatever JSON object a peer
+builds, ``decode_frame(encode_frame(m))`` must hand back the same object,
+the encoding must be canonical (byte-stable and order-insensitive), and
+the newline framing must survive arbitrary TCP chunking.
+
+Hypothesis drives the message space; the deterministic frame format
+(sorted keys, compact separators, utf-8, one line per frame) is what
+makes the chaos batteries' byte-identity assertions possible at all.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.gateway.transport import decode_frame, encode_frame  # noqa: E402
+
+#: JSON scalars a gateway peer can legally put in a frame.  NaN/inf are
+#: excluded: ``json.dumps`` would emit non-standard tokens for them.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+_messages = st.dictionaries(st.text(max_size=12), _values, max_size=8)
+
+
+@given(message=_messages)
+def test_round_trip_is_identity(message):
+    assert decode_frame(encode_frame(message)) == message
+
+
+@given(message=_messages)
+def test_encoding_is_canonical_and_newline_terminated(message):
+    frame = encode_frame(message)
+    assert frame.endswith(b"\n")
+    assert b"\n" not in frame[:-1], "one frame must be exactly one line"
+    # canonical: re-encoding the decoded message reproduces the bytes
+    assert encode_frame(decode_frame(frame)) == frame
+
+
+@given(message=st.dictionaries(st.text(max_size=8), _scalars, min_size=2, max_size=6))
+def test_encoding_is_key_order_insensitive(message):
+    shuffled = dict(reversed(list(message.items())))
+    assert encode_frame(message) == encode_frame(shuffled)
+
+
+@given(
+    messages=st.lists(_messages, min_size=1, max_size=5),
+    cuts=st.lists(st.integers(min_value=1, max_value=7), max_size=30),
+)
+def test_framing_survives_arbitrary_tcp_chunking(messages, cuts):
+    """Concatenate frames, re-split at arbitrary byte boundaries, and the
+    line-per-frame discipline must still recover every message."""
+    wire = b"".join(encode_frame(m) for m in messages)
+    chunks: List[bytes] = []
+    pos = 0
+    for cut in cuts:
+        if pos >= len(wire):
+            break
+        chunks.append(wire[pos:pos + cut])
+        pos += cut
+    chunks.append(wire[pos:])
+    buffer = b""
+    decoded = []
+    for chunk in chunks:
+        buffer += chunk
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            decoded.append(decode_frame(line))
+    assert buffer == b"", "a terminated stream leaves no partial frame"
+    assert decoded == messages
+
+
+@given(message=_messages, slack=st.integers(min_value=0, max_value=8))
+def test_max_bytes_cap_is_exact(message, slack):
+    frame = encode_frame(message)
+    assert encode_frame(message, max_bytes=len(frame) + slack) == frame
+    with pytest.raises(ValueError):
+        encode_frame(message, max_bytes=len(frame) - 1)
+
+
+@given(junk=st.binary(max_size=40))
+@settings(max_examples=200)
+def test_decode_never_hangs_or_crashes_on_junk(junk):
+    """Garbage in -> ValueError out (or a valid object), never a wedge."""
+    try:
+        decoded = decode_frame(junk)
+    except (ValueError, UnicodeDecodeError):
+        return
+    assert isinstance(decoded, dict)
+    assert json.loads(junk.decode("utf-8")) == decoded
+
+
+@given(payload=st.one_of(_scalars, st.lists(_scalars, max_size=3)))
+def test_non_object_frames_are_rejected_both_ways(payload):
+    with pytest.raises(ValueError):
+        encode_frame(payload)  # type: ignore[arg-type]
+    line = json.dumps(payload).encode("utf-8")
+    with pytest.raises(ValueError):
+        decode_frame(line)

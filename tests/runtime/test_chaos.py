@@ -38,6 +38,7 @@ from repro.runtime import RuntimeService
 from repro.runtime.checkpoint import set_incident_counter
 from repro.runtime.faults import (
     ChaosPlan,
+    CorrelatedCrash,
     IOFault,
     ShardCrash,
     SourceBrownout,
@@ -311,6 +312,112 @@ def test_exhausted_io_budget_sheds_loudly_and_exactly(tmp_path):
     assert shed == len(in_window)
 
 
+# -- correlated crashes + partial snapshot loss ------------------------------
+
+
+def test_correlated_crash_validates_its_shape():
+    with pytest.raises(ValueError):
+        CorrelatedCrash(at=1.0, shards=())
+    with pytest.raises(ValueError):
+        CorrelatedCrash(at=1.0, shards=(0, 0))
+    with pytest.raises(ValueError):
+        CorrelatedCrash(at=1.0, shards=(0,), lose_snapshots=(1,))
+    plan = ChaosPlan(
+        correlated_crashes=(
+            CorrelatedCrash(at=1.0, shards=(2, 0), lose_snapshots=(0,)),
+        ),
+    )
+    assert not plan.is_empty()
+    assert plan.crashes_shards()
+    assert chaos_or_none(plan) is plan
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shards", [2, 4])
+def test_correlated_crash_with_snapshot_loss_rebuilds_exactly(
+    tmp_path, shards, backend
+):
+    """A majority of shards die together and their snapshots are gone:
+    recovery must rebuild them from durable checkpoint + journal tail and
+    end byte-identical, ids included, with zero degraded heals."""
+    topo, state, raws = flood_fixture()
+    config = runtime_config(shards=shards, backend=backend)
+    expected, expected_ids = uninterrupted_run(topo, state, raws, config)
+
+    victims = tuple(range(shards - 1)) or (0,)
+    plan = ChaosPlan(
+        correlated_crashes=(
+            CorrelatedCrash(at=250.0, shards=victims, lose_snapshots=victims),
+        ),
+    )
+    service = chaos_run(
+        topo, state, raws, config, plan, directory=tmp_path / "chaos"
+    )
+    _assert_equal(expected, _fingerprint(service.pipeline))
+    assert _incident_ids(service) == expected_ids
+    counters = service.metrics
+    assert counters.counter_value("runtime_correlated_crashes_total") == 1
+    assert counters.counter_value("runtime_shard_crashes_total") == len(victims)
+    assert (
+        counters.counter_value("runtime_shard_snapshots_lost_total")
+        == len(victims)
+    )
+    assert counters.counter_value("runtime_shard_rebuilds_total") == len(victims)
+    assert counters.counter_value("runtime_shard_degraded_heals_total") == 0
+    assert counters.counter_value("runtime_data_loss_stamped_incidents_total") == 0
+
+
+def test_snapshot_loss_without_durability_degrades_loudly(tmp_path):
+    """No durable journal to rebuild from (journal_read fault-exhausted):
+    the lost shards heal empty, the heal is counted as degraded, and every
+    open incident is stamped with the data-loss confidence."""
+    topo, state, raws = flood_fixture()
+    config = runtime_config(shards=2)
+    plan = ChaosPlan(
+        correlated_crashes=(
+            CorrelatedCrash(at=250.0, shards=(0, 1), lose_snapshots=(0, 1)),
+        ),
+        io_faults=(
+            IOFault("journal_read", 0.0, 10**9, permanent=True),
+        ),
+    )
+    service = chaos_run(
+        topo, state, raws, config, plan, directory=tmp_path / "chaos"
+    )
+    counters = service.metrics
+    assert counters.counter_value("runtime_shard_degraded_heals_total") == 2
+    assert counters.counter_value("runtime_shard_rebuilds_total") == 0
+    assert counters.counter_value("runtime_data_loss_stamped_incidents_total") > 0
+    stamped = [
+        i
+        for i in service.pipeline.incidents(include_superseded=True)
+        if any("data-loss" in s for s in i.degraded_sources)
+    ]
+    assert stamped, "data loss must be stamped on the open incidents"
+    for incident in stamped:
+        assert incident.confidence is not None
+        assert incident.confidence <= 0.5
+        assert "degraded: " in incident.render()
+
+
+def test_snapshot_loss_without_run_directory_degrades_loudly():
+    """An ephemeral run (no --dir) has no rebuild tier at all: snapshot
+    loss must fall straight through to the degraded heal, never crash."""
+    topo, state, raws = flood_fixture()
+    config = runtime_config(shards=2)
+    plan = ChaosPlan(
+        correlated_crashes=(
+            CorrelatedCrash(at=250.0, shards=(0,), lose_snapshots=(0,)),
+        ),
+    )
+    service = chaos_run(topo, state, raws, config, plan, directory=None)
+    assert service.metrics.counter_value("runtime_shard_degraded_heals_total") == 1
+    assert (
+        service.metrics.counter_value("runtime_data_loss_stamped_incidents_total")
+        > 0
+    )
+
+
 # -- kill/resume under chaos -------------------------------------------------
 
 
@@ -362,6 +469,54 @@ def test_chaos_kill_and_resume_reproduces_faulted_run(tmp_path, cut, backend):
     # ...but the full schedule fired exactly once across the two lives
     fired = resumed.metrics.counter_value("runtime_shard_restores_total")
     assert fired == resumed.metrics.counter_value("runtime_shard_crashes_total")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_correlated_crash_fires_once_across_kill_and_resume(tmp_path, backend):
+    """The fired-correlated set rides the checkpoint: a crash event that
+    already fired in the killed process must not refire after resume."""
+    topo, state, raws = flood_fixture()
+    config = runtime_config(shards=2, backend=backend)
+    plan = ChaosPlan(
+        correlated_crashes=(
+            CorrelatedCrash(at=200.0, shards=(0, 1), lose_snapshots=(0,)),
+        ),
+    )
+    reference = chaos_run(
+        topo, state, raws, config, plan, directory=tmp_path / "ref"
+    )
+    expected = _fingerprint(reference.pipeline)
+    expected_ids = _incident_ids(reference)
+
+    # kill well after the crash fired, then resume the same plan
+    k = next(
+        i for i, raw in enumerate(raws) if raw.delivered_at > 350.0
+    )
+    rundir = tmp_path / "killed"
+    set_incident_counter(1)
+    first = RuntimeService(
+        topo, config=config, state=state, directory=rundir,
+        chaos=plan, run_seed=RUN_SEED,
+    )
+    for raw in raws[:k]:
+        first.ingest(raw)
+    assert first.metrics.counter_value("runtime_correlated_crashes_total") == 1
+    first.checkpoint()
+    del first  # crash: no finish, no graceful shutdown
+
+    set_incident_counter(1)
+    resumed = RuntimeService.resume(
+        topo, rundir, config=config, state=state,
+        chaos=plan, run_seed=RUN_SEED,
+    )
+    for raw in raws[k:]:
+        resumed.ingest(raw)
+    resumed.finish()
+    _assert_equal(expected, _fingerprint(resumed.pipeline))
+    assert _incident_ids(resumed) == expected_ids
+    # the metrics registry rides the checkpoint, so the resumed life
+    # inherits the first life's count -- and must not add a refire
+    assert resumed.metrics.counter_value("runtime_correlated_crashes_total") == 1
 
 
 # -- source degradation (Figure 8a as outages) -------------------------------

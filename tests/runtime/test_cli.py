@@ -76,6 +76,28 @@ def test_cli_backpressure_flag_sheds_loudly(capsys):
     assert "load shed per ladder rung" in out
 
 
+def test_cli_correlated_crash_flag_drives_recovery(tmp_path, capsys):
+    rundir = tmp_path / "run"
+    code, out = _run(
+        capsys,
+        TINY + ["--shards", "2", "--dir", str(rundir), "--metrics", "text",
+                "--chaos-correlated-crash", "80:0,1:1"],
+    )
+    assert code == 0
+    assert "runtime_correlated_crashes_total 1" in out
+    assert "runtime_shard_crashes_total 2" in out
+    assert "runtime_shard_snapshots_lost_total 1" in out
+    assert "runtime_shard_rebuilds_total 1" in out
+
+
+def test_cli_correlated_crash_flag_rejects_bad_specs(capsys):
+    for spec in ("300", "300:", "300:0:1:2", "300:0:1,2", "300:0,0"):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(TINY + ["--chaos-correlated-crash", spec])
+        assert excinfo.value.code not in (0, None), spec
+        capsys.readouterr()
+
+
 def test_cli_resume_requires_dir(capsys):
     with pytest.raises(SystemExit) as excinfo:
         cli.main(["--resume"])
