@@ -41,6 +41,7 @@ import inspect
 import json
 import os
 import pathlib
+import sys
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .engine import (
@@ -55,7 +56,7 @@ from .engine import (
 #: default cache location, relative to the working directory
 DEFAULT_CACHE_FILE = ".skynet-lint-cache.json"
 
-_CACHE_VERSION = 2
+_CACHE_VERSION = 3
 
 
 def _stat_key(path: pathlib.Path) -> Optional[List[int]]:
@@ -123,6 +124,7 @@ def _load(cache_path: pathlib.Path, fingerprint: str) -> Dict[str, Any]:
             isinstance(entry, dict)
             and isinstance(entry.get("stat"), list)
             and isinstance(entry.get("findings"), list)
+            and isinstance(entry.get("suppressed"), list)
         ):
             return empty
     for entry in project_rules.values():
@@ -130,6 +132,7 @@ def _load(cache_path: pathlib.Path, fingerprint: str) -> Dict[str, Any]:
             isinstance(entry, dict)
             and isinstance(entry.get("deps"), dict)
             and isinstance(entry.get("findings"), list)
+            and isinstance(entry.get("suppressed"), list)
         ):
             return empty
     snapshot = data.get("snapshot")
@@ -153,29 +156,37 @@ def _revive(dicts: Sequence[Dict[str, Any]]) -> List[Finding]:
     return out
 
 
-def _file_findings(engine: LintEngine, source: SourceFile) -> List[Finding]:
-    """Parse-error plus file-scoped findings for one source, waiver-filtered."""
+def _file_findings(
+    engine: LintEngine, source: SourceFile
+) -> Tuple[List[Finding], List[Finding]]:
+    """``(findings, suppressed)`` for one source, split by waiver."""
     if source.parse_error is not None:
         exc = source.parse_error
-        return [
-            Finding(
-                path=source.rel,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                rule_id=PARSE_ERROR_RULE,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return (
+            [
+                Finding(
+                    path=source.rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule_id=PARSE_ERROR_RULE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+            [],
+        )
     if source.skip_all:
-        return []
+        return [], []
     findings: List[Finding] = []
+    suppressed: List[Finding] = []
     for rule in engine.rules:
         if rule.scope != "file" or not rule.applies_to(source):
             continue
         for finding in rule.check_file(source):
-            if not source.waived(finding.rule_id, finding.line):
+            if source.waived(finding.rule_id, finding.line):
+                suppressed.append(finding)
+            else:
                 findings.append(finding)
-    return findings
+    return findings, suppressed
 
 
 def _closure_deps(
@@ -191,12 +202,42 @@ def _closure_deps(
     for dotted in modules:
         source = project.module(dotted)
         if source is None:
+            # rules may put raw filesystem paths in their closure next to
+            # dotted modules (REP018 depends on README/DESIGN doc files);
+            # key them by path so doc edits re-run the rule.  An absolute
+            # path that no longer exists stays keyed with a null stat so
+            # deleting a closure member also invalidates.  Unresolvable
+            # dotted names (a module outside the linted tree) are relative
+            # and nonexistent, so they still drop out here.
+            raw = pathlib.Path(dotted)
+            if raw.exists() or raw.is_absolute():
+                deps[raw.resolve().as_posix()] = _stat_key(raw) or [0, 0]
             continue
         key = source.path.resolve().as_posix()
         stat = all_stats.get(key) or _stat_key(source.path)
         if stat is not None:
             deps[key] = stat
     return deps
+
+
+def _cache_path_problem(cache_path: pathlib.Path) -> Optional[str]:
+    """Why ``cache_path`` cannot hold a cache, or ``None`` if it can.
+
+    ``--cache-file .`` (or any directory, or a path in a missing or
+    unwritable directory) used to blow up deep in the atomic-write dance;
+    a bad cache location should cost a warning and a cold run, never a
+    traceback.
+    """
+    if not cache_path.name:
+        return "not a file name"
+    if cache_path.is_dir():
+        return "is a directory"
+    parent = cache_path.parent
+    if not parent.is_dir():
+        return "parent directory does not exist"
+    if not os.access(parent, os.W_OK):
+        return "parent directory is not writable"
+    return None
 
 
 def run_with_cache(
@@ -211,6 +252,14 @@ def run_with_cache(
     differs.
     """
     cache_path = pathlib.Path(cache_path)
+    problem = _cache_path_problem(cache_path)
+    if problem is not None:
+        print(
+            f"skynet-lint: warning: --cache-file {cache_path}: {problem}; "
+            "running without a cache",
+            file=sys.stderr,
+        )
+        return engine.run(paths)
     discovered = LintEngine.discover(paths)
     fingerprint = ruleset_fingerprint(engine)
     cached = _load(cache_path, fingerprint)
@@ -236,31 +285,39 @@ def run_with_cache(
         and all(rid in cached["project_rules"] for rid in project_rule_ids)
     ):
         findings: List[Finding] = []
+        suppressed: List[Finding] = []
         for rid in project_rule_ids:
             findings.extend(_revive(cached["project_rules"][rid]["findings"]))
+            suppressed.extend(_revive(cached["project_rules"][rid]["suppressed"]))
         for _, key, _ in keyed:
             findings.extend(_revive(cached["files"][key]["findings"]))
+            suppressed.extend(_revive(cached["files"][key]["suppressed"]))
         return LintReport(
             findings=sorted(engine._apply_supersedes(findings)),
             files_checked=len(keyed),
             rules_run=[rule.rule_id for rule in engine.rules],
+            suppressed=sorted(suppressed),
         )
 
     files_out: Dict[str, Any] = {}
     findings = []
+    suppressed = []
     sources: List[SourceFile] = []
     for path, key, stat in keyed:
         source = SourceFile(path)
         sources.append(source)
         if hit(key, stat):
             per_file = _revive(cached["files"][key]["findings"])
+            per_file_supp = _revive(cached["files"][key]["suppressed"])
         else:
-            per_file = _file_findings(engine, source)
+            per_file, per_file_supp = _file_findings(engine, source)
         findings.extend(per_file)
+        suppressed.extend(per_file_supp)
         if stat is not None:
             files_out[key] = {
                 "stat": stat,
                 "findings": [f.as_dict() for f in per_file],
+                "suppressed": [f.as_dict() for f in per_file_supp],
             }
 
     checkable = [s for s in sources if s.parse_error is None and not s.skip_all]
@@ -274,17 +331,22 @@ def run_with_cache(
         entry = cached["project_rules"].get(rule.rule_id)
         if entry is not None and entry["deps"] == deps:
             per_rule = _revive(entry["findings"])
+            per_rule_supp = _revive(entry["suppressed"])
         else:
             per_rule = []
+            per_rule_supp = []
             for finding in rule.check_project(project):
                 owner = by_path.get(finding.path)
                 if owner is not None and owner.waived(finding.rule_id, finding.line):
-                    continue
-                per_rule.append(finding)
+                    per_rule_supp.append(finding)
+                else:
+                    per_rule.append(finding)
         findings.extend(per_rule)
+        suppressed.extend(per_rule_supp)
         project_out[rule.rule_id] = {
             "deps": deps,
             "findings": [f.as_dict() for f in per_rule],
+            "suppressed": [f.as_dict() for f in per_rule_supp],
         }
 
     payload = {
@@ -298,11 +360,12 @@ def run_with_cache(
         tmp = cache_path.with_name(cache_path.name + ".tmp")
         tmp.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
         os.replace(tmp, cache_path)
-    except OSError:
+    except (OSError, ValueError):
         pass  # a read-only tree just means the next run is cold again
 
     return LintReport(
         findings=sorted(engine._apply_supersedes(findings)),
         files_checked=len(keyed),
         rules_run=[rule.rule_id for rule in engine.rules],
+        suppressed=sorted(suppressed),
     )

@@ -34,9 +34,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); sarif emits a SARIF 2.1.0 "
+        "log suitable for code-scanning upload",
     )
     parser.add_argument(
         "--select",
@@ -102,6 +103,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        from .sarif import render_sarif
+
+        print(render_sarif(report))
     else:
         print(report.render_text())
     return 0 if report.ok else 1

@@ -308,6 +308,10 @@ class LintReport:
     findings: List[Finding]
     files_checked: int
     rules_run: List[str]
+    #: findings waived by ``# lint: allow`` comments -- kept so formats
+    #: with a suppression concept (SARIF) can report them as suppressed
+    #: instead of losing them entirely
+    suppressed: List[Finding] = dataclasses.field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -335,6 +339,7 @@ class LintReport:
                 "files_checked": self.files_checked,
                 "rules_run": self.rules_run,
                 "findings": [f.as_dict() for f in self.findings],
+                "suppressed": [f.as_dict() for f in self.suppressed],
             },
             indent=2,
         )
@@ -417,6 +422,7 @@ class LintEngine:
 
     def run_sources(self, files: Sequence[SourceFile]) -> LintReport:
         findings: List[Finding] = []
+        suppressed: List[Finding] = []
         checkable: List[SourceFile] = []
         for source in files:
             if source.parse_error is not None:
@@ -445,6 +451,7 @@ class LintEngine:
             for finding in raw:
                 owner = by_path.get(finding.path)
                 if owner is not None and owner.waived(finding.rule_id, finding.line):
+                    suppressed.append(finding)
                     continue
                 findings.append(finding)
         findings = self._apply_supersedes(findings)
@@ -452,6 +459,7 @@ class LintEngine:
             findings=sorted(findings),
             files_checked=len(files),
             rules_run=[rule.rule_id for rule in self.rules],
+            suppressed=sorted(suppressed),
         )
 
     def _apply_supersedes(self, findings: List[Finding]) -> List[Finding]:

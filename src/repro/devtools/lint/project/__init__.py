@@ -16,7 +16,12 @@ computes the shared whole-program facts once per lint run:
   entry-point reachability with witness chains;
 * :class:`~.dataflow.DeterminismTaint` -- an intraprocedural dataflow
   pass extended along the call graph (returns and attribute assignments)
-  tracking nondeterminism sources into identity/journal sinks.
+  tracking nondeterminism sources into identity/journal sinks;
+* :class:`~.cfg.CFG` / :mod:`~.flow` -- per-function control-flow graphs
+  (branches, loops, try/except/finally, ``with``, early return/raise,
+  kinded exception edges) and a generic worklist solver with canned
+  reaching-definitions / liveness / must-execute-on-all-paths analyses,
+  the substrate for the flow-sensitive rules (REP017-REP019).
 
 Everything is built lazily through :class:`ProjectAnalysis` (reachable as
 ``Project.analysis`` in the engine) so file-scoped runs pay nothing.
@@ -26,20 +31,39 @@ from __future__ import annotations
 
 from .analysis import ProjectAnalysis
 from .callgraph import CallGraph
+from .cfg import CFG, Block, Edge, build_cfg
 from .dataflow import DeterminismTaint, Flow, TaintSource
+from .flow import (
+    Solution,
+    blocks_on_all_paths,
+    live_variables,
+    reaches,
+    reaching_definitions,
+    solve,
+)
 from .imports import ImportGraph, ImportRecord
 from .symbols import ClassInfo, FunctionInfo, ModuleSymbols, SymbolIndex
 
 __all__ = [
+    "Block",
+    "CFG",
     "CallGraph",
     "ClassInfo",
     "DeterminismTaint",
+    "Edge",
     "Flow",
     "FunctionInfo",
     "ImportGraph",
     "ImportRecord",
     "ModuleSymbols",
     "ProjectAnalysis",
+    "Solution",
     "SymbolIndex",
     "TaintSource",
+    "blocks_on_all_paths",
+    "build_cfg",
+    "live_variables",
+    "reaches",
+    "reaching_definitions",
+    "solve",
 ]

@@ -12,9 +12,10 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..engine import Project
 from .callgraph import CallGraph
+from .cfg import CFG, build_cfg
 from .dataflow import DeterminismTaint
 from .imports import ImportGraph
-from .symbols import SymbolIndex
+from .symbols import FunctionInfo, SymbolIndex
 
 
 class ProjectAnalysis:
@@ -26,6 +27,7 @@ class ProjectAnalysis:
         self._symbols: Optional[SymbolIndex] = None
         self._callgraph: Optional[CallGraph] = None
         self._taints: Dict[Tuple[str, ...], DeterminismTaint] = {}
+        self._cfgs: Dict[str, CFG] = {}
 
     @property
     def imports(self) -> ImportGraph:
@@ -52,3 +54,11 @@ class ProjectAnalysis:
                 self.symbols, exclude_modules=key
             )
         return self._taints[key]
+
+    def cfg(self, info: FunctionInfo) -> CFG:
+        """Control-flow graph of one indexed function, built at most once
+        per run (flow-sensitive rules revisit the same accessors)."""
+        key = info.key
+        if key not in self._cfgs:
+            self._cfgs[key] = build_cfg(info.node)
+        return self._cfgs[key]

@@ -1,0 +1,443 @@
+"""Per-function control-flow graphs for the flow-sensitive rules.
+
+The AST-pattern rules (REP001-REP011) and the summary-based project
+passes (REP012-REP015) answer "does this syntax occur" and "can this
+value reach that sink"; they cannot answer "does this happen on *every*
+path" -- which is exactly the shape of the last unchecked invariants:
+a checkpoint key written only under a version gate, a file handle whose
+``close()`` sits after a statement that can raise.  This module builds a
+statement-granular CFG per function so the :mod:`.flow` solvers can
+reason about paths, including the exceptional ones.
+
+Shape
+-----
+
+* One :class:`Block` per simple statement (plus synthetic ``entry``,
+  ``exit``, loop/try plumbing blocks).  Compound statements contribute a
+  *header* block holding the compound node (the ``if``/``while`` test,
+  the ``for`` iterable, the ``with`` context expressions); their bodies
+  nest recursively.
+* :class:`Edge` s are kinded: ``flow`` (fallthrough), ``true``/``false``
+  (branch outcomes), ``loop`` (back edge), ``break``/``continue``,
+  ``return``, ``exception``/``raise``.  Analyses that only care about
+  normal termination filter the exceptional kinds out
+  (:data:`EXCEPTIONAL_KINDS`).
+* Every statement that can plausibly raise gets an ``exception`` edge to
+  the innermost handler construct -- the ``except`` dispatch of an
+  enclosing ``try``, or its ``finally`` -- and ultimately to ``exit``
+  when nothing intervenes.  That is deliberately conservative: for the
+  resource rule a missed unwind path is a missed leak.
+
+``try``/``finally`` uses the classic single-instance approximation: the
+``finally`` body is built once, with edges out to the normal
+continuation, to the propagating-exception target, and to any
+``return``/``break``/``continue`` continuation that routed through it.
+This adds infeasible paths (a normal completion "seeing" the break
+continuation) but never hides a real one -- sound for the may-analyses
+and for must-analyses used as "flag when NOT guaranteed".
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Edge kinds that only occur while an exception is unwinding.
+EXCEPTIONAL_KINDS: FrozenSet[str] = frozenset({"exception", "raise"})
+
+#: Exception names treated as catch-alls for routing purposes.  A bare
+#: ``except:`` and ``except BaseException`` truly catch everything;
+#: ``except Exception`` is included because the escapees (KeyboardInterrupt,
+#: SystemExit) abort the process anyway -- no analysis downstream should
+#: count on surviving them.
+_CATCH_ALL_NAMES = frozenset({"BaseException", "Exception"})
+
+
+@dataclasses.dataclass(frozen=True)
+class Edge:
+    """One control transfer between blocks."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclasses.dataclass
+class Block:
+    """One CFG node: zero or one statements plus incident edges."""
+
+    id: int
+    label: str  # "entry" | "exit" | "stmt" | "test" | "except" | "finally" | ...
+    stmts: List[ast.stmt] = dataclasses.field(default_factory=list)
+
+    @property
+    def stmt(self) -> Optional[ast.stmt]:
+        return self.stmts[0] if self.stmts else None
+
+    @property
+    def line(self) -> int:
+        return self.stmts[0].lineno if self.stmts else 0
+
+
+class CFG:
+    """A control-flow graph; build via :func:`build_cfg` or programmatically.
+
+    The programmatic surface (``add_block``/``add_edge``) exists so the
+    dataflow solver can be exercised on synthetic graphs (the Hypothesis
+    random-DAG fixpoint battery) without round-tripping through source.
+    """
+
+    def __init__(self, func: Optional[ast.AST] = None):
+        self.func = func
+        self.blocks: Dict[int, Block] = {}
+        self.edges: List[Edge] = []
+        self._succ: Dict[int, List[Edge]] = {}
+        self._pred: Dict[int, List[Edge]] = {}
+        self._edge_seen: Set[Tuple[int, int, str]] = set()
+        self.entry: int = self.add_block("entry")
+        self.exit: int = self.add_block("exit")
+        #: names bound by ``with ... as name`` (context-managed resources)
+        self.managed_names: Set[str] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_block(self, label: str, stmt: Optional[ast.stmt] = None) -> int:
+        bid = len(self.blocks)
+        self.blocks[bid] = Block(
+            id=bid, label=label, stmts=[stmt] if stmt is not None else []
+        )
+        self._succ[bid] = []
+        self._pred[bid] = []
+        return bid
+
+    def add_edge(self, src: int, dst: int, kind: str = "flow") -> None:
+        key = (src, dst, kind)
+        if key in self._edge_seen:
+            return
+        self._edge_seen.add(key)
+        edge = Edge(src, dst, kind)
+        self.edges.append(edge)
+        self._succ[src].append(edge)
+        self._pred[dst].append(edge)
+
+    # -- queries -----------------------------------------------------------
+
+    def block_ids(self) -> List[int]:
+        return sorted(self.blocks)
+
+    def succs(self, bid: int, include_exceptional: bool = True) -> List[Edge]:
+        out = self._succ.get(bid, [])
+        if include_exceptional:
+            return list(out)
+        return [e for e in out if e.kind not in EXCEPTIONAL_KINDS]
+
+    def preds(self, bid: int, include_exceptional: bool = True) -> List[Edge]:
+        out = self._pred.get(bid, [])
+        if include_exceptional:
+            return list(out)
+        return [e for e in out if e.kind not in EXCEPTIONAL_KINDS]
+
+    def reachable_from_entry(self, include_exceptional: bool = True) -> Set[int]:
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            current = stack.pop()
+            for edge in self.succs(current, include_exceptional):
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append(edge.dst)
+        return seen
+
+    def blocks_of(self, pred) -> List[Block]:
+        """Blocks whose (single) statement satisfies ``pred``, in id order."""
+        return [
+            block
+            for bid, block in sorted(self.blocks.items())
+            if block.stmt is not None and pred(block.stmt)
+        ]
+
+
+# -- builder ---------------------------------------------------------------
+
+#: statements that can never raise at runtime
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+#: open ends waiting for the next block: (block id, edge kind)
+_Opens = List[Tuple[int, str]]
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, _NO_RAISE):
+        return False
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        value = stmt.value
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        if (
+            isinstance(value, ast.Constant)
+            and all(isinstance(t, ast.Name) for t in targets)
+        ):
+            return False  # `x = 3` cannot raise
+    return True
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    node = handler.type
+    leaf = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else None
+    )
+    return leaf in _CATCH_ALL_NAMES
+
+
+@dataclasses.dataclass
+class _LoopFrame:
+    header: int
+    breaks: _Opens = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class _FinallyFrame:
+    entry: int
+    exit: int
+
+
+@dataclasses.dataclass
+class _ExceptFrame:
+    dispatch: int
+
+
+_Frame = object  # _LoopFrame | _FinallyFrame | _ExceptFrame
+
+
+class _Builder:
+    def __init__(self, func: ast.AST):
+        self.cfg = CFG(func)
+        self._frames: List[_Frame] = []
+
+    def build(self) -> CFG:
+        body = getattr(self.cfg.func, "body", [])
+        opens = self._seq(body, [(self.cfg.entry, "flow")])
+        self._connect(opens, self.cfg.exit)
+        return self.cfg
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self, opens: _Opens, dst: int) -> None:
+        for src, kind in opens:
+            self.cfg.add_edge(src, dst, kind)
+
+    def _exception_target(self) -> int:
+        """Innermost construct that observes an exception, else exit."""
+        for frame in reversed(self._frames):
+            if isinstance(frame, _ExceptFrame):
+                return frame.dispatch
+            if isinstance(frame, _FinallyFrame):
+                return frame.entry
+        return self.cfg.exit
+
+    def _raise_edge(self, bid: int, kind: str = "exception") -> None:
+        self.cfg.add_edge(bid, self._exception_target(), kind)
+
+    def _unwind_through_finallys(
+        self, bid: int, frames: Sequence[_Frame], final_dst: int, kind: str
+    ) -> None:
+        """Route a return/break/continue through every intervening finally.
+
+        ``frames`` are the frames the jump escapes, innermost first; the
+        chain runs ``bid -> fin1 -> fin2 -> ... -> final_dst``.
+        """
+        fins = [f for f in frames if isinstance(f, _FinallyFrame)]
+        current = bid
+        for fin in fins:
+            self.cfg.add_edge(current, fin.entry, kind)
+            current = fin.exit
+        self.cfg.add_edge(current, final_dst, kind)
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _seq(self, stmts: Sequence[ast.stmt], opens: _Opens) -> _Opens:
+        for stmt in stmts:
+            opens = self._stmt(stmt, opens)
+        return opens
+
+    def _stmt(self, stmt: ast.stmt, opens: _Opens) -> _Opens:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, opens)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, opens)
+        if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            return self._try(stmt, opens)  # type: ignore[arg-type]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, opens)
+        if stmt.__class__.__name__ == "Match":
+            return self._match(stmt, opens)
+        if isinstance(stmt, ast.Return):
+            bid = self.cfg.add_block("stmt", stmt)
+            self._connect(opens, bid)
+            self._unwind_through_finallys(
+                bid, list(reversed(self._frames)), self.cfg.exit, "return"
+            )
+            return []
+        if isinstance(stmt, ast.Raise):
+            bid = self.cfg.add_block("stmt", stmt)
+            self._connect(opens, bid)
+            self._raise_edge(bid, "raise")
+            return []
+        if isinstance(stmt, ast.Break):
+            return self._break_or_continue(stmt, opens, is_break=True)
+        if isinstance(stmt, ast.Continue):
+            return self._break_or_continue(stmt, opens, is_break=False)
+        bid = self.cfg.add_block("stmt", stmt)
+        self._connect(opens, bid)
+        if _may_raise(stmt):
+            self._raise_edge(bid)
+        return [(bid, "flow")]
+
+    def _break_or_continue(
+        self, stmt: ast.stmt, opens: _Opens, is_break: bool
+    ) -> _Opens:
+        bid = self.cfg.add_block("stmt", stmt)
+        self._connect(opens, bid)
+        escaped: List[_Frame] = []
+        for frame in reversed(self._frames):
+            if isinstance(frame, _LoopFrame):
+                kind = "break" if is_break else "continue"
+                if is_break:
+                    # the loop's after-block does not exist yet; chain the
+                    # finallys now and leave the last hop as an open end
+                    fins = [
+                        f for f in escaped if isinstance(f, _FinallyFrame)
+                    ]
+                    current = bid
+                    for fin in fins:
+                        self.cfg.add_edge(current, fin.entry, kind)
+                        current = fin.exit
+                    frame.breaks.append((current, kind))
+                else:
+                    self._unwind_through_finallys(
+                        bid, escaped, frame.header, kind
+                    )
+                return []
+            escaped.append(frame)
+        # break/continue outside any loop: syntactically invalid; treat as
+        # a plain fallthrough so a bad fixture never crashes the builder
+        return [(bid, "flow")]
+
+    # -- compound statements -----------------------------------------------
+
+    def _if(self, stmt: ast.If, opens: _Opens) -> _Opens:
+        test = self.cfg.add_block("test", stmt)
+        self._connect(opens, test)
+        self._raise_edge(test)
+        body_opens = self._seq(stmt.body, [(test, "true")])
+        if stmt.orelse:
+            else_opens = self._seq(stmt.orelse, [(test, "false")])
+        else:
+            else_opens = [(test, "false")]
+        return body_opens + else_opens
+
+    def _loop(self, stmt: ast.stmt, opens: _Opens) -> _Opens:
+        header = self.cfg.add_block("test", stmt)
+        self._connect(opens, header)
+        self._raise_edge(header)
+        frame = _LoopFrame(header=header)
+        self._frames.append(frame)
+        body = stmt.body  # type: ignore[attr-defined]
+        body_opens = self._seq(body, [(header, "true")])
+        self._connect(body_opens, header)
+        # re-kind the back edges for readability
+        self._frames.pop()
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            exits = self._seq(orelse, [(header, "false")])
+        else:
+            exits = [(header, "false")]
+        return exits + frame.breaks
+
+    def _with(self, stmt: ast.stmt, opens: _Opens) -> _Opens:
+        header = self.cfg.add_block("with", stmt)
+        self._connect(opens, header)
+        self._raise_edge(header)
+        for item in stmt.items:  # type: ignore[attr-defined]
+            if isinstance(item.optional_vars, ast.Name):
+                self.cfg.managed_names.add(item.optional_vars.id)
+        return self._seq(stmt.body, [(header, "flow")])  # type: ignore[attr-defined]
+
+    def _match(self, stmt: ast.stmt, opens: _Opens) -> _Opens:
+        header = self.cfg.add_block("test", stmt)
+        self._connect(opens, header)
+        self._raise_edge(header)
+        out: _Opens = [(header, "false")]  # no case matched
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            out.extend(self._seq(case.body, [(header, "true")]))
+        return out
+
+    def _try(self, stmt: ast.Try, opens: _Opens) -> _Opens:
+        outer_exc = self._exception_target()
+
+        fin: Optional[_FinallyFrame] = None
+        if stmt.finalbody:
+            fin_entry = self.cfg.add_block("finally")
+            # the finally body itself runs under the *outer* frames: an
+            # exception raised inside it propagates past this try
+            fin_opens = self._seq(stmt.finalbody, [(fin_entry, "flow")])
+            fin_exit = self.cfg.add_block("finally-end")
+            self._connect(fin_opens, fin_exit)
+            # entered with an in-flight exception, the finally re-raises
+            self.cfg.add_edge(fin_exit, outer_exc, "exception")
+            fin = _FinallyFrame(entry=fin_entry, exit=fin_exit)
+
+        dispatch: Optional[int] = None
+        if stmt.handlers:
+            dispatch = self.cfg.add_block("except")
+
+        if fin is not None:
+            self._frames.append(fin)
+        if dispatch is not None:
+            self._frames.append(_ExceptFrame(dispatch=dispatch))
+        body_opens = self._seq(stmt.body, opens)
+        if dispatch is not None:
+            self._frames.pop()  # handlers/else don't re-enter the dispatch
+
+        # else clause: runs only after a clean body, same finally routing
+        else_opens = self._seq(stmt.orelse, body_opens)
+
+        handler_opens: _Opens = []
+        caught_all = False
+        if dispatch is not None:
+            for handler in stmt.handlers:
+                caught_all = caught_all or _is_catch_all(handler)
+                handler_opens.extend(
+                    self._seq(handler.body, [(dispatch, "exception")])
+                )
+            if not caught_all:
+                # unmatched exception: through finally, then onward
+                self.cfg.add_edge(
+                    dispatch,
+                    fin.entry if fin is not None else outer_exc,
+                    "exception",
+                )
+
+        if fin is not None:
+            self._frames.pop()
+            self._connect(else_opens + handler_opens, fin.entry)
+            return [(fin.exit, "flow")]
+        return else_opens + handler_opens
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """CFG for one ``FunctionDef``/``AsyncFunctionDef`` (or any stmt body)."""
+    return _Builder(func).build()
+
+
+__all__ = [
+    "Block",
+    "CFG",
+    "Edge",
+    "EXCEPTIONAL_KINDS",
+    "build_cfg",
+]

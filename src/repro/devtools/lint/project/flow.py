@@ -1,0 +1,345 @@
+"""Generic dataflow over :mod:`.cfg` graphs, plus the canned analyses.
+
+One worklist solver covers the whole family: forward or backward, may
+(union meet) or must (intersection meet), gen/kill or arbitrary
+transfer.  The rules use three instantiations:
+
+* **reaching definitions** -- which assignments of each name can reach a
+  block (forward, may);
+* **liveness** -- which names are still read on some path after a block
+  (backward, may);
+* **must-execute** -- which blocks lie on *every* entry-to-exit path
+  (forward, must): the "is this key written on all paths / is this close
+  guaranteed" fact that checkpoint symmetry and resource safety hinge
+  on.
+
+All facts are hashable values in ``frozenset`` lattices; the solver
+terminates because transfer functions are monotone over finite sets
+(gen/kill by construction; the must-execute transfer only ever adds the
+block's own id).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .cfg import CFG, EXCEPTIONAL_KINDS, Block
+
+Fact = Any
+FactSet = FrozenSet[Fact]
+
+
+@dataclasses.dataclass
+class Solution:
+    """Per-block in/out fact sets of one converged analysis."""
+
+    inputs: Dict[int, FactSet]
+    outputs: Dict[int, FactSet]
+
+
+def solve(
+    cfg: CFG,
+    *,
+    direction: str = "forward",
+    may: bool = True,
+    gen: Callable[[Block], Iterable[Fact]],
+    kill: Callable[[Block], Iterable[Fact]],
+    init: Iterable[Fact] = (),
+    universe: Iterable[Fact] = (),
+    include_exceptional: bool = True,
+) -> Solution:
+    """Worklist fixpoint of a gen/kill problem over ``cfg``.
+
+    ``may=True`` joins with union (uninitialised neighbours contribute
+    nothing); ``may=False`` joins with intersection, where blocks not
+    yet visited contribute ``universe`` (the standard optimistic
+    initialisation, required for must-facts to survive loops).
+    ``init`` seeds the boundary block (entry when forward, exit when
+    backward).  ``include_exceptional=False`` drops exception/raise
+    edges from the graph first.
+    """
+    if direction not in ("forward", "backward"):
+        raise ValueError(f"bad direction {direction!r}")
+    forward = direction == "forward"
+    boundary = cfg.entry if forward else cfg.exit
+    init_set = frozenset(init)
+    universe_set = frozenset(universe)
+    gen_cache: Dict[int, FactSet] = {}
+    kill_cache: Dict[int, FactSet] = {}
+    for bid, block in cfg.blocks.items():
+        gen_cache[bid] = frozenset(gen(block))
+        kill_cache[bid] = frozenset(kill(block))
+
+    def neighbours_in(bid: int) -> List[int]:
+        edges = (
+            cfg.preds(bid, include_exceptional)
+            if forward
+            else cfg.succs(bid, include_exceptional)
+        )
+        return [e.src if forward else e.dst for e in edges]
+
+    def neighbours_out(bid: int) -> List[int]:
+        edges = (
+            cfg.succs(bid, include_exceptional)
+            if forward
+            else cfg.preds(bid, include_exceptional)
+        )
+        return [e.dst if forward else e.src for e in edges]
+
+    inputs: Dict[int, FactSet] = {}
+    outputs: Dict[int, FactSet] = {
+        bid: (universe_set if not may else frozenset())
+        for bid in cfg.blocks
+    }
+    outputs[boundary] = frozenset(
+        (init_set | gen_cache[boundary]) - kill_cache[boundary]
+    )
+
+    work: List[int] = sorted(cfg.blocks)
+    in_work: Set[int] = set(work)
+    while work:
+        bid = work.pop(0)
+        in_work.discard(bid)
+        if bid == boundary:
+            incoming = init_set
+        else:
+            sources = neighbours_in(bid)
+            if not sources:
+                incoming = universe_set if not may else frozenset()
+            elif may:
+                incoming = frozenset().union(
+                    *(outputs[s] for s in sources)
+                )
+            else:
+                incoming = frozenset.intersection(
+                    *(outputs[s] for s in sources)
+                )
+        inputs[bid] = incoming
+        new_out = frozenset((incoming | gen_cache[bid]) - kill_cache[bid])
+        if new_out != outputs[bid]:
+            outputs[bid] = new_out
+            for succ in neighbours_out(bid):
+                if succ not in in_work:
+                    in_work.add(succ)
+                    work.append(succ)
+    # blocks never pulled from the worklist twice still need inputs
+    for bid in cfg.blocks:
+        inputs.setdefault(
+            bid, universe_set if not may else frozenset()
+        )
+    return Solution(inputs=inputs, outputs=outputs)
+
+
+# -- canned analyses -------------------------------------------------------
+
+
+def _target_names(target: ast.expr) -> Iterable[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def defs_of(stmt: ast.stmt) -> Set[str]:
+    """Names (re)bound by one statement, header bindings included."""
+    names: Set[str] = set()
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names.update(_target_names(target))
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        names.update(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.update(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.update(_target_names(item.optional_vars))
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            names.add((alias.asname or alias.name).split(".")[0])
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.add(stmt.name)
+    return names
+
+
+def uses_of(stmt: ast.stmt) -> Set[str]:
+    """Names loaded by one statement (header expressions only for
+    compounds -- their bodies are separate blocks)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        roots: List[ast.AST] = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        roots = list(stmt.decorator_list)
+    else:
+        roots = [stmt]
+    names: Set[str] = set()
+    for root in roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                names.add(node.id)
+    return names
+
+
+#: a definition fact: (variable name, defining block id)
+Definition = Tuple[str, int]
+
+
+def reaching_definitions(
+    cfg: CFG, include_exceptional: bool = True
+) -> Solution:
+    """Forward-may: which ``(name, block)`` definitions reach each block.
+
+    Function parameters count as definitions at the entry block.
+    """
+    params: Set[str] = set()
+    args = getattr(cfg.func, "args", None)
+    if args is not None:
+        for arg in (
+            list(getattr(args, "posonlyargs", []))
+            + args.args
+            + args.kwonlyargs
+            + [a for a in (args.vararg, args.kwarg) if a is not None]
+        ):
+            params.add(arg.arg)
+    all_defs: Dict[str, Set[Definition]] = {}
+    block_defs: Dict[int, Set[str]] = {}
+    for bid, block in cfg.blocks.items():
+        if bid == cfg.entry:
+            names = set(params)
+        else:
+            names = defs_of(block.stmt) if block.stmt is not None else set()
+        block_defs[bid] = names
+        for name in names:
+            all_defs.setdefault(name, set()).add((name, bid))
+
+    def gen(block: Block) -> Iterable[Definition]:
+        return {(name, block.id) for name in block_defs[block.id]}
+
+    def kill(block: Block) -> Iterable[Definition]:
+        out: Set[Definition] = set()
+        for name in block_defs[block.id]:
+            out.update(d for d in all_defs[name] if d[1] != block.id)
+        return out
+
+    return solve(
+        cfg,
+        direction="forward",
+        may=True,
+        gen=gen,
+        kill=kill,
+        include_exceptional=include_exceptional,
+    )
+
+
+def live_variables(cfg: CFG, include_exceptional: bool = True) -> Solution:
+    """Backward-may liveness: names read on some path after each block."""
+
+    def gen(block: Block) -> Iterable[str]:
+        return uses_of(block.stmt) if block.stmt is not None else ()
+
+    def kill(block: Block) -> Iterable[str]:
+        return defs_of(block.stmt) if block.stmt is not None else ()
+
+    return solve(
+        cfg,
+        direction="backward",
+        may=True,
+        gen=gen,
+        kill=kill,
+        include_exceptional=include_exceptional,
+    )
+
+
+def blocks_on_all_paths(
+    cfg: CFG, include_exceptional: bool = False
+) -> FrozenSet[int]:
+    """Block ids that execute on *every* entry-to-exit path.
+
+    The must-execute fact behind "is this checkpoint key written
+    unconditionally" and "is this close guaranteed".  By default the
+    exceptional edges are excluded -- "all paths" means all normally
+    terminating paths; pass ``include_exceptional=True`` to also demand
+    execution when an exception unwinds (then only ``finally`` bodies
+    qualify).  If the exit is unreachable under the chosen view the
+    answer degenerates to every block, which downstream rules treat as
+    "no gating observed".
+    """
+    solution = solve(
+        cfg,
+        direction="forward",
+        may=False,
+        gen=lambda block: {block.id},
+        kill=lambda block: (),
+        universe=set(cfg.blocks),
+        include_exceptional=include_exceptional,
+    )
+    return solution.outputs[cfg.exit]
+
+
+def reaches(
+    cfg: CFG,
+    start: int,
+    target: int,
+    avoid: Iterable[int] = (),
+    include_exceptional: bool = True,
+    no_raise: Iterable[int] = (),
+) -> bool:
+    """True when some path runs ``start`` to ``target`` without entering
+    any ``avoid`` block (the start itself is never "avoided").
+
+    Blocks in ``no_raise`` are assumed not to raise: their outgoing
+    exception edges are not followed (e.g. a resource rule treating
+    ``close()`` calls as infallible so one close "raising" does not count
+    as a leak path past the next).
+    """
+    blocked = set(avoid)
+    trusted = set(no_raise)
+    if target == start:
+        return True
+    seen = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for edge in cfg.succs(current, include_exceptional):
+            if current in trusted and edge.kind in EXCEPTIONAL_KINDS:
+                continue
+            nxt = edge.dst
+            if nxt == target:
+                return True
+            if nxt in seen or nxt in blocked:
+                continue
+            seen.add(nxt)
+            stack.append(nxt)
+    return False
+
+
+__all__ = [
+    "Definition",
+    "Solution",
+    "blocks_on_all_paths",
+    "defs_of",
+    "live_variables",
+    "reaches",
+    "reaching_definitions",
+    "solve",
+    "uses_of",
+]

@@ -26,4 +26,7 @@ from . import (  # noqa: F401
     rep014_shard_safety,
     rep015_config_drift,
     rep016_timing_literals,
+    rep017_checkpoint_symmetry,
+    rep018_metrics_drift,
+    rep019_resource_safety,
 )

@@ -44,9 +44,10 @@ class CoreAnnotationRule(LintRule):
     paper_ref = "(typing gate; mirrors mypy CI)"
     include_modules = ("repro.core.*",)
     default_options = {
-        #: additional dotted-module fnmatch patterns to cover; simulation
-        #: and the runtime service graduated into the typed set and are
-        #: checked by default (mirroring the pyproject mypy overrides)
+        #: additional dotted-module fnmatch patterns to cover; every
+        #: repro package has graduated into the typed set (viz was the
+        #: last), mirroring the pyproject mypy config with no
+        #: ignore_errors overrides left
         "extra_modules": (
             "repro.simulation.*",
             "repro.runtime.*",
@@ -56,6 +57,7 @@ class CoreAnnotationRule(LintRule):
             "repro.rules.*",
             "repro.baselines.*",
             "repro.syslogproc.*",
+            "repro.viz.*",
         ),
     }
 

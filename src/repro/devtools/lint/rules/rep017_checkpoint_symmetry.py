@@ -1,0 +1,427 @@
+"""REP017: checkpoint writers and loaders must agree on their key sets.
+
+Exact resume is the repo's core invariant: a checkpoint taken mid-flood
+and loaded into a fresh process must reproduce the incident stream
+byte-identically.  That hinges on ten-odd ``state_dict`` /
+``load_state_dict`` pairs staying symmetric -- and a missed key fails
+*silently*: the writer drops a field, the loader keeps defaulting, and
+nothing crashes until an incident id drifts three PRs later.
+
+This rule pairs each writer with its loader (same class for methods,
+same module for free functions) and compares literal key sets through
+the CFG layer:
+
+* every key the writer emits (returned dict literal, or subscript
+  stores on the returned variable) must be read by the loader
+  (``state["k"]``, ``.get``/``.pop``/``.setdefault``, or a ``"k" in
+  state`` membership test);
+* every key the loader *hard-reads* (plain subscript, ``.pop`` without
+  default) must be written -- a ``.get`` with default or a
+  membership-guarded read is tolerated as a back-compat migration read;
+* a **version-gated** key (written on some but not all CFG paths, per
+  the must-execute analysis) hard-read without a guard is flagged: old
+  checkpoints will ``KeyError`` on resume.
+
+Pairs where either side is *dynamic* (dict comprehension, ``dict(x)``,
+``.items()`` iteration, the state dict passed around whole) are skipped
+-- the key set is not statically enumerable, and those shapes copy the
+mapping wholesale so they cannot drop a key.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..engine import Finding, LintRule, Project, register
+from ..project.cfg import CFG
+from ..project.flow import solve
+
+_READ_METHODS = {"get", "pop", "setdefault"}
+
+
+@dataclasses.dataclass
+class _WriterFacts:
+    """Literal keys one checkpoint writer emits."""
+
+    #: key -> first write site
+    keys: Dict[str, ast.AST]
+    #: keys NOT written on every normal path (version-gated)
+    gated: Set[str]
+
+
+@dataclasses.dataclass
+class _ReaderFacts:
+    """Literal keys one checkpoint loader consumes."""
+
+    #: key -> first hard-read site (plain subscript / pop without default)
+    hard: Dict[str, ast.AST]
+    #: keys read forgivingly (.get / .pop-with-default / .setdefault)
+    soft: Set[str]
+    #: keys tested with ``"k" in state``
+    membership: Set[str]
+
+    @property
+    def all_keys(self) -> Set[str]:
+        return set(self.hard) | self.soft | self.membership
+
+
+def _const_key(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@register
+class CheckpointSymmetryRule(LintRule):
+    rule_id = "REP017"
+    title = "state_dict/load_state_dict key sets stay symmetric"
+    paper_ref = "§5 (exact resumability)"
+    scope = "project"
+    project_only = True
+    default_options: Mapping[str, Any] = {
+        #: (writer name, loader name) pairs, matched within one class
+        #: for methods and within one module for free functions
+        "pairs": (
+            ("state_dict", "load_state_dict"),
+            ("pipeline_state_dict", "restore_pipeline_state"),
+        ),
+        #: parameter names recognised as the incoming state mapping
+        "state_params": ("state", "payload", "snapshot"),
+    }
+
+    # -- writer side -------------------------------------------------------
+
+    def _writer_facts(
+        self, cfg: CFG, func: ast.AST
+    ) -> Optional[_WriterFacts]:
+        """Keys the writer emits, or None when not statically enumerable."""
+        returned_literals: List[Tuple[ast.Dict, int]] = []
+        returned_vars: Set[str] = set()
+        for bid, block in cfg.blocks.items():
+            stmt = block.stmt
+            if not isinstance(stmt, ast.Return) or stmt.value is None:
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Dict):
+                returned_literals.append((value, bid))
+            elif isinstance(value, ast.Name):
+                returned_vars.add(value.id)
+            else:
+                return None  # returns something we can't enumerate
+        if not returned_literals and not returned_vars:
+            return None
+
+        keys: Dict[str, ast.AST] = {}
+        block_keys: Dict[int, Set[str]] = {}
+
+        def record(key: str, node: ast.AST, bid: int) -> None:
+            keys.setdefault(key, node)
+            block_keys.setdefault(bid, set()).add(key)
+
+        for literal, bid in returned_literals:
+            for key_node in literal.keys:
+                if key_node is None:
+                    return None  # ``**spread`` -- dynamic
+                key = _const_key(key_node)
+                if key is None:
+                    return None
+                record(key, key_node, bid)
+
+        for bid, block in cfg.blocks.items():
+            stmt = block.stmt
+            if stmt is None:
+                continue
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                if stmt.value is None:
+                    continue  # bare annotation
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in returned_vars
+                    ):
+                        got = self._literal_dict_keys(stmt.value)
+                        if got is None:
+                            return None
+                        for key, node in got:
+                            record(key, node, bid)
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in returned_vars
+                    ):
+                        key = _const_key(target.slice)
+                        if key is None:
+                            return None
+                        record(key, target, bid)
+            elif (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and isinstance(stmt.value.func.value, ast.Name)
+                and stmt.value.func.value.id in returned_vars
+            ):
+                # out.update({...}) with a literal is fine; anything else
+                # mutating the returned dict makes the key set dynamic
+                call = stmt.value
+                if call.func.attr != "update" or len(call.args) != 1:
+                    return None
+                got = self._literal_dict_keys(call.args[0])
+                if got is None:
+                    return None
+                for key, node in got:
+                    record(key, node, bid)
+        if not keys:
+            return None
+
+        # must-analysis: which keys are written on every normal path
+        written_everywhere: FrozenSet[str] = solve(
+            cfg,
+            direction="forward",
+            may=False,
+            gen=lambda block: block_keys.get(block.id, ()),
+            kill=lambda block: (),
+            universe=set(keys),
+            include_exceptional=False,
+        ).outputs[cfg.exit]
+        return _WriterFacts(
+            keys=keys, gated=set(keys) - set(written_everywhere)
+        )
+
+    @staticmethod
+    def _literal_dict_keys(
+        value: ast.expr,
+    ) -> Optional[List[Tuple[str, ast.AST]]]:
+        """Keys of a dict-literal initialiser; None when dynamic."""
+        if isinstance(value, ast.Dict):
+            out: List[Tuple[str, ast.AST]] = []
+            for key_node in value.keys:
+                if key_node is None:
+                    return None
+                key = _const_key(key_node)
+                if key is None:
+                    return None
+                out.append((key, key_node))
+            return out
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "dict"
+            and not value.args
+        ):
+            out = []
+            for kw in value.keywords:
+                if kw.arg is None:
+                    return None
+                out.append((kw.arg, kw))
+            return out
+        return None
+
+    # -- reader side -------------------------------------------------------
+
+    def _reader_facts(
+        self, func: ast.AST, param: str
+    ) -> Optional[_ReaderFacts]:
+        """Keys the loader consumes, or None when it reads dynamically."""
+        facts = _ReaderFacts(hard={}, soft=set(), membership=set())
+        claimed: Set[int] = set()  # Name-load node ids used safely
+        for node in ast.walk(func):  # type: ignore[arg-type]
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == param
+            ):
+                key = _const_key(node.slice)
+                if key is None:
+                    return None
+                claimed.add(id(node.value))
+                if isinstance(node.ctx, ast.Load):
+                    facts.hard.setdefault(key, node)
+                # stores into the incoming state are not reads; ignore
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == param
+            ):
+                method = node.func.attr
+                if method not in _READ_METHODS:
+                    return None  # .items()/.keys()/.values()/... -> dynamic
+                claimed.add(id(node.func.value))
+                if not node.args:
+                    return None
+                key = _const_key(node.args[0])
+                if key is None:
+                    return None
+                has_default = len(node.args) > 1 or bool(node.keywords)
+                if method == "pop" and not has_default:
+                    facts.hard.setdefault(key, node)
+                else:
+                    facts.soft.add(key)
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+            ):
+                operands = [node.left, *node.comparators]
+                container = operands[-1]
+                if (
+                    isinstance(container, ast.Name)
+                    and container.id == param
+                ):
+                    key = _const_key(operands[0])
+                    if key is None:
+                        return None
+                    claimed.add(id(container))
+                    facts.membership.add(key)
+        # any other use of the whole mapping (iteration, dict(state),
+        # passing it on) makes the read set dynamic
+        for node in ast.walk(func):  # type: ignore[arg-type]
+            if (
+                isinstance(node, ast.Name)
+                and node.id == param
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in claimed
+            ):
+                return None
+        return facts
+
+    # -- pairing and reporting ---------------------------------------------
+
+    def _pairs(self, project: Project):
+        """Yield (writer FunctionInfo, reader FunctionInfo, owner label)."""
+        symbols = project.analysis.symbols
+        pairs = tuple(tuple(p) for p in self.options["pairs"])
+        for module in sorted(symbols.modules):
+            table = symbols.modules[module]
+            for write_name, read_name in pairs:
+                if (
+                    write_name in table.functions
+                    and read_name in table.functions
+                ):
+                    yield (
+                        table.functions[write_name],
+                        table.functions[read_name],
+                        module,
+                    )
+            for cls_name in sorted(table.classes):
+                cls = table.classes[cls_name]
+                for write_name, read_name in pairs:
+                    if (
+                        write_name in cls.methods
+                        and read_name in cls.methods
+                    ):
+                        yield (
+                            cls.methods[write_name],
+                            cls.methods[read_name],
+                            f"{cls_name}",
+                        )
+
+    def _state_param(self, func: ast.AST, is_method: bool) -> Optional[str]:
+        args = getattr(func, "args", None)
+        if args is None:
+            return None
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if is_method and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        wanted = tuple(self.options["state_params"])
+        for name in names:
+            if name in wanted:
+                return name
+        return names[0] if len(names) == 1 else None
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        analysis = project.analysis
+        for writer, reader, owner in self._pairs(project):
+            written = self._writer_facts(analysis.cfg(writer), writer.node)
+            if written is None:
+                continue
+            param = self._state_param(
+                reader.node, is_method=reader.owner is not None
+            )
+            if param is None:
+                continue
+            read = self._reader_facts(reader.node, param)
+            if read is None:
+                continue
+            writer_label = f"{owner}.{writer.name}"
+            reader_label = f"{owner}.{reader.name}"
+
+            for key in sorted(set(written.keys) - read.all_keys):
+                node = written.keys[key]
+                yield Finding(
+                    path=writer.source.rel,
+                    line=getattr(node, "lineno", writer.node.lineno),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"checkpoint key {key!r} written by {writer_label} "
+                        f"is never read by {reader_label}; the state is "
+                        f"silently dropped on resume"
+                    ),
+                )
+            for key in sorted(set(read.hard) - set(written.keys)):
+                if key in read.membership:
+                    continue  # guarded back-compat read
+                node = read.hard[key]
+                yield Finding(
+                    path=reader.source.rel,
+                    line=getattr(node, "lineno", reader.node.lineno),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{reader_label} reads checkpoint key {key!r} that "
+                        f"{writer_label} never writes; resume will KeyError"
+                    ),
+                )
+            for key in sorted(
+                written.gated & set(read.hard) - read.membership
+            ):
+                node = read.hard[key]
+                yield Finding(
+                    path=reader.source.rel,
+                    line=getattr(node, "lineno", reader.node.lineno),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"checkpoint key {key!r} is version-gated (not "
+                        f"written on every {writer_label} path) but "
+                        f"{reader_label} reads it unguarded; use .get() or "
+                        f"a membership test for old checkpoints"
+                    ),
+                )
+
+    def cache_closure(self, project: Project) -> Optional[List[str]]:
+        """The verdict depends only on modules defining a checkpoint pair
+        (the comparison is intraprocedural on both sides)."""
+        wanted: Set[str] = set()
+        for pair in self.options["pairs"]:
+            wanted.update(pair)
+        modules: Set[str] = set()
+        for source in project.files:
+            if source.module is None or source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if (
+                    isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    and node.name in wanted
+                ):
+                    modules.add(source.module)
+                    break
+        return sorted(modules)

@@ -1,0 +1,392 @@
+"""REP018: metric registrations, update sites, and docs must agree.
+
+The monitoring surface is stringly typed: ``metrics.counter("name")``
+at ~34 call sites, plus counter tables in README/DESIGN/EXPERIMENTS.
+Nothing ties them together -- rename a counter at its registration and
+every other site silently starts a *second* metric, which is precisely
+the "silent monitoring gap" failure mode the paper blames for floods
+going unexplained.  This rule cross-checks three surfaces:
+
+* **registrations**: every ``<registry>.counter/gauge/histogram(name)``
+  call with a literal (or literal-prefixed f-string) name.  The same
+  name registered under two different kinds is a drift finding.
+* **update sites**: every ``.inc()/.set()/.observe()`` whose receiver
+  resolves to a registration -- chained directly, through a
+  ``self._x = metrics.counter(...)`` handle attribute, or through a
+  same-function local.  The update method must match the handle's kind
+  (``inc``→counter, ``set``→gauge, ``observe``→histogram), and every
+  registered metric must have at least one resolved update site (a
+  metric nobody ever moves is a dead dashboard row).  Receivers that
+  resolve to nothing (``Event.set()``, domain ``observe()`` methods)
+  are ignored, not guessed at.
+* **docs**: ``*_total``/``*_seconds`` tokens in the doc files must
+  match a registered name -- exactly, by a registered f-string family
+  prefix, or as an ellipsis-abbreviated suffix (``…rebuilds_total``).
+
+F-string names like ``f"runtime_io_shed_{op}_total"`` are tracked as a
+*family* by their literal prefix; families satisfy the dead-metric and
+doc checks for any matching name.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..engine import Finding, LintRule, Project, register
+
+#: metric kind -> its one legal update method
+_UPDATE_OF = {"counter": "inc", "gauge": "set", "histogram": "observe"}
+_KIND_OF = {v: k for k, v in _UPDATE_OF.items()}
+
+#: a metric name: ("exact", "runtime_sweeps_total") or
+#: ("family", "runtime_io_shed_") for literal-prefixed f-strings
+_Spec = Tuple[str, str]
+
+_DOC_TOKEN = re.compile(r"\b[a-z][a-z0-9_]*_(?:total|seconds)\b")
+
+
+@dataclasses.dataclass
+class _Registration:
+    spec: _Spec
+    kind: str
+    path: str  # relative path for findings
+    line: int
+    col: int
+
+
+def _name_spec(node: ast.expr) -> Optional[_Spec]:
+    """Metric-name spec from a registration's name argument."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return ("exact", node.value)
+    if isinstance(node, ast.JoinedStr):
+        prefix = ""
+        for part in node.values:
+            if isinstance(part, ast.Constant) and isinstance(
+                part.value, str
+            ):
+                prefix += part.value
+            else:
+                break
+        if prefix:
+            return ("family", prefix)
+    return None
+
+
+def _spec_label(spec: _Spec) -> str:
+    kind, text = spec
+    return text if kind == "exact" else f"{text}*"
+
+
+@register
+class MetricsDriftRule(LintRule):
+    rule_id = "REP018"
+    title = "metric names agree across registrations, updates, and docs"
+    paper_ref = "§6 (monitoring gaps)"
+    scope = "project"
+    project_only = True
+    default_options: Mapping[str, Any] = {
+        #: receiver leaf names accepted as a metrics registry
+        "registry_names": (
+            "metrics",
+            "_metrics",
+            "registry",
+            "_registry",
+        ),
+        #: module (by suffix) whose presence marks a real tree -- doc
+        #: scanning only activates when it resolves
+        "metrics_module": "runtime.metrics",
+        #: doc files checked for stale metric names, relative to the
+        #: project root (the pyproject.toml directory above the metrics
+        #: module)
+        "doc_files": ("README.md", "DESIGN.md", "EXPERIMENTS.md"),
+    }
+
+    # -- fact extraction ---------------------------------------------------
+
+    def _is_registration(self, node: ast.AST) -> Optional[Tuple[_Spec, str]]:
+        """(name spec, kind) when ``node`` registers a metric."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _UPDATE_OF
+        ):
+            return None
+        receiver = node.func.value
+        leaf = (
+            receiver.attr
+            if isinstance(receiver, ast.Attribute)
+            else receiver.id
+            if isinstance(receiver, ast.Name)
+            else None
+        )
+        if leaf not in tuple(self.options["registry_names"]):
+            return None
+        name_arg: Optional[ast.expr] = None
+        if node.args:
+            name_arg = node.args[0]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    name_arg = kw.value
+        if name_arg is None:
+            return None
+        spec = _name_spec(name_arg)
+        if spec is None:
+            return None
+        return spec, node.func.attr
+
+    def _collect(self, project: Project):
+        """(registrations, updates) across the whole project.
+
+        ``updates`` are (spec, kind-of-handle, update-method, path, node)
+        for every ``.inc/.set/.observe`` whose receiver resolved.
+        """
+        registrations: List[_Registration] = []
+        updates: List[Tuple[_Spec, str, str, str, ast.AST]] = []
+
+        # pass 1: registrations + handle maps
+        #   (module, class) -> attr -> (spec, kind)
+        attr_handles: Dict[Tuple[str, str], Dict[str, Tuple[_Spec, str]]] = {}
+        symbols = project.analysis.symbols
+        for source in project.files:
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                reg = self._is_registration(node)
+                if reg is not None:
+                    registrations.append(
+                        _Registration(
+                            spec=reg[0],
+                            kind=reg[1],
+                            path=source.rel,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                        )
+                    )
+        for info in symbols.functions.values():
+            if info.owner is None:
+                continue
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                reg = self._is_registration(node.value)
+                if reg is None:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attr_handles.setdefault(
+                            (info.module, info.owner), {}
+                        )[target.attr] = reg
+
+        # pass 2: update sites, resolved through the three handle forms
+        def updates_in(
+            tree: ast.AST,
+            source_rel: str,
+            locals_map: Mapping[str, Tuple[_Spec, str]],
+            class_key: Optional[Tuple[str, str]],
+        ) -> None:
+            class_map = attr_handles.get(class_key, {}) if class_key else {}
+            for node in ast.walk(tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _KIND_OF
+                ):
+                    continue
+                receiver = node.func.value
+                resolved: Optional[Tuple[_Spec, str]] = None
+                reg = self._is_registration(receiver)
+                if reg is not None:
+                    resolved = reg
+                elif (
+                    isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                ):
+                    resolved = class_map.get(receiver.attr)
+                elif isinstance(receiver, ast.Name):
+                    resolved = locals_map.get(receiver.id)
+                if resolved is None:
+                    continue  # not provably a metric handle
+                updates.append(
+                    (
+                        resolved[0],
+                        resolved[1],
+                        node.func.attr,
+                        source_rel,
+                        node,
+                    )
+                )
+
+        for info in symbols.functions.values():
+            locals_map: Dict[str, Tuple[_Spec, str]] = {}
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Assign):
+                    reg = self._is_registration(node.value)
+                    if reg is not None:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                locals_map[target.id] = reg
+            class_key = (
+                (info.module, info.owner) if info.owner else None
+            )
+            updates_in(info.node, info.source.rel, locals_map, class_key)
+        for source in project.files:  # module-level chained updates
+            if source.tree is None:
+                continue
+            for stmt in source.tree.body:
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    updates_in(stmt, source.rel, {}, None)
+
+        return registrations, updates
+
+    # -- the checks --------------------------------------------------------
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registrations, updates = self._collect(project)
+        if not registrations:
+            return
+
+        # 1. one kind per name
+        kind_of: Dict[_Spec, _Registration] = {}
+        for reg in registrations:
+            first = kind_of.setdefault(reg.spec, reg)
+            if first.kind != reg.kind:
+                yield Finding(
+                    path=reg.path,
+                    line=reg.line,
+                    col=reg.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"metric {_spec_label(reg.spec)!r} registered as "
+                        f"{reg.kind} here but as {first.kind} at "
+                        f"{first.path}:{first.line}; one name, one kind"
+                    ),
+                )
+
+        # 2. update method matches the handle's kind
+        for spec, kind, method, path, node in updates:
+            if _UPDATE_OF[kind] != method:
+                yield Finding(
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"metric {_spec_label(spec)!r} is a {kind} but is "
+                        f"updated with .{method}(); {kind}s support "
+                        f".{_UPDATE_OF[kind]}()"
+                    ),
+                )
+
+        # 3. every registered metric moves at least once
+        updated_specs = {spec for spec, _, _, _, _ in updates}
+        reported_dead: Set[_Spec] = set()
+        for reg in registrations:
+            if reg.spec in updated_specs or reg.spec in reported_dead:
+                continue
+            reported_dead.add(reg.spec)
+            yield Finding(
+                path=reg.path,
+                line=reg.line,
+                col=reg.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"metric {_spec_label(reg.spec)!r} is registered but "
+                    f"no .{_UPDATE_OF[reg.kind]}() site resolves to it; "
+                    f"dead metric or a renamed update path"
+                ),
+            )
+
+        # 4. doc tables reference real metrics
+        exacts = {t for k, t in kind_of if k == "exact"}
+        families = {t for k, t in kind_of if k == "family"}
+        for doc_path, doc_rel in self._doc_files(project):
+            try:
+                text = doc_path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                for match in _DOC_TOKEN.finditer(line):
+                    token = match.group(0)
+                    if self._doc_token_ok(token, exacts, families):
+                        continue
+                    yield Finding(
+                        path=doc_rel,
+                        line=lineno,
+                        col=match.start() + 1,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"doc references metric {token!r} but no "
+                            f"registration matches it; stale name in the "
+                            f"counter table"
+                        ),
+                    )
+
+    @staticmethod
+    def _doc_token_ok(
+        token: str, exacts: Set[str], families: Set[str]
+    ) -> bool:
+        if token in exacts:
+            return True
+        # ellipsis-abbreviated doc names ("…rebuilds_total") surface as
+        # a suffix of the real name
+        if any(name.endswith("_" + token) for name in exacts):
+            return True
+        return any(token.startswith(prefix) for prefix in families)
+
+    def _doc_files(
+        self, project: Project
+    ) -> Iterable[Tuple[pathlib.Path, str]]:
+        """(absolute path, findings-relative path) per existing doc file.
+
+        Anchored on the metrics module so fixture trees without one never
+        scan the enclosing real repo's docs.
+        """
+        metrics_src = project.module_by_suffix(
+            str(self.options["metrics_module"])
+        )
+        if metrics_src is None:
+            return
+        root = metrics_src.path.resolve().parent
+        for _ in range(6):
+            if (root / "pyproject.toml").exists():
+                break
+            if root.parent == root:
+                return
+            root = root.parent
+        else:
+            return
+        for name in tuple(self.options["doc_files"]):
+            doc = root / name
+            if doc.exists():
+                yield doc, name
+
+    def cache_closure(self, project: Project) -> Optional[List[str]]:
+        """Update sites can live anywhere, so the closure is every project
+        module -- plus the doc files (raw paths, statted by the cache)."""
+        deps: List[str] = sorted(
+            f.module for f in project.files if f.module is not None
+        )
+        for doc, _ in self._doc_files(project):
+            deps.append(doc.as_posix())
+        return deps

@@ -1,0 +1,271 @@
+"""REP019: runtime/gateway resources are closed on every CFG path.
+
+The chaos batteries keep demonstrating the same lesson: the leak is
+never on the happy path.  A journal segment opened before a write that
+raises, a socket accepted and then lost to a handshake exception, a
+worker pipe left dangling when spawn fails -- each survives every test
+that doesn't inject the fault, then exhausts descriptors during the one
+flood that matters.
+
+For every acquisition (``open``, ``socket``, ``accept``, ``makefile``,
+``Popen``, ``Pipe``) in the runtime/gateway modules this rule walks the
+function's CFG and asks: starting from the acquisition *succeeding*,
+can execution reach the function exit without passing a close of that
+variable?  Two passes, in order of severity:
+
+* over normal edges only -- an early return/branch skips the close;
+* over exception edges too -- the close exists but is not in a
+  ``finally`` (or after the last may-raise use), so an unwind leaks.
+
+Acquisitions are exempt when the resource provably changes owner:
+bound by ``with`` (the context manager closes it), stored on an
+attribute or container, returned, or passed to another call (a thread,
+a supervisor, ``contextlib.closing``).  Generator functions are skipped
+wholesale -- their finalisation runs on the consumer's schedule, not
+this function's CFG.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..engine import Finding, LintRule, Project, register
+from ..project.cfg import CFG
+from ..project.flow import reaches
+from ..project.symbols import FunctionInfo
+
+
+@register
+class ResourceSafetyRule(LintRule):
+    rule_id = "REP019"
+    title = "resources in runtime/gateway close on all paths"
+    paper_ref = "§6.2 (failure-path hygiene)"
+    scope = "project"
+    project_only = True
+    default_options: Mapping[str, Any] = {
+        #: dotted-module fnmatch patterns this rule applies to
+        "module_patterns": ("*runtime*", "*gateway*"),
+        #: call leaf name -> resource label
+        "constructors": {
+            "open": "file",
+            "socket": "socket",
+            "create_connection": "socket",
+            "accept": "socket",
+            "makefile": "file",
+            "Popen": "process",
+            "Pipe": "pipe",
+        },
+        #: method names that release a resource
+        "close_methods": ("close", "terminate", "kill", "shutdown"),
+    }
+
+    # -- acquisition discovery ---------------------------------------------
+
+    def _acquired_leaf(self, value: ast.expr) -> Optional[str]:
+        """Resource label when ``value`` is a tracked constructor call."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        leaf = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        constructors: Mapping[str, str] = self.options["constructors"]
+        if leaf is None or leaf not in constructors:
+            return None
+        return constructors[leaf]
+
+    def _acquisitions(
+        self, cfg: CFG
+    ) -> List[Tuple[str, str, int, ast.stmt]]:
+        """(var, resource label, block id, stmt) per tracked assignment."""
+        out: List[Tuple[str, str, int, ast.stmt]] = []
+        for bid, block in sorted(cfg.blocks.items()):
+            stmt = block.stmt
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            label = self._acquired_leaf(stmt.value)
+            if label is None:
+                continue
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                names = [target.id]
+            elif isinstance(target, ast.Tuple) and all(
+                isinstance(e, ast.Name) for e in target.elts
+            ):
+                # conn, addr = sock.accept() -- the resource rides first;
+                # r, w = Pipe() -- both ends need closing
+                if label == "pipe":
+                    names = [e.id for e in target.elts]  # type: ignore[union-attr]
+                else:
+                    names = [target.elts[0].id]  # type: ignore[union-attr]
+            else:
+                continue  # attribute target: ownership escapes at birth
+            for name in names:
+                if name in cfg.managed_names:
+                    continue  # with-bound: the context manager closes it
+                out.append((name, label, bid, stmt))
+        return out
+
+    # -- escape and close analysis -----------------------------------------
+
+    @staticmethod
+    def _escapes(func: ast.AST, var: str, acq_stmt: ast.stmt) -> bool:
+        """True when ``var`` may change owner: any load outside receiver
+        (``var.method()``, ``var.attr``), truth-test, or comparison
+        position hands the resource to someone else."""
+        receiver_ok: Set[int] = set()
+        for node in ast.walk(func):  # type: ignore[arg-type]
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ):
+                receiver_ok.add(id(node.value))
+            elif isinstance(node, ast.Compare):
+                for operand in (node.left, *node.comparators):
+                    if isinstance(operand, ast.Name):
+                        receiver_ok.add(id(operand))
+            elif isinstance(node, (ast.If, ast.While)):
+                test = node.test
+                if isinstance(test, ast.UnaryOp):
+                    test = test.operand
+                if isinstance(test, ast.Name):
+                    receiver_ok.add(id(test))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        receiver_ok.add(id(target))
+        for node in ast.walk(func):  # type: ignore[arg-type]
+            if (
+                isinstance(node, ast.Name)
+                and node.id == var
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in receiver_ok
+            ):
+                # ignore loads inside the acquisition statement itself
+                if any(node is n for n in ast.walk(acq_stmt)):
+                    continue
+                return True
+        return False
+
+    def _close_blocks(self, cfg: CFG, var: Optional[str]) -> Set[int]:
+        """Blocks closing ``var`` -- or, with ``var=None``, closing any
+        name (close calls are treated as infallible path-wise)."""
+        close_methods = tuple(self.options["close_methods"])
+        out: Set[int] = set()
+        for bid, block in cfg.blocks.items():
+            stmt = block.stmt
+            if stmt is None:
+                continue
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in close_methods
+                    and isinstance(node.func.value, ast.Name)
+                    and (var is None or node.func.value.id == var)
+                ):
+                    out.add(bid)
+                    break
+        return out
+
+    # -- the check ---------------------------------------------------------
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        analysis = project.analysis
+        patterns = tuple(self.options["module_patterns"])
+        wanted = {
+            f.module
+            for pattern in patterns
+            for f in project.modules_matching(pattern)
+            if f.module is not None
+        }
+        for key in sorted(analysis.symbols.functions):
+            info: FunctionInfo = analysis.symbols.functions[key]
+            if info.module not in wanted:
+                continue
+            if any(
+                isinstance(n, (ast.Yield, ast.YieldFrom))
+                for n in ast.walk(info.node)
+            ):
+                continue  # generator: finalisation is the consumer's
+            cfg = analysis.cfg(info)
+            all_closes = self._close_blocks(cfg, None)
+            for var, label, bid, acq_stmt in self._acquisitions(cfg):
+                if self._escapes(info.node, var, acq_stmt):
+                    continue
+                closes = self._close_blocks(cfg, var)
+                starts = [
+                    e.dst
+                    for e in cfg.succs(bid, include_exceptional=False)
+                    if e.dst not in closes
+                ]
+                where = f"{info.module}:{info.qualname}"
+                if not closes or any(
+                    reaches(
+                        cfg,
+                        s,
+                        cfg.exit,
+                        avoid=closes,
+                        include_exceptional=False,
+                    )
+                    for s in starts
+                ):
+                    yield Finding(
+                        path=info.source.rel,
+                        line=acq_stmt.lineno,
+                        col=acq_stmt.col_offset + 1,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{label} {var!r} opened in {where} is not "
+                            f"closed on every normal path; an early "
+                            f"return/branch leaks it"
+                        ),
+                    )
+                    continue
+                if any(
+                    reaches(
+                        cfg,
+                        s,
+                        cfg.exit,
+                        avoid=closes,
+                        include_exceptional=True,
+                        no_raise=all_closes,
+                    )
+                    for s in starts
+                ):
+                    yield Finding(
+                        path=info.source.rel,
+                        line=acq_stmt.lineno,
+                        col=acq_stmt.col_offset + 1,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{label} {var!r} opened in {where} leaks when "
+                            f"an exception unwinds; close it in a finally "
+                            f"or use a with block"
+                        ),
+                    )
+
+    def cache_closure(self, project: Project) -> Optional[List[str]]:
+        """Purely intraprocedural: the verdict depends only on the
+        runtime/gateway modules themselves."""
+        patterns = tuple(self.options["module_patterns"])
+        modules = {
+            f.module
+            for pattern in patterns
+            for f in project.modules_matching(pattern)
+            if f.module is not None
+        }
+        return sorted(modules)

@@ -1,0 +1,126 @@
+"""SARIF 2.1.0 output for skynet-lint (``--format sarif``).
+
+One run object: the driver carries the full rule catalogue (id, title,
+paper reference) so code-scanning UIs can group and describe findings;
+each finding becomes a ``result`` with a physical location region; each
+``# lint: allow``-waived finding is still emitted, flagged with an
+``inSource`` suppression, so waivers show up as reviewed-and-dismissed
+instead of silently vanishing from the scan.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Type
+
+from .engine import PARSE_ERROR_RULE, Finding, LintReport, LintRule, registered_rules
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_entries(report: LintReport) -> List[Dict[str, Any]]:
+    """Driver rule metadata for every rule the run involved."""
+    by_id: Dict[str, Type[LintRule]] = {
+        cls.rule_id: cls for cls in registered_rules()
+    }
+    wanted = list(report.rules_run)
+    seen = set(wanted)
+    for finding in [*report.findings, *report.suppressed]:
+        if finding.rule_id not in seen:
+            seen.add(finding.rule_id)
+            wanted.append(finding.rule_id)
+    entries: List[Dict[str, Any]] = []
+    for rule_id in wanted:
+        cls = by_id.get(rule_id)
+        if cls is not None:
+            entry: Dict[str, Any] = {
+                "id": rule_id,
+                "name": rule_id,
+                "shortDescription": {"text": cls.title},
+                "properties": {
+                    "paperRef": cls.paper_ref,
+                    "scope": cls.scope,
+                },
+            }
+        elif rule_id == PARSE_ERROR_RULE:
+            entry = {
+                "id": rule_id,
+                "name": rule_id,
+                "shortDescription": {"text": "file failed to parse"},
+            }
+        else:
+            entry = {"id": rule_id, "name": rule_id}
+        entries.append(entry)
+    return entries
+
+
+def _result(
+    finding: Finding, rule_index: Dict[str, int], suppressed: bool
+) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index[finding.rule_id],
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        out["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": "waived with a '# lint: allow' comment",
+            }
+        ]
+    return out
+
+
+def report_to_sarif(report: LintReport) -> Dict[str, Any]:
+    """The full SARIF log object for one lint run."""
+    rules = _rule_entries(report)
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results = [_result(f, rule_index, suppressed=False) for f in report.findings]
+    results.extend(
+        _result(f, rule_index, suppressed=True) for f in report.suppressed
+    )
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "skynet-lint",
+                        "informationUri": (
+                            "https://github.com/skynet-repro/skynet"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    return json.dumps(report_to_sarif(report), indent=2, sort_keys=False)
+
+
+__all__ = ["render_sarif", "report_to_sarif"]

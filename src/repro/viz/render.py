@@ -3,7 +3,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.alert import AlertLevel
 from ..core.alert_tree import AlertTree
@@ -54,12 +54,12 @@ def render_incident_tree(incident: Incident) -> str:
 
 def render_matrix_heatmap(matrix: ReachabilityMatrix) -> str:
     """Coarse heat rendering: '.' light, '+' warm, '#' dark (Figure 7)."""
-    lines = []
+    lines: List[str] = []
     names = [loc.name for loc in matrix.locations]
     width = max((len(n) for n in names), default=4) + 1
     lines.append(" " * width + "".join(f"{n[-width + 1:]:>{width}}" for n in names))
     for a in matrix.locations:
-        cells = []
+        cells: List[str] = []
         for b in matrix.locations:
             loss = 0.0 if a == b else matrix.cell(a, b)
             if loss >= DARK_CELL_LOSS:

@@ -1,0 +1,37 @@
+"""Bad fixture: every checkpoint-symmetry break REP017 must catch."""
+
+from typing import Dict
+
+
+class Sequencer:
+    """Writer drops a key, reader invents one, gated key read unguarded."""
+
+    def __init__(self) -> None:
+        self.watermarks: Dict[str, float] = {}
+        self.heap: list = []
+        self.version = 2
+
+    def state_dict(self) -> Dict[str, object]:
+        state: Dict[str, object] = {
+            "watermarks": dict(self.watermarks),
+            "orphaned": True,  # REP017: never read back
+        }
+        if self.version >= 2:
+            state["heap"] = list(self.heap)  # gated on version
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.watermarks = dict(state["watermarks"])  # type: ignore[arg-type]
+        # REP017: gated key hard-read without .get()/membership guard
+        self.heap = list(state["heap"])  # type: ignore[arg-type]
+        # REP017: reads a key state_dict never writes
+        self.version = int(state["epoch"])  # type: ignore[arg-type]
+
+
+def pipeline_state_dict(net: object) -> Dict[str, object]:
+    return {"now": 0.0, "last_sweep": 1.0}
+
+
+def restore_pipeline_state(net: object, state: Dict[str, object]) -> None:
+    # REP017: "last_sweep" written but never read here
+    _ = state["now"]

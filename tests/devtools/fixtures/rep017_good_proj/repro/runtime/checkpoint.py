@@ -1,0 +1,50 @@
+"""Good fixture: symmetric, guarded, and dynamic checkpoint pairs."""
+
+from typing import Dict
+
+
+class Sequencer:
+    """Symmetric keys; gated key guarded; back-compat read tolerated."""
+
+    def __init__(self) -> None:
+        self.watermarks: Dict[str, float] = {}
+        self.heap: list = []
+        self.version = 2
+
+    def state_dict(self) -> Dict[str, object]:
+        state: Dict[str, object] = {
+            "watermarks": dict(self.watermarks),
+        }
+        if self.version >= 2:
+            state["heap"] = list(self.heap)  # version-gated, guarded below
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.watermarks = dict(state["watermarks"])  # type: ignore[arg-type]
+        if "heap" in state:
+            self.heap = list(state["heap"])  # type: ignore[arg-type]
+        # back-compat migration read of a retired key: tolerated
+        self.version = int(state.get("epoch", 2))  # type: ignore[arg-type]
+
+
+class Registry:
+    """Dynamic pair (wholesale copy): statically unenumerable, skipped."""
+
+    def __init__(self) -> None:
+        self.records: Dict[str, int] = {}
+
+    def state_dict(self) -> Dict[str, int]:
+        return {name: seq for name, seq in self.records.items()}
+
+    def load_state_dict(self, state: Dict[str, int]) -> None:
+        for name, seq in state.items():
+            self.records[name] = seq
+
+
+def pipeline_state_dict(net: object) -> Dict[str, object]:
+    return {"now": 0.0, "last_sweep": 1.0}
+
+
+def restore_pipeline_state(net: object, state: Dict[str, object]) -> None:
+    _ = state["now"]
+    _ = state["last_sweep"]

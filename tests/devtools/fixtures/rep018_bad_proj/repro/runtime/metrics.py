@@ -1,0 +1,30 @@
+"""Minimal metrics registry so the rule anchors on runtime.metrics."""
+
+from typing import Dict
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class MetricsRegistry:
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._metrics.setdefault(name, Counter())  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._metrics.setdefault(name, Gauge())  # type: ignore[return-value]

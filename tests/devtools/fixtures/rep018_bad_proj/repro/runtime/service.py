@@ -1,0 +1,20 @@
+"""Bad fixture: every metrics-drift shape REP018 must catch."""
+
+from .metrics import MetricsRegistry
+
+
+class Service:
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+        # REP018: registered but no .inc() site ever resolves to it
+        self._dead = metrics.counter("runtime_dead_rows_total")
+        self._sweeps = metrics.counter("runtime_sweeps_total")
+
+    def sweep(self) -> None:
+        self._sweeps.inc()
+        # REP018: same name, different kind than the __init__ counter
+        self.metrics.gauge("runtime_sweeps_total").set(1.0)
+
+    def report(self) -> None:
+        # REP018: counter updated with .set()
+        self.metrics.counter("runtime_open_incidents_total").set(3.0)

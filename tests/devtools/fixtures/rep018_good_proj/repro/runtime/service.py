@@ -1,0 +1,34 @@
+"""Good fixture: consistent metrics through every handle form."""
+
+import threading
+
+from .metrics import MetricsRegistry
+
+
+class Window:
+    def observe(self, value: float) -> None:  # domain method, not a metric
+        self.latest = value
+
+
+class Service:
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+        self._sweeps = metrics.counter("runtime_sweeps_total")
+        self._stopping = threading.Event()
+        self.window = Window()
+
+    def sweep(self) -> None:
+        self._sweeps.inc()
+        self.metrics.gauge("runtime_open_incidents").set(3.0)
+        self.window.observe(1.5)  # unresolvable receiver: ignored
+
+    def shed(self, rung: str) -> None:
+        # f-string family: registered and updated as one prefix group
+        self.metrics.counter(f"runtime_shed_{rung}_total").inc()
+
+    def stop(self) -> None:
+        self._stopping.set()  # Event.set(), not a metric update
+
+    def local_form(self, metrics: MetricsRegistry) -> None:
+        drained = metrics.counter("runtime_drained_total")
+        drained.inc()

@@ -1,0 +1,41 @@
+"""Bad fixture: resource-leak shapes REP019 must catch."""
+
+import socket
+import subprocess
+from multiprocessing import Pipe
+
+
+def normal_path_leak(path: str, flush: bool) -> int:
+    fh = open(path, "rb")
+    if not flush:
+        return 0  # REP019: early return skips close
+    size = len(fh.read())
+    fh.close()
+    return size
+
+
+def exception_path_leak(path: str) -> bytes:
+    fh = open(path, "rb")
+    data = fh.read()  # raises -> unwind skips the close below
+    fh.close()  # REP019: not in a finally
+    return data
+
+
+def never_closed(host: str) -> None:
+    sock = socket.create_connection((host, 9))  # REP019: no close at all
+    sock.sendall(b"ping")
+
+
+def one_pipe_end_leaks() -> None:
+    recv_end, send_end = Pipe()
+    try:
+        send_end.send(b"x")
+    finally:
+        send_end.close()  # REP019: recv_end never closed
+
+
+def worker_leaks_on_spawn_error(cmd: list) -> int:
+    proc = subprocess.Popen(cmd)
+    code = proc.wait()  # raises on timeout -> REP019: no finally terminate
+    proc.terminate()
+    return code

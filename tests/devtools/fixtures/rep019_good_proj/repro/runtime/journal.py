@@ -1,0 +1,75 @@
+"""Good fixture: every accepted ownership/cleanup shape for REP019."""
+
+import socket
+import subprocess
+import threading
+from multiprocessing import Pipe
+from typing import Iterator, Optional
+
+
+def with_managed(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def finally_closed(path: str) -> bytes:
+    fh = open(path, "rb")
+    try:
+        return fh.read()
+    finally:
+        fh.close()
+
+
+def ownership_returned(path: str):
+    fh = open(path, "rb")
+    return fh  # caller owns it now
+
+
+class Journal:
+    def __init__(self, path: str) -> None:
+        self._fh = open(path, "ab")  # attribute target: owner is self
+
+    def reopen(self, path: str) -> None:
+        fh = open(path, "ab")
+        self._fh = fh  # escapes to an attribute
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def handed_to_thread(host: str) -> threading.Thread:
+    sock = socket.create_connection((host, 9))
+    worker = threading.Thread(target=_serve, args=(sock,))
+    worker.start()
+    return worker
+
+
+def _serve(sock: socket.socket) -> None:
+    try:
+        sock.sendall(b"ping")
+    finally:
+        sock.close()
+
+
+def both_pipe_ends_closed() -> None:
+    recv_end, send_end = Pipe()
+    try:
+        send_end.send(b"x")
+    finally:
+        send_end.close()
+        recv_end.close()
+
+
+def generator_yields(path: str) -> Iterator[bytes]:
+    fh = open(path, "rb")  # finalisation is the consumer's problem
+    for line in fh:
+        yield line
+    fh.close()
+
+
+def process_reaped(cmd: list) -> Optional[int]:
+    proc = subprocess.Popen(cmd)
+    try:
+        return proc.wait()
+    finally:
+        proc.terminate()

@@ -186,3 +186,98 @@ def test_cli_cache_flags(tree, tmp_path, capsys):
     assert main(argv + ["--no-cache"]) == 1
     assert not cache_file.exists()  # --no-cache neither reads nor writes
     capsys.readouterr()
+
+
+@pytest.mark.parametrize(
+    "bad_path",
+    [
+        ".",  # a directory with no usable file name
+        "somedir",  # an existing directory
+        "no/such/dir/cache.json",  # parent does not exist
+    ],
+)
+def test_unusable_cache_file_degrades_to_no_cache(
+    tree, tmp_path, capsys, monkeypatch, bad_path
+):
+    """A bad --cache-file is a warning plus a cold run, never a traceback
+    (``--cache-file .`` used to raise an unhandled ValueError)."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "somedir").mkdir()
+    report = run_with_cache(_engine(), [tree], bad_path)
+    assert len(report.findings) == 1  # same verdict as engine.run
+    err = capsys.readouterr().err
+    assert "warning" in err and "without a cache" in err
+
+
+def test_unusable_cache_file_cli_exit_codes(tree, tmp_path, capsys):
+    from repro.devtools.lint.cli import main
+
+    assert main([str(tree), "--cache-file", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "is a directory" in err
+
+
+def test_unwritable_parent_degrades(tree, tmp_path, capsys):
+    import os
+
+    locked = tmp_path / "locked"
+    locked.mkdir()
+    locked.chmod(0o500)
+    try:
+        if os.access(locked, os.W_OK):  # running as root: cannot simulate
+            pytest.skip("permissions not enforced for this user")
+        report = run_with_cache(_engine(), [tree], locked / "cache.json")
+        assert len(report.findings) == 1
+        assert "not writable" in capsys.readouterr().err
+    finally:
+        locked.chmod(0o700)
+
+
+WAIVED = '''"""Module with a waived REP005 violation."""
+
+
+def leaky(values=[]):  # lint: allow REP005
+    return values
+'''
+
+
+def test_suppressed_findings_survive_cache_revival(tmp_path):
+    """Waived findings are cached and revived so SARIF suppressions do
+    not vanish on warm runs."""
+    (tmp_path / "w.py").write_text(WAIVED)
+    cache_file = tmp_path / "cache.json"
+    cold = run_with_cache(_engine(), [tmp_path], cache_file)
+    warm = run_with_cache(_engine(), [tmp_path], cache_file)
+    uncached = _engine().run([tmp_path])
+    assert uncached.findings == []
+    assert len(uncached.suppressed) == 1
+    assert uncached.suppressed[0].rule_id == "REP005"
+    for report in (cold, warm):
+        assert report.findings == uncached.findings
+        assert report.suppressed == uncached.suppressed
+
+
+def test_sarif_output_marks_waivers_as_suppressions(tmp_path):
+    from repro.devtools.lint.sarif import report_to_sarif
+
+    (tmp_path / "w.py").write_text(WAIVED)
+    (tmp_path / "b.py").write_text(DIRTY)
+    report = _engine().run([tmp_path])
+    log = report_to_sarif(report)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert "REP005" in rule_ids and "REP006" in rule_ids
+    by_supp = {
+        res["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]:
+        "suppressions" in res
+        for res in run["results"]
+    }
+    assert len(by_supp) == 2
+    assert by_supp[(tmp_path / "w.py").as_posix()] is True
+    assert by_supp[(tmp_path / "b.py").as_posix()] is False
+    for res in run["results"]:
+        region = res["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        idx = res["ruleIndex"]
+        assert run["tool"]["driver"]["rules"][idx]["id"] == res["ruleId"]

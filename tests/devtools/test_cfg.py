@@ -1,0 +1,391 @@
+"""The flow-sensitive analysis layer: CFG construction unit tests plus
+Hypothesis batteries for the graph invariants and the worklist solver."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devtools.lint.project import (
+    CFG,
+    blocks_on_all_paths,
+    build_cfg,
+    live_variables,
+    reaching_definitions,
+)
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _build(src: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(src))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def _assign_block(cfg: CFG, name: str):
+    """The unique block whose statement assigns ``name``."""
+    matches = cfg.blocks_of(
+        lambda s: isinstance(s, ast.Assign)
+        and isinstance(s.targets[0], ast.Name)
+        and s.targets[0].id == name
+    )
+    assert len(matches) == 1, f"expected one assignment to {name!r}"
+    return matches[0]
+
+
+# -- construction unit tests ------------------------------------------------
+
+
+def test_finally_runs_on_all_paths_including_exceptions():
+    cfg = _build(
+        """
+        def f(p):
+            try:
+                x = work(p)
+            finally:
+                done = 1
+            return x
+        """
+    )
+    done = _assign_block(cfg, "done")
+    must = blocks_on_all_paths(cfg, include_exceptional=True)
+    assert done.id in must
+    assert cfg.entry in must and cfg.exit in must
+
+
+def test_early_return_removes_tail_from_all_paths():
+    cfg = _build(
+        """
+        def f(a):
+            if a:
+                return 1
+            x = 2
+            return x
+        """
+    )
+    must = blocks_on_all_paths(cfg)
+    tail = _assign_block(cfg, "x")
+    returns = cfg.blocks_of(lambda s: isinstance(s, ast.Return))
+    assert tail.id not in must
+    assert all(block.id not in must for block in returns)
+    assert cfg.entry in must and cfg.exit in must
+
+
+def test_break_exits_only_the_inner_loop():
+    cfg = _build(
+        """
+        def f(xs, ys):
+            for x in xs:
+                for y in ys:
+                    if y:
+                        break
+                tail = 1
+            done = 1
+        """
+    )
+    (brk,) = cfg.blocks_of(lambda s: isinstance(s, ast.Break))
+    succs = cfg.succs(brk.id, include_exceptional=False)
+    assert [e.kind for e in succs] == ["break"]
+    tail = _assign_block(cfg, "tail")
+    done = _assign_block(cfg, "done")
+    assert succs[0].dst == tail.id
+    assert succs[0].dst != done.id
+
+
+def test_for_orelse_runs_on_exhaustion_not_on_break():
+    cfg = _build(
+        """
+        def f(xs):
+            for x in xs:
+                if x:
+                    break
+            else:
+                fell = 1
+            done = 1
+        """
+    )
+    (brk,) = cfg.blocks_of(lambda s: isinstance(s, ast.Break))
+    fell = _assign_block(cfg, "fell")
+    done = _assign_block(cfg, "done")
+    break_dsts = {e.dst for e in cfg.succs(brk.id, include_exceptional=False)}
+    assert break_dsts == {done.id}
+    # the orelse is still wired in: reachable, via the loop header test
+    assert fell.id in cfg.reachable_from_entry()
+    assert all(e.src != brk.id for e in cfg.preds(fell.id))
+
+
+def test_return_unwinds_through_finally():
+    cfg = _build(
+        """
+        def f():
+            try:
+                return 1
+            finally:
+                done = 1
+        """
+    )
+    (ret,) = cfg.blocks_of(lambda s: isinstance(s, ast.Return))
+    done = _assign_block(cfg, "done")
+    # no shortcut past the finally
+    normal = cfg.succs(ret.id, include_exceptional=False)
+    assert all(e.dst != cfg.exit for e in normal)
+    assert done.id in blocks_on_all_paths(cfg)
+
+
+def test_with_records_managed_names():
+    cfg = _build(
+        """
+        def f(p):
+            with open(p) as fh:
+                data = fh.read()
+            return data
+        """
+    )
+    assert "fh" in cfg.managed_names
+
+
+def test_except_handler_reachable_only_via_exception_edges():
+    cfg = _build(
+        """
+        def f(p):
+            try:
+                x = work(p)
+            except ValueError:
+                x = 0
+            return x
+        """
+    )
+    (fallback,) = cfg.blocks_of(
+        lambda s: isinstance(s, ast.Assign)
+        and isinstance(s.value, ast.Constant)
+        and s.value.value == 0
+    )
+    assert fallback.id not in cfg.reachable_from_entry(include_exceptional=False)
+    assert fallback.id in cfg.reachable_from_entry(include_exceptional=True)
+
+
+# -- canned analyses --------------------------------------------------------
+
+
+def test_reaching_definitions_merge_at_join():
+    cfg = _build(
+        """
+        def f(a):
+            x = 1
+            if a:
+                x = 2
+            y = x
+        """
+    )
+    rd = reaching_definitions(cfg)
+    use = _assign_block(cfg, "y")
+    x_defs = {fact for fact in rd.inputs[use.id] if fact[0] == "x"}
+    assert len(x_defs) == 2  # both arms of the if reach the join
+
+
+def test_liveness_is_backward():
+    cfg = _build(
+        """
+        def f(a):
+            x = 1
+            if a:
+                return x
+            return 0
+        """
+    )
+    lv = live_variables(cfg)
+    assign = _assign_block(cfg, "x")
+    # inputs hold live-out in the backward orientation; the definition
+    # itself kills the variable from its own live-in
+    assert "x" in lv.inputs[assign.id]
+    assert "x" not in lv.outputs[assign.id]
+    assert "a" in lv.outputs[assign.id]
+
+
+# -- Hypothesis: CFG invariants over generated functions --------------------
+
+_SIMPLE = ("x = 1", "y = x", "pass", "return x", "raise ValueError()")
+_LOOP_ONLY = ("break", "continue")
+
+
+def _render(stmts, indent):
+    pad = "    " * indent
+    lines = []
+    for s in stmts:
+        if isinstance(s, str):
+            lines.append(pad + s)
+            continue
+        kind, parts = s
+        if kind == "if":
+            body, orelse = parts
+            lines.append(pad + "if x:")
+            lines += _render(body, indent + 1)
+            if orelse:
+                lines.append(pad + "else:")
+                lines += _render(orelse, indent + 1)
+        elif kind == "while":
+            (body,) = parts
+            lines.append(pad + "while x:")
+            lines += _render(body, indent + 1)
+        elif kind == "for":
+            body, orelse = parts
+            lines.append(pad + "for i in x:")
+            lines += _render(body, indent + 1)
+            if orelse:
+                lines.append(pad + "else:")
+                lines += _render(orelse, indent + 1)
+        elif kind == "try":
+            body, handler, final = parts
+            lines.append(pad + "try:")
+            lines += _render(body, indent + 1)
+            if handler:
+                lines.append(pad + "except ValueError:")
+                lines += _render(handler, indent + 1)
+            if final or not handler:
+                lines.append(pad + "finally:")
+                lines += _render(final or ["pass"], indent + 1)
+        else:  # with
+            (body,) = parts
+            lines.append(pad + "with open('p') as fh:")
+            lines += _render(body, indent + 1)
+    return lines
+
+
+def _block_strategy(depth, in_loop):
+    return st.lists(_stmt_strategy(depth, in_loop), min_size=1, max_size=3)
+
+
+def _stmt_strategy(depth, in_loop):
+    leaves = _SIMPLE + (_LOOP_ONLY if in_loop else ())
+    options = [st.sampled_from(leaves)]
+    if depth > 0:
+        maybe = lambda strat: st.one_of(st.just([]), strat)  # noqa: E731
+        sub = _block_strategy(depth - 1, in_loop)
+        loop_sub = _block_strategy(depth - 1, True)
+        # break/continue inside a finally is excluded: legal only on
+        # newer Pythons and not a shape the linted tree uses
+        fin_sub = _block_strategy(depth - 1, False)
+        options += [
+            st.tuples(st.just("if"), st.tuples(sub, maybe(sub))),
+            st.tuples(st.just("while"), st.tuples(loop_sub)),
+            st.tuples(
+                st.just("for"),
+                st.tuples(loop_sub, maybe(_block_strategy(depth - 1, False))),
+            ),
+            st.tuples(
+                st.just("try"), st.tuples(sub, maybe(sub), maybe(fin_sub))
+            ),
+            st.tuples(st.just("with"), st.tuples(sub)),
+        ]
+    return st.one_of(options)
+
+
+@settings(max_examples=60, deadline=None)
+@given(body=_block_strategy(2, False))
+def test_cfg_invariants_on_generated_functions(body):
+    src = "def f(x, y):\n" + "\n".join(_render(body, 1))
+    cfg = build_cfg(ast.parse(src).body[0])
+    reachable = cfg.reachable_from_entry(include_exceptional=True)
+    for bid in reachable:
+        if bid != cfg.entry:
+            assert cfg.preds(bid), (
+                f"reachable block {bid} has no predecessor in:\n{src}"
+            )
+    assert cfg.exit in reachable, f"exit unreachable in:\n{src}"
+    assert not cfg.succs(cfg.exit)
+    for edge in cfg.edges:
+        assert edge.src in cfg.blocks and edge.dst in cfg.blocks
+    # every analysis converges and covers every block
+    for solution in (reaching_definitions(cfg), live_variables(cfg)):
+        assert set(solution.inputs) == set(cfg.blocks)
+        assert set(solution.outputs) == set(cfg.blocks)
+    must = blocks_on_all_paths(cfg, include_exceptional=True)
+    assert cfg.entry in must and cfg.exit in must
+
+
+# -- Hypothesis: solver fixpoint on random DAGs -----------------------------
+
+
+def _random_dag(data):
+    """A synthetic CFG DAG where every block is reachable from entry and
+    at least one path reaches exit; returns (cfg, ordered block ids)."""
+    n_mid = data.draw(st.integers(min_value=0, max_value=5), label="middles")
+    cfg = CFG()
+    middles = [cfg.add_block("synth") for _ in range(n_mid)]
+    order = [cfg.entry] + middles + [cfg.exit]
+    last = len(order) - 1
+    spine_mids = sorted(
+        data.draw(
+            st.sets(st.sampled_from(range(1, last)), max_size=max(last - 1, 0)),
+            label="spine",
+        )
+        if last > 1
+        else set()
+    )
+    pairs = set(zip([0] + spine_mids, spine_mids + [last]))
+    for i in range(last + 1):
+        for j in range(i + 1, last + 1):
+            if (i, j) not in pairs and data.draw(
+                st.booleans(), label=f"edge {i}->{j}"
+            ):
+                pairs.add((i, j))
+    # orphan middles get an entry edge so path-based oracles apply
+    for j in range(1, last):
+        if not any(jj == j for (_i, jj) in pairs):
+            pairs.add((0, j))
+    for i, j in sorted(pairs):
+        cfg.add_edge(order[i], order[j])
+    return cfg, order
+
+
+def _all_paths(cfg, start, goal):
+    """Every start->goal path in a DAG, as lists of block ids."""
+    paths = []
+    stack = [(start, [start])]
+    while stack:
+        node, path = stack.pop()
+        if node == goal:
+            paths.append(path)
+            continue
+        for edge in cfg.succs(node):
+            stack.append((edge.dst, path + [edge.dst]))
+    return paths
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_solver_fixpoint_matches_path_oracles_on_random_dags(data):
+    from repro.devtools.lint.project import solve
+
+    cfg, order = _random_dag(data)
+
+    # forward-may with gen = {own id}: a fact b reaches x iff some
+    # entry->x path passes through b
+    sol = solve(
+        cfg,
+        direction="forward",
+        may=True,
+        gen=lambda block: {block.id},
+        kill=lambda block: (),
+    )
+    for bid in order:
+        on_some_path = set()
+        for path in _all_paths(cfg, cfg.entry, bid):
+            on_some_path.update(path)
+        assert sol.outputs[bid] == frozenset(on_some_path), (
+            f"forward-may mismatch at block {bid}"
+        )
+
+    # must-analysis: blocks on every entry->exit path
+    expected_must = None
+    for path in _all_paths(cfg, cfg.entry, cfg.exit):
+        expected_must = (
+            set(path) if expected_must is None else expected_must & set(path)
+        )
+    assert expected_must is not None, "spine should guarantee a path"
+    assert blocks_on_all_paths(cfg) == frozenset(expected_must)

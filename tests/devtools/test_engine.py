@@ -23,11 +23,13 @@ from .conftest import FIXTURES
 def test_registry_has_the_full_battery():
     ids = [cls.rule_id for cls in registered_rules()]
     assert ids == sorted(ids)
-    assert ids == [f"REP{n:03d}" for n in range(1, 17)]
+    assert ids == [f"REP{n:03d}" for n in range(1, 20)]
     project_only = [
         cls.rule_id for cls in registered_rules() if cls.project_only
     ]
-    assert project_only == ["REP012", "REP013", "REP014", "REP015"]
+    assert project_only == [
+        "REP012", "REP013", "REP014", "REP015", "REP017", "REP018", "REP019",
+    ]
 
 
 def test_discover_dedupes_and_sorts(tmp_path):

@@ -89,6 +89,9 @@ PROJECT_RULE_CASES = {
     "REP013": ("rep013_bad_proj", 3, "rep013_good_proj"),
     "REP014": ("rep014_bad_proj", 3, "rep014_good_proj"),
     "REP015": ("rep015_bad_proj", 7, "rep015_good_proj"),
+    "REP017": ("rep017_bad_proj", 4, "rep017_good_proj"),
+    "REP018": ("rep018_bad_proj", 4, "rep018_good_proj"),
+    "REP019": ("rep019_bad_proj", 5, "rep019_good_proj"),
 }
 
 
@@ -151,6 +154,69 @@ def test_rep015_covers_all_drift_directions():
     assert any("--chaos-fog" in m and "ChaosPlan" in m for m in messages)
     assert sum("cannot be set from the runtime CLI" in m for m in messages) == 2
     assert any("outages" in m and "--chaos-*" in m for m in messages)
+
+
+def test_rep017_covers_all_asymmetry_directions():
+    findings = run_project_rule("REP017", FIXTURES / "rep017_bad_proj")
+    messages = [f.message for f in findings]
+    assert any("'orphaned'" in m and "never read" in m for m in messages)
+    assert any(
+        "'heap'" in m and "version-gated" in m and "unguarded" in m
+        for m in messages
+    )
+    assert any(
+        "'epoch'" in m and "never writes" in m and "KeyError" in m
+        for m in messages
+    )
+    # both class-method pairs and module-level pairs are analyzed
+    assert any("Sequencer.state_dict" in m for m in messages)
+    assert any("pipeline_state_dict" in m for m in messages)
+
+
+def test_rep017_catches_seeded_missing_key(tmp_path):
+    """Mutating the clean fixture to drop one written key flips the pair
+    from silent to a hard missing-key finding -- the rule is load-bearing,
+    not vacuously green."""
+    import shutil
+
+    shutil.copytree(FIXTURES / "rep017_good_proj", tmp_path / "proj")
+    target = tmp_path / "proj" / "repro" / "runtime" / "checkpoint.py"
+    text = target.read_text()
+    seeded = text.replace('"watermarks": dict(self.watermarks),\n', "")
+    assert seeded != text, "mutation site vanished from the fixture"
+    target.write_text(seeded)
+    findings = run_project_rule("REP017", tmp_path / "proj")
+    assert any(
+        "'watermarks'" in f.message and "never writes" in f.message
+        for f in findings
+    ), "\n".join(f.render() for f in findings)
+
+
+def test_rep018_covers_all_drift_kinds():
+    findings = run_project_rule("REP018", FIXTURES / "rep018_bad_proj")
+    messages = [f.message for f in findings]
+    assert any("dead metric" in m and "runtime_dead_rows_total" in m
+               for m in messages)
+    assert any("one name, one kind" in m and "runtime_sweeps_total" in m
+               for m in messages)
+    assert any("updated with .set()" in m and "counters support .inc()" in m
+               for m in messages)
+    assert any("stale name" in m and "runtime_ghost_rows_total" in m
+               for m in messages)
+    # the doc finding points into the doc file, not a python module
+    doc = [f for f in findings if "stale name" in f.message]
+    assert doc and doc[0].path.endswith("README.md")
+
+
+def test_rep019_distinguishes_normal_and_exception_leaks():
+    findings = run_project_rule("REP019", FIXTURES / "rep019_bad_proj")
+    messages = [f.message for f in findings]
+    assert sum("early return/branch" in m for m in messages) == 3
+    assert sum("exception unwinds" in m for m in messages) == 2
+    # every resource kind in the fixture is spotted
+    for token in ("file 'fh'", "socket 'sock'", "pipe 'recv_end'",
+                  "process 'proc'"):
+        assert any(token in m for m in messages), token
 
 
 def test_rep013_supersedes_rep004_at_the_same_site():
